@@ -1,0 +1,76 @@
+//! Benchmarks for the end-to-end (1−ε) drivers (experiments E5–E7): one
+//! Algorithm 3 round offline, the streaming driver, and the MPC driver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use wmatch_core::main_alg::{
+    improve_matching_offline, max_weight_matching_mpc, max_weight_matching_streaming,
+    MainAlgConfig,
+};
+use wmatch_graph::generators::{gnp, WeightModel};
+use wmatch_graph::Matching;
+use wmatch_mpc::{MpcConfig, MpcMcmConfig};
+use wmatch_stream::{McmConfig, VecStream};
+
+fn bench_offline_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg3_round_offline_e5");
+    group.sample_size(10);
+    for &n in &[40usize, 80] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = gnp(n, 8.0 / n as f64, WeightModel::Uniform { lo: 1, hi: 256 }, &mut rng);
+        let cfg = MainAlgConfig::practical(0.25, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                let mut m = Matching::new(g.vertex_count());
+                let mut rng = StdRng::seed_from_u64(9);
+                improve_matching_offline(g, &mut m, &cfg, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_streaming_driver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streaming_driver_e6");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(2);
+    let n = 40;
+    let g = gnp(n, 0.25, WeightModel::Uniform { lo: 1, hi: 64 }, &mut rng);
+    let mut cfg = MainAlgConfig::practical(0.25, 3);
+    cfg.max_rounds = 4;
+    group.bench_function("n40_4rounds", |b| {
+        b.iter(|| {
+            let mut s = VecStream::adversarial(g.edges().to_vec()).with_vertex_count(n);
+            max_weight_matching_streaming(&mut s, &cfg, &McmConfig::for_delta(0.25))
+        })
+    });
+    group.finish();
+}
+
+fn bench_mpc_driver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpc_driver_e7");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(3);
+    let n = 32;
+    let g = gnp(n, 0.3, WeightModel::Uniform { lo: 1, hi: 64 }, &mut rng);
+    let mut cfg = MainAlgConfig::practical(0.25, 3);
+    cfg.max_rounds = 3;
+    cfg.trials = 1;
+    group.bench_function("n32_3rounds", |b| {
+        b.iter(|| {
+            max_weight_matching_mpc(
+                &g,
+                &cfg,
+                MpcConfig { machines: 4, memory_words: 4000 },
+                &MpcMcmConfig::for_delta(0.25, 5),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_offline_round, bench_streaming_driver, bench_mpc_driver);
+criterion_main!(benches);

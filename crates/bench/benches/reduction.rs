@@ -1,0 +1,103 @@
+//! Benchmarks for the layered-graph reduction machinery (experiments
+//! E5/E9 kernels): τ-pair enumeration, layered graph construction,
+//! Algorithm 4 on one class, and the Lemma 4.11 decomposition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use wmatch_core::decompose::decompose_walk;
+use wmatch_core::layered::{LayeredSpec, Parametrization};
+use wmatch_core::single_class::{achievable_buckets, single_class_augmentations};
+use wmatch_core::tau::{enumerate_good_pairs, TauConfig, TauPair};
+use wmatch_graph::exact::hopcroft_karp::max_bipartite_cardinality_matching_from;
+use wmatch_graph::generators::{gnp, WeightModel};
+use wmatch_graph::{Edge, Graph, Matching};
+
+fn setup(n: usize) -> (Graph, Matching, Parametrization) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let g = gnp(n, 8.0 / n as f64, WeightModel::Uniform { lo: 1, hi: 256 }, &mut rng);
+    let mut m = Matching::new(n);
+    for e in g.edges() {
+        let _ = m.insert(*e);
+    }
+    let param = Parametrization::random(n, &mut rng);
+    (g, m, param)
+}
+
+fn bench_tau_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tau_enumeration");
+    let (g, m, param) = setup(200);
+    for &q in &[8u32, 16] {
+        let cfg = TauConfig { q, max_layers: 3, min_entry: 1, sum_b_cap: q + 1, max_pairs: 100_000 };
+        let (ba, bb) = achievable_buckets(g.edges(), &m, &param, 256, &cfg);
+        group.bench_with_input(BenchmarkId::from_parameter(q), &cfg, |b, cfg| {
+            b.iter(|| enumerate_good_pairs(cfg, &ba, &bb))
+        });
+    }
+    group.finish();
+}
+
+fn bench_layered_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layered_build");
+    for &n in &[200usize, 800] {
+        let (g, m, param) = setup(n);
+        let tau = TauPair { a: vec![0, 8, 0], b: vec![6, 6] };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(g, m, param), |b, (g, m, param)| {
+            b.iter(|| {
+                let spec = LayeredSpec::new(&tau, 256, 8, param, m);
+                spec.build(g.edges().iter().copied())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_class(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_class_alg4");
+    group.sample_size(10);
+    for &n in &[100usize, 200] {
+        let (g, m, param) = setup(n);
+        let cfg = TauConfig { q: 8, max_layers: 3, min_entry: 1, sum_b_cap: 9, max_pairs: 20_000 };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(g, m, param), |b, (g, m, param)| {
+            b.iter(|| {
+                let mut solve = |lg: &Graph, side: &[bool], init: Matching| {
+                    max_bipartite_cardinality_matching_from(lg, side, init)
+                };
+                single_class_augmentations(g.edges(), m, 256, param, &cfg, &mut solve)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_decompose(c: &mut Criterion) {
+    // long blow-up walk around a 4-cycle
+    let cycle = [
+        Edge::new(0, 1, 3),
+        Edge::new(1, 2, 4),
+        Edge::new(2, 3, 3),
+        Edge::new(3, 0, 4),
+    ];
+    let reps = 500;
+    let mut vs = vec![0u32];
+    let mut es = Vec::new();
+    for _ in 0..reps {
+        for (i, e) in cycle.iter().enumerate() {
+            es.push(*e);
+            vs.push([1, 2, 3, 0][i]);
+        }
+    }
+    c.bench_function("decompose_blowup_2000_edges", |b| {
+        b.iter(|| decompose_walk(&vs, &es))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_tau_enumeration,
+    bench_layered_build,
+    bench_single_class,
+    bench_decompose
+);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Benchmarks for the exact matching substrate (ground-truth solvers).
+//!
+//! These calibrate the cost of the oracles the experiments lean on:
+//! Hopcroft–Karp (the offline `Unw-Bip-Matching` box), the unweighted
+//! blossom, the Hungarian algorithm and Galil's weighted blossom.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use wmatch_graph::exact::{
+    max_bipartite_cardinality_matching, max_cardinality_matching, max_weight_bipartite_matching,
+    max_weight_matching,
+};
+use wmatch_graph::generators::{gnp, random_bipartite, WeightModel};
+
+fn bench_hopcroft_karp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hopcroft_karp");
+    for &n in &[100usize, 400] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (g, side) = random_bipartite(n, n, 8.0 / n as f64, WeightModel::Unit, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(2 * n), &(g, side), |b, (g, side)| {
+            b.iter(|| max_bipartite_cardinality_matching(g, side))
+        });
+    }
+    group.finish();
+}
+
+fn bench_blossom(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blossom_cardinality");
+    for &n in &[100usize, 300] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = gnp(n, 8.0 / n as f64, WeightModel::Unit, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| max_cardinality_matching(g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hungarian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hungarian");
+    for &n in &[50usize, 150] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (g, side) = random_bipartite(
+            n,
+            n,
+            0.2,
+            WeightModel::Uniform { lo: 1, hi: 1000 },
+            &mut rng,
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(2 * n), &(g, side), |b, (g, side)| {
+            b.iter(|| max_weight_bipartite_matching(g, side))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mwm_general(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mwm_general_galil");
+    group.sample_size(10);
+    for &n in &[50usize, 150] {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = gnp(n, 8.0 / n as f64, WeightModel::Uniform { lo: 1, hi: 1000 }, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| max_weight_matching(g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hopcroft_karp,
+    bench_blossom,
+    bench_hungarian,
+    bench_mwm_general
+);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Benchmarks for the single-pass streaming algorithms (experiments E1/E2
+//! kernels): local-ratio, `Rand-Arr-Matching` (Algorithm 2) and the
+//! 0.506-approximation of Section 3.1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use wmatch_core::local_ratio::LocalRatio;
+use wmatch_core::rand_arr_matching::{rand_arr_matching, RandArrConfig};
+use wmatch_core::random_order_unweighted::{random_order_unweighted, RouConfig};
+use wmatch_core::unw3aug::Unw3AugPaths;
+use wmatch_graph::generators::{self, gnp, WeightModel};
+use wmatch_stream::VecStream;
+
+fn bench_local_ratio(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_ratio_pass");
+    for &n in &[1000usize, 4000] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = gnp(n, 8.0 / n as f64, WeightModel::Uniform { lo: 1, hi: 1000 }, &mut rng);
+        group.throughput(Throughput::Elements(g.edge_count() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                let mut lr = LocalRatio::new(g.vertex_count());
+                for e in g.edges() {
+                    lr.on_edge(*e);
+                }
+                lr.unwind()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_rand_arr_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rand_arr_matching_e2");
+    group.sample_size(10);
+    for &n in &[500usize, 2000] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = gnp(n, 8.0 / n as f64, WeightModel::Uniform { lo: 1, hi: 1000 }, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                let mut s = VecStream::random_order(g.edges().to_vec(), 7)
+                    .with_vertex_count(g.vertex_count());
+                rand_arr_matching(&mut s, &RandArrConfig::default())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_random_order_unweighted(c: &mut Criterion) {
+    let mut group = c.benchmark_group("random_order_unweighted_e1");
+    group.sample_size(10);
+    for &k in &[500usize, 2000] {
+        let g = generators::disjoint_paths3(k);
+        group.bench_with_input(BenchmarkId::from_parameter(4 * k), &g, |b, g| {
+            b.iter(|| {
+                let mut s = VecStream::random_order(g.edges().to_vec(), 7)
+                    .with_vertex_count(g.vertex_count());
+                random_order_unweighted(&mut s, &RouConfig::default())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_unw3aug_feed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unw3aug_e3");
+    for &total in &[1000usize, 4000] {
+        let (_, m, wings) = generators::planted_3aug_paths(total / 2, total);
+        group.throughput(Throughput::Elements(wings.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(total),
+            &(m, wings),
+            |b, (m, wings)| {
+                b.iter(|| {
+                    let mut alg = Unw3AugPaths::new(m.clone(), 16);
+                    for e in wings {
+                        alg.feed(*e);
+                    }
+                    alg.finalize()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_local_ratio,
+    bench_rand_arr_matching,
+    bench_random_order_unweighted,
+    bench_unw3aug_feed
+);
+criterion_main!(benches);

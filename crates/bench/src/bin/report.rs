@@ -1,0 +1,54 @@
+//! The experiment report generator.
+//!
+//! ```text
+//! cargo run --release -p wmatch-bench --bin report            # all experiments
+//! cargo run --release -p wmatch-bench --bin report -- e1 e5   # selected
+//! cargo run --release -p wmatch-bench --bin report -- --quick # small sizes
+//! ```
+//!
+//! Each section regenerates one experiment from `EXPERIMENTS.md` (E1–E10) and
+//! prints it as markdown.
+
+use std::time::Instant;
+
+use wmatch_bench::experiments::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    let run_all = selected.is_empty();
+
+    type Runner = fn(bool) -> String;
+    let experiments: Vec<(&str, Runner)> = vec![
+        ("e1", e1_random_order_unweighted::run),
+        ("e2", e2_random_arrival_weighted::run),
+        ("e3", e3_three_aug_paths::run),
+        ("e4", e4_fact13::run),
+        ("e5", e5_one_minus_eps::run),
+        ("e6", e6_streaming_model::run),
+        ("e7", e7_mpc_model::run),
+        ("e8", e8_memory::run),
+        ("e9", e9_layered_structure::run),
+        ("e10", e10_ablations::run),
+    ];
+
+    println!("# wmatch experiment report\n");
+    println!(
+        "mode: {}; selected: {}\n",
+        if quick { "quick" } else { "full" },
+        if run_all { "all".to_string() } else { selected.join(", ") }
+    );
+    for (id, f) in experiments {
+        if run_all || selected.contains(&id) {
+            let t = Instant::now();
+            let section = f(quick);
+            println!("{section}");
+            println!("_({id} regenerated in {:.1}s)_\n", t.elapsed().as_secs_f64());
+        }
+    }
+}

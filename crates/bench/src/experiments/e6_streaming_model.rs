@@ -1,0 +1,62 @@
+//! E6 (Theorem 1.2.2): the multi-pass streaming driver — passes and memory
+//! versus instance size.
+//!
+//! Paper claim: (1−ε) weighted matching in O_ε(U_S) passes and
+//! O_ε(n·polylog n) memory. Shape to verify: the model pass count is flat
+//! in n (it depends only on the ε-configuration), and peak memory grows
+//! ~linearly in n while m grows faster.
+
+use crate::table::{ratio, Table};
+use wmatch_core::main_alg::{max_weight_matching_streaming, MainAlgConfig};
+use wmatch_graph::exact::max_weight_matching;
+use wmatch_graph::generators::{gnp, WeightModel};
+use wmatch_stream::{McmConfig, VecStream};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs E6 and renders its section.
+pub fn run(quick: bool) -> String {
+    let sizes: &[usize] = if quick { &[24, 48] } else { &[40, 80, 160] };
+    let mut out = String::from("## E6 — Theorem 1.2.2: multi-pass streaming driver\n\n");
+    let mut t = Table::new(&[
+        "n", "m", "ratio", "passes (model)", "passes (sequential)", "peak memory (edges)", "mem/n",
+    ]);
+    let mut rng = StdRng::seed_from_u64(6);
+    for &n in sizes {
+        let p = (10.0 / n as f64).min(0.5);
+        let g = gnp(n, p, WeightModel::Uniform { lo: 1, hi: 64 }, &mut rng);
+        let opt = max_weight_matching(&g).weight() as f64;
+        if opt == 0.0 {
+            continue;
+        }
+        let mut cfg = MainAlgConfig::practical(0.25, 3);
+        cfg.max_rounds = if quick { 6 } else { 10 };
+        let mut s = VecStream::adversarial(g.edges().to_vec()).with_vertex_count(n);
+        let res = max_weight_matching_streaming(&mut s, &cfg, &McmConfig::for_delta(0.2));
+        t.row(vec![
+            n.to_string(),
+            g.edge_count().to_string(),
+            ratio(res.matching.weight() as f64 / opt),
+            res.passes_model.to_string(),
+            res.passes_sequential.to_string(),
+            res.peak_memory_edges.to_string(),
+            format!("{:.2}", res.peak_memory_edges as f64 / n as f64),
+        ]);
+    }
+    out.push_str(&t.to_markdown());
+    out.push_str(
+        "\nShape: model passes are governed by the ε-configuration (flat in n); \
+         memory per vertex stays bounded while m grows.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quick_run_produces_tables() {
+        let md = super::run(true);
+        assert!(md.contains("passes (model)"));
+    }
+}

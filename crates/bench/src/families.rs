@@ -1,0 +1,107 @@
+//! The instance families used across experiments.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use wmatch_graph::generators::{self, WeightModel};
+use wmatch_graph::Graph;
+
+/// A named instance family, sized by a scale parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Disjoint unit-weight 3-edge paths (greedy ½-barrier).
+    BarrierPaths,
+    /// Disjoint weighted (w, w+1, w) paths (local-ratio barrier).
+    WeightedBarrier,
+    /// Erdős–Rényi with uniform weights in [1, 1000].
+    GnpUniform,
+    /// Erdős–Rényi with geometric weight classes (the paper's grouping).
+    GnpGeometric,
+    /// Random bipartite, uniform weights.
+    BipartiteUniform,
+    /// Disjoint alternating even cycles (only cycle augmentations help).
+    AlternatingCycles,
+}
+
+impl Family {
+    /// All families.
+    pub fn all() -> [Family; 6] {
+        [
+            Family::BarrierPaths,
+            Family::WeightedBarrier,
+            Family::GnpUniform,
+            Family::GnpGeometric,
+            Family::BipartiteUniform,
+            Family::AlternatingCycles,
+        ]
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::BarrierPaths => "barrier-paths",
+            Family::WeightedBarrier => "weighted-barrier",
+            Family::GnpUniform => "gnp-uniform",
+            Family::GnpGeometric => "gnp-geometric",
+            Family::BipartiteUniform => "bipartite-uniform",
+            Family::AlternatingCycles => "alternating-cycles",
+        }
+    }
+
+    /// Builds an instance with roughly `n` vertices.
+    pub fn build(&self, n: usize, seed: u64) -> Graph {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xfeed);
+        match self {
+            Family::BarrierPaths => generators::disjoint_paths3(n / 4),
+            Family::WeightedBarrier => generators::weighted_barrier_paths(n / 4, 500),
+            Family::GnpUniform => {
+                let p = (8.0 / n as f64).min(0.5);
+                generators::gnp(n, p, WeightModel::Uniform { lo: 1, hi: 1000 }, &mut rng)
+            }
+            Family::GnpGeometric => {
+                let p = (8.0 / n as f64).min(0.5);
+                generators::gnp(n, p, WeightModel::GeometricClasses { classes: 8, base: 3 }, &mut rng)
+            }
+            Family::BipartiteUniform => {
+                let p = (8.0 / n as f64).min(0.5);
+                generators::random_bipartite(
+                    n / 2,
+                    n / 2,
+                    p,
+                    WeightModel::Uniform { lo: 1, hi: 1000 },
+                    &mut rng,
+                )
+                .0
+            }
+            Family::AlternatingCycles => generators::alternating_cycles(n / 8, 4, 3, 4).0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_build_nonempty() {
+        for f in Family::all() {
+            let g = f.build(40, 1);
+            assert!(g.vertex_count() > 0, "{}", f.name());
+            assert!(g.edge_count() > 0, "{}", f.name());
+        }
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        for f in Family::all() {
+            assert_eq!(f.build(32, 7), f.build(32, 7));
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<_> =
+            Family::all().iter().map(|f| f.name()).collect();
+        assert_eq!(names.len(), 6);
+    }
+}

@@ -1,0 +1,24 @@
+//! Experiment harness for the wmatch workspace.
+//!
+//! Each module under [`experiments`] regenerates one experiment from
+//! `EXPERIMENTS.md` (E1–E10): it runs the relevant algorithms over the
+//! declared workloads and returns structured rows that the `report` binary
+//! renders as markdown tables. The criterion benches under `benches/`
+//! measure the throughput of the same code paths.
+
+pub mod families;
+pub mod table;
+
+pub mod experiments {
+    //! One module per experiment id (see DESIGN.md §2).
+    pub mod e1_random_order_unweighted;
+    pub mod e2_random_arrival_weighted;
+    pub mod e3_three_aug_paths;
+    pub mod e4_fact13;
+    pub mod e5_one_minus_eps;
+    pub mod e6_streaming_model;
+    pub mod e7_mpc_model;
+    pub mod e8_memory;
+    pub mod e9_layered_structure;
+    pub mod e10_ablations;
+}

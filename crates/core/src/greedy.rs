@@ -1,0 +1,140 @@
+//! Greedy matching baselines.
+//!
+//! * [`greedy_insertion`] — the classic streaming greedy: insert every edge
+//!   whose endpoints are free. For unweighted graphs this is the maximal
+//!   matching ½-approximation that Section 3.1 improves on.
+//! * [`greedy_by_weight`] — the offline weighted greedy (heaviest edge
+//!   first), a ½-approximation baseline for the weighted experiments.
+
+use wmatch_graph::{Edge, Graph, Matching};
+use wmatch_stream::EdgeStream;
+
+/// Builds a maximal matching by inserting each arriving edge whose
+/// endpoints are both free (one streaming pass).
+///
+/// # Example
+///
+/// ```
+/// use wmatch_core::greedy::greedy_insertion;
+/// use wmatch_graph::Edge;
+/// use wmatch_stream::VecStream;
+///
+/// let mut s = VecStream::adversarial(vec![
+///     Edge::new(1, 2, 1), // arrives first, blocks both optimal edges
+///     Edge::new(0, 1, 1),
+///     Edge::new(2, 3, 1),
+/// ]);
+/// let m = greedy_insertion(&mut s);
+/// assert_eq!(m.len(), 1);
+/// ```
+pub fn greedy_insertion(stream: &mut dyn EdgeStream) -> Matching {
+    let mut m = Matching::new(stream.vertex_count());
+    stream.stream_pass(&mut |e| {
+        let _ = m.insert(e);
+    });
+    m
+}
+
+/// Continues growing an existing matching greedily over a slice of edges.
+pub fn greedy_extend(m: &mut Matching, edges: impl IntoIterator<Item = Edge>) {
+    for e in edges {
+        let _ = m.insert(e);
+    }
+}
+
+/// Offline greedy by decreasing weight: the classic ½-approximation for
+/// maximum weight matching.
+///
+/// # Example
+///
+/// ```
+/// use wmatch_core::greedy::greedy_by_weight;
+/// use wmatch_graph::Graph;
+///
+/// let mut g = Graph::new(4);
+/// g.add_edge(0, 1, 5);
+/// g.add_edge(1, 2, 7); // taken first, blocks both weight-5 edges
+/// g.add_edge(2, 3, 5);
+/// assert_eq!(greedy_by_weight(&g).weight(), 7);
+/// ```
+pub fn greedy_by_weight(g: &Graph) -> Matching {
+    let mut edges = g.edges().to_vec();
+    edges.sort_by(|a, b| b.weight.cmp(&a.weight).then(a.key().cmp(&b.key())));
+    let mut m = Matching::new(g.vertex_count());
+    greedy_extend(&mut m, edges);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wmatch_graph::exact::{max_cardinality_matching, max_weight_matching};
+    use wmatch_graph::generators::{self, WeightModel};
+    use wmatch_stream::VecStream;
+
+    #[test]
+    fn greedy_is_maximal() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = generators::gnp(30, 0.2, WeightModel::Unit, &mut rng);
+        let mut s = VecStream::random_order(g.edges().to_vec(), 2).with_vertex_count(30);
+        let m = greedy_insertion(&mut s);
+        for e in g.edges() {
+            assert!(m.is_matched(e.u) || m.is_matched(e.v), "not maximal at {e}");
+        }
+    }
+
+    #[test]
+    fn greedy_half_approx_cardinality() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for seed in 0..20 {
+            let g = generators::gnp(20, 0.25, WeightModel::Unit, &mut rng);
+            let mut s = VecStream::random_order(g.edges().to_vec(), seed).with_vertex_count(20);
+            let m = greedy_insertion(&mut s);
+            let opt = max_cardinality_matching(&g);
+            assert!(2 * m.len() >= opt.len());
+        }
+    }
+
+    #[test]
+    fn weighted_greedy_half_approx() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let g = generators::gnp(16, 0.3, WeightModel::Uniform { lo: 1, hi: 50 }, &mut rng);
+            let m = greedy_by_weight(&g);
+            let opt = max_weight_matching(&g);
+            assert!(2 * m.weight() >= opt.weight());
+            m.validate(Some(&g)).unwrap();
+        }
+    }
+
+    #[test]
+    fn weighted_greedy_hits_the_barrier() {
+        // (w, w+1, w) paths: greedy takes the middle, ratio -> 1/2
+        let g = generators::weighted_barrier_paths(10, 100);
+        let m = greedy_by_weight(&g);
+        assert_eq!(m.weight(), 10 * 101);
+        let opt = max_weight_matching(&g);
+        assert_eq!(opt.weight(), 10 * 200);
+    }
+
+    #[test]
+    fn greedy_extend_respects_existing() {
+        let mut m = Matching::from_edges(4, [Edge::new(0, 1, 1)]).unwrap();
+        greedy_extend(&mut m, [Edge::new(1, 2, 1), Edge::new(2, 3, 1)]);
+        assert_eq!(m.len(), 2);
+        assert!(m.contains_pair(2, 3));
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        let mut g = Graph::new(4);
+        g.add_edge(2, 3, 5);
+        g.add_edge(0, 1, 5);
+        let m1 = greedy_by_weight(&g);
+        let m2 = greedy_by_weight(&g);
+        assert_eq!(m1, m2);
+        assert_eq!(m1.len(), 2);
+    }
+}

@@ -1,0 +1,51 @@
+//! # Weighted Matchings via Unweighted Augmentations
+//!
+//! A faithful implementation of the algorithms of Gamlath, Kale, Mitrović
+//! and Svensson, *"Weighted Matchings via Unweighted Augmentations"*
+//! (PODC 2019, [arXiv:1811.02760](https://arxiv.org/abs/1811.02760)).
+//!
+//! The paper's central idea is a generic reduction from finding **weighted**
+//! augmentations to finding **unweighted** augmenting paths, enabling:
+//!
+//! * [`random_order_unweighted`] — a 0.506-approximation for *unweighted*
+//!   matching in single-pass random-order streams (Theorem 3.4),
+//! * [`rand_arr_matching`] — a (½+c)-approximation for *weighted* matching
+//!   in single-pass random-order streams (Theorem 1.1, Algorithm 2), built
+//!   on [`wgt_aug_paths`] (Algorithm 1) and [`unw3aug`] (Lemma 3.1),
+//! * [`main_alg`] — the (1−ε)-approximation for weighted matching in
+//!   general graphs via the layered-graph reduction to bipartite unweighted
+//!   matching (Theorem 1.2/4.1, Algorithms 3–4), with offline, multi-pass
+//!   streaming, and MPC drivers.
+//!
+//! Substrates: [`local_ratio`] (Paz–Schwartzman), [`greedy`], the layered
+//! graph construction ([`layered`], [`tau`], [`weight_classes`]) and the
+//! Eulerian path decomposition of Lemma 4.11 ([`decompose`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use wmatch_core::main_alg::{max_weight_matching_offline, MainAlgConfig};
+//! use wmatch_graph::generators::{gnp, WeightModel};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let g = gnp(30, 0.2, WeightModel::Uniform { lo: 1, hi: 100 }, &mut rng);
+//! let m = max_weight_matching_offline(&g, &MainAlgConfig::practical(0.25, 7));
+//! m.validate(Some(&g)).unwrap();
+//! ```
+
+pub mod config;
+pub mod decompose;
+pub mod greedy;
+pub mod layered;
+pub mod local_ratio;
+pub mod main_alg;
+pub mod rand_arr_matching;
+pub mod random_order_unweighted;
+pub mod single_class;
+pub mod tau;
+pub mod unw3aug;
+pub mod weight_classes;
+pub mod wgt_aug_paths;
+
+pub use config::PaperConstants;

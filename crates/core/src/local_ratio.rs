@@ -1,0 +1,275 @@
+//! The local-ratio algorithm for weighted matching in streams
+//! (Paz–Schwartzman \[PS17\], as recapped in Section 3.2 of the paper).
+//!
+//! For each arriving edge `e = {u,v}` with residual
+//! `w'(e) = w(e) − α_u − α_v > 0`, push `e` onto a stack and add `w'(e)` to
+//! both vertex potentials. Unwinding the stack greedily (last pushed first)
+//! yields a ½-approximate maximum weight matching.
+//!
+//! Two paper-relevant variants are provided:
+//!
+//! * **truncation** (`with_truncation(ε)`): push only when
+//!   `w(e) > (1+ε)(α_u+α_v)` — the (½−ε')-approximation of \[PS17\]/\[GW19\]
+//!   whose stack provably stays small on adversarial streams; used as
+//!   `Approx-Wgt-Matching` inside Algorithm 1,
+//! * **frozen potentials** (`freeze()`): stop updating potentials — the
+//!   paper's adaptation for random-order streams (Section 1.1.1), which
+//!   lets Algorithm 2 classify the tail of the stream against the
+//!   potentials learned on the first `p` fraction.
+
+use wmatch_graph::{Edge, Matching, Vertex};
+
+/// Streaming local-ratio state: vertex potentials plus the edge stack.
+///
+/// # Example
+///
+/// ```
+/// use wmatch_core::local_ratio::LocalRatio;
+/// use wmatch_graph::Edge;
+///
+/// let mut lr = LocalRatio::new(4);
+/// lr.on_edge(Edge::new(0, 1, 5));
+/// lr.on_edge(Edge::new(1, 2, 7));
+/// lr.on_edge(Edge::new(2, 3, 5));
+/// let m = lr.unwind();
+/// assert!(m.weight() * 2 >= 10); // 1/2-approximate
+/// ```
+#[derive(Debug, Clone)]
+pub struct LocalRatio {
+    potentials: Vec<u64>,
+    stack: Vec<Edge>,
+    frozen: bool,
+    truncation: Option<f64>,
+}
+
+impl LocalRatio {
+    /// A fresh instance over `n` vertices (exact local-ratio, no
+    /// truncation).
+    pub fn new(n: usize) -> Self {
+        LocalRatio {
+            potentials: vec![0; n],
+            stack: Vec::new(),
+            frozen: false,
+            truncation: None,
+        }
+    }
+
+    /// Enables the \[PS17\] truncation: push only if
+    /// `w(e) > (1+eps)(α_u+α_v)`. The unwound matching is a
+    /// (½(1+eps)⁻¹ ≥ ½−eps)-approximation with provably small stack.
+    pub fn with_truncation(mut self, eps: f64) -> Self {
+        self.truncation = Some(eps.max(0.0));
+        self
+    }
+
+    /// Freezes the vertex potentials: subsequent [`LocalRatio::on_edge`]
+    /// calls become no-ops; use [`LocalRatio::above_potential`] to classify
+    /// tail edges.
+    pub fn freeze(&mut self) {
+        self.frozen = true;
+    }
+
+    /// Whether potentials are frozen.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// The residual `w(e) − α_u − α_v` under the current potentials.
+    pub fn residual(&self, e: &Edge) -> i128 {
+        e.weight as i128
+            - self.potentials[e.u as usize] as i128
+            - self.potentials[e.v as usize] as i128
+    }
+
+    /// Whether `w(e) > α_u + α_v` (the "above potential" test of
+    /// Algorithm 2, line 12).
+    pub fn above_potential(&self, e: &Edge) -> bool {
+        self.residual(e) > 0
+    }
+
+    /// Current potential of a vertex.
+    pub fn potential(&self, v: Vertex) -> u64 {
+        self.potentials[v as usize]
+    }
+
+    /// Processes one arriving edge (no-op when frozen).
+    pub fn on_edge(&mut self, e: Edge) {
+        if self.frozen {
+            return;
+        }
+        let base = self.potentials[e.u as usize] as i128 + self.potentials[e.v as usize] as i128;
+        let keep = match self.truncation {
+            None => (e.weight as i128) > base,
+            Some(eps) => (e.weight as f64) > (1.0 + eps) * base as f64,
+        };
+        if keep {
+            let gain = (e.weight as i128 - base) as u64;
+            self.potentials[e.u as usize] += gain;
+            self.potentials[e.v as usize] += gain;
+            self.stack.push(e);
+        }
+    }
+
+    /// Number of stacked edges (the memory the algorithm holds).
+    pub fn stack_len(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// The stacked edges in push order.
+    pub fn stack(&self) -> &[Edge] {
+        &self.stack
+    }
+
+    /// Pops the stack greedily (most recent first) into a matching.
+    /// Non-destructive: the stack is retained (Algorithm 2 unwinds the
+    /// stack twice — once at the phase switch, once at the end).
+    pub fn unwind(&self) -> Matching {
+        let mut m = Matching::new(self.potentials.len());
+        for e in self.stack.iter().rev() {
+            let _ = m.insert(*e);
+        }
+        m
+    }
+
+    /// Unwinds the stack on top of an existing matching `m`, inserting each
+    /// popped edge whose endpoints are free (Algorithm 2, lines 15–17).
+    pub fn unwind_onto(&self, m: &mut Matching) {
+        for e in self.stack.iter().rev() {
+            let _ = m.insert(*e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wmatch_graph::exact::max_weight_matching;
+    use wmatch_graph::generators::{self, WeightModel};
+    use wmatch_stream::{EdgeStream, VecStream};
+
+    fn run_lr(edges: Vec<Edge>, n: usize, trunc: Option<f64>) -> (Matching, usize) {
+        let mut lr = match trunc {
+            None => LocalRatio::new(n),
+            Some(t) => LocalRatio::new(n).with_truncation(t),
+        };
+        let mut s = VecStream::adversarial(edges).with_vertex_count(n);
+        s.stream_pass(&mut |e| lr.on_edge(e));
+        let stack = lr.stack_len();
+        (lr.unwind(), stack)
+    }
+
+    #[test]
+    fn half_approximation_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..30 {
+            let g = generators::gnp(14, 0.35, WeightModel::Uniform { lo: 1, hi: 40 }, &mut rng);
+            let (m, _) = run_lr(g.edges().to_vec(), 14, None);
+            let opt = max_weight_matching(&g);
+            assert!(
+                2 * m.weight() >= opt.weight(),
+                "local ratio below 1/2: {} vs {}",
+                m.weight(),
+                opt.weight()
+            );
+            m.validate(Some(&g)).unwrap();
+        }
+    }
+
+    #[test]
+    fn truncated_still_near_half() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let eps = 0.1;
+        for _ in 0..30 {
+            let g = generators::gnp(14, 0.35, WeightModel::Uniform { lo: 1, hi: 40 }, &mut rng);
+            let (m, _) = run_lr(g.edges().to_vec(), 14, Some(eps));
+            let opt = max_weight_matching(&g).weight() as f64;
+            assert!(
+                m.weight() as f64 >= (0.5 / (1.0 + eps)) * opt - 1e-9,
+                "truncated local ratio too weak: {} vs {opt}",
+                m.weight()
+            );
+        }
+    }
+
+    #[test]
+    fn barrier_instance_sticks_at_half_middle_first() {
+        // the (w, w+1, w) barrier bites local-ratio only when the middle
+        // edges arrive first: the outer edges then fall below potential
+        let g = generators::weighted_barrier_paths(5, 50);
+        let mut order: Vec<Edge> = Vec::new();
+        for i in 0..5 {
+            order.push(g.edge(3 * i + 1));
+        }
+        for i in 0..5 {
+            order.push(g.edge(3 * i));
+            order.push(g.edge(3 * i + 2));
+        }
+        let (m, _) = run_lr(order, g.vertex_count(), None);
+        assert_eq!(m.weight(), 5 * 51, "middle-first order traps local-ratio");
+        // in natural (outer, middle, outer) order the unwinding recovers
+        // the optimum — the barrier is order-dependent
+        let (m2, _) = run_lr(g.edges().to_vec(), g.vertex_count(), None);
+        assert_eq!(m2.weight(), 5 * 100);
+    }
+
+    #[test]
+    fn stack_grows_on_increasing_path_and_unwind_recovers() {
+        // increasing weights along a path stack every edge; unwinding from
+        // the top recovers the optimum on this instance
+        let weights: Vec<u64> = (1..=6).map(|i| 10u64.pow(i)).collect();
+        let g = generators::path_graph(&weights);
+        let (m, stack) = run_lr(g.edges().to_vec(), g.vertex_count(), None);
+        assert_eq!(stack, 6);
+        let opt = max_weight_matching(&g);
+        assert_eq!(m.weight(), opt.weight());
+    }
+
+    #[test]
+    fn frozen_potentials_stop_updates() {
+        let mut lr = LocalRatio::new(4);
+        lr.on_edge(Edge::new(0, 1, 10));
+        assert_eq!(lr.potential(0), 10);
+        lr.freeze();
+        lr.on_edge(Edge::new(1, 2, 100));
+        assert_eq!(lr.potential(1), 10, "frozen potentials must not move");
+        assert_eq!(lr.stack_len(), 1);
+        assert!(lr.above_potential(&Edge::new(1, 2, 100)));
+        assert!(!lr.above_potential(&Edge::new(1, 2, 5)));
+        assert_eq!(lr.residual(&Edge::new(1, 2, 5)), -5);
+    }
+
+    #[test]
+    fn unwind_is_nondestructive_and_onto_works() {
+        let mut lr = LocalRatio::new(6);
+        for e in [Edge::new(0, 1, 5), Edge::new(2, 3, 5)] {
+            lr.on_edge(e);
+        }
+        let m1 = lr.unwind();
+        let m2 = lr.unwind();
+        assert_eq!(m1, m2);
+        // unwind_onto respects existing matched vertices
+        let mut m = Matching::from_edges(6, [Edge::new(1, 2, 9)]).unwrap();
+        lr.unwind_onto(&mut m);
+        assert_eq!(m.len(), 1, "both stack edges conflict with {{1,2}}");
+    }
+
+    #[test]
+    fn zero_weight_edges_never_stack() {
+        let mut lr = LocalRatio::new(2);
+        lr.on_edge(Edge::new(0, 1, 0));
+        assert_eq!(lr.stack_len(), 0);
+    }
+
+    #[test]
+    fn truncation_shrinks_stack_on_geometric_path() {
+        // weights growing by 5% along a path: exact stacks everything,
+        // eps=0.2-truncated stacks only a fraction
+        let weights: Vec<u64> = (0..60).map(|i| (1.05f64.powi(i) * 1000.0) as u64).collect();
+        let g = generators::path_graph(&weights);
+        let (_, exact_stack) = run_lr(g.edges().to_vec(), g.vertex_count(), None);
+        let (_, trunc_stack) = run_lr(g.edges().to_vec(), g.vertex_count(), Some(0.2));
+        assert!(trunc_stack < exact_stack, "{trunc_stack} !< {exact_stack}");
+    }
+}

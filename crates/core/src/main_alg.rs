@@ -1,0 +1,667 @@
+//! `Main-Alg` (Algorithm 3) and the Theorem 1.2 outer loop, with offline,
+//! multi-pass streaming, and MPC drivers.
+//!
+//! One *round* of Algorithm 3:
+//!
+//! 1. draw a random bipartition (L, R),
+//! 2. for every augmentation-class weight `W` on the geometric grid, run
+//!    Algorithm 4 ([`crate::single_class`]) to collect vertex-disjoint
+//!    augmentations `A_W`,
+//! 3. sweep the classes in decreasing `W`, greedily applying every
+//!    augmentation that does not conflict with one already applied.
+//!
+//! Theorem 4.1 guarantees each round gains `Ω_ε(w(M*))` while
+//! `w(M) < (1−ε)·w(M*)`, so iterating rounds from `M = ∅` converges to a
+//! (1−ε)-approximation; the drivers iterate until a round budget or until
+//! `stall_rounds` consecutive rounds yield no gain.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use wmatch_graph::exact::hopcroft_karp::max_bipartite_cardinality_matching_from;
+use wmatch_graph::{Augmentation, Graph, Matching};
+use wmatch_mpc::{mpc_bipartite_mcm, MpcConfig, MpcMcmConfig, MpcSimulator};
+use wmatch_stream::{multipass_bipartite_mcm, EdgeStream, McmConfig};
+
+use crate::layered::{LayeredSpec, LayeredStream, Parametrization};
+use crate::single_class::{select_augmentations, single_class_augmentations, ClassOutcome};
+use crate::tau::{enumerate_good_pairs, TauConfig};
+use crate::weight_classes::weight_grid;
+
+/// Configuration of the (1−ε) machinery.
+///
+/// The paper's worst-case parameters are recorded in
+/// [`crate::PaperConstants`]; [`MainAlgConfig::practical`] produces
+/// tractable values (DESIGN.md §3, substitution 1) whose effect experiment
+/// E5 sweeps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MainAlgConfig {
+    /// Target slack ε (for reporting and default derivation).
+    pub eps: f64,
+    /// Granularity denominator `q` (paper: `1/ε¹²`).
+    pub q: u32,
+    /// Maximum layers |τᴬ| (paper: 32/ε²+1).
+    pub max_layers: usize,
+    /// Minimum τ entry in units (paper: 2).
+    pub min_entry: u32,
+    /// Weight-grid ratio (paper: 1+ε⁴).
+    pub grid_ratio: f64,
+    /// Enumeration cap on (τᴬ, τᴮ) pairs per class.
+    pub max_pairs: usize,
+    /// Random bipartitions per round.
+    pub trials: usize,
+    /// Maximum rounds of Algorithm 3.
+    pub max_rounds: usize,
+    /// Stop after this many consecutive gainless rounds.
+    pub stall_rounds: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Worker threads for the per-class sweep of Algorithm 3 line 3 ("for
+    /// each W in parallel"): 1 = sequential, 0 = one per available core.
+    /// The result is identical either way (classes are independent and the
+    /// cross-class sweep is ordered).
+    pub threads: usize,
+}
+
+impl MainAlgConfig {
+    /// Tractable defaults for a target ε: granularity 1/8, three layers
+    /// (augmentations up to the 3-augmentation scale plus boundary edges),
+    /// power-of-two weight grid, a handful of bipartition trials.
+    pub fn practical(eps: f64, seed: u64) -> Self {
+        MainAlgConfig {
+            eps,
+            q: 8,
+            max_layers: 3,
+            min_entry: 1,
+            grid_ratio: 2.0,
+            max_pairs: 20_000,
+            trials: 4,
+            max_rounds: 40,
+            stall_rounds: 3,
+            seed,
+            threads: 1,
+        }
+    }
+
+    /// A finer (slower) configuration: granularity 1/16 and more
+    /// bipartition samples per round.
+    pub fn thorough(eps: f64, seed: u64) -> Self {
+        MainAlgConfig {
+            q: 16,
+            max_pairs: 40_000,
+            trials: 6,
+            stall_rounds: 4,
+            ..Self::practical(eps, seed)
+        }
+    }
+
+    /// The τ-space configuration induced by these parameters.
+    pub fn tau_config(&self) -> TauConfig {
+        let slack = (self.eps.powi(4) * self.q as f64).ceil() as u32;
+        TauConfig {
+            q: self.q,
+            max_layers: self.max_layers,
+            min_entry: self.min_entry,
+            sum_b_cap: self.q + slack.max(1),
+            max_pairs: self.max_pairs,
+        }
+    }
+
+    /// The augmentation-class weight grid for a maximum edge weight.
+    pub fn grid(&self, max_w: u64) -> Vec<u64> {
+        // class weights can exceed the max edge weight: the blow-up paths
+        // of Section 1.1.2 weigh up to ~(layers)·2W
+        let cap = max_w.max(1).saturating_mul(2 * self.max_layers as u64 + 2);
+        weight_grid(cap, self.grid_ratio)
+    }
+}
+
+/// Statistics of one Algorithm 3 round.
+#[derive(Debug, Clone, Default)]
+pub struct RoundStats {
+    /// Total weight gained this round.
+    pub gain: i128,
+    /// Augmentations applied.
+    pub applied: usize,
+    /// (τᴬ, τᴮ) pairs examined across classes and trials.
+    pub pairs_tried: usize,
+}
+
+/// Runs one round of Algorithm 3 on `m` with the offline (Hopcroft–Karp)
+/// black box, mutating the matching in place.
+pub fn improve_matching_offline(
+    g: &Graph,
+    m: &mut Matching,
+    cfg: &MainAlgConfig,
+    rng: &mut StdRng,
+) -> RoundStats {
+    let mut stats = RoundStats::default();
+    if g.edge_count() == 0 {
+        return stats;
+    }
+    let grid = cfg.grid(g.max_weight());
+    let tau_cfg = cfg.tau_config();
+    for _ in 0..cfg.trials.max(1) {
+        let param = Parametrization::random(g.vertex_count(), rng);
+        // Algorithm 3, line 3: all classes in parallel against the same M
+        let mut outcomes = sweep_classes(g, m, &grid, &param, &tau_cfg, cfg.threads);
+        stats.pairs_tried += outcomes.iter().map(|(_, o)| o.pairs_tried).sum::<usize>();
+        outcomes.retain(|(_, o)| o.gain > 0);
+        // lines 5–8: greedy cross-class selection, decreasing W
+        outcomes.sort_by_key(|(w, _)| std::cmp::Reverse(*w));
+        let applied = apply_cross_class(m, outcomes.into_iter().flat_map(|(_, o)| o.augmentations));
+        stats.gain += applied.0;
+        stats.applied += applied.1;
+    }
+    stats
+}
+
+/// Runs Algorithm 4 for every class weight against the same matching,
+/// optionally fanning classes out over worker threads (the classes are
+/// independent read-only computations; results are returned in grid
+/// order, so parallel and sequential execution are indistinguishable).
+fn sweep_classes(
+    g: &Graph,
+    m: &Matching,
+    grid: &[u64],
+    param: &Parametrization,
+    tau_cfg: &TauConfig,
+    threads: usize,
+) -> Vec<(u64, ClassOutcome)> {
+    let solve_one = |w_class: u64| {
+        let mut solve = |lg: &Graph, side: &[bool], init: Matching| {
+            max_bipartite_cardinality_matching_from(lg, side, init)
+        };
+        (
+            w_class,
+            single_class_augmentations(g.edges(), m, w_class, param, tau_cfg, &mut solve),
+        )
+    };
+    let workers = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        threads
+    };
+    if workers <= 1 || grid.len() <= 1 {
+        return grid.iter().map(|&w| solve_one(w)).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: parking_lot::Mutex<Vec<(usize, (u64, ClassOutcome))>> =
+        parking_lot::Mutex::new(Vec::with_capacity(grid.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(grid.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= grid.len() {
+                    break;
+                }
+                let out = solve_one(grid[i]);
+                results.lock().push((i, out));
+            });
+        }
+    });
+    let mut collected = results.into_inner();
+    collected.sort_by_key(|(i, _)| *i);
+    collected.into_iter().map(|(_, o)| o).collect()
+}
+
+/// Applies a stream of candidate augmentations greedily (skipping
+/// conflicts), returning `(total gain, applied count)`.
+fn apply_cross_class(
+    m: &mut Matching,
+    augs: impl IntoIterator<Item = Augmentation>,
+) -> (i128, usize) {
+    let mut used: std::collections::HashSet<wmatch_graph::Vertex> =
+        std::collections::HashSet::new();
+    let mut gain = 0i128;
+    let mut count = 0usize;
+    for aug in augs {
+        let touched = aug.touched_vertices();
+        if touched.iter().any(|v| used.contains(v)) {
+            continue;
+        }
+        match aug.apply(m) {
+            Ok(g) => {
+                debug_assert!(g > 0);
+                gain += g;
+                count += 1;
+                used.extend(touched);
+            }
+            Err(_) => {
+                // stale augmentation (an earlier trial touched its edges):
+                // the conflict set keeps this rare; skip defensively
+                continue;
+            }
+        }
+    }
+    (gain, count)
+}
+
+/// Computes a (1−ε)-style approximate maximum weight matching offline by
+/// iterating Algorithm 3 from the empty matching (Theorem 1.2's loop).
+///
+/// # Example
+///
+/// ```
+/// use wmatch_core::main_alg::{max_weight_matching_offline, MainAlgConfig};
+/// use wmatch_graph::generators;
+///
+/// let (g, _) = generators::fig1_graph();
+/// let m = max_weight_matching_offline(&g, &MainAlgConfig::practical(0.25, 3));
+/// assert_eq!(m.weight(), 8); // the optimum of Figure 1
+/// ```
+pub fn max_weight_matching_offline(g: &Graph, cfg: &MainAlgConfig) -> Matching {
+    max_weight_matching_offline_traced(g, cfg).0
+}
+
+/// Like [`max_weight_matching_offline`], also returning the matching
+/// weight after every round (the convergence series of experiment E5).
+pub fn max_weight_matching_offline_traced(
+    g: &Graph,
+    cfg: &MainAlgConfig,
+) -> (Matching, Vec<i128>) {
+    max_weight_matching_offline_from(g, Matching::new(g.vertex_count()), cfg)
+}
+
+/// Warm-started variant: iterates Algorithm 3 from an arbitrary initial
+/// matching (Theorem 4.1 improves *any* matching below (1−ε); starting
+/// from e.g. [`crate::greedy::greedy_by_weight`] halves the rounds needed
+/// in practice).
+///
+/// # Panics
+///
+/// Panics if `init` is defined over a different vertex count than `g`.
+pub fn max_weight_matching_offline_from(
+    g: &Graph,
+    init: Matching,
+    cfg: &MainAlgConfig,
+) -> (Matching, Vec<i128>) {
+    assert_eq!(init.vertex_count(), g.vertex_count(), "vertex count mismatch");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut m = init;
+    let mut trace = Vec::new();
+    let mut stall = 0;
+    for _round in 0..cfg.max_rounds {
+        let stats = improve_matching_offline(g, &mut m, cfg, &mut rng);
+        trace.push(m.weight());
+        if stats.gain == 0 {
+            stall += 1;
+            if stall >= cfg.stall_rounds {
+                break;
+            }
+        } else {
+            stall = 0;
+        }
+    }
+    (m, trace)
+}
+
+/// Output of the streaming driver.
+#[derive(Debug, Clone)]
+pub struct StreamingResult {
+    /// The matching found.
+    pub matching: Matching,
+    /// Rounds of Algorithm 3 executed.
+    pub rounds: usize,
+    /// Passes if every (W, τ) box runs sequentially (what this process
+    /// actually did).
+    pub passes_sequential: usize,
+    /// Passes in the model's accounting, where the boxes of a round run in
+    /// parallel on shared passes (1 bucket pass + the slowest box per
+    /// round) — the measure Theorem 1.2.2 bounds by O_ε(U_S).
+    pub passes_model: usize,
+    /// Peak stored edges across boxes (plus the matching itself).
+    pub peak_memory_edges: usize,
+}
+
+/// The multi-pass streaming driver of Theorem 1.2.2.
+///
+/// Each round draws a bipartition, spends one pass computing the
+/// achievable τ-buckets for every class, and then runs the streaming
+/// `Unw-Bip-Matching` box on each (W, τᴬ, τᴮ) layered stream.
+pub fn max_weight_matching_streaming(
+    stream: &mut dyn EdgeStream,
+    cfg: &MainAlgConfig,
+    mcm: &McmConfig,
+) -> StreamingResult {
+    let n = stream.vertex_count();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut m = Matching::new(n);
+    let tau_cfg = cfg.tau_config();
+    let mut passes_sequential = 0usize;
+    let mut passes_model = 0usize;
+    let mut peak_memory = 0usize;
+    let mut rounds = 0usize;
+    let mut stall = 0usize;
+
+    // one initial pass discovers the maximum weight for the grid
+    let mut max_w = 0u64;
+    stream.stream_pass(&mut |e| max_w = max_w.max(e.weight));
+    passes_sequential += 1;
+    passes_model += 1;
+    let grid = cfg.grid(max_w);
+
+    for _round in 0..cfg.max_rounds {
+        rounds += 1;
+        let param = Parametrization::random(n, &mut rng);
+
+        // bucket pass: per class, which τ values are achievable
+        let mut buckets_b: Vec<std::collections::BTreeSet<u32>> =
+            vec![Default::default(); grid.len()];
+        {
+            let m_ref = &m;
+            let param_ref = &param;
+            let grid_ref = &grid;
+            let bb = &mut buckets_b;
+            stream.stream_pass(&mut |e| {
+                if m_ref.contains(&e) || !param_ref.crosses(&e) {
+                    return;
+                }
+                for (i, &w_class) in grid_ref.iter().enumerate() {
+                    let b = crate::tau::bucket_down(e.weight, w_class, tau_cfg.q);
+                    if b >= tau_cfg.min_entry && b <= tau_cfg.sum_b_cap {
+                        bb[i].insert(b);
+                    }
+                }
+            });
+        }
+        passes_sequential += 1;
+        passes_model += 1;
+
+        let mut outcomes: Vec<(u64, Vec<Augmentation>)> = Vec::new();
+        let mut max_box_passes = 0usize;
+        for (i, &w_class) in grid.iter().enumerate() {
+            let mut buckets_a = std::collections::BTreeSet::new();
+            for e in m.iter() {
+                if param.crosses(&e) {
+                    buckets_a.insert(crate::tau::bucket_up(e.weight, w_class, tau_cfg.q));
+                }
+            }
+            let pairs = enumerate_good_pairs(&tau_cfg, &buckets_a, &buckets_b[i]);
+            let mut best: Option<(i128, Vec<Augmentation>)> = None;
+            for tau in &pairs {
+                let spec = LayeredSpec::new(tau, w_class, tau_cfg.q, &param, &m);
+                let skeleton = spec.build(std::iter::empty());
+                let side: Vec<bool> = (0..spec.layered_vertex_count() as u32)
+                    .map(|lv| spec.layered_side(lv))
+                    .collect();
+                let mut ls = LayeredStream::new(spec.clone(), stream);
+                let res = multipass_bipartite_mcm(&mut ls, &side, mcm);
+                passes_sequential += res.passes;
+                max_box_passes = max_box_passes.max(res.passes);
+                peak_memory = peak_memory.max(res.peak_memory_edges);
+                let augs = select_augmentations(
+                    &skeleton.augmenting_walks(&res.matching),
+                    &m,
+                );
+                let gain: i128 = augs.iter().map(|a| a.gain()).sum();
+                if gain > 0 && best.as_ref().is_none_or(|(g, _)| gain > *g) {
+                    best = Some((gain, augs));
+                }
+            }
+            if let Some((_, augs)) = best {
+                outcomes.push((w_class, augs));
+            }
+        }
+        passes_model += max_box_passes;
+
+        outcomes.sort_by_key(|(w, _)| std::cmp::Reverse(*w));
+        let (gain, _) = apply_cross_class(&mut m, outcomes.into_iter().flat_map(|(_, a)| a));
+        if gain == 0 {
+            stall += 1;
+            if stall >= cfg.stall_rounds {
+                break;
+            }
+        } else {
+            stall = 0;
+        }
+    }
+
+    StreamingResult {
+        matching: m,
+        rounds,
+        passes_sequential,
+        passes_model,
+        peak_memory_edges: peak_memory + n,
+    }
+}
+
+/// Output of the MPC driver.
+#[derive(Debug, Clone)]
+pub struct MpcResult {
+    /// The matching found.
+    pub matching: Matching,
+    /// Rounds if the boxes of each Algorithm 3 round run in parallel on
+    /// disjoint machine groups (the model's accounting in Theorem 1.2.1).
+    pub rounds_model: usize,
+    /// Total simulated rounds across all boxes (sequential execution).
+    pub rounds_sequential: usize,
+    /// Peak per-machine memory across boxes, in words.
+    pub peak_machine_words: usize,
+}
+
+/// The MPC driver of Theorem 1.2.1.
+///
+/// The layered-graph mapping is edge-local, so machines derive their part
+/// of each layered graph without communication; each (W, τ) box then runs
+/// the MPC `Unw-Bip-Matching` black box on its own machine group
+/// (simulated here as a fresh simulator per box; the model accounting
+/// takes the per-round maximum).
+pub fn max_weight_matching_mpc(
+    g: &Graph,
+    cfg: &MainAlgConfig,
+    mpc_cfg: MpcConfig,
+    mcm: &MpcMcmConfig,
+) -> Result<MpcResult, wmatch_mpc::MpcError> {
+    let n = g.vertex_count();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut m = Matching::new(n);
+    let tau_cfg = cfg.tau_config();
+    let grid = cfg.grid(g.max_weight());
+    let mut rounds_model = 0usize;
+    let mut rounds_sequential = 0usize;
+    let mut peak_words = 0usize;
+    let mut stall = 0usize;
+
+    for _round in 0..cfg.max_rounds {
+        let param = Parametrization::random(n, &mut rng);
+        // broadcast of M + bipartition: 2 rounds in the model
+        rounds_model += 2;
+        rounds_sequential += 2;
+
+        let mut outcomes: Vec<(u64, Vec<Augmentation>)> = Vec::new();
+        let mut max_box_rounds = 0usize;
+        for &w_class in grid.iter() {
+            let (buckets_a, buckets_b) = crate::single_class::achievable_buckets(
+                g.edges(),
+                &m,
+                &param,
+                w_class,
+                &tau_cfg,
+            );
+            let pairs = enumerate_good_pairs(&tau_cfg, &buckets_a, &buckets_b);
+            let mut best: Option<(i128, Vec<Augmentation>)> = None;
+            for tau in &pairs {
+                let spec = LayeredSpec::new(tau, w_class, tau_cfg.q, &param, &m);
+                let lg = spec.build(g.edges().iter().copied());
+                if lg.graph.edge_count() == 0 {
+                    continue;
+                }
+                let mut sim = MpcSimulator::new(mpc_cfg);
+                let res = mpc_bipartite_mcm(
+                    &mut sim,
+                    lg.graph.edges().to_vec(),
+                    &lg.side,
+                    &MpcMcmConfig { seed: rng.gen(), ..*mcm },
+                )?;
+                rounds_sequential += res.rounds;
+                max_box_rounds = max_box_rounds.max(res.rounds);
+                peak_words = peak_words.max(res.peak_machine_words);
+                let augs = select_augmentations(&lg.augmenting_walks(&res.matching), &m);
+                let gain: i128 = augs.iter().map(|a| a.gain()).sum();
+                if gain > 0 && best.as_ref().is_none_or(|(gg, _)| gain > *gg) {
+                    best = Some((gain, augs));
+                }
+            }
+            if let Some((_, augs)) = best {
+                outcomes.push((w_class, augs));
+            }
+        }
+        rounds_model += max_box_rounds;
+
+        outcomes.sort_by_key(|(w, _)| std::cmp::Reverse(*w));
+        let (gain, _) = apply_cross_class(&mut m, outcomes.into_iter().flat_map(|(_, a)| a));
+        if gain == 0 {
+            stall += 1;
+            if stall >= cfg.stall_rounds {
+                break;
+            }
+        } else {
+            stall = 0;
+        }
+    }
+
+    Ok(MpcResult {
+        matching: m,
+        rounds_model,
+        rounds_sequential,
+        peak_machine_words: peak_words,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmatch_graph::exact::max_weight_matching;
+    use wmatch_graph::generators::{self, WeightModel};
+    use wmatch_stream::VecStream;
+
+    #[test]
+    fn fig1_reaches_optimum() {
+        let (g, _) = generators::fig1_graph();
+        let m = max_weight_matching_offline(&g, &MainAlgConfig::practical(0.25, 3));
+        assert_eq!(m.weight(), 8);
+    }
+
+    #[test]
+    fn four_cycle_needs_cycle_machinery() {
+        // the (4,5,4,5) cycle: optimum 10 is reachable only via an
+        // augmenting cycle, i.e. a blow-up path of k = 5 gaps; the
+        // granularity must resolve the gain ratio 2/18 (q = 32 at W = 32)
+        let (g, _) = generators::four_cycle_eps(4);
+        let mut cfg = MainAlgConfig::practical(0.1, 5);
+        cfg.q = 32;
+        cfg.max_layers = 7;
+        // the alternating bipartition survives with probability 1/8 per
+        // trial: sample generously so the blow-up path appears
+        cfg.trials = 16;
+        cfg.stall_rounds = 4;
+        let m = max_weight_matching_offline(&g, &cfg);
+        assert_eq!(m.weight(), 10);
+    }
+
+    #[test]
+    fn random_graphs_come_close_to_exact() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for trial in 0..5 {
+            let g = generators::gnp(24, 0.25, WeightModel::Uniform { lo: 1, hi: 64 }, &mut rng);
+            let opt = max_weight_matching(&g).weight();
+            let m =
+                max_weight_matching_offline(&g, &MainAlgConfig::practical(0.25, trial));
+            m.validate(Some(&g)).unwrap();
+            assert!(
+                m.weight() as f64 >= 0.75 * opt as f64,
+                "trial {trial}: {} vs opt {opt}",
+                m.weight()
+            );
+        }
+    }
+
+    #[test]
+    fn trace_is_monotone() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let g = generators::gnp(20, 0.3, WeightModel::Uniform { lo: 1, hi: 50 }, &mut rng);
+        let (_, trace) = max_weight_matching_offline_traced(&g, &MainAlgConfig::practical(0.25, 1));
+        for w in trace.windows(2) {
+            assert!(w[1] >= w[0], "weights must never decrease: {trace:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_driver_matches_offline_quality() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let g = generators::gnp(20, 0.3, WeightModel::Uniform { lo: 1, hi: 32 }, &mut rng);
+        let opt = max_weight_matching(&g).weight();
+        let mut cfg = MainAlgConfig::practical(0.25, 2);
+        cfg.max_rounds = 10;
+        let mut s = VecStream::adversarial(g.edges().to_vec()).with_vertex_count(20);
+        let res = max_weight_matching_streaming(&mut s, &cfg, &McmConfig::for_delta(0.2));
+        res.matching.validate(Some(&g)).unwrap();
+        assert!(
+            res.matching.weight() as f64 >= 0.7 * opt as f64,
+            "{} vs {opt}",
+            res.matching.weight()
+        );
+        assert!(res.passes_model <= res.passes_sequential);
+        assert!(res.rounds <= 10);
+    }
+
+    #[test]
+    fn mpc_driver_matches_offline_quality() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let g = generators::gnp(16, 0.3, WeightModel::Uniform { lo: 1, hi: 32 }, &mut rng);
+        let opt = max_weight_matching(&g).weight();
+        let mut cfg = MainAlgConfig::practical(0.25, 4);
+        cfg.max_rounds = 8;
+        cfg.trials = 1;
+        let res = max_weight_matching_mpc(
+            &g,
+            &cfg,
+            MpcConfig { machines: 3, memory_words: 5000 },
+            &MpcMcmConfig::for_delta(0.25, 9),
+        )
+        .unwrap();
+        res.matching.validate(Some(&g)).unwrap();
+        assert!(
+            res.matching.weight() as f64 >= 0.7 * opt as f64,
+            "{} vs {opt}",
+            res.matching.weight()
+        );
+        assert!(res.rounds_model <= res.rounds_sequential);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(5);
+        let m = max_weight_matching_offline(&g, &MainAlgConfig::practical(0.5, 0));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn parallel_sweep_equals_sequential() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let g = generators::gnp(22, 0.3, WeightModel::Uniform { lo: 1, hi: 64 }, &mut rng);
+        let mut seq_cfg = MainAlgConfig::practical(0.25, 9);
+        seq_cfg.threads = 1;
+        let mut par_cfg = seq_cfg;
+        par_cfg.threads = 0; // one per core
+        let (m_seq, trace_seq) = max_weight_matching_offline_traced(&g, &seq_cfg);
+        let (m_par, trace_par) = max_weight_matching_offline_traced(&g, &par_cfg);
+        assert_eq!(trace_seq, trace_par, "parallel sweep must be deterministic");
+        assert_eq!(m_seq.weight(), m_par.weight());
+        assert_eq!(m_seq.to_edges(), m_par.to_edges());
+    }
+
+    #[test]
+    fn config_derivations() {
+        let cfg = MainAlgConfig::practical(0.25, 0);
+        let t = cfg.tau_config();
+        assert_eq!(t.q, 8);
+        assert_eq!(t.sum_b_cap, 9);
+        let grid = cfg.grid(100);
+        assert!(grid.contains(&512), "grid must extend past max weight");
+        let th = MainAlgConfig::thorough(0.25, 0);
+        assert_eq!(th.q, 16);
+    }
+}

@@ -1,0 +1,310 @@
+//! `Rand-Arr-Matching` (Algorithm 2) — the (½+c)-approximation for
+//! **weighted** matching on single-pass random-order streams
+//! (Theorem 1.1).
+//!
+//! Phase one (first `p` fraction of the stream): run the local-ratio
+//! algorithm, producing the stack `S`, vertex potentials `α`, and the
+//! phase-one matching `M₀` (unwound from `S`). The potentials are then
+//! **frozen**.
+//!
+//! Phase two (rest of the stream): every edge with `w(e) > α_u + α_v` is
+//! stored in `T`; every edge is also fed to `Wgt-Aug-Paths` (Algorithm 1).
+//!
+//! Finalize: `M₁` = a maximum-weight matching of `T` under the reduced
+//! weights `w''(e) = w(e) − α_u − α_v`, completed by unwinding `S` over it
+//! (the delegation argument of Lemma 3.13 shows this wins whenever `M₀`
+//! was weak); `M₂` = the output of `Wgt-Aug-Paths` (wins when `M₀` is
+//! stuck near ½). Return the heavier.
+
+use wmatch_graph::{Edge, Graph, Matching};
+use wmatch_stream::EdgeStream;
+
+use crate::greedy::greedy_by_weight;
+use crate::local_ratio::LocalRatio;
+use crate::wgt_aug_paths::{WapConfig, WgtAugPaths};
+
+/// Which branch produced the result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RandArrBranch {
+    /// `M₁`: reduced-weight matching on `T` + stack unwinding.
+    StackAndT,
+    /// `M₂`: `Wgt-Aug-Paths` (excess matching or 3-augmentations).
+    WgtAugPaths,
+}
+
+/// Configuration for [`rand_arr_matching`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandArrConfig {
+    /// First-phase fraction `p`. The paper sets `p = 100/log n`, which is
+    /// ≥ 1 for every practical `n`; experiments therefore sweep practical
+    /// values (default 0.1). See DESIGN.md §3.
+    pub p: f64,
+    /// Algorithm 1's parameters.
+    pub wap: WapConfig,
+    /// Use the exact general-graph solver on `T` while `|T|` is at most
+    /// this; beyond it, fall back to ½-approximate greedy on the reduced
+    /// weights (documented substitution 3).
+    pub exact_t_threshold: usize,
+}
+
+impl Default for RandArrConfig {
+    fn default() -> Self {
+        RandArrConfig {
+            p: 0.1,
+            wap: WapConfig::default(),
+            exact_t_threshold: 50_000,
+        }
+    }
+}
+
+/// Output and diagnostics.
+#[derive(Debug, Clone)]
+pub struct RandArrResult {
+    /// The matching returned (the heavier branch).
+    pub matching: Matching,
+    /// Which branch won.
+    pub winner: RandArrBranch,
+    /// Local-ratio stack size `|S|` (Lemma 3.15 memory).
+    pub stack_size: usize,
+    /// Stored above-potential edges `|T|` (Lemma 3.15 memory).
+    pub t_size: usize,
+    /// Weight of the phase-one matching `M₀`.
+    pub m0_weight: i128,
+}
+
+/// Runs Algorithm 2 over a single pass of `stream`.
+///
+/// # Example
+///
+/// ```
+/// use wmatch_core::rand_arr_matching::{rand_arr_matching, RandArrConfig};
+/// use wmatch_graph::generators;
+/// use wmatch_stream::VecStream;
+///
+/// let g = generators::weighted_barrier_paths(20, 50);
+/// let mut s = VecStream::random_order(g.edges().to_vec(), 1)
+///     .with_vertex_count(g.vertex_count());
+/// let res = rand_arr_matching(&mut s, &RandArrConfig::default());
+/// assert!(res.matching.weight() * 2 >= 20 * 101); // never below 1/2
+/// ```
+pub fn rand_arr_matching(stream: &mut dyn EdgeStream, cfg: &RandArrConfig) -> RandArrResult {
+    let n = stream.vertex_count();
+    let m_total = stream.edge_count();
+    let cutoff = ((cfg.p * m_total as f64).ceil() as usize).max(1);
+
+    struct State {
+        idx: usize,
+        cutoff: usize,
+        lr: LocalRatio,
+        wap: Option<WgtAugPaths>,
+        t: Vec<Edge>,
+        m0_weight: i128,
+    }
+    let mut st = State {
+        idx: 0,
+        cutoff,
+        lr: LocalRatio::new(n),
+        wap: None,
+        t: Vec::new(),
+        m0_weight: 0,
+    };
+    let wap_cfg = cfg.wap;
+
+    stream.stream_pass(&mut |e| {
+        if st.idx < st.cutoff {
+            st.lr.on_edge(e);
+        } else {
+            if st.wap.is_none() {
+                // phase switch: unwind M0, freeze potentials
+                let m0 = st.lr.unwind();
+                st.m0_weight = m0.weight();
+                st.lr.freeze();
+                st.wap = Some(WgtAugPaths::new(m0, &wap_cfg));
+            }
+            if st.lr.above_potential(&e) {
+                st.t.push(e);
+            }
+            st.wap.as_mut().expect("initialized above").feed(e);
+        }
+        st.idx += 1;
+    });
+
+    let stack_size = st.lr.stack_len();
+    let t_size = st.t.len();
+
+    let Some(wap) = st.wap else {
+        // whole stream in phase one: plain local ratio
+        let matching = st.lr.unwind();
+        let m0_weight = matching.weight();
+        return RandArrResult {
+            matching,
+            winner: RandArrBranch::StackAndT,
+            stack_size,
+            t_size,
+            m0_weight,
+        };
+    };
+
+    // M1: matching on T under reduced weights, then unwind the stack.
+    let mut m1 = matching_on_t(&st.lr, &st.t, n, cfg.exact_t_threshold);
+    st.lr.unwind_onto(&mut m1);
+
+    // M2: Wgt-Aug-Paths output.
+    let m2 = wap.finalize().matching;
+
+    let (winner, matching) = if m1.weight() >= m2.weight() {
+        (RandArrBranch::StackAndT, m1)
+    } else {
+        (RandArrBranch::WgtAugPaths, m2)
+    };
+
+    RandArrResult {
+        matching,
+        winner,
+        stack_size,
+        t_size,
+        m0_weight: st.m0_weight,
+    }
+}
+
+/// Builds the `M₁` core: a matching of `T` maximizing the reduced weights
+/// `w''`, reported with original weights.
+fn matching_on_t(lr: &LocalRatio, t: &[Edge], n: usize, exact_threshold: usize) -> Matching {
+    // graph over reduced weights (all positive: T only stores
+    // above-potential edges)
+    let mut reduced = Graph::new(n);
+    for e in t {
+        let r = lr.residual(e);
+        debug_assert!(r > 0);
+        reduced.add_edge(e.u, e.v, r as u64);
+    }
+    let reduced_matching = if t.len() <= exact_threshold {
+        wmatch_graph::exact::max_weight_matching(&reduced)
+    } else {
+        greedy_by_weight(&reduced)
+    };
+    let mut m = Matching::new(n);
+    for re in reduced_matching.iter() {
+        let orig = re.weight + lr.potential(re.u) + lr.potential(re.v);
+        m.insert(Edge::new(re.u, re.v, orig))
+            .expect("a matching stays a matching under reweighting");
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wmatch_graph::exact::max_weight_matching;
+    use wmatch_graph::generators::{self, WeightModel};
+    use wmatch_stream::VecStream;
+
+    fn avg_ratio(g: &Graph, cfg: &RandArrConfig, seeds: std::ops::Range<u64>) -> f64 {
+        let opt = max_weight_matching(g).weight() as f64;
+        if opt == 0.0 {
+            return 1.0;
+        }
+        let count = (seeds.end - seeds.start) as f64;
+        let mut total = 0.0;
+        for seed in seeds {
+            let mut s = VecStream::random_order(g.edges().to_vec(), seed)
+                .with_vertex_count(g.vertex_count());
+            let mut c = *cfg;
+            c.wap.seed = seed.wrapping_add(77);
+            let res = rand_arr_matching(&mut s, &c);
+            res.matching.validate(None).unwrap();
+            total += res.matching.weight() as f64 / opt;
+        }
+        total / count
+    }
+
+    #[test]
+    fn beats_half_on_weighted_barrier() {
+        // (w, w+1, w) paths: local-ratio sticks at (w+1)/(2w) ≈ 0.505;
+        // the augmenting machinery must push clearly past it
+        let g = generators::weighted_barrier_paths(40, 100);
+        let avg = avg_ratio(&g, &RandArrConfig::default(), 0..8);
+        assert!(avg > 0.52, "expected clearly above 1/2, got {avg}");
+    }
+
+    #[test]
+    fn never_below_half_minus_slack_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for trial in 0..6 {
+            let g = generators::gnp(30, 0.2, WeightModel::Uniform { lo: 1, hi: 100 }, &mut rng);
+            let avg = avg_ratio(&g, &RandArrConfig::default(), trial..trial + 4);
+            assert!(avg >= 0.5, "trial {trial}: ratio {avg}");
+        }
+    }
+
+    #[test]
+    fn t_branch_wins_when_phase_one_sees_junk() {
+        // phase one: only light edges; heavy disjoint edges arrive later:
+        // the T-set catches them and M1 dominates
+        let mut edges = vec![Edge::new(0, 1, 1)];
+        for i in 1..20u32 {
+            edges.push(Edge::new(2 * i, 2 * i + 1, 1000));
+        }
+        let mut s = VecStream::adversarial(edges).with_vertex_count(40);
+        let res = rand_arr_matching(&mut s, &RandArrConfig { p: 1e-9, ..Default::default() });
+        assert_eq!(res.winner, RandArrBranch::StackAndT);
+        assert!(res.matching.weight() >= 19 * 1000);
+    }
+
+    #[test]
+    fn four_cycle_with_random_arrivals() {
+        // the (3,4,3,4) cycle: optimum 8; any single matching edge is 4;
+        // check validity and the 1/2 bound
+        let (g, _) = generators::four_cycle_3434();
+        let avg = avg_ratio(&g, &RandArrConfig { p: 0.25, ..Default::default() }, 0..16);
+        assert!(avg >= 0.5, "got {avg}");
+    }
+
+    #[test]
+    fn memory_is_subquadratic_on_random_order() {
+        // dense graph, random arrivals: stack and T stay near-linear
+        // (Lemmas 3.3/3.15); adversarial order can blow T up
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = generators::complete(60, WeightModel::Polynomial { exponent: 2 }, &mut rng);
+        let m_edges = g.edge_count(); // 1770
+        let mut s = VecStream::random_order(g.edges().to_vec(), 3).with_vertex_count(60);
+        let res = rand_arr_matching(&mut s, &RandArrConfig::default());
+        assert!(
+            res.stack_size + res.t_size < m_edges / 2,
+            "stored {} + {} of {m_edges} edges",
+            res.stack_size,
+            res.t_size
+        );
+    }
+
+    #[test]
+    fn whole_stream_in_phase_one_degrades_to_local_ratio() {
+        // p = 1: the algorithm is exactly local-ratio, which solves the
+        // barrier instance in natural order (see local_ratio tests)
+        let g = generators::weighted_barrier_paths(5, 10);
+        let mut s = VecStream::adversarial(g.edges().to_vec()).with_vertex_count(20);
+        let res = rand_arr_matching(&mut s, &RandArrConfig { p: 1.0, ..Default::default() });
+        assert_eq!(res.matching.weight(), 5 * 20);
+        assert_eq!(res.t_size, 0);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let mut s = VecStream::adversarial(vec![]);
+        let res = rand_arr_matching(&mut s, &RandArrConfig::default());
+        assert!(res.matching.is_empty());
+    }
+
+    #[test]
+    fn greedy_fallback_on_huge_t() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = generators::gnp(30, 0.3, WeightModel::Uniform { lo: 1, hi: 50 }, &mut rng);
+        let mut s = VecStream::random_order(g.edges().to_vec(), 9).with_vertex_count(30);
+        let cfg = RandArrConfig { exact_t_threshold: 0, ..Default::default() };
+        let res = rand_arr_matching(&mut s, &cfg);
+        res.matching.validate(None).unwrap();
+        assert!(res.matching.weight() > 0);
+    }
+}

@@ -1,0 +1,290 @@
+//! Algorithm 4 — recovering the augmentations of a single augmentation
+//! class `W` (Theorem 4.8).
+//!
+//! For each good (τᴬ, τᴮ) pair (restricted to thresholds achievable in the
+//! instance), build the layered graph `L′`, hand it to the
+//! `Unw-Bip-Matching` black box, read off the augmenting paths of the
+//! returned matching against `M` restricted to `L′`, translate them back
+//! to `G` (Lemma 4.11 decomposition, keeping each path's best-gain
+//! component, line 11), and greedily retain a vertex-disjoint set
+//! (line 12). The pair with the largest total gain wins (line 13).
+
+use std::collections::BTreeSet;
+
+use wmatch_graph::{Augmentation, Edge, Graph, Matching};
+
+use crate::decompose::decompose_walk;
+use crate::layered::{LayeredSpec, Parametrization};
+use crate::tau::{bucket_down, bucket_up, enumerate_good_pairs, TauConfig, TauPair};
+
+/// The `Unw-Bip-Matching` black box: given a bipartite graph, its side
+/// labels, and an initial matching, return a (hopefully near-maximum)
+/// matching. Offline instantiation: Hopcroft–Karp (δ = 0).
+pub type BipartiteBox<'x> = dyn FnMut(&Graph, &[bool], Matching) -> Matching + 'x;
+
+/// Result of one Algorithm 4 invocation.
+#[derive(Debug, Clone)]
+pub struct ClassOutcome {
+    /// The vertex-disjoint augmentations of the winning pair.
+    pub augmentations: Vec<Augmentation>,
+    /// Total gain of the winning pair's augmentations.
+    pub gain: i128,
+    /// Number of (τᴬ, τᴮ) pairs examined.
+    pub pairs_tried: usize,
+    /// The winning pair, if any augmentation was found.
+    pub best_pair: Option<TauPair>,
+}
+
+/// Bucket sets achievable in this instance for class `W`: up-buckets of
+/// matched crossing edges and down-buckets of unmatched crossing edges.
+pub fn achievable_buckets(
+    edges: &[Edge],
+    m: &Matching,
+    param: &Parametrization,
+    w_class: u64,
+    cfg: &TauConfig,
+) -> (BTreeSet<u32>, BTreeSet<u32>) {
+    let mut buckets_a = BTreeSet::new();
+    for e in m.iter() {
+        if param.crosses(&e) {
+            let b = bucket_up(e.weight, w_class, cfg.q);
+            if b as u64 <= cfg.sum_b_cap as u64 {
+                buckets_a.insert(b);
+            }
+        }
+    }
+    let mut buckets_b = BTreeSet::new();
+    for e in edges {
+        if !m.contains(e) && param.crosses(e) {
+            let b = bucket_down(e.weight, w_class, cfg.q);
+            if b >= cfg.min_entry && b <= cfg.sum_b_cap {
+                buckets_b.insert(b);
+            }
+        }
+    }
+    (buckets_a, buckets_b)
+}
+
+/// Runs Algorithm 4 for the augmentation class of `w_class`.
+///
+/// `solve` is the unweighted bipartite matching black box; pass Hopcroft–
+/// Karp for the offline δ = 0 instantiation.
+pub fn single_class_augmentations(
+    edges: &[Edge],
+    m: &Matching,
+    w_class: u64,
+    param: &Parametrization,
+    cfg: &TauConfig,
+    solve: &mut BipartiteBox<'_>,
+) -> ClassOutcome {
+    let (buckets_a, buckets_b) = achievable_buckets(edges, m, param, w_class, cfg);
+    let pairs = enumerate_good_pairs(cfg, &buckets_a, &buckets_b);
+    let pairs_tried = pairs.len();
+
+    let mut best: Option<(i128, TauPair, Vec<Augmentation>)> = None;
+    for tau in pairs {
+        let spec = LayeredSpec::new(&tau, w_class, cfg.q, param, m);
+        let lg = spec.build(edges.iter().copied());
+        if lg.graph.edge_count() == 0 {
+            continue;
+        }
+        let m_prime = solve(&lg.graph, &lg.side, lg.ml_prime.clone());
+        let augs = select_augmentations(&lg.augmenting_walks(&m_prime), m);
+        let gain: i128 = augs.iter().map(|a| a.gain()).sum();
+        if gain > 0 && best.as_ref().is_none_or(|(g, _, _)| gain > *g) {
+            best = Some((gain, tau.clone(), augs));
+        }
+    }
+
+    match best {
+        Some((gain, pair, augmentations)) => ClassOutcome {
+            augmentations,
+            gain,
+            pairs_tried,
+            best_pair: Some(pair),
+        },
+        None => ClassOutcome {
+            augmentations: Vec::new(),
+            gain: 0,
+            pairs_tried,
+            best_pair: None,
+        },
+    }
+}
+
+/// Lines 9–12 of Algorithm 4: decompose each translated walk, keep its
+/// best-gain component, and retain a vertex-disjoint subset greedily.
+pub fn select_augmentations(
+    walks: &[(Vec<wmatch_graph::Vertex>, Vec<Edge>)],
+    m: &Matching,
+) -> Vec<Augmentation> {
+    let mut chosen: Vec<Augmentation> = Vec::new();
+    let mut used: std::collections::HashSet<wmatch_graph::Vertex> = std::collections::HashSet::new();
+    for (vs, es) in walks {
+        let mut best: Option<Augmentation> = None;
+        for comp in decompose_walk(vs, es) {
+            if let Ok(aug) = Augmentation::from_component(m, &comp) {
+                if aug.gain() > 0
+                    && best.as_ref().is_none_or(|b| aug.gain() > b.gain())
+                {
+                    best = Some(aug);
+                }
+            }
+        }
+        if let Some(aug) = best {
+            let touched = aug.touched_vertices();
+            if touched.iter().all(|v| !used.contains(v)) {
+                used.extend(touched);
+                chosen.push(aug);
+            }
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmatch_graph::exact::hopcroft_karp::max_bipartite_cardinality_matching_from;
+    use wmatch_graph::generators;
+
+    fn hk_box(g: &Graph, side: &[bool], init: Matching) -> Matching {
+        max_bipartite_cardinality_matching_from(g, side, init)
+    }
+
+    fn cfg(q: u32, layers: usize) -> TauConfig {
+        TauConfig { q, max_layers: layers, min_entry: 1, sum_b_cap: q + 1, max_pairs: 50_000 }
+    }
+
+    #[test]
+    fn buckets_reflect_instance() {
+        let g = generators::path_graph(&[9, 10, 9]);
+        let m = Matching::from_edges(4, [g.edge(1)]).unwrap();
+        let param = Parametrization::from_sides(vec![false, true, false, true]);
+        let c = cfg(8, 3);
+        let (ba, bb) = achievable_buckets(g.edges(), &m, &param, 16, &c);
+        assert_eq!(ba, [5u32].into_iter().collect());
+        assert_eq!(bb, [4u32].into_iter().collect());
+    }
+
+    #[test]
+    fn finds_three_augmentation() {
+        let g = generators::path_graph(&[9, 10, 9]);
+        let m = Matching::from_edges(4, [g.edge(1)]).unwrap();
+        let param = Parametrization::from_sides(vec![false, true, false, true]);
+        let out = single_class_augmentations(
+            g.edges(),
+            &m,
+            16,
+            &param,
+            &cfg(8, 3),
+            &mut hk_box,
+        );
+        assert_eq!(out.gain, 8);
+        assert_eq!(out.augmentations.len(), 1);
+        assert!(out.best_pair.is_some());
+        // applying realizes the gain
+        let mut m2 = m.clone();
+        for aug in &out.augmentations {
+            aug.apply(&mut m2).unwrap();
+        }
+        assert_eq!(m2.weight(), 18);
+    }
+
+    #[test]
+    fn single_edge_augmentation_via_k1() {
+        // one heavy unmatched edge between free vertices: class pair
+        // τᴬ=(0,0), τᴮ=(t) recovers it
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1, 12);
+        let m = Matching::new(2);
+        let param = Parametrization::from_sides(vec![true, false]);
+        let out = single_class_augmentations(
+            g.edges(),
+            &m,
+            16,
+            &param,
+            &cfg(8, 2),
+            &mut hk_box,
+        );
+        assert_eq!(out.gain, 12);
+    }
+
+    #[test]
+    fn no_augmentations_when_optimal() {
+        let g = generators::path_graph(&[9, 30, 9]);
+        let m = Matching::from_edges(4, [g.edge(1)]).unwrap(); // optimal
+        let param = Parametrization::from_sides(vec![false, true, false, true]);
+        for w in [8u64, 16, 32, 64] {
+            let out = single_class_augmentations(
+                g.edges(),
+                &m,
+                w,
+                &param,
+                &cfg(8, 3),
+                &mut hk_box,
+            );
+            assert_eq!(out.gain, 0, "W={w}");
+        }
+    }
+
+    #[test]
+    fn cycle_class_found_by_enumeration() {
+        // the (4,5,4,5) cycle: enumeration must discover the blow-up pair
+        // and recover the +2 cycle augmentation
+        let (g, m) = generators::four_cycle_eps(4);
+        let param = Parametrization::from_sides(vec![true, false, true, false]);
+        let c = TauConfig { q: 32, max_layers: 7, min_entry: 1, sum_b_cap: 33, max_pairs: 100_000 };
+        let out = single_class_augmentations(g.edges(), &m, 32, &param, &c, &mut hk_box);
+        assert_eq!(out.gain, 2, "augmenting cycle must be recovered");
+        let mut m2 = m.clone();
+        for aug in &out.augmentations {
+            aug.apply(&mut m2).unwrap();
+        }
+        assert_eq!(m2.weight(), 10);
+    }
+
+    #[test]
+    fn disjointness_of_returned_augmentations() {
+        // many parallel 3-aug paths: all should be returned, all disjoint
+        let k = 6;
+        let mut g = Graph::new(4 * k);
+        let mut medges = Vec::new();
+        for i in 0..k as u32 {
+            let b = 4 * i;
+            g.add_edge(b, b + 1, 9);
+            g.add_edge(b + 1, b + 2, 10);
+            g.add_edge(b + 2, b + 3, 9);
+            medges.push(g.edge((3 * i + 1) as usize));
+        }
+        let m = Matching::from_edges(4 * k, medges).unwrap();
+        let sides: Vec<bool> = (0..4 * k).map(|v| v % 2 == 1).collect();
+        let param = Parametrization::from_sides(sides);
+        let out = single_class_augmentations(
+            g.edges(),
+            &m,
+            16,
+            &param,
+            &cfg(8, 3),
+            &mut hk_box,
+        );
+        assert_eq!(out.augmentations.len(), k);
+        assert_eq!(out.gain, 8 * k as i128);
+        let mut m2 = m.clone();
+        for aug in &out.augmentations {
+            aug.apply(&mut m2).unwrap();
+        }
+        assert_eq!(m2.len(), 2 * k);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let g = Graph::new(4);
+        let m = Matching::new(4);
+        let param = Parametrization::from_sides(vec![true, false, true, false]);
+        let out =
+            single_class_augmentations(g.edges(), &m, 8, &param, &cfg(8, 3), &mut hk_box);
+        assert_eq!(out.pairs_tried, 0);
+        assert_eq!(out.gain, 0);
+    }
+}

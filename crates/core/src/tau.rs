@@ -1,0 +1,322 @@
+//! Good (τᴬ, τᴮ) pairs — the filtering thresholds of Section 4.3.3
+//! (Table 1).
+//!
+//! Thresholds are represented in integer *units* of the granularity
+//! `g = 1/q` (the paper's `g = ε¹²`): an entry `t` stands for the
+//! threshold `τ = t·g`, so a matched edge passes layer `i`'s filter when
+//! `w ∈ ((τᴬᵢ−g)·W, τᴬᵢ·W]` — i.e. when its **up-bucket**
+//! `⌈w·q/W⌉` equals `τᴬᵢ`'s unit value — and an unmatched edge passes
+//! between layers `i, i+1` when its **down-bucket** `⌊w·q/W⌋` equals
+//! `τᴮᵢ`'s.
+//!
+//! All arithmetic is exact (u128 products), so the filters are precisely
+//! the paper's half-open intervals.
+
+use std::collections::BTreeSet;
+
+/// Up-bucket: the unit value `⌈w·q/W⌉` (matched-edge filter).
+pub fn bucket_up(w: u64, w_class: u64, q: u32) -> u32 {
+    let num = w as u128 * q as u128;
+    (num.div_ceil(w_class.max(1) as u128)) as u32
+}
+
+/// Down-bucket: the unit value `⌊w·q/W⌋` (unmatched-edge filter).
+pub fn bucket_down(w: u64, w_class: u64, q: u32) -> u32 {
+    let num = w as u128 * q as u128;
+    (num / w_class.max(1) as u128) as u32
+}
+
+/// A candidate (τᴬ, τᴮ) pair in granularity units.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TauPair {
+    /// τᴬ: one entry per layer (|τᴬ| = k+1).
+    pub a: Vec<u32>,
+    /// τᴮ: one entry per layer gap (|τᴮ| = k).
+    pub b: Vec<u32>,
+}
+
+impl TauPair {
+    /// Number of layer gaps `k`.
+    pub fn k(&self) -> usize {
+        self.b.len()
+    }
+
+    /// Number of layers `k + 1`.
+    pub fn layers(&self) -> usize {
+        self.a.len()
+    }
+
+    /// Checks the goodness conditions of Table 1 against `cfg`.
+    pub fn is_good(&self, cfg: &TauConfig) -> bool {
+        // (A) length cap and (B) |τᴮ| = |τᴬ| − 1
+        if self.a.len() > cfg.max_layers || self.a.len() != self.b.len() + 1 {
+            return false;
+        }
+        if self.a.len() < 2 {
+            return false;
+        }
+        // (C) entries are unit-represented by construction; (D) interior
+        // τᴬ and all τᴮ entries at least `min_entry`
+        if self.b.iter().any(|&t| t < cfg.min_entry) {
+            return false;
+        }
+        let interior = &self.a[1..self.a.len() - 1];
+        if interior.iter().any(|&t| t < cfg.min_entry) {
+            return false;
+        }
+        // (E) Σ τᴮ ≤ 1 + ε⁴ (in units: sum_b_cap)
+        let sum_b: u64 = self.b.iter().map(|&t| t as u64).sum();
+        if sum_b > cfg.sum_b_cap as u64 {
+            return false;
+        }
+        // (F) Σ τᴮ − Σ τᴬ ≥ ε¹² (one unit)
+        let sum_a: u64 = self.a.iter().map(|&t| t as u64).sum();
+        sum_b > sum_a
+    }
+}
+
+/// Configuration of the τ-pair space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TauConfig {
+    /// Granularity denominator `q` (the paper's `1/ε¹²`).
+    pub q: u32,
+    /// Maximum layers |τᴬ| (the paper's 32/ε²+1).
+    pub max_layers: usize,
+    /// Minimum unit value for τᴮ entries and interior τᴬ entries
+    /// (Table 1 property D uses 2; coarse practical grids use 1).
+    pub min_entry: u32,
+    /// Cap on Σ τᴮ in units (the paper's (1+ε⁴)·q).
+    pub sum_b_cap: u32,
+    /// Hard cap on the number of enumerated pairs (enumeration guard).
+    pub max_pairs: usize,
+}
+
+impl TauConfig {
+    /// A practical configuration: granularity `1/q`, up to `max_layers`
+    /// layers, Σ τᴮ ≤ (1+ε⁴)q rounded up with one unit of slack.
+    pub fn practical(q: u32, max_layers: usize) -> Self {
+        TauConfig {
+            q,
+            max_layers,
+            min_entry: 1,
+            sum_b_cap: q + 1,
+            max_pairs: 200_000,
+        }
+    }
+}
+
+/// Enumerates good (τᴬ, τᴮ) pairs restricted to threshold values that are
+/// actually *achievable* in the instance: `buckets_a` are the up-buckets of
+/// matched crossing edges (plus 0 is always considered for the first/last
+/// layer), `buckets_b` the down-buckets of unmatched crossing edges.
+///
+/// The restriction is sound: a layer whose τᴬ value matches no matched
+/// edge produces an empty layer, and a gap whose τᴮ matches no unmatched
+/// edge produces no layer-crossing edges, so such pairs can never yield an
+/// augmenting path. Enumeration is depth-first with sum-cap pruning and
+/// stops at `cfg.max_pairs`.
+pub fn enumerate_good_pairs(
+    cfg: &TauConfig,
+    buckets_a: &BTreeSet<u32>,
+    buckets_b: &BTreeSet<u32>,
+) -> Vec<TauPair> {
+    let b_vals: Vec<u32> = buckets_b
+        .iter()
+        .copied()
+        .filter(|&t| t >= cfg.min_entry && t <= cfg.sum_b_cap)
+        .collect();
+    let a_interior: Vec<u32> = buckets_a
+        .iter()
+        .copied()
+        .filter(|&t| t >= cfg.min_entry)
+        .collect();
+    let mut a_ends: Vec<u32> = buckets_a.iter().copied().collect();
+    if !a_ends.contains(&0) {
+        a_ends.insert(0, 0);
+    }
+
+    let mut out = Vec::new();
+    if b_vals.is_empty() {
+        return out;
+    }
+    let max_k = cfg.max_layers.saturating_sub(1);
+    for k in 1..=max_k {
+        let mut b_seq = Vec::with_capacity(k);
+        enumerate_b(cfg, &b_vals, k, 0, &mut b_seq, &a_interior, &a_ends, &mut out);
+        if out.len() >= cfg.max_pairs {
+            break;
+        }
+    }
+    out.truncate(cfg.max_pairs);
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate_b(
+    cfg: &TauConfig,
+    b_vals: &[u32],
+    k: usize,
+    sum_b: u64,
+    b_seq: &mut Vec<u32>,
+    a_interior: &[u32],
+    a_ends: &[u32],
+    out: &mut Vec<TauPair>,
+) {
+    if out.len() >= cfg.max_pairs {
+        return;
+    }
+    if b_seq.len() == k {
+        // τᴬ budget: Σ τᴬ ≤ Σ τᴮ − 1
+        if sum_b == 0 {
+            return;
+        }
+        let budget = sum_b - 1;
+        let mut a_seq = Vec::with_capacity(k + 1);
+        enumerate_a(cfg, a_interior, a_ends, k + 1, budget, &mut a_seq, b_seq, out);
+        return;
+    }
+    for &t in b_vals {
+        let ns = sum_b + t as u64;
+        if ns > cfg.sum_b_cap as u64 {
+            continue;
+        }
+        b_seq.push(t);
+        enumerate_b(cfg, b_vals, k, ns, b_seq, a_interior, a_ends, out);
+        b_seq.pop();
+        if out.len() >= cfg.max_pairs {
+            return;
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate_a(
+    cfg: &TauConfig,
+    a_interior: &[u32],
+    a_ends: &[u32],
+    len: usize,
+    budget: u64,
+    a_seq: &mut Vec<u32>,
+    b_seq: &[u32],
+    out: &mut Vec<TauPair>,
+) {
+    if out.len() >= cfg.max_pairs {
+        return;
+    }
+    if a_seq.len() == len {
+        let pair = TauPair { a: a_seq.clone(), b: b_seq.to_vec() };
+        debug_assert!(pair.is_good(cfg), "enumeration produced a bad pair {pair:?}");
+        out.push(pair);
+        return;
+    }
+    let is_end = a_seq.is_empty() || a_seq.len() == len - 1;
+    let domain = if is_end { a_ends } else { a_interior };
+    for &t in domain {
+        if t as u64 > budget {
+            continue;
+        }
+        a_seq.push(t);
+        enumerate_a(cfg, a_interior, a_ends, len, budget - t as u64, a_seq, b_seq, out);
+        a_seq.pop();
+        if out.len() >= cfg.max_pairs {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_exact_interval_tests() {
+        // W = 8, q = 4: granularity gW = 2
+        // up-bucket t means w in ((t-1)*2, t*2]
+        assert_eq!(bucket_up(1, 8, 4), 1);
+        assert_eq!(bucket_up(2, 8, 4), 1);
+        assert_eq!(bucket_up(3, 8, 4), 2);
+        assert_eq!(bucket_up(4, 8, 4), 2);
+        assert_eq!(bucket_up(5, 8, 4), 3);
+        // down-bucket t means w in [t*2, (t+1)*2)
+        assert_eq!(bucket_down(1, 8, 4), 0);
+        assert_eq!(bucket_down(2, 8, 4), 1);
+        assert_eq!(bucket_down(3, 8, 4), 1);
+        assert_eq!(bucket_down(4, 8, 4), 2);
+        assert_eq!(bucket_down(0, 8, 4), 0);
+    }
+
+    #[test]
+    fn goodness_conditions() {
+        let cfg = TauConfig { q: 4, max_layers: 4, min_entry: 1, sum_b_cap: 5, max_pairs: 1000 };
+        // valid: τᴬ=(0,2,0), τᴮ=(2,1): ΣB=3 ≥ ΣA+1=3 ✓
+        assert!(TauPair { a: vec![0, 2, 0], b: vec![2, 1] }.is_good(&cfg));
+        // length mismatch
+        assert!(!TauPair { a: vec![0, 2], b: vec![2, 1] }.is_good(&cfg));
+        // interior zero violates property D
+        assert!(!TauPair { a: vec![0, 0, 0], b: vec![2, 1] }.is_good(&cfg));
+        // ΣB cap
+        assert!(!TauPair { a: vec![0, 1, 0], b: vec![3, 3] }.is_good(&cfg));
+        // gain condition F
+        assert!(!TauPair { a: vec![1, 1, 1], b: vec![2, 1] }.is_good(&cfg));
+        // too many layers
+        let cfg2 = TauConfig { max_layers: 2, ..cfg };
+        assert!(!TauPair { a: vec![0, 2, 0], b: vec![2, 1] }.is_good(&cfg2));
+    }
+
+    #[test]
+    fn enumeration_emits_only_good_pairs() {
+        let cfg = TauConfig { q: 4, max_layers: 3, min_entry: 1, sum_b_cap: 5, max_pairs: 10_000 };
+        let ba: BTreeSet<u32> = [1, 2, 3].into_iter().collect();
+        let bb: BTreeSet<u32> = [1, 2, 3, 4].into_iter().collect();
+        let pairs = enumerate_good_pairs(&cfg, &ba, &bb);
+        assert!(!pairs.is_empty());
+        for p in &pairs {
+            assert!(p.is_good(&cfg), "{p:?}");
+        }
+        // k=1 pair capturing a single-edge augmentation exists:
+        // a = (0, 0) with b = (t) for any t >= 1
+        assert!(pairs.iter().any(|p| p.a == vec![0, 0] && p.b == vec![1]));
+    }
+
+    #[test]
+    fn enumeration_respects_bucket_restriction() {
+        let cfg = TauConfig { q: 4, max_layers: 3, min_entry: 1, sum_b_cap: 5, max_pairs: 10_000 };
+        let ba: BTreeSet<u32> = [2].into_iter().collect();
+        let bb: BTreeSet<u32> = [3].into_iter().collect();
+        let pairs = enumerate_good_pairs(&cfg, &ba, &bb);
+        for p in &pairs {
+            assert!(p.b.iter().all(|&t| t == 3));
+            assert!(p.a[1..p.a.len() - 1].iter().all(|&t| t == 2));
+            for &t in &[p.a[0], *p.a.last().unwrap()] {
+                assert!(t == 0 || t == 2);
+            }
+        }
+        // with k=1 and b=(3): budget 2: ends from {0,2}: (0,0),(2,0),(0,2)
+        let k1: Vec<_> = pairs.iter().filter(|p| p.k() == 1).collect();
+        assert_eq!(k1.len(), 3);
+    }
+
+    #[test]
+    fn enumeration_cap_is_enforced() {
+        let cfg = TauConfig { q: 16, max_layers: 6, min_entry: 1, sum_b_cap: 17, max_pairs: 500 };
+        let ba: BTreeSet<u32> = (1..=16).collect();
+        let bb: BTreeSet<u32> = (1..=16).collect();
+        let pairs = enumerate_good_pairs(&cfg, &ba, &bb);
+        assert_eq!(pairs.len(), 500);
+    }
+
+    #[test]
+    fn empty_buckets_give_no_pairs() {
+        let cfg = TauConfig::practical(4, 3);
+        let pairs = enumerate_good_pairs(&cfg, &BTreeSet::new(), &BTreeSet::new());
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn practical_config_shape() {
+        let cfg = TauConfig::practical(8, 4);
+        assert_eq!(cfg.q, 8);
+        assert_eq!(cfg.sum_b_cap, 9);
+        assert_eq!(cfg.min_entry, 1);
+    }
+}

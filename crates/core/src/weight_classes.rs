@@ -1,0 +1,172 @@
+//! Augmentation classes (Definition 4.6) and the geometric weight grid of
+//! Algorithm 3.
+
+use wmatch_graph::Augmentation;
+
+/// The geometric grid of augmentation-class weights `W` considered by
+//  Algorithm 3: values `ratio^i` (deduplicated after integer rounding)
+/// covering `[1, max_w]`.
+///
+/// The paper uses `ratio = 1 + ε⁴` (see
+/// [`crate::PaperConstants::grid_ratio`]); experiments default to coarser
+/// grids (DESIGN.md §3, substitution 1).
+///
+/// # Example
+///
+/// ```
+/// use wmatch_core::weight_classes::weight_grid;
+/// assert_eq!(weight_grid(10, 2.0), vec![1, 2, 4, 8, 16]);
+/// ```
+pub fn weight_grid(max_w: u64, ratio: f64) -> Vec<u64> {
+    assert!(ratio > 1.0, "grid ratio must exceed 1");
+    let mut out = Vec::new();
+    let mut w = 1f64;
+    let bound = max_w.max(1) as f64 * ratio; // one step past max_w
+    while w <= bound {
+        let iw = w.round() as u64;
+        if out.last() != Some(&iw) {
+            out.push(iw);
+        }
+        w *= ratio;
+        if out.len() > 10_000 {
+            break; // guard against pathological ratios
+        }
+    }
+    out
+}
+
+/// Checks membership of an augmentation in the augmentation class of `W`
+/// (Definition 4.6) with granularity `g = 1/q` standing in for the paper's
+/// ε¹² (and `max_vertices` for 64/ε²+1):
+///
+/// 1. every edge weight lies in `[W/q, 2W]`,
+/// 2. the gain is at most `2W`,
+/// 3. the gain survives rounding matched weights **up** and unmatched
+///    weights **down** to multiples of `W/q` by at least `W/q`,
+/// 4. the augmentation has at most `max_vertices` vertices.
+pub fn in_augmentation_class(
+    aug: &Augmentation,
+    w_class: u64,
+    q: u32,
+    max_vertices: usize,
+) -> bool {
+    let wq = w_class as u128;
+    let q = q as u128;
+    // property 1: edge weights within [W/q, 2W]
+    for e in aug.added().iter().chain(aug.removed().iter()) {
+        let w = e.weight as u128;
+        if w * q < wq || w > 2 * wq {
+            return false;
+        }
+    }
+    // property 2: gain at most 2W
+    if aug.gain() > 2 * w_class as i128 {
+        return false;
+    }
+    // property 3: rounded gain at least W/q, measured in W/q units:
+    // sum over added of floor(w·q/W) minus sum over removed of
+    // ceil(w·q/W) must be at least 1
+    let down: i128 = aug
+        .added()
+        .iter()
+        .map(|e| ((e.weight as u128 * q) / wq) as i128)
+        .sum();
+    let up: i128 = aug
+        .removed()
+        .iter()
+        .map(|e| ((e.weight as u128 * q).div_ceil(wq)) as i128)
+        .sum();
+    if down - up < 1 {
+        return false;
+    }
+    // property 4
+    aug.touched_vertices().len() <= max_vertices
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmatch_graph::{Edge, Matching};
+
+    #[test]
+    fn grid_covers_and_dedups() {
+        let g = weight_grid(100, 2.0);
+        assert_eq!(g, vec![1, 2, 4, 8, 16, 32, 64, 128]);
+        // fine ratios near 1 dedup the low end
+        let g = weight_grid(4, 1.3);
+        assert!(g.windows(2).all(|w| w[0] < w[1]));
+        assert!(*g.last().unwrap() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must exceed")]
+    fn grid_rejects_unit_ratio() {
+        weight_grid(10, 1.0);
+    }
+
+    #[test]
+    fn class_membership_positive_case() {
+        // path augmentation: add 6+6, remove 5+4: gain 3, W = 8, q = 4
+        // (granularity W/q = 2)
+        let m = Matching::from_edges(
+            6,
+            [Edge::new(1, 2, 5), Edge::new(3, 4, 4)],
+        )
+        .unwrap();
+        let comp = [
+            Edge::new(0, 1, 6),
+            Edge::new(1, 2, 5),
+            Edge::new(2, 3, 6),
+            Edge::new(3, 4, 4),
+        ];
+        // not a valid component (2-3 shares endpoint with 3-4?) build via parts
+        let _ = comp;
+        let aug = Augmentation::from_parts(
+            vec![Edge::new(0, 1, 6), Edge::new(2, 3, 6)],
+            vec![Edge::new(1, 2, 5), Edge::new(3, 4, 4)],
+        )
+        .unwrap();
+        let _ = &m;
+        // rounded: down(6)=3 units each, up(5)=3, up(4)=2: 6-5 = 1 ✓
+        assert!(in_augmentation_class(&aug, 8, 4, 10));
+    }
+
+    #[test]
+    fn class_membership_rejects_small_edges() {
+        // a weight-1 edge is below W/q = 2
+        let aug = Augmentation::from_parts(vec![Edge::new(0, 1, 1)], vec![]).unwrap();
+        assert!(!in_augmentation_class(&aug, 8, 4, 10));
+    }
+
+    #[test]
+    fn class_membership_rejects_rounding_losses() {
+        // gain 1 with W/q = 2: rounding wipes it out
+        let aug = Augmentation::from_parts(
+            vec![Edge::new(0, 1, 5)],
+            vec![Edge::new(1, 2, 4)],
+        )
+        .unwrap();
+        // down(5·4/8)=2, up(4·4/8)=2 -> 0 < 1
+        assert!(!in_augmentation_class(&aug, 8, 4, 10));
+    }
+
+    #[test]
+    fn class_membership_rejects_oversized_gain() {
+        let aug = Augmentation::from_parts(vec![Edge::new(0, 1, 16)], vec![]).unwrap();
+        // gain 16 > 2W for W = 7... but property 1 also fails (16 > 14);
+        // use W=8: gain 16 = 2W passes, W=7 fails
+        assert!(in_augmentation_class(&aug, 8, 8, 10));
+        assert!(!in_augmentation_class(&aug, 7, 8, 10));
+    }
+
+    #[test]
+    fn class_membership_rejects_too_many_vertices() {
+        let aug = Augmentation::from_parts(
+            vec![Edge::new(0, 1, 6), Edge::new(2, 3, 6)],
+            vec![],
+        )
+        .unwrap();
+        assert!(!in_augmentation_class(&aug, 8, 4, 3));
+        assert!(in_augmentation_class(&aug, 8, 4, 4));
+    }
+}

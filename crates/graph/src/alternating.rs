@@ -1,0 +1,490 @@
+//! Alternating paths/cycles, matching neighbourhoods and augmentations
+//! (Definitions 4.2–4.5 of the paper).
+//!
+//! An *alternating* path or cycle alternates between matched and unmatched
+//! edges. Applying such a component `C` to a matching `M` removes the
+//! *matching neighbourhood* `C_M` — all edges of `M` incident to vertices of
+//! `C`, including those on `C` itself — and adds `C \ M`. The *gain*
+//! `w⁺(C)` is the resulting change in matching weight.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::edge::{Edge, Vertex};
+use crate::error::GraphError;
+use crate::matching::Matching;
+
+/// The shape of an alternating component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComponentKind {
+    /// An open alternating path.
+    Path,
+    /// A closed alternating cycle (even length).
+    Cycle,
+}
+
+/// An augmentation: a set of edges to add and the matched edges their
+/// application removes (the matching neighbourhood `C_M`).
+///
+/// Built from an alternating component with
+/// [`Augmentation::from_component`], or assembled directly with
+/// [`Augmentation::from_parts`] (used by algorithms that already know the
+/// add/remove sets, e.g. single-edge augmentations).
+///
+/// # Example
+///
+/// ```
+/// use wmatch_graph::{Edge, Matching, Augmentation};
+///
+/// // path 0-1-2-3 with {1,2} matched; augmenting flips to {0,1},{2,3}
+/// let m = Matching::from_edges(4, [Edge::new(1, 2, 3)]).unwrap();
+/// let comp = [Edge::new(0, 1, 2), Edge::new(1, 2, 3), Edge::new(2, 3, 2)];
+/// let aug = Augmentation::from_component(&m, &comp).unwrap();
+/// assert_eq!(aug.gain(), 2 + 2 - 3);
+///
+/// let mut m = m;
+/// aug.apply(&mut m).unwrap();
+/// assert_eq!(m.weight(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Augmentation {
+    added: Vec<Edge>,
+    removed: Vec<Edge>,
+}
+
+impl Augmentation {
+    /// Builds an augmentation from an alternating component `comp` (a path
+    /// or cycle given as a connected edge sequence) with respect to `m`.
+    ///
+    /// The removed set is the full matching neighbourhood: every edge of `m`
+    /// incident to a vertex of `comp`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `comp` is not a connected alternating path/cycle
+    /// with respect to `m`, or if the edges to add are not vertex-disjoint.
+    pub fn from_component(m: &Matching, comp: &[Edge]) -> Result<Self, GraphError> {
+        if comp.is_empty() {
+            return Err(GraphError::InvalidAugmentation {
+                reason: "empty component".into(),
+            });
+        }
+        check_alternating(m, comp)?;
+        let mut added = Vec::new();
+        let mut vertices = HashSet::new();
+        for e in comp {
+            vertices.insert(e.u);
+            vertices.insert(e.v);
+            if !m.contains(e) {
+                added.push(*e);
+            }
+        }
+        let mut removed = Vec::new();
+        let mut removed_keys = HashSet::new();
+        for &v in &vertices {
+            if let Some(me) = m.matched_edge(v) {
+                if removed_keys.insert(me.key()) {
+                    removed.push(me);
+                }
+            }
+        }
+        Self::from_parts(added, removed)
+    }
+
+    /// Assembles an augmentation directly from edges to add and matched
+    /// edges to remove.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the added edges are not pairwise vertex-disjoint,
+    /// or an added edge's endpoint is covered by a matched edge that is not
+    /// scheduled for removal (checked at [`Augmentation::apply`] time too).
+    pub fn from_parts(added: Vec<Edge>, removed: Vec<Edge>) -> Result<Self, GraphError> {
+        let mut seen = HashSet::new();
+        for e in &added {
+            if !seen.insert(e.u) || !seen.insert(e.v) {
+                return Err(GraphError::InvalidAugmentation {
+                    reason: format!("added edges conflict at an endpoint of {e}"),
+                });
+            }
+        }
+        Ok(Augmentation { added, removed })
+    }
+
+    /// Edges this augmentation adds to the matching.
+    pub fn added(&self) -> &[Edge] {
+        &self.added
+    }
+
+    /// Matched edges this augmentation removes (the matching neighbourhood).
+    pub fn removed(&self) -> &[Edge] {
+        &self.removed
+    }
+
+    /// The gain `w⁺(C)`: total added weight minus total removed weight.
+    pub fn gain(&self) -> i128 {
+        let add: i128 = self.added.iter().map(|e| e.weight as i128).sum();
+        let rem: i128 = self.removed.iter().map(|e| e.weight as i128).sum();
+        add - rem
+    }
+
+    /// Number of edges in the component representation (added + removed).
+    pub fn size(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+
+    /// All vertices touched by this augmentation (endpoints of added and
+    /// removed edges), deduplicated.
+    pub fn touched_vertices(&self) -> Vec<Vertex> {
+        let mut vs = HashSet::new();
+        for e in self.added.iter().chain(self.removed.iter()) {
+            vs.insert(e.u);
+            vs.insert(e.v);
+        }
+        let mut out: Vec<_> = vs.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Whether two augmentations touch a common vertex (conservative
+    /// conflict test: conflicting augmentations must not both be applied).
+    pub fn conflicts_with(&self, other: &Augmentation) -> bool {
+        let mine: HashSet<Vertex> = self.touched_vertices().into_iter().collect();
+        other
+            .added
+            .iter()
+            .chain(other.removed.iter())
+            .any(|e| mine.contains(&e.u) || mine.contains(&e.v))
+    }
+
+    /// Applies the augmentation to `m` and returns the realized gain.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error (leaving `m` unchanged) if a removed edge is not in
+    /// `m`, or an added edge's endpoint remains matched after removals.
+    pub fn apply(&self, m: &mut Matching) -> Result<i128, GraphError> {
+        // Pre-validate so that m is untouched on failure.
+        for e in &self.removed {
+            if !m.contains(e) {
+                return Err(GraphError::EdgeNotMatched { u: e.u, v: e.v });
+            }
+        }
+        let removed_keys: HashSet<(Vertex, Vertex)> =
+            self.removed.iter().map(|e| e.key()).collect();
+        for e in &self.added {
+            for x in [e.u, e.v] {
+                if let Some(me) = m.matched_edge(x) {
+                    if !removed_keys.contains(&me.key()) {
+                        return Err(GraphError::EndpointMatched { vertex: x });
+                    }
+                }
+            }
+        }
+        let before = m.weight();
+        for e in &self.removed {
+            m.remove_pair(e.u, e.v)?;
+        }
+        for e in &self.added {
+            m.insert(*e)?;
+        }
+        Ok(m.weight() - before)
+    }
+}
+
+/// Verifies that `comp` is a connected edge sequence forming a path or cycle
+/// whose edges alternate between `m` and its complement, and reports which.
+///
+/// The sequence may start and end with matched or unmatched edges (the
+/// paper's Definition 4.2 allows both).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidAugmentation`] describing the violation.
+pub fn check_alternating(m: &Matching, comp: &[Edge]) -> Result<ComponentKind, GraphError> {
+    if comp.is_empty() {
+        return Err(GraphError::InvalidAugmentation {
+            reason: "empty component".into(),
+        });
+    }
+    if comp.len() == 1 {
+        return Ok(ComponentKind::Path);
+    }
+    // Determine the walk orientation: consecutive edges must share exactly
+    // the walk vertex.
+    let first = comp[0];
+    let second = comp[1];
+    let mut cur = if second.touches(first.v) {
+        first.v
+    } else if second.touches(first.u) {
+        first.u
+    } else {
+        return Err(GraphError::InvalidAugmentation {
+            reason: format!("edges {first} and {second} are disconnected"),
+        });
+    };
+    let start = first.other(cur);
+    let mut seen_vertices: HashSet<Vertex> = HashSet::new();
+    seen_vertices.insert(start);
+    for (i, w) in comp.windows(2).enumerate() {
+        let (a, b) = (w[0], w[1]);
+        if m.contains(&a) == m.contains(&b) {
+            return Err(GraphError::InvalidAugmentation {
+                reason: format!("edges {a} and {b} do not alternate (position {i})"),
+            });
+        }
+        if !b.touches(cur) {
+            return Err(GraphError::InvalidAugmentation {
+                reason: format!("edge {b} does not continue the walk at {cur}"),
+            });
+        }
+        if !seen_vertices.insert(cur) {
+            return Err(GraphError::InvalidAugmentation {
+                reason: format!("vertex {cur} repeated: component is not simple"),
+            });
+        }
+        cur = b.other(cur);
+    }
+    if cur == start {
+        Ok(ComponentKind::Cycle)
+    } else if seen_vertices.contains(&cur) {
+        Err(GraphError::InvalidAugmentation {
+            reason: format!("vertex {cur} repeated: component is not simple"),
+        })
+    } else {
+        Ok(ComponentKind::Path)
+    }
+}
+
+/// Decomposes the symmetric difference of two matchings into its connected
+/// components, each an alternating path or cycle, returned as ordered edge
+/// sequences.
+///
+/// Edges present in both matchings (same endpoint pair) cancel out. Each
+/// vertex has degree at most 2 in the difference, so components are paths
+/// and cycles; path components are reported starting from a degree-1 vertex.
+pub fn symmetric_difference_components(m1: &Matching, m2: &Matching) -> Vec<Vec<Edge>> {
+    let n = m1.vertex_count().max(m2.vertex_count());
+    let mut diff: HashMap<(Vertex, Vertex), Edge> = HashMap::new();
+    for e in m1.iter() {
+        diff.insert(e.key(), e);
+    }
+    for e in m2.iter() {
+        if diff.remove(&e.key()).is_none() {
+            diff.insert(e.key(), e);
+        }
+    }
+    let mut adj: Vec<Vec<Edge>> = vec![Vec::new(); n];
+    for e in diff.values() {
+        adj[e.u as usize].push(*e);
+        adj[e.v as usize].push(*e);
+    }
+    let mut used: HashSet<(Vertex, Vertex)> = HashSet::new();
+    let mut components = Vec::new();
+    let walk_from = |start: Vertex, adj: &Vec<Vec<Edge>>, used: &mut HashSet<(Vertex, Vertex)>| {
+        let mut comp = Vec::new();
+        let mut cur = start;
+        loop {
+            let next = adj[cur as usize]
+                .iter()
+                .find(|e| !used.contains(&e.key()))
+                .copied();
+            match next {
+                Some(e) => {
+                    used.insert(e.key());
+                    comp.push(e);
+                    cur = e.other(cur);
+                }
+                None => break,
+            }
+        }
+        comp
+    };
+    // Paths first: start from degree-1 vertices.
+    for v in 0..n as Vertex {
+        if adj[v as usize].len() == 1 && !used.contains(&adj[v as usize][0].key()) {
+            let comp = walk_from(v, &adj, &mut used);
+            if !comp.is_empty() {
+                components.push(comp);
+            }
+        }
+    }
+    // Remaining edges form cycles.
+    for v in 0..n as Vertex {
+        while adj[v as usize].iter().any(|e| !used.contains(&e.key())) {
+            let comp = walk_from(v, &adj, &mut used);
+            if !comp.is_empty() {
+                components.push(comp);
+            }
+        }
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_matching() -> (Matching, Vec<Edge>) {
+        // path 0-1-2-3-4-5, matched {1,2} and {3,4}
+        let m = Matching::from_edges(6, [Edge::new(1, 2, 3), Edge::new(3, 4, 3)]).unwrap();
+        let comp = vec![
+            Edge::new(0, 1, 2),
+            Edge::new(1, 2, 3),
+            Edge::new(2, 3, 5),
+            Edge::new(3, 4, 3),
+            Edge::new(4, 5, 2),
+        ];
+        (m, comp)
+    }
+
+    #[test]
+    fn from_component_path_gain() {
+        let (m, comp) = path_matching();
+        let aug = Augmentation::from_component(&m, &comp).unwrap();
+        // added: 2+5+2=9, removed: 3+3=6
+        assert_eq!(aug.gain(), 3);
+        assert_eq!(aug.added().len(), 3);
+        assert_eq!(aug.removed().len(), 2);
+    }
+
+    #[test]
+    fn apply_realizes_gain() {
+        let (mut m, comp) = path_matching();
+        let aug = Augmentation::from_component(&m, &comp).unwrap();
+        let gain = aug.apply(&mut m).unwrap();
+        assert_eq!(gain, 3);
+        assert_eq!(m.weight(), 9);
+        assert_eq!(m.len(), 3);
+        m.validate(None).unwrap();
+    }
+
+    #[test]
+    fn matching_neighbourhood_includes_off_path_edges() {
+        // path 1-2 unmatched, but 0-1 and 2-3 matched off-path
+        let m = Matching::from_edges(4, [Edge::new(0, 1, 2), Edge::new(2, 3, 2)]).unwrap();
+        let comp = vec![Edge::new(1, 2, 10)];
+        let aug = Augmentation::from_component(&m, &comp).unwrap();
+        assert_eq!(aug.removed().len(), 2);
+        assert_eq!(aug.gain(), 10 - 4);
+    }
+
+    #[test]
+    fn cycle_component() {
+        // 4-cycle with weights 3,4,3,4 (the paper's Section 1.1.2 example)
+        let m = Matching::from_edges(4, [Edge::new(0, 1, 3), Edge::new(2, 3, 3)]).unwrap();
+        let comp = vec![
+            Edge::new(0, 1, 3),
+            Edge::new(1, 2, 4),
+            Edge::new(2, 3, 3),
+            Edge::new(3, 0, 4),
+        ];
+        assert_eq!(check_alternating(&m, &comp).unwrap(), ComponentKind::Cycle);
+        let aug = Augmentation::from_component(&m, &comp).unwrap();
+        assert_eq!(aug.gain(), 2);
+        let mut m2 = m.clone();
+        aug.apply(&mut m2).unwrap();
+        assert_eq!(m2.weight(), 8);
+    }
+
+    #[test]
+    fn non_alternating_rejected() {
+        let m = Matching::from_edges(4, [Edge::new(1, 2, 1)]).unwrap();
+        // two consecutive unmatched edges
+        let comp = vec![Edge::new(0, 1, 1), Edge::new(1, 3, 1)];
+        assert!(check_alternating(&m, &comp).is_err());
+    }
+
+    #[test]
+    fn disconnected_rejected() {
+        let m = Matching::new(5);
+        let comp = vec![Edge::new(0, 1, 1), Edge::new(3, 4, 1)];
+        assert!(check_alternating(&m, &comp).is_err());
+    }
+
+    #[test]
+    fn non_simple_rejected() {
+        let m = Matching::from_edges(4, [Edge::new(0, 1, 1), Edge::new(2, 3, 1)]).unwrap();
+        // walk 2-0-1-... then 1-2 would revisit 2 as an interior vertex, then 2-3
+        let comp = vec![
+            Edge::new(2, 0, 1),
+            Edge::new(0, 1, 1),
+            Edge::new(1, 2, 1),
+            Edge::new(2, 3, 1),
+        ];
+        assert!(check_alternating(&m, &comp).is_err());
+    }
+
+    #[test]
+    fn apply_is_atomic_on_error() {
+        let m0 = Matching::from_edges(4, [Edge::new(0, 1, 5)]).unwrap();
+        let mut m = m0.clone();
+        // removal of a non-matched edge must fail and leave m unchanged
+        let aug =
+            Augmentation::from_parts(vec![Edge::new(2, 3, 9)], vec![Edge::new(1, 2, 1)]).unwrap();
+        assert!(aug.apply(&mut m).is_err());
+        assert_eq!(m, m0);
+        // added edge whose endpoint stays matched must fail
+        let aug2 = Augmentation::from_parts(vec![Edge::new(1, 2, 9)], vec![]).unwrap();
+        assert!(aug2.apply(&mut m).is_err());
+        assert_eq!(m, m0);
+    }
+
+    #[test]
+    fn from_parts_rejects_conflicting_additions() {
+        assert!(
+            Augmentation::from_parts(vec![Edge::new(0, 1, 1), Edge::new(1, 2, 1)], vec![]).is_err()
+        );
+    }
+
+    #[test]
+    fn conflict_detection_via_touched_vertices() {
+        let a = Augmentation::from_parts(vec![Edge::new(0, 1, 1)], vec![Edge::new(1, 2, 1)])
+            .unwrap();
+        let b = Augmentation::from_parts(vec![Edge::new(2, 3, 1)], vec![]).unwrap();
+        let c = Augmentation::from_parts(vec![Edge::new(4, 5, 1)], vec![]).unwrap();
+        assert!(a.conflicts_with(&b)); // share vertex 2 via removed edge
+        assert!(!a.conflicts_with(&c));
+        assert_eq!(a.touched_vertices(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn symmetric_difference_paths_and_cycles() {
+        // M1 = {0-1, 2-3}; M2 = {1-2, 3-0}: difference is an alternating 4-cycle
+        let m1 = Matching::from_edges(4, [Edge::new(0, 1, 1), Edge::new(2, 3, 1)]).unwrap();
+        let m2 = Matching::from_edges(4, [Edge::new(1, 2, 1), Edge::new(3, 0, 1)]).unwrap();
+        let comps = symmetric_difference_components(&m1, &m2);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 4);
+        assert_eq!(check_alternating(&m1, &comps[0]).unwrap(), ComponentKind::Cycle);
+    }
+
+    #[test]
+    fn symmetric_difference_cancels_common_edges() {
+        let m1 = Matching::from_edges(4, [Edge::new(0, 1, 1), Edge::new(2, 3, 1)]).unwrap();
+        let m2 = Matching::from_edges(4, [Edge::new(0, 1, 1)]).unwrap();
+        let comps = symmetric_difference_components(&m1, &m2);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0], vec![Edge::new(2, 3, 1)]);
+    }
+
+    #[test]
+    fn symmetric_difference_augmenting_path_ordering() {
+        // M1 = {1-2}; M2 = {0-1, 2-3}: difference is the path 0-1-2-3
+        let m1 = Matching::from_edges(4, [Edge::new(1, 2, 1)]).unwrap();
+        let m2 = Matching::from_edges(4, [Edge::new(0, 1, 1), Edge::new(2, 3, 1)]).unwrap();
+        let comps = symmetric_difference_components(&m1, &m2);
+        assert_eq!(comps.len(), 1);
+        let comp = &comps[0];
+        assert_eq!(comp.len(), 3);
+        assert_eq!(check_alternating(&m1, comp).unwrap(), ComponentKind::Path);
+    }
+
+    #[test]
+    fn single_edge_augmentation_kind() {
+        let m = Matching::new(2);
+        assert_eq!(
+            check_alternating(&m, &[Edge::new(0, 1, 1)]).unwrap(),
+            ComponentKind::Path
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Edges and vertices.
+//!
+//! Vertices are dense indices (`u32`), edges carry positive integer weights
+//! as in the paper's model (Section 3.2: "edge weights are positive integers
+//! and the maximum edge weight is `O(poly(n))`").
+
+use std::fmt;
+
+/// A vertex identifier: a dense index into `0..n`.
+pub type Vertex = u32;
+
+/// An undirected weighted edge.
+///
+/// The pair `(u, v)` is stored as given; [`Edge::key`] provides a normalized
+/// `(min, max)` form for use as a map key. Unweighted algorithms simply treat
+/// `weight` as irrelevant (generators produce weight 1 for unweighted
+/// instances).
+///
+/// # Example
+///
+/// ```
+/// use wmatch_graph::Edge;
+/// let e = Edge::new(3, 1, 10);
+/// assert_eq!(e.key(), (1, 3));
+/// assert_eq!(e.other(1), 3);
+/// assert!(e.touches(3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edge {
+    /// One endpoint.
+    pub u: Vertex,
+    /// The other endpoint.
+    pub v: Vertex,
+    /// Positive integer weight.
+    pub weight: u64,
+}
+
+impl Edge {
+    /// Creates a new edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v` (self-loops carry no meaning for matchings).
+    #[inline]
+    pub fn new(u: Vertex, v: Vertex, weight: u64) -> Self {
+        assert_ne!(u, v, "self-loop edge ({u},{u}) is not allowed");
+        Edge { u, v, weight }
+    }
+
+    /// Creates a new unit-weight edge.
+    #[inline]
+    pub fn unweighted(u: Vertex, v: Vertex) -> Self {
+        Edge::new(u, v, 1)
+    }
+
+    /// Normalized endpoint pair `(min, max)`, suitable as a map key that
+    /// identifies the undirected edge regardless of endpoint order.
+    #[inline]
+    pub fn key(&self) -> (Vertex, Vertex) {
+        if self.u <= self.v {
+            (self.u, self.v)
+        } else {
+            (self.v, self.u)
+        }
+    }
+
+    /// The endpoint that is not `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not an endpoint of this edge.
+    #[inline]
+    pub fn other(&self, x: Vertex) -> Vertex {
+        if x == self.u {
+            self.v
+        } else if x == self.v {
+            self.u
+        } else {
+            panic!("vertex {x} is not an endpoint of {self}")
+        }
+    }
+
+    /// Whether `x` is an endpoint of this edge.
+    #[inline]
+    pub fn touches(&self, x: Vertex) -> bool {
+        self.u == x || self.v == x
+    }
+
+    /// Whether this edge shares an endpoint with `other`.
+    #[inline]
+    pub fn conflicts_with(&self, other: &Edge) -> bool {
+        self.touches(other.u) || self.touches(other.v)
+    }
+
+    /// Whether `self` and `other` connect the same endpoints (ignoring
+    /// direction and weight).
+    #[inline]
+    pub fn same_endpoints(&self, other: &Edge) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{{},{}}}@{}", self.u, self.v, self.weight)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_is_normalized() {
+        assert_eq!(Edge::new(5, 2, 1).key(), (2, 5));
+        assert_eq!(Edge::new(2, 5, 1).key(), (2, 5));
+    }
+
+    #[test]
+    fn other_returns_opposite_endpoint() {
+        let e = Edge::new(1, 2, 3);
+        assert_eq!(e.other(1), 2);
+        assert_eq!(e.other(2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn other_panics_for_non_endpoint() {
+        Edge::new(1, 2, 3).other(7);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        Edge::new(4, 4, 1);
+    }
+
+    #[test]
+    fn conflict_detection() {
+        let a = Edge::new(0, 1, 1);
+        let b = Edge::new(1, 2, 1);
+        let c = Edge::new(2, 3, 1);
+        assert!(a.conflicts_with(&b));
+        assert!(!a.conflicts_with(&c));
+        assert!(b.conflicts_with(&c));
+    }
+
+    #[test]
+    fn same_endpoints_ignores_order_and_weight() {
+        assert!(Edge::new(1, 2, 5).same_endpoints(&Edge::new(2, 1, 9)));
+        assert!(!Edge::new(1, 2, 5).same_endpoints(&Edge::new(1, 3, 5)));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Edge::new(1, 2, 5).to_string(), "{1,2}@5");
+    }
+}

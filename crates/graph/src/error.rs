@@ -1,0 +1,81 @@
+//! Error types for graph and matching operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::edge::Vertex;
+
+/// Errors produced by graph and matching operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A vertex index was out of range for the graph or matching.
+    VertexOutOfRange {
+        /// The offending vertex.
+        vertex: Vertex,
+        /// The number of vertices in the structure.
+        n: usize,
+    },
+    /// Tried to insert a matching edge at an endpoint that is already
+    /// matched.
+    EndpointMatched {
+        /// The endpoint that is already matched.
+        vertex: Vertex,
+    },
+    /// An operation required an edge that is present in the matching, but it
+    /// was not.
+    EdgeNotMatched {
+        /// One endpoint of the missing edge.
+        u: Vertex,
+        /// The other endpoint of the missing edge.
+        v: Vertex,
+    },
+    /// An augmentation was internally inconsistent (e.g. added edges that
+    /// conflict with each other).
+    InvalidAugmentation {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex {vertex} out of range for {n} vertices")
+            }
+            GraphError::EndpointMatched { vertex } => {
+                write!(f, "endpoint {vertex} is already matched")
+            }
+            GraphError::EdgeNotMatched { u, v } => {
+                write!(f, "edge {{{u},{v}}} is not in the matching")
+            }
+            GraphError::InvalidAugmentation { reason } => {
+                write!(f, "invalid augmentation: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = GraphError::VertexOutOfRange { vertex: 9, n: 4 };
+        assert_eq!(e.to_string(), "vertex 9 out of range for 4 vertices");
+        let e = GraphError::EndpointMatched { vertex: 3 };
+        assert_eq!(e.to_string(), "endpoint 3 is already matched");
+        let e = GraphError::EdgeNotMatched { u: 1, v: 2 };
+        assert_eq!(e.to_string(), "edge {1,2} is not in the matching");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,300 @@
+//! Edmonds' blossom algorithm: maximum-cardinality matching in general
+//! graphs, O(V³).
+//!
+//! Used as ground truth for unweighted experiments on non-bipartite
+//! instances (Section 3.1 of the paper works on general graphs), and by the
+//! 0.506-approximation algorithm's "S₁" branch which computes a maximum
+//! matching among the stored free-free edges.
+
+use crate::edge::Vertex;
+use crate::graph::Graph;
+use crate::matching::Matching;
+
+const NONE: u32 = u32::MAX;
+
+/// Computes a maximum-cardinality matching of an arbitrary graph.
+///
+/// Edge weights are ignored for optimization; the returned matching carries
+/// real graph edges (so its `weight()` reflects actual edge weights).
+///
+/// # Example
+///
+/// ```
+/// use wmatch_graph::{Graph, exact::max_cardinality_matching};
+///
+/// // a triangle plus a pendant: maximum matching has 2 edges
+/// let mut g = Graph::new(4);
+/// g.add_edge(0, 1, 1);
+/// g.add_edge(1, 2, 1);
+/// g.add_edge(2, 0, 1);
+/// g.add_edge(2, 3, 1);
+/// assert_eq!(max_cardinality_matching(&g).len(), 2);
+/// ```
+pub fn max_cardinality_matching(g: &Graph) -> Matching {
+    max_cardinality_matching_from(g, Matching::new(g.vertex_count()))
+}
+
+/// Like [`max_cardinality_matching`] but warm-started from `init`.
+///
+/// # Panics
+///
+/// Panics if `init` covers a different vertex count than `g`.
+#[allow(clippy::needless_range_loop)]
+pub fn max_cardinality_matching_from(g: &Graph, init: Matching) -> Matching {
+    let n = g.vertex_count();
+    assert_eq!(init.vertex_count(), n, "initial matching has wrong vertex count");
+    let mut adj: Vec<Vec<(Vertex, usize)>> = vec![Vec::new(); n];
+    for (idx, e) in g.edges().iter().enumerate() {
+        adj[e.u as usize].push((e.v, idx));
+        adj[e.v as usize].push((e.u, idx));
+    }
+
+    // mate[v]: matched neighbour or NONE; edge_of[v]: index of matched edge
+    let mut mate = vec![NONE; n];
+    let mut edge_of = vec![usize::MAX; n];
+    for me in init.iter() {
+        let idx = g
+            .incident(me.u)
+            .find(|(_, ge)| ge.same_endpoints(&me))
+            .map(|(i, _)| i)
+            .expect("initial matching edge must exist in graph");
+        mate[me.u as usize] = me.v;
+        mate[me.v as usize] = me.u;
+        edge_of[me.u as usize] = idx;
+        edge_of[me.v as usize] = idx;
+    }
+
+    let mut p = vec![NONE; n]; // BFS tree parent (vertex on the even side)
+    let mut base: Vec<u32> = (0..n as u32).collect();
+    let mut q: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
+    let mut used = vec![false; n];
+    let mut blossom = vec![false; n];
+
+    fn lca(n: usize, mate: &[u32], base: &[u32], p: &[u32], mut a: u32, mut b: u32) -> u32 {
+        let mut used_path = vec![false; n];
+        loop {
+            a = base[a as usize];
+            used_path[a as usize] = true;
+            if mate[a as usize] == NONE {
+                break;
+            }
+            a = p[mate[a as usize] as usize];
+        }
+        loop {
+            b = base[b as usize];
+            if used_path[b as usize] {
+                return b;
+            }
+            b = p[mate[b as usize] as usize];
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::needless_range_loop)]
+    fn mark_path(
+        mate: &[u32],
+        base: &[u32],
+        blossom: &mut [bool],
+        p: &mut [u32],
+        mut v: u32,
+        b: u32,
+        mut child: u32,
+    ) {
+        while base[v as usize] != b {
+            blossom[base[v as usize] as usize] = true;
+            blossom[base[mate[v as usize] as usize] as usize] = true;
+            p[v as usize] = child;
+            child = mate[v as usize];
+            v = p[mate[v as usize] as usize];
+        }
+    }
+
+    // find an augmenting path from root; returns its free endpoint or NONE
+    let mut find_path = |root: u32,
+                         mate: &mut Vec<u32>,
+                         p: &mut Vec<u32>,
+                         base: &mut Vec<u32>,
+                         used: &mut Vec<bool>,
+                         blossom: &mut Vec<bool>|
+     -> u32 {
+        used.iter_mut().for_each(|x| *x = false);
+        p.iter_mut().for_each(|x| *x = NONE);
+        for (i, b) in base.iter_mut().enumerate() {
+            *b = i as u32;
+        }
+        used[root as usize] = true;
+        q.clear();
+        q.push_back(root);
+        while let Some(v) = q.pop_front() {
+            for i in 0..adj[v as usize].len() {
+                let (to, _) = adj[v as usize][i];
+                if base[v as usize] == base[to as usize] || mate[v as usize] == to {
+                    continue;
+                }
+                if to == root || (mate[to as usize] != NONE && p[mate[to as usize] as usize] != NONE)
+                {
+                    // blossom found: contract
+                    let curbase = lca(n, mate, base, p, v, to);
+                    blossom.iter_mut().for_each(|x| *x = false);
+                    mark_path(mate, base, blossom, p, v, curbase, to);
+                    mark_path(mate, base, blossom, p, to, curbase, v);
+                    for u in 0..n as u32 {
+                        if blossom[base[u as usize] as usize] {
+                            base[u as usize] = curbase;
+                            if !used[u as usize] {
+                                used[u as usize] = true;
+                                q.push_back(u);
+                            }
+                        }
+                    }
+                } else if p[to as usize] == NONE {
+                    p[to as usize] = v;
+                    if mate[to as usize] == NONE {
+                        return to; // augmenting path found
+                    }
+                    used[mate[to as usize] as usize] = true;
+                    q.push_back(mate[to as usize]);
+                }
+            }
+        }
+        NONE
+    };
+
+    for root in 0..n as u32 {
+        if mate[root as usize] != NONE {
+            continue;
+        }
+        let v = find_path(root, &mut mate, &mut p, &mut base, &mut used, &mut blossom);
+        if v == NONE {
+            continue;
+        }
+        // flip matching along the path
+        let mut v = v;
+        while v != NONE {
+            let pv = p[v as usize];
+            let ppv = mate[pv as usize];
+            mate[v as usize] = pv;
+            mate[pv as usize] = v;
+            v = ppv;
+        }
+    }
+
+    // rebuild edge_of from mate using any connecting edge
+    let mut m = Matching::new(n);
+    for v in 0..n as u32 {
+        let w = mate[v as usize];
+        if w != NONE && v < w {
+            let e = g
+                .incident(v)
+                .map(|(_, e)| e)
+                .find(|e| e.touches(w))
+                .expect("mate implies an edge");
+            m.insert(e).expect("mates are disjoint");
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::brute_force::max_weight_matching_brute_force;
+    use crate::generators::{self, WeightModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn odd_cycle_matches_floor_half() {
+        let g = generators::cycle_graph(&[1, 1, 1, 1, 1]);
+        assert_eq!(max_cardinality_matching(&g).len(), 2);
+        let g7 = generators::cycle_graph(&[1; 7]);
+        assert_eq!(max_cardinality_matching(&g7).len(), 3);
+    }
+
+    #[test]
+    fn petersen_graph_has_perfect_matching() {
+        // outer 5-cycle, inner 5-star, spokes
+        let mut g = Graph::new(10);
+        for i in 0..5u32 {
+            g.add_edge(i, (i + 1) % 5, 1); // outer
+            g.add_edge(5 + i, 5 + (i + 2) % 5, 1); // inner pentagram
+            g.add_edge(i, 5 + i, 1); // spokes
+        }
+        assert_eq!(max_cardinality_matching(&g).len(), 5);
+    }
+
+    #[test]
+    fn blossom_inside_blossom() {
+        // two triangles joined by a path: needs contraction to augment
+        let mut g = Graph::new(8);
+        g.add_edge(0, 1, 1);
+        g.add_edge(1, 2, 1);
+        g.add_edge(2, 0, 1);
+        g.add_edge(2, 3, 1);
+        g.add_edge(3, 4, 1);
+        g.add_edge(4, 5, 1);
+        g.add_edge(5, 6, 1);
+        g.add_edge(6, 4, 1);
+        g.add_edge(6, 7, 1);
+        let m = max_cardinality_matching(&g);
+        assert_eq!(m.len(), 4);
+        m.validate(Some(&g)).unwrap();
+    }
+
+    #[test]
+    fn warm_start_equals_cold_start() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let g = generators::gnp(14, 0.3, WeightModel::Unit, &mut rng);
+            let cold = max_cardinality_matching(&g);
+            let mut greedy = Matching::new(g.vertex_count());
+            for e in g.edges() {
+                let _ = greedy.insert(*e);
+            }
+            let warm = max_cardinality_matching_from(&g, greedy);
+            assert_eq!(cold.len(), warm.len());
+            warm.validate(Some(&g)).unwrap();
+        }
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for trial in 0..60 {
+            let n = 4 + trial % 7;
+            let g = generators::gnp(n, 0.45, WeightModel::Unit, &mut rng);
+            let ours = max_cardinality_matching(&g);
+            let brute = max_weight_matching_brute_force(&g);
+            assert_eq!(ours.len() as i128, brute.weight(), "trial {trial}: {g}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_petgraph_on_general_graphs() {
+        use petgraph::graph::UnGraph;
+        let mut rng = StdRng::seed_from_u64(13);
+        for trial in 0..30 {
+            let n = 5 + trial % 9;
+            let g = generators::gnp(n, 0.4, WeightModel::Unit, &mut rng);
+            let ours = max_cardinality_matching(&g);
+            let mut pg = UnGraph::<(), ()>::new_undirected();
+            let nodes: Vec<_> = (0..n).map(|_| pg.add_node(())).collect();
+            for e in g.edges() {
+                pg.add_edge(nodes[e.u as usize], nodes[e.v as usize], ());
+            }
+            let theirs = petgraph::algo::matching::maximum_matching(&pg);
+            assert_eq!(ours.len(), theirs.edges().count(), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_edge() {
+        let g = Graph::new(3);
+        assert!(max_cardinality_matching(&g).is_empty());
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1, 7);
+        let m = max_cardinality_matching(&g);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.weight(), 7);
+    }
+}

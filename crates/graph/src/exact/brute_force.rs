@@ -1,0 +1,156 @@
+//! Exhaustive maximum-weight matching for tiny graphs.
+//!
+//! This is the "oracle for the oracles": every polynomial exact solver in
+//! this crate is validated against it on small random instances.
+
+use crate::edge::Edge;
+use crate::graph::Graph;
+use crate::matching::Matching;
+
+/// Largest vertex count accepted by [`max_weight_matching_brute_force`].
+pub const MAX_BRUTE_FORCE_VERTICES: usize = 22;
+
+/// Computes an exact maximum-weight matching by dynamic programming over
+/// vertex subsets, O(2ⁿ·deg).
+///
+/// # Panics
+///
+/// Panics if `g.vertex_count() > MAX_BRUTE_FORCE_VERTICES`.
+///
+/// # Example
+///
+/// ```
+/// use wmatch_graph::{Graph, exact::max_weight_matching_brute_force};
+///
+/// let mut g = Graph::new(4);
+/// g.add_edge(0, 1, 1);
+/// g.add_edge(1, 2, 10);
+/// g.add_edge(2, 3, 1);
+/// let m = max_weight_matching_brute_force(&g);
+/// assert_eq!(m.weight(), 10);
+/// ```
+pub fn max_weight_matching_brute_force(g: &Graph) -> Matching {
+    let n = g.vertex_count();
+    assert!(
+        n <= MAX_BRUTE_FORCE_VERTICES,
+        "brute force limited to {MAX_BRUTE_FORCE_VERTICES} vertices, got {n}"
+    );
+    if n == 0 {
+        return Matching::new(0);
+    }
+    let full: usize = (1usize << n) - 1;
+    // dp[mask] = best weight using only vertices in mask; choice[mask] = edge used for lowest bit
+    let mut dp = vec![0i128; full + 1];
+    let mut choice: Vec<Option<Edge>> = vec![None; full + 1];
+    for mask in 1..=full {
+        let v = mask.trailing_zeros() as usize;
+        // option 1: leave v unmatched
+        let without = dp[mask & !(1 << v)];
+        let mut best = without;
+        let mut best_edge = None;
+        // option 2: match v along an incident edge inside mask
+        for (_, e) in g.incident(v as u32) {
+            let u = e.other(v as u32) as usize;
+            if u != v && (mask >> u) & 1 == 1 {
+                let rest = mask & !(1 << v) & !(1 << u);
+                let cand = dp[rest] + e.weight as i128;
+                if cand > best {
+                    best = cand;
+                    best_edge = Some(e);
+                }
+            }
+        }
+        dp[mask] = best;
+        choice[mask] = best_edge;
+    }
+    // reconstruct
+    let mut m = Matching::new(n);
+    let mut mask = full;
+    while mask != 0 {
+        let v = mask.trailing_zeros() as usize;
+        match choice[mask] {
+            Some(e) => {
+                m.insert(e).expect("dp edges are disjoint");
+                mask &= !(1 << e.u as usize) & !(1 << e.v as usize);
+            }
+            None => {
+                mask &= !(1 << v);
+            }
+        }
+    }
+    debug_assert_eq!(m.weight(), dp[full]);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{self, WeightModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn path_takes_outer_edges() {
+        let g = generators::path_graph(&[5, 6, 5]);
+        let m = max_weight_matching_brute_force(&g);
+        assert_eq!(m.weight(), 10);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn four_cycle_3434_optimum_is_8() {
+        let (g, _) = generators::four_cycle_3434();
+        assert_eq!(max_weight_matching_brute_force(&g).weight(), 8);
+    }
+
+    #[test]
+    fn fig1_optimum_is_8() {
+        let (g, _) = generators::fig1_graph();
+        assert_eq!(max_weight_matching_brute_force(&g).weight(), 8);
+    }
+
+    #[test]
+    fn triangle_picks_heaviest_edge() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 2);
+        g.add_edge(1, 2, 3);
+        g.add_edge(2, 0, 5);
+        let m = max_weight_matching_brute_force(&g);
+        assert_eq!(m.weight(), 5);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(0);
+        assert!(max_weight_matching_brute_force(&g).is_empty());
+        let g = Graph::new(4);
+        assert!(max_weight_matching_brute_force(&g).is_empty());
+    }
+
+    #[test]
+    fn result_is_always_a_valid_matching() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..40 {
+            let g = generators::gnp(9, 0.4, WeightModel::Uniform { lo: 1, hi: 20 }, &mut rng);
+            let m = max_weight_matching_brute_force(&g);
+            m.validate(Some(&g)).unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "brute force limited")]
+    fn rejects_large_graphs() {
+        let g = Graph::new(30);
+        max_weight_matching_brute_force(&g);
+    }
+
+    #[test]
+    fn zero_weight_edges_do_not_hurt() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 0);
+        g.add_edge(2, 3, 4);
+        let m = max_weight_matching_brute_force(&g);
+        assert_eq!(m.weight(), 4);
+    }
+}

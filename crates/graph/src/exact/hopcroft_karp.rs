@@ -1,0 +1,257 @@
+//! Hopcroft–Karp maximum-cardinality bipartite matching in O(E·√V).
+//!
+//! This is the offline (δ = 0) instantiation of the paper's
+//! `Unw-Bip-Matching` black box: Algorithm 4 calls it on layered graphs.
+
+use crate::edge::Vertex;
+use crate::graph::Graph;
+use crate::matching::Matching;
+
+const INF: u32 = u32::MAX;
+
+/// Computes a maximum-cardinality matching of the bipartite graph `g`.
+///
+/// `side[v]` gives the side of vertex `v`; every edge must cross sides.
+/// Edge weights are ignored (the matching's reported weight uses the actual
+/// edge weights, which is convenient when the caller wants `w(M)` of a
+/// cardinality-optimal matching).
+///
+/// # Panics
+///
+/// Panics if `side.len() != g.vertex_count()` or some edge does not cross
+/// the bipartition.
+///
+/// # Example
+///
+/// ```
+/// use wmatch_graph::{Graph, exact::max_bipartite_cardinality_matching};
+///
+/// let mut g = Graph::new(4);
+/// g.add_edge(0, 2, 1);
+/// g.add_edge(0, 3, 1);
+/// g.add_edge(1, 2, 1);
+/// let side = vec![false, false, true, true];
+/// let m = max_bipartite_cardinality_matching(&g, &side);
+/// assert_eq!(m.len(), 2);
+/// ```
+pub fn max_bipartite_cardinality_matching(g: &Graph, side: &[bool]) -> Matching {
+    max_bipartite_cardinality_matching_from(g, side, Matching::new(g.vertex_count()))
+}
+
+/// Like [`max_bipartite_cardinality_matching`], but warm-started from an
+/// existing matching `init` (which must be a valid matching of `g`).
+///
+/// # Panics
+///
+/// See [`max_bipartite_cardinality_matching`]; additionally panics if
+/// `init` is defined over a different vertex count.
+pub fn max_bipartite_cardinality_matching_from(
+    g: &Graph,
+    side: &[bool],
+    init: Matching,
+) -> Matching {
+    let n = g.vertex_count();
+    assert_eq!(side.len(), n, "side labels must cover all vertices");
+    assert_eq!(init.vertex_count(), n, "initial matching has wrong vertex count");
+    assert!(
+        g.respects_bipartition(side).unwrap(),
+        "graph is not bipartite under the given sides"
+    );
+
+    // adjacency from left vertices only: (right_vertex, edge_index)
+    let mut adj: Vec<Vec<(Vertex, usize)>> = vec![Vec::new(); n];
+    for (idx, e) in g.edges().iter().enumerate() {
+        let (l, r) = if !side[e.u as usize] { (e.u, e.v) } else { (e.v, e.u) };
+        adj[l as usize].push((r, idx));
+    }
+
+    // pair_of[v] = (mate, edge index) in current matching
+    let mut pair: Vec<Option<(Vertex, usize)>> = vec![None; n];
+    for me in init.iter() {
+        let idx = g
+            .incident(me.u)
+            .find(|(_, ge)| ge.same_endpoints(&me))
+            .map(|(i, _)| i)
+            .expect("initial matching edge must exist in graph");
+        pair[me.u as usize] = Some((me.v, idx));
+        pair[me.v as usize] = Some((me.u, idx));
+    }
+
+    let lefts: Vec<Vertex> = (0..n as Vertex).filter(|&v| !side[v as usize]).collect();
+    let mut dist: Vec<u32> = vec![INF; n];
+
+    // BFS: layer the left vertices from the free ones.
+    let bfs = |pair: &Vec<Option<(Vertex, usize)>>, dist: &mut Vec<u32>| -> bool {
+        let mut queue = std::collections::VecDeque::new();
+        for &u in &lefts {
+            if pair[u as usize].is_none() {
+                dist[u as usize] = 0;
+                queue.push_back(u);
+            } else {
+                dist[u as usize] = INF;
+            }
+        }
+        let mut reachable_free = false;
+        while let Some(u) = queue.pop_front() {
+            for &(v, _) in &adj[u as usize] {
+                match pair[v as usize] {
+                    None => reachable_free = true,
+                    Some((w, _)) => {
+                        if dist[w as usize] == INF {
+                            dist[w as usize] = dist[u as usize] + 1;
+                            queue.push_back(w);
+                        }
+                    }
+                }
+            }
+        }
+        reachable_free
+    };
+
+    fn dfs(
+        u: Vertex,
+        adj: &[Vec<(Vertex, usize)>],
+        pair: &mut Vec<Option<(Vertex, usize)>>,
+        dist: &mut Vec<u32>,
+    ) -> bool {
+        for i in 0..adj[u as usize].len() {
+            let (v, eidx) = adj[u as usize][i];
+            let next = pair[v as usize];
+            let ok = match next {
+                None => true,
+                Some((w, _)) => dist[w as usize] == dist[u as usize] + 1 && dfs(w, adj, pair, dist),
+            };
+            if ok {
+                pair[u as usize] = Some((v, eidx));
+                pair[v as usize] = Some((u, eidx));
+                return true;
+            }
+        }
+        dist[u as usize] = INF;
+        false
+    }
+
+    while bfs(&pair, &mut dist) {
+        for &u in &lefts {
+            if pair[u as usize].is_none() {
+                dfs(u, &adj, &mut pair, &mut dist);
+            }
+        }
+    }
+
+    let mut m = Matching::new(n);
+    for &u in &lefts {
+        if let Some((_, eidx)) = pair[u as usize] {
+            m.insert(g.edge(eidx)).expect("pairs are disjoint");
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn side_lr(nl: usize, n: usize) -> Vec<bool> {
+        (0..n).map(|v| v >= nl).collect()
+    }
+
+    #[test]
+    fn perfect_matching_on_complete_bipartite() {
+        let mut g = Graph::new(6);
+        for u in 0..3u32 {
+            for v in 3..6u32 {
+                g.add_edge(u, v, 1);
+            }
+        }
+        let m = max_bipartite_cardinality_matching(&g, &side_lr(3, 6));
+        assert_eq!(m.len(), 3);
+        m.validate(Some(&g)).unwrap();
+    }
+
+    #[test]
+    fn hall_violator_limits_matching() {
+        // three left vertices all adjacent only to one right vertex
+        let mut g = Graph::new(4);
+        for u in 0..3u32 {
+            g.add_edge(u, 3, 1);
+        }
+        let m = max_bipartite_cardinality_matching(&g, &side_lr(3, 4));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn path_graph_alternation() {
+        // path 0-2-1-3 as bipartite: left {0,1}, right {2,3}
+        let mut g = Graph::new(4);
+        g.add_edge(0, 2, 1);
+        g.add_edge(1, 2, 1);
+        g.add_edge(1, 3, 1);
+        let m = max_bipartite_cardinality_matching(&g, &side_lr(2, 4));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn warm_start_from_maximal_matching() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (g, side) = generators::random_bipartite(
+            20,
+            20,
+            0.2,
+            generators::WeightModel::Unit,
+            &mut rng,
+        );
+        let cold = max_bipartite_cardinality_matching(&g, &side);
+        // greedy maximal as warm start
+        let mut init = Matching::new(g.vertex_count());
+        for e in g.edges() {
+            let _ = init.insert(*e);
+        }
+        let warm = max_bipartite_cardinality_matching_from(&g, &side, init);
+        assert_eq!(cold.len(), warm.len());
+        warm.validate(Some(&g)).unwrap();
+    }
+
+    #[test]
+    fn agrees_with_petgraph_on_random_instances() {
+        use petgraph::graph::UnGraph;
+        let mut rng = StdRng::seed_from_u64(11);
+        for trial in 0..30 {
+            let nl = 3 + (trial % 7);
+            let nr = 3 + (trial % 5);
+            let (g, side) = generators::random_bipartite(
+                nl,
+                nr,
+                0.4,
+                generators::WeightModel::Unit,
+                &mut rng,
+            );
+            let ours = max_bipartite_cardinality_matching(&g, &side);
+            let mut pg = UnGraph::<(), ()>::new_undirected();
+            let nodes: Vec<_> = (0..g.vertex_count()).map(|_| pg.add_node(())).collect();
+            for e in g.edges() {
+                pg.add_edge(nodes[e.u as usize], nodes[e.v as usize], ());
+            }
+            let theirs = petgraph::algo::matching::maximum_matching(&pg);
+            assert_eq!(ours.len(), theirs.edges().count(), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn empty_graph_gives_empty_matching() {
+        let g = Graph::new(5);
+        let m = max_bipartite_cardinality_matching(&g, &[false, false, true, true, true]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not bipartite")]
+    fn rejects_non_crossing_edge() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1);
+        max_bipartite_cardinality_matching(&g, &[false, false, true]);
+    }
+}

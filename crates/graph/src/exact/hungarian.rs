@@ -1,0 +1,232 @@
+//! Hungarian algorithm (Kuhn–Munkres with potentials): exact maximum-weight
+//! bipartite matching in O(V³).
+//!
+//! Used as ground truth for the weighted bipartite experiments, and as an
+//! independent cross-check of the general-graph solver
+//! [`crate::exact::mwm_general`] on bipartite inputs.
+
+use crate::edge::Vertex;
+use crate::graph::Graph;
+use crate::matching::Matching;
+
+/// Computes an exact maximum-weight matching of the bipartite graph `g`
+/// (not necessarily perfect or of maximum cardinality).
+///
+/// `side[v]` gives the side of `v`; every edge must cross sides. Missing
+/// pairs are treated as weight-0 dummies, which is equivalent to allowing
+/// vertices to stay unmatched — only genuinely profitable edges end up in
+/// the result.
+///
+/// # Panics
+///
+/// Panics if `side.len() != g.vertex_count()` or some edge does not cross
+/// the bipartition.
+///
+/// # Example
+///
+/// ```
+/// use wmatch_graph::{Graph, exact::max_weight_bipartite_matching};
+///
+/// let mut g = Graph::new(4);
+/// g.add_edge(0, 2, 3);
+/// g.add_edge(0, 3, 9);
+/// g.add_edge(1, 3, 8);
+/// let side = vec![false, false, true, true];
+/// let m = max_weight_bipartite_matching(&g, &side);
+/// assert_eq!(m.weight(), 3 + 8);
+/// ```
+#[allow(clippy::needless_range_loop)]
+pub fn max_weight_bipartite_matching(g: &Graph, side: &[bool]) -> Matching {
+    let n = g.vertex_count();
+    assert_eq!(side.len(), n, "side labels must cover all vertices");
+    assert!(
+        g.respects_bipartition(side).unwrap(),
+        "graph is not bipartite under the given sides"
+    );
+    let lefts: Vec<Vertex> = (0..n as Vertex).filter(|&v| !side[v as usize]).collect();
+    let rights: Vec<Vertex> = (0..n as Vertex).filter(|&v| side[v as usize]).collect();
+    let sz = lefts.len().max(rights.len());
+    if sz == 0 {
+        return Matching::new(n);
+    }
+    // position of each vertex on its side
+    let mut lpos = vec![usize::MAX; n];
+    let mut rpos = vec![usize::MAX; n];
+    for (i, &v) in lefts.iter().enumerate() {
+        lpos[v as usize] = i;
+    }
+    for (j, &v) in rights.iter().enumerate() {
+        rpos[v as usize] = j;
+    }
+    // dense profit matrix (parallel edges: keep the best), padded to sz×sz
+    let mut profit = vec![vec![0i64; sz]; sz];
+    let mut best_edge = vec![vec![usize::MAX; sz]; sz];
+    for (idx, e) in g.edges().iter().enumerate() {
+        let (l, r) = if !side[e.u as usize] { (e.u, e.v) } else { (e.v, e.u) };
+        let (i, j) = (lpos[l as usize], rpos[r as usize]);
+        if (e.weight as i64) > profit[i][j]
+            || (best_edge[i][j] == usize::MAX && e.weight as i64 >= profit[i][j])
+        {
+            profit[i][j] = e.weight as i64;
+            best_edge[i][j] = idx;
+        }
+    }
+    // Kuhn–Munkres on cost = -profit (1-indexed classical formulation).
+    const INF: i64 = i64::MAX / 4;
+    let a = |i: usize, j: usize| -> i64 { -profit[i - 1][j - 1] };
+    let mut u = vec![0i64; sz + 1];
+    let mut v = vec![0i64; sz + 1];
+    let mut p = vec![0usize; sz + 1]; // p[j] = row assigned to column j
+    let mut way = vec![0usize; sz + 1];
+    for i in 1..=sz {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; sz + 1];
+        let mut used = vec![false; sz + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=sz {
+                if !used[j] {
+                    let cur = a(i0, j) - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=sz {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+    // extract: column j assigned to row p[j]; keep only real profitable edges
+    let mut m = Matching::new(n);
+    for j in 1..=sz {
+        let i = p[j];
+        if i == 0 {
+            continue;
+        }
+        let (ri, rj) = (i - 1, j - 1);
+        if ri < lefts.len() && rj < rights.len() && best_edge[ri][rj] != usize::MAX {
+            let e = g.edge(best_edge[ri][rj]);
+            if e.weight > 0 {
+                m.insert(e).expect("assignment is disjoint");
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::brute_force::max_weight_matching_brute_force;
+    use crate::generators::{self, WeightModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn picks_profitable_assignment() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 2, 3);
+        g.add_edge(0, 3, 9);
+        g.add_edge(1, 3, 8);
+        let m = max_weight_bipartite_matching(&g, &[false, false, true, true]);
+        assert_eq!(m.weight(), 11);
+        m.validate(Some(&g)).unwrap();
+    }
+
+    #[test]
+    fn may_leave_vertices_unmatched() {
+        // matching both left vertices is possible but worse than one heavy edge
+        let mut g = Graph::new(4);
+        g.add_edge(0, 2, 10);
+        g.add_edge(1, 2, 9);
+        g.add_edge(1, 3, 1);
+        // option A: {0-2} + {1-3} = 11; option B: {1-2} = 9 -> A wins
+        let m = max_weight_bipartite_matching(&g, &[false, false, true, true]);
+        assert_eq!(m.weight(), 11);
+        // and if the side edge is worthless enough, drop it
+        let mut g2 = Graph::new(4);
+        g2.add_edge(0, 2, 10);
+        g2.add_edge(1, 2, 9);
+        let m2 = max_weight_bipartite_matching(&g2, &[false, false, true, true]);
+        assert_eq!(m2.weight(), 10);
+        assert_eq!(m2.len(), 1);
+    }
+
+    #[test]
+    fn rectangular_sides() {
+        let mut g = Graph::new(5);
+        g.add_edge(0, 3, 4);
+        g.add_edge(1, 3, 7);
+        g.add_edge(2, 4, 2);
+        let side = vec![false, false, false, true, true];
+        let m = max_weight_bipartite_matching(&g, &side);
+        assert_eq!(m.weight(), 9);
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_bipartite() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for trial in 0..80 {
+            let nl = 2 + trial % 5;
+            let nr = 2 + (trial / 2) % 5;
+            let (g, side) = generators::random_bipartite(
+                nl,
+                nr,
+                0.5,
+                WeightModel::Uniform { lo: 1, hi: 30 },
+                &mut rng,
+            );
+            let hung = max_weight_bipartite_matching(&g, &side);
+            let brute = max_weight_matching_brute_force(&g);
+            assert_eq!(hung.weight(), brute.weight(), "trial {trial}");
+            hung.validate(Some(&g)).unwrap();
+        }
+    }
+
+    #[test]
+    fn parallel_edges_use_best() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1, 3);
+        g.add_edge(0, 1, 8);
+        g.add_edge(0, 1, 5);
+        let m = max_weight_bipartite_matching(&g, &[false, true]);
+        assert_eq!(m.weight(), 8);
+    }
+
+    #[test]
+    fn empty_sides() {
+        let g = Graph::new(0);
+        let m = max_weight_bipartite_matching(&g, &[]);
+        assert!(m.is_empty());
+        let g = Graph::new(3);
+        let m = max_weight_bipartite_matching(&g, &[false, false, false]);
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,24 @@
+//! Exact matching solvers used as ground truth by tests and benchmarks.
+//!
+//! | solver | problem | graph class | complexity |
+//! |---|---|---|---|
+//! | [`hopcroft_karp`] | max cardinality | bipartite | O(E·√V) |
+//! | [`blossom`] | max cardinality | general | O(V³) |
+//! | [`hungarian`] | max weight | bipartite | O(V³) |
+//! | [`mwm_general`] | max weight | general | O(V³) |
+//! | [`brute_force`] | max weight | tiny general | exponential |
+//!
+//! Every solver is cross-validated against the others (and against
+//! `petgraph` for cardinality) in the test suites.
+
+pub mod blossom;
+pub mod brute_force;
+pub mod hopcroft_karp;
+pub mod hungarian;
+pub mod mwm_general;
+
+pub use blossom::max_cardinality_matching;
+pub use brute_force::{max_weight_matching_brute_force, MAX_BRUTE_FORCE_VERTICES};
+pub use hopcroft_karp::max_bipartite_cardinality_matching;
+pub use hungarian::max_weight_bipartite_matching;
+pub use mwm_general::max_weight_matching;

@@ -1,0 +1,431 @@
+//! Instance generators: random families, adversarial families, and the
+//! exact graphs from the paper's figures.
+//!
+//! All randomized generators take an explicit RNG so experiments are
+//! reproducible from a seed.
+
+use rand::Rng;
+
+use crate::edge::{Edge, Vertex};
+use crate::graph::Graph;
+use crate::matching::Matching;
+
+/// How edge weights are drawn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeightModel {
+    /// All weights are 1 (unweighted instances).
+    Unit,
+    /// Uniform integer in `[lo, hi]`.
+    Uniform {
+        /// Inclusive lower bound.
+        lo: u64,
+        /// Inclusive upper bound.
+        hi: u64,
+    },
+    /// `base^c` for a uniformly random class `c in [0, classes)`: produces
+    /// the geometric weight-class structure the paper's algorithms group by.
+    GeometricClasses {
+        /// Number of classes.
+        classes: u32,
+        /// Base of the geometric progression (≥ 2).
+        base: u64,
+    },
+    /// Uniform integer in `[1, n^exponent]` — the paper's `poly(n)` weight
+    /// regime.
+    Polynomial {
+        /// The exponent of `n`.
+        exponent: u32,
+    },
+}
+
+impl WeightModel {
+    /// Samples one weight for a graph on `n` vertices.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> u64 {
+        match *self {
+            WeightModel::Unit => 1,
+            WeightModel::Uniform { lo, hi } => rng.gen_range(lo..=hi.max(lo)),
+            WeightModel::GeometricClasses { classes, base } => {
+                let c = rng.gen_range(0..classes.max(1));
+                base.max(2).saturating_pow(c)
+            }
+            WeightModel::Polynomial { exponent } => {
+                let hi = (n.max(2) as u64).saturating_pow(exponent).max(1);
+                rng.gen_range(1..=hi)
+            }
+        }
+    }
+}
+
+/// Erdős–Rényi graph `G(n, p)` with weights from `model`.
+pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, model: WeightModel, rng: &mut R) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                let w = model.sample(rng, n);
+                g.add_edge(u as Vertex, v as Vertex, w);
+            }
+        }
+    }
+    g
+}
+
+/// Random bipartite graph: sides `0..nl` and `nl..nl+nr`, each cross pair
+/// present with probability `p`. Returns the graph and the side labels
+/// (`false` = left).
+pub fn random_bipartite<R: Rng + ?Sized>(
+    nl: usize,
+    nr: usize,
+    p: f64,
+    model: WeightModel,
+    rng: &mut R,
+) -> (Graph, Vec<bool>) {
+    let n = nl + nr;
+    let mut g = Graph::new(n);
+    for u in 0..nl {
+        for v in nl..n {
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                let w = model.sample(rng, n);
+                g.add_edge(u as Vertex, v as Vertex, w);
+            }
+        }
+    }
+    let side = (0..n).map(|v| v >= nl).collect();
+    (g, side)
+}
+
+/// Complete graph `K_n` with weights from `model`.
+pub fn complete<R: Rng + ?Sized>(n: usize, model: WeightModel, rng: &mut R) -> Graph {
+    gnp(n, 1.0, model, rng)
+}
+
+/// A path on `weights.len() + 1` vertices with the given edge weights, in
+/// path order.
+pub fn path_graph(weights: &[u64]) -> Graph {
+    let n = weights.len() + 1;
+    let mut g = Graph::new(n);
+    for (i, &w) in weights.iter().enumerate() {
+        g.add_edge(i as Vertex, (i + 1) as Vertex, w);
+    }
+    g
+}
+
+/// A cycle on `weights.len()` vertices (≥ 3 edges) with the given edge
+/// weights in cycle order.
+///
+/// # Panics
+///
+/// Panics if fewer than 3 weights are given.
+pub fn cycle_graph(weights: &[u64]) -> Graph {
+    let n = weights.len();
+    assert!(n >= 3, "a cycle needs at least 3 edges");
+    let mut g = Graph::new(n);
+    for (i, &w) in weights.iter().enumerate() {
+        g.add_edge(i as Vertex, ((i + 1) % n) as Vertex, w);
+    }
+    g
+}
+
+/// The paper's 4-cycle with weights (3, 4, 3, 4) (Section 1.1.2): the
+/// weight-3 edges form a perfect matching of weight 6 that can only be
+/// improved via an augmenting *cycle* (optimum 8).
+pub fn four_cycle_3434() -> (Graph, Matching) {
+    let g = cycle_graph(&[3, 4, 3, 4]);
+    let m = Matching::from_edges(4, [g.edge(0), g.edge(2)]).expect("disjoint");
+    (g, m)
+}
+
+/// The generalized 4-cycle with weights `(q, q+1, q, q+1)` — the paper's
+/// `(2, 2+ε, 2, 2+ε)` example with `ε = 1/q` after scaling by `q`.
+pub fn four_cycle_eps(q: u64) -> (Graph, Matching) {
+    let g = cycle_graph(&[q, q + 1, q, q + 1]);
+    let m = Matching::from_edges(4, [g.edge(0), g.edge(2)]).expect("disjoint");
+    (g, m)
+}
+
+/// `k` vertex-disjoint 3-edge paths with unit weights: the classic family on
+/// which greedy gets stuck at ratio ~1/2 when the middle edge arrives first.
+pub fn disjoint_paths3(k: usize) -> Graph {
+    let mut g = Graph::new(4 * k);
+    for i in 0..k {
+        let b = (4 * i) as Vertex;
+        g.add_edge(b, b + 1, 1);
+        g.add_edge(b + 1, b + 2, 1);
+        g.add_edge(b + 2, b + 3, 1);
+    }
+    g
+}
+
+/// `k` vertex-disjoint weighted 3-edge paths `(w, w+1, w)`: greedy-style and
+/// local-ratio algorithms lock onto the heavier middle edge (weight `w+1`)
+/// while the optimum takes the two outer edges (weight `2w`): ratio →
+/// `(w+1)/(2w)` ≈ 1/2.
+pub fn weighted_barrier_paths(k: usize, w: u64) -> Graph {
+    let mut g = Graph::new(4 * k);
+    for i in 0..k {
+        let b = (4 * i) as Vertex;
+        g.add_edge(b, b + 1, w);
+        g.add_edge(b + 1, b + 2, w + 1);
+        g.add_edge(b + 2, b + 3, w);
+    }
+    g
+}
+
+/// The exact graph of the paper's **Figure 1**: matching `M = {{c,d}}` of
+/// weight 5, optimum `{{a,c},{d,f}}` of weight 8.
+///
+/// Vertex map: a=0, b=1, c=2, d=3, e=4, f=5. Returns the graph and the
+/// initial matching.
+pub fn fig1_graph() -> (Graph, Matching) {
+    let mut g = Graph::new(6);
+    g.add_edge(2, 3, 5); // {c,d} = 5 (matched)
+    g.add_edge(0, 2, 4); // {a,c} = 4
+    g.add_edge(1, 2, 2); // {b,c} = 2
+    g.add_edge(3, 4, 2); // {d,e} = 2
+    g.add_edge(3, 5, 4); // {d,f} = 4
+    let m = Matching::from_edges(6, [g.edge(0)]).expect("single edge");
+    (g, m)
+}
+
+/// A reconstruction of the paper's **Figure 2** (the exact weight placement
+/// of two of the ten labels is ambiguous in the figure; this reconstruction
+/// satisfies every property the text asserts about it — see the tests).
+///
+/// Vertex map: a=0, b=1, c=2, d=3, e=4, f=5, g=6, h=7.
+/// `M0 = {{a,b}=10, {c,d}=13, {e,f}=1, {g,h}=0}` (solid edges); dashed edges
+/// `{a,d}=20, {c,f}=10, {d,e}=8, {e,h}=2, {f,h}=1, {e,g}=1` arrive later.
+/// Returns `(graph, m0, dashed_edges)`.
+pub fn fig2_graph() -> (Graph, Matching, Vec<Edge>) {
+    let mut g = Graph::new(8);
+    let m0_edges = [
+        Edge::new(0, 1, 10), // {a,b}
+        Edge::new(2, 3, 13), // {c,d}
+        Edge::new(4, 5, 1),  // {e,f}
+        Edge::new(6, 7, 0),  // {g,h}
+    ];
+    let dashed = vec![
+        Edge::new(0, 3, 20), // {a,d}
+        Edge::new(2, 5, 10), // {c,f}
+        Edge::new(3, 4, 8),  // {d,e}
+        Edge::new(4, 7, 2),  // {e,h}
+        Edge::new(5, 7, 1),  // {f,h}
+        Edge::new(4, 6, 1),  // {e,g}
+    ];
+    for e in m0_edges.iter().chain(dashed.iter()) {
+        g.add_edge(e.u, e.v, e.weight);
+    }
+    let m0 = Matching::from_edges(8, m0_edges).expect("disjoint");
+    (g, m0, dashed)
+}
+
+/// The "incorrect layered graph" example from Section 1.1.2 (the 6-vertex
+/// path `a-b-c-d-e-f` with weights 1,2,2,... whose layered graph without the
+/// bipartition trick contains a non-simple bold path).
+///
+/// Vertex map: a=0..f=5; matched edges `{a,b}=1, {c,d}=1, {e,f}=1` wait —
+/// in the paper `{a,b},{c,d},{e,f}` have weight 1 and `{b,c},{d,e}` have
+/// weight 2. Returns `(graph, matching)`.
+pub fn nonsimple_path_example() -> (Graph, Matching) {
+    let g = path_graph(&[1, 2, 1, 2, 1]);
+    let m = Matching::from_edges(6, [g.edge(0), g.edge(2), g.edge(4)]).expect("disjoint");
+    (g, m)
+}
+
+/// Plants `k` disjoint 3-augmenting paths over a matching of `total`
+/// matched edges (so `β = k / total`).
+///
+/// For each of the `total` matched edges `(u_i, v_i)`, vertices `a_i` and
+/// `b_i` exist; for the first `k` of them the edges `(a_i, u_i)` and
+/// `(v_i, b_i)` are present (forming the planted path `a-u-v-b`).
+/// Returns `(graph, matching, planted_wing_edges)`.
+///
+/// # Panics
+///
+/// Panics if `k > total`.
+pub fn planted_3aug_paths(k: usize, total: usize) -> (Graph, Matching, Vec<Edge>) {
+    assert!(k <= total, "cannot plant more paths than matched edges");
+    let mut g = Graph::new(4 * total);
+    let mut m_edges = Vec::new();
+    let mut wings = Vec::new();
+    for i in 0..total {
+        let a = (4 * i) as Vertex;
+        let (u, v, b) = (a + 1, a + 2, a + 3);
+        g.add_edge(u, v, 1);
+        m_edges.push(Edge::new(u, v, 1));
+        if i < k {
+            g.add_edge(a, u, 1);
+            g.add_edge(v, b, 1);
+            wings.push(Edge::new(a, u, 1));
+            wings.push(Edge::new(v, b, 1));
+        }
+    }
+    let m = Matching::from_edges(4 * total, m_edges).expect("disjoint");
+    (g, m, wings)
+}
+
+/// A union of `k` disjoint even cycles of length `2len`, alternating weights
+/// `(lo, hi)`: the `lo` edges form a perfect matching; optimum takes the
+/// `hi` edges and is reachable only through augmenting cycles.
+pub fn alternating_cycles(k: usize, len: usize, lo: u64, hi: u64) -> (Graph, Matching) {
+    assert!(len >= 2, "need cycles of length >= 4");
+    let n = 2 * len * k;
+    let mut g = Graph::new(n);
+    let mut m_edges = Vec::new();
+    for c in 0..k {
+        let base = (2 * len * c) as Vertex;
+        for i in 0..(2 * len) {
+            let u = base + i as Vertex;
+            let v = base + ((i + 1) % (2 * len)) as Vertex;
+            let w = if i % 2 == 0 { lo } else { hi };
+            g.add_edge(u, v, w);
+            if i % 2 == 0 {
+                m_edges.push(Edge::new(u, v, w));
+            }
+        }
+    }
+    let m = Matching::from_edges(n, m_edges).expect("disjoint");
+    (g, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weight_models_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            assert_eq!(WeightModel::Unit.sample(&mut rng, 100), 1);
+            let w = WeightModel::Uniform { lo: 3, hi: 9 }.sample(&mut rng, 100);
+            assert!((3..=9).contains(&w));
+            let w = WeightModel::GeometricClasses { classes: 4, base: 2 }.sample(&mut rng, 100);
+            assert!([1, 2, 4, 8].contains(&w));
+            let w = WeightModel::Polynomial { exponent: 2 }.sample(&mut rng, 10);
+            assert!((1..=100).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let empty = gnp(10, 0.0, WeightModel::Unit, &mut rng);
+        assert_eq!(empty.edge_count(), 0);
+        let full = gnp(10, 1.0, WeightModel::Unit, &mut rng);
+        assert_eq!(full.edge_count(), 45);
+        assert!(full.is_simple());
+    }
+
+    #[test]
+    fn bipartite_respects_sides() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (g, side) = random_bipartite(6, 8, 0.5, WeightModel::Uniform { lo: 1, hi: 5 }, &mut rng);
+        assert_eq!(g.vertex_count(), 14);
+        assert!(g.respects_bipartition(&side).unwrap());
+    }
+
+    #[test]
+    fn four_cycle_is_the_paper_example() {
+        let (g, m) = four_cycle_3434();
+        assert_eq!(m.weight(), 6);
+        assert_eq!(g.total_weight(), 14);
+        // the only improvement is the full alternating cycle, to weight 8
+        assert!(m.len() == 2 && m.free_vertices().count() == 0);
+    }
+
+    #[test]
+    fn fig1_matches_paper_description() {
+        let (g, m) = fig1_graph();
+        assert_eq!(m.weight(), 5);
+        // optimum {a,c},{d,f} of weight 8 exists
+        let opt = Matching::from_edges(6, [Edge::new(0, 2, 4), Edge::new(3, 5, 4)]).unwrap();
+        opt.validate(Some(&g)).unwrap();
+        assert_eq!(opt.weight(), 8);
+        // the unweighted-augmenting but weight-decreasing path b-c-d-e exists
+        let bad = crate::alternating::Augmentation::from_component(
+            &m,
+            &[Edge::new(1, 2, 2), Edge::new(2, 3, 5), Edge::new(3, 4, 2)],
+        )
+        .unwrap();
+        assert!(bad.gain() < 0, "b-c-d-e must lose weight (gain {})", bad.gain());
+    }
+
+    #[test]
+    fn fig2_satisfies_all_textual_claims() {
+        let (g, m0, dashed) = fig2_graph();
+        assert_eq!(g.edge_count(), 10);
+        // claim 1: w({e,h}) = 2 > w(M0(e)) + w(M0(h)) = 1 + 0
+        let eh = dashed.iter().find(|e| e.key() == (4, 7)).unwrap();
+        assert!(eh.weight as i128 > (m0.incident_weight(4) + m0.incident_weight(7)) as i128);
+        // claim 2: path ({b,a},{a,d},{d,c},{c,f},{f,e}) is augmenting
+        let path = [
+            Edge::new(1, 0, 10),
+            Edge::new(0, 3, 20),
+            Edge::new(3, 2, 13),
+            Edge::new(2, 5, 10),
+            Edge::new(5, 4, 1),
+        ];
+        let aug = crate::alternating::Augmentation::from_component(&m0, &path).unwrap();
+        assert!(aug.gain() > 0, "paper path must be augmenting, gain {}", aug.gain());
+        // claim 3: cycle ({e,f},{f,h},{h,g},{g,e}) is augmenting
+        let cyc = [
+            Edge::new(4, 5, 1),
+            Edge::new(5, 7, 1),
+            Edge::new(7, 6, 0),
+            Edge::new(6, 4, 1),
+        ];
+        let aug = crate::alternating::Augmentation::from_component(&m0, &cyc).unwrap();
+        assert!(aug.gain() > 0, "paper cycle must be augmenting, gain {}", aug.gain());
+    }
+
+    #[test]
+    fn nonsimple_example_matches_text() {
+        let (g, m) = nonsimple_path_example();
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(m.len(), 3);
+        // the augmentation add {b,c},{d,e}, remove {a,b},{c,d},{e,f} gains 1
+        let comp: Vec<Edge> = g.edges().to_vec();
+        let aug = crate::alternating::Augmentation::from_component(&m, &comp).unwrap();
+        assert_eq!(aug.gain(), 1);
+    }
+
+    #[test]
+    fn planted_paths_counts() {
+        let (g, m, wings) = planted_3aug_paths(3, 10);
+        assert_eq!(m.len(), 10);
+        assert_eq!(wings.len(), 6);
+        assert_eq!(g.edge_count(), 16);
+        // each planted wing touches exactly one matched vertex
+        for w in &wings {
+            let matched = [w.u, w.v].iter().filter(|&&x| m.is_matched(x)).count();
+            assert_eq!(matched, 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot plant")]
+    fn planted_paths_validates_k() {
+        planted_3aug_paths(5, 3);
+    }
+
+    #[test]
+    fn alternating_cycles_structure() {
+        let (g, m) = alternating_cycles(2, 3, 3, 4);
+        assert_eq!(g.vertex_count(), 12);
+        assert_eq!(g.edge_count(), 12);
+        assert_eq!(m.len(), 6);
+        assert_eq!(m.weight(), 18);
+        m.validate(Some(&g)).unwrap();
+        // everything is matched: no augmenting paths exist, only cycles
+        assert_eq!(m.free_vertices().count(), 0);
+    }
+
+    #[test]
+    fn barrier_paths_shape() {
+        let g = weighted_barrier_paths(2, 10);
+        assert_eq!(g.vertex_count(), 8);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.max_weight(), 11);
+    }
+}

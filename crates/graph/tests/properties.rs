@@ -1,0 +1,209 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use wmatch_graph::alternating::symmetric_difference_components;
+use wmatch_graph::exact::{
+    max_bipartite_cardinality_matching, max_cardinality_matching, max_weight_bipartite_matching,
+    max_weight_matching, max_weight_matching_brute_force,
+};
+use wmatch_graph::generators::{self, WeightModel};
+use wmatch_graph::{Edge, Graph, Matching};
+
+/// Strategy: a random graph as (n, edge list with weights in [1, 30]).
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = Graph> {
+    (2usize..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec(
+            (0..n as u32, 0..n as u32, 1u64..=30),
+            0..=max_m,
+        )
+        .prop_map(move |raw| {
+            let mut g = Graph::new(n);
+            let mut seen = std::collections::HashSet::new();
+            for (u, v, w) in raw {
+                if u != v && seen.insert(if u < v { (u, v) } else { (v, u) }) {
+                    g.add_edge(u, v, w);
+                }
+            }
+            g
+        })
+    })
+}
+
+fn arb_bipartite(max_side: usize) -> impl Strategy<Value = (Graph, Vec<bool>)> {
+    (1usize..=max_side, 1usize..=max_side).prop_flat_map(move |(nl, nr)| {
+        proptest::collection::vec((0..nl as u32, 0..nr as u32, 1u64..=30), 0..=3 * max_side)
+            .prop_map(move |raw| {
+                let n = nl + nr;
+                let mut g = Graph::new(n);
+                let mut seen = std::collections::HashSet::new();
+                for (u, v, w) in raw {
+                    let v = v + nl as u32;
+                    if seen.insert((u, v)) {
+                        g.add_edge(u, v, w);
+                    }
+                }
+                let side = (0..n).map(|v| v >= nl).collect();
+                (g, side)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// The general weighted solver always matches brute force.
+    #[test]
+    fn mwm_general_equals_brute_force(g in arb_graph(10, 24)) {
+        let fast = max_weight_matching(&g);
+        let brute = max_weight_matching_brute_force(&g);
+        prop_assert_eq!(fast.weight(), brute.weight());
+        fast.validate(Some(&g)).unwrap();
+    }
+
+    /// The blossom cardinality solver matches brute force on unit weights.
+    #[test]
+    fn blossom_equals_brute_force(g in arb_graph(11, 28)) {
+        let unit = g.unweighted_copy();
+        let card = max_cardinality_matching(&unit);
+        let brute = max_weight_matching_brute_force(&unit);
+        prop_assert_eq!(card.len() as i128, brute.weight());
+    }
+
+    /// Hungarian equals the general solver on bipartite instances.
+    #[test]
+    fn hungarian_equals_general((g, side) in arb_bipartite(7)) {
+        let hung = max_weight_bipartite_matching(&g, &side);
+        let gen = max_weight_matching(&g);
+        prop_assert_eq!(hung.weight(), gen.weight());
+        hung.validate(Some(&g)).unwrap();
+    }
+
+    /// Hopcroft–Karp equals blossom on bipartite instances.
+    #[test]
+    fn hk_equals_blossom((g, side) in arb_bipartite(8)) {
+        let hk = max_bipartite_cardinality_matching(&g, &side);
+        let bl = max_cardinality_matching(&g);
+        prop_assert_eq!(hk.len(), bl.len());
+    }
+
+    /// A matching built from any edge subset greedily is always valid and
+    /// its tracked weight equals the recomputed weight.
+    #[test]
+    fn matching_weight_tracking(g in arb_graph(12, 40)) {
+        let mut m = Matching::new(g.vertex_count());
+        for e in g.edges() {
+            let _ = m.insert(*e);
+        }
+        m.validate(Some(&g)).unwrap();
+        let recomputed: i128 = m.iter().map(|e| e.weight as i128).sum();
+        prop_assert_eq!(m.weight(), recomputed);
+        // maximality: every edge has a matched endpoint
+        for e in g.edges() {
+            prop_assert!(m.is_matched(e.u) || m.is_matched(e.v));
+        }
+    }
+
+    /// Greedy maximal matching is a 1/2-approximation of maximum
+    /// cardinality (classic bound the paper builds on).
+    #[test]
+    fn greedy_is_half_approx(g in arb_graph(12, 40)) {
+        let mut m = Matching::new(g.vertex_count());
+        for e in g.edges() {
+            let _ = m.insert(*e);
+        }
+        let opt = max_cardinality_matching(&g);
+        prop_assert!(2 * m.len() >= opt.len());
+    }
+
+    /// Symmetric-difference components are alternating w.r.t. both
+    /// matchings, and their total gain accounts exactly for the weight gap.
+    #[test]
+    fn symmetric_difference_is_exhaustive(g in arb_graph(10, 24)) {
+        let mut greedy = Matching::new(g.vertex_count());
+        for e in g.edges() {
+            let _ = greedy.insert(*e);
+        }
+        let opt = max_weight_matching(&g);
+        let comps = symmetric_difference_components(&greedy, &opt);
+        let mut diff_weight = 0i128;
+        for comp in &comps {
+            wmatch_graph::alternating::check_alternating(&greedy, comp).unwrap();
+            for e in comp {
+                if opt.contains(e) {
+                    diff_weight += e.weight as i128;
+                } else {
+                    diff_weight -= e.weight as i128;
+                }
+            }
+        }
+        prop_assert_eq!(diff_weight, opt.weight() - greedy.weight());
+    }
+
+    /// Applying the best augmentation never produces an invalid matching
+    /// and increases weight by exactly the reported gain.
+    #[test]
+    fn augmentation_apply_is_sound(g in arb_graph(9, 18), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // random initial matching
+        let mut m = Matching::new(g.vertex_count());
+        use rand::seq::SliceRandom;
+        let mut edges = g.edges().to_vec();
+        edges.shuffle(&mut rng);
+        for e in edges.iter().take(edges.len() / 2) {
+            let _ = m.insert(*e);
+        }
+        if let Some(aug) = wmatch_graph::aug_search::best_augmentation(&g, &m, 5) {
+            let before = m.weight();
+            let gain = aug.apply(&mut m).unwrap();
+            prop_assert_eq!(gain, aug.gain());
+            prop_assert_eq!(m.weight(), before + gain);
+            m.validate(Some(&g)).unwrap();
+        }
+    }
+
+    /// Fact 1.3 (weighted form used in the paper): no augmenting
+    /// path/cycle with <= 2l-1 edges implies a (1-1/l)-approximation.
+    #[test]
+    fn fact_1_3(g in arb_graph(9, 16), l in 2usize..4) {
+        let mut m = Matching::new(g.vertex_count());
+        for e in g.edges() {
+            let _ = m.insert(*e);
+        }
+        let opt = max_weight_matching(&g).weight();
+        if !wmatch_graph::aug_search::exists_augmentation(&g, &m, 2 * l - 1) {
+            prop_assert!(m.weight() * l as i128 >= (l as i128 - 1) * opt);
+        }
+    }
+}
+
+#[test]
+fn generators_are_deterministic_per_seed() {
+    let g1 = generators::gnp(
+        30,
+        0.2,
+        WeightModel::Uniform { lo: 1, hi: 99 },
+        &mut StdRng::seed_from_u64(42),
+    );
+    let g2 = generators::gnp(
+        30,
+        0.2,
+        WeightModel::Uniform { lo: 1, hi: 99 },
+        &mut StdRng::seed_from_u64(42),
+    );
+    assert_eq!(g1, g2);
+}
+
+#[test]
+fn edge_ordering_is_stable_for_streams() {
+    // streaming experiments rely on edges() preserving insertion order
+    let mut g = Graph::new(4);
+    g.add_edge(3, 2, 5);
+    g.add_edge(0, 1, 1);
+    g.add_edge(1, 2, 9);
+    let ws: Vec<u64> = g.edges().iter().map(|e| e.weight).collect();
+    assert_eq!(ws, vec![5, 1, 9]);
+    let _ = Edge::new(0, 1, 2);
+}

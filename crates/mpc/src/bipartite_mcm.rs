@@ -1,0 +1,294 @@
+//! MPC (1−δ)-style unweighted bipartite matching — the MPC instantiation of
+//! the paper's `Unw-Bip-Matching` black box (Theorem 4.1 cites the coreset
+//! algorithm of Assadi et al. \[ABB+19\] and Ghaffari et al. \[GGK+18\]).
+//!
+//! The scheme follows the "coresets" approach of \[ABB+19\], which is natural
+//! in the paper's near-linear memory regime (`S = Θ̃(n)`, so a single
+//! machine can hold a matching plus a bounded-degree subgraph):
+//!
+//! Each iteration:
+//! 1. the coordinator broadcasts the current matching `M` (2 rounds,
+//!    `O(n) ≤ S` words),
+//! 2. every machine re-scatters its edges uniformly at random (1 round) so
+//!    coresets differ across iterations,
+//! 3. every machine extracts a **coreset** of its local edges — a
+//!    bounded-degree subgraph (≤ `degree_cap` stored edges per vertex,
+//!    at most `S/Γ` words) — and sends it to the coordinator (1 round),
+//! 4. the coordinator runs offline Hopcroft–Karp warm-started from `M` on
+//!    (union of coresets) ∪ `M` and adopts the result.
+//!
+//! Iterations stop after `patience` consecutive fruitless rounds or at the
+//! iteration budget; experiment E7 measures rounds and per-machine memory.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use wmatch_graph::exact::hopcroft_karp::max_bipartite_cardinality_matching_from;
+use wmatch_graph::{Edge, Graph, Matching};
+
+use crate::simulator::{MpcError, MpcSimulator};
+
+/// Configuration for [`mpc_bipartite_mcm`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MpcMcmConfig {
+    /// Target slack δ (drives the default iteration budget).
+    pub delta: f64,
+    /// Maximum number of coreset iterations.
+    pub max_iterations: usize,
+    /// Stop after this many consecutive iterations without improvement.
+    pub patience: usize,
+    /// Per-vertex cap on coreset edges contributed by one machine.
+    pub degree_cap: usize,
+    /// RNG seed (re-scatter randomness).
+    pub seed: u64,
+}
+
+impl MpcMcmConfig {
+    /// Derives a budget from δ: `⌈2/δ⌉` iterations, degree cap
+    /// `⌈2/δ⌉`, patience 2.
+    pub fn for_delta(delta: f64, seed: u64) -> Self {
+        let d = delta.clamp(1e-6, 1.0);
+        MpcMcmConfig {
+            delta: d,
+            max_iterations: (2.0 / d).ceil() as usize,
+            patience: 2,
+            degree_cap: (2.0 / d).ceil() as usize,
+            seed,
+        }
+    }
+}
+
+/// Output of [`mpc_bipartite_mcm`].
+#[derive(Debug, Clone)]
+pub struct MpcMcmResult {
+    /// The matching found.
+    pub matching: Matching,
+    /// Total MPC rounds consumed (including input distribution).
+    pub rounds: usize,
+    /// Peak per-machine storage in words.
+    pub peak_machine_words: usize,
+}
+
+/// Computes a large-cardinality matching of a bipartite graph in the MPC
+/// model.
+///
+/// `sim` must be freshly constructed; this function distributes `edges`
+/// itself. `side[v]` gives the bipartition side of `v`.
+///
+/// # Errors
+///
+/// Returns an [`MpcError`] if the instance does not fit the simulator's
+/// memory/communication budgets.
+///
+/// # Example
+///
+/// ```
+/// use wmatch_graph::Edge;
+/// use wmatch_mpc::{mpc_bipartite_mcm, MpcConfig, MpcMcmConfig, MpcSimulator};
+///
+/// let edges = vec![Edge::new(1, 2, 1), Edge::new(0, 2, 1), Edge::new(1, 3, 1)];
+/// let side = vec![false, false, true, true];
+/// let mut sim = MpcSimulator::new(MpcConfig { machines: 2, memory_words: 64 });
+/// let res = mpc_bipartite_mcm(&mut sim, edges, &side, &MpcMcmConfig::for_delta(0.2, 7)).unwrap();
+/// assert_eq!(res.matching.len(), 2);
+/// ```
+pub fn mpc_bipartite_mcm(
+    sim: &mut MpcSimulator,
+    edges: Vec<Edge>,
+    side: &[bool],
+    cfg: &MpcMcmConfig,
+) -> Result<MpcMcmResult, MpcError> {
+    let n = side.len();
+    let gamma = sim.config().machines;
+    let s = sim.config().memory_words;
+    let coordinator = 0usize;
+    let quota = (s / gamma.max(1)).max(1);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    sim.scatter_edges(edges, rng.gen())?;
+
+    let mut matching = Matching::new(n);
+    let mut fruitless = 0usize;
+
+    for _iter in 0..cfg.max_iterations {
+        // (1) broadcast the current matching
+        sim.broadcast_words(coordinator, matching.len().max(1))?;
+
+        // (2) re-scatter so the next coreset sees a fresh random edge order
+        let shuffle_seed: u64 = rng.gen();
+        sim.exchange(|mach, local| {
+            let mut r = StdRng::seed_from_u64(shuffle_seed ^ (mach as u64).wrapping_mul(0x9e37));
+            local
+                .drain(..)
+                .map(|e| (r.gen_range(0..gamma), e))
+                .collect::<Vec<_>>()
+        })?;
+
+        // (3) coreset extraction and gather to the coordinator
+        let inboxes = sim.exchange_transient(|_mach, local| {
+            let mut deg = vec![0u32; n];
+            let mut out = Vec::new();
+            for &e in local {
+                if out.len() >= quota {
+                    break;
+                }
+                let (u, v) = (e.u as usize, e.v as usize);
+                if deg[u] < cfg.degree_cap as u32 && deg[v] < cfg.degree_cap as u32 {
+                    deg[u] += 1;
+                    deg[v] += 1;
+                    out.push((coordinator, e));
+                }
+            }
+            out
+        })?;
+
+        // (4) coordinator: offline augmentation on coreset ∪ M
+        let mut h = Graph::new(n);
+        for e in &inboxes[coordinator] {
+            h.add_edge(e.u, e.v, e.weight);
+        }
+        for e in matching.iter() {
+            h.add_edge(e.u, e.v, e.weight);
+        }
+        let improved = max_bipartite_cardinality_matching_from(&h, side, matching.clone());
+        if improved.len() > matching.len() {
+            matching = improved;
+            fruitless = 0;
+        } else {
+            fruitless += 1;
+            if fruitless >= cfg.patience {
+                break;
+            }
+        }
+    }
+
+    Ok(MpcMcmResult {
+        matching,
+        rounds: sim.rounds(),
+        peak_machine_words: sim.peak_machine_words(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::MpcConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wmatch_graph::exact::max_bipartite_cardinality_matching;
+    use wmatch_graph::generators::{self, WeightModel};
+
+    #[test]
+    fn solves_small_path() {
+        let edges = vec![Edge::new(1, 2, 1), Edge::new(0, 2, 1), Edge::new(1, 3, 1)];
+        let side = vec![false, false, true, true];
+        let mut sim = MpcSimulator::new(MpcConfig { machines: 2, memory_words: 64 });
+        let res = mpc_bipartite_mcm(&mut sim, edges, &side, &MpcMcmConfig::for_delta(0.1, 3))
+            .unwrap();
+        assert_eq!(res.matching.len(), 2);
+        res.matching.validate(None).unwrap();
+    }
+
+    #[test]
+    fn near_optimal_on_random_bipartite() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for trial in 0..6 {
+            let (g, side) =
+                generators::random_bipartite(30, 30, 0.12, WeightModel::Unit, &mut rng);
+            let opt = max_bipartite_cardinality_matching(&g, &side).len();
+            let mut sim = MpcSimulator::new(MpcConfig { machines: 4, memory_words: 4000 });
+            let res = mpc_bipartite_mcm(
+                &mut sim,
+                g.edges().to_vec(),
+                &side,
+                &MpcMcmConfig::for_delta(0.1, trial),
+            )
+            .unwrap();
+            assert!(
+                res.matching.len() as f64 >= 0.9 * opt as f64,
+                "trial {trial}: {} vs opt {opt}",
+                res.matching.len()
+            );
+        }
+    }
+
+    #[test]
+    fn respects_memory_budget() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (g, side) = generators::random_bipartite(50, 50, 0.4, WeightModel::Unit, &mut rng);
+        let s = 2000;
+        let mut sim = MpcSimulator::new(MpcConfig { machines: 4, memory_words: s });
+        let res =
+            mpc_bipartite_mcm(&mut sim, g.edges().to_vec(), &side, &MpcMcmConfig::for_delta(0.2, 1))
+                .unwrap();
+        assert!(res.peak_machine_words <= s);
+    }
+
+    #[test]
+    fn rounds_grow_with_iterations_not_input() {
+        // same iteration budget, different sizes -> comparable round counts
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut rounds = Vec::new();
+        for &nl in &[20usize, 40, 80] {
+            let (g, side) =
+                generators::random_bipartite(nl, nl, 0.2, WeightModel::Unit, &mut rng);
+            let mut sim = MpcSimulator::new(MpcConfig { machines: 4, memory_words: 50_000 });
+            let cfg = MpcMcmConfig {
+                delta: 0.1,
+                max_iterations: 10,
+                patience: 2,
+                degree_cap: 10,
+                seed: 5,
+            };
+            let res = mpc_bipartite_mcm(&mut sim, g.edges().to_vec(), &side, &cfg).unwrap();
+            rounds.push(res.rounds);
+        }
+        let spread = rounds.iter().max().unwrap() - rounds.iter().min().unwrap();
+        assert!(
+            spread <= 4 * 10,
+            "round counts {rounds:?} must be bounded by the iteration budget, not n"
+        );
+    }
+
+    #[test]
+    fn fails_cleanly_when_budget_too_small() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let (g, side) = generators::random_bipartite(40, 40, 0.5, WeightModel::Unit, &mut rng);
+        let mut sim = MpcSimulator::new(MpcConfig { machines: 2, memory_words: 10 });
+        let err = mpc_bipartite_mcm(
+            &mut sim,
+            g.edges().to_vec(),
+            &side,
+            &MpcMcmConfig::for_delta(0.2, 2),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            MpcError::MemoryExceeded { .. } | MpcError::CommunicationExceeded { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut sim = MpcSimulator::new(MpcConfig { machines: 2, memory_words: 10 });
+        let res =
+            mpc_bipartite_mcm(&mut sim, vec![], &[], &MpcMcmConfig::for_delta(0.5, 0)).unwrap();
+        assert!(res.matching.is_empty());
+    }
+
+    #[test]
+    fn adversarial_order_is_neutralized_by_rescatter() {
+        // a long path graph fed in pathological order still reaches optimum
+        let mut edges = Vec::new();
+        let n = 40u32;
+        for i in 0..n - 1 {
+            edges.push(Edge::new(i, i + 1, 1));
+        }
+        let side: Vec<bool> = (0..n).map(|v| v % 2 == 1).collect();
+        let mut sim = MpcSimulator::new(MpcConfig { machines: 3, memory_words: 500 });
+        let res = mpc_bipartite_mcm(&mut sim, edges, &side, &MpcMcmConfig::for_delta(0.05, 4))
+            .unwrap();
+        assert_eq!(res.matching.len() as u32, n / 2);
+    }
+}

@@ -1,0 +1,30 @@
+//! Massively Parallel Computation (MPC) simulator substrate.
+//!
+//! Implements the computation model of Section 2 of the paper: Γ machines
+//! with `S` words of memory each, computing in synchronous rounds; between
+//! rounds every machine may send and receive at most `S` words. The
+//! simulator moves edge data between simulated machines, enforces the
+//! memory and communication budgets, and counts rounds — the model's
+//! complexity measure.
+//!
+//! [`bipartite_mcm`] provides the MPC instantiation of the paper's
+//! `Unw-Bip-Matching` black box (Theorem 4.1 cites \[GGK+18\]/\[ABB+19\]):
+//! a coreset-iteration algorithm in the near-linear memory regime.
+//!
+//! # Example
+//!
+//! ```
+//! use wmatch_graph::Edge;
+//! use wmatch_mpc::{MpcConfig, MpcSimulator};
+//!
+//! let cfg = MpcConfig { machines: 4, memory_words: 100 };
+//! let mut sim = MpcSimulator::new(cfg);
+//! sim.scatter_edges(vec![Edge::new(0, 1, 1), Edge::new(2, 3, 1)], 7).unwrap();
+//! assert_eq!(sim.rounds(), 1); // the initial distribution round
+//! ```
+
+pub mod bipartite_mcm;
+pub mod simulator;
+
+pub use bipartite_mcm::{mpc_bipartite_mcm, MpcMcmConfig, MpcMcmResult};
+pub use simulator::{MpcConfig, MpcError, MpcSimulator};

@@ -1,0 +1,435 @@
+//! The MPC machine/round simulator.
+//!
+//! Words of memory are counted in *edge units*: one stored or transmitted
+//! edge costs one word (an edge is O(1) machine words; the constant is
+//! irrelevant to the asymptotic accounting the experiments verify).
+
+use std::error::Error;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use wmatch_graph::Edge;
+
+/// Static parameters of the MPC deployment: Γ machines × S words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MpcConfig {
+    /// Number of machines Γ.
+    pub machines: usize,
+    /// Memory (and per-round communication) budget S per machine, in words.
+    pub memory_words: usize,
+}
+
+impl MpcConfig {
+    /// The paper's regime: `S = Θ̃(n)` memory per machine and `Γ = O(m/n)`
+    /// machines, with a `slack` multiplier on S for polylog factors.
+    pub fn near_linear(n: usize, m: usize, slack: usize) -> Self {
+        let machines = (m / n.max(1)).clamp(2, 64);
+        MpcConfig {
+            machines,
+            memory_words: slack.max(1) * n.max(1),
+        }
+    }
+}
+
+/// Errors raised when an algorithm exceeds the model's budgets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MpcError {
+    /// A machine's storage exceeded S words.
+    MemoryExceeded {
+        /// The machine that overflowed.
+        machine: usize,
+        /// Words it attempted to hold.
+        used: usize,
+        /// The budget S.
+        limit: usize,
+    },
+    /// A machine sent or received more than S words in one round.
+    CommunicationExceeded {
+        /// The machine that overflowed.
+        machine: usize,
+        /// Words it attempted to transfer.
+        used: usize,
+        /// The budget S.
+        limit: usize,
+    },
+    /// A message was addressed to a machine that does not exist.
+    NoSuchMachine {
+        /// The offending machine id.
+        machine: usize,
+    },
+}
+
+impl fmt::Display for MpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpcError::MemoryExceeded { machine, used, limit } => {
+                write!(f, "machine {machine} memory exceeded: {used} > {limit} words")
+            }
+            MpcError::CommunicationExceeded { machine, used, limit } => write!(
+                f,
+                "machine {machine} communication exceeded: {used} > {limit} words"
+            ),
+            MpcError::NoSuchMachine { machine } => {
+                write!(f, "message addressed to nonexistent machine {machine}")
+            }
+        }
+    }
+}
+
+impl Error for MpcError {}
+
+/// The simulator: machines holding edge data, a round counter, and budget
+/// enforcement.
+///
+/// Edge payloads move between machines through [`MpcSimulator::exchange`];
+/// small control state (e.g. the current matching, O(n) ≤ S words) is
+/// accounted through [`MpcSimulator::broadcast_words`] /
+/// [`MpcSimulator::gather_words`], which charge the rounds and validate the
+/// communication volume of the standard two-step broadcast the paper
+/// describes in its MPC implementation notes (Section 4.4).
+#[derive(Debug, Clone)]
+pub struct MpcSimulator {
+    cfg: MpcConfig,
+    storage: Vec<Vec<Edge>>,
+    rounds: usize,
+    peak_machine_words: usize,
+}
+
+impl MpcSimulator {
+    /// Creates a simulator with empty machines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.machines == 0`.
+    pub fn new(cfg: MpcConfig) -> Self {
+        assert!(cfg.machines > 0, "need at least one machine");
+        MpcSimulator {
+            cfg,
+            storage: vec![Vec::new(); cfg.machines],
+            rounds: 0,
+            peak_machine_words: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> MpcConfig {
+        self.cfg
+    }
+
+    /// Rounds elapsed.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Largest per-machine storage observed, in words.
+    pub fn peak_machine_words(&self) -> usize {
+        self.peak_machine_words
+    }
+
+    /// Read-only view of machine `i`'s stored edges.
+    pub fn machine(&self, i: usize) -> &[Edge] {
+        &self.storage[i]
+    }
+
+    fn note_loads(&mut self) -> Result<(), MpcError> {
+        for (i, st) in self.storage.iter().enumerate() {
+            self.peak_machine_words = self.peak_machine_words.max(st.len());
+            if st.len() > self.cfg.memory_words {
+                return Err(MpcError::MemoryExceeded {
+                    machine: i,
+                    used: st.len(),
+                    limit: self.cfg.memory_words,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Distributes the input edges uniformly at random across machines
+    /// (the model's "arbitrary initial partition"; costs one round).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpcError::MemoryExceeded`] if some machine would overflow.
+    pub fn scatter_edges(&mut self, edges: Vec<Edge>, seed: u64) -> Result<(), MpcError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for e in edges {
+            let m = rng.gen_range(0..self.cfg.machines);
+            self.storage[m].push(e);
+        }
+        self.rounds += 1;
+        self.note_loads()
+    }
+
+    /// Runs one communication round: `step(machine_id, local_edges)` may
+    /// mutate the machine's local storage and returns messages
+    /// `(destination, edge)` to deliver before the next round.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any machine sends or receives more than S words,
+    /// stores more than S words afterwards, or addresses a bad machine.
+    pub fn exchange<F>(&mut self, mut step: F) -> Result<(), MpcError>
+    where
+        F: FnMut(usize, &mut Vec<Edge>) -> Vec<(usize, Edge)>,
+    {
+        let s = self.cfg.memory_words;
+        let gamma = self.cfg.machines;
+        let mut inboxes: Vec<Vec<Edge>> = vec![Vec::new(); gamma];
+        let mut received = vec![0usize; gamma];
+        for i in 0..gamma {
+            let mut local = std::mem::take(&mut self.storage[i]);
+            let out = step(i, &mut local);
+            self.storage[i] = local;
+            if out.len() > s {
+                return Err(MpcError::CommunicationExceeded {
+                    machine: i,
+                    used: out.len(),
+                    limit: s,
+                });
+            }
+            for (dest, e) in out {
+                if dest >= gamma {
+                    return Err(MpcError::NoSuchMachine { machine: dest });
+                }
+                received[dest] += 1;
+                if received[dest] > s {
+                    return Err(MpcError::CommunicationExceeded {
+                        machine: dest,
+                        used: received[dest],
+                        limit: s,
+                    });
+                }
+                inboxes[dest].push(e);
+            }
+        }
+        for (i, inbox) in inboxes.into_iter().enumerate() {
+            self.storage[i].extend(inbox);
+        }
+        self.rounds += 1;
+        self.note_loads()
+    }
+
+    /// Runs one communication round in which messages land in *transient*
+    /// inboxes returned to the caller instead of being merged into machine
+    /// storage (for working sets that are discarded after the round, e.g.
+    /// coresets gathered onto a coordinator).
+    ///
+    /// `step(machine_id, local_edges)` reads the machine's storage and
+    /// returns messages. Budgets: each machine may send at most S words;
+    /// each machine's storage plus its inbox must fit in S words.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on budget violations or bad destinations.
+    #[allow(clippy::needless_range_loop)]
+    pub fn exchange_transient<F>(&mut self, mut step: F) -> Result<Vec<Vec<Edge>>, MpcError>
+    where
+        F: FnMut(usize, &[Edge]) -> Vec<(usize, Edge)>,
+    {
+        let s = self.cfg.memory_words;
+        let gamma = self.cfg.machines;
+        let mut inboxes: Vec<Vec<Edge>> = vec![Vec::new(); gamma];
+        for i in 0..gamma {
+            let out = step(i, &self.storage[i]);
+            if out.len() > s {
+                return Err(MpcError::CommunicationExceeded {
+                    machine: i,
+                    used: out.len(),
+                    limit: s,
+                });
+            }
+            for (dest, e) in out {
+                if dest >= gamma {
+                    return Err(MpcError::NoSuchMachine { machine: dest });
+                }
+                inboxes[dest].push(e);
+            }
+        }
+        self.rounds += 1;
+        for i in 0..gamma {
+            let used = self.storage[i].len() + inboxes[i].len();
+            self.peak_machine_words = self.peak_machine_words.max(used);
+            if used > s {
+                return Err(MpcError::MemoryExceeded { machine: i, used, limit: s });
+            }
+        }
+        Ok(inboxes)
+    }
+
+    /// Accounts for broadcasting `words` words of control state from one
+    /// machine to all machines using the standard two-step scheme (split
+    /// into Γ parts, then all-to-all): costs 2 rounds; requires
+    /// `words ≤ S`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpcError::CommunicationExceeded`] if `words > S`.
+    pub fn broadcast_words(&mut self, from: usize, words: usize) -> Result<(), MpcError> {
+        if words > self.cfg.memory_words {
+            return Err(MpcError::CommunicationExceeded {
+                machine: from,
+                used: words,
+                limit: self.cfg.memory_words,
+            });
+        }
+        self.rounds += 2;
+        Ok(())
+    }
+
+    /// Accounts for gathering `words_per_machine[i]` words from each
+    /// machine onto `to` in one round.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpcError::CommunicationExceeded`] if the destination would
+    /// receive more than S words in total.
+    pub fn gather_words(&mut self, to: usize, words_per_machine: &[usize]) -> Result<(), MpcError> {
+        let total: usize = words_per_machine.iter().sum();
+        if total > self.cfg.memory_words {
+            return Err(MpcError::CommunicationExceeded {
+                machine: to,
+                used: total,
+                limit: self.cfg.memory_words,
+            });
+        }
+        self.rounds += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_edges(k: usize) -> Vec<Edge> {
+        (0..k as u32).map(|i| Edge::new(2 * i, 2 * i + 1, 1)).collect()
+    }
+
+    #[test]
+    fn scatter_distributes_all_edges() {
+        let mut sim = MpcSimulator::new(MpcConfig { machines: 4, memory_words: 100 });
+        sim.scatter_edges(unit_edges(40), 1).unwrap();
+        let total: usize = (0..4).map(|i| sim.machine(i).len()).sum();
+        assert_eq!(total, 40);
+        assert_eq!(sim.rounds(), 1);
+        assert!(sim.peak_machine_words() <= 100);
+    }
+
+    #[test]
+    fn scatter_detects_overflow() {
+        let mut sim = MpcSimulator::new(MpcConfig { machines: 2, memory_words: 3 });
+        let err = sim.scatter_edges(unit_edges(40), 1).unwrap_err();
+        assert!(matches!(err, MpcError::MemoryExceeded { .. }));
+    }
+
+    #[test]
+    fn exchange_moves_edges_and_counts_rounds() {
+        let mut sim = MpcSimulator::new(MpcConfig { machines: 2, memory_words: 100 });
+        sim.scatter_edges(unit_edges(10), 2).unwrap();
+        // move everything to machine 0
+        sim.exchange(|_, local| {
+            let out: Vec<_> = local.drain(..).map(|e| (0usize, e)).collect();
+            out
+        })
+        .unwrap();
+        assert_eq!(sim.machine(0).len(), 10);
+        assert_eq!(sim.machine(1).len(), 0);
+        assert_eq!(sim.rounds(), 2);
+    }
+
+    #[test]
+    fn exchange_detects_receive_overflow() {
+        let mut sim = MpcSimulator::new(MpcConfig { machines: 4, memory_words: 20 });
+        sim.scatter_edges(unit_edges(40), 3).unwrap();
+        // funnelling all 40 edges into machine 0 exceeds its 20-word budget
+        let err = sim
+            .exchange(|_, local| local.drain(..).map(|e| (0usize, e)).collect::<Vec<_>>())
+            .unwrap_err();
+        assert!(matches!(err, MpcError::CommunicationExceeded { machine: 0, .. }));
+    }
+
+    #[test]
+    fn exchange_rejects_bad_destination() {
+        let mut sim = MpcSimulator::new(MpcConfig { machines: 2, memory_words: 100 });
+        sim.scatter_edges(unit_edges(1), 4).unwrap();
+        let err = sim
+            .exchange(|_, local| local.drain(..).map(|e| (9usize, e)).collect::<Vec<_>>())
+            .unwrap_err();
+        assert_eq!(err, MpcError::NoSuchMachine { machine: 9 });
+    }
+
+    #[test]
+    fn transient_exchange_leaves_storage_untouched() {
+        let mut sim = MpcSimulator::new(MpcConfig { machines: 3, memory_words: 50 });
+        sim.scatter_edges(unit_edges(12), 5).unwrap();
+        let before: Vec<usize> = (0..3).map(|i| sim.machine(i).len()).collect();
+        let inboxes = sim
+            .exchange_transient(|_m, local| {
+                local.iter().map(|e| (0usize, *e)).collect::<Vec<_>>()
+            })
+            .unwrap();
+        let after: Vec<usize> = (0..3).map(|i| sim.machine(i).len()).collect();
+        assert_eq!(before, after, "transient messages must not persist");
+        assert_eq!(inboxes[0].len(), 12);
+        assert!(inboxes[1].is_empty() && inboxes[2].is_empty());
+        assert_eq!(sim.rounds(), 2); // scatter + transient round
+    }
+
+    #[test]
+    fn transient_exchange_enforces_inbox_memory() {
+        // storage + inbox must fit in S: machine 0 holds ~1/2 of 30 edges
+        // with S = 20, so receiving 20 more overflows
+        let mut sim = MpcSimulator::new(MpcConfig { machines: 2, memory_words: 20 });
+        sim.scatter_edges(unit_edges(30), 6).unwrap();
+        let err = sim
+            .exchange_transient(|_m, local| {
+                local.iter().map(|e| (0usize, *e)).collect::<Vec<_>>()
+            })
+            .unwrap_err();
+        assert!(matches!(err, MpcError::MemoryExceeded { machine: 0, .. }));
+    }
+
+    #[test]
+    fn transient_exchange_rejects_bad_destination() {
+        let mut sim = MpcSimulator::new(MpcConfig { machines: 2, memory_words: 50 });
+        sim.scatter_edges(unit_edges(2), 7).unwrap();
+        let err = sim
+            .exchange_transient(|_m, local| {
+                local.iter().map(|e| (5usize, *e)).collect::<Vec<_>>()
+            })
+            .unwrap_err();
+        assert_eq!(err, MpcError::NoSuchMachine { machine: 5 });
+    }
+
+    #[test]
+    fn broadcast_and_gather_accounting() {
+        let mut sim = MpcSimulator::new(MpcConfig { machines: 4, memory_words: 50 });
+        sim.broadcast_words(0, 50).unwrap();
+        assert_eq!(sim.rounds(), 2);
+        sim.gather_words(0, &[10, 10, 10, 10]).unwrap();
+        assert_eq!(sim.rounds(), 3);
+        assert!(sim.broadcast_words(0, 51).is_err());
+        assert!(sim.gather_words(0, &[26, 26, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn near_linear_config() {
+        let cfg = MpcConfig::near_linear(1000, 50_000, 4);
+        assert_eq!(cfg.machines, 50);
+        assert_eq!(cfg.memory_words, 4000);
+        // degenerate inputs stay sane
+        let cfg = MpcConfig::near_linear(10, 5, 1);
+        assert!(cfg.machines >= 2);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = MpcError::MemoryExceeded { machine: 3, used: 10, limit: 5 };
+        assert_eq!(e.to_string(), "machine 3 memory exceeded: 10 > 5 words");
+    }
+}

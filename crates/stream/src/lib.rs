@@ -1,0 +1,39 @@
+//! Semi-streaming model substrate.
+//!
+//! Implements the computation model of Feigenbaum et al. used throughout
+//! the paper (Section 2): edges arrive one at a time, the algorithm may use
+//! `O(n·polylog n)` memory, and may take one or more passes over the
+//! stream. This crate provides:
+//!
+//! * [`stream`] — edge streams with adversarial / random-order arrival and
+//!   pass counting ([`VecStream`], the [`EdgeStream`] trait),
+//! * [`meter`] — memory accounting in stored edges ([`MemoryMeter`]),
+//! * [`runner`] — a driver for multi-pass streaming algorithms
+//!   ([`StreamAlgorithm`]),
+//! * [`bipartite_mcm`] — a multi-pass (1−δ)-style unweighted bipartite
+//!   matching algorithm: the streaming instantiation of the paper's
+//!   `Unw-Bip-Matching` black box.
+//!
+//! # Example
+//!
+//! ```
+//! use wmatch_graph::Edge;
+//! use wmatch_stream::{EdgeStream, VecStream};
+//!
+//! let edges = vec![Edge::new(0, 1, 3), Edge::new(1, 2, 5)];
+//! let mut s = VecStream::random_order(edges, 42);
+//! let mut seen = 0;
+//! s.stream_pass(&mut |_e| seen += 1);
+//! assert_eq!(seen, 2);
+//! assert_eq!(s.passes(), 1);
+//! ```
+
+pub mod bipartite_mcm;
+pub mod meter;
+pub mod runner;
+pub mod stream;
+
+pub use bipartite_mcm::{multipass_bipartite_mcm, McmConfig, McmResult};
+pub use meter::MemoryMeter;
+pub use runner::{run_multipass, StreamAlgorithm};
+pub use stream::{EdgeStream, VecStream};

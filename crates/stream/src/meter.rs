@@ -1,0 +1,118 @@
+//! Memory accounting for semi-streaming algorithms.
+//!
+//! The semi-streaming model allows `O(n·polylog n)` memory. Experiments E6
+//! and E8 verify that the algorithms respect this bound; the unit of
+//! account is *stored edges* (a stored edge is O(1) words).
+
+use std::fmt;
+
+/// Tracks current and peak memory, measured in stored edges/words.
+///
+/// # Example
+///
+/// ```
+/// use wmatch_stream::MemoryMeter;
+///
+/// let mut meter = MemoryMeter::new();
+/// meter.add(10);
+/// meter.sub(4);
+/// meter.add(1);
+/// assert_eq!(meter.current(), 7);
+/// assert_eq!(meter.peak(), 10);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemoryMeter {
+    current: usize,
+    peak: usize,
+}
+
+impl MemoryMeter {
+    /// Creates a meter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `words` additional stored items.
+    pub fn add(&mut self, words: usize) {
+        self.current += words;
+        self.peak = self.peak.max(self.current);
+    }
+
+    /// Records the release of `words` stored items (saturating).
+    pub fn sub(&mut self, words: usize) {
+        self.current = self.current.saturating_sub(words);
+    }
+
+    /// Replaces the current usage (peak still accumulates).
+    pub fn set(&mut self, words: usize) {
+        self.current = words;
+        self.peak = self.peak.max(self.current);
+    }
+
+    /// Current usage.
+    pub fn current(&self) -> usize {
+        self.current
+    }
+
+    /// Peak usage since creation.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Folds another meter's peak into this one (for algorithms composed of
+    /// sub-components metered separately; peaks are summed conservatively).
+    pub fn absorb_peak_of(&mut self, other: &MemoryMeter) {
+        self.peak += other.peak;
+    }
+}
+
+impl fmt::Display for MemoryMeter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mem(cur={}, peak={})", self.current, self.peak)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_peak() {
+        let mut m = MemoryMeter::new();
+        m.add(5);
+        m.add(5);
+        m.sub(8);
+        assert_eq!(m.current(), 2);
+        assert_eq!(m.peak(), 10);
+        m.add(20);
+        assert_eq!(m.peak(), 22);
+    }
+
+    #[test]
+    fn sub_saturates() {
+        let mut m = MemoryMeter::new();
+        m.add(1);
+        m.sub(5);
+        assert_eq!(m.current(), 0);
+    }
+
+    #[test]
+    fn set_updates_peak() {
+        let mut m = MemoryMeter::new();
+        m.set(7);
+        m.set(3);
+        assert_eq!(m.current(), 3);
+        assert_eq!(m.peak(), 7);
+    }
+
+    #[test]
+    fn absorb_sums_peaks() {
+        let mut a = MemoryMeter::new();
+        a.add(4);
+        let mut b = MemoryMeter::new();
+        b.add(9);
+        b.sub(9);
+        a.absorb_peak_of(&b);
+        assert_eq!(a.peak(), 13);
+    }
+}

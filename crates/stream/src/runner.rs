@@ -1,0 +1,132 @@
+//! Driver for multi-pass streaming algorithms.
+
+use wmatch_graph::Edge;
+
+use crate::stream::EdgeStream;
+
+/// A (possibly multi-pass) streaming algorithm.
+///
+/// The driver [`run_multipass`] calls `begin_pass`, feeds every edge of the
+/// pass to `on_edge`, calls `end_pass`, and repeats while
+/// `wants_another_pass()` holds (up to a pass budget). `finish` consumes
+/// the algorithm and produces its output.
+pub trait StreamAlgorithm {
+    /// The algorithm's final output.
+    type Output;
+
+    /// Called before each pass (0-indexed).
+    fn begin_pass(&mut self, _pass: usize) {}
+
+    /// Called once per edge per pass.
+    fn on_edge(&mut self, e: Edge);
+
+    /// Called after each pass.
+    fn end_pass(&mut self, _pass: usize) {}
+
+    /// Whether the algorithm needs another pass over the stream.
+    fn wants_another_pass(&self) -> bool {
+        false
+    }
+
+    /// Produces the output.
+    fn finish(self) -> Self::Output;
+}
+
+/// Runs `alg` over `stream` for at most `max_passes` passes (at least one)
+/// and returns `(output, passes_used)`.
+///
+/// # Example
+///
+/// ```
+/// use wmatch_graph::Edge;
+/// use wmatch_stream::{run_multipass, StreamAlgorithm, VecStream};
+///
+/// struct CountEdges(usize);
+/// impl StreamAlgorithm for CountEdges {
+///     type Output = usize;
+///     fn on_edge(&mut self, _e: Edge) { self.0 += 1; }
+///     fn finish(self) -> usize { self.0 }
+/// }
+///
+/// let mut s = VecStream::adversarial(vec![Edge::new(0, 1, 1)]);
+/// let (count, passes) = run_multipass(&mut s, CountEdges(0), 5);
+/// assert_eq!((count, passes), (1, 1));
+/// ```
+pub fn run_multipass<A: StreamAlgorithm>(
+    stream: &mut dyn EdgeStream,
+    mut alg: A,
+    max_passes: usize,
+) -> (A::Output, usize) {
+    let mut pass = 0;
+    loop {
+        alg.begin_pass(pass);
+        stream.stream_pass(&mut |e| alg.on_edge(e));
+        alg.end_pass(pass);
+        pass += 1;
+        if pass >= max_passes || !alg.wants_another_pass() {
+            break;
+        }
+    }
+    (alg.finish(), pass)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::VecStream;
+
+    struct SumWeightsForPasses {
+        target_passes: usize,
+        done: usize,
+        sum: u64,
+    }
+
+    impl StreamAlgorithm for SumWeightsForPasses {
+        type Output = u64;
+        fn on_edge(&mut self, e: Edge) {
+            self.sum += e.weight;
+        }
+        fn end_pass(&mut self, _pass: usize) {
+            self.done += 1;
+        }
+        fn wants_another_pass(&self) -> bool {
+            self.done < self.target_passes
+        }
+        fn finish(self) -> u64 {
+            self.sum
+        }
+    }
+
+    #[test]
+    fn runs_requested_passes() {
+        let edges = vec![Edge::new(0, 1, 2), Edge::new(1, 2, 3)];
+        let mut s = VecStream::adversarial(edges);
+        let alg = SumWeightsForPasses { target_passes: 3, done: 0, sum: 0 };
+        let (sum, passes) = run_multipass(&mut s, alg, 10);
+        assert_eq!(passes, 3);
+        assert_eq!(sum, 15);
+        assert_eq!(s.passes(), 3);
+    }
+
+    #[test]
+    fn pass_budget_is_enforced() {
+        let edges = vec![Edge::new(0, 1, 2)];
+        let mut s = VecStream::adversarial(edges);
+        let alg = SumWeightsForPasses { target_passes: 100, done: 0, sum: 0 };
+        let (_, passes) = run_multipass(&mut s, alg, 4);
+        assert_eq!(passes, 4);
+    }
+
+    #[test]
+    fn single_pass_default() {
+        struct One;
+        impl StreamAlgorithm for One {
+            type Output = ();
+            fn on_edge(&mut self, _e: Edge) {}
+            fn finish(self) {}
+        }
+        let mut s = VecStream::adversarial(vec![Edge::new(0, 1, 1)]);
+        let (_, passes) = run_multipass(&mut s, One, 8);
+        assert_eq!(passes, 1);
+    }
+}

@@ -1,0 +1,236 @@
+//! Edge streams with pass counting and arrival-order control.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use wmatch_graph::Edge;
+
+/// A source of edges that can be read in passes.
+///
+/// A *pass* delivers every edge exactly once, in the stream's arrival
+/// order. Multi-pass algorithms call [`EdgeStream::stream_pass`] repeatedly;
+/// the stream counts how many passes were consumed, which is the complexity
+/// measure of the multi-pass semi-streaming model.
+///
+/// The trait is object-safe so that adapter streams (e.g. the layered-graph
+/// filters of Algorithm 4) can wrap a `&mut dyn EdgeStream`.
+pub trait EdgeStream {
+    /// Streams one full pass of edges into `sink`.
+    fn stream_pass(&mut self, sink: &mut dyn FnMut(Edge));
+
+    /// Number of edges per pass.
+    fn edge_count(&self) -> usize;
+
+    /// Number of vertices of the underlying graph.
+    fn vertex_count(&self) -> usize;
+
+    /// Number of passes consumed so far.
+    fn passes(&self) -> usize;
+}
+
+/// How a [`VecStream`] orders its edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Order {
+    /// Insertion (adversary-chosen) order, identical in every pass.
+    Adversarial,
+    /// One uniformly random permutation, fixed across passes (the paper's
+    /// random-edge-arrival model for single-pass algorithms).
+    RandomFixed,
+    /// A fresh uniformly random permutation for each pass.
+    RandomPerPass,
+}
+
+/// An in-memory edge stream.
+///
+/// # Example
+///
+/// ```
+/// use wmatch_graph::Edge;
+/// use wmatch_stream::{EdgeStream, VecStream};
+///
+/// let edges = vec![Edge::new(0, 1, 1), Edge::new(2, 3, 1)];
+/// let mut s = VecStream::adversarial(edges.clone());
+/// let mut got = Vec::new();
+/// s.stream_pass(&mut |e| got.push(e));
+/// assert_eq!(got, edges);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VecStream {
+    edges: Vec<Edge>,
+    n: usize,
+    order: Order,
+    rng: StdRng,
+    passes: usize,
+    perm: Vec<u32>,
+}
+
+impl VecStream {
+    /// A stream that delivers edges in the given (adversarial) order.
+    pub fn adversarial(edges: Vec<Edge>) -> Self {
+        Self::build(edges, Order::Adversarial, 0)
+    }
+
+    /// A stream with one uniformly random arrival order drawn from `seed`
+    /// (the paper's random-edge-arrival model). The order is fixed across
+    /// passes.
+    pub fn random_order(edges: Vec<Edge>, seed: u64) -> Self {
+        Self::build(edges, Order::RandomFixed, seed)
+    }
+
+    /// A stream that re-shuffles uniformly at random before every pass.
+    pub fn random_order_per_pass(edges: Vec<Edge>, seed: u64) -> Self {
+        Self::build(edges, Order::RandomPerPass, seed)
+    }
+
+    fn build(edges: Vec<Edge>, order: Order, seed: u64) -> Self {
+        let n = edges
+            .iter()
+            .map(|e| e.u.max(e.v) as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut perm: Vec<u32> = (0..edges.len() as u32).collect();
+        if order != Order::Adversarial {
+            perm.shuffle(&mut rng);
+        }
+        VecStream {
+            edges,
+            n,
+            order,
+            rng,
+            passes: 0,
+            perm,
+        }
+    }
+
+    /// Overrides the vertex count (useful when isolated vertices exist
+    /// beyond the largest edge endpoint).
+    pub fn with_vertex_count(mut self, n: usize) -> Self {
+        self.n = n;
+        self
+    }
+
+    /// The edges in their current arrival order (what the next pass will
+    /// deliver).
+    pub fn arrival_order(&self) -> Vec<Edge> {
+        self.perm.iter().map(|&i| self.edges[i as usize]).collect()
+    }
+}
+
+impl EdgeStream for VecStream {
+    fn stream_pass(&mut self, sink: &mut dyn FnMut(Edge)) {
+        if self.order == Order::RandomPerPass && self.passes > 0 {
+            self.perm.shuffle(&mut self.rng);
+        }
+        self.passes += 1;
+        for &i in &self.perm {
+            sink(self.edges[i as usize]);
+        }
+    }
+
+    fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    fn passes(&self) -> usize {
+        self.passes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edges() -> Vec<Edge> {
+        (0..10u32).map(|i| Edge::new(2 * i, 2 * i + 1, 1)).collect()
+    }
+
+    #[test]
+    fn adversarial_preserves_order_across_passes() {
+        let mut s = VecStream::adversarial(edges());
+        let mut p1 = Vec::new();
+        s.stream_pass(&mut |e| p1.push(e));
+        let mut p2 = Vec::new();
+        s.stream_pass(&mut |e| p2.push(e));
+        assert_eq!(p1, edges());
+        assert_eq!(p2, edges());
+        assert_eq!(s.passes(), 2);
+    }
+
+    #[test]
+    fn random_order_is_seed_deterministic() {
+        let mut a = VecStream::random_order(edges(), 7);
+        let mut b = VecStream::random_order(edges(), 7);
+        let mut pa = Vec::new();
+        let mut pb = Vec::new();
+        a.stream_pass(&mut |e| pa.push(e));
+        b.stream_pass(&mut |e| pb.push(e));
+        assert_eq!(pa, pb);
+        // different seed gives (almost surely) a different order
+        let mut c = VecStream::random_order(edges(), 8);
+        let mut pc = Vec::new();
+        c.stream_pass(&mut |e| pc.push(e));
+        assert_ne!(pa, pc);
+    }
+
+    #[test]
+    fn random_fixed_is_stable_across_passes() {
+        let mut s = VecStream::random_order(edges(), 3);
+        let (mut p1, mut p2) = (Vec::new(), Vec::new());
+        s.stream_pass(&mut |e| p1.push(e));
+        s.stream_pass(&mut |e| p2.push(e));
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn random_per_pass_reshuffles() {
+        let mut s = VecStream::random_order_per_pass(edges(), 3);
+        let (mut p1, mut p2) = (Vec::new(), Vec::new());
+        s.stream_pass(&mut |e| p1.push(e));
+        s.stream_pass(&mut |e| p2.push(e));
+        // same multiset
+        let mut s1 = p1.clone();
+        let mut s2 = p2.clone();
+        s1.sort();
+        s2.sort();
+        assert_eq!(s1, s2);
+        assert_ne!(p1, p2, "10! orders make a collision vanishingly unlikely");
+    }
+
+    #[test]
+    fn each_pass_delivers_every_edge_once() {
+        let mut s = VecStream::random_order(edges(), 12);
+        let mut got = Vec::new();
+        s.stream_pass(&mut |e| got.push(e));
+        assert_eq!(got.len(), 10);
+        let mut sorted = got.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+    }
+
+    #[test]
+    fn vertex_count_inference_and_override() {
+        let s = VecStream::adversarial(vec![Edge::new(0, 5, 1)]);
+        assert_eq!(s.vertex_count(), 6);
+        let s = s.with_vertex_count(10);
+        assert_eq!(s.vertex_count(), 10);
+        let empty = VecStream::adversarial(vec![]);
+        assert_eq!(empty.vertex_count(), 0);
+        assert_eq!(empty.edge_count(), 0);
+    }
+
+    #[test]
+    fn arrival_order_matches_next_pass() {
+        let mut s = VecStream::random_order(edges(), 99);
+        let predicted = s.arrival_order();
+        let mut got = Vec::new();
+        s.stream_pass(&mut |e| got.push(e));
+        assert_eq!(predicted, got);
+    }
+}

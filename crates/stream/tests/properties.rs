@@ -1,0 +1,88 @@
+//! Property-based tests for the streaming substrate.
+
+use proptest::prelude::*;
+
+use wmatch_graph::exact::max_bipartite_cardinality_matching;
+use wmatch_graph::{Edge, Graph};
+use wmatch_stream::{multipass_bipartite_mcm, EdgeStream, McmConfig, MemoryMeter, VecStream};
+
+fn arb_edges(max_m: usize) -> impl Strategy<Value = Vec<Edge>> {
+    proptest::collection::vec((0u32..40, 0u32..40, 1u64..100), 0..max_m).prop_map(|raw| {
+        raw.into_iter()
+            .filter(|(u, v, _)| u != v)
+            .map(|(u, v, w)| Edge::new(u, v, w))
+            .collect()
+    })
+}
+
+fn arb_bipartite_edges(max_m: usize) -> impl Strategy<Value = (Vec<Edge>, Vec<bool>)> {
+    proptest::collection::vec((0u32..15, 15u32..30, 1u64..5), 0..max_m).prop_map(|raw| {
+        let edges: Vec<Edge> = raw.into_iter().map(|(u, v, w)| Edge::new(u, v, w)).collect();
+        let side: Vec<bool> = (0..30).map(|v| v >= 15).collect();
+        (edges, side)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(100))]
+
+    /// Every pass of every ordering mode delivers exactly the input
+    /// multiset of edges.
+    #[test]
+    fn passes_preserve_the_multiset(edges in arb_edges(50), seed in 0u64..100) {
+        let mut expected = edges.clone();
+        expected.sort();
+        for mut s in [
+            VecStream::adversarial(edges.clone()),
+            VecStream::random_order(edges.clone(), seed),
+            VecStream::random_order_per_pass(edges.clone(), seed),
+        ] {
+            for pass in 0..3 {
+                let mut got = Vec::new();
+                s.stream_pass(&mut |e| got.push(e));
+                got.sort();
+                prop_assert_eq!(&got, &expected, "pass {}", pass);
+            }
+            prop_assert_eq!(s.passes(), 3);
+        }
+    }
+
+    /// The multi-pass MCM box returns a valid matching no smaller than a
+    /// maximal matching and no larger than the optimum, within its pass
+    /// budget and its memory bound.
+    #[test]
+    fn mcm_box_sandwich((edges, side) in arb_bipartite_edges(60), seed in 0u64..50) {
+        let n = side.len();
+        let mut s = VecStream::random_order(edges.clone(), seed).with_vertex_count(n);
+        let cfg = McmConfig::for_delta(0.25);
+        let res = multipass_bipartite_mcm(&mut s, &side, &cfg);
+        res.matching.validate(None).unwrap();
+        prop_assert!(res.passes <= cfg.max_passes);
+        let g = Graph::from_edges(n, edges.iter().copied());
+        let opt = max_bipartite_cardinality_matching(&g, &side);
+        prop_assert!(res.matching.len() <= opt.len());
+        prop_assert!(2 * res.matching.len() >= opt.len(), "below maximal-quality");
+        prop_assert!(res.peak_memory_edges <= n * cfg.degree_cap + n);
+    }
+
+    /// The memory meter is a lattice homomorphism-ish: peak equals the
+    /// max prefix sum of the operation sequence.
+    #[test]
+    fn meter_peak_is_max_prefix(ops in proptest::collection::vec((0usize..100, proptest::bool::ANY), 0..40)) {
+        let mut meter = MemoryMeter::new();
+        let mut cur = 0usize;
+        let mut peak = 0usize;
+        for (amount, is_add) in ops {
+            if is_add {
+                meter.add(amount);
+                cur += amount;
+            } else {
+                meter.sub(amount);
+                cur = cur.saturating_sub(amount);
+            }
+            peak = peak.max(cur);
+            prop_assert_eq!(meter.current(), cur);
+            prop_assert_eq!(meter.peak(), peak);
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Shared helpers for the wmatch examples.
+
+use wmatch_graph::Matching;
+
+/// Prints a matching as a one-line summary plus its edges.
+pub fn print_matching(label: &str, m: &Matching) {
+    println!("{label}: |M| = {}, w(M) = {}", m.len(), m.weight());
+    let mut edges = m.to_edges();
+    edges.sort();
+    let rendered: Vec<String> = edges.iter().map(|e| e.to_string()).collect();
+    println!("  {}", rendered.join(" "));
+}
+
+/// Formats a ratio as a percentage with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}

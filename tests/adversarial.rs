@@ -1,0 +1,125 @@
+//! Adversarial-instance integration tests: orders and weight structures
+//! built to break each algorithm's weak spot, checking the guarantees
+//! degrade exactly as the theory predicts and no further.
+
+use wmatch_core::greedy::greedy_insertion;
+use wmatch_core::local_ratio::LocalRatio;
+use wmatch_core::main_alg::{max_weight_matching_offline, MainAlgConfig};
+use wmatch_core::rand_arr_matching::{rand_arr_matching, RandArrConfig};
+use wmatch_graph::exact::max_weight_matching;
+use wmatch_graph::generators;
+use wmatch_graph::Edge;
+use wmatch_stream::VecStream;
+
+/// Middle edges first: pins greedy at exactly 1/2 on the 3-path family.
+fn middle_first_order(k: usize) -> (wmatch_graph::Graph, Vec<Edge>) {
+    let g = generators::disjoint_paths3(k);
+    let mut order = Vec::new();
+    for i in 0..k {
+        order.push(g.edge(3 * i + 1));
+    }
+    for i in 0..k {
+        order.push(g.edge(3 * i));
+        order.push(g.edge(3 * i + 2));
+    }
+    (g, order)
+}
+
+#[test]
+fn greedy_is_exactly_half_on_middle_first() {
+    let (g, order) = middle_first_order(50);
+    let mut s = VecStream::adversarial(order).with_vertex_count(g.vertex_count());
+    let m = greedy_insertion(&mut s);
+    assert_eq!(m.len(), 50); // OPT = 100
+}
+
+#[test]
+fn exponential_weights_do_not_break_local_ratio() {
+    // exponentially growing path weights stack every edge, but unwinding
+    // still recovers at least half (here: exactly the optimum)
+    let weights: Vec<u64> = (0..40).map(|i| 1u64 << (i % 50)).collect();
+    let g = generators::path_graph(&weights);
+    let mut lr = LocalRatio::new(g.vertex_count());
+    for e in g.edges() {
+        lr.on_edge(*e);
+    }
+    let m = lr.unwind();
+    let opt = max_weight_matching(&g).weight();
+    assert!(2 * m.weight() >= opt);
+}
+
+#[test]
+fn rand_arr_survives_heavy_tail_last() {
+    // all heavy edges hidden at the end of the stream: the frozen
+    // potentials are tiny, so the T-set catches everything heavy
+    let mut edges = Vec::new();
+    for i in 0..30u32 {
+        edges.push(Edge::new(60 + i, 120 + i, 1)); // junk phase one
+    }
+    for i in 0..30u32 {
+        edges.push(Edge::new(2 * i, 2 * i + 1, 1_000_000));
+    }
+    let mut s = VecStream::adversarial(edges).with_vertex_count(160);
+    let res = rand_arr_matching(&mut s, &RandArrConfig { p: 0.05, ..Default::default() });
+    assert!(res.matching.weight() >= 30 * 1_000_000);
+}
+
+#[test]
+fn zero_gain_augmentations_never_applied() {
+    // a graph where every alternating structure has gain exactly 0:
+    // the machinery must terminate without flapping
+    let g = generators::cycle_graph(&[5, 5, 5, 5]);
+    let m = max_weight_matching_offline(&g, &MainAlgConfig::practical(0.25, 3));
+    assert_eq!(m.weight(), 10);
+    m.validate(Some(&g)).unwrap();
+}
+
+#[test]
+fn parallel_heavy_edges() {
+    // parallel edges between the same endpoints with different weights:
+    // the machinery must pick the heaviest representative
+    let mut g = wmatch_graph::Graph::new(2);
+    g.add_edge(0, 1, 3);
+    g.add_edge(0, 1, 9);
+    g.add_edge(0, 1, 5);
+    let m = max_weight_matching_offline(&g, &MainAlgConfig::practical(0.25, 1));
+    assert_eq!(m.weight(), 9);
+}
+
+#[test]
+fn star_graphs_cannot_be_gamed() {
+    // stars admit exactly one matched edge. The final 70 -> 80 swap has
+    // relative gain exactly 1/8, which q = 8 correctly filters at the
+    // granularity boundary; q = 16 resolves it and must find the heaviest.
+    let mut g = wmatch_graph::Graph::new(9);
+    for i in 1..9u32 {
+        g.add_edge(0, i, i as u64 * 10);
+    }
+    let coarse = max_weight_matching_offline(&g, &MainAlgConfig::practical(0.25, 4));
+    assert!(coarse.weight() >= 70, "coarse config within its slack");
+    let mut cfg = MainAlgConfig::practical(0.25, 4);
+    cfg.q = 16;
+    let m = max_weight_matching_offline(&g, &cfg);
+    assert_eq!(m.weight(), 80);
+    assert_eq!(m.len(), 1);
+}
+
+#[test]
+fn isolated_vertices_and_tiny_graphs() {
+    for n in 0..4usize {
+        let g = wmatch_graph::Graph::new(n);
+        let m = max_weight_matching_offline(&g, &MainAlgConfig::practical(0.5, 0));
+        assert!(m.is_empty());
+        let mut s = VecStream::adversarial(vec![]).with_vertex_count(n);
+        assert!(rand_arr_matching(&mut s, &RandArrConfig::default()).matching.is_empty());
+    }
+}
+
+#[test]
+fn weight_one_everything() {
+    // all-unit weights: the weighted machinery degenerates gracefully to
+    // cardinality matching
+    let g = generators::disjoint_paths3(10);
+    let m = max_weight_matching_offline(&g, &MainAlgConfig::practical(0.25, 6));
+    assert_eq!(m.weight(), 20, "must find all 2k outer edges");
+}

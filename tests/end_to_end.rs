@@ -1,0 +1,103 @@
+//! End-to-end integration: the offline (1−ε) machinery against the exact
+//! solvers, across instance families, all crates involved.
+
+use wmatch_core::greedy::greedy_by_weight;
+use wmatch_core::main_alg::{
+    max_weight_matching_offline, max_weight_matching_offline_from,
+    max_weight_matching_offline_traced, MainAlgConfig,
+};
+use wmatch_graph::exact::max_weight_matching;
+use wmatch_graph::generators;
+use wmatch_tests::{ratio_to_opt, test_graph};
+
+#[test]
+fn offline_driver_hits_design_target_on_random_graphs() {
+    // practical(0.25) targets (1-eps) = 0.75; verify with margin on a batch
+    let mut worst: f64 = 1.0;
+    for seed in 0..6 {
+        let g = test_graph(30, 5.0, 100, seed);
+        let m = max_weight_matching_offline(&g, &MainAlgConfig::practical(0.25, seed));
+        m.validate(Some(&g)).unwrap();
+        worst = worst.min(ratio_to_opt(&g, m.weight()));
+    }
+    assert!(worst >= 0.75, "worst ratio {worst} below the (1-ε) design target");
+}
+
+#[test]
+fn warm_start_dominates_greedy_everywhere() {
+    for seed in 0..5 {
+        let g = test_graph(36, 5.0, 500, seed + 50);
+        let greedy = greedy_by_weight(&g);
+        let mut cfg = MainAlgConfig::practical(0.25, seed);
+        cfg.q = 16;
+        let (m, _) = max_weight_matching_offline_from(&g, greedy.clone(), &cfg);
+        assert!(
+            m.weight() >= greedy.weight(),
+            "seed {seed}: warm start lost weight: {} < {}",
+            m.weight(),
+            greedy.weight()
+        );
+        m.validate(Some(&g)).unwrap();
+    }
+}
+
+#[test]
+fn convergence_trace_is_monotone_and_capped_by_opt() {
+    let g = test_graph(28, 4.0, 64, 7);
+    let opt = max_weight_matching(&g).weight();
+    let (m, trace) = max_weight_matching_offline_traced(&g, &MainAlgConfig::thorough(0.25, 1));
+    assert!(!trace.is_empty());
+    for w in trace.windows(2) {
+        assert!(w[1] >= w[0], "trace not monotone: {trace:?}");
+    }
+    assert_eq!(*trace.last().unwrap(), m.weight());
+    assert!(m.weight() <= opt);
+}
+
+#[test]
+fn perfect_matching_improved_only_by_cycles() {
+    // alternating cycles: the matching is perfect, no augmenting paths
+    // exist; only the cycle blow-up machinery can improve it
+    let (g, m0) = generators::alternating_cycles(3, 2, 4, 5);
+    assert_eq!(m0.free_vertices().count(), 0);
+    let mut cfg = MainAlgConfig::practical(0.1, 3);
+    cfg.q = 32;
+    cfg.max_layers = 7;
+    cfg.trials = 16;
+    cfg.stall_rounds = 4;
+    let (m, _) = max_weight_matching_offline_from(&g, m0.clone(), &cfg);
+    let opt = max_weight_matching(&g).weight();
+    assert_eq!(opt, 3 * 2 * 5);
+    assert!(
+        m.weight() > m0.weight(),
+        "cycle machinery must improve the perfect matching"
+    );
+    assert_eq!(m.weight(), opt, "all three cycles should flip");
+}
+
+#[test]
+fn heavier_weight_classes_win_conflicts() {
+    // two overlapping candidate augmentations in different classes: the
+    // heavier class must be preferred by the cross-class greedy sweep
+    let mut g = wmatch_graph::Graph::new(4);
+    g.add_edge(0, 1, 1000); // heavy single-edge augmentation
+    g.add_edge(1, 2, 8); // light competing edge sharing vertex 1
+    g.add_edge(2, 3, 6);
+    let m = max_weight_matching_offline(&g, &MainAlgConfig::practical(0.25, 2));
+    assert!(m.contains_pair(0, 1), "heavy edge must be matched: {m}");
+    assert_eq!(m.weight(), 1006);
+}
+
+#[test]
+fn all_families_valid_and_better_than_half() {
+    for (name, g) in [
+        ("paths3", generators::disjoint_paths3(20)),
+        ("barrier", generators::weighted_barrier_paths(15, 100)),
+        ("cycles", generators::alternating_cycles(5, 3, 3, 4).0),
+    ] {
+        let m = max_weight_matching_offline(&g, &MainAlgConfig::practical(0.25, 11));
+        m.validate(Some(&g)).unwrap();
+        let r = ratio_to_opt(&g, m.weight());
+        assert!(r >= 0.75, "{name}: ratio {r}");
+    }
+}

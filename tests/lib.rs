@@ -1,0 +1,30 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use wmatch_graph::generators::{self, WeightModel};
+use wmatch_graph::Graph;
+
+/// A reproducible random weighted graph for integration tests.
+pub fn test_graph(n: usize, avg_degree: f64, max_w: u64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let p = (avg_degree / n as f64).min(0.9);
+    generators::gnp(n, p, WeightModel::Uniform { lo: 1, hi: max_w }, &mut rng)
+}
+
+/// A reproducible random bipartite graph plus its side labels.
+pub fn test_bipartite(nl: usize, nr: usize, p: f64, max_w: u64, seed: u64) -> (Graph, Vec<bool>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generators::random_bipartite(nl, nr, p, WeightModel::Uniform { lo: 1, hi: max_w }, &mut rng)
+}
+
+/// Ratio of a matching weight to the exact optimum (1.0 for empty optima).
+pub fn ratio_to_opt(g: &Graph, w: i128) -> f64 {
+    let opt = wmatch_graph::exact::max_weight_matching(g).weight();
+    if opt == 0 {
+        1.0
+    } else {
+        w as f64 / opt as f64
+    }
+}

@@ -1,0 +1,91 @@
+//! MPC integration: the simulator's budgets are respected end-to-end and
+//! the (1−ε) MPC driver (Theorem 1.2.1) matches offline quality.
+
+use wmatch_core::main_alg::{max_weight_matching_mpc, MainAlgConfig};
+use wmatch_graph::exact::max_bipartite_cardinality_matching;
+use wmatch_mpc::{mpc_bipartite_mcm, MpcConfig, MpcError, MpcMcmConfig, MpcSimulator};
+use wmatch_tests::{ratio_to_opt, test_bipartite, test_graph};
+
+#[test]
+fn mcm_box_quality_across_machine_counts() {
+    let (g, side) = test_bipartite(40, 40, 0.1, 1, 3);
+    let opt = max_bipartite_cardinality_matching(&g, &side).len();
+    for machines in [2usize, 4, 8] {
+        let mut sim = MpcSimulator::new(MpcConfig { machines, memory_words: 4000 });
+        let res = mpc_bipartite_mcm(
+            &mut sim,
+            g.edges().to_vec(),
+            &side,
+            &MpcMcmConfig::for_delta(0.1, machines as u64),
+        )
+        .unwrap();
+        assert!(
+            res.matching.len() as f64 >= 0.85 * opt as f64,
+            "Γ={machines}: {} vs {opt}",
+            res.matching.len()
+        );
+    }
+}
+
+#[test]
+fn driver_quality_and_budget() {
+    let g = test_graph(24, 5.0, 64, 4);
+    let s_words = 40 * 24;
+    let mut cfg = MainAlgConfig::practical(0.25, 2);
+    cfg.max_rounds = 8;
+    cfg.trials = 1;
+    let res = max_weight_matching_mpc(
+        &g,
+        &cfg,
+        MpcConfig { machines: 3, memory_words: s_words },
+        &MpcMcmConfig::for_delta(0.25, 7),
+    )
+    .unwrap();
+    res.matching.validate(Some(&g)).unwrap();
+    let r = ratio_to_opt(&g, res.matching.weight());
+    assert!(r >= 0.7, "MPC driver ratio {r}");
+    assert!(res.peak_machine_words <= s_words);
+    assert!(res.rounds_model <= res.rounds_sequential);
+}
+
+#[test]
+fn budget_violations_surface_as_errors() {
+    let (g, side) = test_bipartite(30, 30, 0.5, 1, 6);
+    let mut sim = MpcSimulator::new(MpcConfig { machines: 2, memory_words: 8 });
+    let err = mpc_bipartite_mcm(
+        &mut sim,
+        g.edges().to_vec(),
+        &side,
+        &MpcMcmConfig::for_delta(0.2, 1),
+    )
+    .unwrap_err();
+    assert!(matches!(
+        err,
+        MpcError::MemoryExceeded { .. } | MpcError::CommunicationExceeded { .. }
+    ));
+}
+
+#[test]
+fn rounds_scale_with_iteration_budget_not_size() {
+    let mut all_rounds = Vec::new();
+    for (seed, n) in [(1u64, 20usize), (2, 40)] {
+        let g = test_graph(n, 5.0, 32, seed);
+        let mut cfg = MainAlgConfig::practical(0.25, 3);
+        cfg.max_rounds = 3;
+        cfg.trials = 1;
+        cfg.stall_rounds = 1;
+        let res = max_weight_matching_mpc(
+            &g,
+            &cfg,
+            MpcConfig { machines: 3, memory_words: 60 * n },
+            &MpcMcmConfig { max_iterations: 4, ..MpcMcmConfig::for_delta(0.25, 5) },
+        )
+        .unwrap();
+        all_rounds.push(res.rounds_model);
+    }
+    let (a, b) = (all_rounds[0] as f64, all_rounds[1] as f64);
+    assert!(
+        (a / b).max(b / a) < 3.0,
+        "model rounds should track the budget, not n: {all_rounds:?}"
+    );
+}

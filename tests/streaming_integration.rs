@@ -1,0 +1,107 @@
+//! Streaming integration: single-pass algorithms (Theorems 1.1 and 3.4)
+//! and the multi-pass (1−ε) driver (Theorem 1.2.2), cross-validated
+//! against the exact solvers.
+
+use wmatch_core::main_alg::{max_weight_matching_streaming, MainAlgConfig};
+use wmatch_core::rand_arr_matching::{rand_arr_matching, RandArrConfig};
+use wmatch_core::random_order_unweighted::{random_order_unweighted, RouConfig};
+use wmatch_graph::exact::{max_cardinality_matching, max_weight_matching};
+use wmatch_graph::generators;
+use wmatch_stream::{EdgeStream, McmConfig, VecStream};
+use wmatch_tests::test_graph;
+
+#[test]
+fn rand_arr_expected_ratio_clears_half_plus_c() {
+    // expectation over seeds on the weighted barrier (the family built to
+    // pin 1/2-style algorithms): must clear 1/2 clearly
+    let g = generators::weighted_barrier_paths(30, 200);
+    let opt = max_weight_matching(&g).weight() as f64;
+    let mut total = 0.0;
+    let seeds = 12;
+    for seed in 0..seeds {
+        let mut s = VecStream::random_order(g.edges().to_vec(), seed)
+            .with_vertex_count(g.vertex_count());
+        let mut cfg = RandArrConfig::default();
+        cfg.wap.seed = seed;
+        total += rand_arr_matching(&mut s, &cfg).matching.weight() as f64 / opt;
+    }
+    let avg = total / seeds as f64;
+    assert!(avg > 0.54, "expected well above 1/2, got {avg}");
+}
+
+#[test]
+fn rou_expected_ratio_clears_0_506() {
+    let g = generators::disjoint_paths3(100);
+    let opt = max_cardinality_matching(&g).len() as f64;
+    let mut total = 0.0;
+    let seeds = 12;
+    for seed in 0..seeds {
+        let mut s = VecStream::random_order(g.edges().to_vec(), seed)
+            .with_vertex_count(g.vertex_count());
+        total += random_order_unweighted(&mut s, &RouConfig::default()).matching.len() as f64
+            / opt;
+    }
+    let avg = total / seeds as f64;
+    assert!(avg > 0.506, "Theorem 3.4 shape violated: {avg}");
+}
+
+#[test]
+fn streaming_driver_pass_counts_flat_in_n() {
+    // passes (model) must be governed by the configuration, not n
+    let mut passes = Vec::new();
+    for (seed, n) in [(1u64, 24usize), (2, 48)] {
+        let g = test_graph(n, 6.0, 64, seed);
+        let mut cfg = MainAlgConfig::practical(0.25, 3);
+        cfg.max_rounds = 5;
+        cfg.stall_rounds = 1;
+        let mut s = VecStream::adversarial(g.edges().to_vec()).with_vertex_count(n);
+        let res = max_weight_matching_streaming(&mut s, &cfg, &McmConfig::for_delta(0.25));
+        res.matching.validate(None).unwrap();
+        passes.push(res.passes_model);
+    }
+    // the two counts come from identical configs: within a small factor
+    let (a, b) = (passes[0] as f64, passes[1] as f64);
+    assert!(
+        (a / b).max(b / a) < 3.0,
+        "model passes should not scale with n: {passes:?}"
+    );
+}
+
+#[test]
+fn streaming_driver_memory_stays_near_linear() {
+    let n = 60;
+    let g = test_graph(n, 12.0, 64, 9);
+    let mut cfg = MainAlgConfig::practical(0.25, 1);
+    cfg.max_rounds = 4;
+    let mut s = VecStream::adversarial(g.edges().to_vec()).with_vertex_count(n);
+    let res = max_weight_matching_streaming(&mut s, &cfg, &McmConfig::for_delta(0.25));
+    assert!(
+        res.peak_memory_edges < g.edge_count(),
+        "peak {} must undercut m = {}",
+        res.peak_memory_edges,
+        g.edge_count()
+    );
+}
+
+#[test]
+fn layered_stream_is_transparent_to_pass_counting() {
+    // the layered adapter charges passes to the underlying stream
+    let g = test_graph(16, 4.0, 16, 3);
+    let mut s = VecStream::adversarial(g.edges().to_vec()).with_vertex_count(16);
+    let before = s.passes();
+    let mut cfg = MainAlgConfig::practical(0.25, 1);
+    cfg.max_rounds = 2;
+    cfg.stall_rounds = 1;
+    let res = max_weight_matching_streaming(&mut s, &cfg, &McmConfig::for_delta(0.5));
+    assert_eq!(s.passes() - before, res.passes_sequential);
+}
+
+#[test]
+fn single_pass_structures_respect_memory() {
+    // Rand-Arr-Matching on a dense random-order stream stores a vanishing
+    // fraction (Lemma 3.15 shape)
+    let g = test_graph(80, 40.0, 1000, 5);
+    let mut s = VecStream::random_order(g.edges().to_vec(), 8).with_vertex_count(80);
+    let res = rand_arr_matching(&mut s, &RandArrConfig::default());
+    assert!(res.stack_size + res.t_size < g.edge_count() / 2);
+}
