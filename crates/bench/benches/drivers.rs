@@ -6,8 +6,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use wmatch_core::main_alg::{
-    improve_matching_offline, max_weight_matching_mpc, max_weight_matching_streaming,
-    MainAlgConfig,
+    improve_matching_offline, max_weight_matching_mpc, max_weight_matching_streaming, MainAlgConfig,
 };
 use wmatch_graph::generators::{gnp, WeightModel};
 use wmatch_graph::Matching;
@@ -19,7 +18,12 @@ fn bench_offline_round(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[40usize, 80] {
         let mut rng = StdRng::seed_from_u64(1);
-        let g = gnp(n, 8.0 / n as f64, WeightModel::Uniform { lo: 1, hi: 256 }, &mut rng);
+        let g = gnp(
+            n,
+            8.0 / n as f64,
+            WeightModel::Uniform { lo: 1, hi: 256 },
+            &mut rng,
+        );
         let cfg = MainAlgConfig::practical(0.25, 3);
         group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
             b.iter(|| {
@@ -63,7 +67,10 @@ fn bench_mpc_driver(c: &mut Criterion) {
             max_weight_matching_mpc(
                 &g,
                 &cfg,
-                MpcConfig { machines: 4, memory_words: 4000 },
+                MpcConfig {
+                    machines: 4,
+                    memory_words: 4000,
+                },
                 &MpcMcmConfig::for_delta(0.25, 5),
             )
             .unwrap()
@@ -72,5 +79,10 @@ fn bench_mpc_driver(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_offline_round, bench_streaming_driver, bench_mpc_driver);
+criterion_group!(
+    benches,
+    bench_offline_round,
+    bench_streaming_driver,
+    bench_mpc_driver
+);
 criterion_main!(benches);

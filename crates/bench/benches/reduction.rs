@@ -16,7 +16,12 @@ use wmatch_graph::{Edge, Graph, Matching};
 
 fn setup(n: usize) -> (Graph, Matching, Parametrization) {
     let mut rng = StdRng::seed_from_u64(5);
-    let g = gnp(n, 8.0 / n as f64, WeightModel::Uniform { lo: 1, hi: 256 }, &mut rng);
+    let g = gnp(
+        n,
+        8.0 / n as f64,
+        WeightModel::Uniform { lo: 1, hi: 256 },
+        &mut rng,
+    );
     let mut m = Matching::new(n);
     for e in g.edges() {
         let _ = m.insert(*e);
@@ -29,7 +34,13 @@ fn bench_tau_enumeration(c: &mut Criterion) {
     let mut group = c.benchmark_group("tau_enumeration");
     let (g, m, param) = setup(200);
     for &q in &[8u32, 16] {
-        let cfg = TauConfig { q, max_layers: 3, min_entry: 1, sum_b_cap: q + 1, max_pairs: 100_000 };
+        let cfg = TauConfig {
+            q,
+            max_layers: 3,
+            min_entry: 1,
+            sum_b_cap: q + 1,
+            max_pairs: 100_000,
+        };
         let (ba, bb) = achievable_buckets(g.edges(), &m, &param, 256, &cfg);
         group.bench_with_input(BenchmarkId::from_parameter(q), &cfg, |b, cfg| {
             b.iter(|| enumerate_good_pairs(cfg, &ba, &bb))
@@ -42,13 +53,20 @@ fn bench_layered_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("layered_build");
     for &n in &[200usize, 800] {
         let (g, m, param) = setup(n);
-        let tau = TauPair { a: vec![0, 8, 0], b: vec![6, 6] };
-        group.bench_with_input(BenchmarkId::from_parameter(n), &(g, m, param), |b, (g, m, param)| {
-            b.iter(|| {
-                let spec = LayeredSpec::new(&tau, 256, 8, param, m);
-                spec.build(g.edges().iter().copied())
-            })
-        });
+        let tau = TauPair {
+            a: vec![0, 8, 0],
+            b: vec![6, 6],
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(g, m, param),
+            |b, (g, m, param)| {
+                b.iter(|| {
+                    let spec = LayeredSpec::new(&tau, 256, 8, param, m);
+                    spec.build(g.edges().iter().copied())
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -58,15 +76,25 @@ fn bench_single_class(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[100usize, 200] {
         let (g, m, param) = setup(n);
-        let cfg = TauConfig { q: 8, max_layers: 3, min_entry: 1, sum_b_cap: 9, max_pairs: 20_000 };
-        group.bench_with_input(BenchmarkId::from_parameter(n), &(g, m, param), |b, (g, m, param)| {
-            b.iter(|| {
-                let mut solve = |lg: &Graph, side: &[bool], init: Matching| {
-                    max_bipartite_cardinality_matching_from(lg, side, init)
-                };
-                single_class_augmentations(g.edges(), m, 256, param, &cfg, &mut solve)
-            })
-        });
+        let cfg = TauConfig {
+            q: 8,
+            max_layers: 3,
+            min_entry: 1,
+            sum_b_cap: 9,
+            max_pairs: 20_000,
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(g, m, param),
+            |b, (g, m, param)| {
+                b.iter(|| {
+                    let mut solve = |lg: &Graph, side: &[bool], init: Matching| {
+                        max_bipartite_cardinality_matching_from(lg, side, init)
+                    };
+                    single_class_augmentations(g.edges(), m, 256, param, &cfg, &mut solve)
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -19,9 +19,11 @@ fn bench_hopcroft_karp(c: &mut Criterion) {
     for &n in &[100usize, 400] {
         let mut rng = StdRng::seed_from_u64(1);
         let (g, side) = random_bipartite(n, n, 8.0 / n as f64, WeightModel::Unit, &mut rng);
-        group.bench_with_input(BenchmarkId::from_parameter(2 * n), &(g, side), |b, (g, side)| {
-            b.iter(|| max_bipartite_cardinality_matching(g, side))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(2 * n),
+            &(g, side),
+            |b, (g, side)| b.iter(|| max_bipartite_cardinality_matching(g, side)),
+        );
     }
     group.finish();
 }
@@ -49,9 +51,11 @@ fn bench_hungarian(c: &mut Criterion) {
             WeightModel::Uniform { lo: 1, hi: 1000 },
             &mut rng,
         );
-        group.bench_with_input(BenchmarkId::from_parameter(2 * n), &(g, side), |b, (g, side)| {
-            b.iter(|| max_weight_bipartite_matching(g, side))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(2 * n),
+            &(g, side),
+            |b, (g, side)| b.iter(|| max_weight_bipartite_matching(g, side)),
+        );
     }
     group.finish();
 }
@@ -61,7 +65,12 @@ fn bench_mwm_general(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[50usize, 150] {
         let mut rng = StdRng::seed_from_u64(4);
-        let g = gnp(n, 8.0 / n as f64, WeightModel::Uniform { lo: 1, hi: 1000 }, &mut rng);
+        let g = gnp(
+            n,
+            8.0 / n as f64,
+            WeightModel::Uniform { lo: 1, hi: 1000 },
+            &mut rng,
+        );
         group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
             b.iter(|| max_weight_matching(g))
         });

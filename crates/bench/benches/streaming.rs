@@ -17,7 +17,12 @@ fn bench_local_ratio(c: &mut Criterion) {
     let mut group = c.benchmark_group("local_ratio_pass");
     for &n in &[1000usize, 4000] {
         let mut rng = StdRng::seed_from_u64(1);
-        let g = gnp(n, 8.0 / n as f64, WeightModel::Uniform { lo: 1, hi: 1000 }, &mut rng);
+        let g = gnp(
+            n,
+            8.0 / n as f64,
+            WeightModel::Uniform { lo: 1, hi: 1000 },
+            &mut rng,
+        );
         group.throughput(Throughput::Elements(g.edge_count() as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
             b.iter(|| {
@@ -37,7 +42,12 @@ fn bench_rand_arr_matching(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[500usize, 2000] {
         let mut rng = StdRng::seed_from_u64(2);
-        let g = gnp(n, 8.0 / n as f64, WeightModel::Uniform { lo: 1, hi: 1000 }, &mut rng);
+        let g = gnp(
+            n,
+            8.0 / n as f64,
+            WeightModel::Uniform { lo: 1, hi: 1000 },
+            &mut rng,
+        );
         group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
             b.iter(|| {
                 let mut s = VecStream::random_order(g.edges().to_vec(), 7)

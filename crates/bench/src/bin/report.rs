@@ -41,14 +41,21 @@ fn main() {
     println!(
         "mode: {}; selected: {}\n",
         if quick { "quick" } else { "full" },
-        if run_all { "all".to_string() } else { selected.join(", ") }
+        if run_all {
+            "all".to_string()
+        } else {
+            selected.join(", ")
+        }
     );
     for (id, f) in experiments {
         if run_all || selected.contains(&id) {
             let t = Instant::now();
             let section = f(quick);
             println!("{section}");
-            println!("_({id} regenerated in {:.1}s)_\n", t.elapsed().as_secs_f64());
+            println!(
+                "_({id} regenerated in {:.1}s)_\n",
+                t.elapsed().as_secs_f64()
+            );
         }
     }
 }

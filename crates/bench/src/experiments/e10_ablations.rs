@@ -58,7 +58,11 @@ pub fn run(quick: bool) -> String {
                 pairs += enumerate_good_pairs(&tau_cfg, &ba, &bb).len();
             }
             t.row(vec![
-                if blind { "blind (full unit range)".into() } else { "bucket-aware (ours)".to_string() },
+                if blind {
+                    "blind (full unit range)".into()
+                } else {
+                    "bucket-aware (ours)".to_string()
+                },
                 pairs.to_string(),
                 format!("{:.3}s", t0.elapsed().as_secs_f64()),
             ]);
@@ -85,7 +89,11 @@ pub fn run(quick: bool) -> String {
             times.push(t0.elapsed());
             gains.push(stats.gain);
         }
-        t.row(vec!["1 (sequential)".into(), format!("{:.3}s", times[0].as_secs_f64()), "—".into()]);
+        t.row(vec![
+            "1 (sequential)".into(),
+            format!("{:.3}s", times[0].as_secs_f64()),
+            "—".into(),
+        ]);
         t.row(vec![
             "auto (per core)".into(),
             format!("{:.3}s", times[1].as_secs_f64()),

@@ -22,9 +22,18 @@ pub fn run(quick: bool) -> String {
     let sizes: &[usize] = if quick { &[200] } else { &[400, 1600] };
     let mut out = String::from("## E1 — Theorem 3.4: 0.506-approx unweighted, random order\n\n");
     let mut t = Table::new(&[
-        "family", "n", "m", "greedy", "this paper", "winner branches (S1/greedy/3aug)",
+        "family",
+        "n",
+        "m",
+        "greedy",
+        "this paper",
+        "winner branches (S1/greedy/3aug)",
     ]);
-    for family in [Family::BarrierPaths, Family::GnpUniform, Family::BipartiteUniform] {
+    for family in [
+        Family::BarrierPaths,
+        Family::GnpUniform,
+        Family::BipartiteUniform,
+    ] {
         for &n in sizes {
             let g = family.build(n, 5).unweighted_copy();
             let opt = max_cardinality_matching(&g).len() as f64;
@@ -83,12 +92,24 @@ pub fn run(quick: bool) -> String {
         let mut shuffled = order.clone();
         shuffled.shuffle(&mut rng);
         let mut s = VecStream::adversarial(shuffled).with_vertex_count(g.vertex_count());
-        alg_sum += random_order_unweighted(&mut s, &RouConfig::default()).matching.len() as f64
+        alg_sum += random_order_unweighted(&mut s, &RouConfig::default())
+            .matching
+            .len() as f64
             / opt;
     }
-    t2.row(vec!["middle-first (adversarial)".into(), ratio(gr), "—".into()]);
-    t2.row(vec!["random".into(), "—".into(), ratio(alg_sum / runs as f64)]);
-    out.push_str("\nGreedy pinned at ½ by the adversarial order vs this paper on random orders:\n\n");
+    t2.row(vec![
+        "middle-first (adversarial)".into(),
+        ratio(gr),
+        "—".into(),
+    ]);
+    t2.row(vec![
+        "random".into(),
+        "—".into(),
+        ratio(alg_sum / runs as f64),
+    ]);
+    out.push_str(
+        "\nGreedy pinned at ½ by the adversarial order vs this paper on random orders:\n\n",
+    );
     out.push_str(&t2.to_markdown());
     out
 }

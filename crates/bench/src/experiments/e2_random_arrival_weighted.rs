@@ -19,7 +19,14 @@ pub fn run(quick: bool) -> String {
     let seeds: u64 = if quick { 3 } else { 10 };
     let n = if quick { 80 } else { 240 };
     let mut out = String::from("## E2 — Theorem 1.1: (1/2+c)-approx weighted, random arrivals\n\n");
-    let mut t = Table::new(&["family", "n", "m", "greedy-arrival", "local-ratio", "Rand-Arr-Matching"]);
+    let mut t = Table::new(&[
+        "family",
+        "n",
+        "m",
+        "greedy-arrival",
+        "local-ratio",
+        "Rand-Arr-Matching",
+    ]);
     for family in [
         Family::WeightedBarrier,
         Family::GnpUniform,

@@ -13,11 +13,14 @@ use wmatch_graph::generators::planted_3aug_paths;
 pub fn run(quick: bool) -> String {
     let total = if quick { 100 } else { 1000 };
     let seeds = if quick { 3 } else { 10 };
-    let mut out = String::from(
-        "## E3 — Lemma 3.1: Unw-3-Aug-Paths recovery rate and space\n\n",
-    );
+    let mut out = String::from("## E3 — Lemma 3.1: Unw-3-Aug-Paths recovery rate and space\n\n");
     let mut t = Table::new(&[
-        "β", "planted", "recovered (avg)", "recovered/|M|", "promised β²/32", "support/|M| (≤4)",
+        "β",
+        "planted",
+        "recovered (avg)",
+        "recovered/|M|",
+        "promised β²/32",
+        "support/|M| (≤4)",
     ]);
     for beta_pct in [10u64, 25, 50, 75, 100] {
         let k = (total * beta_pct as usize) / 100;
@@ -46,7 +49,9 @@ pub fn run(quick: bool) -> String {
         ]);
     }
     out.push_str(&t.to_markdown());
-    out.push_str("\nShape: recovered/|M| dominates the promised β²/32 at every β; support stays ≤ 4|M|.\n");
+    out.push_str(
+        "\nShape: recovered/|M| dominates the promised β²/32 at every β; support stays ≤ 4|M|.\n",
+    );
     out
 }
 

@@ -18,7 +18,13 @@ use wmatch_graph::Matching;
 pub fn run(quick: bool) -> String {
     let instances = if quick { 40 } else { 300 };
     let mut out = String::from("## E4 — Fact 1.3: short augmentations vs approximation\n\n");
-    let mut t = Table::new(&["ℓ", "bound 1-1/ℓ", "cases", "min observed ratio", "violations"]);
+    let mut t = Table::new(&[
+        "ℓ",
+        "bound 1-1/ℓ",
+        "cases",
+        "min observed ratio",
+        "violations",
+    ]);
     let mut rng = StdRng::seed_from_u64(4);
     for l in [2usize, 3, 4] {
         let mut cases = 0usize;
@@ -48,12 +54,18 @@ pub fn run(quick: bool) -> String {
             l.to_string(),
             ratio(1.0 - 1.0 / l as f64),
             cases.to_string(),
-            if cases > 0 { ratio(min_ratio) } else { "—".into() },
+            if cases > 0 {
+                ratio(min_ratio)
+            } else {
+                "—".into()
+            },
             violations.to_string(),
         ]);
     }
     out.push_str(&t.to_markdown());
-    out.push_str("\nShape: zero violations; the minimum observed ratio approaches the bound from above.\n");
+    out.push_str(
+        "\nShape: zero violations; the minimum observed ratio approaches the bound from above.\n",
+    );
     out
 }
 
@@ -62,7 +74,10 @@ mod tests {
     #[test]
     fn quick_run_has_no_violations() {
         let md = super::run(true);
-        for line in md.lines().filter(|l| l.starts_with("| 2") || l.starts_with("| 3")) {
+        for line in md
+            .lines()
+            .filter(|l| l.starts_with("| 2") || l.starts_with("| 3"))
+        {
             let last_cell = line
                 .split('|')
                 .rev()

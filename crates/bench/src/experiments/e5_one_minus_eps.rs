@@ -23,7 +23,13 @@ pub fn run(quick: bool) -> String {
     let n = if quick { 32 } else { 60 };
     let mut out = String::from("## E5 — Theorem 1.2 (offline): (1−ε) via layered graphs\n\n");
     let mut t = Table::new(&[
-        "family", "greedy(1/2)", "cold q=8", "cold q=16", "greedy+aug q=32", "rounds(q16)", "time(q16)",
+        "family",
+        "greedy(1/2)",
+        "cold q=8",
+        "cold q=16",
+        "greedy+aug q=32",
+        "rounds(q16)",
+        "time(q16)",
     ]);
     for family in [
         Family::GnpUniform,

@@ -20,7 +20,13 @@ pub fn run(quick: bool) -> String {
     let sizes: &[usize] = if quick { &[24, 48] } else { &[40, 80, 160] };
     let mut out = String::from("## E6 — Theorem 1.2.2: multi-pass streaming driver\n\n");
     let mut t = Table::new(&[
-        "n", "m", "ratio", "passes (model)", "passes (sequential)", "peak memory (edges)", "mem/n",
+        "n",
+        "m",
+        "ratio",
+        "passes (model)",
+        "passes (sequential)",
+        "peak memory (edges)",
+        "mem/n",
     ]);
     let mut rng = StdRng::seed_from_u64(6);
     for &n in sizes {

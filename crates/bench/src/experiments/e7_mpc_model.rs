@@ -19,7 +19,13 @@ pub fn run(quick: bool) -> String {
     let sizes: &[usize] = if quick { &[16, 32] } else { &[32, 64, 96] };
     let mut out = String::from("## E7 — Theorem 1.2.1: MPC driver\n\n");
     let mut t = Table::new(&[
-        "n", "m", "machines", "S (words)", "ratio", "rounds (model)", "peak machine words",
+        "n",
+        "m",
+        "machines",
+        "S (words)",
+        "ratio",
+        "rounds (model)",
+        "peak machine words",
     ]);
     let mut rng = StdRng::seed_from_u64(7);
     for &n in sizes {
@@ -37,7 +43,10 @@ pub fn run(quick: bool) -> String {
         let res = max_weight_matching_mpc(
             &g,
             &cfg,
-            MpcConfig { machines, memory_words: s_words },
+            MpcConfig {
+                machines,
+                memory_words: s_words,
+            },
             &MpcMcmConfig::for_delta(0.25, 11),
         )
         .expect("instance fits the budgets");
@@ -52,7 +61,9 @@ pub fn run(quick: bool) -> String {
         ]);
     }
     out.push_str(&t.to_markdown());
-    out.push_str("\nShape: rounds track the round budget (flat in n); machine memory well under S.\n");
+    out.push_str(
+        "\nShape: rounds track the round budget (flat in n); machine memory well under S.\n",
+    );
     out
 }
 

@@ -13,14 +13,28 @@ use wmatch_stream::VecStream;
 /// Runs E8 and renders its section.
 pub fn run(quick: bool) -> String {
     let sizes: &[usize] = if quick { &[24, 48] } else { &[30, 60, 90] };
-    let mut out = String::from("## E8 — Lemmas 3.3/3.15: memory under random vs adversarial order\n\n");
+    let mut out =
+        String::from("## E8 — Lemmas 3.3/3.15: memory under random vs adversarial order\n\n");
     let mut t = Table::new(&[
-        "n", "m", "order", "|S| (stack)", "|T|", "(|S|+|T|)/m", "(|S|+|T|)/(n·log₂n)",
+        "n",
+        "m",
+        "order",
+        "|S| (stack)",
+        "|T|",
+        "(|S|+|T|)/m",
+        "(|S|+|T|)/(n·log₂n)",
     ]);
     let mut rng = StdRng::seed_from_u64(8);
     for &n in sizes {
         // geometric weights give local-ratio plenty of push opportunities
-        let g = complete(n, WeightModel::GeometricClasses { classes: 20, base: 2 }, &mut rng);
+        let g = complete(
+            n,
+            WeightModel::GeometricClasses {
+                classes: 20,
+                base: 2,
+            },
+            &mut rng,
+        );
         let m_edges = g.edge_count() as f64;
         let nlogn = n as f64 * (n as f64).log2();
 
@@ -29,7 +43,13 @@ pub fn run(quick: bool) -> String {
         let mut asc = g.edges().to_vec();
         asc.sort_by_key(|e| e.weight);
         let mut s = VecStream::adversarial(asc).with_vertex_count(n);
-        let res = rand_arr_matching(&mut s, &RandArrConfig { p: 0.1, ..Default::default() });
+        let res = rand_arr_matching(
+            &mut s,
+            &RandArrConfig {
+                p: 0.1,
+                ..Default::default()
+            },
+        );
         t.row(vec![
             n.to_string(),
             (m_edges as usize).to_string(),
@@ -41,7 +61,13 @@ pub fn run(quick: bool) -> String {
         ]);
 
         let mut s = VecStream::random_order(g.edges().to_vec(), 42).with_vertex_count(n);
-        let res = rand_arr_matching(&mut s, &RandArrConfig { p: 0.1, ..Default::default() });
+        let res = rand_arr_matching(
+            &mut s,
+            &RandArrConfig {
+                p: 0.1,
+                ..Default::default()
+            },
+        );
         t.row(vec![
             n.to_string(),
             (m_edges as usize).to_string(),

@@ -60,7 +60,15 @@ impl Family {
             }
             Family::GnpGeometric => {
                 let p = (8.0 / n as f64).min(0.5);
-                generators::gnp(n, p, WeightModel::GeometricClasses { classes: 8, base: 3 }, &mut rng)
+                generators::gnp(
+                    n,
+                    p,
+                    WeightModel::GeometricClasses {
+                        classes: 8,
+                        base: 3,
+                    },
+                    &mut rng,
+                )
             }
             Family::BipartiteUniform => {
                 let p = (8.0 / n as f64).min(0.5);
@@ -100,8 +108,7 @@ mod tests {
 
     #[test]
     fn names_are_unique() {
-        let names: std::collections::HashSet<_> =
-            Family::all().iter().map(|f| f.name()).collect();
+        let names: std::collections::HashSet<_> = Family::all().iter().map(|f| f.name()).collect();
         assert_eq!(names.len(), 6);
     }
 }

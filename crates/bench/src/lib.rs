@@ -11,6 +11,7 @@ pub mod table;
 
 pub mod experiments {
     //! One module per experiment id (see DESIGN.md §2).
+    pub mod e10_ablations;
     pub mod e1_random_order_unweighted;
     pub mod e2_random_arrival_weighted;
     pub mod e3_three_aug_paths;
@@ -20,5 +21,4 @@ pub mod experiments {
     pub mod e7_mpc_model;
     pub mod e8_memory;
     pub mod e9_layered_structure;
-    pub mod e10_ablations;
 }

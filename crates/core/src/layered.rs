@@ -100,7 +100,14 @@ impl<'a> LayeredSpec<'a> {
         m: &'a Matching,
     ) -> Self {
         assert_eq!(param.len(), m.vertex_count(), "inconsistent vertex counts");
-        LayeredSpec { n: param.len(), tau, w_class, q, param, m }
+        LayeredSpec {
+            n: param.len(),
+            tau,
+            w_class,
+            q,
+            param,
+            m,
+        }
     }
 
     /// Gaps between layers (`k`).
@@ -207,7 +214,11 @@ impl<'a> LayeredSpec<'a> {
             if self.m.contains(&e) || !self.param.crosses(&e) {
                 continue;
             }
-            let (r, l) = if self.param.is_left(e.u) { (e.v, e.u) } else { (e.u, e.v) };
+            let (r, l) = if self.param.is_left(e.u) {
+                (e.v, e.u)
+            } else {
+                (e.u, e.v)
+            };
             for t in self.y_gaps(&e) {
                 if self.vertex_kept(t, r) && self.vertex_kept(t + 1, l) {
                     graph.add_edge(self.lv(t, r), self.lv(t + 1, l), e.weight);
@@ -305,7 +316,11 @@ fn walk_vertices(comp: &[Edge]) -> Vec<Vertex> {
     }
     let first = comp[0];
     let second = comp[1];
-    let mut cur = if second.touches(first.v) { first.v } else { first.u };
+    let mut cur = if second.touches(first.v) {
+        first.v
+    } else {
+        first.u
+    };
     let mut walk = vec![first.other(cur), cur];
     for e in &comp[1..] {
         cur = e.other(cur);
@@ -329,7 +344,11 @@ impl<'a> LayeredStream<'a> {
     /// Wraps `inner` with the layered filters of `spec`.
     pub fn new(spec: LayeredSpec<'a>, inner: &'a mut dyn EdgeStream) -> Self {
         let passes_at_start = inner.passes();
-        LayeredStream { spec, inner, passes_at_start }
+        LayeredStream {
+            spec,
+            inner,
+            passes_at_start,
+        }
     }
 }
 
@@ -351,7 +370,11 @@ impl EdgeStream for LayeredStream<'_> {
             if spec.m.contains(&e) || !spec.param.crosses(&e) {
                 return;
             }
-            let (r, l) = if spec.param.is_left(e.u) { (e.v, e.u) } else { (e.u, e.v) };
+            let (r, l) = if spec.param.is_left(e.u) {
+                (e.v, e.u)
+            } else {
+                (e.u, e.v)
+            };
             for t in spec.y_gaps(&e) {
                 if spec.vertex_kept(t, r) && spec.vertex_kept(t + 1, l) {
                     sink(Edge::new(spec.lv(t, r), spec.lv(t + 1, l), e.weight));
@@ -398,7 +421,10 @@ mod tests {
         let (g, m, param) = three_aug_setup();
         // W = 16, q = 8 -> granularity 2; middle@10: up-bucket 5; wings@9:
         // down-bucket 4
-        let tau = TauPair { a: vec![0, 5, 0], b: vec![4, 4] };
+        let tau = TauPair {
+            a: vec![0, 5, 0],
+            b: vec![4, 4],
+        };
         let spec = LayeredSpec::new(&tau, 16, 8, &param, &m);
         assert_eq!(spec.layers(), 3);
         assert_eq!(spec.x_layers(&g.edge(1)), vec![1]);
@@ -411,7 +437,10 @@ mod tests {
     #[test]
     fn vertex_filtering_rules() {
         let (_, m, param) = three_aug_setup();
-        let tau = TauPair { a: vec![0, 5, 0], b: vec![4, 4] };
+        let tau = TauPair {
+            a: vec![0, 5, 0],
+            b: vec![4, 4],
+        };
         let spec = LayeredSpec::new(&tau, 16, 8, &param, &m);
         // layer 0: R vertices 0, 2; 0 is M-free and τᴬ₀=0 -> kept
         assert!(spec.vertex_kept(0, 0));
@@ -430,7 +459,10 @@ mod tests {
     #[test]
     fn layered_graph_is_bipartite() {
         let (g, m, param) = three_aug_setup();
-        let tau = TauPair { a: vec![0, 5, 0], b: vec![4, 4] };
+        let tau = TauPair {
+            a: vec![0, 5, 0],
+            b: vec![4, 4],
+        };
         let spec = LayeredSpec::new(&tau, 16, 8, &param, &m);
         let lg = spec.build(g.edges().iter().copied());
         assert!(lg.graph.respects_bipartition(&lg.side).unwrap());
@@ -439,7 +471,10 @@ mod tests {
     #[test]
     fn three_augmentation_end_to_end() {
         let (g, m, param) = three_aug_setup();
-        let tau = TauPair { a: vec![0, 5, 0], b: vec![4, 4] };
+        let tau = TauPair {
+            a: vec![0, 5, 0],
+            b: vec![4, 4],
+        };
         let spec = LayeredSpec::new(&tau, 16, 8, &param, &m);
         let lg = spec.build(g.edges().iter().copied());
         // L' has the interior X copy (middle edge at layer 1) + Y copies
@@ -465,7 +500,10 @@ mod tests {
         let (g, m) = generators::four_cycle_eps(4); // weights 4,5,4,5
         let param = Parametrization::from_sides(vec![true, false, true, false]);
         // W = 32, q = 32: up(4)=4, down(5)=5
-        let tau = TauPair { a: vec![4; 6], b: vec![5; 5] };
+        let tau = TauPair {
+            a: vec![4; 6],
+            b: vec![5; 5],
+        };
         let cfg = crate::tau::TauConfig {
             q: 32,
             max_layers: 7,
@@ -503,7 +541,10 @@ mod tests {
         // 1∈R, 2∈L, 0∈L
         let param = Parametrization::from_sides(vec![true, false, true]);
         // k=1: τᴬ=(5, 0), τᴮ=(4): W=16,q=8: up(10)=5, down(9)=4
-        let tau = TauPair { a: vec![5, 0], b: vec![4] };
+        let tau = TauPair {
+            a: vec![5, 0],
+            b: vec![4],
+        };
         let spec = LayeredSpec::new(&tau, 16, 8, &param, &m);
         let lg = spec.build(g.edges().iter().copied());
         // L' contains only the Y copy (1@0 -> 2@1); ml_prime is empty
@@ -527,7 +568,10 @@ mod tests {
         let (g, m, _) = three_aug_setup();
         // all vertices on the same side: nothing crosses
         let param = Parametrization::from_sides(vec![true; 4]);
-        let tau = TauPair { a: vec![0, 5, 0], b: vec![4, 4] };
+        let tau = TauPair {
+            a: vec![0, 5, 0],
+            b: vec![4, 4],
+        };
         let spec = LayeredSpec::new(&tau, 16, 8, &param, &m);
         let lg = spec.build(g.edges().iter().copied());
         assert_eq!(lg.graph.edge_count(), 0);
@@ -536,11 +580,14 @@ mod tests {
     #[test]
     fn streamed_layered_edges_match_materialized() {
         let (g, m, param) = three_aug_setup();
-        let tau = TauPair { a: vec![0, 5, 0], b: vec![4, 4] };
+        let tau = TauPair {
+            a: vec![0, 5, 0],
+            b: vec![4, 4],
+        };
         let spec = LayeredSpec::new(&tau, 16, 8, &param, &m);
         let lg = spec.build(g.edges().iter().copied());
-        let mut inner = wmatch_stream::VecStream::adversarial(g.edges().to_vec())
-            .with_vertex_count(4);
+        let mut inner =
+            wmatch_stream::VecStream::adversarial(g.edges().to_vec()).with_vertex_count(4);
         let mut ls = LayeredStream::new(spec.clone(), &mut inner);
         let mut streamed = Vec::new();
         ls.stream_pass(&mut |e| streamed.push(e));
@@ -568,7 +615,10 @@ mod tests {
             // a=0, b=1, c=2, d=3, e=4, f=5
             vec![false, false, true, false, true, true],
         );
-        let tau = TauPair { a: vec![0, 5, 0], b: vec![4, 4] };
+        let tau = TauPair {
+            a: vec![0, 5, 0],
+            b: vec![4, 4],
+        };
         let spec = LayeredSpec::new(&tau, 8, 8, &param, &m);
         let lg = spec.build(g.edges().iter().copied());
         // only {a,c}@4 and {d,f}@4 survive as Y copies; weight-2 wings are

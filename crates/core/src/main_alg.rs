@@ -187,8 +187,8 @@ fn sweep_classes(
         return grid.iter().map(|&w| solve_one(w)).collect();
     }
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: parking_lot::Mutex<Vec<(usize, (u64, ClassOutcome))>> =
-        parking_lot::Mutex::new(Vec::with_capacity(grid.len()));
+    let results: std::sync::Mutex<Vec<(usize, (u64, ClassOutcome))>> =
+        std::sync::Mutex::new(Vec::with_capacity(grid.len()));
     std::thread::scope(|scope| {
         for _ in 0..workers.min(grid.len()) {
             scope.spawn(|| loop {
@@ -197,11 +197,11 @@ fn sweep_classes(
                     break;
                 }
                 let out = solve_one(grid[i]);
-                results.lock().push((i, out));
+                results.lock().unwrap().push((i, out));
             });
         }
     });
-    let mut collected = results.into_inner();
+    let mut collected = results.into_inner().unwrap();
     collected.sort_by_key(|(i, _)| *i);
     collected.into_iter().map(|(_, o)| o).collect()
 }
@@ -257,10 +257,7 @@ pub fn max_weight_matching_offline(g: &Graph, cfg: &MainAlgConfig) -> Matching {
 
 /// Like [`max_weight_matching_offline`], also returning the matching
 /// weight after every round (the convergence series of experiment E5).
-pub fn max_weight_matching_offline_traced(
-    g: &Graph,
-    cfg: &MainAlgConfig,
-) -> (Matching, Vec<i128>) {
+pub fn max_weight_matching_offline_traced(g: &Graph, cfg: &MainAlgConfig) -> (Matching, Vec<i128>) {
     max_weight_matching_offline_from(g, Matching::new(g.vertex_count()), cfg)
 }
 
@@ -277,7 +274,11 @@ pub fn max_weight_matching_offline_from(
     init: Matching,
     cfg: &MainAlgConfig,
 ) -> (Matching, Vec<i128>) {
-    assert_eq!(init.vertex_count(), g.vertex_count(), "vertex count mismatch");
+    assert_eq!(
+        init.vertex_count(),
+        g.vertex_count(),
+        "vertex count mismatch"
+    );
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut m = init;
     let mut trace = Vec::new();
@@ -391,10 +392,7 @@ pub fn max_weight_matching_streaming(
                 passes_sequential += res.passes;
                 max_box_passes = max_box_passes.max(res.passes);
                 peak_memory = peak_memory.max(res.peak_memory_edges);
-                let augs = select_augmentations(
-                    &skeleton.augmenting_walks(&res.matching),
-                    &m,
-                );
+                let augs = select_augmentations(&skeleton.augmenting_walks(&res.matching), &m);
                 let gain: i128 = augs.iter().map(|a| a.gain()).sum();
                 if gain > 0 && best.as_ref().is_none_or(|(g, _)| gain > *g) {
                     best = Some((gain, augs));
@@ -473,13 +471,8 @@ pub fn max_weight_matching_mpc(
         let mut outcomes: Vec<(u64, Vec<Augmentation>)> = Vec::new();
         let mut max_box_rounds = 0usize;
         for &w_class in grid.iter() {
-            let (buckets_a, buckets_b) = crate::single_class::achievable_buckets(
-                g.edges(),
-                &m,
-                &param,
-                w_class,
-                &tau_cfg,
-            );
+            let (buckets_a, buckets_b) =
+                crate::single_class::achievable_buckets(g.edges(), &m, &param, w_class, &tau_cfg);
             let pairs = enumerate_good_pairs(&tau_cfg, &buckets_a, &buckets_b);
             let mut best: Option<(i128, Vec<Augmentation>)> = None;
             for tau in &pairs {
@@ -493,7 +486,10 @@ pub fn max_weight_matching_mpc(
                     &mut sim,
                     lg.graph.edges().to_vec(),
                     &lg.side,
-                    &MpcMcmConfig { seed: rng.gen(), ..*mcm },
+                    &MpcMcmConfig {
+                        seed: rng.gen(),
+                        ..*mcm
+                    },
                 )?;
                 rounds_sequential += res.rounds;
                 max_box_rounds = max_box_rounds.max(res.rounds);
@@ -567,8 +563,7 @@ mod tests {
         for trial in 0..5 {
             let g = generators::gnp(24, 0.25, WeightModel::Uniform { lo: 1, hi: 64 }, &mut rng);
             let opt = max_weight_matching(&g).weight();
-            let m =
-                max_weight_matching_offline(&g, &MainAlgConfig::practical(0.25, trial));
+            let m = max_weight_matching_offline(&g, &MainAlgConfig::practical(0.25, trial));
             m.validate(Some(&g)).unwrap();
             assert!(
                 m.weight() as f64 >= 0.75 * opt as f64,
@@ -618,7 +613,10 @@ mod tests {
         let res = max_weight_matching_mpc(
             &g,
             &cfg,
-            MpcConfig { machines: 3, memory_words: 5000 },
+            MpcConfig {
+                machines: 3,
+                memory_words: 5000,
+            },
             &MpcMcmConfig::for_delta(0.25, 9),
         )
         .unwrap();

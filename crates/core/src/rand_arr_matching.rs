@@ -248,7 +248,13 @@ mod tests {
             edges.push(Edge::new(2 * i, 2 * i + 1, 1000));
         }
         let mut s = VecStream::adversarial(edges).with_vertex_count(40);
-        let res = rand_arr_matching(&mut s, &RandArrConfig { p: 1e-9, ..Default::default() });
+        let res = rand_arr_matching(
+            &mut s,
+            &RandArrConfig {
+                p: 1e-9,
+                ..Default::default()
+            },
+        );
         assert_eq!(res.winner, RandArrBranch::StackAndT);
         assert!(res.matching.weight() >= 19 * 1000);
     }
@@ -258,7 +264,14 @@ mod tests {
         // the (3,4,3,4) cycle: optimum 8; any single matching edge is 4;
         // check validity and the 1/2 bound
         let (g, _) = generators::four_cycle_3434();
-        let avg = avg_ratio(&g, &RandArrConfig { p: 0.25, ..Default::default() }, 0..16);
+        let avg = avg_ratio(
+            &g,
+            &RandArrConfig {
+                p: 0.25,
+                ..Default::default()
+            },
+            0..16,
+        );
         assert!(avg >= 0.5, "got {avg}");
     }
 
@@ -285,7 +298,13 @@ mod tests {
         // barrier instance in natural order (see local_ratio tests)
         let g = generators::weighted_barrier_paths(5, 10);
         let mut s = VecStream::adversarial(g.edges().to_vec()).with_vertex_count(20);
-        let res = rand_arr_matching(&mut s, &RandArrConfig { p: 1.0, ..Default::default() });
+        let res = rand_arr_matching(
+            &mut s,
+            &RandArrConfig {
+                p: 1.0,
+                ..Default::default()
+            },
+        );
         assert_eq!(res.matching.weight(), 5 * 20);
         assert_eq!(res.t_size, 0);
     }
@@ -302,7 +321,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let g = generators::gnp(30, 0.3, WeightModel::Uniform { lo: 1, hi: 50 }, &mut rng);
         let mut s = VecStream::random_order(g.edges().to_vec(), 9).with_vertex_count(30);
-        let cfg = RandArrConfig { exact_t_threshold: 0, ..Default::default() };
+        let cfg = RandArrConfig {
+            exact_t_threshold: 0,
+            ..Default::default()
+        };
         let res = rand_arr_matching(&mut s, &cfg);
         res.matching.validate(None).unwrap();
         assert!(res.matching.weight() > 0);

@@ -145,9 +145,7 @@ pub fn random_order_unweighted(stream: &mut dyn EdgeStream, cfg: &RouConfig) -> 
     let s1_matching = max_cardinality_matching(&s1_graph);
     let mut branch1 = st.m0.clone();
     for e in s1_matching.iter() {
-        branch1
-            .insert(e)
-            .expect("S1 touches only M0-free vertices");
+        branch1.insert(e).expect("S1 touches only M0-free vertices");
     }
 
     // Branch 2: the continued greedy matching.
@@ -230,7 +228,11 @@ mod tests {
         let res = random_order_unweighted(&mut s, &RouConfig { p: 0.2, lambda: 16 });
         // phase one sees only middle edges -> M0 hits the greedy trap, but
         // the 3-aug branch repairs it
-        assert!(res.matching.len() * 2 > 40 + 4, "got {}", res.matching.len());
+        assert!(
+            res.matching.len() * 2 > 40 + 4,
+            "got {}",
+            res.matching.len()
+        );
     }
 
     #[test]
@@ -278,8 +280,7 @@ mod tests {
     fn support_memory_is_linear_in_matching() {
         let mut rng = StdRng::seed_from_u64(9);
         let g = generators::gnp(60, 0.4, WeightModel::Unit, &mut rng);
-        let mut s =
-            VecStream::random_order(g.edges().to_vec(), 4).with_vertex_count(60);
+        let mut s = VecStream::random_order(g.edges().to_vec(), 4).with_vertex_count(60);
         let res = random_order_unweighted(&mut s, &RouConfig::default());
         assert!(res.support_size <= 4 * res.m0_size.max(1));
     }

@@ -119,14 +119,13 @@ pub fn select_augmentations(
     m: &Matching,
 ) -> Vec<Augmentation> {
     let mut chosen: Vec<Augmentation> = Vec::new();
-    let mut used: std::collections::HashSet<wmatch_graph::Vertex> = std::collections::HashSet::new();
+    let mut used: std::collections::HashSet<wmatch_graph::Vertex> =
+        std::collections::HashSet::new();
     for (vs, es) in walks {
         let mut best: Option<Augmentation> = None;
         for comp in decompose_walk(vs, es) {
             if let Ok(aug) = Augmentation::from_component(m, &comp) {
-                if aug.gain() > 0
-                    && best.as_ref().is_none_or(|b| aug.gain() > b.gain())
-                {
+                if aug.gain() > 0 && best.as_ref().is_none_or(|b| aug.gain() > b.gain()) {
                     best = Some(aug);
                 }
             }
@@ -153,7 +152,13 @@ mod tests {
     }
 
     fn cfg(q: u32, layers: usize) -> TauConfig {
-        TauConfig { q, max_layers: layers, min_entry: 1, sum_b_cap: q + 1, max_pairs: 50_000 }
+        TauConfig {
+            q,
+            max_layers: layers,
+            min_entry: 1,
+            sum_b_cap: q + 1,
+            max_pairs: 50_000,
+        }
     }
 
     #[test]
@@ -172,14 +177,7 @@ mod tests {
         let g = generators::path_graph(&[9, 10, 9]);
         let m = Matching::from_edges(4, [g.edge(1)]).unwrap();
         let param = Parametrization::from_sides(vec![false, true, false, true]);
-        let out = single_class_augmentations(
-            g.edges(),
-            &m,
-            16,
-            &param,
-            &cfg(8, 3),
-            &mut hk_box,
-        );
+        let out = single_class_augmentations(g.edges(), &m, 16, &param, &cfg(8, 3), &mut hk_box);
         assert_eq!(out.gain, 8);
         assert_eq!(out.augmentations.len(), 1);
         assert!(out.best_pair.is_some());
@@ -199,14 +197,7 @@ mod tests {
         g.add_edge(0, 1, 12);
         let m = Matching::new(2);
         let param = Parametrization::from_sides(vec![true, false]);
-        let out = single_class_augmentations(
-            g.edges(),
-            &m,
-            16,
-            &param,
-            &cfg(8, 2),
-            &mut hk_box,
-        );
+        let out = single_class_augmentations(g.edges(), &m, 16, &param, &cfg(8, 2), &mut hk_box);
         assert_eq!(out.gain, 12);
     }
 
@@ -216,14 +207,7 @@ mod tests {
         let m = Matching::from_edges(4, [g.edge(1)]).unwrap(); // optimal
         let param = Parametrization::from_sides(vec![false, true, false, true]);
         for w in [8u64, 16, 32, 64] {
-            let out = single_class_augmentations(
-                g.edges(),
-                &m,
-                w,
-                &param,
-                &cfg(8, 3),
-                &mut hk_box,
-            );
+            let out = single_class_augmentations(g.edges(), &m, w, &param, &cfg(8, 3), &mut hk_box);
             assert_eq!(out.gain, 0, "W={w}");
         }
     }
@@ -234,7 +218,13 @@ mod tests {
         // and recover the +2 cycle augmentation
         let (g, m) = generators::four_cycle_eps(4);
         let param = Parametrization::from_sides(vec![true, false, true, false]);
-        let c = TauConfig { q: 32, max_layers: 7, min_entry: 1, sum_b_cap: 33, max_pairs: 100_000 };
+        let c = TauConfig {
+            q: 32,
+            max_layers: 7,
+            min_entry: 1,
+            sum_b_cap: 33,
+            max_pairs: 100_000,
+        };
         let out = single_class_augmentations(g.edges(), &m, 32, &param, &c, &mut hk_box);
         assert_eq!(out.gain, 2, "augmenting cycle must be recovered");
         let mut m2 = m.clone();
@@ -260,14 +250,7 @@ mod tests {
         let m = Matching::from_edges(4 * k, medges).unwrap();
         let sides: Vec<bool> = (0..4 * k).map(|v| v % 2 == 1).collect();
         let param = Parametrization::from_sides(sides);
-        let out = single_class_augmentations(
-            g.edges(),
-            &m,
-            16,
-            &param,
-            &cfg(8, 3),
-            &mut hk_box,
-        );
+        let out = single_class_augmentations(g.edges(), &m, 16, &param, &cfg(8, 3), &mut hk_box);
         assert_eq!(out.augmentations.len(), k);
         assert_eq!(out.gain, 8 * k as i128);
         let mut m2 = m.clone();
@@ -282,8 +265,7 @@ mod tests {
         let g = Graph::new(4);
         let m = Matching::new(4);
         let param = Parametrization::from_sides(vec![true, false, true, false]);
-        let out =
-            single_class_augmentations(g.edges(), &m, 8, &param, &cfg(8, 3), &mut hk_box);
+        let out = single_class_augmentations(g.edges(), &m, 8, &param, &cfg(8, 3), &mut hk_box);
         assert_eq!(out.pairs_tried, 0);
         assert_eq!(out.gain, 0);
     }

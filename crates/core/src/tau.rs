@@ -142,7 +142,16 @@ pub fn enumerate_good_pairs(
     let max_k = cfg.max_layers.saturating_sub(1);
     for k in 1..=max_k {
         let mut b_seq = Vec::with_capacity(k);
-        enumerate_b(cfg, &b_vals, k, 0, &mut b_seq, &a_interior, &a_ends, &mut out);
+        enumerate_b(
+            cfg,
+            &b_vals,
+            k,
+            0,
+            &mut b_seq,
+            &a_interior,
+            &a_ends,
+            &mut out,
+        );
         if out.len() >= cfg.max_pairs {
             break;
         }
@@ -172,7 +181,16 @@ fn enumerate_b(
         }
         let budget = sum_b - 1;
         let mut a_seq = Vec::with_capacity(k + 1);
-        enumerate_a(cfg, a_interior, a_ends, k + 1, budget, &mut a_seq, b_seq, out);
+        enumerate_a(
+            cfg,
+            a_interior,
+            a_ends,
+            k + 1,
+            budget,
+            &mut a_seq,
+            b_seq,
+            out,
+        );
         return;
     }
     for &t in b_vals {
@@ -204,8 +222,14 @@ fn enumerate_a(
         return;
     }
     if a_seq.len() == len {
-        let pair = TauPair { a: a_seq.clone(), b: b_seq.to_vec() };
-        debug_assert!(pair.is_good(cfg), "enumeration produced a bad pair {pair:?}");
+        let pair = TauPair {
+            a: a_seq.clone(),
+            b: b_seq.to_vec(),
+        };
+        debug_assert!(
+            pair.is_good(cfg),
+            "enumeration produced a bad pair {pair:?}"
+        );
         out.push(pair);
         return;
     }
@@ -216,7 +240,16 @@ fn enumerate_a(
             continue;
         }
         a_seq.push(t);
-        enumerate_a(cfg, a_interior, a_ends, len, budget - t as u64, a_seq, b_seq, out);
+        enumerate_a(
+            cfg,
+            a_interior,
+            a_ends,
+            len,
+            budget - t as u64,
+            a_seq,
+            b_seq,
+            out,
+        );
         a_seq.pop();
         if out.len() >= cfg.max_pairs {
             return;
@@ -247,25 +280,64 @@ mod tests {
 
     #[test]
     fn goodness_conditions() {
-        let cfg = TauConfig { q: 4, max_layers: 4, min_entry: 1, sum_b_cap: 5, max_pairs: 1000 };
+        let cfg = TauConfig {
+            q: 4,
+            max_layers: 4,
+            min_entry: 1,
+            sum_b_cap: 5,
+            max_pairs: 1000,
+        };
         // valid: τᴬ=(0,2,0), τᴮ=(2,1): ΣB=3 ≥ ΣA+1=3 ✓
-        assert!(TauPair { a: vec![0, 2, 0], b: vec![2, 1] }.is_good(&cfg));
+        assert!(TauPair {
+            a: vec![0, 2, 0],
+            b: vec![2, 1]
+        }
+        .is_good(&cfg));
         // length mismatch
-        assert!(!TauPair { a: vec![0, 2], b: vec![2, 1] }.is_good(&cfg));
+        assert!(!TauPair {
+            a: vec![0, 2],
+            b: vec![2, 1]
+        }
+        .is_good(&cfg));
         // interior zero violates property D
-        assert!(!TauPair { a: vec![0, 0, 0], b: vec![2, 1] }.is_good(&cfg));
+        assert!(!TauPair {
+            a: vec![0, 0, 0],
+            b: vec![2, 1]
+        }
+        .is_good(&cfg));
         // ΣB cap
-        assert!(!TauPair { a: vec![0, 1, 0], b: vec![3, 3] }.is_good(&cfg));
+        assert!(!TauPair {
+            a: vec![0, 1, 0],
+            b: vec![3, 3]
+        }
+        .is_good(&cfg));
         // gain condition F
-        assert!(!TauPair { a: vec![1, 1, 1], b: vec![2, 1] }.is_good(&cfg));
+        assert!(!TauPair {
+            a: vec![1, 1, 1],
+            b: vec![2, 1]
+        }
+        .is_good(&cfg));
         // too many layers
-        let cfg2 = TauConfig { max_layers: 2, ..cfg };
-        assert!(!TauPair { a: vec![0, 2, 0], b: vec![2, 1] }.is_good(&cfg2));
+        let cfg2 = TauConfig {
+            max_layers: 2,
+            ..cfg
+        };
+        assert!(!TauPair {
+            a: vec![0, 2, 0],
+            b: vec![2, 1]
+        }
+        .is_good(&cfg2));
     }
 
     #[test]
     fn enumeration_emits_only_good_pairs() {
-        let cfg = TauConfig { q: 4, max_layers: 3, min_entry: 1, sum_b_cap: 5, max_pairs: 10_000 };
+        let cfg = TauConfig {
+            q: 4,
+            max_layers: 3,
+            min_entry: 1,
+            sum_b_cap: 5,
+            max_pairs: 10_000,
+        };
         let ba: BTreeSet<u32> = [1, 2, 3].into_iter().collect();
         let bb: BTreeSet<u32> = [1, 2, 3, 4].into_iter().collect();
         let pairs = enumerate_good_pairs(&cfg, &ba, &bb);
@@ -280,7 +352,13 @@ mod tests {
 
     #[test]
     fn enumeration_respects_bucket_restriction() {
-        let cfg = TauConfig { q: 4, max_layers: 3, min_entry: 1, sum_b_cap: 5, max_pairs: 10_000 };
+        let cfg = TauConfig {
+            q: 4,
+            max_layers: 3,
+            min_entry: 1,
+            sum_b_cap: 5,
+            max_pairs: 10_000,
+        };
         let ba: BTreeSet<u32> = [2].into_iter().collect();
         let bb: BTreeSet<u32> = [3].into_iter().collect();
         let pairs = enumerate_good_pairs(&cfg, &ba, &bb);
@@ -298,7 +376,13 @@ mod tests {
 
     #[test]
     fn enumeration_cap_is_enforced() {
-        let cfg = TauConfig { q: 16, max_layers: 6, min_entry: 1, sum_b_cap: 17, max_pairs: 500 };
+        let cfg = TauConfig {
+            q: 16,
+            max_layers: 6,
+            min_entry: 1,
+            sum_b_cap: 17,
+            max_pairs: 500,
+        };
         let ba: BTreeSet<u32> = (1..=16).collect();
         let bb: BTreeSet<u32> = (1..=16).collect();
         let pairs = enumerate_good_pairs(&cfg, &ba, &bb);

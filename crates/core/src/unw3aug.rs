@@ -82,9 +82,7 @@ impl Unw3AugPaths {
             (true, false) => (e.v, e.u),
             _ => return, // not a support edge
         };
-        if self.support_deg[free as usize] < self.lambda
-            && self.support_deg[matched as usize] < 2
-        {
+        if self.support_deg[free as usize] < self.lambda && self.support_deg[matched as usize] < 2 {
             self.support_deg[free as usize] += 1;
             self.support_deg[matched as usize] += 1;
             self.support.push(e);
@@ -132,7 +130,11 @@ impl Unw3AugPaths {
             used[u as usize] = true;
             used[v as usize] = true;
             used[b as usize] = true;
-            out.push(ThreeAugPath { left, middle, right });
+            out.push(ThreeAugPath {
+                left,
+                middle,
+                right,
+            });
         }
         out
     }
@@ -177,11 +179,23 @@ mod tests {
         // stronger: endpoints all distinct
         let mut vs = std::collections::HashSet::new();
         for p in &paths {
-            for x in [p.left.other(p.middle.u.min(p.middle.v)), p.middle.u, p.middle.v] {
+            for x in [
+                p.left.other(p.middle.u.min(p.middle.v)),
+                p.middle.u,
+                p.middle.v,
+            ] {
                 let _ = x;
             }
-            let a = if alg.matching().is_matched(p.left.u) { p.left.v } else { p.left.u };
-            let b = if alg.matching().is_matched(p.right.u) { p.right.v } else { p.right.u };
+            let a = if alg.matching().is_matched(p.left.u) {
+                p.left.v
+            } else {
+                p.left.u
+            };
+            let b = if alg.matching().is_matched(p.right.u) {
+                p.right.v
+            } else {
+                p.right.u
+            };
             for x in [a, p.middle.u, p.middle.v, b] {
                 assert!(vs.insert(x), "vertex {x} reused across paths");
             }
@@ -233,8 +247,7 @@ mod tests {
         }
         assert_eq!(alg.support_size(), 2, "matched endpoint holds at most 2");
         // free-side cap
-        let m = Matching::from_edges(10, (0..4).map(|i| Edge::new(2 * i, 2 * i + 1, 1)))
-            .unwrap();
+        let m = Matching::from_edges(10, (0..4).map(|i| Edge::new(2 * i, 2 * i + 1, 1))).unwrap();
         let mut alg = Unw3AugPaths::new(m, 2);
         for i in 0..4u32 {
             alg.feed(Edge::new(8, 2 * i, 1)); // 8 is free... but 8 is matched!

@@ -108,11 +108,7 @@ mod tests {
     fn class_membership_positive_case() {
         // path augmentation: add 6+6, remove 5+4: gain 3, W = 8, q = 4
         // (granularity W/q = 2)
-        let m = Matching::from_edges(
-            6,
-            [Edge::new(1, 2, 5), Edge::new(3, 4, 4)],
-        )
-        .unwrap();
+        let m = Matching::from_edges(6, [Edge::new(1, 2, 5), Edge::new(3, 4, 4)]).unwrap();
         let comp = [
             Edge::new(0, 1, 6),
             Edge::new(1, 2, 5),
@@ -141,11 +137,8 @@ mod tests {
     #[test]
     fn class_membership_rejects_rounding_losses() {
         // gain 1 with W/q = 2: rounding wipes it out
-        let aug = Augmentation::from_parts(
-            vec![Edge::new(0, 1, 5)],
-            vec![Edge::new(1, 2, 4)],
-        )
-        .unwrap();
+        let aug =
+            Augmentation::from_parts(vec![Edge::new(0, 1, 5)], vec![Edge::new(1, 2, 4)]).unwrap();
         // down(5·4/8)=2, up(4·4/8)=2 -> 0 < 1
         assert!(!in_augmentation_class(&aug, 8, 4, 10));
     }
@@ -161,11 +154,8 @@ mod tests {
 
     #[test]
     fn class_membership_rejects_too_many_vertices() {
-        let aug = Augmentation::from_parts(
-            vec![Edge::new(0, 1, 6), Edge::new(2, 3, 6)],
-            vec![],
-        )
-        .unwrap();
+        let aug =
+            Augmentation::from_parts(vec![Edge::new(0, 1, 6), Edge::new(2, 3, 6)], vec![]).unwrap();
         assert!(!in_augmentation_class(&aug, 8, 4, 3));
         assert!(in_augmentation_class(&aug, 8, 4, 4));
     }

@@ -167,8 +167,7 @@ impl WgtAugPaths {
             let (mu, mv) = (self.marked[e.u as usize], self.marked[e.v as usize]);
             if mu && !mv {
                 // line 11: marked side's weight counts half
-                if (e.weight as f64)
-                    > (1.0 + 2.0 * self.cfg.alpha) * (0.5 * wu as f64 + wv as f64)
+                if (e.weight as f64) > (1.0 + 2.0 * self.cfg.alpha) * (0.5 * wu as f64 + wv as f64)
                 {
                     let cls = weight_class(wu);
                     if let Some(inst) = self.classes.get_mut(&cls) {
@@ -177,8 +176,7 @@ impl WgtAugPaths {
                 }
             } else if mv && !mu {
                 // line 14: symmetric case
-                if (e.weight as f64)
-                    > (1.0 + 2.0 * self.cfg.alpha) * (wu as f64 + 0.5 * wv as f64)
+                if (e.weight as f64) > (1.0 + 2.0 * self.cfg.alpha) * (wu as f64 + 0.5 * wv as f64)
                 {
                     let cls = weight_class(wv);
                     if let Some(inst) = self.classes.get_mut(&cls) {
@@ -215,11 +213,7 @@ impl WgtAugPaths {
         for (_cls, inst) in self.classes.iter().rev() {
             support_size += inst.support_size();
             for path in inst.finalize() {
-                let vs: Vec<u32> = path
-                    .edges()
-                    .iter()
-                    .flat_map(|e| [e.u, e.v])
-                    .collect();
+                let vs: Vec<u32> = path.edges().iter().flat_map(|e| [e.u, e.v]).collect();
                 if vs.iter().any(|&v| used[v as usize]) {
                     continue;
                 }
@@ -240,7 +234,11 @@ impl WgtAugPaths {
             }
         }
 
-        let matching = if m1.weight() >= m2.weight() { m1.clone() } else { m2.clone() };
+        let matching = if m1.weight() >= m2.weight() {
+            m1.clone()
+        } else {
+            m2.clone()
+        };
         WapOutput {
             matching,
             m1,
@@ -287,7 +285,10 @@ mod tests {
         // 3-augmentation of gain 8. Find a seed marking (u,v).
         for seed in 0..20 {
             let m0 = Matching::from_edges(4, [Edge::new(1, 2, 10)]).unwrap();
-            let cfg = WapConfig { seed, ..WapConfig::default() };
+            let cfg = WapConfig {
+                seed,
+                ..WapConfig::default()
+            };
             let mut wap = WgtAugPaths::new(m0, &cfg);
             if !wap.is_marked(1) {
                 continue;
@@ -308,7 +309,10 @@ mod tests {
         // be forwarded (they would not be weight-positive augmentations)
         for seed in 0..20 {
             let m0 = Matching::from_edges(4, [Edge::new(1, 2, 10)]).unwrap();
-            let cfg = WapConfig { seed, ..WapConfig::default() };
+            let cfg = WapConfig {
+                seed,
+                ..WapConfig::default()
+            };
             let mut wap = WgtAugPaths::new(m0, &cfg);
             if !wap.is_marked(1) {
                 continue;
@@ -327,9 +331,11 @@ mod tests {
     fn marked_both_sides_excluded() {
         // both endpoints' matched edges marked: lines 10/13 require exactly
         // one marked side, so nothing is forwarded
-        let m0 =
-            Matching::from_edges(4, [Edge::new(0, 1, 10), Edge::new(2, 3, 10)]).unwrap();
-        let cfg = WapConfig { mark_prob: 1.0, ..WapConfig::default() };
+        let m0 = Matching::from_edges(4, [Edge::new(0, 1, 10), Edge::new(2, 3, 10)]).unwrap();
+        let cfg = WapConfig {
+            mark_prob: 1.0,
+            ..WapConfig::default()
+        };
         let mut wap = WgtAugPaths::new(m0, &cfg);
         wap.feed(Edge::new(1, 2, 21));
         let out = wap.finalize();
@@ -364,7 +370,13 @@ mod tests {
             for e in g.edges() {
                 let _ = m0.insert(*e);
             }
-            let mut wap = WgtAugPaths::new(m0.clone(), &WapConfig { seed: trial, ..WapConfig::default() });
+            let mut wap = WgtAugPaths::new(
+                m0.clone(),
+                &WapConfig {
+                    seed: trial,
+                    ..WapConfig::default()
+                },
+            );
             for e in g.edges() {
                 wap.feed(*e);
             }
@@ -380,9 +392,11 @@ mod tests {
     fn class_instances_grouped_by_middle_weight() {
         // middles of weight 3 (class 2) and 40 (class 6); heavy wings near
         // the light middle must not leak into the heavy class
-        let m0 =
-            Matching::from_edges(8, [Edge::new(1, 2, 3), Edge::new(5, 6, 40)]).unwrap();
-        let cfg = WapConfig { mark_prob: 1.0, ..WapConfig::default() };
+        let m0 = Matching::from_edges(8, [Edge::new(1, 2, 3), Edge::new(5, 6, 40)]).unwrap();
+        let cfg = WapConfig {
+            mark_prob: 1.0,
+            ..WapConfig::default()
+        };
         // mark_prob 1 marks both: no wing passes the one-marked filter;
         // instead verify instance existence by class
         let wap = WgtAugPaths::new(m0, &cfg);

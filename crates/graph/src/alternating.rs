@@ -438,8 +438,8 @@ mod tests {
 
     #[test]
     fn conflict_detection_via_touched_vertices() {
-        let a = Augmentation::from_parts(vec![Edge::new(0, 1, 1)], vec![Edge::new(1, 2, 1)])
-            .unwrap();
+        let a =
+            Augmentation::from_parts(vec![Edge::new(0, 1, 1)], vec![Edge::new(1, 2, 1)]).unwrap();
         let b = Augmentation::from_parts(vec![Edge::new(2, 3, 1)], vec![]).unwrap();
         let c = Augmentation::from_parts(vec![Edge::new(4, 5, 1)], vec![]).unwrap();
         assert!(a.conflicts_with(&b)); // share vertex 2 via removed edge
@@ -455,7 +455,10 @@ mod tests {
         let comps = symmetric_difference_components(&m1, &m2);
         assert_eq!(comps.len(), 1);
         assert_eq!(comps[0].len(), 4);
-        assert_eq!(check_alternating(&m1, &comps[0]).unwrap(), ComponentKind::Cycle);
+        assert_eq!(
+            check_alternating(&m1, &comps[0]).unwrap(),
+            ComponentKind::Cycle
+        );
     }
 
     #[test]

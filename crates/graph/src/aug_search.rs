@@ -150,7 +150,17 @@ fn dfs(
         if let Ok(aug) = Augmentation::from_component(m, walk) {
             consider(aug);
         }
-        dfs(g, m, start, next, Some(in_m), visited, walk, max_len, consider);
+        dfs(
+            g,
+            m,
+            start,
+            next,
+            Some(in_m),
+            visited,
+            walk,
+            max_len,
+            consider,
+        );
         visited.remove(&next);
         walk.pop();
     }

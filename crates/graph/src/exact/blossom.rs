@@ -42,7 +42,11 @@ pub fn max_cardinality_matching(g: &Graph) -> Matching {
 #[allow(clippy::needless_range_loop)]
 pub fn max_cardinality_matching_from(g: &Graph, init: Matching) -> Matching {
     let n = g.vertex_count();
-    assert_eq!(init.vertex_count(), n, "initial matching has wrong vertex count");
+    assert_eq!(
+        init.vertex_count(),
+        n,
+        "initial matching has wrong vertex count"
+    );
     let mut adj: Vec<Vec<(Vertex, usize)>> = vec![Vec::new(); n];
     for (idx, e) in g.edges().iter().enumerate() {
         adj[e.u as usize].push((e.v, idx));
@@ -131,7 +135,8 @@ pub fn max_cardinality_matching_from(g: &Graph, init: Matching) -> Matching {
                 if base[v as usize] == base[to as usize] || mate[v as usize] == to {
                     continue;
                 }
-                if to == root || (mate[to as usize] != NONE && p[mate[to as usize] as usize] != NONE)
+                if to == root
+                    || (mate[to as usize] != NONE && p[mate[to as usize] as usize] != NONE)
                 {
                     // blossom found: contract
                     let curbase = lca(n, mate, base, p, v, to);

@@ -52,7 +52,11 @@ pub fn max_bipartite_cardinality_matching_from(
 ) -> Matching {
     let n = g.vertex_count();
     assert_eq!(side.len(), n, "side labels must cover all vertices");
-    assert_eq!(init.vertex_count(), n, "initial matching has wrong vertex count");
+    assert_eq!(
+        init.vertex_count(),
+        n,
+        "initial matching has wrong vertex count"
+    );
     assert!(
         g.respects_bipartition(side).unwrap(),
         "graph is not bipartite under the given sides"
@@ -61,7 +65,11 @@ pub fn max_bipartite_cardinality_matching_from(
     // adjacency from left vertices only: (right_vertex, edge_index)
     let mut adj: Vec<Vec<(Vertex, usize)>> = vec![Vec::new(); n];
     for (idx, e) in g.edges().iter().enumerate() {
-        let (l, r) = if !side[e.u as usize] { (e.u, e.v) } else { (e.v, e.u) };
+        let (l, r) = if !side[e.u as usize] {
+            (e.u, e.v)
+        } else {
+            (e.v, e.u)
+        };
         adj[l as usize].push((r, idx));
     }
 
@@ -197,13 +205,8 @@ mod tests {
     #[test]
     fn warm_start_from_maximal_matching() {
         let mut rng = StdRng::seed_from_u64(3);
-        let (g, side) = generators::random_bipartite(
-            20,
-            20,
-            0.2,
-            generators::WeightModel::Unit,
-            &mut rng,
-        );
+        let (g, side) =
+            generators::random_bipartite(20, 20, 0.2, generators::WeightModel::Unit, &mut rng);
         let cold = max_bipartite_cardinality_matching(&g, &side);
         // greedy maximal as warm start
         let mut init = Matching::new(g.vertex_count());
@@ -222,13 +225,8 @@ mod tests {
         for trial in 0..30 {
             let nl = 3 + (trial % 7);
             let nr = 3 + (trial % 5);
-            let (g, side) = generators::random_bipartite(
-                nl,
-                nr,
-                0.4,
-                generators::WeightModel::Unit,
-                &mut rng,
-            );
+            let (g, side) =
+                generators::random_bipartite(nl, nr, 0.4, generators::WeightModel::Unit, &mut rng);
             let ours = max_bipartite_cardinality_matching(&g, &side);
             let mut pg = UnGraph::<(), ()>::new_undirected();
             let nodes: Vec<_> = (0..g.vertex_count()).map(|_| pg.add_node(())).collect();

@@ -62,7 +62,11 @@ pub fn max_weight_bipartite_matching(g: &Graph, side: &[bool]) -> Matching {
     let mut profit = vec![vec![0i64; sz]; sz];
     let mut best_edge = vec![vec![usize::MAX; sz]; sz];
     for (idx, e) in g.edges().iter().enumerate() {
-        let (l, r) = if !side[e.u as usize] { (e.u, e.v) } else { (e.v, e.u) };
+        let (l, r) = if !side[e.u as usize] {
+            (e.u, e.v)
+        } else {
+            (e.v, e.u)
+        };
         let (i, j) = (lpos[l as usize], rpos[r as usize]);
         if (e.weight as i64) > profit[i][j]
             || (best_edge[i][j] == usize::MAX && e.weight as i64 >= profit[i][j])

@@ -150,7 +150,10 @@ impl<'g> Solver<'g> {
             if (t as usize) < self.nvertex {
                 out.push(t);
             } else {
-                for &c in self.blossomchilds[t as usize].as_ref().expect("blossom has children") {
+                for &c in self.blossomchilds[t as usize]
+                    .as_ref()
+                    .expect("blossom has children")
+                {
                     stack.push(c);
                 }
             }
@@ -225,7 +228,10 @@ impl<'g> Solver<'g> {
         let bb = self.inblossom[base as usize];
         let mut bv = self.inblossom[v as usize];
         let mut bw = self.inblossom[w as usize];
-        let b = self.unusedblossoms.pop().expect("a free blossom slot always exists");
+        let b = self
+            .unusedblossoms
+            .pop()
+            .expect("a free blossom slot always exists");
         self.blossombase[b as usize] = base;
         self.blossomparent[b as usize] = NONE;
         self.blossomparent[bb as usize] = b;
@@ -287,7 +293,9 @@ impl<'g> Solver<'g> {
     /// `endstage` is false, b is a T-blossom whose dual reached zero and the
     /// path through it must be relabeled.
     fn expand_blossom(&mut self, b: i32, endstage: bool) {
-        let childs = self.blossomchilds[b as usize].clone().expect("expanding a real blossom");
+        let childs = self.blossomchilds[b as usize]
+            .clone()
+            .expect("expanding a real blossom");
         for &s in &childs {
             self.blossomparent[s as usize] = NONE;
             if (s as usize) < self.nvertex {
@@ -306,12 +314,17 @@ impl<'g> Solver<'g> {
                 self.inblossom[self.endpoint[(self.labelend[b as usize] ^ 1) as usize] as usize];
             let len = childs.len() as i32;
             let at = |j: i32| -> i32 { childs[(((j % len) + len) % len) as usize] };
-            let endps = self.blossomendps[b as usize].clone().expect("blossom endps");
+            let endps = self.blossomendps[b as usize]
+                .clone()
+                .expect("blossom endps");
             let ep_at = |j: i32| -> i32 {
                 let l = endps.len() as i32;
                 endps[(((j % l) + l) % l) as usize]
             };
-            let mut j = childs.iter().position(|&c| c == entrychild).expect("entry child") as i32;
+            let mut j = childs
+                .iter()
+                .position(|&c| c == entrychild)
+                .expect("entry child") as i32;
             let (jstep, endptrick) = if j & 1 != 0 {
                 j -= len;
                 (1i32, 0i32)
@@ -390,15 +403,22 @@ impl<'g> Solver<'g> {
         if t as usize >= self.nvertex {
             self.augment_blossom(t, v);
         }
-        let childs = self.blossomchilds[b as usize].clone().expect("blossom childs");
-        let endps = self.blossomendps[b as usize].clone().expect("blossom endps");
+        let childs = self.blossomchilds[b as usize]
+            .clone()
+            .expect("blossom childs");
+        let endps = self.blossomendps[b as usize]
+            .clone()
+            .expect("blossom endps");
         let len = childs.len() as i32;
         let at = |j: i32| -> i32 { childs[(((j % len) + len) % len) as usize] };
         let ep_at = |j: i32| -> i32 {
             let l = endps.len() as i32;
             endps[(((j % l) + l) % l) as usize]
         };
-        let i = childs.iter().position(|&c| c == t).expect("child containing v") as i32;
+        let i = childs
+            .iter()
+            .position(|&c| c == t)
+            .expect("child containing v") as i32;
         let mut j = i;
         let (jstep, endptrick) = if i & 1 != 0 {
             j -= len;
@@ -609,10 +629,7 @@ impl<'g> Solver<'g> {
                     3 => {
                         self.allowedge[deltaedge] = true;
                         let e = self.g.edge(deltaedge);
-                        debug_assert_eq!(
-                            self.label[self.inblossom[e.u as usize] as usize],
-                            1
-                        );
+                        debug_assert_eq!(self.label[self.inblossom[e.u as usize] as usize], 1);
                         self.queue.push(e.u as i32);
                     }
                     4 => self.expand_blossom(deltablossom, false),
@@ -778,11 +795,15 @@ mod tests {
         for trial in 0..400 {
             let n = 2 + trial % 11;
             let p = 0.2 + 0.1 * ((trial / 7) % 8) as f64;
-            let hi = 1 + rng.gen_range(1..30);
+            let hi = 1 + rng.gen_range(1u64..30);
             let g = generators::gnp(n, p, WeightModel::Uniform { lo: 1, hi }, &mut rng);
             let fast = max_weight_matching(&g);
             let brute = max_weight_matching_brute_force(&g);
-            assert_eq!(fast.weight(), brute.weight(), "trial {trial} n={n} p={p} hi={hi}");
+            assert_eq!(
+                fast.weight(),
+                brute.weight(),
+                "trial {trial} n={n} p={p} hi={hi}"
+            );
             fast.validate(Some(&g)).unwrap();
         }
     }
@@ -834,7 +855,12 @@ mod tests {
     fn handles_larger_instances() {
         // sanity: runs at n=200 and beats a greedy lower bound
         let mut rng = StdRng::seed_from_u64(505);
-        let g = generators::gnp(200, 0.05, WeightModel::Uniform { lo: 1, hi: 1000 }, &mut rng);
+        let g = generators::gnp(
+            200,
+            0.05,
+            WeightModel::Uniform { lo: 1, hi: 1000 },
+            &mut rng,
+        );
         let m = max_weight_matching(&g);
         m.validate(Some(&g)).unwrap();
         // greedy by weight

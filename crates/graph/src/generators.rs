@@ -300,7 +300,11 @@ mod tests {
             assert_eq!(WeightModel::Unit.sample(&mut rng, 100), 1);
             let w = WeightModel::Uniform { lo: 3, hi: 9 }.sample(&mut rng, 100);
             assert!((3..=9).contains(&w));
-            let w = WeightModel::GeometricClasses { classes: 4, base: 2 }.sample(&mut rng, 100);
+            let w = WeightModel::GeometricClasses {
+                classes: 4,
+                base: 2,
+            }
+            .sample(&mut rng, 100);
             assert!([1, 2, 4, 8].contains(&w));
             let w = WeightModel::Polynomial { exponent: 2 }.sample(&mut rng, 10);
             assert!((1..=100).contains(&w));
@@ -320,7 +324,8 @@ mod tests {
     #[test]
     fn bipartite_respects_sides() {
         let mut rng = StdRng::seed_from_u64(2);
-        let (g, side) = random_bipartite(6, 8, 0.5, WeightModel::Uniform { lo: 1, hi: 5 }, &mut rng);
+        let (g, side) =
+            random_bipartite(6, 8, 0.5, WeightModel::Uniform { lo: 1, hi: 5 }, &mut rng);
         assert_eq!(g.vertex_count(), 14);
         assert!(g.respects_bipartition(&side).unwrap());
     }
@@ -348,7 +353,11 @@ mod tests {
             &[Edge::new(1, 2, 2), Edge::new(2, 3, 5), Edge::new(3, 4, 2)],
         )
         .unwrap();
-        assert!(bad.gain() < 0, "b-c-d-e must lose weight (gain {})", bad.gain());
+        assert!(
+            bad.gain() < 0,
+            "b-c-d-e must lose weight (gain {})",
+            bad.gain()
+        );
     }
 
     #[test]
@@ -367,7 +376,11 @@ mod tests {
             Edge::new(5, 4, 1),
         ];
         let aug = crate::alternating::Augmentation::from_component(&m0, &path).unwrap();
-        assert!(aug.gain() > 0, "paper path must be augmenting, gain {}", aug.gain());
+        assert!(
+            aug.gain() > 0,
+            "paper path must be augmenting, gain {}",
+            aug.gain()
+        );
         // claim 3: cycle ({e,f},{f,h},{h,g},{g,e}) is augmenting
         let cyc = [
             Edge::new(4, 5, 1),
@@ -376,7 +389,11 @@ mod tests {
             Edge::new(6, 4, 1),
         ];
         let aug = crate::alternating::Augmentation::from_component(&m0, &cyc).unwrap();
-        assert!(aug.gain() > 0, "paper cycle must be augmenting, gain {}", aug.gain());
+        assert!(
+            aug.gain() > 0,
+            "paper cycle must be augmenting, gain {}",
+            aug.gain()
+        );
     }
 
     #[test]

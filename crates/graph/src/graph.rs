@@ -109,7 +109,9 @@ impl Graph {
 
     /// Iterator over `(edge_index, neighbor)` pairs incident to `v`.
     pub fn incident(&self, v: Vertex) -> impl Iterator<Item = (usize, Edge)> + '_ {
-        self.adj[v as usize].iter().map(move |&i| (i, self.edges[i]))
+        self.adj[v as usize]
+            .iter()
+            .map(move |&i| (i, self.edges[i]))
     }
 
     /// Iterator over the neighbours of `v` (with multiplicity for parallel

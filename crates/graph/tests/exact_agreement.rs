@@ -1,0 +1,142 @@
+//! Cross-validation of the exact solvers against each other.
+//!
+//! The four ground-truth oracles the workspace leans on — Hopcroft–Karp,
+//! Hungarian (successive shortest paths), the blossom algorithm, and
+//! exhaustive brute force — implement very different algorithms, so their
+//! agreement on the same instances is strong evidence for all of them.
+//! Everything here is deterministic: instances come from seeded generators.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use wmatch_graph::exact::{
+    max_bipartite_cardinality_matching, max_cardinality_matching, max_weight_bipartite_matching,
+    max_weight_matching, max_weight_matching_brute_force,
+};
+use wmatch_graph::generators::{self, WeightModel};
+
+/// Every (nl, nr) split with 1 <= nl, nr <= 6 (so n = nl + nr up to 12),
+/// several densities and seeds per split. Highly asymmetric splits such
+/// as (11, 1) are not covered here.
+fn bipartite_instances(
+    model: WeightModel,
+) -> impl Iterator<Item = (wmatch_graph::Graph, Vec<bool>)> {
+    let splits: Vec<(usize, usize)> = (1..=6usize)
+        .flat_map(|nl| (1..=6usize).map(move |nr| (nl, nr)))
+        .collect();
+    splits.into_iter().flat_map(move |(nl, nr)| {
+        [0.15, 0.4, 0.8]
+            .into_iter()
+            .enumerate()
+            .flat_map(move |(di, p)| {
+                (0..3u64).map(move |trial| {
+                    let seed = (nl as u64) << 32 | (nr as u64) << 16 | (di as u64) << 8 | trial;
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    generators::random_bipartite(nl, nr, p, model, &mut rng)
+                })
+            })
+    })
+}
+
+/// Hungarian, the general weighted (Galil) solver, and brute force agree
+/// on maximum matching *weight* for weighted bipartite instances.
+#[test]
+fn weighted_solvers_agree_on_bipartite_instances() {
+    let mut checked = 0;
+    for (g, side) in bipartite_instances(WeightModel::Uniform { lo: 1, hi: 30 }) {
+        let hungarian = max_weight_bipartite_matching(&g, &side);
+        let general = max_weight_matching(&g);
+        let brute = max_weight_matching_brute_force(&g);
+        assert_eq!(
+            hungarian.weight(),
+            brute.weight(),
+            "hungarian vs brute force on {g}"
+        );
+        assert_eq!(
+            general.weight(),
+            brute.weight(),
+            "general (Galil) vs brute force on {g}"
+        );
+        hungarian.validate(Some(&g)).unwrap();
+        general.validate(Some(&g)).unwrap();
+        brute.validate(Some(&g)).unwrap();
+        checked += 1;
+    }
+    assert_eq!(checked, 6 * 6 * 3 * 3, "instance family changed size");
+}
+
+/// Hopcroft–Karp, blossom, and brute force agree on maximum matching
+/// *cardinality* for unit-weight bipartite instances (where cardinality
+/// equals brute-force weight).
+#[test]
+fn cardinality_solvers_agree_on_bipartite_instances() {
+    for (g, side) in bipartite_instances(WeightModel::Unit) {
+        let hk = max_bipartite_cardinality_matching(&g, &side);
+        let blossom = max_cardinality_matching(&g);
+        let brute = max_weight_matching_brute_force(&g);
+        assert_eq!(
+            hk.len() as i128,
+            brute.weight(),
+            "hopcroft-karp vs brute force on {g}"
+        );
+        assert_eq!(
+            blossom.len() as i128,
+            brute.weight(),
+            "blossom vs brute force on {g}"
+        );
+        hk.validate(Some(&g)).unwrap();
+        blossom.validate(Some(&g)).unwrap();
+    }
+}
+
+/// On weighted bipartite instances the weighted optima dominate any
+/// cardinality-optimal matching's weight, and with unit weights the
+/// weighted and cardinality optima coincide — a consistency relation
+/// across all four solvers.
+#[test]
+fn weighted_and_cardinality_optima_are_consistent() {
+    for (g, side) in bipartite_instances(WeightModel::Uniform { lo: 1, hi: 9 }) {
+        let weighted_opt = max_weight_bipartite_matching(&g, &side).weight();
+        let card = max_bipartite_cardinality_matching(&g, &side);
+        let card_weight: i128 = card.iter().map(|e| e.weight as i128).sum();
+        assert!(
+            weighted_opt >= card_weight,
+            "weighted optimum {weighted_opt} below a cardinality matching's weight \
+             {card_weight} on {g}"
+        );
+
+        let unit = g.unweighted_copy();
+        let unit_weighted = max_weight_matching(&unit).weight();
+        let unit_card = max_cardinality_matching(&unit).len() as i128;
+        assert_eq!(
+            unit_weighted, unit_card,
+            "unit-weight optima differ on {unit}"
+        );
+    }
+}
+
+/// Dense small general (non-bipartite) graphs: blossom cardinality equals
+/// brute force, and the weighted general solver equals brute force — the
+/// blossom contraction paths get exercised beyond what bipartite
+/// instances can reach.
+#[test]
+fn general_graph_solvers_agree_up_to_n_10() {
+    for n in 2..=10usize {
+        for trial in 0..6u64 {
+            let mut rng = StdRng::seed_from_u64(n as u64 * 1000 + trial);
+            let g = generators::gnp(n, 0.5, WeightModel::Uniform { lo: 1, hi: 20 }, &mut rng);
+            let brute = max_weight_matching_brute_force(&g);
+            assert_eq!(
+                max_weight_matching(&g).weight(),
+                brute.weight(),
+                "general solver vs brute force on {g}"
+            );
+            let unit = g.unweighted_copy();
+            assert_eq!(
+                max_cardinality_matching(&unit).len() as i128,
+                max_weight_matching_brute_force(&unit).weight(),
+                "blossom vs brute force on {unit}"
+            );
+        }
+    }
+}

@@ -15,20 +15,18 @@ use wmatch_graph::{Edge, Graph, Matching};
 /// Strategy: a random graph as (n, edge list with weights in [1, 30]).
 fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = Graph> {
     (2usize..=max_n).prop_flat_map(move |n| {
-        proptest::collection::vec(
-            (0..n as u32, 0..n as u32, 1u64..=30),
-            0..=max_m,
-        )
-        .prop_map(move |raw| {
-            let mut g = Graph::new(n);
-            let mut seen = std::collections::HashSet::new();
-            for (u, v, w) in raw {
-                if u != v && seen.insert(if u < v { (u, v) } else { (v, u) }) {
-                    g.add_edge(u, v, w);
+        proptest::collection::vec((0..n as u32, 0..n as u32, 1u64..=30), 0..=max_m).prop_map(
+            move |raw| {
+                let mut g = Graph::new(n);
+                let mut seen = std::collections::HashSet::new();
+                for (u, v, w) in raw {
+                    if u != v && seen.insert(if u < v { (u, v) } else { (v, u) }) {
+                        g.add_edge(u, v, w);
+                    }
                 }
-            }
-            g
-        })
+                g
+            },
+        )
     })
 }
 
@@ -52,7 +50,8 @@ fn arb_bipartite(max_side: usize) -> impl Strategy<Value = (Graph, Vec<bool>)> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
+    // Seed pinned for reproducibility: every run explores the same cases.
+    #![proptest_config(ProptestConfig::with_cases(200).with_seed(0x0067_7261_7068))] // b"graph"
 
     /// The general weighted solver always matches brute force.
     #[test]

@@ -183,9 +183,12 @@ mod tests {
     fn solves_small_path() {
         let edges = vec![Edge::new(1, 2, 1), Edge::new(0, 2, 1), Edge::new(1, 3, 1)];
         let side = vec![false, false, true, true];
-        let mut sim = MpcSimulator::new(MpcConfig { machines: 2, memory_words: 64 });
-        let res = mpc_bipartite_mcm(&mut sim, edges, &side, &MpcMcmConfig::for_delta(0.1, 3))
-            .unwrap();
+        let mut sim = MpcSimulator::new(MpcConfig {
+            machines: 2,
+            memory_words: 64,
+        });
+        let res =
+            mpc_bipartite_mcm(&mut sim, edges, &side, &MpcMcmConfig::for_delta(0.1, 3)).unwrap();
         assert_eq!(res.matching.len(), 2);
         res.matching.validate(None).unwrap();
     }
@@ -194,10 +197,12 @@ mod tests {
     fn near_optimal_on_random_bipartite() {
         let mut rng = StdRng::seed_from_u64(8);
         for trial in 0..6 {
-            let (g, side) =
-                generators::random_bipartite(30, 30, 0.12, WeightModel::Unit, &mut rng);
+            let (g, side) = generators::random_bipartite(30, 30, 0.12, WeightModel::Unit, &mut rng);
             let opt = max_bipartite_cardinality_matching(&g, &side).len();
-            let mut sim = MpcSimulator::new(MpcConfig { machines: 4, memory_words: 4000 });
+            let mut sim = MpcSimulator::new(MpcConfig {
+                machines: 4,
+                memory_words: 4000,
+            });
             let res = mpc_bipartite_mcm(
                 &mut sim,
                 g.edges().to_vec(),
@@ -218,10 +223,17 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let (g, side) = generators::random_bipartite(50, 50, 0.4, WeightModel::Unit, &mut rng);
         let s = 2000;
-        let mut sim = MpcSimulator::new(MpcConfig { machines: 4, memory_words: s });
-        let res =
-            mpc_bipartite_mcm(&mut sim, g.edges().to_vec(), &side, &MpcMcmConfig::for_delta(0.2, 1))
-                .unwrap();
+        let mut sim = MpcSimulator::new(MpcConfig {
+            machines: 4,
+            memory_words: s,
+        });
+        let res = mpc_bipartite_mcm(
+            &mut sim,
+            g.edges().to_vec(),
+            &side,
+            &MpcMcmConfig::for_delta(0.2, 1),
+        )
+        .unwrap();
         assert!(res.peak_machine_words <= s);
     }
 
@@ -231,9 +243,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(10);
         let mut rounds = Vec::new();
         for &nl in &[20usize, 40, 80] {
-            let (g, side) =
-                generators::random_bipartite(nl, nl, 0.2, WeightModel::Unit, &mut rng);
-            let mut sim = MpcSimulator::new(MpcConfig { machines: 4, memory_words: 50_000 });
+            let (g, side) = generators::random_bipartite(nl, nl, 0.2, WeightModel::Unit, &mut rng);
+            let mut sim = MpcSimulator::new(MpcConfig {
+                machines: 4,
+                memory_words: 50_000,
+            });
             let cfg = MpcMcmConfig {
                 delta: 0.1,
                 max_iterations: 10,
@@ -255,7 +269,10 @@ mod tests {
     fn fails_cleanly_when_budget_too_small() {
         let mut rng = StdRng::seed_from_u64(11);
         let (g, side) = generators::random_bipartite(40, 40, 0.5, WeightModel::Unit, &mut rng);
-        let mut sim = MpcSimulator::new(MpcConfig { machines: 2, memory_words: 10 });
+        let mut sim = MpcSimulator::new(MpcConfig {
+            machines: 2,
+            memory_words: 10,
+        });
         let err = mpc_bipartite_mcm(
             &mut sim,
             g.edges().to_vec(),
@@ -271,7 +288,10 @@ mod tests {
 
     #[test]
     fn empty_input() {
-        let mut sim = MpcSimulator::new(MpcConfig { machines: 2, memory_words: 10 });
+        let mut sim = MpcSimulator::new(MpcConfig {
+            machines: 2,
+            memory_words: 10,
+        });
         let res =
             mpc_bipartite_mcm(&mut sim, vec![], &[], &MpcMcmConfig::for_delta(0.5, 0)).unwrap();
         assert!(res.matching.is_empty());
@@ -286,9 +306,12 @@ mod tests {
             edges.push(Edge::new(i, i + 1, 1));
         }
         let side: Vec<bool> = (0..n).map(|v| v % 2 == 1).collect();
-        let mut sim = MpcSimulator::new(MpcConfig { machines: 3, memory_words: 500 });
-        let res = mpc_bipartite_mcm(&mut sim, edges, &side, &MpcMcmConfig::for_delta(0.05, 4))
-            .unwrap();
+        let mut sim = MpcSimulator::new(MpcConfig {
+            machines: 3,
+            memory_words: 500,
+        });
+        let res =
+            mpc_bipartite_mcm(&mut sim, edges, &side, &MpcMcmConfig::for_delta(0.05, 4)).unwrap();
         assert_eq!(res.matching.len() as u32, n / 2);
     }
 }

@@ -66,10 +66,21 @@ pub enum MpcError {
 impl fmt::Display for MpcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MpcError::MemoryExceeded { machine, used, limit } => {
-                write!(f, "machine {machine} memory exceeded: {used} > {limit} words")
+            MpcError::MemoryExceeded {
+                machine,
+                used,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "machine {machine} memory exceeded: {used} > {limit} words"
+                )
             }
-            MpcError::CommunicationExceeded { machine, used, limit } => write!(
+            MpcError::CommunicationExceeded {
+                machine,
+                used,
+                limit,
+            } => write!(
                 f,
                 "machine {machine} communication exceeded: {used} > {limit} words"
             ),
@@ -255,7 +266,11 @@ impl MpcSimulator {
             let used = self.storage[i].len() + inboxes[i].len();
             self.peak_machine_words = self.peak_machine_words.max(used);
             if used > s {
-                return Err(MpcError::MemoryExceeded { machine: i, used, limit: s });
+                return Err(MpcError::MemoryExceeded {
+                    machine: i,
+                    used,
+                    limit: s,
+                });
             }
         }
         Ok(inboxes)
@@ -307,12 +322,17 @@ mod tests {
     use super::*;
 
     fn unit_edges(k: usize) -> Vec<Edge> {
-        (0..k as u32).map(|i| Edge::new(2 * i, 2 * i + 1, 1)).collect()
+        (0..k as u32)
+            .map(|i| Edge::new(2 * i, 2 * i + 1, 1))
+            .collect()
     }
 
     #[test]
     fn scatter_distributes_all_edges() {
-        let mut sim = MpcSimulator::new(MpcConfig { machines: 4, memory_words: 100 });
+        let mut sim = MpcSimulator::new(MpcConfig {
+            machines: 4,
+            memory_words: 100,
+        });
         sim.scatter_edges(unit_edges(40), 1).unwrap();
         let total: usize = (0..4).map(|i| sim.machine(i).len()).sum();
         assert_eq!(total, 40);
@@ -322,14 +342,20 @@ mod tests {
 
     #[test]
     fn scatter_detects_overflow() {
-        let mut sim = MpcSimulator::new(MpcConfig { machines: 2, memory_words: 3 });
+        let mut sim = MpcSimulator::new(MpcConfig {
+            machines: 2,
+            memory_words: 3,
+        });
         let err = sim.scatter_edges(unit_edges(40), 1).unwrap_err();
         assert!(matches!(err, MpcError::MemoryExceeded { .. }));
     }
 
     #[test]
     fn exchange_moves_edges_and_counts_rounds() {
-        let mut sim = MpcSimulator::new(MpcConfig { machines: 2, memory_words: 100 });
+        let mut sim = MpcSimulator::new(MpcConfig {
+            machines: 2,
+            memory_words: 100,
+        });
         sim.scatter_edges(unit_edges(10), 2).unwrap();
         // move everything to machine 0
         sim.exchange(|_, local| {
@@ -344,18 +370,27 @@ mod tests {
 
     #[test]
     fn exchange_detects_receive_overflow() {
-        let mut sim = MpcSimulator::new(MpcConfig { machines: 4, memory_words: 20 });
+        let mut sim = MpcSimulator::new(MpcConfig {
+            machines: 4,
+            memory_words: 20,
+        });
         sim.scatter_edges(unit_edges(40), 3).unwrap();
         // funnelling all 40 edges into machine 0 exceeds its 20-word budget
         let err = sim
             .exchange(|_, local| local.drain(..).map(|e| (0usize, e)).collect::<Vec<_>>())
             .unwrap_err();
-        assert!(matches!(err, MpcError::CommunicationExceeded { machine: 0, .. }));
+        assert!(matches!(
+            err,
+            MpcError::CommunicationExceeded { machine: 0, .. }
+        ));
     }
 
     #[test]
     fn exchange_rejects_bad_destination() {
-        let mut sim = MpcSimulator::new(MpcConfig { machines: 2, memory_words: 100 });
+        let mut sim = MpcSimulator::new(MpcConfig {
+            machines: 2,
+            memory_words: 100,
+        });
         sim.scatter_edges(unit_edges(1), 4).unwrap();
         let err = sim
             .exchange(|_, local| local.drain(..).map(|e| (9usize, e)).collect::<Vec<_>>())
@@ -365,13 +400,14 @@ mod tests {
 
     #[test]
     fn transient_exchange_leaves_storage_untouched() {
-        let mut sim = MpcSimulator::new(MpcConfig { machines: 3, memory_words: 50 });
+        let mut sim = MpcSimulator::new(MpcConfig {
+            machines: 3,
+            memory_words: 50,
+        });
         sim.scatter_edges(unit_edges(12), 5).unwrap();
         let before: Vec<usize> = (0..3).map(|i| sim.machine(i).len()).collect();
         let inboxes = sim
-            .exchange_transient(|_m, local| {
-                local.iter().map(|e| (0usize, *e)).collect::<Vec<_>>()
-            })
+            .exchange_transient(|_m, local| local.iter().map(|e| (0usize, *e)).collect::<Vec<_>>())
             .unwrap();
         let after: Vec<usize> = (0..3).map(|i| sim.machine(i).len()).collect();
         assert_eq!(before, after, "transient messages must not persist");
@@ -384,31 +420,36 @@ mod tests {
     fn transient_exchange_enforces_inbox_memory() {
         // storage + inbox must fit in S: machine 0 holds ~1/2 of 30 edges
         // with S = 20, so receiving 20 more overflows
-        let mut sim = MpcSimulator::new(MpcConfig { machines: 2, memory_words: 20 });
+        let mut sim = MpcSimulator::new(MpcConfig {
+            machines: 2,
+            memory_words: 20,
+        });
         sim.scatter_edges(unit_edges(30), 6).unwrap();
         let err = sim
-            .exchange_transient(|_m, local| {
-                local.iter().map(|e| (0usize, *e)).collect::<Vec<_>>()
-            })
+            .exchange_transient(|_m, local| local.iter().map(|e| (0usize, *e)).collect::<Vec<_>>())
             .unwrap_err();
         assert!(matches!(err, MpcError::MemoryExceeded { machine: 0, .. }));
     }
 
     #[test]
     fn transient_exchange_rejects_bad_destination() {
-        let mut sim = MpcSimulator::new(MpcConfig { machines: 2, memory_words: 50 });
+        let mut sim = MpcSimulator::new(MpcConfig {
+            machines: 2,
+            memory_words: 50,
+        });
         sim.scatter_edges(unit_edges(2), 7).unwrap();
         let err = sim
-            .exchange_transient(|_m, local| {
-                local.iter().map(|e| (5usize, *e)).collect::<Vec<_>>()
-            })
+            .exchange_transient(|_m, local| local.iter().map(|e| (5usize, *e)).collect::<Vec<_>>())
             .unwrap_err();
         assert_eq!(err, MpcError::NoSuchMachine { machine: 5 });
     }
 
     #[test]
     fn broadcast_and_gather_accounting() {
-        let mut sim = MpcSimulator::new(MpcConfig { machines: 4, memory_words: 50 });
+        let mut sim = MpcSimulator::new(MpcConfig {
+            machines: 4,
+            memory_words: 50,
+        });
         sim.broadcast_words(0, 50).unwrap();
         assert_eq!(sim.rounds(), 2);
         sim.gather_words(0, &[10, 10, 10, 10]).unwrap();
@@ -429,7 +470,11 @@ mod tests {
 
     #[test]
     fn error_messages_are_informative() {
-        let e = MpcError::MemoryExceeded { machine: 3, used: 10, limit: 5 };
+        let e = MpcError::MemoryExceeded {
+            machine: 3,
+            used: 10,
+            limit: 5,
+        };
         assert_eq!(e.to_string(), "machine 3 memory exceeded: 10 > 5 words");
     }
 }

@@ -175,7 +175,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let (g, side) = generators::random_bipartite(30, 30, 0.1, WeightModel::Unit, &mut rng);
         let mut s = VecStream::random_order(g.edges().to_vec(), 5).with_vertex_count(60);
-        let cfg = McmConfig { delta: 1.0, max_passes: 1, degree_cap: 1 };
+        let cfg = McmConfig {
+            delta: 1.0,
+            max_passes: 1,
+            degree_cap: 1,
+        };
         let res = multipass_bipartite_mcm(&mut s, &side, &cfg);
         assert_eq!(res.passes, 1);
         let opt = max_bipartite_cardinality_matching(&g, &side);
@@ -186,11 +190,9 @@ mod tests {
     fn converges_near_optimal_on_random_bipartite() {
         let mut rng = StdRng::seed_from_u64(3);
         for trial in 0..10 {
-            let (g, side) =
-                generators::random_bipartite(25, 25, 0.15, WeightModel::Unit, &mut rng);
+            let (g, side) = generators::random_bipartite(25, 25, 0.15, WeightModel::Unit, &mut rng);
             let opt = max_bipartite_cardinality_matching(&g, &side).len();
-            let mut s =
-                VecStream::random_order(g.edges().to_vec(), trial).with_vertex_count(50);
+            let mut s = VecStream::random_order(g.edges().to_vec(), trial).with_vertex_count(50);
             let res = multipass_bipartite_mcm(&mut s, &side, &McmConfig::for_delta(0.1));
             assert!(
                 (res.matching.len() as f64) >= 0.9 * opt as f64,
@@ -216,7 +218,10 @@ mod tests {
             "peak {} exceeds O(n·cap) = {bound}",
             res.peak_memory_edges
         );
-        assert!(g.edge_count() > bound, "test only meaningful when m >> bound");
+        assert!(
+            g.edge_count() > bound,
+            "test only meaningful when m >> bound"
+        );
     }
 
     #[test]
@@ -224,7 +229,10 @@ mod tests {
         let mut s = VecStream::adversarial(vec![]);
         let res = multipass_bipartite_mcm(&mut s, &[], &McmConfig::default());
         assert!(res.matching.is_empty());
-        assert!(res.passes <= 2, "one greedy pass plus one confirmation pass");
+        assert!(
+            res.passes <= 2,
+            "one greedy pass plus one confirmation pass"
+        );
     }
 
     #[test]
@@ -233,7 +241,11 @@ mod tests {
         let edges = vec![wmatch_graph::Edge::new(0, 1, 1)];
         let side = vec![false, true];
         let mut s = VecStream::adversarial(edges);
-        let cfg = McmConfig { delta: 0.01, max_passes: 50, degree_cap: 4 };
+        let cfg = McmConfig {
+            delta: 0.01,
+            max_passes: 50,
+            degree_cap: 4,
+        };
         let res = multipass_bipartite_mcm(&mut s, &side, &cfg);
         assert_eq!(res.matching.len(), 1);
         assert!(res.passes <= 2, "must stop after an unproductive pass");

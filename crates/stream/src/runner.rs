@@ -101,7 +101,11 @@ mod tests {
     fn runs_requested_passes() {
         let edges = vec![Edge::new(0, 1, 2), Edge::new(1, 2, 3)];
         let mut s = VecStream::adversarial(edges);
-        let alg = SumWeightsForPasses { target_passes: 3, done: 0, sum: 0 };
+        let alg = SumWeightsForPasses {
+            target_passes: 3,
+            done: 0,
+            sum: 0,
+        };
         let (sum, passes) = run_multipass(&mut s, alg, 10);
         assert_eq!(passes, 3);
         assert_eq!(sum, 15);
@@ -112,7 +116,11 @@ mod tests {
     fn pass_budget_is_enforced() {
         let edges = vec![Edge::new(0, 1, 2)];
         let mut s = VecStream::adversarial(edges);
-        let alg = SumWeightsForPasses { target_passes: 100, done: 0, sum: 0 };
+        let alg = SumWeightsForPasses {
+            target_passes: 100,
+            done: 0,
+            sum: 0,
+        };
         let (_, passes) = run_multipass(&mut s, alg, 4);
         assert_eq!(passes, 4);
     }

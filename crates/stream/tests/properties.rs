@@ -17,14 +17,18 @@ fn arb_edges(max_m: usize) -> impl Strategy<Value = Vec<Edge>> {
 
 fn arb_bipartite_edges(max_m: usize) -> impl Strategy<Value = (Vec<Edge>, Vec<bool>)> {
     proptest::collection::vec((0u32..15, 15u32..30, 1u64..5), 0..max_m).prop_map(|raw| {
-        let edges: Vec<Edge> = raw.into_iter().map(|(u, v, w)| Edge::new(u, v, w)).collect();
+        let edges: Vec<Edge> = raw
+            .into_iter()
+            .map(|(u, v, w)| Edge::new(u, v, w))
+            .collect();
         let side: Vec<bool> = (0..30).map(|v| v >= 15).collect();
         (edges, side)
     })
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(100))]
+    // Seed pinned for reproducibility: every run explores the same cases.
+    #![proptest_config(ProptestConfig::with_cases(100).with_seed(0x7374_7265_616d))] // b"stream"
 
     /// Every pass of every ordering mode delivers exactly the input
     /// multiset of edges.

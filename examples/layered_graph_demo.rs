@@ -56,7 +56,13 @@ fn figure2() {
     print_matching("M0", &m0);
     // find a seed that marks {c,d} and {g,h} like the paper's M0' example
     for seed in 0..64 {
-        let wap = WgtAugPaths::new(m0.clone(), &WapConfig { seed, ..WapConfig::default() });
+        let wap = WgtAugPaths::new(
+            m0.clone(),
+            &WapConfig {
+                seed,
+                ..WapConfig::default()
+            },
+        );
         if wap.is_marked(2) && wap.is_marked(6) && !wap.is_marked(0) && !wap.is_marked(4) {
             println!("seed {seed} reproduces the paper's M0' = {{ {{c,d}}, {{g,h}} }}");
             let mut wap = wap;
@@ -80,8 +86,14 @@ fn figures3_4() {
     let (g, m) = generators::four_cycle_eps(4);
     println!("4-cycle with weights (4,5,4,5); M = the weight-4 edges (w = 8)");
     let param = Parametrization::from_sides(vec![true, false, true, false]);
-    let tau = TauPair { a: vec![4; 6], b: vec![5; 5] };
-    println!("layered graph: W=32, q=32, tau_A = {:?}, tau_B = {:?}", tau.a, tau.b);
+    let tau = TauPair {
+        a: vec![4; 6],
+        b: vec![5; 5],
+    };
+    println!(
+        "layered graph: W=32, q=32, tau_A = {:?}, tau_B = {:?}",
+        tau.a, tau.b
+    );
     let spec = LayeredSpec::new(&tau, 32, 32, &param, &m);
     let lg = spec.build(g.edges().iter().copied());
     println!(
@@ -101,11 +113,7 @@ fn figures3_4() {
         println!("augmenting walk in G (translated): {vs:?}");
         for comp in decompose_walk(vs, es) {
             let aug = Augmentation::from_component(&m, &comp).expect("alternating");
-            println!(
-                "  component of {} edges: gain {}",
-                comp.len(),
-                aug.gain()
-            );
+            println!("  component of {} edges: gain {}", comp.len(), aug.gain());
         }
     }
     println!("the +2 component is the paper's augmenting cycle (3,4,3,4 example).");

@@ -66,7 +66,8 @@ fn main() {
             pct(*w as f64 / opt_w)
         );
     }
-    m.validate(Some(&g)).expect("result is a valid matching of g");
+    m.validate(Some(&g))
+        .expect("result is a valid matching of g");
 
     // warm-started at finer granularity: polish the greedy baseline with
     // the paper's augmentations (Theorem 4.1 improves any matching)

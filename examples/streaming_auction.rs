@@ -32,7 +32,10 @@ fn main() {
         advertisers,
         slots,
         0.08,
-        WeightModel::GeometricClasses { classes: 6, base: 4 },
+        WeightModel::GeometricClasses {
+            classes: 6,
+            base: 4,
+        },
         &mut rng,
     );
     println!(
@@ -50,8 +53,8 @@ fn main() {
     let mut ram_mem = 0usize;
     for &seed in &seeds {
         // online greedy: accept any bid on two free parties
-        let mut s = VecStream::random_order(g.edges().to_vec(), seed)
-            .with_vertex_count(g.vertex_count());
+        let mut s =
+            VecStream::random_order(g.edges().to_vec(), seed).with_vertex_count(g.vertex_count());
         let mut greedy = Matching::new(g.vertex_count());
         s.stream_pass(&mut |e| {
             let _ = greedy.insert(e);
@@ -59,15 +62,15 @@ fn main() {
         greedy_sum += greedy.weight() as f64 / opt_w;
 
         // local-ratio [PS17]
-        let mut s = VecStream::random_order(g.edges().to_vec(), seed)
-            .with_vertex_count(g.vertex_count());
+        let mut s =
+            VecStream::random_order(g.edges().to_vec(), seed).with_vertex_count(g.vertex_count());
         let mut lr = LocalRatio::new(g.vertex_count());
         s.stream_pass(&mut |e| lr.on_edge(e));
         lr_sum += lr.unwind().weight() as f64 / opt_w;
 
         // the paper's Rand-Arr-Matching
-        let mut s = VecStream::random_order(g.edges().to_vec(), seed)
-            .with_vertex_count(g.vertex_count());
+        let mut s =
+            VecStream::random_order(g.edges().to_vec(), seed).with_vertex_count(g.vertex_count());
         let mut cfg = RandArrConfig::default();
         cfg.wap.seed = seed;
         let res = rand_arr_matching(&mut s, &cfg);

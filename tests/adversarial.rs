@@ -60,7 +60,13 @@ fn rand_arr_survives_heavy_tail_last() {
         edges.push(Edge::new(2 * i, 2 * i + 1, 1_000_000));
     }
     let mut s = VecStream::adversarial(edges).with_vertex_count(160);
-    let res = rand_arr_matching(&mut s, &RandArrConfig { p: 0.05, ..Default::default() });
+    let res = rand_arr_matching(
+        &mut s,
+        &RandArrConfig {
+            p: 0.05,
+            ..Default::default()
+        },
+    );
     assert!(res.matching.weight() >= 30 * 1_000_000);
 }
 
@@ -111,7 +117,9 @@ fn isolated_vertices_and_tiny_graphs() {
         let m = max_weight_matching_offline(&g, &MainAlgConfig::practical(0.5, 0));
         assert!(m.is_empty());
         let mut s = VecStream::adversarial(vec![]).with_vertex_count(n);
-        assert!(rand_arr_matching(&mut s, &RandArrConfig::default()).matching.is_empty());
+        assert!(rand_arr_matching(&mut s, &RandArrConfig::default())
+            .matching
+            .is_empty());
     }
 }
 

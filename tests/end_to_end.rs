@@ -20,7 +20,10 @@ fn offline_driver_hits_design_target_on_random_graphs() {
         m.validate(Some(&g)).unwrap();
         worst = worst.min(ratio_to_opt(&g, m.weight()));
     }
-    assert!(worst >= 0.75, "worst ratio {worst} below the (1-ε) design target");
+    assert!(
+        worst >= 0.75,
+        "worst ratio {worst} below the (1-ε) design target"
+    );
 }
 
 #[test]

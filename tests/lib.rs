@@ -16,7 +16,13 @@ pub fn test_graph(n: usize, avg_degree: f64, max_w: u64, seed: u64) -> Graph {
 /// A reproducible random bipartite graph plus its side labels.
 pub fn test_bipartite(nl: usize, nr: usize, p: f64, max_w: u64, seed: u64) -> (Graph, Vec<bool>) {
     let mut rng = StdRng::seed_from_u64(seed);
-    generators::random_bipartite(nl, nr, p, WeightModel::Uniform { lo: 1, hi: max_w }, &mut rng)
+    generators::random_bipartite(
+        nl,
+        nr,
+        p,
+        WeightModel::Uniform { lo: 1, hi: max_w },
+        &mut rng,
+    )
 }
 
 /// Ratio of a matching weight to the exact optimum (1.0 for empty optima).

@@ -55,7 +55,13 @@ fn figure2_augmentation_types() {
     // Wgt-Aug-Paths improves M0 on the figure for any marking seed
     let mut improved = 0;
     for seed in 0..8 {
-        let mut wap = WgtAugPaths::new(m0.clone(), &WapConfig { seed, ..WapConfig::default() });
+        let mut wap = WgtAugPaths::new(
+            m0.clone(),
+            &WapConfig {
+                seed,
+                ..WapConfig::default()
+            },
+        );
         for e in &dashed {
             wap.feed(*e);
         }
@@ -63,7 +69,10 @@ fn figure2_augmentation_types() {
             improved += 1;
         }
     }
-    assert!(improved >= 6, "only {improved}/8 markings improved figure 2");
+    assert!(
+        improved >= 6,
+        "only {improved}/8 markings improved figure 2"
+    );
 }
 
 #[test]
@@ -74,9 +83,9 @@ fn section_1_1_2_nonsimple_path_decomposes() {
     let (g, m) = generators::nonsimple_path_example();
     let walk_vs = [0u32, 1, 2, 3, 1, 0];
     let walk_es = [
-        g.edge(0), // a-b (matched)
-        g.edge(1), // b-c
-        g.edge(2), // c-d (matched)
+        g.edge(0),          // a-b (matched)
+        g.edge(1),          // b-c
+        g.edge(2),          // c-d (matched)
         Edge::new(3, 1, 2), // d-b — not in the graph; the bold pathology
     ];
     // the pathological walk needs the non-edge {d,b}: with the bipartition
@@ -99,7 +108,10 @@ fn figure4_layered_graph_shape() {
     let g = generators::path_graph(&[9, 10, 9]);
     let m = wmatch_graph::Matching::from_edges(4, [g.edge(1)]).unwrap();
     let param = Parametrization::from_sides(vec![false, true, false, true]);
-    let tau = TauPair { a: vec![0, 5, 0], b: vec![4, 4] };
+    let tau = TauPair {
+        a: vec![0, 5, 0],
+        b: vec![4, 4],
+    };
     let spec = LayeredSpec::new(&tau, 16, 8, &param, &m);
     let lg = spec.build(g.edges().iter().copied());
     for (idx, e) in lg.graph.edges().iter().enumerate() {
@@ -107,7 +119,11 @@ fn figure4_layered_graph_shape() {
         if lg.ml_prime.contains(e) {
             assert_eq!(lu, lv, "matched copies live inside one layer (edge {idx})");
         } else {
-            assert_eq!(lu.abs_diff(lv), 1, "unmatched copies cross consecutive layers");
+            assert_eq!(
+                lu.abs_diff(lv),
+                1,
+                "unmatched copies cross consecutive layers"
+            );
             // direction: R in the lower layer, L in the upper
             let (lower, upper) = if lu < lv { (e.u, e.v) } else { (e.v, e.u) };
             assert!(!param.is_left(lower % 4));
@@ -133,7 +149,10 @@ fn cycle_blowup_of_section_1_1_2() {
     // scaled to integers (4, 5, 4, 5); the blow-up finds the +2 cycle
     let (g, m) = generators::four_cycle_eps(4);
     let param = Parametrization::from_sides(vec![true, false, true, false]);
-    let tau = TauPair { a: vec![4; 6], b: vec![5; 5] };
+    let tau = TauPair {
+        a: vec![4; 6],
+        b: vec![5; 5],
+    };
     let spec = LayeredSpec::new(&tau, 32, 32, &param, &m);
     let lg = spec.build(g.edges().iter().copied());
     let m_prime = max_bipartite_cardinality_matching(&lg.graph, &lg.side);
@@ -144,5 +163,8 @@ fn cycle_blowup_of_section_1_1_2() {
         .filter_map(|comp| Augmentation::from_component(&m, &comp).ok())
         .map(|a| a.gain())
         .collect();
-    assert!(gains.contains(&2), "the augmenting cycle must appear: {gains:?}");
+    assert!(
+        gains.contains(&2),
+        "the augmenting cycle must appear: {gains:?}"
+    );
 }

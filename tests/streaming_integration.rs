@@ -19,8 +19,8 @@ fn rand_arr_expected_ratio_clears_half_plus_c() {
     let mut total = 0.0;
     let seeds = 12;
     for seed in 0..seeds {
-        let mut s = VecStream::random_order(g.edges().to_vec(), seed)
-            .with_vertex_count(g.vertex_count());
+        let mut s =
+            VecStream::random_order(g.edges().to_vec(), seed).with_vertex_count(g.vertex_count());
         let mut cfg = RandArrConfig::default();
         cfg.wap.seed = seed;
         total += rand_arr_matching(&mut s, &cfg).matching.weight() as f64 / opt;
@@ -36,9 +36,11 @@ fn rou_expected_ratio_clears_0_506() {
     let mut total = 0.0;
     let seeds = 12;
     for seed in 0..seeds {
-        let mut s = VecStream::random_order(g.edges().to_vec(), seed)
-            .with_vertex_count(g.vertex_count());
-        total += random_order_unweighted(&mut s, &RouConfig::default()).matching.len() as f64
+        let mut s =
+            VecStream::random_order(g.edges().to_vec(), seed).with_vertex_count(g.vertex_count());
+        total += random_order_unweighted(&mut s, &RouConfig::default())
+            .matching
+            .len() as f64
             / opt;
     }
     let avg = total / seeds as f64;

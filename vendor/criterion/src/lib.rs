@@ -1,0 +1,212 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Implements the API subset the `wmatch` benches use: `criterion_group!` /
+//! `criterion_main!`, [`Criterion::benchmark_group`], `bench_function` /
+//! `bench_with_input`, [`Bencher::iter`], [`BenchmarkId`] and
+//! [`Throughput`]. Instead of the upstream statistics engine, each
+//! benchmark runs a short warm-up plus a fixed measurement loop and prints
+//! mean wall-clock time per iteration. `CRITERION_STUB_ITERS` overrides
+//! the measurement iteration count (default 10).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn measure_iters() -> u64 {
+    std::env::var("CRITERION_STUB_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10)
+}
+
+/// Runs closures and accumulates elapsed time.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its output alive via [`black_box`].
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Throughput annotation (recorded, reported alongside timings).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// The harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Upstream builder hook; a no-op here.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("benchmark group: {name}");
+        BenchmarkGroup {
+            _c: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: R) {
+        run_one(&id.to_string(), None, f);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upstream sample-size control; recorded but unused by the stub loop.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Upstream measurement-time control; unused by the stub loop.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: R) {
+        run_one(&format!("{}/{}", self.name, id), self.throughput, f);
+    }
+
+    pub fn bench_with_input<I: ?Sized, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: R,
+    ) {
+        run_one(&format!("{}/{}", self.name, id), self.throughput, |b| {
+            f(b, input)
+        });
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<R: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, mut f: R) {
+    // Warm-up: one untimed iteration.
+    let mut warmup = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut warmup);
+
+    let iters = measure_iters();
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.as_secs_f64() / iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            format!("  ({:.3e} elem/s)", n as f64 / per_iter)
+        }
+        Some(Throughput::Bytes(n) | Throughput::BytesDecimal(n)) if per_iter > 0.0 => {
+            format!("  ({:.3e} B/s)", n as f64 / per_iter)
+        }
+        _ => String::new(),
+    };
+    println!("  {label}: {:.6} ms/iter{rate}", per_iter * 1e3);
+}
+
+/// Upstream `criterion_group!`: defines a function running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Upstream `criterion_main!`: a `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_smoke() {
+        std::env::set_var("CRITERION_STUB_ITERS", "2");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::new("sum", 4), &[1u64, 2, 3, 4][..], |b, xs| {
+            b.iter(|| xs.iter().sum::<u64>())
+        });
+        group.bench_function(BenchmarkId::from_parameter(7), |b| b.iter(|| 7 * 7));
+        group.finish();
+    }
+}

@@ -1,0 +1,304 @@
+//! Offline stand-in for the [`petgraph`](https://crates.io/crates/petgraph)
+//! crate.
+//!
+//! Implements the subset the `wmatch` test suites use as an *independent
+//! oracle*: [`graph::UnGraph`] construction and
+//! [`algo::matching::maximum_matching`] — a from-scratch O(V³) blossom
+//! (Edmonds) maximum-cardinality matching, deliberately a different
+//! implementation lineage than `wmatch_graph::exact::blossom` so that
+//! cross-checks between the two are meaningful.
+
+pub mod graph {
+    /// Index of a node in an [`UnGraph`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+    pub struct NodeIndex(pub(crate) u32);
+
+    impl NodeIndex {
+        pub fn new(i: usize) -> Self {
+            NodeIndex(i as u32)
+        }
+
+        pub fn index(self) -> usize {
+            self.0 as usize
+        }
+    }
+
+    /// Index of an edge in an [`UnGraph`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+    pub struct EdgeIndex(pub(crate) u32);
+
+    /// An undirected graph with node weights `N` and edge weights `E`.
+    #[derive(Clone, Debug, Default)]
+    pub struct UnGraph<N, E> {
+        pub(crate) nodes: Vec<N>,
+        pub(crate) edges: Vec<(u32, u32, E)>,
+    }
+
+    impl<N, E> UnGraph<N, E> {
+        pub fn new_undirected() -> Self {
+            UnGraph {
+                nodes: Vec::new(),
+                edges: Vec::new(),
+            }
+        }
+
+        pub fn add_node(&mut self, weight: N) -> NodeIndex {
+            self.nodes.push(weight);
+            NodeIndex((self.nodes.len() - 1) as u32)
+        }
+
+        pub fn add_edge(&mut self, a: NodeIndex, b: NodeIndex, weight: E) -> EdgeIndex {
+            assert!(a.index() < self.nodes.len() && b.index() < self.nodes.len());
+            self.edges.push((a.0, b.0, weight));
+            EdgeIndex((self.edges.len() - 1) as u32)
+        }
+
+        pub fn node_count(&self) -> usize {
+            self.nodes.len()
+        }
+
+        pub fn edge_count(&self) -> usize {
+            self.edges.len()
+        }
+    }
+}
+
+pub mod algo {
+    pub mod matching {
+        use crate::graph::{NodeIndex, UnGraph};
+
+        const NONE: usize = usize::MAX;
+
+        /// A maximum matching as a mate table.
+        #[derive(Clone, Debug)]
+        pub struct Matching {
+            mate: Vec<usize>,
+        }
+
+        impl Matching {
+            /// Matched pairs `(a, b)` with `a < b`, each reported once.
+            pub fn edges(&self) -> impl Iterator<Item = (NodeIndex, NodeIndex)> + '_ {
+                self.mate
+                    .iter()
+                    .enumerate()
+                    .filter(|&(v, &m)| m != NONE && v < m)
+                    .map(|(v, &m)| (NodeIndex::new(v), NodeIndex::new(m)))
+            }
+
+            /// `true` if `v` has a mate.
+            pub fn contains_node(&self, v: NodeIndex) -> bool {
+                self.mate.get(v.index()).is_some_and(|&m| m != NONE)
+            }
+
+            pub fn mate(&self, v: NodeIndex) -> Option<NodeIndex> {
+                match self.mate.get(v.index()) {
+                    Some(&m) if m != NONE => Some(NodeIndex::new(m)),
+                    _ => None,
+                }
+            }
+        }
+
+        /// Maximum-cardinality matching in a general undirected graph via
+        /// Edmonds' blossom algorithm (BFS formulation, O(V³)).
+        pub fn maximum_matching<N, E>(g: &UnGraph<N, E>) -> Matching {
+            let n = g.node_count();
+            let mut adj = vec![Vec::new(); n];
+            for &(u, v, _) in &g.edges {
+                let (u, v) = (u as usize, v as usize);
+                if u != v {
+                    adj[u].push(v);
+                    adj[v].push(u);
+                }
+            }
+
+            let mut mate = vec![NONE; n];
+            for root in 0..n {
+                if mate[root] == NONE {
+                    find_augmenting_path(root, &adj, &mut mate);
+                }
+            }
+            Matching { mate }
+        }
+
+        /// One BFS phase from `root`; augments `mate` in place on success.
+        fn find_augmenting_path(root: usize, adj: &[Vec<usize>], mate: &mut [usize]) {
+            let n = adj.len();
+            let mut parent = vec![NONE; n];
+            let mut base: Vec<usize> = (0..n).collect();
+            let mut in_tree = vec![false; n];
+            let mut queue = std::collections::VecDeque::new();
+
+            in_tree[root] = true;
+            queue.push_back(root);
+
+            while let Some(v) = queue.pop_front() {
+                for &to in &adj[v] {
+                    if base[v] == base[to] || mate[v] == to {
+                        continue;
+                    }
+                    if to == root || (mate[to] != NONE && parent[mate[to]] != NONE) {
+                        // `to` is an even-level vertex: contract a blossom.
+                        let curbase = lowest_common_ancestor(v, to, mate, &parent, &base);
+                        let mut in_blossom = vec![false; n];
+                        mark_path(v, curbase, to, mate, &mut parent, &base, &mut in_blossom);
+                        mark_path(to, curbase, v, mate, &mut parent, &base, &mut in_blossom);
+                        for i in 0..n {
+                            if in_blossom[base[i]] {
+                                base[i] = curbase;
+                                if !in_tree[i] {
+                                    in_tree[i] = true;
+                                    queue.push_back(i);
+                                }
+                            }
+                        }
+                    } else if parent[to] == NONE {
+                        parent[to] = v;
+                        if mate[to] == NONE {
+                            // Augment along root..to and finish this phase.
+                            let mut v = to;
+                            while v != NONE {
+                                let pv = parent[v];
+                                let ppv = mate[pv];
+                                mate[v] = pv;
+                                mate[pv] = v;
+                                v = ppv;
+                            }
+                            return;
+                        } else {
+                            in_tree[mate[to]] = true;
+                            queue.push_back(mate[to]);
+                        }
+                    }
+                }
+            }
+        }
+
+        fn lowest_common_ancestor(
+            a: usize,
+            b: usize,
+            mate: &[usize],
+            parent: &[usize],
+            base: &[usize],
+        ) -> usize {
+            let mut seen = vec![false; base.len()];
+            let mut a = base[a];
+            loop {
+                seen[a] = true;
+                if mate[a] == NONE {
+                    break;
+                }
+                a = base[parent[mate[a]]];
+            }
+            let mut b = base[b];
+            loop {
+                if seen[b] {
+                    return b;
+                }
+                b = base[parent[mate[b]]];
+            }
+        }
+
+        fn mark_path(
+            mut v: usize,
+            curbase: usize,
+            mut child: usize,
+            mate: &[usize],
+            parent: &mut [usize],
+            base: &[usize],
+            in_blossom: &mut [bool],
+        ) {
+            while base[v] != curbase {
+                in_blossom[base[v]] = true;
+                in_blossom[base[mate[v]]] = true;
+                parent[v] = child;
+                child = mate[v];
+                v = parent[mate[v]];
+            }
+        }
+
+        #[cfg(test)]
+        mod tests {
+            use super::*;
+
+            fn graph_from(n: usize, edges: &[(u32, u32)]) -> UnGraph<(), ()> {
+                let mut g = UnGraph::new_undirected();
+                let nodes: Vec<_> = (0..n).map(|_| g.add_node(())).collect();
+                for &(u, v) in edges {
+                    g.add_edge(nodes[u as usize], nodes[v as usize], ());
+                }
+                g
+            }
+
+            #[test]
+            fn path_and_triangle() {
+                let p4 = graph_from(4, &[(0, 1), (1, 2), (2, 3)]);
+                assert_eq!(maximum_matching(&p4).edges().count(), 2);
+                let tri = graph_from(3, &[(0, 1), (1, 2), (2, 0)]);
+                assert_eq!(maximum_matching(&tri).edges().count(), 1);
+            }
+
+            #[test]
+            fn blossom_needed_instances() {
+                // Two triangles joined by a bridge: perfect matching of size 3
+                // only reachable via blossom contraction.
+                let g = graph_from(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]);
+                assert_eq!(maximum_matching(&g).edges().count(), 3);
+                // Odd cycle C5 plus a pendant: matching size 3.
+                let g = graph_from(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (2, 5)]);
+                assert_eq!(maximum_matching(&g).edges().count(), 3);
+            }
+
+            #[test]
+            fn matching_is_consistent() {
+                let g = graph_from(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+                let m = maximum_matching(&g);
+                for (a, b) in m.edges() {
+                    assert_eq!(m.mate(a), Some(b));
+                    assert_eq!(m.mate(b), Some(a));
+                    assert!(m.contains_node(a) && m.contains_node(b));
+                }
+                assert_eq!(m.edges().count(), 2);
+            }
+
+            #[test]
+            fn exhaustive_small_graphs_match_brute_force() {
+                // All graphs on 5 vertices (1024 edge subsets): blossom
+                // must equal brute-force maximum matching size.
+                let all_edges: Vec<(u32, u32)> = (0..5u32)
+                    .flat_map(|u| (u + 1..5).map(move |v| (u, v)))
+                    .collect();
+                for mask in 0u32..(1 << all_edges.len()) {
+                    let chosen: Vec<(u32, u32)> = all_edges
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| mask >> i & 1 == 1)
+                        .map(|(_, e)| *e)
+                        .collect();
+                    let g = graph_from(5, &chosen);
+                    let ours = maximum_matching(&g).edges().count();
+                    assert_eq!(ours, brute_force(5, &chosen), "mask {mask}");
+                }
+            }
+
+            fn brute_force(n: usize, edges: &[(u32, u32)]) -> usize {
+                fn go(edges: &[(u32, u32)], used: &mut Vec<bool>) -> usize {
+                    if edges.is_empty() {
+                        return 0;
+                    }
+                    let (u, v) = edges[0];
+                    let rest = &edges[1..];
+                    let mut best = go(rest, used);
+                    if !used[u as usize] && !used[v as usize] {
+                        used[u as usize] = true;
+                        used[v as usize] = true;
+                        best = best.max(1 + go(rest, used));
+                        used[u as usize] = false;
+                        used[v as usize] = false;
+                    }
+                    best
+                }
+                go(edges, &mut vec![false; n])
+            }
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! Implements the subset the `wmatch` workspace uses: the [`Strategy`]
+//! trait with `prop_map` / `prop_flat_map`, integer-range, tuple and
+//! [`collection::vec`] strategies, [`bool::ANY`], the [`proptest!`] macro
+//! and the `prop_assert*` family, and a [`test_runner::ProptestConfig`]
+//! carrying a **pinned seed** so every run explores the same cases.
+//!
+//! Differences from upstream, by design:
+//!
+//! * no shrinking — a failing case panics immediately, printing the test
+//!   name, case index and derived seed so it can be replayed;
+//! * the RNG is the workspace's vendored [`rand::StdRng`].
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{Just, Strategy};
+
+/// Boolean strategies (upstream `proptest::bool`).
+pub mod bool {
+    /// Uniformly random booleans.
+    #[derive(Clone, Copy, Debug)]
+    pub struct BoolStrategy;
+
+    /// The canonical boolean strategy.
+    pub const ANY: BoolStrategy = BoolStrategy;
+
+    impl crate::Strategy for BoolStrategy {
+        type Value = bool;
+        fn generate(&self, rng: &mut rand::StdRng) -> bool {
+            use rand::RngCore;
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Numeric strategies exist directly on range types; `num` mirrors the
+/// upstream module layout for discoverability.
+pub mod num {}
+
+/// The usual glob import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::{SeedableRng, StdRng};
+
+    /// FNV-1a, used to give every test its own deterministic stream.
+    pub const fn fnv1a(s: &str) -> u64 {
+        let bytes = s.as_bytes();
+        let mut hash = 0xcbf29ce484222325u64;
+        let mut i = 0;
+        while i < bytes.len() {
+            hash ^= bytes[i] as u64;
+            hash = hash.wrapping_mul(0x100000001b3);
+            i += 1;
+        }
+        hash
+    }
+
+    /// The RNG for one test case: seed ⊕ test-name hash, advanced per case.
+    pub fn case_rng(config_seed: u64, test_hash: u64, case: u32) -> StdRng {
+        let seed = config_seed ^ test_hash ^ (case as u64).wrapping_mul(0x9e3779b97f4a7c15);
+        StdRng::seed_from_u64(seed)
+    }
+}
+
+/// The heart of the stand-in: expands each `fn name(pat in strategy, ..)`
+/// into a plain `#[test]` that runs `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_inner! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_inner! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_inner {
+    (config = $cfg:expr;
+     $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let cases = config.resolved_cases();
+                let test_hash = $crate::__rt::fnv1a(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for __case in 0..cases {
+                    let mut __rng =
+                        $crate::__rt::case_rng(config.seed, test_hash, __case);
+                    let __strategies = ($($strat,)+);
+                    let ($($pat,)+) =
+                        $crate::Strategy::generate(&__strategies, &mut __rng);
+                    let __guard = $crate::test_runner::CasePanicContext::new(
+                        stringify!($name), __case, config.seed,
+                    );
+                    $body
+                    __guard.disarm();
+                }
+            }
+        )*
+    };
+}
+
+/// Upstream `prop_assert!`: in this stand-in, a panic-on-failure assert.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Upstream `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Upstream `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
