@@ -1,0 +1,89 @@
+//! What a solver can do: supported arrival models, objective, graph-class
+//! restrictions and the approximation floor it is tested against.
+
+use std::fmt;
+
+/// The kind of an [`ArrivalModel`](crate::ArrivalModel), without its
+/// parameters. Used in capability declarations and error reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// The whole graph is available up front.
+    Offline,
+    /// Edges arrive in one uniformly random order (single- or multi-pass).
+    RandomOrder,
+    /// Edges arrive in an adversary-chosen order (single- or multi-pass).
+    Adversarial,
+    /// Edges are distributed over machines of bounded memory (MPC).
+    Mpc,
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ModelKind::Offline => "offline",
+            ModelKind::RandomOrder => "random-order",
+            ModelKind::Adversarial => "adversarial",
+            ModelKind::Mpc => "MPC",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What a solver maximizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// Total matching weight (`Matching::weight`).
+    Weight,
+    /// Number of matched edges (`Matching::len`); weights are ignored.
+    Cardinality,
+}
+
+impl fmt::Display for Objective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Objective::Weight => "weight",
+            Objective::Cardinality => "cardinality",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A solver's declared contract, used by
+/// [`registry_for`](crate::registry_for) to filter and by the cross-solver
+/// agreement suite to pick oracles and floors.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct Capabilities {
+    /// The arrival-model kinds the solver accepts.
+    pub models: &'static [ModelKind],
+    /// The objective the solver maximizes.
+    pub objective: Objective,
+    /// Whether the solver only accepts bipartite instances.
+    pub bipartite_only: bool,
+    /// Whether the solver is exact (an oracle) for its objective.
+    pub exact: bool,
+    /// The objective-ratio floor (vs. the exact oracle) the registry
+    /// agreement suite holds the solver to on its primary (first-listed)
+    /// arrival model with default budgets. `1.0` for exact solvers.
+    pub approx_floor: f64,
+    /// The paper result (or classical source) the solver implements.
+    pub theorem: &'static str,
+}
+
+impl Capabilities {
+    /// Whether the solver accepts instances of the given model kind.
+    pub fn supports(&self, kind: ModelKind) -> bool {
+        self.models.contains(&kind)
+    }
+
+    /// The solver's primary arrival model: the first-listed entry of
+    /// [`Capabilities::models`] — the model its
+    /// [`approx_floor`](Capabilities::approx_floor) is declared (and
+    /// tested) against.
+    pub fn primary_model(&self) -> ModelKind {
+        *self
+            .models
+            .first()
+            .expect("every solver declares at least one arrival model")
+    }
+}

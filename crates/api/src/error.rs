@@ -1,0 +1,95 @@
+//! The unified error contract: every failure mode of every solver is a
+//! [`SolveError`], absorbing the substrate crates' scattered error types
+//! and the panic paths of the legacy free functions.
+
+use std::error::Error;
+use std::fmt;
+
+use wmatch_graph::GraphError;
+use wmatch_mpc::MpcError;
+
+use crate::capabilities::ModelKind;
+
+/// Errors produced by [`Solver::solve`](crate::Solver::solve) and the
+/// registry.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SolveError {
+    /// A [`SolveRequest`](crate::SolveRequest) or
+    /// [`Instance`](crate::Instance) field is outside its valid range.
+    InvalidConfig {
+        /// The offending field (e.g. `"eps"`, `"threads"`).
+        field: &'static str,
+        /// Human-readable explanation of the constraint that failed.
+        reason: String,
+    },
+    /// The solver does not support the instance's arrival model.
+    UnsupportedModel {
+        /// The solver that rejected the instance.
+        solver: &'static str,
+        /// The arrival-model kind it was offered.
+        model: ModelKind,
+    },
+    /// The solver requires a bipartite instance, but the graph is not
+    /// bipartite (and no valid bipartition was declared).
+    NotBipartite {
+        /// The solver that rejected the instance.
+        solver: &'static str,
+    },
+    /// No registered solver has the requested name.
+    UnknownSolver {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A graph or matching operation failed in the substrate.
+    Graph(GraphError),
+    /// The MPC simulator rejected the run (memory or communication budget
+    /// exceeded).
+    Mpc(MpcError),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration: {field}: {reason}")
+            }
+            SolveError::UnsupportedModel { solver, model } => {
+                write!(
+                    f,
+                    "solver {solver} does not support the {model} arrival model"
+                )
+            }
+            SolveError::NotBipartite { solver } => {
+                write!(f, "solver {solver} requires a bipartite instance")
+            }
+            SolveError::UnknownSolver { name } => {
+                write!(f, "no registered solver is named {name:?}")
+            }
+            SolveError::Graph(e) => write!(f, "graph error: {e}"),
+            SolveError::Mpc(e) => write!(f, "MPC budget error: {e}"),
+        }
+    }
+}
+
+impl Error for SolveError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SolveError::Graph(e) => Some(e),
+            SolveError::Mpc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for SolveError {
+    fn from(e: GraphError) -> Self {
+        SolveError::Graph(e)
+    }
+}
+
+impl From<MpcError> for SolveError {
+    fn from(e: MpcError) -> Self {
+        SolveError::Mpc(e)
+    }
+}

@@ -1,0 +1,176 @@
+//! A problem instance: a weighted graph together with the computational
+//! model its edges are presented in.
+
+use wmatch_graph::Graph;
+use wmatch_stream::VecStream;
+
+use crate::capabilities::ModelKind;
+use crate::error::SolveError;
+
+/// How the instance's edges reach the solver.
+///
+/// This is the paper's taxonomy (Section 2): the same weighted graph can
+/// be solved offline, over a single- or multi-pass edge stream, or
+/// distributed over MPC machines — the reduction to unweighted
+/// augmentations is the same in every model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalModel {
+    /// The whole graph is available up front.
+    Offline,
+    /// Edges arrive in one uniformly random order drawn from `seed`
+    /// (fixed across passes — the paper's random-edge-arrival model).
+    RandomOrder {
+        /// Seed of the arrival permutation.
+        seed: u64,
+    },
+    /// Edges arrive in the adversary-chosen (insertion) order.
+    Adversarial,
+    /// Edges are distributed over `machines` machines with `memory_words`
+    /// words of memory (and per-round communication) each.
+    Mpc {
+        /// Number of machines Γ.
+        machines: usize,
+        /// Per-machine memory/communication budget S, in words.
+        memory_words: usize,
+    },
+}
+
+impl ArrivalModel {
+    /// The parameter-free kind of this model.
+    pub fn kind(&self) -> ModelKind {
+        match self {
+            ArrivalModel::Offline => ModelKind::Offline,
+            ArrivalModel::RandomOrder { .. } => ModelKind::RandomOrder,
+            ArrivalModel::Adversarial => ModelKind::Adversarial,
+            ArrivalModel::Mpc { .. } => ModelKind::Mpc,
+        }
+    }
+}
+
+/// A matching instance: graph + arrival model + optional declared
+/// bipartition.
+///
+/// # Example
+///
+/// ```
+/// use wmatch_api::{ArrivalModel, Instance};
+/// use wmatch_graph::Graph;
+///
+/// let mut g = Graph::new(4);
+/// g.add_edge(0, 2, 5);
+/// g.add_edge(1, 3, 7);
+/// let inst = Instance::random_order(g, 42);
+/// assert_eq!(inst.model().kind(), wmatch_api::ModelKind::RandomOrder);
+/// assert!(inst.is_bipartite()); // auto-detected 2-coloring
+/// ```
+#[derive(Debug, Clone)]
+pub struct Instance {
+    graph: Graph,
+    model: ArrivalModel,
+    side: Option<Vec<bool>>,
+}
+
+impl Instance {
+    /// An instance presented in the given model.
+    pub fn new(graph: Graph, model: ArrivalModel) -> Self {
+        Instance {
+            graph,
+            model,
+            side: None,
+        }
+    }
+
+    /// An offline instance.
+    pub fn offline(graph: Graph) -> Self {
+        Instance::new(graph, ArrivalModel::Offline)
+    }
+
+    /// A random-order streaming instance with arrival permutation `seed`.
+    pub fn random_order(graph: Graph, seed: u64) -> Self {
+        Instance::new(graph, ArrivalModel::RandomOrder { seed })
+    }
+
+    /// An adversarial-order streaming instance (edges arrive in the
+    /// graph's insertion order).
+    pub fn adversarial(graph: Graph) -> Self {
+        Instance::new(graph, ArrivalModel::Adversarial)
+    }
+
+    /// An MPC instance over `machines` machines of `memory_words` words.
+    pub fn mpc(graph: Graph, machines: usize, memory_words: usize) -> Self {
+        Instance::new(
+            graph,
+            ArrivalModel::Mpc {
+                machines,
+                memory_words,
+            },
+        )
+    }
+
+    /// Declares a bipartition (`side[v]` = side of vertex `v`), checked
+    /// against the graph's edges.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::InvalidConfig`] if `side` has the wrong length or an
+    /// edge does not cross it.
+    pub fn with_bipartition(mut self, side: Vec<bool>) -> Result<Self, SolveError> {
+        match self.graph.respects_bipartition(&side) {
+            Ok(true) => {
+                self.side = Some(side);
+                Ok(self)
+            }
+            Ok(false) => Err(SolveError::InvalidConfig {
+                field: "bipartition",
+                reason: "an edge does not cross the declared bipartition".into(),
+            }),
+            Err(e) => Err(SolveError::InvalidConfig {
+                field: "bipartition",
+                reason: e.to_string(),
+            }),
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The arrival model.
+    pub fn model(&self) -> &ArrivalModel {
+        &self.model
+    }
+
+    /// The declared bipartition, if one was provided.
+    pub fn declared_bipartition(&self) -> Option<&[bool]> {
+        self.side.as_deref()
+    }
+
+    /// A valid bipartition: the declared one, or a 2-coloring detected by
+    /// BFS. `None` when the graph is not bipartite.
+    pub fn bipartition(&self) -> Option<Vec<bool>> {
+        match &self.side {
+            Some(s) => Some(s.clone()),
+            None => self.graph.bipartition(),
+        }
+    }
+
+    /// Whether the instance is (declared or detectably) bipartite.
+    pub fn is_bipartite(&self) -> bool {
+        self.side.is_some() || self.graph.bipartition().is_some()
+    }
+
+    /// Materializes the instance as an in-memory edge stream in the
+    /// instance's arrival order.
+    ///
+    /// Offline and MPC instances stream in insertion order (useful for
+    /// solvers that accept both offline and streamed input).
+    pub fn stream(&self) -> VecStream {
+        let edges = self.graph.edges().to_vec();
+        let s = match self.model {
+            ArrivalModel::RandomOrder { seed } => VecStream::random_order(edges, seed),
+            _ => VecStream::adversarial(edges),
+        };
+        s.with_vertex_count(self.graph.vertex_count())
+    }
+}

@@ -1,0 +1,86 @@
+//! # `wmatch-api` — the unified solver facade
+//!
+//! One trait, one request/report contract, one registry over every
+//! matching algorithm in the `wmatch` workspace.
+//!
+//! The paper's thesis is a *generic reduction*: weighted matching reduces
+//! to unweighted augmentations regardless of the computational model.
+//! This crate makes that uniformity concrete at the API level. An
+//! [`Instance`] is a graph plus an [`ArrivalModel`] (offline,
+//! random-order stream, adversarial stream, or MPC); a [`SolveRequest`]
+//! carries the validated run parameters (ε, seed, budgets, threads); every
+//! algorithm is a [`Solver`] returning a [`SolveReport`] with the
+//! [`Matching`](wmatch_graph::Matching) plus uniform [`Telemetry`]
+//! (rounds, passes, stored-edge peak, wall time) and an optional
+//! approximation [`Certificate`] against the exact oracle. Failures are
+//! typed [`SolveError`]s, never panics.
+//!
+//! ## Registry
+//!
+//! | solver | paper result | model(s) | objective | exact |
+//! |---|---|---|---|---|
+//! | `main-alg-offline` | Theorem 1.2/4.1, Algorithms 3–4 | offline | weight | no (1−ε) |
+//! | `main-alg-streaming` | Theorem 1.2.2 | adversarial, random-order | weight | no (1−ε) |
+//! | `main-alg-mpc` | Theorem 1.2.1 | MPC | weight | no (1−ε) |
+//! | `rand-arr-matching` | Theorem 1.1, Algorithm 2 | random-order | weight | no (½+c) |
+//! | `random-order-unweighted` | Theorem 3.4 | random-order | cardinality | no (0.506) |
+//! | `greedy` | folklore ½ baseline | offline, streams | weight | no |
+//! | `local-ratio` | \[PS17\], Section 3.2 | offline, streams | weight | no |
+//! | `blossom` | exact oracle (Galil) | offline | weight | yes |
+//! | `hungarian` | exact oracle (bipartite) | offline | weight | yes |
+//! | `hopcroft-karp` | offline `Unw-Bip-Matching` box | offline | cardinality | yes |
+//! | `stream-mcm` | streaming `Unw-Bip-Matching` box (\[AG13\] role) | streams | cardinality | no |
+//! | `mpc-mcm` | MPC coreset box (\[ABB+19\]/\[GGK+18\] role) | MPC | cardinality | no |
+//!
+//! ## One solve per arrival model
+//!
+//! ```
+//! use wmatch_api::{registry_for, solve, Instance, SolveRequest};
+//! use wmatch_graph::generators::{gnp, WeightModel};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let g = gnp(24, 0.25, WeightModel::Uniform { lo: 1, hi: 64 }, &mut rng);
+//! let req = SolveRequest::new().with_seed(7);
+//!
+//! // offline: the (1-eps) layered-graph machinery
+//! let offline = solve("main-alg-offline", &Instance::offline(g.clone()), &req).unwrap();
+//! offline.matching.validate(Some(&g)).unwrap();
+//!
+//! // single-pass random-order stream: Algorithm 2
+//! let ra = solve("rand-arr-matching", &Instance::random_order(g.clone(), 3), &req).unwrap();
+//! assert_eq!(ra.telemetry.passes, 1);
+//!
+//! // multi-pass adversarial stream
+//! let st = solve("main-alg-streaming", &Instance::adversarial(g.clone()), &req).unwrap();
+//! assert!(st.telemetry.passes <= st.telemetry.extra("passes_sequential").unwrap().parse().unwrap());
+//!
+//! // MPC: 4 machines x 4000 words
+//! let mpc = solve("main-alg-mpc", &Instance::mpc(g.clone(), 4, 4000), &req).unwrap();
+//! assert!(mpc.value > 0);
+//!
+//! // or enumerate everything that can run on an instance
+//! for s in registry_for(&Instance::offline(g.clone())) {
+//!     let report = s.solve(&Instance::offline(g.clone()), &req).unwrap();
+//!     report.matching.validate(Some(&g)).unwrap();
+//! }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod capabilities;
+pub mod error;
+pub mod instance;
+pub mod registry;
+pub mod report;
+pub mod request;
+pub mod solvers;
+
+pub use capabilities::{Capabilities, ModelKind, Objective};
+pub use error::SolveError;
+pub use instance::{ArrivalModel, Instance};
+pub use registry::{registry, registry_for, solve, solver};
+pub use report::{objective_value, Certificate, SolveReport, Telemetry};
+pub use request::{Effort, SolveRequest, MAX_BUDGET, MAX_THREADS};
+pub use solvers::Solver;

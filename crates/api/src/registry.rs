@@ -1,0 +1,83 @@
+//! The solver registry: every algorithm in the workspace behind one
+//! enumerable, capability-filterable list.
+
+use crate::error::SolveError;
+use crate::instance::Instance;
+use crate::report::SolveReport;
+use crate::request::SolveRequest;
+use crate::solvers::baselines::{GreedySolver, LocalRatioSolver, RandomOrderUnweightedSolver};
+use crate::solvers::boxes::{MpcMcmSolver, StreamMcmSolver};
+use crate::solvers::exact::{BlossomSolver, HopcroftKarpSolver, HungarianSolver};
+use crate::solvers::paper::{MpcMainAlg, OfflineMainAlg, RandArrSolver, StreamingMainAlg};
+use crate::solvers::Solver;
+
+/// Every registered solver, in presentation order: the paper's four
+/// drivers, the baselines, the exact oracles, and the unweighted
+/// black boxes.
+pub fn registry() -> Vec<Box<dyn Solver>> {
+    vec![
+        Box::new(OfflineMainAlg),
+        Box::new(StreamingMainAlg),
+        Box::new(MpcMainAlg),
+        Box::new(RandArrSolver),
+        Box::new(RandomOrderUnweightedSolver),
+        Box::new(GreedySolver),
+        Box::new(LocalRatioSolver),
+        Box::new(BlossomSolver),
+        Box::new(HungarianSolver),
+        Box::new(HopcroftKarpSolver),
+        Box::new(StreamMcmSolver),
+        Box::new(MpcMcmSolver),
+    ]
+}
+
+/// The registered solvers that accept `instance`: its arrival-model kind
+/// is supported and, for bipartite-only solvers, the instance is
+/// bipartite.
+pub fn registry_for(instance: &Instance) -> Vec<Box<dyn Solver>> {
+    let bipartite = instance.is_bipartite();
+    registry()
+        .into_iter()
+        .filter(|s| {
+            let caps = s.capabilities();
+            caps.supports(instance.model().kind()) && (!caps.bipartite_only || bipartite)
+        })
+        .collect()
+}
+
+/// Looks a solver up by its registry name.
+///
+/// # Errors
+///
+/// [`SolveError::UnknownSolver`] when no solver has that name.
+pub fn solver(name: &str) -> Result<Box<dyn Solver>, SolveError> {
+    registry()
+        .into_iter()
+        .find(|s| s.name() == name)
+        .ok_or_else(|| SolveError::UnknownSolver { name: name.into() })
+}
+
+/// Convenience: resolves `name` and solves `instance` under `request`.
+///
+/// # Errors
+///
+/// [`SolveError::UnknownSolver`] for unknown names, otherwise whatever
+/// the solver's [`Solver::solve`] returns.
+///
+/// # Example
+///
+/// ```
+/// use wmatch_api::{solve, Instance, SolveRequest};
+/// use wmatch_graph::generators;
+///
+/// let (g, _) = generators::fig1_graph();
+/// let report = solve("main-alg-offline", &Instance::offline(g), &SolveRequest::new()).unwrap();
+/// assert_eq!(report.value, 8); // the optimum of the paper's Figure 1
+/// ```
+pub fn solve(
+    name: &str,
+    instance: &Instance,
+    request: &SolveRequest,
+) -> Result<SolveReport, SolveError> {
+    solver(name)?.solve(instance, request)
+}

@@ -1,0 +1,126 @@
+//! The uniform result contract: every solver returns a [`SolveReport`]
+//! carrying the matching plus comparable telemetry.
+
+use std::time::Duration;
+
+use wmatch_graph::exact::{max_cardinality_matching, max_weight_matching};
+use wmatch_graph::{Graph, Matching};
+
+use crate::capabilities::Objective;
+
+/// Uniform run telemetry. Fields that do not apply to a solver are left at
+/// their zero values (e.g. `passes` for offline solvers).
+#[derive(Debug, Clone, Default)]
+#[non_exhaustive]
+pub struct Telemetry {
+    /// Outer rounds executed (Algorithm 3 rounds, MPC model rounds,
+    /// coreset iterations — the model's own round measure).
+    pub rounds: usize,
+    /// Stream passes consumed in the model's accounting (0 for offline
+    /// solvers).
+    pub passes: usize,
+    /// Peak stored items: edges for streaming solvers
+    /// ([`MemoryMeter`](wmatch_stream::MemoryMeter) units), per-machine
+    /// words for MPC solvers, total edges held for offline solvers.
+    pub peak_stored_edges: usize,
+    /// Wall-clock time of the solve call.
+    pub wall: Duration,
+    /// Matching weight after every outer round, for solvers that iterate
+    /// (the convergence series of experiment E5); empty otherwise.
+    pub trace: Vec<i128>,
+    /// Solver-specific diagnostics as key/value pairs (branch winners,
+    /// stack sizes, sequential pass counts, …).
+    pub extras: Vec<(&'static str, String)>,
+}
+
+impl Telemetry {
+    /// Telemetry with every counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up an extra by key.
+    pub fn extra(&self, key: &str) -> Option<&str> {
+        self.extras
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// An approximation certificate: the solver's objective value compared
+/// against the exact oracle for its objective.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct Certificate {
+    /// The certified objective.
+    pub objective: Objective,
+    /// The exact optimum (weight, or cardinality as a wide integer).
+    pub optimum: i128,
+    /// `value / optimum` (1.0 when the optimum is 0).
+    pub ratio: f64,
+}
+
+/// The uniform output of every solver.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct SolveReport {
+    /// Name of the solver that produced this report.
+    pub solver: &'static str,
+    /// The matching found.
+    pub matching: Matching,
+    /// The matching's objective value: its weight for
+    /// [`Objective::Weight`] solvers, its cardinality for
+    /// [`Objective::Cardinality`] solvers.
+    pub value: i128,
+    /// Uniform run telemetry.
+    pub telemetry: Telemetry,
+    /// Present when the request asked for certification.
+    pub certificate: Option<Certificate>,
+}
+
+impl SolveReport {
+    /// Assembles a report, computing the objective value and (when
+    /// `certify` is set) the certificate against the exact oracle.
+    pub(crate) fn assemble(
+        solver: &'static str,
+        matching: Matching,
+        objective: Objective,
+        graph: &Graph,
+        certify: bool,
+        telemetry: Telemetry,
+    ) -> Self {
+        let value = objective_value(&matching, objective);
+        let certificate = certify.then(|| {
+            let optimum = match objective {
+                Objective::Weight => max_weight_matching(graph).weight(),
+                Objective::Cardinality => max_cardinality_matching(graph).len() as i128,
+            };
+            let ratio = if optimum == 0 {
+                1.0
+            } else {
+                value as f64 / optimum as f64
+            };
+            Certificate {
+                objective,
+                optimum,
+                ratio,
+            }
+        });
+        SolveReport {
+            solver,
+            matching,
+            value,
+            telemetry,
+            certificate,
+        }
+    }
+}
+
+/// The objective value of a matching.
+pub fn objective_value(m: &Matching, objective: Objective) -> i128 {
+    match objective {
+        Objective::Weight => m.weight(),
+        Objective::Cardinality => m.len() as i128,
+    }
+}

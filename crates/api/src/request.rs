@@ -1,0 +1,190 @@
+//! The uniform request contract: one validated parameter set that every
+//! solver maps onto its own configuration.
+
+use wmatch_graph::Matching;
+
+use crate::error::SolveError;
+
+/// Upper bound on [`SolveRequest::threads`]; larger values are rejected as
+/// configuration errors rather than spawning an absurd worker pool.
+pub const MAX_THREADS: usize = 1024;
+
+/// Upper bound on the round and pass budgets; beyond this the budgets stop
+/// being budgets.
+pub const MAX_BUDGET: usize = 1_000_000;
+
+/// How much work an approximate solver should invest beyond its defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Cheapest configuration that still meets the declared floor.
+    Quick,
+    /// The `practical` defaults of each algorithm (the tested sweet spot).
+    Standard,
+    /// Finer granularity and more trials (the `thorough` configurations).
+    Thorough,
+}
+
+/// A validated solve request.
+///
+/// Build one with [`SolveRequest::new`] and the chainable `with_*`
+/// setters; [`SolveRequest::validate`] (called by every solver on entry)
+/// rejects out-of-range parameters with
+/// [`SolveError::InvalidConfig`] instead of panicking deep inside the
+/// algorithms.
+///
+/// # Example
+///
+/// ```
+/// use wmatch_api::SolveRequest;
+///
+/// let req = SolveRequest::new().with_eps(0.2).with_seed(7).with_certify(true);
+/// assert!(req.validate().is_ok());
+/// assert!(SolveRequest::new().with_eps(0.0).validate().is_err());
+/// ```
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct SolveRequest {
+    /// Target approximation slack ε, strictly inside (0, 1). Approximate
+    /// solvers derive their granularity/δ parameters from it.
+    pub eps: f64,
+    /// RNG seed for every randomized choice inside the solver.
+    pub seed: u64,
+    /// Maximum outer rounds (Algorithm 3 rounds, coreset iterations);
+    /// must be ≥ 1.
+    pub round_budget: usize,
+    /// Maximum stream passes per unweighted black-box invocation (and the
+    /// MPC analogue, coreset iterations per box); must be ≥ 1.
+    pub pass_budget: usize,
+    /// Worker threads for solvers with parallel sweeps: 1 = sequential,
+    /// 0 = one per available core, at most [`MAX_THREADS`].
+    pub threads: usize,
+    /// Effort level for approximate solvers.
+    pub effort: Effort,
+    /// When set, the report carries an approximation
+    /// [`Certificate`](crate::Certificate) computed against the exact
+    /// oracle for the solver's objective (O(V³) — intended for tests and
+    /// experiments, not hot paths).
+    pub certify: bool,
+    /// Optional warm-start matching for solvers that support improving an
+    /// existing matching (Theorem 4.1 improves *any* matching).
+    pub warm_start: Option<Matching>,
+}
+
+impl Default for SolveRequest {
+    fn default() -> Self {
+        SolveRequest {
+            eps: 0.25,
+            seed: 0,
+            round_budget: 40,
+            pass_budget: 8,
+            threads: 1,
+            effort: Effort::Standard,
+            certify: false,
+            warm_start: None,
+        }
+    }
+}
+
+impl SolveRequest {
+    /// The default request: ε = 0.25, seed 0, 40 rounds, 8 passes,
+    /// sequential, standard effort, no certification.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the target slack ε (validated to lie strictly in (0, 1)).
+    pub fn with_eps(mut self, eps: f64) -> Self {
+        self.eps = eps;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the outer round budget (validated ≥ 1).
+    pub fn with_round_budget(mut self, round_budget: usize) -> Self {
+        self.round_budget = round_budget;
+        self
+    }
+
+    /// Sets the per-box pass budget (validated ≥ 1).
+    pub fn with_pass_budget(mut self, pass_budget: usize) -> Self {
+        self.pass_budget = pass_budget;
+        self
+    }
+
+    /// Sets the worker-thread count (0 = auto, validated ≤ [`MAX_THREADS`]).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the effort level.
+    pub fn with_effort(mut self, effort: Effort) -> Self {
+        self.effort = effort;
+        self
+    }
+
+    /// Enables or disables the approximation certificate.
+    pub fn with_certify(mut self, certify: bool) -> Self {
+        self.certify = certify;
+        self
+    }
+
+    /// Sets a warm-start matching.
+    pub fn with_warm_start(mut self, warm_start: Matching) -> Self {
+        self.warm_start = Some(warm_start);
+        self
+    }
+
+    /// Checks every parameter against its valid range.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::InvalidConfig`] naming the first offending field.
+    pub fn validate(&self) -> Result<(), SolveError> {
+        if !self.eps.is_finite() || self.eps <= 0.0 || self.eps >= 1.0 {
+            return Err(SolveError::InvalidConfig {
+                field: "eps",
+                reason: format!("must lie strictly in (0, 1), got {}", self.eps),
+            });
+        }
+        if self.round_budget == 0 {
+            return Err(SolveError::InvalidConfig {
+                field: "round_budget",
+                reason: "must be at least 1".into(),
+            });
+        }
+        if self.round_budget > MAX_BUDGET {
+            return Err(SolveError::InvalidConfig {
+                field: "round_budget",
+                reason: format!("must be at most {MAX_BUDGET}, got {}", self.round_budget),
+            });
+        }
+        if self.pass_budget == 0 {
+            return Err(SolveError::InvalidConfig {
+                field: "pass_budget",
+                reason: "must be at least 1".into(),
+            });
+        }
+        if self.pass_budget > MAX_BUDGET {
+            return Err(SolveError::InvalidConfig {
+                field: "pass_budget",
+                reason: format!("must be at most {MAX_BUDGET}, got {}", self.pass_budget),
+            });
+        }
+        if self.threads > MAX_THREADS {
+            return Err(SolveError::InvalidConfig {
+                field: "threads",
+                reason: format!(
+                    "must be at most {MAX_THREADS} (0 = auto), got {}",
+                    self.threads
+                ),
+            });
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,204 @@
+//! Adapters for the baseline algorithms the paper improves on: greedy,
+//! local-ratio \[PS17\], and the 0.506 random-order unweighted algorithm
+//! (Theorem 3.4).
+
+use wmatch_core::greedy::{greedy_by_weight, greedy_insertion};
+use wmatch_core::local_ratio::LocalRatio;
+use wmatch_core::random_order_unweighted::{random_order_unweighted, Branch, RouConfig};
+use wmatch_stream::EdgeStream;
+
+use crate::capabilities::{Capabilities, ModelKind, Objective};
+use crate::error::SolveError;
+use crate::instance::{ArrivalModel, Instance};
+use crate::report::{SolveReport, Telemetry};
+use crate::request::SolveRequest;
+use crate::solvers::{preflight, reject_warm_start, timed, Solver};
+
+/// The classic greedy ½-approximation: heaviest-edge-first offline, or
+/// insert-if-free in arrival order on streams.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedySolver;
+
+impl Solver for GreedySolver {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            models: &[
+                ModelKind::Offline,
+                ModelKind::RandomOrder,
+                ModelKind::Adversarial,
+            ],
+            objective: Objective::Weight,
+            bipartite_only: false,
+            exact: false,
+            // ½ in weight offline (heaviest first); on streams the matching
+            // is maximal, which halves the cardinality but not the weight.
+            approx_floor: 0.5,
+            theorem: "folklore 1/2-approximation (Section 3.1 baseline)",
+        }
+    }
+
+    fn solve(
+        &self,
+        instance: &Instance,
+        request: &SolveRequest,
+    ) -> Result<SolveReport, SolveError> {
+        preflight(self.name(), &self.capabilities(), instance, request)?;
+        reject_warm_start(self.name(), request)?;
+        let g = instance.graph();
+        let (m, passes, wall) = match instance.model() {
+            ArrivalModel::Offline => {
+                let (m, wall) = timed(|| greedy_by_weight(g));
+                (m, 0, wall)
+            }
+            _ => {
+                let mut stream = instance.stream();
+                let (m, wall) = timed(|| greedy_insertion(&mut stream));
+                (m, stream.passes(), wall)
+            }
+        };
+        let telemetry = Telemetry {
+            passes,
+            peak_stored_edges: m.len(),
+            wall,
+            ..Telemetry::new()
+        };
+        Ok(SolveReport::assemble(
+            self.name(),
+            m,
+            Objective::Weight,
+            g,
+            request.certify,
+            telemetry,
+        ))
+    }
+}
+
+/// The local-ratio ½-approximation of Paz–Schwartzman \[PS17\]
+/// (Section 3.2): potentials + stack, unwound greedily.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LocalRatioSolver;
+
+impl Solver for LocalRatioSolver {
+    fn name(&self) -> &'static str {
+        "local-ratio"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            models: &[
+                ModelKind::Offline,
+                ModelKind::RandomOrder,
+                ModelKind::Adversarial,
+            ],
+            objective: Objective::Weight,
+            bipartite_only: false,
+            exact: false,
+            approx_floor: 0.5,
+            theorem: "[PS17] local-ratio (Section 3.2, Approx-Wgt-Matching role)",
+        }
+    }
+
+    fn solve(
+        &self,
+        instance: &Instance,
+        request: &SolveRequest,
+    ) -> Result<SolveReport, SolveError> {
+        preflight(self.name(), &self.capabilities(), instance, request)?;
+        reject_warm_start(self.name(), request)?;
+        let g = instance.graph();
+        // the unwind is part of the algorithm: time it with the feed
+        let ((m, stack_size, passes), wall) = timed(|| {
+            let mut lr = LocalRatio::new(g.vertex_count());
+            match instance.model() {
+                ArrivalModel::Offline => {
+                    for e in g.edges() {
+                        lr.on_edge(*e);
+                    }
+                    (lr.unwind(), lr.stack_len(), 0)
+                }
+                _ => {
+                    let mut stream = instance.stream();
+                    stream.stream_pass(&mut |e| lr.on_edge(e));
+                    (lr.unwind(), lr.stack_len(), stream.passes())
+                }
+            }
+        });
+        let telemetry = Telemetry {
+            passes,
+            peak_stored_edges: stack_size,
+            wall,
+            extras: vec![("stack_size", stack_size.to_string())],
+            ..Telemetry::new()
+        };
+        Ok(SolveReport::assemble(
+            self.name(),
+            m,
+            Objective::Weight,
+            g,
+            request.certify,
+            telemetry,
+        ))
+    }
+}
+
+/// Theorem 3.4: the 0.506-approximation for **unweighted** matching on
+/// single-pass random-order streams (weights are ignored).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomOrderUnweightedSolver;
+
+impl Solver for RandomOrderUnweightedSolver {
+    fn name(&self) -> &'static str {
+        "random-order-unweighted"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            models: &[ModelKind::RandomOrder],
+            objective: Objective::Cardinality,
+            bipartite_only: false,
+            exact: false,
+            approx_floor: 0.5,
+            theorem: "Theorem 3.4 (Section 3.1, three-branch single pass)",
+        }
+    }
+
+    fn solve(
+        &self,
+        instance: &Instance,
+        request: &SolveRequest,
+    ) -> Result<SolveReport, SolveError> {
+        preflight(self.name(), &self.capabilities(), instance, request)?;
+        reject_warm_start(self.name(), request)?;
+        let mut stream = instance.stream();
+        let (res, wall) = timed(|| random_order_unweighted(&mut stream, &RouConfig::default()));
+        let winner = match res.winner {
+            Branch::FreeFree => "free-free",
+            Branch::ContinuedGreedy => "continued-greedy",
+            Branch::ThreeAug => "3-aug",
+        };
+        let telemetry = Telemetry {
+            passes: stream.passes(),
+            peak_stored_edges: res.s1_size + res.support_size,
+            wall,
+            extras: vec![
+                ("winner", winner.to_string()),
+                ("m0_size", res.m0_size.to_string()),
+                ("s1_size", res.s1_size.to_string()),
+                ("support_size", res.support_size.to_string()),
+            ],
+            ..Telemetry::new()
+        };
+        Ok(SolveReport::assemble(
+            self.name(),
+            res.matching,
+            Objective::Cardinality,
+            instance.graph(),
+            request.certify,
+            telemetry,
+        ))
+    }
+}

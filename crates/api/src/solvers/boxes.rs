@@ -1,0 +1,126 @@
+//! Adapters for the paper's `Unw-Bip-Matching` black boxes in their
+//! resource-bounded instantiations: the multi-pass streaming box and the
+//! MPC coreset box. Exposed as solvers so benches and experiments can
+//! drive them through the same contract as everything else.
+
+use wmatch_mpc::{mpc_bipartite_mcm, MpcConfig, MpcMcmConfig, MpcSimulator};
+use wmatch_stream::{multipass_bipartite_mcm, McmConfig};
+
+use crate::capabilities::{Capabilities, ModelKind, Objective};
+use crate::error::SolveError;
+use crate::instance::{ArrivalModel, Instance};
+use crate::report::{SolveReport, Telemetry};
+use crate::request::SolveRequest;
+use crate::solvers::{preflight, reject_warm_start, required_bipartition, timed, Solver};
+
+/// The multi-pass streaming `Unw-Bip-Matching` box: greedy pass plus
+/// bounded-degree support passes, each closed by warm-started
+/// Hopcroft–Karp (the \[AG13\] role in Theorem 4.1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamMcmSolver;
+
+impl Solver for StreamMcmSolver {
+    fn name(&self) -> &'static str {
+        "stream-mcm"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            models: &[ModelKind::Adversarial, ModelKind::RandomOrder],
+            objective: Objective::Cardinality,
+            bipartite_only: true,
+            exact: false,
+            approx_floor: 0.5,
+            theorem: "streaming Unw-Bip-Matching box ([AG13] role in Theorem 4.1)",
+        }
+    }
+
+    fn solve(
+        &self,
+        instance: &Instance,
+        request: &SolveRequest,
+    ) -> Result<SolveReport, SolveError> {
+        preflight(self.name(), &self.capabilities(), instance, request)?;
+        reject_warm_start(self.name(), request)?;
+        let side = required_bipartition(self.name(), instance)?;
+        let cfg = McmConfig::for_delta(request.eps).with_max_passes(request.pass_budget);
+        let mut stream = instance.stream();
+        let (res, wall) = timed(|| multipass_bipartite_mcm(&mut stream, &side, &cfg));
+        let telemetry = Telemetry {
+            passes: res.passes,
+            peak_stored_edges: res.peak_memory_edges,
+            wall,
+            ..Telemetry::new()
+        };
+        Ok(SolveReport::assemble(
+            self.name(),
+            res.matching,
+            Objective::Cardinality,
+            instance.graph(),
+            request.certify,
+            telemetry,
+        ))
+    }
+}
+
+/// The MPC coreset `Unw-Bip-Matching` box (the \[ABB+19\]/\[GGK+18\] role
+/// in Theorem 4.1), run on a fresh simulator sized by the instance's MPC
+/// parameters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MpcMcmSolver;
+
+impl Solver for MpcMcmSolver {
+    fn name(&self) -> &'static str {
+        "mpc-mcm"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            models: &[ModelKind::Mpc],
+            objective: Objective::Cardinality,
+            bipartite_only: true,
+            exact: false,
+            approx_floor: 0.5,
+            theorem: "MPC coreset Unw-Bip-Matching box ([ABB+19]/[GGK+18] role)",
+        }
+    }
+
+    fn solve(
+        &self,
+        instance: &Instance,
+        request: &SolveRequest,
+    ) -> Result<SolveReport, SolveError> {
+        preflight(self.name(), &self.capabilities(), instance, request)?;
+        reject_warm_start(self.name(), request)?;
+        let side = required_bipartition(self.name(), instance)?;
+        let ArrivalModel::Mpc {
+            machines,
+            memory_words,
+        } = *instance.model()
+        else {
+            unreachable!("preflight admits only the MPC model");
+        };
+        let cfg = MpcMcmConfig::for_delta(request.eps, request.seed)
+            .with_max_iterations(request.pass_budget);
+        let g = instance.graph();
+        let (res, wall) = timed(|| {
+            let mut sim = MpcSimulator::new(MpcConfig::new(machines, memory_words));
+            mpc_bipartite_mcm(&mut sim, g.edges().to_vec(), &side, &cfg)
+        });
+        let res = res?;
+        let telemetry = Telemetry {
+            rounds: res.rounds,
+            peak_stored_edges: res.peak_machine_words,
+            wall,
+            ..Telemetry::new()
+        };
+        Ok(SolveReport::assemble(
+            self.name(),
+            res.matching,
+            Objective::Cardinality,
+            g,
+            request.certify,
+            telemetry,
+        ))
+    }
+}

@@ -1,0 +1,155 @@
+//! Adapters for the exact oracles: Galil's weighted blossom, the
+//! Hungarian algorithm, and Hopcroft–Karp. These are the ground truth the
+//! approximate solvers are certified against.
+
+use wmatch_graph::exact::{
+    max_bipartite_cardinality_matching, max_weight_bipartite_matching, max_weight_matching,
+};
+
+use crate::capabilities::{Capabilities, ModelKind, Objective};
+use crate::error::SolveError;
+use crate::instance::Instance;
+use crate::report::{SolveReport, Telemetry};
+use crate::request::SolveRequest;
+use crate::solvers::{preflight, reject_warm_start, required_bipartition, timed, Solver};
+
+/// Exact maximum **weight** matching on general graphs (Galil's O(V³)
+/// weighted blossom) — the registry's default certification oracle.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlossomSolver;
+
+impl Solver for BlossomSolver {
+    fn name(&self) -> &'static str {
+        "blossom"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            models: &[ModelKind::Offline],
+            objective: Objective::Weight,
+            bipartite_only: false,
+            exact: true,
+            approx_floor: 1.0,
+            theorem: "exact oracle: Galil's weighted blossom, O(V^3)",
+        }
+    }
+
+    fn solve(
+        &self,
+        instance: &Instance,
+        request: &SolveRequest,
+    ) -> Result<SolveReport, SolveError> {
+        preflight(self.name(), &self.capabilities(), instance, request)?;
+        reject_warm_start(self.name(), request)?;
+        let g = instance.graph();
+        let (m, wall) = timed(|| max_weight_matching(g));
+        let telemetry = Telemetry {
+            peak_stored_edges: g.edge_count(),
+            wall,
+            ..Telemetry::new()
+        };
+        Ok(SolveReport::assemble(
+            self.name(),
+            m,
+            Objective::Weight,
+            g,
+            request.certify,
+            telemetry,
+        ))
+    }
+}
+
+/// Exact maximum **weight** matching on bipartite graphs (Hungarian
+/// algorithm / successive shortest paths, O(V³)).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HungarianSolver;
+
+impl Solver for HungarianSolver {
+    fn name(&self) -> &'static str {
+        "hungarian"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            models: &[ModelKind::Offline],
+            objective: Objective::Weight,
+            bipartite_only: true,
+            exact: true,
+            approx_floor: 1.0,
+            theorem: "exact oracle: Hungarian algorithm (bipartite), O(V^3)",
+        }
+    }
+
+    fn solve(
+        &self,
+        instance: &Instance,
+        request: &SolveRequest,
+    ) -> Result<SolveReport, SolveError> {
+        preflight(self.name(), &self.capabilities(), instance, request)?;
+        reject_warm_start(self.name(), request)?;
+        let side = required_bipartition(self.name(), instance)?;
+        let g = instance.graph();
+        let (m, wall) = timed(|| max_weight_bipartite_matching(g, &side));
+        let telemetry = Telemetry {
+            peak_stored_edges: g.edge_count(),
+            wall,
+            ..Telemetry::new()
+        };
+        Ok(SolveReport::assemble(
+            self.name(),
+            m,
+            Objective::Weight,
+            g,
+            request.certify,
+            telemetry,
+        ))
+    }
+}
+
+/// Exact maximum **cardinality** matching on bipartite graphs
+/// (Hopcroft–Karp, O(E·√V)) — the offline `Unw-Bip-Matching` black box of
+/// the layered-graph reduction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HopcroftKarpSolver;
+
+impl Solver for HopcroftKarpSolver {
+    fn name(&self) -> &'static str {
+        "hopcroft-karp"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            models: &[ModelKind::Offline],
+            objective: Objective::Cardinality,
+            bipartite_only: true,
+            exact: true,
+            approx_floor: 1.0,
+            theorem: "exact oracle: Hopcroft-Karp (offline Unw-Bip-Matching box)",
+        }
+    }
+
+    fn solve(
+        &self,
+        instance: &Instance,
+        request: &SolveRequest,
+    ) -> Result<SolveReport, SolveError> {
+        preflight(self.name(), &self.capabilities(), instance, request)?;
+        reject_warm_start(self.name(), request)?;
+        let side = required_bipartition(self.name(), instance)?;
+        let g = instance.graph();
+        let (m, wall) = timed(|| max_bipartite_cardinality_matching(g, &side));
+        let telemetry = Telemetry {
+            peak_stored_edges: g.edge_count(),
+            wall,
+            ..Telemetry::new()
+        };
+        Ok(SolveReport::assemble(
+            self.name(),
+            m,
+            Objective::Cardinality,
+            g,
+            request.certify,
+            telemetry,
+        ))
+    }
+}

@@ -1,0 +1,133 @@
+//! The [`Solver`] trait and the adapters that put every algorithm in the
+//! workspace behind it.
+
+use std::time::Instant;
+
+use wmatch_graph::Matching;
+
+use crate::capabilities::Capabilities;
+use crate::error::SolveError;
+use crate::instance::Instance;
+use crate::report::SolveReport;
+use crate::request::SolveRequest;
+
+pub mod baselines;
+pub mod boxes;
+pub mod exact;
+pub mod paper;
+
+/// The unified solver contract.
+///
+/// Implementations are stateless adapters: all run parameters come from
+/// the [`SolveRequest`], all input from the [`Instance`], and every
+/// outcome — including invalid configuration, unsupported models and
+/// budget violations — is a typed [`SolveError`] instead of a panic.
+pub trait Solver {
+    /// Stable registry name (kebab-case).
+    fn name(&self) -> &'static str;
+
+    /// The solver's declared contract.
+    fn capabilities(&self) -> Capabilities;
+
+    /// Solves `instance` under `request`.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::InvalidConfig`] for out-of-range request fields,
+    /// [`SolveError::UnsupportedModel`] / [`SolveError::NotBipartite`]
+    /// when the instance does not fit the solver's capabilities, and
+    /// substrate errors ([`SolveError::Mpc`], [`SolveError::Graph`])
+    /// forwarded from the run itself.
+    fn solve(&self, instance: &Instance, request: &SolveRequest)
+        -> Result<SolveReport, SolveError>;
+}
+
+/// Shared entry checks: request validity, arrival-model support, and
+/// model-parameter sanity (a zero-machine or zero-memory MPC deployment
+/// must be a typed error, not a simulator assertion).
+fn preflight(
+    name: &'static str,
+    caps: &Capabilities,
+    instance: &Instance,
+    request: &SolveRequest,
+) -> Result<(), SolveError> {
+    request.validate()?;
+    let kind = instance.model().kind();
+    if !caps.supports(kind) {
+        return Err(SolveError::UnsupportedModel {
+            solver: name,
+            model: kind,
+        });
+    }
+    if let crate::instance::ArrivalModel::Mpc {
+        machines,
+        memory_words,
+    } = *instance.model()
+    {
+        if machines == 0 {
+            return Err(SolveError::InvalidConfig {
+                field: "machines",
+                reason: "an MPC deployment needs at least one machine".into(),
+            });
+        }
+        if memory_words == 0 {
+            return Err(SolveError::InvalidConfig {
+                field: "memory_words",
+                reason: "an MPC machine needs at least one word of memory".into(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The bipartition a bipartite-only solver runs on: declared, or detected
+/// by 2-coloring.
+fn required_bipartition(name: &'static str, instance: &Instance) -> Result<Vec<bool>, SolveError> {
+    instance
+        .bipartition()
+        .ok_or(SolveError::NotBipartite { solver: name })
+}
+
+/// Rejects a warm start for solvers that cannot use one.
+fn reject_warm_start(name: &'static str, request: &SolveRequest) -> Result<(), SolveError> {
+    if request.warm_start.is_some() {
+        return Err(SolveError::InvalidConfig {
+            field: "warm_start",
+            reason: format!("solver {name} does not support warm starts"),
+        });
+    }
+    Ok(())
+}
+
+/// Validates the warm start against the instance (for solvers that do
+/// support one), returning the initial matching to iterate from.
+fn warm_start_or_empty(
+    instance: &Instance,
+    request: &SolveRequest,
+) -> Result<Matching, SolveError> {
+    let n = instance.graph().vertex_count();
+    match &request.warm_start {
+        None => Ok(Matching::new(n)),
+        Some(m) => {
+            if m.vertex_count() != n {
+                return Err(SolveError::InvalidConfig {
+                    field: "warm_start",
+                    reason: format!(
+                        "matching over {} vertices does not fit a graph of {n}",
+                        m.vertex_count()
+                    ),
+                });
+            }
+            m.validate(Some(instance.graph()))
+                .map_err(SolveError::Graph)?;
+            Ok(m.clone())
+        }
+    }
+}
+
+/// Runs `f`, returning its output and wall-clock duration.
+fn timed<T>(f: impl FnOnce() -> T) -> (T, std::time::Duration) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed())
+}

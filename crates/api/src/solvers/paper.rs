@@ -1,0 +1,262 @@
+//! Adapters for the paper's four drivers: the (1−ε) machinery in its
+//! offline, multi-pass streaming, and MPC instantiations (Theorem 1.2),
+//! and `Rand-Arr-Matching` (Theorem 1.1).
+
+use wmatch_core::main_alg::{
+    max_weight_matching_mpc, max_weight_matching_offline_from, max_weight_matching_streaming,
+    MainAlgConfig,
+};
+use wmatch_core::rand_arr_matching::{rand_arr_matching, RandArrBranch, RandArrConfig};
+use wmatch_mpc::{MpcConfig, MpcMcmConfig};
+use wmatch_stream::{EdgeStream, McmConfig};
+
+use crate::capabilities::{Capabilities, ModelKind, Objective};
+use crate::error::SolveError;
+use crate::instance::{ArrivalModel, Instance};
+use crate::report::{SolveReport, Telemetry};
+use crate::request::{Effort, SolveRequest};
+use crate::solvers::{preflight, reject_warm_start, timed, warm_start_or_empty, Solver};
+
+/// The [`MainAlgConfig`] a request maps onto.
+fn main_cfg(request: &SolveRequest) -> MainAlgConfig {
+    let base = match request.effort {
+        Effort::Quick => MainAlgConfig::practical(request.eps, request.seed)
+            .with_trials(2)
+            .with_stall_rounds(2),
+        Effort::Standard => MainAlgConfig::practical(request.eps, request.seed),
+        Effort::Thorough => MainAlgConfig::thorough(request.eps, request.seed),
+    };
+    base.with_max_rounds(request.round_budget)
+        .with_threads(request.threads)
+}
+
+/// The streaming `Unw-Bip-Matching` box configuration a request maps onto.
+fn mcm_cfg(request: &SolveRequest) -> McmConfig {
+    McmConfig::for_delta(request.eps).with_max_passes(request.pass_budget)
+}
+
+/// Theorem 1.2 (offline): the (1−ε)-approximation via layered graphs,
+/// iterated from the empty matching or the request's warm start.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OfflineMainAlg;
+
+impl Solver for OfflineMainAlg {
+    fn name(&self) -> &'static str {
+        "main-alg-offline"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            models: &[ModelKind::Offline],
+            objective: Objective::Weight,
+            bipartite_only: false,
+            exact: false,
+            approx_floor: 0.75,
+            theorem: "Theorem 1.2 / 4.1 (offline driver, Algorithms 3-4)",
+        }
+    }
+
+    fn solve(
+        &self,
+        instance: &Instance,
+        request: &SolveRequest,
+    ) -> Result<SolveReport, SolveError> {
+        preflight(self.name(), &self.capabilities(), instance, request)?;
+        let init = warm_start_or_empty(instance, request)?;
+        let g = instance.graph();
+        let cfg = main_cfg(request);
+        let ((m, trace), wall) = timed(|| max_weight_matching_offline_from(g, init, &cfg));
+        let telemetry = Telemetry {
+            rounds: trace.len(),
+            peak_stored_edges: g.edge_count() + m.len(),
+            wall,
+            trace,
+            ..Telemetry::new()
+        };
+        Ok(SolveReport::assemble(
+            self.name(),
+            m,
+            Objective::Weight,
+            g,
+            request.certify,
+            telemetry,
+        ))
+    }
+}
+
+/// Theorem 1.2.2: the multi-pass semi-streaming driver of the (1−ε)
+/// machinery.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamingMainAlg;
+
+impl Solver for StreamingMainAlg {
+    fn name(&self) -> &'static str {
+        "main-alg-streaming"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            models: &[ModelKind::Adversarial, ModelKind::RandomOrder],
+            objective: Objective::Weight,
+            bipartite_only: false,
+            exact: false,
+            approx_floor: 0.5,
+            theorem: "Theorem 1.2.2 (multi-pass streaming driver)",
+        }
+    }
+
+    fn solve(
+        &self,
+        instance: &Instance,
+        request: &SolveRequest,
+    ) -> Result<SolveReport, SolveError> {
+        preflight(self.name(), &self.capabilities(), instance, request)?;
+        reject_warm_start(self.name(), request)?;
+        let cfg = main_cfg(request);
+        let mcm = mcm_cfg(request);
+        let mut stream = instance.stream();
+        let (res, wall) = timed(|| max_weight_matching_streaming(&mut stream, &cfg, &mcm));
+        let telemetry = Telemetry {
+            rounds: res.rounds,
+            passes: res.passes_model,
+            peak_stored_edges: res.peak_memory_edges,
+            wall,
+            extras: vec![("passes_sequential", res.passes_sequential.to_string())],
+            ..Telemetry::new()
+        };
+        Ok(SolveReport::assemble(
+            self.name(),
+            res.matching,
+            Objective::Weight,
+            instance.graph(),
+            request.certify,
+            telemetry,
+        ))
+    }
+}
+
+/// Theorem 1.2.1: the MPC driver of the (1−ε) machinery.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MpcMainAlg;
+
+impl Solver for MpcMainAlg {
+    fn name(&self) -> &'static str {
+        "main-alg-mpc"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            models: &[ModelKind::Mpc],
+            objective: Objective::Weight,
+            bipartite_only: false,
+            exact: false,
+            approx_floor: 0.5,
+            theorem: "Theorem 1.2.1 (MPC driver)",
+        }
+    }
+
+    fn solve(
+        &self,
+        instance: &Instance,
+        request: &SolveRequest,
+    ) -> Result<SolveReport, SolveError> {
+        preflight(self.name(), &self.capabilities(), instance, request)?;
+        reject_warm_start(self.name(), request)?;
+        let ArrivalModel::Mpc {
+            machines,
+            memory_words,
+        } = *instance.model()
+        else {
+            unreachable!("preflight admits only the MPC model");
+        };
+        let cfg = main_cfg(request);
+        let mcm = MpcMcmConfig::for_delta(request.eps, request.seed)
+            .with_max_iterations(request.pass_budget);
+        let (res, wall) = timed(|| {
+            max_weight_matching_mpc(
+                instance.graph(),
+                &cfg,
+                MpcConfig::new(machines, memory_words),
+                &mcm,
+            )
+        });
+        let res = res?;
+        let telemetry = Telemetry {
+            rounds: res.rounds_model,
+            peak_stored_edges: res.peak_machine_words,
+            wall,
+            extras: vec![("rounds_sequential", res.rounds_sequential.to_string())],
+            ..Telemetry::new()
+        };
+        Ok(SolveReport::assemble(
+            self.name(),
+            res.matching,
+            Objective::Weight,
+            instance.graph(),
+            request.certify,
+            telemetry,
+        ))
+    }
+}
+
+/// Theorem 1.1: `Rand-Arr-Matching` (Algorithm 2), the (½+c)-approximation
+/// for weighted matching on single-pass random-order streams.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandArrSolver;
+
+impl Solver for RandArrSolver {
+    fn name(&self) -> &'static str {
+        "rand-arr-matching"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            // adversarial orders are accepted (the algorithm is well
+            // defined on any arrival order); the (½+c) guarantee and the
+            // declared floor apply to the random-order model
+            models: &[ModelKind::RandomOrder, ModelKind::Adversarial],
+            objective: Objective::Weight,
+            bipartite_only: false,
+            exact: false,
+            approx_floor: 0.5,
+            theorem: "Theorem 1.1 (Algorithm 2 over Algorithm 1)",
+        }
+    }
+
+    fn solve(
+        &self,
+        instance: &Instance,
+        request: &SolveRequest,
+    ) -> Result<SolveReport, SolveError> {
+        preflight(self.name(), &self.capabilities(), instance, request)?;
+        reject_warm_start(self.name(), request)?;
+        let mut cfg = RandArrConfig::default();
+        cfg.wap.seed = request.seed;
+        let mut stream = instance.stream();
+        let (res, wall) = timed(|| rand_arr_matching(&mut stream, &cfg));
+        let winner = match res.winner {
+            RandArrBranch::StackAndT => "stack+T",
+            RandArrBranch::WgtAugPaths => "wgt-aug-paths",
+        };
+        let telemetry = Telemetry {
+            passes: stream.passes(),
+            peak_stored_edges: res.stack_size + res.t_size,
+            wall,
+            extras: vec![
+                ("winner", winner.to_string()),
+                ("stack_size", res.stack_size.to_string()),
+                ("t_size", res.t_size.to_string()),
+                ("m0_weight", res.m0_weight.to_string()),
+            ],
+            ..Telemetry::new()
+        };
+        Ok(SolveReport::assemble(
+            self.name(),
+            res.matching,
+            Objective::Weight,
+            instance.graph(),
+            request.certify,
+            telemetry,
+        ))
+    }
+}

@@ -1,17 +1,15 @@
-//! Benchmarks for the end-to-end (1−ε) drivers (experiments E5–E7): one
-//! Algorithm 3 round offline, the streaming driver, and the MPC driver.
+//! Benchmarks for the end-to-end (1−ε) drivers (experiments E5–E7),
+//! facade-driven: one Algorithm 3 round offline (internal primitive), the
+//! streaming driver, and the MPC driver.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use wmatch_core::main_alg::{
-    improve_matching_offline, max_weight_matching_mpc, max_weight_matching_streaming, MainAlgConfig,
-};
+use wmatch_api::{solve, Instance, SolveRequest};
+use wmatch_core::main_alg::{improve_matching_offline, MainAlgConfig};
 use wmatch_graph::generators::{gnp, WeightModel};
 use wmatch_graph::Matching;
-use wmatch_mpc::{MpcConfig, MpcMcmConfig};
-use wmatch_stream::{McmConfig, VecStream};
 
 fn bench_offline_round(c: &mut Criterion) {
     let mut group = c.benchmark_group("alg3_round_offline_e5");
@@ -42,13 +40,10 @@ fn bench_streaming_driver(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     let n = 40;
     let g = gnp(n, 0.25, WeightModel::Uniform { lo: 1, hi: 64 }, &mut rng);
-    let mut cfg = MainAlgConfig::practical(0.25, 3);
-    cfg.max_rounds = 4;
+    let inst = Instance::adversarial(g);
+    let req = SolveRequest::new().with_seed(3).with_round_budget(4);
     group.bench_function("n40_4rounds", |b| {
-        b.iter(|| {
-            let mut s = VecStream::adversarial(g.edges().to_vec()).with_vertex_count(n);
-            max_weight_matching_streaming(&mut s, &cfg, &McmConfig::for_delta(0.25))
-        })
+        b.iter(|| solve("main-alg-streaming", &inst, &req).expect("streaming driver"))
     });
     group.finish();
 }
@@ -59,22 +54,10 @@ fn bench_mpc_driver(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     let n = 32;
     let g = gnp(n, 0.3, WeightModel::Uniform { lo: 1, hi: 64 }, &mut rng);
-    let mut cfg = MainAlgConfig::practical(0.25, 3);
-    cfg.max_rounds = 3;
-    cfg.trials = 1;
+    let inst = Instance::mpc(g, 4, 4000);
+    let req = SolveRequest::new().with_seed(5).with_round_budget(3);
     group.bench_function("n32_3rounds", |b| {
-        b.iter(|| {
-            max_weight_matching_mpc(
-                &g,
-                &cfg,
-                MpcConfig {
-                    machines: 4,
-                    memory_words: 4000,
-                },
-                &MpcMcmConfig::for_delta(0.25, 5),
-            )
-            .unwrap()
-        })
+        b.iter(|| solve("main-alg-mpc", &inst, &req).expect("MPC driver"))
     });
     group.finish();
 }

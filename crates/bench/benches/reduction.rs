@@ -34,13 +34,7 @@ fn bench_tau_enumeration(c: &mut Criterion) {
     let mut group = c.benchmark_group("tau_enumeration");
     let (g, m, param) = setup(200);
     for &q in &[8u32, 16] {
-        let cfg = TauConfig {
-            q,
-            max_layers: 3,
-            min_entry: 1,
-            sum_b_cap: q + 1,
-            max_pairs: 100_000,
-        };
+        let cfg = TauConfig::practical(q, 3).with_max_pairs(100_000);
         let (ba, bb) = achievable_buckets(g.edges(), &m, &param, 256, &cfg);
         group.bench_with_input(BenchmarkId::from_parameter(q), &cfg, |b, cfg| {
             b.iter(|| enumerate_good_pairs(cfg, &ba, &bb))
@@ -76,13 +70,7 @@ fn bench_single_class(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[100usize, 200] {
         let (g, m, param) = setup(n);
-        let cfg = TauConfig {
-            q: 8,
-            max_layers: 3,
-            min_entry: 1,
-            sum_b_cap: 9,
-            max_pairs: 20_000,
-        };
+        let cfg = TauConfig::practical(8, 3).with_max_pairs(20_000);
         group.bench_with_input(
             BenchmarkId::from_parameter(n),
             &(g, m, param),

@@ -1,69 +1,61 @@
-//! Benchmarks for the exact matching substrate (ground-truth solvers).
-//!
-//! These calibrate the cost of the oracles the experiments lean on:
-//! Hopcroft–Karp (the offline `Unw-Bip-Matching` box), the unweighted
-//! blossom, the Hungarian algorithm and Galil's weighted blossom.
+//! Benchmarks every solver in the `wmatch-api` registry through the one
+//! facade: each solver runs on the preferred-arrival-model instance it
+//! declares, at two sizes. This calibrates the exact oracles and the
+//! approximate drivers on the same footing.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use wmatch_graph::exact::{
-    max_bipartite_cardinality_matching, max_cardinality_matching, max_weight_bipartite_matching,
-    max_weight_matching,
-};
+use wmatch_api::{registry, Instance, ModelKind, SolveRequest};
 use wmatch_graph::generators::{gnp, random_bipartite, WeightModel};
+use wmatch_graph::Graph;
 
-fn bench_hopcroft_karp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hopcroft_karp");
-    for &n in &[100usize, 400] {
-        let mut rng = StdRng::seed_from_u64(1);
-        let (g, side) = random_bipartite(n, n, 8.0 / n as f64, WeightModel::Unit, &mut rng);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(2 * n),
-            &(g, side),
-            |b, (g, side)| b.iter(|| max_bipartite_cardinality_matching(g, side)),
-        );
-    }
-    group.finish();
+/// A weighted instance sized for the oracles (bipartite so that every
+/// registered solver, including the bipartite-only ones, can run).
+fn test_graph(n: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (g, _) = random_bipartite(
+        n / 2,
+        n / 2,
+        (8.0 / n as f64).min(0.5),
+        WeightModel::Uniform { lo: 1, hi: 1000 },
+        &mut rng,
+    );
+    g
 }
 
-fn bench_blossom(c: &mut Criterion) {
-    let mut group = c.benchmark_group("blossom_cardinality");
-    for &n in &[100usize, 300] {
-        let mut rng = StdRng::seed_from_u64(2);
-        let g = gnp(n, 8.0 / n as f64, WeightModel::Unit, &mut rng);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| max_cardinality_matching(g))
-        });
+/// The instance on a solver's primary (first-listed) arrival model.
+fn instance_for(primary: ModelKind, g: &Graph) -> Instance {
+    match primary {
+        ModelKind::Offline => Instance::offline(g.clone()),
+        ModelKind::RandomOrder => Instance::random_order(g.clone(), 7),
+        ModelKind::Adversarial => Instance::adversarial(g.clone()),
+        ModelKind::Mpc => Instance::mpc(g.clone(), 4, 50 * g.vertex_count()),
     }
-    group.finish();
 }
 
-fn bench_hungarian(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hungarian");
-    for &n in &[50usize, 150] {
-        let mut rng = StdRng::seed_from_u64(3);
-        let (g, side) = random_bipartite(
-            n,
-            n,
-            0.2,
-            WeightModel::Uniform { lo: 1, hi: 1000 },
-            &mut rng,
-        );
-        group.bench_with_input(
-            BenchmarkId::from_parameter(2 * n),
-            &(g, side),
-            |b, (g, side)| b.iter(|| max_weight_bipartite_matching(g, side)),
-        );
+fn bench_registry(c: &mut Criterion) {
+    let req = SolveRequest::new().with_seed(3).with_round_budget(4);
+    for s in registry() {
+        let mut group = c.benchmark_group(format!("registry/{}", s.name()));
+        group.sample_size(10);
+        for &n in &[60usize, 120] {
+            let g = test_graph(n, 1);
+            let inst = instance_for(s.capabilities().primary_model(), &g);
+            group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+                b.iter(|| s.solve(inst, &req).expect("registry solve"))
+            });
+        }
+        group.finish();
     }
-    group.finish();
 }
 
-fn bench_mwm_general(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mwm_general_galil");
+fn bench_dense_oracles(c: &mut Criterion) {
+    // the exact oracles on a denser non-bipartite instance, facade-driven
+    let mut group = c.benchmark_group("registry_dense_oracles");
     group.sample_size(10);
-    for &n in &[50usize, 150] {
+    for &n in &[100usize, 200] {
         let mut rng = StdRng::seed_from_u64(4);
         let g = gnp(
             n,
@@ -71,18 +63,13 @@ fn bench_mwm_general(c: &mut Criterion) {
             WeightModel::Uniform { lo: 1, hi: 1000 },
             &mut rng,
         );
-        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| max_weight_matching(g))
+        let inst = Instance::offline(g);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| wmatch_api::solve("blossom", inst, &SolveRequest::new()).unwrap())
         });
     }
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_hopcroft_karp,
-    bench_blossom,
-    bench_hungarian,
-    bench_mwm_general
-);
+criterion_group!(benches, bench_registry, bench_dense_oracles);
 criterion_main!(benches);

@@ -1,20 +1,19 @@
 //! Benchmarks for the single-pass streaming algorithms (experiments E1/E2
-//! kernels): local-ratio, `Rand-Arr-Matching` (Algorithm 2) and the
-//! 0.506-approximation of Section 3.1.
+//! kernels), facade-driven: local-ratio, `Rand-Arr-Matching` (Algorithm 2)
+//! and the 0.506-approximation of Section 3.1, plus the raw
+//! `Unw-3-Aug-Paths` feed kernel.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use wmatch_core::local_ratio::LocalRatio;
-use wmatch_core::rand_arr_matching::{rand_arr_matching, RandArrConfig};
-use wmatch_core::random_order_unweighted::{random_order_unweighted, RouConfig};
+use wmatch_api::{solve, Instance, SolveRequest};
 use wmatch_core::unw3aug::Unw3AugPaths;
 use wmatch_graph::generators::{self, gnp, WeightModel};
-use wmatch_stream::VecStream;
 
 fn bench_local_ratio(c: &mut Criterion) {
     let mut group = c.benchmark_group("local_ratio_pass");
+    let req = SolveRequest::new();
     for &n in &[1000usize, 4000] {
         let mut rng = StdRng::seed_from_u64(1);
         let g = gnp(
@@ -24,14 +23,9 @@ fn bench_local_ratio(c: &mut Criterion) {
             &mut rng,
         );
         group.throughput(Throughput::Elements(g.edge_count() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| {
-                let mut lr = LocalRatio::new(g.vertex_count());
-                for e in g.edges() {
-                    lr.on_edge(*e);
-                }
-                lr.unwind()
-            })
+        let inst = Instance::offline(g);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| solve("local-ratio", inst, &req).expect("local-ratio"))
         });
     }
     group.finish();
@@ -40,6 +34,7 @@ fn bench_local_ratio(c: &mut Criterion) {
 fn bench_rand_arr_matching(c: &mut Criterion) {
     let mut group = c.benchmark_group("rand_arr_matching_e2");
     group.sample_size(10);
+    let req = SolveRequest::new();
     for &n in &[500usize, 2000] {
         let mut rng = StdRng::seed_from_u64(2);
         let g = gnp(
@@ -48,12 +43,9 @@ fn bench_rand_arr_matching(c: &mut Criterion) {
             WeightModel::Uniform { lo: 1, hi: 1000 },
             &mut rng,
         );
-        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| {
-                let mut s = VecStream::random_order(g.edges().to_vec(), 7)
-                    .with_vertex_count(g.vertex_count());
-                rand_arr_matching(&mut s, &RandArrConfig::default())
-            })
+        let inst = Instance::random_order(g, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| solve("rand-arr-matching", inst, &req).expect("Algorithm 2"))
         });
     }
     group.finish();
@@ -62,14 +54,12 @@ fn bench_rand_arr_matching(c: &mut Criterion) {
 fn bench_random_order_unweighted(c: &mut Criterion) {
     let mut group = c.benchmark_group("random_order_unweighted_e1");
     group.sample_size(10);
+    let req = SolveRequest::new();
     for &k in &[500usize, 2000] {
         let g = generators::disjoint_paths3(k);
-        group.bench_with_input(BenchmarkId::from_parameter(4 * k), &g, |b, g| {
-            b.iter(|| {
-                let mut s = VecStream::random_order(g.edges().to_vec(), 7)
-                    .with_vertex_count(g.vertex_count());
-                random_order_unweighted(&mut s, &RouConfig::default())
-            })
+        let inst = Instance::random_order(g, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(4 * k), &inst, |b, inst| {
+            b.iter(|| solve("random-order-unweighted", inst, &req).expect("Theorem 3.4"))
         });
     }
     group.finish();

@@ -15,16 +15,13 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::families::Family;
+use crate::oracle::opt_weight;
 use crate::table::{ratio, Table};
-use wmatch_core::greedy::greedy_by_weight;
+use wmatch_api::{solve, Effort, Instance, SolveRequest};
 use wmatch_core::layered::Parametrization;
-use wmatch_core::main_alg::{
-    improve_matching_offline, max_weight_matching_offline_from, max_weight_matching_offline_traced,
-    MainAlgConfig,
-};
+use wmatch_core::main_alg::{improve_matching_offline, MainAlgConfig};
 use wmatch_core::single_class::achievable_buckets;
 use wmatch_core::tau::enumerate_good_pairs;
-use wmatch_graph::exact::max_weight_matching;
 use wmatch_graph::Matching;
 
 /// Runs E10 and renders its section.
@@ -32,7 +29,7 @@ pub fn run(quick: bool) -> String {
     let n = if quick { 32 } else { 60 };
     let mut out = String::from("## E10 — Ablations\n\n");
     let g = Family::GnpUniform.build(n, 13);
-    let opt = max_weight_matching(&g).weight() as f64;
+    let opt = opt_weight(&g) as f64;
 
     // 1. bucket-aware vs blind enumeration
     {
@@ -106,19 +103,27 @@ pub fn run(quick: bool) -> String {
     // 3. warm vs cold start
     {
         let mut t = Table::new(&["start", "final ratio", "rounds"]);
-        let cfg = MainAlgConfig::thorough(0.25, 5);
-        let (cold, cold_trace) = max_weight_matching_offline_traced(&g, &cfg);
-        let greedy = greedy_by_weight(&g);
-        let (warm, warm_trace) = max_weight_matching_offline_from(&g, greedy.clone(), &cfg);
+        let inst = Instance::offline(g.clone());
+        let req = SolveRequest::new()
+            .with_seed(5)
+            .with_effort(Effort::Thorough);
+        let cold = solve("main-alg-offline", &inst, &req).expect("cold start");
+        let greedy = solve("greedy", &inst, &SolveRequest::new()).expect("greedy");
+        let warm = solve(
+            "main-alg-offline",
+            &inst,
+            &req.with_warm_start(greedy.matching.clone()),
+        )
+        .expect("warm start");
         t.row(vec![
             "∅ (the paper's)".into(),
-            ratio(cold.weight() as f64 / opt),
-            cold_trace.len().to_string(),
+            ratio(cold.value as f64 / opt),
+            cold.telemetry.rounds.to_string(),
         ]);
         t.row(vec![
             "greedy (warm)".into(),
-            ratio(warm.weight() as f64 / opt),
-            warm_trace.len().to_string(),
+            ratio(warm.value as f64 / opt),
+            warm.telemetry.rounds.to_string(),
         ]);
         out.push_str("\n### Warm start\n\n");
         out.push_str(&t.to_markdown());
@@ -128,10 +133,14 @@ pub fn run(quick: bool) -> String {
     {
         let mut t = Table::new(&["trials/round", "final ratio"]);
         for trials in [1usize, 4, 8, if quick { 12 } else { 16 }] {
-            let mut cfg = MainAlgConfig::practical(0.25, 6);
-            cfg.trials = trials;
-            cfg.max_rounds = 8;
-            let (m, _) = max_weight_matching_offline_traced(&g, &cfg);
+            // `trials` is below the facade's abstraction: drive the
+            // internal round primitive directly
+            let cfg = MainAlgConfig::practical(0.25, 6).with_trials(trials);
+            let mut m = Matching::new(g.vertex_count());
+            let mut rng = StdRng::seed_from_u64(6);
+            for _ in 0..8 {
+                improve_matching_offline(&g, &mut m, &cfg, &mut rng);
+            }
             t.row(vec![trials.to_string(), ratio(m.weight() as f64 / opt)]);
         }
         out.push_str("\n### Bipartition trials per round (survival sampling)\n\n");

@@ -1,20 +1,16 @@
 //! E1 (Theorem 3.4): the 0.506-approximation for unweighted matching on
-//! random-order streams.
+//! random-order streams, driven through the unified facade.
 //!
 //! Paper claim: single pass, random edge arrivals, expected ratio ≥ 0.506
 //! (greedy guarantees only ½, and is exactly ½ on the barrier family under
 //! middle-first orders). Shape to verify: the algorithm never trails
 //! greedy, and clearly beats 0.506 on the ½-barrier family.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use crate::families::Family;
+use crate::oracle::opt_weight;
 use crate::table::{ratio, Table};
-use wmatch_core::greedy::greedy_insertion;
-use wmatch_core::random_order_unweighted::{random_order_unweighted, Branch, RouConfig};
-use wmatch_graph::exact::max_cardinality_matching;
-use wmatch_stream::VecStream;
+use wmatch_api::{solve, Instance, SolveRequest};
+use wmatch_graph::Graph;
 
 /// Runs E1 and renders its section.
 pub fn run(quick: bool) -> String {
@@ -29,6 +25,7 @@ pub fn run(quick: bool) -> String {
         "this paper",
         "winner branches (S1/greedy/3aug)",
     ]);
+    let req = SolveRequest::new();
     for family in [
         Family::BarrierPaths,
         Family::GnpUniform,
@@ -36,7 +33,8 @@ pub fn run(quick: bool) -> String {
     ] {
         for &n in sizes {
             let g = family.build(n, 5).unweighted_copy();
-            let opt = max_cardinality_matching(&g).len() as f64;
+            // unit weights: the blossom oracle's weight is the cardinality
+            let opt = opt_weight(&g) as f64;
             if opt == 0.0 {
                 continue;
             }
@@ -44,17 +42,16 @@ pub fn run(quick: bool) -> String {
             let mut alg_sum = 0.0;
             let mut branches = [0usize; 3];
             for seed in 0..seeds {
-                let mut s = VecStream::random_order(g.edges().to_vec(), seed)
-                    .with_vertex_count(g.vertex_count());
-                greedy_sum += greedy_insertion(&mut s).len() as f64 / opt;
-                let mut s = VecStream::random_order(g.edges().to_vec(), seed)
-                    .with_vertex_count(g.vertex_count());
-                let res = random_order_unweighted(&mut s, &RouConfig::default());
-                alg_sum += res.matching.len() as f64 / opt;
-                branches[match res.winner {
-                    Branch::FreeFree => 0,
-                    Branch::ContinuedGreedy => 1,
-                    Branch::ThreeAug => 2,
+                let inst = Instance::random_order(g.clone(), seed);
+                let gr = solve("greedy", &inst, &req).expect("greedy");
+                greedy_sum += gr.matching.len() as f64 / opt;
+                let res = solve("random-order-unweighted", &inst, &req).expect("Theorem 3.4");
+                alg_sum += res.value as f64 / opt;
+                branches[match res.telemetry.extra("winner").expect("winner telemetry") {
+                    "free-free" => 0,
+                    "continued-greedy" => 1,
+                    "3-aug" => 2,
+                    other => panic!("unknown winner branch {other:?}"),
                 }] += 1;
             }
             t.row(vec![
@@ -82,19 +79,20 @@ pub fn run(quick: bool) -> String {
         order.push(g.edge(3 * i + 2));
     }
     let opt = (2 * k) as f64;
-    let mut s = VecStream::adversarial(order.clone()).with_vertex_count(g.vertex_count());
-    let gr = greedy_insertion(&mut s).len() as f64 / opt;
+    // a graph whose insertion order IS the middle-first adversary
+    let middle_first = Graph::from_edges(g.vertex_count(), order);
+    let gr = solve("greedy", &Instance::adversarial(middle_first.clone()), &req)
+        .expect("greedy")
+        .matching
+        .len() as f64
+        / opt;
     let mut alg_sum = 0.0;
     let runs = if quick { 3 } else { 10 };
-    let mut rng = StdRng::seed_from_u64(1);
-    for _ in 0..runs {
-        use rand::seq::SliceRandom;
-        let mut shuffled = order.clone();
-        shuffled.shuffle(&mut rng);
-        let mut s = VecStream::adversarial(shuffled).with_vertex_count(g.vertex_count());
-        alg_sum += random_order_unweighted(&mut s, &RouConfig::default())
-            .matching
-            .len() as f64
+    for run in 0..runs {
+        let inst = Instance::random_order(middle_first.clone(), run as u64 + 1);
+        alg_sum += solve("random-order-unweighted", &inst, &req)
+            .expect("Theorem 3.4")
+            .value as f64
             / opt;
     }
     t2.row(vec![

@@ -1,5 +1,5 @@
 //! E2 (Theorem 1.1): the (½+c)-approximation for weighted matching on
-//! random-arrival streams.
+//! random-arrival streams, driven through the unified facade.
 //!
 //! Paper claim: single pass, random arrivals, expected ratio ½+c for an
 //! absolute constant c > 0 (prior art: ½−ε). Shape to verify:
@@ -7,12 +7,9 @@
 //! average ratio sits clearly above ½ on every family.
 
 use crate::families::Family;
+use crate::oracle::opt_weight;
 use crate::table::{ratio, Table};
-use wmatch_core::local_ratio::LocalRatio;
-use wmatch_core::rand_arr_matching::{rand_arr_matching, RandArrConfig};
-use wmatch_graph::exact::max_weight_matching;
-use wmatch_graph::Matching;
-use wmatch_stream::{EdgeStream, VecStream};
+use wmatch_api::{solve, Instance, SolveRequest};
 
 /// Runs E2 and renders its section.
 pub fn run(quick: bool) -> String {
@@ -35,31 +32,23 @@ pub fn run(quick: bool) -> String {
         Family::AlternatingCycles,
     ] {
         let g = family.build(n, 3);
-        let opt = max_weight_matching(&g).weight() as f64;
+        let opt = opt_weight(&g) as f64;
         if opt == 0.0 {
             continue;
         }
         let (mut gr, mut lr_r, mut ra) = (0.0, 0.0, 0.0);
         for seed in 0..seeds {
-            let mut s = VecStream::random_order(g.edges().to_vec(), seed)
-                .with_vertex_count(g.vertex_count());
-            let mut greedy = Matching::new(g.vertex_count());
-            s.stream_pass(&mut |e| {
-                let _ = greedy.insert(e);
-            });
-            gr += greedy.weight() as f64 / opt;
-
-            let mut s = VecStream::random_order(g.edges().to_vec(), seed)
-                .with_vertex_count(g.vertex_count());
-            let mut lr = LocalRatio::new(g.vertex_count());
-            s.stream_pass(&mut |e| lr.on_edge(e));
-            lr_r += lr.unwind().weight() as f64 / opt;
-
-            let mut s = VecStream::random_order(g.edges().to_vec(), seed)
-                .with_vertex_count(g.vertex_count());
-            let mut cfg = RandArrConfig::default();
-            cfg.wap.seed = seed ^ 0xabc;
-            ra += rand_arr_matching(&mut s, &cfg).matching.weight() as f64 / opt;
+            let inst = Instance::random_order(g.clone(), seed);
+            let req = SolveRequest::new();
+            gr += solve("greedy", &inst, &req).expect("greedy").value as f64 / opt;
+            lr_r += solve("local-ratio", &inst, &req)
+                .expect("local-ratio")
+                .value as f64
+                / opt;
+            ra += solve("rand-arr-matching", &inst, &req.with_seed(seed ^ 0xabc))
+                .expect("Algorithm 2")
+                .value as f64
+                / opt;
         }
         let k = seeds as f64;
         t.row(vec![
@@ -81,5 +70,6 @@ mod tests {
     fn quick_run_produces_tables() {
         let md = super::run(true);
         assert!(md.contains("Rand-Arr-Matching"));
+        assert!(md.contains("gnp-uniform"));
     }
 }

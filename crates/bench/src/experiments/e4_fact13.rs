@@ -8,9 +8,9 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::oracle::opt_weight;
 use crate::table::{ratio, Table};
 use wmatch_graph::aug_search::exists_augmentation;
-use wmatch_graph::exact::max_weight_matching;
 use wmatch_graph::generators::{gnp, WeightModel};
 use wmatch_graph::Matching;
 
@@ -32,7 +32,7 @@ pub fn run(quick: bool) -> String {
         let mut violations = 0usize;
         for _ in 0..instances {
             let g = gnp(9, 0.4, WeightModel::Uniform { lo: 1, hi: 16 }, &mut rng);
-            let opt = max_weight_matching(&g).weight();
+            let opt = opt_weight(&g);
             if opt == 0 {
                 continue;
             }

@@ -1,21 +1,21 @@
 //! E5 (Theorem 4.1/1.2, offline): the (1−ε) machinery — ratio versus
-//! configuration, and the per-round convergence series.
+//! effort, and the per-round convergence series — driven through the
+//! unified facade.
 //!
 //! Paper claim: while `w(M) < (1−ε)·w(M*)`, one Algorithm 3 round gains
 //! `Ω_ε(w(M*))`; iterating reaches (1−ε). Shape to verify: the ratio is
-//! monotone in rounds, improves with finer granularity `q`, always clears
-//! the coarse config's design target, and the warm-started variant
-//! dominates the greedy baseline it starts from.
+//! monotone in rounds, improves with the thorough effort level (finer
+//! granularity), always clears the standard config's design target, and
+//! the warm-started variant dominates the greedy baseline it starts from.
 
-use std::time::Instant;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 use crate::families::Family;
+use crate::oracle::opt_weight;
 use crate::table::{ratio, Table};
-use wmatch_core::greedy::greedy_by_weight;
-use wmatch_core::main_alg::{
-    max_weight_matching_offline_from, max_weight_matching_offline_traced, MainAlgConfig,
-};
-use wmatch_graph::exact::max_weight_matching;
+use wmatch_api::{solve, Effort, Instance, SolveRequest};
+use wmatch_core::main_alg::{improve_matching_offline, MainAlgConfig};
 use wmatch_graph::Matching;
 
 /// Runs E5 and renders its section.
@@ -25,11 +25,11 @@ pub fn run(quick: bool) -> String {
     let mut t = Table::new(&[
         "family",
         "greedy(1/2)",
-        "cold q=8",
-        "cold q=16",
-        "greedy+aug q=32",
-        "rounds(q16)",
-        "time(q16)",
+        "cold standard",
+        "cold thorough",
+        "greedy+aug thorough",
+        "rounds(thorough)",
+        "time(thorough)",
     ]);
     for family in [
         Family::GnpUniform,
@@ -38,39 +38,56 @@ pub fn run(quick: bool) -> String {
         Family::WeightedBarrier,
     ] {
         let g = family.build(n, 9);
-        let opt = max_weight_matching(&g).weight() as f64;
+        let opt = opt_weight(&g) as f64;
         if opt == 0.0 {
             continue;
         }
-        let greedy = greedy_by_weight(&g);
-        let p8 = MainAlgConfig::practical(0.25, 5);
-        let (m8, _) = max_weight_matching_offline_traced(&g, &p8);
-        let p16 = MainAlgConfig::thorough(0.25, 5);
-        let t0 = Instant::now();
-        let (m16, trace16) = max_weight_matching_offline_traced(&g, &p16);
-        let q16_time = t0.elapsed();
-        let mut p32 = MainAlgConfig::practical(0.25, 5);
-        p32.q = 32;
-        p32.trials = 6;
-        let (warm, _) = max_weight_matching_offline_from(&g, greedy.clone(), &p32);
+        let inst = Instance::offline(g);
+        let greedy = solve("greedy", &inst, &SolveRequest::new()).expect("greedy");
+        let standard = solve("main-alg-offline", &inst, &SolveRequest::new().with_seed(5))
+            .expect("standard effort");
+        let thorough = solve(
+            "main-alg-offline",
+            &inst,
+            &SolveRequest::new()
+                .with_seed(5)
+                .with_effort(Effort::Thorough),
+        )
+        .expect("thorough effort");
+        let warm = solve(
+            "main-alg-offline",
+            &inst,
+            &SolveRequest::new()
+                .with_seed(5)
+                .with_effort(Effort::Thorough)
+                .with_warm_start(greedy.matching.clone()),
+        )
+        .expect("warm start");
         t.row(vec![
             family.name().into(),
-            ratio(greedy.weight() as f64 / opt),
-            ratio(m8.weight() as f64 / opt),
-            ratio(m16.weight() as f64 / opt),
-            ratio(warm.weight() as f64 / opt),
-            trace16.len().to_string(),
-            format!("{:.2}s", q16_time.as_secs_f64()),
+            ratio(greedy.value as f64 / opt),
+            ratio(standard.value as f64 / opt),
+            ratio(thorough.value as f64 / opt),
+            ratio(warm.value as f64 / opt),
+            thorough.telemetry.rounds.to_string(),
+            format!("{:.2}s", thorough.telemetry.wall.as_secs_f64()),
         ]);
     }
     out.push_str(&t.to_markdown());
 
     // convergence series on one instance (the paper's "repeat f(eps) times")
     let g = Family::GnpUniform.build(n, 11);
-    let opt = max_weight_matching(&g).weight() as f64;
-    let (_, trace) = max_weight_matching_offline_traced(&g, &MainAlgConfig::thorough(0.25, 2));
+    let opt = opt_weight(&g) as f64;
+    let report = solve(
+        "main-alg-offline",
+        &Instance::offline(g),
+        &SolveRequest::new()
+            .with_seed(2)
+            .with_effort(Effort::Thorough),
+    )
+    .expect("thorough effort");
     let mut t2 = Table::new(&["round", "w(M)", "w(M)/w(M*)"]);
-    for (i, w) in trace.iter().enumerate() {
+    for (i, w) in report.telemetry.trace.iter().enumerate() {
         t2.row(vec![
             (i + 1).to_string(),
             w.to_string(),
@@ -80,14 +97,19 @@ pub fn run(quick: bool) -> String {
     out.push_str("\nConvergence from the empty matching (gnp-uniform):\n\n");
     out.push_str(&t2.to_markdown());
 
-    // cycle-only instances: the blow-up machinery at work
+    // cycle-only instances: the blow-up machinery at work. This needs a
+    // layered configuration finer than the facade's effort levels, so it
+    // drives the internal round primitive directly.
     let (g, m0) = wmatch_graph::generators::four_cycle_eps(4);
-    let mut cfg = MainAlgConfig::practical(0.1, 5);
-    cfg.q = 32;
-    cfg.max_layers = 7;
-    cfg.trials = 16;
-    cfg.stall_rounds = 4;
-    let (m, _) = max_weight_matching_offline_from(&g, m0.clone(), &cfg);
+    let cfg = MainAlgConfig::practical(0.1, 5)
+        .with_q(32)
+        .with_max_layers(7)
+        .with_trials(16);
+    let mut m = m0.clone();
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..12 {
+        improve_matching_offline(&g, &mut m, &cfg, &mut rng);
+    }
     out.push_str(&format!(
         "\nAugmenting-cycle check (4-cycle weights 4,5,4,5; perfect matching start): {} -> {} (optimum 10)\n",
         m0.weight(),

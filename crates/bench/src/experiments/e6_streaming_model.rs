@@ -1,16 +1,15 @@
 //! E6 (Theorem 1.2.2): the multi-pass streaming driver — passes and memory
-//! versus instance size.
+//! versus instance size — driven through the unified facade.
 //!
 //! Paper claim: (1−ε) weighted matching in O_ε(U_S) passes and
 //! O_ε(n·polylog n) memory. Shape to verify: the model pass count is flat
 //! in n (it depends only on the ε-configuration), and peak memory grows
 //! ~linearly in n while m grows faster.
 
+use crate::oracle::opt_weight;
 use crate::table::{ratio, Table};
-use wmatch_core::main_alg::{max_weight_matching_streaming, MainAlgConfig};
-use wmatch_graph::exact::max_weight_matching;
+use wmatch_api::{solve, Instance, SolveRequest};
 use wmatch_graph::generators::{gnp, WeightModel};
-use wmatch_stream::{McmConfig, VecStream};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -32,22 +31,34 @@ pub fn run(quick: bool) -> String {
     for &n in sizes {
         let p = (10.0 / n as f64).min(0.5);
         let g = gnp(n, p, WeightModel::Uniform { lo: 1, hi: 64 }, &mut rng);
-        let opt = max_weight_matching(&g).weight() as f64;
+        let opt = opt_weight(&g) as f64;
         if opt == 0.0 {
             continue;
         }
-        let mut cfg = MainAlgConfig::practical(0.25, 3);
-        cfg.max_rounds = if quick { 6 } else { 10 };
-        let mut s = VecStream::adversarial(g.edges().to_vec()).with_vertex_count(n);
-        let res = max_weight_matching_streaming(&mut s, &cfg, &McmConfig::for_delta(0.2));
+        let req = SolveRequest::new()
+            .with_seed(3)
+            .with_round_budget(if quick { 6 } else { 10 })
+            .with_pass_budget(6);
+        let res = solve(
+            "main-alg-streaming",
+            &Instance::adversarial(g.clone()),
+            &req,
+        )
+        .expect("streaming driver");
+        let passes_sequential: usize = res
+            .telemetry
+            .extra("passes_sequential")
+            .expect("streaming telemetry")
+            .parse()
+            .expect("numeric extra");
         t.row(vec![
             n.to_string(),
             g.edge_count().to_string(),
-            ratio(res.matching.weight() as f64 / opt),
-            res.passes_model.to_string(),
-            res.passes_sequential.to_string(),
-            res.peak_memory_edges.to_string(),
-            format!("{:.2}", res.peak_memory_edges as f64 / n as f64),
+            ratio(res.value as f64 / opt),
+            res.telemetry.passes.to_string(),
+            passes_sequential.to_string(),
+            res.telemetry.peak_stored_edges.to_string(),
+            format!("{:.2}", res.telemetry.peak_stored_edges as f64 / n as f64),
         ]);
     }
     out.push_str(&t.to_markdown());

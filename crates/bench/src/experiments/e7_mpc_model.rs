@@ -1,15 +1,15 @@
-//! E7 (Theorem 1.2.1): the MPC driver — rounds and per-machine memory.
+//! E7 (Theorem 1.2.1): the MPC driver — rounds and per-machine memory —
+//! driven through the unified facade.
 //!
 //! Paper claim: (1−ε) weighted matching in O_ε(U_M) MPC rounds with
 //! O(m/n) machines of Õ(n) memory. Shape to verify: model rounds are flat
 //! in n (per-round box rounds depend on δ, not n); per-machine memory
 //! stays within the Õ(n) budget while total m grows.
 
+use crate::oracle::opt_weight;
 use crate::table::{ratio, Table};
-use wmatch_core::main_alg::{max_weight_matching_mpc, MainAlgConfig};
-use wmatch_graph::exact::max_weight_matching;
+use wmatch_api::{solve, Instance, SolveRequest};
 use wmatch_graph::generators::{gnp, WeightModel};
-use wmatch_mpc::{MpcConfig, MpcMcmConfig};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -31,23 +31,19 @@ pub fn run(quick: bool) -> String {
     for &n in sizes {
         let p = (10.0 / n as f64).min(0.5);
         let g = gnp(n, p, WeightModel::Uniform { lo: 1, hi: 64 }, &mut rng);
-        let opt = max_weight_matching(&g).weight() as f64;
+        let opt = opt_weight(&g) as f64;
         if opt == 0.0 {
             continue;
         }
         let machines = (g.edge_count() / n).clamp(2, 8);
         let s_words = 40 * n;
-        let mut cfg = MainAlgConfig::practical(0.25, 3);
-        cfg.max_rounds = if quick { 4 } else { 8 };
-        cfg.trials = 1;
-        let res = max_weight_matching_mpc(
-            &g,
-            &cfg,
-            MpcConfig {
-                machines,
-                memory_words: s_words,
-            },
-            &MpcMcmConfig::for_delta(0.25, 11),
+        let req = SolveRequest::new()
+            .with_seed(11)
+            .with_round_budget(if quick { 4 } else { 8 });
+        let res = solve(
+            "main-alg-mpc",
+            &Instance::mpc(g.clone(), machines, s_words),
+            &req,
         )
         .expect("instance fits the budgets");
         t.row(vec![
@@ -55,9 +51,9 @@ pub fn run(quick: bool) -> String {
             g.edge_count().to_string(),
             machines.to_string(),
             s_words.to_string(),
-            ratio(res.matching.weight() as f64 / opt),
-            res.rounds_model.to_string(),
-            res.peak_machine_words.to_string(),
+            ratio(res.value as f64 / opt),
+            res.telemetry.rounds.to_string(),
+            res.telemetry.peak_stored_edges.to_string(),
         ]);
     }
     out.push_str(&t.to_markdown());

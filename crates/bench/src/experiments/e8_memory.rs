@@ -1,14 +1,33 @@
 //! E8 (Lemmas 3.3/3.15): random arrival keeps the local-ratio stack `S`
 //! and the above-potential set `T` near-linear, while adversarial
-//! (ascending-weight) orders blow them up.
+//! (ascending-weight) orders blow them up. Driven through the unified
+//! facade; the sizes come from the report's telemetry extras.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::table::Table;
-use wmatch_core::rand_arr_matching::{rand_arr_matching, RandArrConfig};
+use wmatch_api::{solve, Instance, SolveRequest};
 use wmatch_graph::generators::{complete, WeightModel};
-use wmatch_stream::VecStream;
+use wmatch_graph::Graph;
+
+/// `Rand-Arr-Matching`'s (|S|, |T|) memory footprint on an instance.
+fn memory_of(inst: &Instance) -> (usize, usize) {
+    let res = solve("rand-arr-matching", inst, &SolveRequest::new()).expect("Algorithm 2");
+    let stack: usize = res
+        .telemetry
+        .extra("stack_size")
+        .expect("telemetry")
+        .parse()
+        .expect("numeric extra");
+    let t: usize = res
+        .telemetry
+        .extra("t_size")
+        .expect("telemetry")
+        .parse()
+        .expect("numeric extra");
+    (stack, t)
+}
 
 /// Runs E8 and renders its section.
 pub fn run(quick: bool) -> String {
@@ -42,40 +61,27 @@ pub fn run(quick: bool) -> String {
         // potentials learned from lighter ones far more often
         let mut asc = g.edges().to_vec();
         asc.sort_by_key(|e| e.weight);
-        let mut s = VecStream::adversarial(asc).with_vertex_count(n);
-        let res = rand_arr_matching(
-            &mut s,
-            &RandArrConfig {
-                p: 0.1,
-                ..Default::default()
-            },
-        );
+        let ascending = Graph::from_edges(n, asc);
+        let (stack, t_size) = memory_of(&Instance::adversarial(ascending));
         t.row(vec![
             n.to_string(),
             (m_edges as usize).to_string(),
             "ascending".into(),
-            res.stack_size.to_string(),
-            res.t_size.to_string(),
-            format!("{:.3}", (res.stack_size + res.t_size) as f64 / m_edges),
-            format!("{:.3}", (res.stack_size + res.t_size) as f64 / nlogn),
+            stack.to_string(),
+            t_size.to_string(),
+            format!("{:.3}", (stack + t_size) as f64 / m_edges),
+            format!("{:.3}", (stack + t_size) as f64 / nlogn),
         ]);
 
-        let mut s = VecStream::random_order(g.edges().to_vec(), 42).with_vertex_count(n);
-        let res = rand_arr_matching(
-            &mut s,
-            &RandArrConfig {
-                p: 0.1,
-                ..Default::default()
-            },
-        );
+        let (stack, t_size) = memory_of(&Instance::random_order(g, 42));
         t.row(vec![
             n.to_string(),
             (m_edges as usize).to_string(),
             "random".into(),
-            res.stack_size.to_string(),
-            res.t_size.to_string(),
-            format!("{:.3}", (res.stack_size + res.t_size) as f64 / m_edges),
-            format!("{:.3}", (res.stack_size + res.t_size) as f64 / nlogn),
+            stack.to_string(),
+            t_size.to_string(),
+            format!("{:.3}", (stack + t_size) as f64 / m_edges),
+            format!("{:.3}", (stack + t_size) as f64 / nlogn),
         ]);
     }
     out.push_str(&t.to_markdown());

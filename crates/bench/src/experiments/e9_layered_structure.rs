@@ -34,13 +34,7 @@ pub fn run(quick: bool) -> String {
     {
         let g = generators::path_graph(&[9, 10, 9]);
         let m = Matching::from_edges(4, [g.edge(1)]).unwrap();
-        let cfg = TauConfig {
-            q: 8,
-            max_layers: 3,
-            min_entry: 1,
-            sum_b_cap: 9,
-            max_pairs: 10_000,
-        };
+        let cfg = TauConfig::practical(8, 3).with_max_pairs(10_000);
         let (rate, gain) = survival(&g, &m, 16, &cfg, trials, 21);
         t.row(vec![
             "3-aug path (9,10,9)".into(),
@@ -56,13 +50,7 @@ pub fn run(quick: bool) -> String {
         let mut g = Graph::new(2);
         g.add_edge(0, 1, 12);
         let m = Matching::new(2);
-        let cfg = TauConfig {
-            q: 8,
-            max_layers: 2,
-            min_entry: 1,
-            sum_b_cap: 9,
-            max_pairs: 1000,
-        };
+        let cfg = TauConfig::practical(8, 2).with_max_pairs(1000);
         let (rate, gain) = survival(&g, &m, 16, &cfg, trials, 22);
         t.row(vec![
             "single edge".into(),
@@ -76,13 +64,7 @@ pub fn run(quick: bool) -> String {
     // augmenting cycle via blow-up: 4-cycle (4,5,4,5)
     {
         let (g, m) = generators::four_cycle_eps(4);
-        let cfg = TauConfig {
-            q: 32,
-            max_layers: 7,
-            min_entry: 1,
-            sum_b_cap: 33,
-            max_pairs: 100_000,
-        };
+        let cfg = TauConfig::practical(32, 7).with_max_pairs(100_000);
         let (rate, gain) = survival(&g, &m, 32, &cfg, trials, 23);
         t.row(vec![
             "4-cycle blow-up (4,5,4,5)".into(),

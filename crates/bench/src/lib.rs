@@ -7,6 +7,7 @@
 //! measure the throughput of the same code paths.
 
 pub mod families;
+pub mod oracle;
 pub mod table;
 
 pub mod experiments {

@@ -1,0 +1,17 @@
+//! Ground-truth access for the experiments, routed through the facade's
+//! registry like every other solve.
+
+use wmatch_api::{solve, Instance, SolveRequest};
+use wmatch_graph::Graph;
+
+/// Exact maximum matching weight of `g`, via the registry's `blossom`
+/// oracle. On unit-weight graphs this equals the maximum cardinality.
+pub fn opt_weight(g: &Graph) -> i128 {
+    solve(
+        "blossom",
+        &Instance::offline(g.clone()),
+        &SolveRequest::new(),
+    )
+    .expect("the blossom oracle accepts every offline instance")
+    .value
+}

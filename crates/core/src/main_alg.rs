@@ -36,6 +36,7 @@ use crate::weight_classes::weight_grid;
 /// tractable values (DESIGN.md §3, substitution 1) whose effect experiment
 /// E5 sweeps.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct MainAlgConfig {
     /// Target slack ε (for reporting and default derivation).
     pub eps: f64,
@@ -62,6 +63,13 @@ pub struct MainAlgConfig {
     /// The result is identical either way (classes are independent and the
     /// cross-class sweep is ordered).
     pub threads: usize,
+}
+
+impl Default for MainAlgConfig {
+    /// [`MainAlgConfig::practical`] at ε = 0.25 with seed 0.
+    fn default() -> Self {
+        MainAlgConfig::practical(0.25, 0)
+    }
 }
 
 impl MainAlgConfig {
@@ -94,6 +102,73 @@ impl MainAlgConfig {
             stall_rounds: 4,
             ..Self::practical(eps, seed)
         }
+    }
+
+    /// Sets the target slack ε.
+    pub fn with_eps(mut self, eps: f64) -> Self {
+        self.eps = eps;
+        self
+    }
+
+    /// Sets the granularity denominator `q`.
+    pub fn with_q(mut self, q: u32) -> Self {
+        self.q = q;
+        self
+    }
+
+    /// Sets the maximum number of layers |τᴬ|.
+    pub fn with_max_layers(mut self, max_layers: usize) -> Self {
+        self.max_layers = max_layers;
+        self
+    }
+
+    /// Sets the minimum τ entry in units.
+    pub fn with_min_entry(mut self, min_entry: u32) -> Self {
+        self.min_entry = min_entry;
+        self
+    }
+
+    /// Sets the weight-grid ratio.
+    pub fn with_grid_ratio(mut self, grid_ratio: f64) -> Self {
+        self.grid_ratio = grid_ratio;
+        self
+    }
+
+    /// Sets the enumeration cap on (τᴬ, τᴮ) pairs per class.
+    pub fn with_max_pairs(mut self, max_pairs: usize) -> Self {
+        self.max_pairs = max_pairs;
+        self
+    }
+
+    /// Sets the number of random bipartitions per round.
+    pub fn with_trials(mut self, trials: usize) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Sets the maximum number of Algorithm 3 rounds.
+    pub fn with_max_rounds(mut self, max_rounds: usize) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Sets the stall threshold (consecutive gainless rounds before stop).
+    pub fn with_stall_rounds(mut self, stall_rounds: usize) -> Self {
+        self.stall_rounds = stall_rounds;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread count for the per-class sweep (0 = one per
+    /// available core).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// The τ-space configuration induced by these parameters.
@@ -241,6 +316,11 @@ fn apply_cross_class(
 /// Computes a (1−ε)-style approximate maximum weight matching offline by
 /// iterating Algorithm 3 from the empty matching (Theorem 1.2's loop).
 ///
+/// Most callers should drive this through the `wmatch-api` facade (the
+/// `main-alg-offline` registry solver), which validates configuration and
+/// reports uniform telemetry; this free function remains the low-level
+/// entry point the facade delegates to.
+///
 /// # Example
 ///
 /// ```
@@ -316,7 +396,8 @@ pub struct StreamingResult {
     pub peak_memory_edges: usize,
 }
 
-/// The multi-pass streaming driver of Theorem 1.2.2.
+/// The multi-pass streaming driver of Theorem 1.2.2 (the `wmatch-api`
+/// facade exposes it as the `main-alg-streaming` registry solver).
 ///
 /// Each round draws a bipartition, spends one pass computing the
 /// achievable τ-buckets for every class, and then runs the streaming
@@ -439,7 +520,8 @@ pub struct MpcResult {
     pub peak_machine_words: usize,
 }
 
-/// The MPC driver of Theorem 1.2.1.
+/// The MPC driver of Theorem 1.2.1 (the `wmatch-api` facade exposes it as
+/// the `main-alg-mpc` registry solver).
 ///
 /// The layered-graph mapping is edge-local, so machines derive their part
 /// of each layered graph without communication; each (W, τ) box then runs
@@ -486,10 +568,7 @@ pub fn max_weight_matching_mpc(
                     &mut sim,
                     lg.graph.edges().to_vec(),
                     &lg.side,
-                    &MpcMcmConfig {
-                        seed: rng.gen(),
-                        ..*mcm
-                    },
+                    &mcm.with_seed(rng.gen()),
                 )?;
                 rounds_sequential += res.rounds;
                 max_box_rounds = max_box_rounds.max(res.rounds);
@@ -613,10 +692,7 @@ mod tests {
         let res = max_weight_matching_mpc(
             &g,
             &cfg,
-            MpcConfig {
-                machines: 3,
-                memory_words: 5000,
-            },
+            MpcConfig::new(3, 5000),
             &MpcMcmConfig::for_delta(0.25, 9),
         )
         .unwrap();

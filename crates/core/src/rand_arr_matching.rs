@@ -72,7 +72,8 @@ pub struct RandArrResult {
     pub m0_weight: i128,
 }
 
-/// Runs Algorithm 2 over a single pass of `stream`.
+/// Runs Algorithm 2 over a single pass of `stream` (the `wmatch-api`
+/// facade exposes it as the `rand-arr-matching` registry solver).
 ///
 /// # Example
 ///

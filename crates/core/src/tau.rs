@@ -77,6 +77,7 @@ impl TauPair {
 
 /// Configuration of the τ-pair space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct TauConfig {
     /// Granularity denominator `q` (the paper's `1/ε¹²`).
     pub q: u32,
@@ -102,6 +103,43 @@ impl TauConfig {
             sum_b_cap: q + 1,
             max_pairs: 200_000,
         }
+    }
+
+    /// Sets the granularity denominator `q`.
+    pub fn with_q(mut self, q: u32) -> Self {
+        self.q = q;
+        self
+    }
+
+    /// Sets the maximum number of layers |τᴬ|.
+    pub fn with_max_layers(mut self, max_layers: usize) -> Self {
+        self.max_layers = max_layers;
+        self
+    }
+
+    /// Sets the minimum unit value for τᴮ and interior τᴬ entries.
+    pub fn with_min_entry(mut self, min_entry: u32) -> Self {
+        self.min_entry = min_entry;
+        self
+    }
+
+    /// Sets the cap on Σ τᴮ in units.
+    pub fn with_sum_b_cap(mut self, sum_b_cap: u32) -> Self {
+        self.sum_b_cap = sum_b_cap;
+        self
+    }
+
+    /// Sets the hard cap on the number of enumerated pairs.
+    pub fn with_max_pairs(mut self, max_pairs: usize) -> Self {
+        self.max_pairs = max_pairs;
+        self
+    }
+}
+
+impl Default for TauConfig {
+    /// [`TauConfig::practical`] with granularity 1/8 and three layers.
+    fn default() -> Self {
+        TauConfig::practical(8, 3)
     }
 }
 

@@ -196,10 +196,18 @@ impl WgtAugPaths {
             // reconstruct the original weight: w = w' + w(M0(u)) + w(M0(v))
             let orig = re.weight + self.m0.incident_weight(re.u) + self.m0.incident_weight(re.v);
             let add = Edge::new(re.u, re.v, orig);
-            let removed: Vec<Edge> = [re.u, re.v]
-                .iter()
-                .filter_map(|&x| m1.matched_edge(x))
-                .collect();
+            // collect each blocking M0 edge once: when u and v are mates
+            // (e.g. the lighter twin of a parallel edge pair is in M0),
+            // both endpoints report the same matched edge
+            let mut removed: Vec<Edge> = Vec::new();
+            if let Some(eu) = m1.matched_edge(re.u) {
+                removed.push(eu);
+            }
+            if m1.mate(re.u) != Some(re.v) {
+                if let Some(ev) = m1.matched_edge(re.v) {
+                    removed.push(ev);
+                }
+            }
             let aug = Augmentation::from_parts(vec![add], removed).expect("single edge");
             aug.apply(&mut m1)
                 .expect("conflicting M0 edges are scheduled for removal");
@@ -266,6 +274,24 @@ mod tests {
         assert_eq!(weight_class(4), 3);
         assert_eq!(weight_class((1 << 40) - 1), 40);
         assert_eq!(weight_class(1 << 40), 41);
+    }
+
+    #[test]
+    fn excess_branch_handles_parallel_twin_of_matched_edge() {
+        // M0 holds the light copy of a parallel edge pair; the heavy copy
+        // has positive excess over both (identical) incident M0 edges.
+        // Regression: the blocking edge used to be scheduled for removal
+        // twice, panicking in finalize.
+        let m0 = Matching::from_edges(2, [Edge::new(0, 1, 1)]).unwrap();
+        let mut wap = WgtAugPaths::new(m0, &WapConfig::default());
+        wap.feed(Edge::new(0, 1, 4));
+        let out = wap.finalize();
+        assert_eq!(
+            out.m1.weight(),
+            4,
+            "the heavy twin must displace the light one"
+        );
+        out.matching.validate(None).unwrap();
     }
 
     #[test]

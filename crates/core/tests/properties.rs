@@ -118,7 +118,7 @@ proptest! {
             let _ = m.insert(*e);
         }
         let param = Parametrization::random(g.vertex_count(), &mut rng);
-        let cfg = TauConfig { q: 4, max_layers: 3, min_entry: 1, sum_b_cap: 5, max_pairs: 200 };
+        let cfg = TauConfig::practical(4, 3).with_max_pairs(200);
         for w_class in weight_grid(g.max_weight(), 2.0) {
             let (ba, bb) = wmatch_core::single_class::achievable_buckets(
                 g.edges(), &m, &param, w_class, &cfg,
@@ -145,7 +145,7 @@ proptest! {
     /// weighted-greedy 1/2 baseline.
     #[test]
     fn main_alg_beats_greedy(g in arb_weighted_graph(12, 24), seed in 0u64..50) {
-        let cfg = MainAlgConfig { max_rounds: 14, trials: 6, stall_rounds: 4, ..MainAlgConfig::practical(0.25, seed) };
+        let cfg = MainAlgConfig::practical(0.25, seed).with_max_rounds(14).with_trials(6).with_stall_rounds(4);
         let m = max_weight_matching_offline(&g, &cfg);
         m.validate(Some(&g)).unwrap();
         let greedy = greedy_by_weight(&g);
@@ -215,12 +215,10 @@ fn streaming_driver_beats_local_ratio_statistically() {
             wmatch_graph::generators::WeightModel::Uniform { lo: 1, hi: 40 },
             &mut rng,
         );
-        let cfg = MainAlgConfig {
-            max_rounds: 12,
-            trials: 6,
-            stall_rounds: 4,
-            ..MainAlgConfig::practical(0.25, t)
-        };
+        let cfg = MainAlgConfig::practical(0.25, t)
+            .with_max_rounds(12)
+            .with_trials(6)
+            .with_stall_rounds(4);
         let main = max_weight_matching_offline(&g, &cfg);
         let mut lr = LocalRatio::new(g.vertex_count());
         for e in g.edges() {

@@ -31,6 +31,7 @@ use crate::simulator::{MpcError, MpcSimulator};
 
 /// Configuration for [`mpc_bipartite_mcm`].
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct MpcMcmConfig {
     /// Target slack δ (drives the default iteration budget).
     pub delta: f64,
@@ -56,6 +57,43 @@ impl MpcMcmConfig {
             degree_cap: (2.0 / d).ceil() as usize,
             seed,
         }
+    }
+
+    /// Sets the target slack δ.
+    pub fn with_delta(mut self, delta: f64) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    /// Sets the maximum number of coreset iterations.
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Sets the patience (consecutive fruitless iterations before stop).
+    pub fn with_patience(mut self, patience: usize) -> Self {
+        self.patience = patience;
+        self
+    }
+
+    /// Sets the per-vertex cap on coreset edges contributed by one machine.
+    pub fn with_degree_cap(mut self, degree_cap: usize) -> Self {
+        self.degree_cap = degree_cap;
+        self
+    }
+
+    /// Sets the RNG seed for the re-scatter randomness.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for MpcMcmConfig {
+    /// [`MpcMcmConfig::for_delta`] at δ = 0.1 with seed 0.
+    fn default() -> Self {
+        MpcMcmConfig::for_delta(0.1, 0)
     }
 }
 
@@ -89,7 +127,7 @@ pub struct MpcMcmResult {
 ///
 /// let edges = vec![Edge::new(1, 2, 1), Edge::new(0, 2, 1), Edge::new(1, 3, 1)];
 /// let side = vec![false, false, true, true];
-/// let mut sim = MpcSimulator::new(MpcConfig { machines: 2, memory_words: 64 });
+/// let mut sim = MpcSimulator::new(MpcConfig::new(2, 64));
 /// let res = mpc_bipartite_mcm(&mut sim, edges, &side, &MpcMcmConfig::for_delta(0.2, 7)).unwrap();
 /// assert_eq!(res.matching.len(), 2);
 /// ```

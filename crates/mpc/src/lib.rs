@@ -17,7 +17,7 @@
 //! use wmatch_graph::Edge;
 //! use wmatch_mpc::{MpcConfig, MpcSimulator};
 //!
-//! let cfg = MpcConfig { machines: 4, memory_words: 100 };
+//! let cfg = MpcConfig::new(4, 100);
 //! let mut sim = MpcSimulator::new(cfg);
 //! sim.scatter_edges(vec![Edge::new(0, 1, 1), Edge::new(2, 3, 1)], 7).unwrap();
 //! assert_eq!(sim.rounds(), 1); // the initial distribution round

@@ -15,6 +15,7 @@ use wmatch_graph::Edge;
 
 /// Static parameters of the MPC deployment: Γ machines × S words.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct MpcConfig {
     /// Number of machines Γ.
     pub machines: usize,
@@ -23,6 +24,14 @@ pub struct MpcConfig {
 }
 
 impl MpcConfig {
+    /// A deployment of `machines` machines with `memory_words` words each.
+    pub fn new(machines: usize, memory_words: usize) -> Self {
+        MpcConfig {
+            machines,
+            memory_words,
+        }
+    }
+
     /// The paper's regime: `S = Θ̃(n)` memory per machine and `Γ = O(m/n)`
     /// machines, with a `slack` multiplier on S for polylog factors.
     pub fn near_linear(n: usize, m: usize, slack: usize) -> Self {
@@ -31,6 +40,26 @@ impl MpcConfig {
             machines,
             memory_words: slack.max(1) * n.max(1),
         }
+    }
+
+    /// Sets the number of machines Γ.
+    pub fn with_machines(mut self, machines: usize) -> Self {
+        self.machines = machines;
+        self
+    }
+
+    /// Sets the per-machine memory/communication budget S in words.
+    pub fn with_memory_words(mut self, memory_words: usize) -> Self {
+        self.memory_words = memory_words;
+        self
+    }
+}
+
+impl Default for MpcConfig {
+    /// Four machines of 4096 words each — a small but workable deployment
+    /// for tests and examples.
+    fn default() -> Self {
+        MpcConfig::new(4, 4096)
     }
 }
 

@@ -27,6 +27,7 @@ use crate::stream::EdgeStream;
 
 /// Configuration for [`multipass_bipartite_mcm`].
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct McmConfig {
     /// Target approximation slack δ (controls default passes and caps).
     pub delta: f64,
@@ -46,6 +47,24 @@ impl McmConfig {
             max_passes: (1.0 / d).ceil() as usize + 1,
             degree_cap: (2.0 / d).ceil() as usize,
         }
+    }
+
+    /// Sets the target approximation slack δ.
+    pub fn with_delta(mut self, delta: f64) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    /// Sets the hard pass budget.
+    pub fn with_max_passes(mut self, max_passes: usize) -> Self {
+        self.max_passes = max_passes;
+        self
+    }
+
+    /// Sets the per-vertex cap on stored support edges per pass.
+    pub fn with_degree_cap(mut self, degree_cap: usize) -> Self {
+        self.degree_cap = degree_cap;
+        self
     }
 }
 

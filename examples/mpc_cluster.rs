@@ -36,10 +36,7 @@ fn main() {
     let res = max_weight_matching_mpc(
         &g,
         &cfg,
-        MpcConfig {
-            machines,
-            memory_words,
-        },
+        MpcConfig::new(machines, memory_words),
         &MpcMcmConfig::for_delta(0.2, 3),
     )
     .expect("instance fits the cluster budgets");

@@ -1,19 +1,16 @@
-//! Quickstart: build a weighted graph, run the paper's (1−ε) machinery
-//! offline, and compare against the exact optimum and the ½-approximation
-//! baselines.
+//! Quickstart: drive every matching algorithm in the workspace through
+//! the unified `wmatch-api` facade — one instance, one request, one
+//! registry walk — and compare each solver against the exact oracle.
 //!
 //! ```text
-//! cargo run -p wmatch-examples --bin quickstart
+//! cargo run --release -p wmatch-examples --example quickstart
 //! ```
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use wmatch_core::greedy::greedy_by_weight;
-use wmatch_core::local_ratio::LocalRatio;
-use wmatch_core::main_alg::{max_weight_matching_offline_traced, MainAlgConfig};
-use wmatch_examples::{pct, print_matching};
-use wmatch_graph::exact::max_weight_matching;
+use wmatch_api::{registry_for, solve, Effort, Instance, SolveRequest};
+use wmatch_examples::pct;
 use wmatch_graph::generators::{gnp, WeightModel};
 
 fn main() {
@@ -26,59 +23,98 @@ fn main() {
         g.total_weight()
     );
 
-    // ground truth: Galil's exact maximum weight matching
-    let opt = max_weight_matching(&g);
-    print_matching("exact optimum", &opt);
-    let opt_w = opt.weight() as f64;
+    // one request drives every solver; certification compares each result
+    // against the exact oracle for the solver's objective
+    let req = SolveRequest::new().with_seed(7).with_certify(true);
 
-    // 1/2-approximation baselines
-    let greedy = greedy_by_weight(&g);
-    println!(
-        "greedy (heaviest first):      w = {:>8}   ratio {}",
-        greedy.weight(),
-        pct(greedy.weight() as f64 / opt_w)
-    );
-    let mut lr = LocalRatio::new(g.vertex_count());
-    for e in g.edges() {
-        lr.on_edge(*e);
+    // ---- registry walk: everything that can solve an offline instance
+    let offline = Instance::offline(g.clone());
+    println!("\noffline solvers ({}):", registry_for(&offline).len());
+    for s in registry_for(&offline) {
+        let r = s.solve(&offline, &req).expect("offline solve");
+        r.matching.validate(Some(&g)).expect("valid matching");
+        let cert = r.certificate.as_ref().expect("certified run");
+        println!(
+            "  {:<22} {:>9} = {:>8}   ratio {}   [{}]",
+            r.solver,
+            cert.objective.to_string(),
+            r.value,
+            pct(cert.ratio),
+            s.capabilities().theorem
+        );
     }
-    let lr_m = lr.unwind();
+
+    // ---- the same graph as a single-pass random-order stream
+    let stream = Instance::random_order(g.clone(), 42);
+    println!("\nsingle-pass random-order solvers:");
+    for name in ["greedy", "local-ratio", "rand-arr-matching"] {
+        let r = solve(name, &stream, &req).expect("stream solve");
+        let cert = r.certificate.as_ref().expect("certified run");
+        println!(
+            "  {:<22} w = {:>8}   ratio {}   ({} pass, {} stored edges)",
+            r.solver,
+            r.value,
+            pct(cert.ratio),
+            r.telemetry.passes,
+            r.telemetry.peak_stored_edges
+        );
+    }
+
+    // ---- a multi-pass adversarial stream and an MPC deployment
+    let multi = solve(
+        "main-alg-streaming",
+        &Instance::adversarial(g.clone()),
+        &req,
+    )
+    .expect("streaming solve");
     println!(
-        "local-ratio [PS17]:           w = {:>8}   ratio {}",
-        lr_m.weight(),
-        pct(lr_m.weight() as f64 / opt_w)
+        "\nmain-alg-streaming (adversarial): w = {} ratio {} — {} rounds, {} model passes, {} peak edges",
+        multi.value,
+        pct(multi.certificate.as_ref().unwrap().ratio),
+        multi.telemetry.rounds,
+        multi.telemetry.passes,
+        multi.telemetry.peak_stored_edges
+    );
+    let mpc =
+        solve("main-alg-mpc", &Instance::mpc(g.clone(), 4, 40 * 60), &req).expect("MPC solve");
+    println!(
+        "main-alg-mpc (4 machines):        w = {} ratio {} — {} model rounds, {} peak machine words",
+        mpc.value,
+        pct(mpc.certificate.as_ref().unwrap().ratio),
+        mpc.telemetry.rounds,
+        mpc.telemetry.peak_stored_edges
     );
 
-    // the paper's machinery: layered-graph reduction, iterated from empty
-    let cfg = MainAlgConfig::practical(0.25, 7);
-    let (m, trace) = max_weight_matching_offline_traced(&g, &cfg);
-    println!(
-        "weighted-via-unweighted:      w = {:>8}   ratio {}",
-        m.weight(),
-        pct(m.weight() as f64 / opt_w)
-    );
-    println!("convergence by round:");
-    for (round, w) in trace.iter().enumerate() {
+    // ---- convergence: the (1-eps) machinery reports its per-round trace
+    let thorough = solve(
+        "main-alg-offline",
+        &offline,
+        &req.clone().with_effort(Effort::Thorough),
+    )
+    .expect("thorough solve");
+    let opt = thorough.certificate.as_ref().unwrap().optimum as f64;
+    println!("\nmain-alg-offline (thorough) convergence by round:");
+    for (round, w) in thorough.telemetry.trace.iter().enumerate() {
         println!(
             "  round {:>2}: w = {:>8}  ({})",
             round + 1,
             w,
-            pct(*w as f64 / opt_w)
+            pct(*w as f64 / opt)
         );
     }
-    m.validate(Some(&g))
-        .expect("result is a valid matching of g");
 
-    // warm-started at finer granularity: polish the greedy baseline with
-    // the paper's augmentations (Theorem 4.1 improves any matching)
-    let mut fine = MainAlgConfig::practical(0.25, 7);
-    fine.q = 32;
-    fine.trials = 6;
-    let (polished, _) =
-        wmatch_core::main_alg::max_weight_matching_offline_from(&g, greedy.clone(), &fine);
+    // ---- warm start: Theorem 4.1 improves any matching, so polish greedy
+    let greedy = solve("greedy", &offline, &SolveRequest::new()).expect("greedy");
+    let polished = solve(
+        "main-alg-offline",
+        &offline,
+        &req.with_effort(Effort::Thorough)
+            .with_warm_start(greedy.matching),
+    )
+    .expect("warm-started solve");
     println!(
-        "greedy + augmentations (q=32): w = {:>7}   ratio {}",
-        polished.weight(),
-        pct(polished.weight() as f64 / opt_w)
+        "\ngreedy + augmentations: w = {}   ratio {}",
+        polished.value,
+        pct(polished.certificate.as_ref().unwrap().ratio)
     );
 }

@@ -1,12 +1,8 @@
-//! End-to-end integration: the offline (1−ε) machinery against the exact
-//! solvers, across instance families, all crates involved.
+//! End-to-end integration through the unified facade: the offline (1−ε)
+//! machinery against the exact solvers, across instance families, all
+//! crates involved.
 
-use wmatch_core::greedy::greedy_by_weight;
-use wmatch_core::main_alg::{
-    max_weight_matching_offline, max_weight_matching_offline_from,
-    max_weight_matching_offline_traced, MainAlgConfig,
-};
-use wmatch_graph::exact::max_weight_matching;
+use wmatch_api::{registry_for, solve, Effort, Instance, SolveRequest};
 use wmatch_graph::generators;
 use wmatch_tests::{ratio_to_opt, test_graph};
 
@@ -16,9 +12,15 @@ fn offline_driver_hits_design_target_on_random_graphs() {
     let mut worst: f64 = 1.0;
     for seed in 0..6 {
         let g = test_graph(30, 5.0, 100, seed);
-        let m = max_weight_matching_offline(&g, &MainAlgConfig::practical(0.25, seed));
-        m.validate(Some(&g)).unwrap();
-        worst = worst.min(ratio_to_opt(&g, m.weight()));
+        let inst = Instance::offline(g.clone());
+        let r = solve(
+            "main-alg-offline",
+            &inst,
+            &SolveRequest::new().with_seed(seed).with_certify(true),
+        )
+        .unwrap();
+        r.matching.validate(Some(&g)).unwrap();
+        worst = worst.min(r.certificate.unwrap().ratio);
     }
     assert!(
         worst >= 0.75,
@@ -30,44 +32,66 @@ fn offline_driver_hits_design_target_on_random_graphs() {
 fn warm_start_dominates_greedy_everywhere() {
     for seed in 0..5 {
         let g = test_graph(36, 5.0, 500, seed + 50);
-        let greedy = greedy_by_weight(&g);
-        let mut cfg = MainAlgConfig::practical(0.25, seed);
-        cfg.q = 16;
-        let (m, _) = max_weight_matching_offline_from(&g, greedy.clone(), &cfg);
+        let inst = Instance::offline(g.clone());
+        let greedy = solve("greedy", &inst, &SolveRequest::new()).unwrap();
+        let r = solve(
+            "main-alg-offline",
+            &inst,
+            &SolveRequest::new()
+                .with_seed(seed)
+                .with_effort(Effort::Thorough)
+                .with_warm_start(greedy.matching.clone()),
+        )
+        .unwrap();
         assert!(
-            m.weight() >= greedy.weight(),
+            r.value >= greedy.value,
             "seed {seed}: warm start lost weight: {} < {}",
-            m.weight(),
-            greedy.weight()
+            r.value,
+            greedy.value
         );
-        m.validate(Some(&g)).unwrap();
+        r.matching.validate(Some(&g)).unwrap();
     }
 }
 
 #[test]
 fn convergence_trace_is_monotone_and_capped_by_opt() {
     let g = test_graph(28, 4.0, 64, 7);
-    let opt = max_weight_matching(&g).weight();
-    let (m, trace) = max_weight_matching_offline_traced(&g, &MainAlgConfig::thorough(0.25, 1));
+    let inst = Instance::offline(g.clone());
+    let r = solve(
+        "main-alg-offline",
+        &inst,
+        &SolveRequest::new()
+            .with_seed(1)
+            .with_effort(Effort::Thorough)
+            .with_certify(true),
+    )
+    .unwrap();
+    let trace = &r.telemetry.trace;
     assert!(!trace.is_empty());
     for w in trace.windows(2) {
         assert!(w[1] >= w[0], "trace not monotone: {trace:?}");
     }
-    assert_eq!(*trace.last().unwrap(), m.weight());
-    assert!(m.weight() <= opt);
+    assert_eq!(*trace.last().unwrap(), r.matching.weight());
+    assert!(r.value <= r.certificate.unwrap().optimum);
 }
 
 #[test]
 fn perfect_matching_improved_only_by_cycles() {
     // alternating cycles: the matching is perfect, no augmenting paths
-    // exist; only the cycle blow-up machinery can improve it
+    // exist; only the cycle blow-up machinery can improve it. This needs a
+    // layered configuration finer than the facade's effort levels, so it
+    // deliberately exercises the low-level config surface the facade maps
+    // onto.
+    use wmatch_core::main_alg::{max_weight_matching_offline_from, MainAlgConfig};
+    use wmatch_graph::exact::max_weight_matching;
+
     let (g, m0) = generators::alternating_cycles(3, 2, 4, 5);
     assert_eq!(m0.free_vertices().count(), 0);
-    let mut cfg = MainAlgConfig::practical(0.1, 3);
-    cfg.q = 32;
-    cfg.max_layers = 7;
-    cfg.trials = 16;
-    cfg.stall_rounds = 4;
+    let cfg = MainAlgConfig::practical(0.1, 3)
+        .with_q(32)
+        .with_max_layers(7)
+        .with_trials(16)
+        .with_stall_rounds(4);
     let (m, _) = max_weight_matching_offline_from(&g, m0.clone(), &cfg);
     let opt = max_weight_matching(&g).weight();
     assert_eq!(opt, 3 * 2 * 5);
@@ -86,9 +110,18 @@ fn heavier_weight_classes_win_conflicts() {
     g.add_edge(0, 1, 1000); // heavy single-edge augmentation
     g.add_edge(1, 2, 8); // light competing edge sharing vertex 1
     g.add_edge(2, 3, 6);
-    let m = max_weight_matching_offline(&g, &MainAlgConfig::practical(0.25, 2));
-    assert!(m.contains_pair(0, 1), "heavy edge must be matched: {m}");
-    assert_eq!(m.weight(), 1006);
+    let r = solve(
+        "main-alg-offline",
+        &Instance::offline(g),
+        &SolveRequest::new().with_seed(2),
+    )
+    .unwrap();
+    assert!(
+        r.matching.contains_pair(0, 1),
+        "heavy edge must be matched: {}",
+        r.matching
+    );
+    assert_eq!(r.value, 1006);
 }
 
 #[test]
@@ -98,9 +131,36 @@ fn all_families_valid_and_better_than_half() {
         ("barrier", generators::weighted_barrier_paths(15, 100)),
         ("cycles", generators::alternating_cycles(5, 3, 3, 4).0),
     ] {
-        let m = max_weight_matching_offline(&g, &MainAlgConfig::practical(0.25, 11));
-        m.validate(Some(&g)).unwrap();
-        let r = ratio_to_opt(&g, m.weight());
-        assert!(r >= 0.75, "{name}: ratio {r}");
+        let r = solve(
+            "main-alg-offline",
+            &Instance::offline(g.clone()),
+            &SolveRequest::new().with_seed(11),
+        )
+        .unwrap();
+        r.matching.validate(Some(&g)).unwrap();
+        let ratio = ratio_to_opt(&g, r.value);
+        assert!(ratio >= 0.75, "{name}: ratio {ratio}");
+    }
+}
+
+#[test]
+fn registry_walk_is_consistent_end_to_end() {
+    // every solver the registry offers for an offline instance returns a
+    // valid matching within the optimum
+    let g = test_graph(24, 4.0, 64, 3);
+    let inst = Instance::offline(g.clone());
+    let req = SolveRequest::new().with_certify(true);
+    let solvers = registry_for(&inst);
+    assert!(solvers.len() >= 4, "offline registry too small");
+    for s in solvers {
+        let r = s.solve(&inst, &req).unwrap();
+        r.matching.validate(Some(&g)).unwrap();
+        let cert = r.certificate.unwrap();
+        assert!(cert.ratio <= 1.0 + 1e-9, "{}: above optimum", s.name());
+        assert!(
+            cert.ratio >= s.capabilities().approx_floor - 1e-9,
+            "{}: below declared floor",
+            s.name()
+        );
     }
 }

@@ -11,10 +11,7 @@ fn mcm_box_quality_across_machine_counts() {
     let (g, side) = test_bipartite(40, 40, 0.1, 1, 3);
     let opt = max_bipartite_cardinality_matching(&g, &side).len();
     for machines in [2usize, 4, 8] {
-        let mut sim = MpcSimulator::new(MpcConfig {
-            machines,
-            memory_words: 4000,
-        });
+        let mut sim = MpcSimulator::new(MpcConfig::new(machines, 4000));
         let res = mpc_bipartite_mcm(
             &mut sim,
             g.edges().to_vec(),
@@ -40,10 +37,7 @@ fn driver_quality_and_budget() {
     let res = max_weight_matching_mpc(
         &g,
         &cfg,
-        MpcConfig {
-            machines: 3,
-            memory_words: s_words,
-        },
+        MpcConfig::new(3, s_words),
         &MpcMcmConfig::for_delta(0.25, 7),
     )
     .unwrap();
@@ -57,10 +51,7 @@ fn driver_quality_and_budget() {
 #[test]
 fn budget_violations_surface_as_errors() {
     let (g, side) = test_bipartite(30, 30, 0.5, 1, 6);
-    let mut sim = MpcSimulator::new(MpcConfig {
-        machines: 2,
-        memory_words: 8,
-    });
+    let mut sim = MpcSimulator::new(MpcConfig::new(2, 8));
     let err = mpc_bipartite_mcm(
         &mut sim,
         g.edges().to_vec(),
@@ -86,14 +77,8 @@ fn rounds_scale_with_iteration_budget_not_size() {
         let res = max_weight_matching_mpc(
             &g,
             &cfg,
-            MpcConfig {
-                machines: 3,
-                memory_words: 60 * n,
-            },
-            &MpcMcmConfig {
-                max_iterations: 4,
-                ..MpcMcmConfig::for_delta(0.25, 5)
-            },
+            MpcConfig::new(3, 60 * n),
+            &MpcMcmConfig::for_delta(0.25, 5).with_max_iterations(4),
         )
         .unwrap();
         all_rounds.push(res.rounds_model);
