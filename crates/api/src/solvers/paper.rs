@@ -3,7 +3,7 @@
 //! and `Rand-Arr-Matching` (Theorem 1.1).
 
 use wmatch_core::main_alg::{
-    max_weight_matching_mpc, max_weight_matching_offline_from, max_weight_matching_streaming,
+    max_weight_matching_mpc, max_weight_matching_offline_stats, max_weight_matching_streaming,
     MainAlgConfig,
 };
 use wmatch_core::rand_arr_matching::{rand_arr_matching, RandArrBranch, RandArrConfig};
@@ -65,17 +65,21 @@ impl Solver for OfflineMainAlg {
         let init = warm_start_or_empty(instance, request)?;
         let g = instance.graph();
         let cfg = main_cfg(request);
-        let ((m, trace), wall) = timed(|| max_weight_matching_offline_from(g, init, &cfg));
+        let (out, wall) = timed(|| max_weight_matching_offline_stats(g, init, &cfg));
         let telemetry = Telemetry {
-            rounds: trace.len(),
-            peak_stored_edges: g.edge_count() + m.len(),
+            rounds: out.trace.len(),
+            peak_stored_edges: g.edge_count() + out.matching.len(),
             wall,
-            trace,
+            trace: out.trace,
+            extras: vec![
+                ("scratch_high_water", out.scratch_high_water.to_string()),
+                ("csr_rebuilds", out.csr_rebuilds.to_string()),
+            ],
             ..Telemetry::new()
         };
         Ok(SolveReport::assemble(
             self.name(),
-            m,
+            out.matching,
             Objective::Weight,
             g,
             request.certify,
@@ -121,7 +125,10 @@ impl Solver for StreamingMainAlg {
             passes: res.passes_model,
             peak_stored_edges: res.peak_memory_edges,
             wall,
-            extras: vec![("passes_sequential", res.passes_sequential.to_string())],
+            extras: vec![
+                ("passes_sequential", res.passes_sequential.to_string()),
+                ("scratch_high_water", res.scratch_high_water.to_string()),
+            ],
             ..Telemetry::new()
         };
         Ok(SolveReport::assemble(
@@ -185,7 +192,10 @@ impl Solver for MpcMainAlg {
             rounds: res.rounds_model,
             peak_stored_edges: res.peak_machine_words,
             wall,
-            extras: vec![("rounds_sequential", res.rounds_sequential.to_string())],
+            extras: vec![
+                ("rounds_sequential", res.rounds_sequential.to_string()),
+                ("scratch_high_water", res.scratch_high_water.to_string()),
+            ],
             ..Telemetry::new()
         };
         Ok(SolveReport::assemble(

@@ -1,0 +1,97 @@
+//! Criterion benchmarks for the flat hot path: the CSR + epoch-scratch
+//! inner loops (`aug_search` DFS, Hopcroft–Karp, Algorithm 4 selection)
+//! over the gnp/path/barrier families at n up to 10⁵.
+//!
+//! The baseline-vs-flat comparison with recorded speedups lives in the
+//! `report` binary (`cargo run -p wmatch-bench --bin report -- hotpath`),
+//! which writes `BENCH_hotpath.json`; these benches track the flat
+//! implementations' absolute throughput over time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use wmatch_bench::hotpath::{gnp_instance, greedy_matching, half_greedy_matching};
+use wmatch_core::layered::{LayeredSpec, Parametrization};
+use wmatch_core::single_class::{achievable_buckets, select_augmentations};
+use wmatch_core::tau::{enumerate_good_pairs, TauConfig};
+use wmatch_graph::aug_search::AugSearcher;
+use wmatch_graph::exact::hopcroft_karp::max_bipartite_cardinality_matching_from;
+use wmatch_graph::generators;
+use wmatch_graph::{Graph, Scratch};
+
+fn family(name: &str, n: usize) -> Graph {
+    match name {
+        "gnp" => gnp_instance(n, 11),
+        "path" => {
+            let weights: Vec<u64> = (0..n.saturating_sub(1))
+                .map(|i| if i % 3 == 1 { 10 } else { 9 })
+                .collect();
+            generators::path_graph(&weights)
+        }
+        "barrier" => generators::disjoint_paths3(n / 4),
+        other => panic!("unknown family {other}"),
+    }
+}
+
+fn bench_aug_search_dfs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath_aug_search");
+    group.sample_size(10);
+    for fam in ["gnp", "path", "barrier"] {
+        for &n in &[10_000usize, 100_000] {
+            let g = family(fam, n);
+            let m = greedy_matching(&g);
+            let _ = g.csr();
+            let mut searcher = AugSearcher::new();
+            group.bench_with_input(BenchmarkId::new(fam, n), &(&g, &m), |b, (g, m)| {
+                b.iter(|| searcher.best_augmentation(g, m, 3))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_single_class_inner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath_single_class");
+    group.sample_size(10);
+    for &n in &[10_000usize, 100_000] {
+        let mut rng = StdRng::seed_from_u64(13);
+        let g = family("gnp", n);
+        // an improvable matching, so the layered graphs carry real
+        // augmenting paths instead of being filtered empty
+        let m = half_greedy_matching(&g);
+        let param = Parametrization::random(n, &mut rng);
+        let cfg = TauConfig::practical(8, 3).with_max_pairs(20_000);
+        let (ba, bb) = achievable_buckets(g.edges(), &m, &param, 256, &cfg);
+        let pairs = enumerate_good_pairs(&cfg, &ba, &bb);
+        let lgs: Vec<_> = pairs
+            .iter()
+            .take(2)
+            .map(|tau| {
+                LayeredSpec::new(tau, 256, cfg.q, &param, &m).build(g.edges().iter().copied())
+            })
+            .filter(|lg| lg.graph.edge_count() > 0)
+            .collect();
+        let mut scratch = Scratch::new();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &lgs, |b, lgs| {
+            b.iter(|| {
+                for lg in lgs {
+                    let mp = max_bipartite_cardinality_matching_from(
+                        &lg.graph,
+                        &lg.side,
+                        lg.ml_prime.clone(),
+                    );
+                    criterion::black_box(select_augmentations(
+                        &lg.augmenting_walks(&mp),
+                        &m,
+                        &mut scratch,
+                    ));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(hotpath, bench_aug_search_dfs, bench_single_class_inner);
+criterion_main!(hotpath);

@@ -12,7 +12,7 @@ use wmatch_core::single_class::{achievable_buckets, single_class_augmentations};
 use wmatch_core::tau::{enumerate_good_pairs, TauConfig, TauPair};
 use wmatch_graph::exact::hopcroft_karp::max_bipartite_cardinality_matching_from;
 use wmatch_graph::generators::{gnp, WeightModel};
-use wmatch_graph::{Edge, Graph, Matching};
+use wmatch_graph::{Edge, Graph, Matching, Scratch};
 
 fn setup(n: usize) -> (Graph, Matching, Parametrization) {
     let mut rng = StdRng::seed_from_u64(5);
@@ -75,11 +75,20 @@ fn bench_single_class(c: &mut Criterion) {
             BenchmarkId::from_parameter(n),
             &(g, m, param),
             |b, (g, m, param)| {
+                let mut scratch = Scratch::new();
                 b.iter(|| {
                     let mut solve = |lg: &Graph, side: &[bool], init: Matching| {
                         max_bipartite_cardinality_matching_from(lg, side, init)
                     };
-                    single_class_augmentations(g.edges(), m, 256, param, &cfg, &mut solve)
+                    single_class_augmentations(
+                        g.edges(),
+                        m,
+                        256,
+                        param,
+                        &cfg,
+                        &mut solve,
+                        &mut scratch,
+                    )
                 })
             },
         );

@@ -35,6 +35,9 @@ fn main() {
         ("e8", e8_memory::run),
         ("e9", e9_layered_structure::run),
         ("e10", e10_ablations::run),
+        // hotpath also writes BENCH_hotpath.json (the recorded perf
+        // trajectory; see WMATCH_BENCH_DIR)
+        ("hotpath", wmatch_bench::hotpath::run),
     ];
 
     println!("# wmatch experiment report\n");

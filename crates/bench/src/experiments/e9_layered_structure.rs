@@ -16,7 +16,7 @@ use wmatch_core::single_class::single_class_augmentations;
 use wmatch_core::tau::TauConfig;
 use wmatch_graph::exact::hopcroft_karp::max_bipartite_cardinality_matching_from;
 use wmatch_graph::generators;
-use wmatch_graph::{Graph, Matching};
+use wmatch_graph::{Graph, Matching, Scratch};
 
 /// Runs E9 and renders its section.
 pub fn run(quick: bool) -> String {
@@ -95,6 +95,7 @@ fn survival(
     seed: u64,
 ) -> (f64, i128) {
     let mut rng = StdRng::seed_from_u64(seed);
+    let mut scratch = Scratch::new();
     let mut hits = 0usize;
     let mut gain_seen = 0i128;
     for _ in 0..trials {
@@ -102,7 +103,15 @@ fn survival(
         let mut solve = |lg: &Graph, side: &[bool], init: Matching| {
             max_bipartite_cardinality_matching_from(lg, side, init)
         };
-        let out = single_class_augmentations(g.edges(), m, w_class, &param, cfg, &mut solve);
+        let out = single_class_augmentations(
+            g.edges(),
+            m,
+            w_class,
+            &param,
+            cfg,
+            &mut solve,
+            &mut scratch,
+        );
         if out.gain > 0 {
             hits += 1;
             gain_seen = out.gain;

@@ -1,0 +1,691 @@
+//! Hot-path micro-benchmarks: the flat CSR + epoch-scratch inner loops
+//! versus faithful copies of the pre-refactor implementations.
+//!
+//! The [`baseline`] module preserves the exact pre-refactor inner loops —
+//! `HashSet`-visited DFS with per-prefix `Augmentation` materialization
+//! (`aug_search`), per-call `Vec<Vec<…>>` adjacency Hopcroft–Karp, and
+//! `HashSet`-marked conflict selection (`single_class`) — so every future
+//! run of the `report` binary re-measures the speedup on the same machine
+//! that produced `BENCH_hotpath.json`. The comparison is the recorded perf
+//! trajectory the ROADMAP asks for: both sides run on identical prebuilt
+//! instances, and the timed region is exactly the migrated inner loop.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use wmatch_core::layered::{LayeredGraph, LayeredSpec, Parametrization};
+use wmatch_core::single_class::select_augmentations;
+use wmatch_core::tau::{enumerate_good_pairs, TauConfig};
+use wmatch_graph::aug_search::AugSearcher;
+use wmatch_graph::exact::hopcroft_karp::max_bipartite_cardinality_matching_from;
+use wmatch_graph::generators::{self, WeightModel};
+use wmatch_graph::{Graph, Matching, Scratch};
+
+/// Pre-refactor reference implementations, preserved verbatim as the
+/// measured baseline (do not "optimize": their cost profile *is* the
+/// datum).
+pub mod baseline {
+    use std::collections::HashSet;
+
+    use wmatch_core::decompose::decompose_walk;
+    use wmatch_graph::{Augmentation, Edge, Graph, Matching, Vertex};
+
+    /// The legacy eager adjacency: per-vertex `Vec` of edge indices,
+    /// exactly what the pre-refactor `Graph` maintained.
+    pub fn nested_adjacency(g: &Graph) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); g.vertex_count()];
+        for (idx, e) in g.edges().iter().enumerate() {
+            adj[e.u as usize].push(idx);
+            adj[e.v as usize].push(idx);
+        }
+        adj
+    }
+
+    /// Pre-refactor `best_augmentation`: fresh `HashSet` per start vertex,
+    /// an `Augmentation` materialized for every DFS prefix.
+    pub fn best_augmentation(
+        g: &Graph,
+        adj: &[Vec<usize>],
+        m: &Matching,
+        max_len: usize,
+    ) -> Option<Augmentation> {
+        let mut best: Option<Augmentation> = None;
+        let mut consider = |aug: Augmentation| {
+            if aug.gain() > 0 && best.as_ref().is_none_or(|b| aug.gain() > b.gain()) {
+                best = Some(aug);
+            }
+        };
+        let n = g.vertex_count();
+        for start in 0..n as Vertex {
+            let mut visited: HashSet<Vertex> = HashSet::new();
+            visited.insert(start);
+            let mut walk: Vec<Edge> = Vec::new();
+            dfs(
+                g,
+                adj,
+                m,
+                start,
+                start,
+                None,
+                &mut visited,
+                &mut walk,
+                max_len,
+                &mut consider,
+            );
+        }
+        best
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        g: &Graph,
+        adj: &[Vec<usize>],
+        m: &Matching,
+        start: Vertex,
+        cur: Vertex,
+        last_in_m: Option<bool>,
+        visited: &mut HashSet<Vertex>,
+        walk: &mut Vec<Edge>,
+        max_len: usize,
+        consider: &mut impl FnMut(Augmentation),
+    ) {
+        if walk.len() >= max_len {
+            return;
+        }
+        for &i in &adj[cur as usize] {
+            let e = g.edge(i);
+            let in_m = m.contains(&e);
+            if let Some(last) = last_in_m {
+                if in_m == last {
+                    continue;
+                }
+            }
+            let next = e.other(cur);
+            if next == start && walk.len() >= 2 {
+                let first_in_m = m.contains(&walk[0]);
+                if in_m != first_in_m && (walk.len() + 1).is_multiple_of(2) {
+                    walk.push(e);
+                    if let Ok(aug) = Augmentation::from_component(m, walk) {
+                        consider(aug);
+                    }
+                    walk.pop();
+                }
+                continue;
+            }
+            if visited.contains(&next) {
+                continue;
+            }
+            walk.push(e);
+            visited.insert(next);
+            if let Ok(aug) = Augmentation::from_component(m, walk) {
+                consider(aug);
+            }
+            dfs(
+                g,
+                adj,
+                m,
+                start,
+                next,
+                Some(in_m),
+                visited,
+                walk,
+                max_len,
+                consider,
+            );
+            visited.remove(&next);
+            walk.pop();
+        }
+    }
+
+    /// Pre-refactor Hopcroft–Karp: per-call `Vec<Vec<(Vertex, usize)>>`
+    /// left adjacency and `Vec<Option<(Vertex, usize)>>` pairing.
+    pub fn hopcroft_karp(g: &Graph, side: &[bool], init: Matching) -> Matching {
+        const INF: u32 = u32::MAX;
+        let n = g.vertex_count();
+        assert_eq!(side.len(), n, "side labels must cover all vertices");
+        assert!(
+            g.respects_bipartition(side).unwrap(),
+            "graph is not bipartite under the given sides"
+        );
+        let mut adj: Vec<Vec<(Vertex, usize)>> = vec![Vec::new(); n];
+        for (idx, e) in g.edges().iter().enumerate() {
+            let (l, r) = if !side[e.u as usize] {
+                (e.u, e.v)
+            } else {
+                (e.v, e.u)
+            };
+            adj[l as usize].push((r, idx));
+        }
+        let mut pair: Vec<Option<(Vertex, usize)>> = vec![None; n];
+        for me in init.iter() {
+            let idx = g
+                .incident(me.u)
+                .find(|(_, ge)| ge.same_endpoints(&me))
+                .map(|(i, _)| i)
+                .expect("initial matching edge must exist in graph");
+            pair[me.u as usize] = Some((me.v, idx));
+            pair[me.v as usize] = Some((me.u, idx));
+        }
+        let lefts: Vec<Vertex> = (0..n as Vertex).filter(|&v| !side[v as usize]).collect();
+        let mut dist: Vec<u32> = vec![INF; n];
+        let bfs = |pair: &Vec<Option<(Vertex, usize)>>, dist: &mut Vec<u32>| -> bool {
+            let mut queue = std::collections::VecDeque::new();
+            for &u in &lefts {
+                if pair[u as usize].is_none() {
+                    dist[u as usize] = 0;
+                    queue.push_back(u);
+                } else {
+                    dist[u as usize] = INF;
+                }
+            }
+            let mut reachable_free = false;
+            while let Some(u) = queue.pop_front() {
+                for &(v, _) in &adj[u as usize] {
+                    match pair[v as usize] {
+                        None => reachable_free = true,
+                        Some((w, _)) => {
+                            if dist[w as usize] == INF {
+                                dist[w as usize] = dist[u as usize] + 1;
+                                queue.push_back(w);
+                            }
+                        }
+                    }
+                }
+            }
+            reachable_free
+        };
+        fn dfs(
+            u: Vertex,
+            adj: &[Vec<(Vertex, usize)>],
+            pair: &mut Vec<Option<(Vertex, usize)>>,
+            dist: &mut Vec<u32>,
+        ) -> bool {
+            const INF: u32 = u32::MAX;
+            for i in 0..adj[u as usize].len() {
+                let (v, eidx) = adj[u as usize][i];
+                let ok = match pair[v as usize] {
+                    None => true,
+                    Some((w, _)) => {
+                        dist[w as usize] == dist[u as usize] + 1 && dfs(w, adj, pair, dist)
+                    }
+                };
+                if ok {
+                    pair[u as usize] = Some((v, eidx));
+                    pair[v as usize] = Some((u, eidx));
+                    return true;
+                }
+            }
+            dist[u as usize] = INF;
+            false
+        }
+        while bfs(&pair, &mut dist) {
+            for &u in &lefts {
+                if pair[u as usize].is_none() {
+                    dfs(u, &adj, &mut pair, &mut dist);
+                }
+            }
+        }
+        let mut m = Matching::new(n);
+        for &u in &lefts {
+            if let Some((_, eidx)) = pair[u as usize] {
+                m.insert(g.edge(eidx)).expect("pairs are disjoint");
+            }
+        }
+        m
+    }
+
+    /// Pre-refactor `symmetric_difference_components`: `HashMap` diff
+    /// keyed by endpoint pairs, `HashSet` used-edge marks.
+    pub fn symmetric_difference_components(m1: &Matching, m2: &Matching) -> Vec<Vec<Edge>> {
+        use std::collections::HashMap;
+        let n = m1.vertex_count().max(m2.vertex_count());
+        let mut diff: HashMap<(Vertex, Vertex), Edge> = HashMap::new();
+        for e in m1.iter() {
+            diff.insert(e.key(), e);
+        }
+        for e in m2.iter() {
+            if diff.remove(&e.key()).is_none() {
+                diff.insert(e.key(), e);
+            }
+        }
+        let mut adj: Vec<Vec<Edge>> = vec![Vec::new(); n];
+        for e in diff.values() {
+            adj[e.u as usize].push(*e);
+            adj[e.v as usize].push(*e);
+        }
+        let mut used: HashSet<(Vertex, Vertex)> = HashSet::new();
+        let mut components = Vec::new();
+        let walk_from =
+            |start: Vertex, adj: &Vec<Vec<Edge>>, used: &mut HashSet<(Vertex, Vertex)>| {
+                let mut comp = Vec::new();
+                let mut cur = start;
+                loop {
+                    let next = adj[cur as usize]
+                        .iter()
+                        .find(|e| !used.contains(&e.key()))
+                        .copied();
+                    match next {
+                        Some(e) => {
+                            used.insert(e.key());
+                            comp.push(e);
+                            cur = e.other(cur);
+                        }
+                        None => break,
+                    }
+                }
+                comp
+            };
+        for v in 0..n as Vertex {
+            if adj[v as usize].len() == 1 && !used.contains(&adj[v as usize][0].key()) {
+                let comp = walk_from(v, &adj, &mut used);
+                if !comp.is_empty() {
+                    components.push(comp);
+                }
+            }
+        }
+        for v in 0..n as Vertex {
+            while adj[v as usize].iter().any(|e| !used.contains(&e.key())) {
+                let comp = walk_from(v, &adj, &mut used);
+                if !comp.is_empty() {
+                    components.push(comp);
+                }
+            }
+        }
+        components
+    }
+
+    /// Pre-refactor walk extraction: `LayeredGraph::augmenting_walks` over
+    /// the `HashMap`-based symmetric difference above.
+    pub fn augmenting_walks(
+        lg: &wmatch_core::layered::LayeredGraph,
+        m_prime: &Matching,
+    ) -> Vec<(Vec<Vertex>, Vec<Edge>)> {
+        fn walk_vertices(comp: &[Edge]) -> Vec<Vertex> {
+            if comp.len() == 1 {
+                return vec![comp[0].u, comp[0].v];
+            }
+            let (first, second) = (comp[0], comp[1]);
+            let mut cur = if second.touches(first.v) {
+                first.v
+            } else {
+                first.u
+            };
+            let mut walk = vec![first.other(cur), cur];
+            for e in &comp[1..] {
+                cur = e.other(cur);
+                walk.push(cur);
+            }
+            walk
+        }
+        let mut out = Vec::new();
+        for comp in symmetric_difference_components(&lg.ml_prime, m_prime) {
+            let added = comp.iter().filter(|e| !lg.ml_prime.contains(e)).count();
+            let removed = comp.len() - added;
+            if added != removed + 1 {
+                continue;
+            }
+            let mut walk = walk_vertices(&comp);
+            let mut edges = comp.clone();
+            if walk.first().unwrap() / lg.n as Vertex > walk.last().unwrap() / lg.n as Vertex {
+                walk.reverse();
+                edges.reverse();
+            }
+            let mut ovs: Vec<Vertex> = walk.iter().map(|&lv| lv % lg.n as Vertex).collect();
+            let mut oes: Vec<Edge> = edges.iter().map(|e| lg.to_original(e)).collect();
+            if let Some(e1) = lg.first_x.get(walk.first().unwrap()) {
+                let start = ovs[0];
+                ovs.insert(0, e1.other(start));
+                oes.insert(0, *e1);
+            }
+            if let Some(ek) = lg.last_x.get(walk.last().unwrap()) {
+                let end = *ovs.last().unwrap();
+                ovs.push(ek.other(end));
+                oes.push(*ek);
+            }
+            out.push((ovs, oes));
+        }
+        out
+    }
+
+    /// Pre-refactor `select_augmentations`: `HashSet` conflict marks and
+    /// `touched_vertices` materialization per candidate.
+    pub fn select_augmentations(
+        walks: &[(Vec<Vertex>, Vec<Edge>)],
+        m: &Matching,
+    ) -> Vec<Augmentation> {
+        let mut chosen: Vec<Augmentation> = Vec::new();
+        let mut used: HashSet<Vertex> = HashSet::new();
+        for (vs, es) in walks {
+            let mut best: Option<Augmentation> = None;
+            for comp in decompose_walk(vs, es) {
+                if let Ok(aug) = Augmentation::from_component(m, &comp) {
+                    if aug.gain() > 0 && best.as_ref().is_none_or(|b| aug.gain() > b.gain()) {
+                        best = Some(aug);
+                    }
+                }
+            }
+            if let Some(aug) = best {
+                let touched = aug.touched_vertices();
+                if touched.iter().all(|v| !used.contains(v)) {
+                    used.extend(touched);
+                    chosen.push(aug);
+                }
+            }
+        }
+        chosen
+    }
+}
+
+/// One measured comparison row of `BENCH_hotpath.json`.
+#[derive(Debug, Clone)]
+pub struct HotpathRow {
+    /// Micro-bench name (`aug_search` or `single_class`).
+    pub name: &'static str,
+    /// Instance family (`gnp`, `path`, `barrier`).
+    pub family: &'static str,
+    /// Vertex count of the instance.
+    pub n: usize,
+    /// Median ns per call, pre-refactor implementation.
+    pub baseline_ns: u128,
+    /// Median ns per call, flat CSR + scratch implementation.
+    pub flat_ns: u128,
+    /// `baseline_ns / flat_ns`.
+    pub speedup: f64,
+    /// Timed iterations per side.
+    pub iters: usize,
+}
+
+fn median_ns(iters: usize, mut f: impl FnMut()) -> u128 {
+    let mut samples: Vec<u128> = (0..iters.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// The gnp instance the hotpath benches share: average degree ~8,
+/// uniform weights in \[1, 256\].
+pub fn gnp_instance(n: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generators::gnp(
+        n,
+        (8.0 / n as f64).min(0.5),
+        WeightModel::Uniform { lo: 1, hi: 256 },
+        &mut rng,
+    )
+}
+
+/// Greedy-by-arrival matching (the maximal matching the sweeps improve).
+pub fn greedy_matching(g: &Graph) -> Matching {
+    let mut m = Matching::new(g.vertex_count());
+    for e in g.edges() {
+        let _ = m.insert(*e);
+    }
+    m
+}
+
+/// Every other greedy edge: a deliberately improvable matching, so the
+/// layered graphs carry real augmenting paths for the inner loops.
+pub fn half_greedy_matching(g: &Graph) -> Matching {
+    let mut m = Matching::new(g.vertex_count());
+    let mut skip = false;
+    for e in g.edges() {
+        if !m.is_matched(e.u) && !m.is_matched(e.v) {
+            if !skip {
+                let _ = m.insert(*e);
+            }
+            skip = !skip;
+        }
+    }
+    m
+}
+
+/// Disjoint (9, 10, 9) paths with the middle edges matched: the planted
+/// 3-augmentation family every Algorithm 4 inner loop must chew through.
+pub fn barrier_instance(n: usize) -> (Graph, Matching, Parametrization) {
+    let k = (n / 4).max(1);
+    let g = generators::weighted_barrier_paths(k, 9);
+    let middles = (0..k).map(|i| g.edge(3 * i + 1));
+    let m = Matching::from_edges(4 * k, middles).expect("middles are disjoint");
+    let sides: Vec<bool> = (0..4 * k).map(|v| v % 2 == 1).collect();
+    (g, m, Parametrization::from_sides(sides))
+}
+
+/// The aug_search micro-bench: one full `best_augmentation` scan
+/// (`max_len` = 3, the weighted 3-augmentation horizon), baseline vs flat,
+/// on identical prebuilt instances.
+fn bench_aug_search(family: &'static str, g: &Graph, m: &Matching, iters: usize) -> HotpathRow {
+    let adj = baseline::nested_adjacency(g);
+    let baseline_ns = median_ns(iters, || {
+        std::hint::black_box(baseline::best_augmentation(g, &adj, m, 3));
+    });
+    let _ = g.csr(); // flat side warm-up, mirroring the prebuilt `adj`
+    let mut searcher = AugSearcher::new();
+    let flat_ns = median_ns(iters, || {
+        std::hint::black_box(searcher.best_augmentation(g, m, 3));
+    });
+    HotpathRow {
+        name: "aug_search",
+        family,
+        n: g.vertex_count(),
+        baseline_ns,
+        flat_ns,
+        speedup: baseline_ns as f64 / flat_ns.max(1) as f64,
+        iters,
+    }
+}
+
+/// The single_class micro-bench: the Algorithm 4 inner loop — bipartite
+/// box + walk translation + vertex-disjoint selection — over prebuilt
+/// layered graphs for the class's good (τᴬ, τᴮ) pairs.
+fn bench_single_class(
+    family: &'static str,
+    g: &Graph,
+    m: &Matching,
+    param: &Parametrization,
+    w_class: u64,
+    max_pairs: usize,
+    iters: usize,
+) -> HotpathRow {
+    let cfg = TauConfig::practical(8, 3).with_max_pairs(20_000);
+    let (ba, bb) =
+        wmatch_core::single_class::achievable_buckets(g.edges(), m, param, w_class, &cfg);
+    let pairs = enumerate_good_pairs(&cfg, &ba, &bb);
+    let lgs: Vec<LayeredGraph> = pairs
+        .iter()
+        .take(max_pairs)
+        .map(|tau| LayeredSpec::new(tau, w_class, cfg.q, param, m).build(g.edges().iter().copied()))
+        .filter(|lg| lg.graph.edge_count() > 0)
+        .collect();
+    assert!(!lgs.is_empty(), "no layered graph to bench on {family}");
+
+    let baseline_ns = median_ns(iters, || {
+        for lg in &lgs {
+            let m_prime = baseline::hopcroft_karp(&lg.graph, &lg.side, lg.ml_prime.clone());
+            let augs = baseline::select_augmentations(&baseline::augmenting_walks(lg, &m_prime), m);
+            std::hint::black_box(augs);
+        }
+    });
+    for lg in &lgs {
+        let _ = lg.graph.csr();
+    }
+    let mut scratch = Scratch::new();
+    let flat_ns = median_ns(iters, || {
+        for lg in &lgs {
+            let m_prime =
+                max_bipartite_cardinality_matching_from(&lg.graph, &lg.side, lg.ml_prime.clone());
+            let augs = select_augmentations(&lg.augmenting_walks(&m_prime), m, &mut scratch);
+            std::hint::black_box(augs);
+        }
+    });
+    HotpathRow {
+        name: "single_class",
+        family,
+        n: g.vertex_count(),
+        baseline_ns,
+        flat_ns,
+        speedup: baseline_ns as f64 / flat_ns.max(1) as f64,
+        iters,
+    }
+}
+
+/// Runs the whole suite. Quick mode stops at n = 10⁴ with fewer timed
+/// iterations (the CI perf-smoke configuration); full mode extends to
+/// n = 10⁵.
+pub fn run_suite(quick: bool) -> Vec<HotpathRow> {
+    let sizes: &[usize] = if quick {
+        &[1_000, 10_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    let iters = if quick { 3 } else { 5 };
+    let mut rows = Vec::new();
+    for &n in sizes {
+        // aug_search on gnp and path
+        let g = gnp_instance(n, 5);
+        let m = greedy_matching(&g);
+        rows.push(bench_aug_search("gnp", &g, &m, iters));
+        let weights: Vec<u64> = (0..n.saturating_sub(1))
+            .map(|i| if i % 3 == 1 { 10 } else { 9 })
+            .collect();
+        let pg = generators::path_graph(&weights);
+        let pm = greedy_matching(&pg);
+        rows.push(bench_aug_search("path", &pg, &pm, iters));
+
+        // single_class on gnp (with an improvable matching) and the
+        // planted barrier family
+        let g = gnp_instance(n, 7);
+        let m = half_greedy_matching(&g);
+        let mut rng = StdRng::seed_from_u64(7);
+        let param = Parametrization::random(n, &mut rng);
+        rows.push(bench_single_class("gnp", &g, &m, &param, 256, 4, iters));
+        let (bg, bm, bparam) = barrier_instance(n);
+        rows.push(bench_single_class(
+            "barrier", &bg, &bm, &bparam, 16, 4, iters,
+        ));
+    }
+    rows
+}
+
+/// Serializes the rows as `BENCH_hotpath.json` (hand-rolled JSON: the
+/// workspace builds offline, without serde).
+pub fn to_json(rows: &[HotpathRow], quick: bool) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n  \"unit\": \"ns_per_call_median\",\n  \"benches\": [\n",
+        if quick { "quick" } else { "full" }
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"family\": \"{}\", \"n\": {}, \"baseline_ns\": {}, \
+             \"flat_ns\": {}, \"speedup\": {:.3}, \"iters\": {}}}{}\n",
+            r.name,
+            r.family,
+            r.n,
+            r.baseline_ns,
+            r.flat_ns,
+            r.speedup,
+            r.iters,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Runs the suite, writes `BENCH_hotpath.json` next to the working
+/// directory (override with `WMATCH_BENCH_DIR`), and renders the markdown
+/// section for the report.
+pub fn run(quick: bool) -> String {
+    let rows = run_suite(quick);
+    let dir = std::env::var("WMATCH_BENCH_DIR").unwrap_or_else(|_| ".".into());
+    let path = std::path::Path::new(&dir).join("BENCH_hotpath.json");
+    std::fs::write(&path, to_json(&rows, quick)).expect("write BENCH_hotpath.json");
+
+    let mut out =
+        String::from("## Hotpath — flat CSR + epoch scratch vs pre-refactor baseline\n\n");
+    out.push_str(&format!("written: `{}`\n\n", path.display()));
+    out.push_str("| bench | family | n | baseline | flat | speedup |\n");
+    out.push_str("|---|---|---:|---:|---:|---:|\n");
+    for r in &rows {
+        out.push_str(&format!(
+            "| {} | {} | {} | {:.3} ms | {:.3} ms | {:.2}x |\n",
+            r.name,
+            r.family,
+            r.n,
+            r.baseline_ns as f64 / 1e6,
+            r.flat_ns as f64 / 1e6,
+            r.speedup
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baselines_agree_with_flat_implementations() {
+        // the baseline copies must stay faithful oracles: identical
+        // outputs on the same instances
+        let g = gnp_instance(120, 9);
+        let m = greedy_matching(&g);
+        let adj = baseline::nested_adjacency(&g);
+        let old = baseline::best_augmentation(&g, &adj, &m, 3);
+        let new = AugSearcher::new().best_augmentation(&g, &m, 3);
+        assert_eq!(old.is_some(), new.is_some());
+        if let (Some(o), Some(n)) = (&old, &new) {
+            assert_eq!(o.gain(), n.gain());
+        }
+
+        let (bg, bm, bparam) = barrier_instance(64);
+        let cfg = TauConfig::practical(8, 3).with_max_pairs(20_000);
+        let (ba, bb) =
+            wmatch_core::single_class::achievable_buckets(bg.edges(), &bm, &bparam, 16, &cfg);
+        let pairs = enumerate_good_pairs(&cfg, &ba, &bb);
+        let mut scratch = Scratch::new();
+        for tau in pairs.iter().take(3) {
+            let lg =
+                LayeredSpec::new(tau, 16, cfg.q, &bparam, &bm).build(bg.edges().iter().copied());
+            if lg.graph.edge_count() == 0 {
+                continue;
+            }
+            let old_m = baseline::hopcroft_karp(&lg.graph, &lg.side, lg.ml_prime.clone());
+            let new_m =
+                max_bipartite_cardinality_matching_from(&lg.graph, &lg.side, lg.ml_prime.clone());
+            assert_eq!(old_m.len(), new_m.len());
+            assert_eq!(
+                old_m.to_edges(),
+                new_m.to_edges(),
+                "HK must be bit-identical"
+            );
+            let old_sel =
+                baseline::select_augmentations(&baseline::augmenting_walks(&lg, &old_m), &bm);
+            let new_sel = select_augmentations(&lg.augmenting_walks(&new_m), &bm, &mut scratch);
+            assert_eq!(old_sel, new_sel, "selection must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn json_shape_is_parseable() {
+        let rows = vec![HotpathRow {
+            name: "aug_search",
+            family: "gnp",
+            n: 100,
+            baseline_ns: 2000,
+            flat_ns: 1000,
+            speedup: 2.0,
+            iters: 3,
+        }];
+        let j = to_json(&rows, true);
+        assert!(j.contains("\"speedup\": 2.000"));
+        assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
+    }
+}

@@ -7,6 +7,7 @@
 //! measure the throughput of the same code paths.
 
 pub mod families;
+pub mod hotpath;
 pub mod oracle;
 pub mod table;
 

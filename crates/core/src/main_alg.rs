@@ -20,7 +20,7 @@ use rand::Rng;
 use rand::SeedableRng;
 
 use wmatch_graph::exact::hopcroft_karp::max_bipartite_cardinality_matching_from;
-use wmatch_graph::{Augmentation, Graph, Matching};
+use wmatch_graph::{Augmentation, Graph, Matching, Scratch};
 use wmatch_mpc::{mpc_bipartite_mcm, MpcConfig, MpcMcmConfig, MpcSimulator};
 use wmatch_stream::{multipass_bipartite_mcm, EdgeStream, McmConfig};
 
@@ -201,6 +201,11 @@ pub struct RoundStats {
     pub applied: usize,
     /// (τᴬ, τᴮ) pairs examined across classes and trials.
     pub pairs_tried: usize,
+    /// Scratch-arena footprint (dense vertex slots): the high-water mark
+    /// of the round's arena, which is monotone over the arena's lifetime
+    /// when the caller reuses one across rounds
+    /// ([`improve_matching_offline_with`]).
+    pub scratch_high_water: usize,
 }
 
 /// Runs one round of Algorithm 3 on `m` with the offline (Hopcroft–Karp)
@@ -211,6 +216,19 @@ pub fn improve_matching_offline(
     cfg: &MainAlgConfig,
     rng: &mut StdRng,
 ) -> RoundStats {
+    let mut scratch = Scratch::new();
+    improve_matching_offline_with(g, m, cfg, rng, &mut scratch)
+}
+
+/// Like [`improve_matching_offline`], reusing the caller's scratch arena
+/// across rounds (the driver loop owns one arena for its lifetime).
+pub fn improve_matching_offline_with(
+    g: &Graph,
+    m: &mut Matching,
+    cfg: &MainAlgConfig,
+    rng: &mut StdRng,
+    scratch: &mut Scratch,
+) -> RoundStats {
     let mut stats = RoundStats::default();
     if g.edge_count() == 0 {
         return stats;
@@ -220,15 +238,22 @@ pub fn improve_matching_offline(
     for _ in 0..cfg.trials.max(1) {
         let param = Parametrization::random(g.vertex_count(), rng);
         // Algorithm 3, line 3: all classes in parallel against the same M
-        let mut outcomes = sweep_classes(g, m, &grid, &param, &tau_cfg, cfg.threads);
+        let (mut outcomes, sweep_high_water) =
+            sweep_classes(g, m, &grid, &param, &tau_cfg, cfg.threads);
+        scratch.absorb_high_water(sweep_high_water);
         stats.pairs_tried += outcomes.iter().map(|(_, o)| o.pairs_tried).sum::<usize>();
         outcomes.retain(|(_, o)| o.gain > 0);
         // lines 5–8: greedy cross-class selection, decreasing W
         outcomes.sort_by_key(|(w, _)| std::cmp::Reverse(*w));
-        let applied = apply_cross_class(m, outcomes.into_iter().flat_map(|(_, o)| o.augmentations));
+        let applied = apply_cross_class(
+            m,
+            outcomes.into_iter().flat_map(|(_, o)| o.augmentations),
+            scratch,
+        );
         stats.gain += applied.0;
         stats.applied += applied.1;
     }
+    stats.scratch_high_water = scratch.high_water();
     stats
 }
 
@@ -236,6 +261,9 @@ pub fn improve_matching_offline(
 /// optionally fanning classes out over worker threads (the classes are
 /// independent read-only computations; results are returned in grid
 /// order, so parallel and sequential execution are indistinguishable).
+/// Each worker owns one [`Scratch`] arena for its whole share of the
+/// sweep, so the parallel path performs no per-class allocation; the
+/// maximum arena footprint is returned alongside the outcomes.
 fn sweep_classes(
     g: &Graph,
     m: &Matching,
@@ -243,14 +271,14 @@ fn sweep_classes(
     param: &Parametrization,
     tau_cfg: &TauConfig,
     threads: usize,
-) -> Vec<(u64, ClassOutcome)> {
-    let solve_one = |w_class: u64| {
+) -> (Vec<(u64, ClassOutcome)>, usize) {
+    let solve_one = |w_class: u64, scratch: &mut Scratch| {
         let mut solve = |lg: &Graph, side: &[bool], init: Matching| {
             max_bipartite_cardinality_matching_from(lg, side, init)
         };
         (
             w_class,
-            single_class_augmentations(g.edges(), m, w_class, param, tau_cfg, &mut solve),
+            single_class_augmentations(g.edges(), m, w_class, param, tau_cfg, &mut solve, scratch),
         )
     };
     let workers = if threads == 0 {
@@ -259,41 +287,49 @@ fn sweep_classes(
         threads
     };
     if workers <= 1 || grid.len() <= 1 {
-        return grid.iter().map(|&w| solve_one(w)).collect();
+        let mut scratch = Scratch::new();
+        let outcomes = grid.iter().map(|&w| solve_one(w, &mut scratch)).collect();
+        return (outcomes, scratch.high_water());
     }
     let next = std::sync::atomic::AtomicUsize::new(0);
     let results: std::sync::Mutex<Vec<(usize, (u64, ClassOutcome))>> =
         std::sync::Mutex::new(Vec::with_capacity(grid.len()));
+    let high_water = std::sync::atomic::AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..workers.min(grid.len()) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= grid.len() {
-                    break;
+            scope.spawn(|| {
+                let mut scratch = Scratch::new();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= grid.len() {
+                        break;
+                    }
+                    let out = solve_one(grid[i], &mut scratch);
+                    results.lock().unwrap().push((i, out));
                 }
-                let out = solve_one(grid[i]);
-                results.lock().unwrap().push((i, out));
+                high_water.fetch_max(scratch.high_water(), std::sync::atomic::Ordering::Relaxed);
             });
         }
     });
     let mut collected = results.into_inner().unwrap();
     collected.sort_by_key(|(i, _)| *i);
-    collected.into_iter().map(|(_, o)| o).collect()
+    let outcomes = collected.into_iter().map(|(_, o)| o).collect();
+    (outcomes, high_water.into_inner())
 }
 
 /// Applies a stream of candidate augmentations greedily (skipping
-/// conflicts), returning `(total gain, applied count)`.
+/// conflicts), returning `(total gain, applied count)`. Conflict marks
+/// live in the caller's scratch arena (`scratch.mark`, epoch-reset).
 fn apply_cross_class(
     m: &mut Matching,
     augs: impl IntoIterator<Item = Augmentation>,
+    scratch: &mut Scratch,
 ) -> (i128, usize) {
-    let mut used: std::collections::HashSet<wmatch_graph::Vertex> =
-        std::collections::HashSet::new();
+    scratch.begin(m.vertex_count());
     let mut gain = 0i128;
     let mut count = 0usize;
     for aug in augs {
-        let touched = aug.touched_vertices();
-        if touched.iter().any(|v| used.contains(v)) {
+        if aug.conflicts_with_marks(&scratch.mark) {
             continue;
         }
         match aug.apply(m) {
@@ -301,7 +337,7 @@ fn apply_cross_class(
                 debug_assert!(g > 0);
                 gain += g;
                 count += 1;
-                used.extend(touched);
+                aug.mark_touched(&mut scratch.mark);
             }
             Err(_) => {
                 // stale augmentation (an earlier trial touched its edges):
@@ -354,17 +390,51 @@ pub fn max_weight_matching_offline_from(
     init: Matching,
     cfg: &MainAlgConfig,
 ) -> (Matching, Vec<i128>) {
+    let out = max_weight_matching_offline_stats(g, init, cfg);
+    (out.matching, out.trace)
+}
+
+/// Output of [`max_weight_matching_offline_stats`]: the matching, the
+/// per-round convergence trace, and the real resource counters of the run.
+#[derive(Debug, Clone)]
+pub struct OfflineOutcome {
+    /// The matching found.
+    pub matching: Matching,
+    /// Matching weight after every round.
+    pub trace: Vec<i128>,
+    /// Largest scratch-arena footprint (dense vertex slots) across all
+    /// rounds and workers.
+    pub scratch_high_water: usize,
+    /// CSR views built for the input graph during the run (rebuilds are
+    /// mutation-triggered; a read-only run builds at most one).
+    pub csr_rebuilds: u64,
+}
+
+/// Like [`max_weight_matching_offline_from`], also returning the scratch
+/// high-water mark and CSR rebuild count — the real memory counters the
+/// `wmatch-api` facade reports in its telemetry extras.
+///
+/// # Panics
+///
+/// Panics if `init` is defined over a different vertex count than `g`.
+pub fn max_weight_matching_offline_stats(
+    g: &Graph,
+    init: Matching,
+    cfg: &MainAlgConfig,
+) -> OfflineOutcome {
     assert_eq!(
         init.vertex_count(),
         g.vertex_count(),
         "vertex count mismatch"
     );
+    let csr_rebuilds_before = g.csr_rebuild_count();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut scratch = Scratch::new();
     let mut m = init;
     let mut trace = Vec::new();
     let mut stall = 0;
     for _round in 0..cfg.max_rounds {
-        let stats = improve_matching_offline(g, &mut m, cfg, &mut rng);
+        let stats = improve_matching_offline_with(g, &mut m, cfg, &mut rng, &mut scratch);
         trace.push(m.weight());
         if stats.gain == 0 {
             stall += 1;
@@ -375,7 +445,12 @@ pub fn max_weight_matching_offline_from(
             stall = 0;
         }
     }
-    (m, trace)
+    OfflineOutcome {
+        matching: m,
+        trace,
+        scratch_high_water: scratch.high_water(),
+        csr_rebuilds: g.csr_rebuild_count() - csr_rebuilds_before,
+    }
 }
 
 /// Output of the streaming driver.
@@ -394,6 +469,8 @@ pub struct StreamingResult {
     pub passes_model: usize,
     /// Peak stored edges across boxes (plus the matching itself).
     pub peak_memory_edges: usize,
+    /// Largest scratch-arena footprint (dense vertex slots) of the run.
+    pub scratch_high_water: usize,
 }
 
 /// The multi-pass streaming driver of Theorem 1.2.2 (the `wmatch-api`
@@ -410,6 +487,7 @@ pub fn max_weight_matching_streaming(
     let n = stream.vertex_count();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut m = Matching::new(n);
+    let mut scratch = Scratch::new();
     let tau_cfg = cfg.tau_config();
     let mut passes_sequential = 0usize;
     let mut passes_model = 0usize;
@@ -473,7 +551,11 @@ pub fn max_weight_matching_streaming(
                 passes_sequential += res.passes;
                 max_box_passes = max_box_passes.max(res.passes);
                 peak_memory = peak_memory.max(res.peak_memory_edges);
-                let augs = select_augmentations(&skeleton.augmenting_walks(&res.matching), &m);
+                let augs = select_augmentations(
+                    &skeleton.augmenting_walks(&res.matching),
+                    &m,
+                    &mut scratch,
+                );
                 let gain: i128 = augs.iter().map(|a| a.gain()).sum();
                 if gain > 0 && best.as_ref().is_none_or(|(g, _)| gain > *g) {
                     best = Some((gain, augs));
@@ -486,7 +568,11 @@ pub fn max_weight_matching_streaming(
         passes_model += max_box_passes;
 
         outcomes.sort_by_key(|(w, _)| std::cmp::Reverse(*w));
-        let (gain, _) = apply_cross_class(&mut m, outcomes.into_iter().flat_map(|(_, a)| a));
+        let (gain, _) = apply_cross_class(
+            &mut m,
+            outcomes.into_iter().flat_map(|(_, a)| a),
+            &mut scratch,
+        );
         if gain == 0 {
             stall += 1;
             if stall >= cfg.stall_rounds {
@@ -503,6 +589,7 @@ pub fn max_weight_matching_streaming(
         passes_sequential,
         passes_model,
         peak_memory_edges: peak_memory + n,
+        scratch_high_water: scratch.high_water(),
     }
 }
 
@@ -518,6 +605,8 @@ pub struct MpcResult {
     pub rounds_sequential: usize,
     /// Peak per-machine memory across boxes, in words.
     pub peak_machine_words: usize,
+    /// Largest scratch-arena footprint (dense vertex slots) of the run.
+    pub scratch_high_water: usize,
 }
 
 /// The MPC driver of Theorem 1.2.1 (the `wmatch-api` facade exposes it as
@@ -537,6 +626,7 @@ pub fn max_weight_matching_mpc(
     let n = g.vertex_count();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut m = Matching::new(n);
+    let mut scratch = Scratch::new();
     let tau_cfg = cfg.tau_config();
     let grid = cfg.grid(g.max_weight());
     let mut rounds_model = 0usize;
@@ -573,7 +663,8 @@ pub fn max_weight_matching_mpc(
                 rounds_sequential += res.rounds;
                 max_box_rounds = max_box_rounds.max(res.rounds);
                 peak_words = peak_words.max(res.peak_machine_words);
-                let augs = select_augmentations(&lg.augmenting_walks(&res.matching), &m);
+                let augs =
+                    select_augmentations(&lg.augmenting_walks(&res.matching), &m, &mut scratch);
                 let gain: i128 = augs.iter().map(|a| a.gain()).sum();
                 if gain > 0 && best.as_ref().is_none_or(|(gg, _)| gain > *gg) {
                     best = Some((gain, augs));
@@ -586,7 +677,11 @@ pub fn max_weight_matching_mpc(
         rounds_model += max_box_rounds;
 
         outcomes.sort_by_key(|(w, _)| std::cmp::Reverse(*w));
-        let (gain, _) = apply_cross_class(&mut m, outcomes.into_iter().flat_map(|(_, a)| a));
+        let (gain, _) = apply_cross_class(
+            &mut m,
+            outcomes.into_iter().flat_map(|(_, a)| a),
+            &mut scratch,
+        );
         if gain == 0 {
             stall += 1;
             if stall >= cfg.stall_rounds {
@@ -602,6 +697,7 @@ pub fn max_weight_matching_mpc(
         rounds_model,
         rounds_sequential,
         peak_machine_words: peak_words,
+        scratch_high_water: scratch.high_water(),
     })
 }
 

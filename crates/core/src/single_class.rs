@@ -11,7 +11,7 @@
 
 use std::collections::BTreeSet;
 
-use wmatch_graph::{Augmentation, Edge, Graph, Matching};
+use wmatch_graph::{Augmentation, Edge, Graph, Matching, Scratch};
 
 use crate::decompose::decompose_walk;
 use crate::layered::{LayeredSpec, Parametrization};
@@ -68,7 +68,9 @@ pub fn achievable_buckets(
 /// Runs Algorithm 4 for the augmentation class of `w_class`.
 ///
 /// `solve` is the unweighted bipartite matching black box; pass Hopcroft–
-/// Karp for the offline δ = 0 instantiation.
+/// Karp for the offline δ = 0 instantiation. `scratch` is the caller's
+/// arena (one per worker thread in the Algorithm 3 sweep), reset per
+/// (τᴬ, τᴮ) pair in O(1).
 pub fn single_class_augmentations(
     edges: &[Edge],
     m: &Matching,
@@ -76,6 +78,7 @@ pub fn single_class_augmentations(
     param: &Parametrization,
     cfg: &TauConfig,
     solve: &mut BipartiteBox<'_>,
+    scratch: &mut Scratch,
 ) -> ClassOutcome {
     let (buckets_a, buckets_b) = achievable_buckets(edges, m, param, w_class, cfg);
     let pairs = enumerate_good_pairs(cfg, &buckets_a, &buckets_b);
@@ -89,7 +92,7 @@ pub fn single_class_augmentations(
             continue;
         }
         let m_prime = solve(&lg.graph, &lg.side, lg.ml_prime.clone());
-        let augs = select_augmentations(&lg.augmenting_walks(&m_prime), m);
+        let augs = select_augmentations(&lg.augmenting_walks(&m_prime), m, scratch);
         let gain: i128 = augs.iter().map(|a| a.gain()).sum();
         if gain > 0 && best.as_ref().is_none_or(|(g, _, _)| gain > *g) {
             best = Some((gain, tau.clone(), augs));
@@ -114,13 +117,16 @@ pub fn single_class_augmentations(
 
 /// Lines 9–12 of Algorithm 4: decompose each translated walk, keep its
 /// best-gain component, and retain a vertex-disjoint subset greedily.
+///
+/// Conflict marks live in `scratch.mark` (epoch-reset, no per-call set
+/// allocation); the marks are valid until the arena's next reset.
 pub fn select_augmentations(
     walks: &[(Vec<wmatch_graph::Vertex>, Vec<Edge>)],
     m: &Matching,
+    scratch: &mut Scratch,
 ) -> Vec<Augmentation> {
+    scratch.begin(m.vertex_count());
     let mut chosen: Vec<Augmentation> = Vec::new();
-    let mut used: std::collections::HashSet<wmatch_graph::Vertex> =
-        std::collections::HashSet::new();
     for (vs, es) in walks {
         let mut best: Option<Augmentation> = None;
         for comp in decompose_walk(vs, es) {
@@ -131,9 +137,8 @@ pub fn select_augmentations(
             }
         }
         if let Some(aug) = best {
-            let touched = aug.touched_vertices();
-            if touched.iter().all(|v| !used.contains(v)) {
-                used.extend(touched);
+            if !aug.conflicts_with_marks(&scratch.mark) {
+                aug.mark_touched(&mut scratch.mark);
                 chosen.push(aug);
             }
         }
@@ -177,7 +182,15 @@ mod tests {
         let g = generators::path_graph(&[9, 10, 9]);
         let m = Matching::from_edges(4, [g.edge(1)]).unwrap();
         let param = Parametrization::from_sides(vec![false, true, false, true]);
-        let out = single_class_augmentations(g.edges(), &m, 16, &param, &cfg(8, 3), &mut hk_box);
+        let out = single_class_augmentations(
+            g.edges(),
+            &m,
+            16,
+            &param,
+            &cfg(8, 3),
+            &mut hk_box,
+            &mut Scratch::new(),
+        );
         assert_eq!(out.gain, 8);
         assert_eq!(out.augmentations.len(), 1);
         assert!(out.best_pair.is_some());
@@ -197,7 +210,15 @@ mod tests {
         g.add_edge(0, 1, 12);
         let m = Matching::new(2);
         let param = Parametrization::from_sides(vec![true, false]);
-        let out = single_class_augmentations(g.edges(), &m, 16, &param, &cfg(8, 2), &mut hk_box);
+        let out = single_class_augmentations(
+            g.edges(),
+            &m,
+            16,
+            &param,
+            &cfg(8, 2),
+            &mut hk_box,
+            &mut Scratch::new(),
+        );
         assert_eq!(out.gain, 12);
     }
 
@@ -207,7 +228,15 @@ mod tests {
         let m = Matching::from_edges(4, [g.edge(1)]).unwrap(); // optimal
         let param = Parametrization::from_sides(vec![false, true, false, true]);
         for w in [8u64, 16, 32, 64] {
-            let out = single_class_augmentations(g.edges(), &m, w, &param, &cfg(8, 3), &mut hk_box);
+            let out = single_class_augmentations(
+                g.edges(),
+                &m,
+                w,
+                &param,
+                &cfg(8, 3),
+                &mut hk_box,
+                &mut Scratch::new(),
+            );
             assert_eq!(out.gain, 0, "W={w}");
         }
     }
@@ -225,7 +254,15 @@ mod tests {
             sum_b_cap: 33,
             max_pairs: 100_000,
         };
-        let out = single_class_augmentations(g.edges(), &m, 32, &param, &c, &mut hk_box);
+        let out = single_class_augmentations(
+            g.edges(),
+            &m,
+            32,
+            &param,
+            &c,
+            &mut hk_box,
+            &mut Scratch::new(),
+        );
         assert_eq!(out.gain, 2, "augmenting cycle must be recovered");
         let mut m2 = m.clone();
         for aug in &out.augmentations {
@@ -250,7 +287,15 @@ mod tests {
         let m = Matching::from_edges(4 * k, medges).unwrap();
         let sides: Vec<bool> = (0..4 * k).map(|v| v % 2 == 1).collect();
         let param = Parametrization::from_sides(sides);
-        let out = single_class_augmentations(g.edges(), &m, 16, &param, &cfg(8, 3), &mut hk_box);
+        let out = single_class_augmentations(
+            g.edges(),
+            &m,
+            16,
+            &param,
+            &cfg(8, 3),
+            &mut hk_box,
+            &mut Scratch::new(),
+        );
         assert_eq!(out.augmentations.len(), k);
         assert_eq!(out.gain, 8 * k as i128);
         let mut m2 = m.clone();
@@ -265,7 +310,15 @@ mod tests {
         let g = Graph::new(4);
         let m = Matching::new(4);
         let param = Parametrization::from_sides(vec![true, false, true, false]);
-        let out = single_class_augmentations(g.edges(), &m, 8, &param, &cfg(8, 3), &mut hk_box);
+        let out = single_class_augmentations(
+            g.edges(),
+            &m,
+            8,
+            &param,
+            &cfg(8, 3),
+            &mut hk_box,
+            &mut Scratch::new(),
+        );
         assert_eq!(out.pairs_tried, 0);
         assert_eq!(out.gain, 0);
     }

@@ -98,12 +98,14 @@ impl Unw3AugPaths {
     /// support set.
     pub fn finalize(&self) -> Vec<ThreeAugPath> {
         let n = self.m.vertex_count();
-        // wings[x] = support edges whose matched endpoint is x
-        let mut wings: Vec<Vec<Edge>> = vec![Vec::new(); n];
-        for e in &self.support {
-            let matched = if self.m.is_matched(e.u) { e.u } else { e.v };
-            wings[matched as usize].push(*e);
-        }
+        // wing bucket per matched vertex, as flat counting-sorted arrays
+        // (support order preserved within each bucket)
+        let matched_end = |e: &Edge| if self.m.is_matched(e.u) { e.u } else { e.v };
+        let (off, order) = wmatch_graph::csr::bucket_stable(n, self.support.len(), |i| {
+            matched_end(&self.support[i])
+        });
+        let flat: Vec<Edge> = order.iter().map(|&i| self.support[i as usize]).collect();
+        let wings = |x: u32| &flat[off[x as usize] as usize..off[x as usize + 1] as usize];
         let mut used = vec![false; n];
         let mut out = Vec::new();
         for middle in self.m.iter() {
@@ -111,13 +113,13 @@ impl Unw3AugPaths {
             if used[u as usize] || used[v as usize] {
                 continue;
             }
-            let left = wings[u as usize]
+            let left = wings(u)
                 .iter()
                 .find(|e| !used[e.other(u) as usize])
                 .copied();
             let Some(left) = left else { continue };
             let a = left.other(u);
-            let right = wings[v as usize]
+            let right = wings(v)
                 .iter()
                 .find(|e| {
                     let b = e.other(v);

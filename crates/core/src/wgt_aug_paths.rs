@@ -25,8 +25,6 @@
 //! `A_i` with `Marked ∩ W_i`. We follow the analysis (see DESIGN.md §3,
 //! substitution 5).
 
-use std::collections::BTreeMap;
-
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -94,7 +92,9 @@ pub struct WgtAugPaths {
     /// per vertex: is its matched edge marked?
     marked: Vec<bool>,
     cfg: WapConfig,
-    classes: BTreeMap<u32, Unw3AugPaths>,
+    /// per-class instances on the geometric grid, sorted by class index
+    /// ascending (binary-searched on the `feed` hot path).
+    classes: Vec<(u32, Unw3AugPaths)>,
     excess_lr: LocalRatio,
 }
 
@@ -119,21 +119,21 @@ impl WgtAugPaths {
         let n = m0.vertex_count();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut marked = vec![false; n];
-        let mut per_class: BTreeMap<u32, Vec<Edge>> = BTreeMap::new();
+        let mut marked_edges: Vec<(u32, Edge)> = Vec::new();
         for e in m0.iter() {
             if rng.gen_bool(cfg.mark_prob.clamp(0.0, 1.0)) {
                 marked[e.u as usize] = true;
                 marked[e.v as usize] = true;
-                per_class.entry(weight_class(e.weight)).or_default().push(e);
+                marked_edges.push((weight_class(e.weight), e));
             }
         }
-        let classes = per_class
-            .into_iter()
-            .map(|(cls, edges)| {
-                let m = Matching::from_edges(n, edges).expect("subset of M0");
-                (cls, Unw3AugPaths::new(m, cfg.lambda))
-            })
-            .collect();
+        marked_edges.sort_by_key(|(cls, _)| *cls);
+        let mut classes: Vec<(u32, Unw3AugPaths)> = Vec::new();
+        for chunk in marked_edges.chunk_by(|(a, _), (b, _)| a == b) {
+            let cls = chunk[0].0;
+            let m = Matching::from_edges(n, chunk.iter().map(|(_, e)| *e)).expect("subset of M0");
+            classes.push((cls, Unw3AugPaths::new(m, cfg.lambda)));
+        }
         WgtAugPaths {
             m0,
             marked,
@@ -153,6 +153,15 @@ impl WgtAugPaths {
         self.marked[v as usize]
     }
 
+    /// The per-class instance for a weight class, if any middle edge of
+    /// that class was marked.
+    fn class_mut(&mut self, cls: u32) -> Option<&mut Unw3AugPaths> {
+        self.classes
+            .binary_search_by_key(&cls, |(c, _)| *c)
+            .ok()
+            .map(|i| &mut self.classes[i].1)
+    }
+
     /// Processes one stream edge (Algorithm 1, `Feed-Edge`).
     pub fn feed(&mut self, e: Edge) {
         let wu = self.m0.incident_weight(e.u);
@@ -169,8 +178,7 @@ impl WgtAugPaths {
                 // line 11: marked side's weight counts half
                 if (e.weight as f64) > (1.0 + 2.0 * self.cfg.alpha) * (0.5 * wu as f64 + wv as f64)
                 {
-                    let cls = weight_class(wu);
-                    if let Some(inst) = self.classes.get_mut(&cls) {
+                    if let Some(inst) = self.class_mut(weight_class(wu)) {
                         inst.feed(e);
                     }
                 }
@@ -178,8 +186,7 @@ impl WgtAugPaths {
                 // line 14: symmetric case
                 if (e.weight as f64) > (1.0 + 2.0 * self.cfg.alpha) * (wu as f64 + 0.5 * wv as f64)
                 {
-                    let cls = weight_class(wv);
-                    if let Some(inst) = self.classes.get_mut(&cls) {
+                    if let Some(inst) = self.class_mut(weight_class(wv)) {
                         inst.feed(e);
                     }
                 }
@@ -219,6 +226,7 @@ impl WgtAugPaths {
         let mut used = vec![false; self.m0.vertex_count()];
         let mut support_size = 0;
         for (_cls, inst) in self.classes.iter().rev() {
+            // sorted ascending, so .rev() walks the heaviest class first
             support_size += inst.support_size();
             for path in inst.finalize() {
                 let vs: Vec<u32> = path.edges().iter().flat_map(|e| [e.u, e.v]).collect();
@@ -426,7 +434,7 @@ mod tests {
         // mark_prob 1 marks both: no wing passes the one-marked filter;
         // instead verify instance existence by class
         let wap = WgtAugPaths::new(m0, &cfg);
-        let classes: Vec<u32> = wap.classes.keys().copied().collect();
+        let classes: Vec<u32> = wap.classes.iter().map(|(c, _)| *c).collect();
         assert_eq!(classes, vec![weight_class(3), weight_class(40)]);
     }
 }

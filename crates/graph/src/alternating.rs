@@ -7,7 +7,7 @@
 //! `C`, including those on `C` itself — and adds `C \ M`. The *gain*
 //! `w⁺(C)` is the resulting change in matching weight.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 use crate::edge::{Edge, Vertex};
 use crate::error::GraphError;
@@ -145,6 +145,27 @@ impl Augmentation {
         out
     }
 
+    /// Whether this augmentation touches a vertex present in `marks` —
+    /// the epoch-scratch form of the vertex-disjointness test the greedy
+    /// selection sweeps use (equivalent to intersecting
+    /// [`Augmentation::touched_vertices`] with the set, without
+    /// materializing it).
+    pub fn conflicts_with_marks(&self, marks: &crate::scratch::EpochSet) -> bool {
+        self.added
+            .iter()
+            .chain(self.removed.iter())
+            .any(|e| marks.contains(e.u) || marks.contains(e.v))
+    }
+
+    /// Inserts every vertex this augmentation touches into `marks`
+    /// (claiming them for the disjointness test of later candidates).
+    pub fn mark_touched(&self, marks: &mut crate::scratch::EpochSet) {
+        for e in self.added.iter().chain(self.removed.iter()) {
+            marks.insert(e.u);
+            marks.insert(e.v);
+        }
+    }
+
     /// Whether two augmentations touch a common vertex (conservative
     /// conflict test: conflicting augmentations must not both be applied).
     pub fn conflicts_with(&self, other: &Augmentation) -> bool {
@@ -264,57 +285,61 @@ pub fn check_alternating(m: &Matching, comp: &[Edge]) -> Result<ComponentKind, G
 /// and cycles; path components are reported starting from a degree-1 vertex.
 pub fn symmetric_difference_components(m1: &Matching, m2: &Matching) -> Vec<Vec<Edge>> {
     let n = m1.vertex_count().max(m2.vertex_count());
-    let mut diff: HashMap<(Vertex, Vertex), Edge> = HashMap::new();
-    for e in m1.iter() {
-        diff.insert(e.key(), e);
-    }
-    for e in m2.iter() {
-        if diff.remove(&e.key()).is_none() {
-            diff.insert(e.key(), e);
+    // a vertex carries at most one difference edge per matching and
+    // consecutive walk edges must come from opposite matchings, so the
+    // components follow from O(1) mate lookups alone — no adjacency
+    // structure is materialized
+    let edge_in = |m: &Matching, e: &Edge| {
+        (e.u as usize) < m.vertex_count() && (e.v as usize) < m.vertex_count() && m.contains(e)
+    };
+    let d1 = |v: Vertex| {
+        if (v as usize) >= m1.vertex_count() {
+            return None;
         }
-    }
-    let mut adj: Vec<Vec<Edge>> = vec![Vec::new(); n];
-    for e in diff.values() {
-        adj[e.u as usize].push(*e);
-        adj[e.v as usize].push(*e);
-    }
-    let mut used: HashSet<(Vertex, Vertex)> = HashSet::new();
+        m1.matched_edge(v).filter(|e| !edge_in(m2, e))
+    };
+    let d2 = |v: Vertex| {
+        if (v as usize) >= m2.vertex_count() {
+            return None;
+        }
+        m2.matched_edge(v).filter(|e| !edge_in(m1, e))
+    };
+    let degree = |v: Vertex| usize::from(d1(v).is_some()) + usize::from(d2(v).is_some());
+    let mut visited = vec![false; n];
     let mut components = Vec::new();
-    let walk_from = |start: Vertex, adj: &Vec<Vec<Edge>>, used: &mut HashSet<(Vertex, Vertex)>| {
+    // From `start`, take its m1-side difference edge if any (the legacy
+    // adjacency listed m1 edges first), then alternate matchings until the
+    // walk ends (path) or returns to a visited vertex (cycle).
+    let mut walk_from = |start: Vertex, visited: &mut [bool]| {
         let mut comp = Vec::new();
+        let mut from_m1 = d1(start).is_some();
         let mut cur = start;
+        visited[start as usize] = true;
         loop {
-            let next = adj[cur as usize]
-                .iter()
-                .find(|e| !used.contains(&e.key()))
-                .copied();
-            match next {
-                Some(e) => {
-                    used.insert(e.key());
-                    comp.push(e);
-                    cur = e.other(cur);
-                }
-                None => break,
+            let next = if from_m1 { d1(cur) } else { d2(cur) };
+            let Some(e) = next else { break };
+            comp.push(e);
+            cur = e.other(cur);
+            if visited[cur as usize] {
+                break;
             }
+            visited[cur as usize] = true;
+            from_m1 = !from_m1;
         }
-        comp
+        if !comp.is_empty() {
+            components.push(comp);
+        }
     };
     // Paths first: start from degree-1 vertices.
     for v in 0..n as Vertex {
-        if adj[v as usize].len() == 1 && !used.contains(&adj[v as usize][0].key()) {
-            let comp = walk_from(v, &adj, &mut used);
-            if !comp.is_empty() {
-                components.push(comp);
-            }
+        if !visited[v as usize] && degree(v) == 1 {
+            walk_from(v, &mut visited);
         }
     }
-    // Remaining edges form cycles.
+    // Remaining difference edges form cycles.
     for v in 0..n as Vertex {
-        while adj[v as usize].iter().any(|e| !used.contains(&e.key())) {
-            let comp = walk_from(v, &adj, &mut used);
-            if !comp.is_empty() {
-                components.push(comp);
-            }
+        if !visited[v as usize] && degree(v) > 0 {
+            walk_from(v, &mut visited);
         }
     }
     components

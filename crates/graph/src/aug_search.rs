@@ -9,17 +9,27 @@
 //!
 //! Exponential in `max_len`; intended for small graphs in tests and
 //! reports.
-
-use std::collections::HashSet;
+//!
+//! The searcher runs on the flat hot path: neighbourhood scans read the
+//! graph's cached [`CsrView`](crate::CsrView) slices, the visited set is
+//! the [`Scratch`] arena's epoch-stamped set, reset in O(1) per
+//! start vertex, and candidate gains are tracked incrementally along the
+//! walk — the DFS inner loop performs no heap allocation (an
+//! [`Augmentation`] is materialized only for the winning component). Reuse
+//! one [`AugSearcher`] across calls to amortize even the walk buffers.
 
 use crate::alternating::Augmentation;
 use crate::edge::{Edge, Vertex};
 use crate::graph::Graph;
 use crate::matching::Matching;
+use crate::scratch::Scratch;
 
 /// Finds the best augmentation (alternating path or cycle, at most
 /// `max_len` edges on the component) with strictly positive gain, or `None`
 /// if no such augmentation exists.
+///
+/// Convenience wrapper constructing a fresh [`AugSearcher`]; reuse a
+/// searcher when calling in a loop.
 ///
 /// # Example
 ///
@@ -35,32 +45,148 @@ use crate::matching::Matching;
 /// assert_eq!(best.gain(), 1);
 /// ```
 pub fn best_augmentation(g: &Graph, m: &Matching, max_len: usize) -> Option<Augmentation> {
-    let mut best: Option<Augmentation> = None;
-    let mut consider = |aug: Augmentation| {
-        if aug.gain() > 0 && best.as_ref().is_none_or(|b| aug.gain() > b.gain()) {
-            best = Some(aug);
-        }
-    };
+    AugSearcher::new().best_augmentation(g, m, max_len)
+}
 
-    // DFS over simple alternating walks from every start vertex.
-    let n = g.vertex_count();
-    for start in 0..n as Vertex {
-        let mut visited: HashSet<Vertex> = HashSet::new();
-        visited.insert(start);
-        let mut walk: Vec<Edge> = Vec::new();
-        dfs(
-            g,
-            m,
-            start,
-            start,
-            None,
-            &mut visited,
-            &mut walk,
-            max_len,
-            &mut consider,
-        );
+/// Reusable exhaustive searcher for short augmentations.
+///
+/// Holds the epoch-stamped visited marks and walk buffers across calls;
+/// after the first call on a graph of a given size, subsequent searches
+/// allocate only when they find an improving component.
+///
+/// # Example
+///
+/// ```
+/// use wmatch_graph::{Graph, Matching, aug_search::AugSearcher};
+///
+/// let mut g = Graph::new(2);
+/// g.add_edge(0, 1, 5);
+/// let mut searcher = AugSearcher::new();
+/// let aug = searcher.best_augmentation(&g, &Matching::new(2), 1).unwrap();
+/// assert_eq!(aug.gain(), 5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AugSearcher {
+    scratch: Scratch,
+    walk: Vec<Edge>,
+    best_walk: Vec<Edge>,
+    best_gain: i128,
+}
+
+impl AugSearcher {
+    /// Creates a searcher with empty buffers.
+    pub fn new() -> Self {
+        AugSearcher::default()
     }
-    best
+
+    /// Finds the best augmentation with strictly positive gain, or `None`.
+    ///
+    /// Equivalent to the free function [`best_augmentation`], with the
+    /// scratch state reused across calls.
+    pub fn best_augmentation(
+        &mut self,
+        g: &Graph,
+        m: &Matching,
+        max_len: usize,
+    ) -> Option<Augmentation> {
+        let n = g.vertex_count();
+        self.scratch.begin(n);
+        self.walk.clear();
+        self.walk.reserve(max_len + 1);
+        self.best_walk.clear();
+        self.best_walk.reserve(max_len + 1);
+        self.best_gain = 0;
+
+        // DFS over simple alternating walks from every start vertex.
+        for start in 0..n as Vertex {
+            self.scratch.visited.clear();
+            self.scratch.visited.insert(start);
+            self.walk.clear();
+            // the start vertex's matched edge is in the neighbourhood of
+            // every non-empty prefix
+            let removed = m.incident_weight(start) as i128;
+            self.dfs(g, g.csr(), m, start, start, None, max_len, 0, removed);
+        }
+        if self.best_gain > 0 {
+            let aug = Augmentation::from_component(m, &self.best_walk)
+                .expect("gated walks form valid alternating components");
+            debug_assert_eq!(aug.gain(), self.best_gain);
+            Some(aug)
+        } else {
+            None
+        }
+    }
+
+    /// Extends the walk edge by edge, carrying the component gain
+    /// (`added − removed`, with the matching neighbourhood deduplicated
+    /// via the visited marks) in the recursion frame so every prefix is
+    /// evaluated without materializing an [`Augmentation`].
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        &mut self,
+        g: &Graph,
+        csr: &crate::csr::CsrView,
+        m: &Matching,
+        start: Vertex,
+        cur: Vertex,
+        last_in_m: Option<bool>,
+        max_len: usize,
+        added: i128,
+        removed: i128,
+    ) {
+        if self.walk.len() >= max_len {
+            return;
+        }
+        for &eid in csr.edge_ids(cur) {
+            let e = g.edge(eid as usize);
+            let in_m = m.contains(&e);
+            if let Some(last) = last_in_m {
+                if in_m == last {
+                    continue; // must alternate
+                }
+            }
+            let next = e.other(cur);
+            if next == start && self.walk.len() >= 2 {
+                // closing a cycle: alternation must hold around the joint too
+                let first_in_m = m.contains(&self.walk[0]);
+                if in_m != first_in_m && (self.walk.len() + 1).is_multiple_of(2) {
+                    // both endpoints are already on the walk: the closing
+                    // edge changes only the added weight
+                    let gain = added + if in_m { 0 } else { e.weight as i128 } - removed;
+                    if gain > self.best_gain {
+                        self.best_gain = gain;
+                        self.best_walk.clear();
+                        self.best_walk.extend_from_slice(&self.walk);
+                        self.best_walk.push(e);
+                    }
+                }
+                continue;
+            }
+            if self.scratch.visited.contains(next) {
+                continue;
+            }
+            let added = added + if in_m { 0 } else { e.weight as i128 };
+            // `next` contributes its matched edge to the neighbourhood
+            // unless the edge's other endpoint already did
+            let removed = removed
+                + match m.matched_edge(next) {
+                    Some(me) if !self.scratch.visited.contains(me.other(next)) => me.weight as i128,
+                    _ => 0,
+                };
+            self.walk.push(e);
+            self.scratch.visited.insert(next);
+            // every prefix is itself a valid alternating path component
+            let gain = added - removed;
+            if gain > self.best_gain {
+                self.best_gain = gain;
+                self.best_walk.clear();
+                self.best_walk.extend_from_slice(&self.walk);
+            }
+            self.dfs(g, csr, m, start, next, Some(in_m), max_len, added, removed);
+            self.scratch.visited.remove(next);
+            self.walk.pop();
+        }
+    }
 }
 
 /// Whether any augmentation of length at most `max_len` with positive gain
@@ -104,66 +230,6 @@ pub fn approximation_certificate(g: &Graph, m: &Matching, max_l: usize) -> Optio
         best = Some(1.0 - 1.0 / l as f64);
     }
     best
-}
-
-#[allow(clippy::too_many_arguments)]
-fn dfs(
-    g: &Graph,
-    m: &Matching,
-    start: Vertex,
-    cur: Vertex,
-    last_in_m: Option<bool>,
-    visited: &mut HashSet<Vertex>,
-    walk: &mut Vec<Edge>,
-    max_len: usize,
-    consider: &mut impl FnMut(Augmentation),
-) {
-    if walk.len() >= max_len {
-        return;
-    }
-    for (_, e) in g.incident(cur) {
-        let in_m = m.contains(&e);
-        if let Some(last) = last_in_m {
-            if in_m == last {
-                continue; // must alternate
-            }
-        }
-        let next = e.other(cur);
-        if next == start && walk.len() >= 2 {
-            // closing a cycle: alternation must hold around the joint too
-            let first_in_m = m.contains(&walk[0]);
-            if in_m != first_in_m && (walk.len() + 1).is_multiple_of(2) {
-                walk.push(e);
-                if let Ok(aug) = Augmentation::from_component(m, walk) {
-                    consider(aug);
-                }
-                walk.pop();
-            }
-            continue;
-        }
-        if visited.contains(&next) {
-            continue;
-        }
-        walk.push(e);
-        visited.insert(next);
-        // every prefix is itself a valid alternating path component
-        if let Ok(aug) = Augmentation::from_component(m, walk) {
-            consider(aug);
-        }
-        dfs(
-            g,
-            m,
-            start,
-            next,
-            Some(in_m),
-            visited,
-            walk,
-            max_len,
-            consider,
-        );
-        visited.remove(&next);
-        walk.pop();
-    }
 }
 
 #[cfg(test)]

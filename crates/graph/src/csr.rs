@@ -1,0 +1,208 @@
+//! Flat CSR (compressed sparse row) adjacency views.
+//!
+//! The per-round cost of Algorithm 3 (line 3) and of the alternating-walk
+//! searches of Algorithm 4 is dominated by neighbourhood scans. A
+//! [`CsrView`] packs the adjacency of a [`Graph`](crate::Graph) into three
+//! flat arrays — prefix offsets, neighbour targets, and incident edge
+//! indices — so those scans read contiguous memory instead of chasing one
+//! heap pointer per vertex (`Vec<Vec<usize>>`). The view is built once per
+//! graph (lazily, on first use) and cached; any mutation invalidates it.
+//!
+//! Iteration order is the adjacency contract the rest of the workspace
+//! depends on: the edges incident to `v` appear in insertion order, exactly
+//! as a per-vertex push during [`Graph::add_edge`](crate::Graph::add_edge)
+//! would have recorded them. Deterministic traversals (DFS in
+//! [`aug_search`](crate::aug_search), Hopcroft–Karp augmentation order)
+//! therefore produce bit-identical results to the legacy nested-`Vec`
+//! representation.
+
+use crate::edge::{Edge, Vertex};
+
+/// Stable counting sort into buckets: distributes items `0..len` over
+/// `n_buckets` buckets by `key`, returning `(offsets, order)` where
+/// `order[offsets[b]..offsets[b + 1]]` lists the items of bucket `b` in
+/// input order.
+///
+/// This is the one bucketing idiom behind every flat structure in the
+/// workspace — the CSR view itself, Hopcroft–Karp's left-only adjacency,
+/// the wing buckets of `Unw-3-Aug-Paths` — kept in one place so the
+/// overflow guard and the stability contract are shared.
+///
+/// # Example
+///
+/// ```
+/// use wmatch_graph::csr::bucket_stable;
+///
+/// let keys = [1u32, 0, 1, 0];
+/// let (offsets, order) = bucket_stable(2, keys.len(), |i| keys[i]);
+/// assert_eq!(offsets, vec![0, 2, 4]);
+/// assert_eq!(order, vec![1, 3, 0, 2]);
+/// ```
+pub fn bucket_stable(
+    n_buckets: usize,
+    len: usize,
+    key: impl Fn(usize) -> u32,
+) -> (Vec<u32>, Vec<u32>) {
+    assert!(
+        len <= u32::MAX as usize,
+        "item count exceeds the u32 index space"
+    );
+    let mut offsets = vec![0u32; n_buckets + 1];
+    for i in 0..len {
+        offsets[key(i) as usize + 1] += 1;
+    }
+    for b in 0..n_buckets {
+        offsets[b + 1] += offsets[b];
+    }
+    let mut order = vec![0u32; len];
+    let mut cursor = offsets.clone();
+    for i in 0..len {
+        let c = &mut cursor[key(i) as usize];
+        order[*c as usize] = i as u32;
+        *c += 1;
+    }
+    (offsets, order)
+}
+
+/// Flat adjacency of a graph: for each vertex, a contiguous slice of
+/// neighbours and of incident edge indices.
+///
+/// Obtained from [`Graph::csr`](crate::Graph::csr); see the module docs for
+/// the ordering contract.
+///
+/// # Example
+///
+/// ```
+/// use wmatch_graph::Graph;
+///
+/// let mut g = Graph::new(3);
+/// g.add_edge(0, 1, 4);
+/// g.add_edge(1, 2, 2);
+/// let csr = g.csr();
+/// assert_eq!(csr.neighbors(1), &[0, 2]);
+/// assert_eq!(csr.edge_ids(1), &[0, 1]);
+/// assert_eq!(csr.degree(0), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrView {
+    /// `offsets[v]..offsets[v + 1]` indexes `targets`/`edge_ids` for `v`.
+    offsets: Vec<u32>,
+    /// Neighbour endpoint per incidence, with multiplicity for parallel
+    /// edges.
+    targets: Vec<Vertex>,
+    /// Edge index (into the graph's insertion-ordered edge list) per
+    /// incidence.
+    edge_ids: Vec<u32>,
+}
+
+impl CsrView {
+    /// Builds the view from an edge list over `n` vertices with a counting
+    /// sort: two passes over the incidences, three flat allocations, no
+    /// per-vertex heap cells. Incidence `2i` is edge `i` seen from `u`,
+    /// `2i + 1` from `v`, so per-bucket stability is insertion order.
+    pub(crate) fn build(n: usize, edges: &[Edge]) -> Self {
+        let endpoint = |i: usize| {
+            let e = &edges[i / 2];
+            if i.is_multiple_of(2) {
+                e.u
+            } else {
+                e.v
+            }
+        };
+        let (offsets, order) = bucket_stable(n, 2 * edges.len(), endpoint);
+        let mut targets = vec![0 as Vertex; order.len()];
+        let mut edge_ids = vec![0u32; order.len()];
+        for (slot, &i) in order.iter().enumerate() {
+            let e = &edges[i as usize / 2];
+            targets[slot] = e.other(endpoint(i as usize));
+            edge_ids[slot] = i / 2;
+        }
+        CsrView {
+            offsets,
+            targets,
+            edge_ids,
+        }
+    }
+
+    /// Number of vertices covered by the view.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Degree of `v` (counting parallel edges).
+    #[inline]
+    pub fn degree(&self, v: Vertex) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// The neighbours of `v` in insertion order (with multiplicity for
+    /// parallel edges).
+    #[inline]
+    pub fn neighbors(&self, v: Vertex) -> &[Vertex] {
+        &self.targets[self.range(v)]
+    }
+
+    /// The indices of the edges incident to `v`, in insertion order.
+    #[inline]
+    pub fn edge_ids(&self, v: Vertex) -> &[u32] {
+        &self.edge_ids[self.range(v)]
+    }
+
+    /// Iterator over `(edge_index, neighbour)` pairs incident to `v`.
+    #[inline]
+    pub fn incidences(&self, v: Vertex) -> impl Iterator<Item = (usize, Vertex)> + '_ {
+        let r = self.range(v);
+        self.edge_ids[r.clone()]
+            .iter()
+            .zip(&self.targets[r])
+            .map(|(&i, &t)| (i as usize, t))
+    }
+
+    #[inline]
+    fn range(&self, v: Vertex) -> std::ops::Range<usize> {
+        self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_insertion_order_per_vertex() {
+        let edges = vec![
+            Edge::new(0, 1, 1),
+            Edge::new(2, 0, 1),
+            Edge::new(0, 3, 1),
+            Edge::new(1, 2, 1),
+        ];
+        let csr = CsrView::build(4, &edges);
+        assert_eq!(csr.neighbors(0), &[1, 2, 3]);
+        assert_eq!(csr.edge_ids(0), &[0, 1, 2]);
+        assert_eq!(csr.neighbors(2), &[0, 1]);
+        assert_eq!(csr.edge_ids(2), &[1, 3]);
+        assert_eq!(csr.degree(3), 1);
+        let inc: Vec<_> = csr.incidences(1).collect();
+        assert_eq!(inc, vec![(0, 0), (3, 2)]);
+    }
+
+    #[test]
+    fn parallel_edges_keep_multiplicity() {
+        let edges = vec![Edge::new(0, 1, 1), Edge::new(1, 0, 2)];
+        let csr = CsrView::build(2, &edges);
+        assert_eq!(csr.neighbors(0), &[1, 1]);
+        assert_eq!(csr.edge_ids(0), &[0, 1]);
+        assert_eq!(csr.degree(1), 2);
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let csr = CsrView::build(3, &[]);
+        assert_eq!(csr.vertex_count(), 3);
+        for v in 0..3 {
+            assert!(csr.neighbors(v).is_empty());
+            assert_eq!(csr.degree(v), 0);
+        }
+    }
+}

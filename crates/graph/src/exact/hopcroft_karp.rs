@@ -62,37 +62,52 @@ pub fn max_bipartite_cardinality_matching_from(
         "graph is not bipartite under the given sides"
     );
 
-    // adjacency from left vertices only: (right_vertex, edge_index)
-    let mut adj: Vec<Vec<(Vertex, usize)>> = vec![Vec::new(); n];
-    for (idx, e) in g.edges().iter().enumerate() {
-        let (l, r) = if !side[e.u as usize] {
-            (e.u, e.v)
-        } else {
-            (e.v, e.u)
-        };
-        adj[l as usize].push((r, idx));
-    }
+    // flat left-only adjacency (counting sort, insertion order preserved):
+    // adj_to/adj_eid[adj_off[l]..adj_off[l+1]] list l's (right, edge) pairs
+    let edges = g.edges();
+    let left_of = |e: &crate::edge::Edge| if !side[e.u as usize] { e.u } else { e.v };
+    let (adj_off, adj_eid) = crate::csr::bucket_stable(n, edges.len(), |i| left_of(&edges[i]));
+    let adj_to: Vec<Vertex> = adj_eid
+        .iter()
+        .map(|&i| {
+            let e = &edges[i as usize];
+            e.other(left_of(e))
+        })
+        .collect();
 
-    // pair_of[v] = (mate, edge index) in current matching
-    let mut pair: Vec<Option<(Vertex, usize)>> = vec![None; n];
+    // pair_v[v] = mate (NONE if free), pair_e[v] = matched edge index
+    let mut pair_v = vec![INF; n];
+    let mut pair_e = vec![INF; n];
     for me in init.iter() {
         let idx = g
             .incident(me.u)
             .find(|(_, ge)| ge.same_endpoints(&me))
             .map(|(i, _)| i)
             .expect("initial matching edge must exist in graph");
-        pair[me.u as usize] = Some((me.v, idx));
-        pair[me.v as usize] = Some((me.u, idx));
+        pair_v[me.u as usize] = me.v;
+        pair_v[me.v as usize] = me.u;
+        pair_e[me.u as usize] = idx as u32;
+        pair_e[me.v as usize] = idx as u32;
     }
 
-    let lefts: Vec<Vertex> = (0..n as Vertex).filter(|&v| !side[v as usize]).collect();
+    // only left vertices with incident edges can join an augmenting path
+    // (layered graphs are vertex-huge but edge-sparse: sweeping the active
+    // lefts instead of all of them is the difference between O(V) and
+    // O(active) per phase)
+    let lefts: Vec<Vertex> = (0..n as Vertex)
+        .filter(|&v| !side[v as usize] && adj_off[v as usize] != adj_off[v as usize + 1])
+        .collect();
     let mut dist: Vec<u32> = vec![INF; n];
+    let mut queue: std::collections::VecDeque<Vertex> = std::collections::VecDeque::new();
 
     // BFS: layer the left vertices from the free ones.
-    let bfs = |pair: &Vec<Option<(Vertex, usize)>>, dist: &mut Vec<u32>| -> bool {
-        let mut queue = std::collections::VecDeque::new();
+    let bfs = |pair_v: &[u32],
+               dist: &mut [u32],
+               queue: &mut std::collections::VecDeque<Vertex>|
+     -> bool {
+        queue.clear();
         for &u in &lefts {
-            if pair[u as usize].is_none() {
+            if pair_v[u as usize] == INF {
                 dist[u as usize] = 0;
                 queue.push_back(u);
             } else {
@@ -101,56 +116,71 @@ pub fn max_bipartite_cardinality_matching_from(
         }
         let mut reachable_free = false;
         while let Some(u) = queue.pop_front() {
-            for &(v, _) in &adj[u as usize] {
-                match pair[v as usize] {
-                    None => reachable_free = true,
-                    Some((w, _)) => {
-                        if dist[w as usize] == INF {
-                            dist[w as usize] = dist[u as usize] + 1;
-                            queue.push_back(w);
-                        }
-                    }
+            let r = adj_off[u as usize] as usize..adj_off[u as usize + 1] as usize;
+            for &v in &adj_to[r] {
+                let w = pair_v[v as usize];
+                if w == INF {
+                    reachable_free = true;
+                } else if dist[w as usize] == INF {
+                    dist[w as usize] = dist[u as usize] + 1;
+                    queue.push_back(w);
                 }
             }
         }
         reachable_free
     };
 
-    fn dfs(
-        u: Vertex,
-        adj: &[Vec<(Vertex, usize)>],
-        pair: &mut Vec<Option<(Vertex, usize)>>,
-        dist: &mut Vec<u32>,
-    ) -> bool {
-        for i in 0..adj[u as usize].len() {
-            let (v, eidx) = adj[u as usize][i];
-            let next = pair[v as usize];
-            let ok = match next {
-                None => true,
-                Some((w, _)) => dist[w as usize] == dist[u as usize] + 1 && dfs(w, adj, pair, dist),
-            };
-            if ok {
-                pair[u as usize] = Some((v, eidx));
-                pair[v as usize] = Some((u, eidx));
-                return true;
-            }
-        }
-        dist[u as usize] = INF;
-        false
+    struct Dfs<'x> {
+        adj_off: &'x [u32],
+        adj_to: &'x [Vertex],
+        adj_eid: &'x [u32],
+        pair_v: &'x mut [u32],
+        pair_e: &'x mut [u32],
+        dist: &'x mut [u32],
     }
 
-    while bfs(&pair, &mut dist) {
+    impl Dfs<'_> {
+        fn run(&mut self, u: Vertex) -> bool {
+            let r = self.adj_off[u as usize] as usize..self.adj_off[u as usize + 1] as usize;
+            for i in r {
+                let (v, eidx) = (self.adj_to[i], self.adj_eid[i]);
+                let next = self.pair_v[v as usize];
+                let ok = next == INF
+                    || (self.dist[next as usize] == self.dist[u as usize] + 1 && self.run(next));
+                if ok {
+                    self.pair_v[u as usize] = v;
+                    self.pair_v[v as usize] = u;
+                    self.pair_e[u as usize] = eidx;
+                    self.pair_e[v as usize] = eidx;
+                    return true;
+                }
+            }
+            self.dist[u as usize] = INF;
+            false
+        }
+    }
+
+    while bfs(&pair_v, &mut dist, &mut queue) {
+        let mut dfs = Dfs {
+            adj_off: &adj_off,
+            adj_to: &adj_to,
+            adj_eid: &adj_eid,
+            pair_v: &mut pair_v,
+            pair_e: &mut pair_e,
+            dist: &mut dist,
+        };
         for &u in &lefts {
-            if pair[u as usize].is_none() {
-                dfs(u, &adj, &mut pair, &mut dist);
+            if dfs.pair_v[u as usize] == INF {
+                dfs.run(u);
             }
         }
     }
 
     let mut m = Matching::new(n);
     for &u in &lefts {
-        if let Some((_, eidx)) = pair[u as usize] {
-            m.insert(g.edge(eidx)).expect("pairs are disjoint");
+        if pair_v[u as usize] != INF {
+            m.insert(g.edge(pair_e[u as usize] as usize))
+                .expect("pairs are disjoint");
         }
     }
     m

@@ -2,16 +2,20 @@
 
 use std::collections::HashSet;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
+use crate::csr::CsrView;
 use crate::edge::{Edge, Vertex};
 use crate::error::GraphError;
 
 /// An undirected graph with positive integer edge weights.
 ///
 /// The graph stores its edges in insertion order (important for streaming
-/// experiments, where the edge list *is* the stream) and maintains an
-/// adjacency structure for neighbourhood queries. Parallel edges are
-/// permitted by the representation (some constructions repeat edges); use
+/// experiments, where the edge list *is* the stream). Adjacency queries go
+/// through a flat [`CsrView`] built lazily on first use and cached until
+/// the next mutation; see [`Graph::csr`]. Parallel edges are permitted by
+/// the representation (some constructions repeat edges); use
 /// [`Graph::is_simple`] to check for them.
 ///
 /// # Example
@@ -29,13 +33,41 @@ use crate::error::GraphError;
 /// assert_eq!(g.neighbors(1).count(), 2);
 /// let _ = e1;
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Default)]
 pub struct Graph {
     n: usize,
     edges: Vec<Edge>,
-    /// adjacency: vertex -> list of edge indices incident to it
-    adj: Vec<Vec<usize>>,
+    /// Flat adjacency, derived from `edges`: built on first query,
+    /// dropped on mutation.
+    csr: OnceLock<CsrView>,
+    /// How many times the CSR view has been (re)built — real work the
+    /// facade reports in its telemetry.
+    csr_rebuilds: AtomicU64,
 }
+
+impl Clone for Graph {
+    fn clone(&self) -> Self {
+        let csr = OnceLock::new();
+        if let Some(view) = self.csr.get() {
+            let _ = csr.set(view.clone());
+        }
+        Graph {
+            n: self.n,
+            edges: self.edges.clone(),
+            csr,
+            csr_rebuilds: AtomicU64::new(self.csr_rebuilds.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        // the CSR cache and its rebuild counter are derived state
+        self.n == other.n && self.edges == other.edges
+    }
+}
+
+impl Eq for Graph {}
 
 impl Graph {
     /// Creates an empty graph on `n` vertices (`0..n`).
@@ -43,7 +75,8 @@ impl Graph {
         Graph {
             n,
             edges: Vec::new(),
-            adj: vec![Vec::new(); n],
+            csr: OnceLock::new(),
+            csr_rebuilds: AtomicU64::new(0),
         }
     }
 
@@ -74,9 +107,36 @@ impl Graph {
         let e = Edge::new(u, v, weight);
         let idx = self.edges.len();
         self.edges.push(e);
-        self.adj[u as usize].push(idx);
-        self.adj[v as usize].push(idx);
+        self.csr.take();
         idx
+    }
+
+    /// Removes all edges, keeping the vertex count (and the edge list's
+    /// allocation, so graphs can be reused as per-pass scratch buffers by
+    /// the streaming and MPC local-graph builds).
+    pub fn clear_edges(&mut self) {
+        self.edges.clear();
+        self.csr.take();
+    }
+
+    /// The flat CSR adjacency view of this graph, built on first use and
+    /// cached until the next mutation.
+    ///
+    /// This is the hot-path entry point: inner loops should hoist
+    /// `g.csr()` once and scan its contiguous slices rather than calling
+    /// [`Graph::incident`]/[`Graph::neighbors`] per step.
+    #[inline]
+    pub fn csr(&self) -> &CsrView {
+        self.csr.get_or_init(|| {
+            self.csr_rebuilds.fetch_add(1, Ordering::Relaxed);
+            CsrView::build(self.n, &self.edges)
+        })
+    }
+
+    /// How many times this graph's CSR view has been (re)built — a real
+    /// counter for the work mutation-triggered invalidation causes.
+    pub fn csr_rebuild_count(&self) -> u64 {
+        self.csr_rebuilds.load(Ordering::Relaxed)
     }
 
     /// Number of vertices.
@@ -109,23 +169,22 @@ impl Graph {
 
     /// Iterator over `(edge_index, neighbor)` pairs incident to `v`.
     pub fn incident(&self, v: Vertex) -> impl Iterator<Item = (usize, Edge)> + '_ {
-        self.adj[v as usize]
+        self.csr()
+            .edge_ids(v)
             .iter()
-            .map(move |&i| (i, self.edges[i]))
+            .map(move |&i| (i as usize, self.edges[i as usize]))
     }
 
     /// Iterator over the neighbours of `v` (with multiplicity for parallel
     /// edges).
     pub fn neighbors(&self, v: Vertex) -> impl Iterator<Item = Vertex> + '_ {
-        self.adj[v as usize]
-            .iter()
-            .map(move |&i| self.edges[i].other(v))
+        self.csr().neighbors(v).iter().copied()
     }
 
     /// Degree of `v` (counting parallel edges).
     #[inline]
     pub fn degree(&self, v: Vertex) -> usize {
-        self.adj[v as usize].len()
+        self.csr().degree(v)
     }
 
     /// Total weight of all edges.
@@ -165,6 +224,7 @@ impl Graph {
 
     /// Attempts to 2-colour the graph; returns the colouring if bipartite.
     pub fn bipartition(&self) -> Option<Vec<bool>> {
+        let csr = self.csr();
         let mut color = vec![None; self.n];
         let mut queue = std::collections::VecDeque::new();
         for s in 0..self.n {
@@ -175,7 +235,7 @@ impl Graph {
             queue.push_back(s as Vertex);
             while let Some(v) = queue.pop_front() {
                 let cv = color[v as usize].unwrap();
-                for w in self.neighbors(v).collect::<Vec<_>>() {
+                for &w in csr.neighbors(v) {
                     match color[w as usize] {
                         None => {
                             color[w as usize] = Some(!cv);
@@ -287,6 +347,22 @@ mod tests {
         assert_eq!(u.edge_count(), 3);
         assert!(u.edges().iter().all(|e| e.weight == 1));
         assert_eq!(u.edge(0).key(), g.edge(0).key());
+    }
+
+    #[test]
+    fn csr_cache_invalidated_on_mutation() {
+        let mut g = triangle();
+        assert_eq!(g.csr_rebuild_count(), 0);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.csr_rebuild_count(), 1, "queries share one build");
+        g.add_edge(0, 1, 9);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.csr_rebuild_count(), 2, "mutation forces a rebuild");
+        g.clear_edges();
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.degree(0), 0);
+        assert_eq!(g.vertex_count(), 3);
     }
 
     #[test]

@@ -16,7 +16,11 @@
 //!   Hungarian (successive shortest paths), unweighted blossom, and Galil's
 //!   maximum-weight general matching,
 //! * [`aug_search`] — exhaustive short-augmentation search used to verify
-//!   Fact 1.3.
+//!   Fact 1.3,
+//! * [`csr`] / [`scratch`] — the flat hot-path substrate: cached CSR
+//!   adjacency views ([`CsrView`]) and epoch-stamped scratch arenas
+//!   ([`Scratch`]) that keep the per-round neighbourhood scans of
+//!   Algorithm 3/4 allocation-free.
 //!
 //! # Example
 //!
@@ -36,18 +40,22 @@
 
 pub mod alternating;
 pub mod aug_search;
+pub mod csr;
 pub mod edge;
 pub mod error;
 pub mod exact;
 pub mod generators;
 pub mod graph;
 pub mod matching;
+pub mod scratch;
 
 pub use alternating::Augmentation;
+pub use csr::CsrView;
 pub use edge::{Edge, Vertex};
 pub use error::GraphError;
 pub use graph::Graph;
 pub use matching::Matching;
+pub use scratch::Scratch;
 
 /// Total weight of a slice of edges as a wide integer (cannot overflow for
 /// any realistic instance: `u64` weights summed into `i128`).

@@ -1,0 +1,325 @@
+//! Epoch-stamped scratch arenas: reusable dense vertex-indexed sets, maps
+//! and counters with O(1) reset.
+//!
+//! Every inner loop of the paper's machinery needs transient per-vertex
+//! state — the `visited` set of an alternating-walk DFS (Algorithm 3
+//! line 3), the conflict marks of the cross-class sweep (Algorithm 3
+//! lines 5–8), the parent links of an augmenting-path search. Allocating a
+//! `HashSet`/`HashMap` per call makes the allocator the dominant cost term;
+//! the classical fix (Gabow's timestamped mark arrays) is a dense `u32`
+//! stamp per vertex plus a current-epoch counter: membership is
+//! `stamp[v] == epoch`, and clearing the whole structure is one epoch
+//! increment.
+//!
+//! [`Scratch`] bundles the two sets the workspace's hot paths use
+//! (`visited` for walk searches, `mark` for conflict sweeps) plus a
+//! high-water mark that feeds the facade's memory telemetry. The
+//! individual [`EpochSet`] / [`EpochMap`] types are also usable on their
+//! own — [`EpochMap`] is the dense replacement for `HashMap<Vertex, _>`
+//! (parent links, degree counters: see the stream/MPC coreset builds).
+
+use crate::edge::Vertex;
+
+/// A dense set of vertices with O(1) insert, query, remove and clear.
+///
+/// # Example
+///
+/// ```
+/// use wmatch_graph::scratch::EpochSet;
+///
+/// let mut s = EpochSet::new();
+/// s.ensure(8);
+/// assert!(s.insert(3));
+/// assert!(!s.insert(3));
+/// s.clear(); // O(1): bumps the epoch
+/// assert!(!s.contains(3));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EpochSet {
+    epoch: u32,
+    stamp: Vec<u32>,
+}
+
+impl EpochSet {
+    /// Creates an empty set; call [`EpochSet::ensure`] before use.
+    pub fn new() -> Self {
+        EpochSet {
+            epoch: 1,
+            stamp: Vec::new(),
+        }
+    }
+
+    /// Grows the backing array to cover vertices `0..n` (never shrinks).
+    pub fn ensure(&mut self, n: usize) {
+        if self.epoch == 0 {
+            self.epoch = 1;
+        }
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+        }
+    }
+
+    /// Empties the set in O(1) by advancing the epoch (stamp `0` is
+    /// reserved as never-current, so a wrapped epoch re-zeroes the array).
+    pub fn clear(&mut self) {
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    /// Inserts `v`; returns whether it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, v: Vertex) -> bool {
+        let s = &mut self.stamp[v as usize];
+        let fresh = *s != self.epoch;
+        *s = self.epoch;
+        fresh
+    }
+
+    /// Removes `v` (a no-op if absent).
+    #[inline]
+    pub fn remove(&mut self, v: Vertex) {
+        self.stamp[v as usize] = 0;
+    }
+
+    /// Whether `v` is in the set.
+    #[inline]
+    pub fn contains(&self, v: Vertex) -> bool {
+        self.stamp[v as usize] == self.epoch
+    }
+
+    /// Capacity in vertices.
+    pub fn capacity(&self) -> usize {
+        self.stamp.len()
+    }
+}
+
+/// A dense vertex-indexed map with O(1) insert, query and clear — the
+/// epoch-stamped replacement for `HashMap<Vertex, T>` in hot loops.
+///
+/// # Example
+///
+/// ```
+/// use wmatch_graph::scratch::EpochMap;
+///
+/// let mut m: EpochMap<u32> = EpochMap::new();
+/// m.ensure(4);
+/// m.insert(2, 7);
+/// assert_eq!(m.get(2), Some(7));
+/// m.clear();
+/// assert_eq!(m.get(2), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EpochMap<T: Copy + Default> {
+    epoch: u32,
+    stamp: Vec<u32>,
+    slot: Vec<T>,
+}
+
+impl<T: Copy + Default> EpochMap<T> {
+    /// Creates an empty map; call [`EpochMap::ensure`] before use.
+    pub fn new() -> Self {
+        EpochMap {
+            epoch: 1,
+            stamp: Vec::new(),
+            slot: Vec::new(),
+        }
+    }
+
+    /// Grows the backing arrays to cover vertices `0..n` (never shrinks).
+    pub fn ensure(&mut self, n: usize) {
+        if self.epoch == 0 {
+            self.epoch = 1;
+        }
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.slot.resize(n, T::default());
+        }
+    }
+
+    /// Empties the map in O(1) by advancing the epoch.
+    pub fn clear(&mut self) {
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    /// Binds `v` to `value`, overwriting any current binding.
+    #[inline]
+    pub fn insert(&mut self, v: Vertex, value: T) {
+        self.stamp[v as usize] = self.epoch;
+        self.slot[v as usize] = value;
+    }
+
+    /// The value bound to `v`, if any.
+    #[inline]
+    pub fn get(&self, v: Vertex) -> Option<T> {
+        (self.stamp[v as usize] == self.epoch).then(|| self.slot[v as usize])
+    }
+
+    /// Whether `v` is bound.
+    #[inline]
+    pub fn contains(&self, v: Vertex) -> bool {
+        self.stamp[v as usize] == self.epoch
+    }
+
+    /// The value bound to `v`, or `T::default()` — convenient for
+    /// counters (`EpochMap<u32>` as a degree counter).
+    #[inline]
+    pub fn get_or_default(&self, v: Vertex) -> T {
+        self.get(v).unwrap_or_default()
+    }
+
+    /// Capacity in vertices.
+    pub fn capacity(&self) -> usize {
+        self.stamp.len()
+    }
+}
+
+/// The scratch arena one worker owns across calls: the `visited` set of
+/// the current walk search and the `mark` set of the current conflict
+/// sweep, reset per call in O(1), plus the high-water mark the facade
+/// reports as real memory telemetry.
+///
+/// One `Scratch` per thread: the per-class workers of Algorithm 3 line 3
+/// each own one, so the parallel sweep performs no per-class allocation.
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    /// Visited set of the current walk/search.
+    pub visited: EpochSet,
+    /// Conflict marks (e.g. vertices touched by accepted augmentations).
+    pub mark: EpochSet,
+    high_water: usize,
+}
+
+impl Scratch {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+
+    /// Prepares the arena for a computation over `n` vertices: grows the
+    /// backing arrays if needed, empties all structures (O(1)), and
+    /// records the high-water mark.
+    pub fn begin(&mut self, n: usize) {
+        self.visited.ensure(n);
+        self.mark.ensure(n);
+        self.visited.clear();
+        self.mark.clear();
+        self.high_water = self.high_water.max(n);
+    }
+
+    /// The largest vertex count this arena has been prepared for — the
+    /// real dense-array footprint behind the facade's memory telemetry.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Folds another arena's high-water mark into this one (used when
+    /// aggregating per-worker arenas after a parallel sweep).
+    pub fn absorb_high_water(&mut self, other: usize) {
+        self.high_water = self.high_water.max(other);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_insert_query_remove() {
+        let mut s = EpochSet::new();
+        s.ensure(4);
+        assert!(s.insert(0));
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.contains(0) && s.contains(3) && !s.contains(1));
+        s.remove(3);
+        assert!(!s.contains(3));
+        assert!(s.insert(3));
+    }
+
+    #[test]
+    fn clear_is_complete() {
+        let mut s = EpochSet::new();
+        s.ensure(16);
+        for v in 0..16 {
+            s.insert(v);
+        }
+        s.clear();
+        for v in 0..16 {
+            assert!(!s.contains(v), "vertex {v} leaked across the epoch reset");
+        }
+    }
+
+    #[test]
+    fn epoch_wrap_rezeros() {
+        let mut s = EpochSet::new();
+        s.ensure(2);
+        s.epoch = u32::MAX - 1;
+        s.insert(0);
+        s.clear(); // epoch = MAX
+        assert!(!s.contains(0));
+        s.insert(1);
+        assert!(s.contains(1));
+        s.clear(); // wrap: fill(0), epoch = 1
+        assert_eq!(s.epoch, 1);
+        assert!(!s.contains(0) && !s.contains(1));
+        assert!(s.insert(0));
+    }
+
+    #[test]
+    fn map_wrap_rezeros() {
+        let mut m: EpochMap<u32> = EpochMap::new();
+        m.ensure(2);
+        m.epoch = u32::MAX;
+        m.insert(0, 9);
+        m.clear();
+        assert_eq!(m.epoch, 1);
+        assert_eq!(m.get(0), None);
+        assert_eq!(m.get_or_default(0), 0);
+    }
+
+    #[test]
+    fn map_bindings_respect_epochs() {
+        let mut m: EpochMap<u64> = EpochMap::new();
+        m.ensure(3);
+        m.insert(1, 10);
+        m.insert(1, 11);
+        assert_eq!(m.get(1), Some(11));
+        m.clear();
+        assert!(!m.contains(1));
+        m.insert(2, 5);
+        assert_eq!(m.get(2), Some(5));
+        assert_eq!(m.get(1), None);
+    }
+
+    #[test]
+    fn scratch_tracks_high_water() {
+        let mut s = Scratch::new();
+        s.begin(10);
+        s.visited.insert(9);
+        s.begin(4);
+        assert!(!s.visited.contains(3));
+        assert_eq!(s.high_water(), 10);
+        s.absorb_high_water(32);
+        assert_eq!(s.high_water(), 32);
+    }
+
+    #[test]
+    fn ensure_grows_without_losing_current_epoch() {
+        let mut s = EpochSet::new();
+        s.ensure(2);
+        s.insert(1);
+        s.ensure(8);
+        assert!(s.contains(1));
+        assert!(!s.contains(7));
+        assert!(s.insert(7));
+    }
+}

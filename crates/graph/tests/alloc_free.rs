@@ -1,0 +1,82 @@
+//! Counting-allocator proof that the migrated DFS inner loop of
+//! `aug_search` performs zero per-call heap allocations.
+//!
+//! The searcher's buffers (epoch-stamped visited marks, walk stacks) are
+//! sized on the first call; a second call on the same instance must not
+//! touch the allocator at all while it explores — the acceptance criterion
+//! of the flat hot-path refactor. This file holds a single test so no
+//! concurrent test thread can perturb the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use wmatch_graph::aug_search::AugSearcher;
+use wmatch_graph::{Graph, Matching};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn dfs_inner_loop_is_allocation_free() {
+    // k disjoint paths a-u-v-b with a heavy middle: the matching holding
+    // every middle edge admits no positive augmentation, so the searcher
+    // explores every alternating walk without ever materializing one
+    let k = 500usize;
+    let mut g = Graph::new(4 * k);
+    let mut middles = Vec::new();
+    for i in 0..k as u32 {
+        let b = 4 * i;
+        g.add_edge(b, b + 1, 1);
+        let mid = g.add_edge(b + 1, b + 2, 10);
+        g.add_edge(b + 2, b + 3, 1);
+        middles.push(g.edge(mid));
+    }
+    let m = Matching::from_edges(4 * k, middles).unwrap();
+
+    let mut searcher = AugSearcher::new();
+    // warm-up: builds the CSR view and sizes the searcher's buffers
+    assert!(searcher.best_augmentation(&g, &m, 5).is_none());
+
+    let before = allocations();
+    let found = searcher.best_augmentation(&g, &m, 5);
+    let during = allocations() - before;
+    assert!(found.is_none(), "the matching is locally optimal");
+    assert_eq!(
+        during, 0,
+        "warmed-up DFS inner loop must not touch the allocator ({during} allocations)"
+    );
+
+    // and it still finds real augmentations when they exist: weaken one
+    // middle so its wings win
+    let mut g2 = Graph::new(4);
+    g2.add_edge(0, 1, 9);
+    g2.add_edge(1, 2, 10);
+    g2.add_edge(2, 3, 9);
+    let m2 = Matching::from_edges(4, [g2.edge(1)]).unwrap();
+    let aug = searcher.best_augmentation(&g2, &m2, 3).unwrap();
+    assert_eq!(aug.gain(), 8);
+}

@@ -1,0 +1,166 @@
+//! Property suite for the flat hot-path substrate: `CsrView` must agree
+//! with the legacy per-vertex adjacency semantics (edge-index lists in
+//! insertion order) on random, parallel-edge, and star graphs, and the
+//! epoch-stamped `Scratch` structures must never leak marks across resets.
+
+use proptest::prelude::*;
+
+use wmatch_graph::scratch::{EpochMap, EpochSet};
+use wmatch_graph::{Edge, Graph, Vertex};
+
+/// The adjacency the legacy representation maintained eagerly: for each
+/// vertex, the incident edge indices in insertion order. `CsrView` must
+/// reproduce it exactly.
+fn reference_adjacency(n: usize, edges: &[Edge]) -> Vec<Vec<usize>> {
+    let mut adj = vec![Vec::new(); n];
+    for (idx, e) in edges.iter().enumerate() {
+        adj[e.u as usize].push(idx);
+        adj[e.v as usize].push(idx);
+    }
+    adj
+}
+
+fn assert_csr_agrees(g: &Graph) {
+    let reference = reference_adjacency(g.vertex_count(), g.edges());
+    let csr = g.csr();
+    for v in 0..g.vertex_count() as Vertex {
+        let want: Vec<usize> = reference[v as usize].clone();
+        let got: Vec<usize> = csr.edge_ids(v).iter().map(|&i| i as usize).collect();
+        assert_eq!(got, want, "edge ids of vertex {v}");
+        assert_eq!(csr.degree(v), want.len(), "degree of vertex {v}");
+        let nbrs: Vec<Vertex> = csr.neighbors(v).to_vec();
+        let want_nbrs: Vec<Vertex> = want.iter().map(|&i| g.edge(i).other(v)).collect();
+        assert_eq!(nbrs, want_nbrs, "neighbours of vertex {v}");
+        let inc: Vec<(usize, Vertex)> = csr.incidences(v).collect();
+        let want_inc: Vec<(usize, Vertex)> =
+            want.iter().map(|&i| (i, g.edge(i).other(v))).collect();
+        assert_eq!(inc, want_inc, "incidences of vertex {v}");
+        // the Graph-level iterators ride the same view
+        let api: Vec<usize> = g.incident(v).map(|(i, _)| i).collect();
+        assert_eq!(api, want, "Graph::incident of vertex {v}");
+        assert_eq!(g.neighbors(v).collect::<Vec<_>>(), want_nbrs);
+    }
+}
+
+/// A random multigraph: parallel edges allowed on purpose.
+fn arb_multigraph(max_n: usize, max_m: usize) -> impl Strategy<Value = Graph> {
+    (2usize..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32, 1u64..=100), 0..=max_m).prop_map(
+            move |raw| {
+                let mut g = Graph::new(n);
+                for (u, v, w) in raw {
+                    if u != v {
+                        g.add_edge(u, v, w);
+                    }
+                }
+                g
+            },
+        )
+    })
+}
+
+proptest! {
+    // Seed pinned for reproducibility: every run explores the same cases.
+    #![proptest_config(ProptestConfig::with_cases(200).with_seed(0x0063_7372_7363))] // b"csrsc"
+
+    /// CSR iteration order and content agree with the legacy adjacency on
+    /// random multigraphs (parallel edges included).
+    #[test]
+    fn csr_agrees_on_random_multigraphs(g in arb_multigraph(24, 60)) {
+        assert_csr_agrees(&g);
+    }
+
+    /// Star graphs: one hub vertex carries every incidence.
+    #[test]
+    fn csr_agrees_on_stars(leaves in 1usize..40, dup in 1usize..3) {
+        let mut g = Graph::new(leaves + 1);
+        for l in 0..leaves as u32 {
+            for _ in 0..dup {
+                g.add_edge(0, l + 1, (l + 1) as u64);
+            }
+        }
+        assert_csr_agrees(&g);
+        prop_assert_eq!(g.degree(0), leaves * dup);
+    }
+
+    /// Heavy parallel-edge graphs: every pair repeated several times.
+    #[test]
+    fn csr_agrees_on_parallel_edges(pairs in 1usize..8, copies in 2usize..5) {
+        let mut g = Graph::new(2 * pairs);
+        for p in 0..pairs as u32 {
+            for c in 0..copies as u64 {
+                g.add_edge(2 * p, 2 * p + 1, c + 1);
+            }
+        }
+        assert_csr_agrees(&g);
+        prop_assert!(!g.is_simple());
+    }
+
+    /// The cached view stays consistent across interleaved mutation.
+    #[test]
+    fn csr_survives_incremental_growth(g in arb_multigraph(12, 24)) {
+        let mut h = Graph::new(g.vertex_count());
+        for e in g.edges() {
+            h.add_edge(e.u, e.v, e.weight);
+            // query mid-build: forces rebuild-on-mutation to stay coherent
+            assert_csr_agrees(&h);
+        }
+        prop_assert_eq!(&h, &g);
+    }
+
+    /// Epoch reset never leaks marks: any insert pattern followed by a
+    /// clear leaves the set observably empty, across many epochs.
+    #[test]
+    fn epoch_set_never_leaks(rounds in proptest::collection::vec(
+        proptest::collection::vec(0u32..64, 0..20), 1..12)) {
+        let mut s = EpochSet::new();
+        s.ensure(64);
+        for marks in &rounds {
+            for &v in marks {
+                s.insert(v);
+                prop_assert!(s.contains(v));
+            }
+            s.clear();
+            for v in 0..64 {
+                prop_assert!(!s.contains(v), "mark {v} leaked across reset");
+            }
+        }
+    }
+
+    /// Same for the dense map: stale bindings from earlier epochs are
+    /// never visible, and rebinding within an epoch overwrites.
+    #[test]
+    fn epoch_map_never_leaks(rounds in proptest::collection::vec(
+        proptest::collection::vec((0u32..48, 0u64..1000), 0..16), 1..10)) {
+        let mut m: EpochMap<u64> = EpochMap::new();
+        m.ensure(48);
+        for bindings in &rounds {
+            let mut shadow = std::collections::HashMap::new();
+            for &(v, x) in bindings {
+                m.insert(v, x);
+                shadow.insert(v, x);
+            }
+            for v in 0..48 {
+                prop_assert_eq!(m.get(v), shadow.get(&v).copied());
+            }
+            m.clear();
+            for v in 0..48 {
+                prop_assert_eq!(m.get(v), None, "binding of {} leaked", v);
+            }
+        }
+    }
+}
+
+#[test]
+fn clone_preserves_cache_and_equality() {
+    let mut g = Graph::new(3);
+    g.add_edge(0, 1, 1);
+    g.add_edge(1, 2, 2);
+    let _ = g.csr();
+    let h = g.clone();
+    assert_eq!(g, h);
+    assert_csr_agrees(&h);
+    // equality ignores derived CSR state: a never-queried twin is equal
+    let fresh = Graph::from_edges(3, g.edges().iter().copied());
+    assert_eq!(g, fresh);
+}

@@ -25,6 +25,7 @@ use rand::Rng;
 use rand::SeedableRng;
 
 use wmatch_graph::exact::hopcroft_karp::max_bipartite_cardinality_matching_from;
+use wmatch_graph::scratch::EpochMap;
 use wmatch_graph::{Edge, Graph, Matching};
 
 use crate::simulator::{MpcError, MpcSimulator};
@@ -148,6 +149,11 @@ pub fn mpc_bipartite_mcm(
 
     let mut matching = Matching::new(n);
     let mut fruitless = 0usize;
+    // coreset scratch, shared across machines and iterations: an
+    // epoch-reset degree counter and a reusable local-graph buffer
+    let mut deg: EpochMap<u32> = EpochMap::new();
+    deg.ensure(n);
+    let mut h = Graph::new(n);
 
     for _iter in 0..cfg.max_iterations {
         // (1) broadcast the current matching
@@ -164,17 +170,18 @@ pub fn mpc_bipartite_mcm(
         })?;
 
         // (3) coreset extraction and gather to the coordinator
+        let deg = &mut deg;
         let inboxes = sim.exchange_transient(|_mach, local| {
-            let mut deg = vec![0u32; n];
+            deg.clear();
             let mut out = Vec::new();
             for &e in local {
                 if out.len() >= quota {
                     break;
                 }
-                let (u, v) = (e.u as usize, e.v as usize);
-                if deg[u] < cfg.degree_cap as u32 && deg[v] < cfg.degree_cap as u32 {
-                    deg[u] += 1;
-                    deg[v] += 1;
+                let (du, dv) = (deg.get_or_default(e.u), deg.get_or_default(e.v));
+                if du < cfg.degree_cap as u32 && dv < cfg.degree_cap as u32 {
+                    deg.insert(e.u, du + 1);
+                    deg.insert(e.v, dv + 1);
                     out.push((coordinator, e));
                 }
             }
@@ -182,7 +189,7 @@ pub fn mpc_bipartite_mcm(
         })?;
 
         // (4) coordinator: offline augmentation on coreset ∪ M
-        let mut h = Graph::new(n);
+        h.clear_edges();
         for e in &inboxes[coordinator] {
             h.add_edge(e.u, e.v, e.weight);
         }

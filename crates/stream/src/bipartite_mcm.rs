@@ -20,6 +20,7 @@
 //! Memory: `O(n · degree_cap)` stored edges, metered.
 
 use wmatch_graph::exact::hopcroft_karp::max_bipartite_cardinality_matching_from;
+use wmatch_graph::scratch::EpochMap;
 use wmatch_graph::{Graph, Matching};
 
 use crate::meter::MemoryMeter;
@@ -125,15 +126,22 @@ pub fn multipass_bipartite_mcm(
     });
     let mut passes = 1;
 
+    // per-pass local-graph scratch, reused across passes: an epoch-reset
+    // degree counter, the support buffer, and the subgraph itself
+    let mut deg: EpochMap<u32> = EpochMap::new();
+    deg.ensure(n);
+    let mut support: Vec<wmatch_graph::Edge> = Vec::new();
+    let mut h = Graph::new(n);
+
     while passes < cfg.max_passes {
         // Support pass: bounded-degree subgraph.
-        let mut deg = vec![0usize; n];
-        let mut support: Vec<wmatch_graph::Edge> = Vec::new();
+        deg.clear();
+        support.clear();
         stream.stream_pass(&mut |e| {
-            let (u, v) = (e.u as usize, e.v as usize);
-            if deg[u] < cfg.degree_cap && deg[v] < cfg.degree_cap {
-                deg[u] += 1;
-                deg[v] += 1;
+            let (du, dv) = (deg.get_or_default(e.u), deg.get_or_default(e.v));
+            if (du as usize) < cfg.degree_cap && (dv as usize) < cfg.degree_cap {
+                deg.insert(e.u, du + 1);
+                deg.insert(e.v, dv + 1);
                 support.push(e);
                 meter.add(1);
             }
@@ -141,7 +149,7 @@ pub fn multipass_bipartite_mcm(
         passes += 1;
 
         // Offline augmentation on support ∪ M.
-        let mut h = Graph::new(n);
+        h.clear_edges();
         for e in &support {
             h.add_edge(e.u, e.v, e.weight);
         }
