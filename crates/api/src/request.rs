@@ -7,6 +7,9 @@ use crate::error::SolveError;
 
 /// Upper bound on [`SolveRequest::threads`]; larger values are rejected as
 /// configuration errors rather than spawning an absurd worker pool.
+/// `0` is *not* a count — it is the documented "one worker per available
+/// core" sentinel shared with `MainAlgConfig::threads` in `wmatch-core`
+/// and resolved by `wmatch_graph::pool::resolve_threads`.
 pub const MAX_THREADS: usize = 1024;
 
 /// Upper bound on the round and pass budgets; beyond this the budgets stop
@@ -55,8 +58,15 @@ pub struct SolveRequest {
     /// Maximum stream passes per unweighted black-box invocation (and the
     /// MPC analogue, coreset iterations per box); must be ≥ 1.
     pub pass_budget: usize,
-    /// Worker threads for solvers with parallel sweeps: 1 = sequential,
-    /// 0 = one per available core, at most [`MAX_THREADS`].
+    /// Worker threads for solvers with parallel layers (the Algorithm 3
+    /// class sweep, Algorithm 4 candidate scoring, the MPC simulator's
+    /// machine rounds): `1` = sequential, `0` = one worker per available
+    /// core, at most [`MAX_THREADS`]. This is the same contract as
+    /// `MainAlgConfig::threads` in `wmatch-core` (requests map onto it
+    /// verbatim) and is resolved to a concrete count by
+    /// `wmatch_graph::pool::resolve_threads`. The determinism invariant
+    /// holds for every value: with a fixed [`SolveRequest::seed`], the
+    /// returned matching is bit-identical for any `threads`.
     pub threads: usize,
     /// Effort level for approximate solvers.
     pub effort: Effort,
@@ -116,10 +126,27 @@ impl SolveRequest {
         self
     }
 
-    /// Sets the worker-thread count (0 = auto, validated ≤ [`MAX_THREADS`]).
+    /// Sets the worker-thread count (0 = one per available core,
+    /// validated ≤ [`MAX_THREADS`]; see [`SolveRequest::threads`]).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
+    }
+
+    /// The concrete worker count this request resolves to: `threads`
+    /// itself, or the number of available cores when `threads == 0` —
+    /// exactly what the solvers' worker pools will run with.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use wmatch_api::SolveRequest;
+    ///
+    /// assert_eq!(SolveRequest::new().with_threads(4).resolved_threads(), 4);
+    /// assert!(SolveRequest::new().with_threads(0).resolved_threads() >= 1);
+    /// ```
+    pub fn resolved_threads(&self) -> usize {
+        wmatch_graph::pool::resolve_threads(self.threads)
     }
 
     /// Sets the effort level.
@@ -180,7 +207,7 @@ impl SolveRequest {
             return Err(SolveError::InvalidConfig {
                 field: "threads",
                 reason: format!(
-                    "must be at most {MAX_THREADS} (0 = auto), got {}",
+                    "must be at most {MAX_THREADS} (0 = one per available core), got {}",
                     self.threads
                 ),
             });

@@ -3,7 +3,8 @@
 //! MPC coreset box. Exposed as solvers so benches and experiments can
 //! drive them through the same contract as everything else.
 
-use wmatch_mpc::{mpc_bipartite_mcm, MpcConfig, MpcMcmConfig, MpcSimulator};
+use wmatch_graph::WorkerPool;
+use wmatch_mpc::{mpc_bipartite_mcm_pooled, MpcConfig, MpcMcmConfig, MpcSimulator};
 use wmatch_stream::{multipass_bipartite_mcm, McmConfig};
 
 use crate::capabilities::{Capabilities, ModelKind, Objective};
@@ -103,15 +104,19 @@ impl Solver for MpcMcmSolver {
         let cfg = MpcMcmConfig::for_delta(request.eps, request.seed)
             .with_max_iterations(request.pass_budget);
         let g = instance.graph();
+        // the box honors the request's threads contract: simulated machine
+        // rounds run on the pool, bit-identical for any worker count
+        let mut pool = WorkerPool::new(request.threads);
         let (res, wall) = timed(|| {
             let mut sim = MpcSimulator::new(MpcConfig::new(machines, memory_words));
-            mpc_bipartite_mcm(&mut sim, g.edges().to_vec(), &side, &cfg)
+            mpc_bipartite_mcm_pooled(&mut sim, g.edges().to_vec(), &side, &cfg, &mut pool)
         });
         let res = res?;
         let telemetry = Telemetry {
             rounds: res.rounds,
             peak_stored_edges: res.peak_machine_words,
             wall,
+            extras: vec![("workers_used", pool.workers().to_string())],
             ..Telemetry::new()
         };
         Ok(SolveReport::assemble(

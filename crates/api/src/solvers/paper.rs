@@ -17,6 +17,16 @@ use crate::report::{SolveReport, Telemetry};
 use crate::request::{Effort, SolveRequest};
 use crate::solvers::{preflight, reject_warm_start, timed, warm_start_or_empty, Solver};
 
+/// Renders a per-worker busy-time vector as the uniform comma-separated
+/// telemetry extra (`busy_ns`), slot 0 being the driver thread.
+fn busy_ns_extra(busy_ns: &[u64]) -> String {
+    busy_ns
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
 /// The [`MainAlgConfig`] a request maps onto.
 fn main_cfg(request: &SolveRequest) -> MainAlgConfig {
     let base = match request.effort {
@@ -74,6 +84,8 @@ impl Solver for OfflineMainAlg {
             extras: vec![
                 ("scratch_high_water", out.scratch_high_water.to_string()),
                 ("csr_rebuilds", out.csr_rebuilds.to_string()),
+                ("workers_used", out.workers_used.to_string()),
+                ("busy_ns", busy_ns_extra(&out.busy_ns)),
             ],
             ..Telemetry::new()
         };
@@ -195,6 +207,8 @@ impl Solver for MpcMainAlg {
             extras: vec![
                 ("rounds_sequential", res.rounds_sequential.to_string()),
                 ("scratch_high_water", res.scratch_high_water.to_string()),
+                ("workers_used", res.workers_used.to_string()),
+                ("busy_ns", busy_ns_extra(&res.busy_ns)),
             ],
             ..Telemetry::new()
         };

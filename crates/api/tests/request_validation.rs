@@ -96,6 +96,41 @@ fn auto_threads_and_boundary_values_accepted() {
 }
 
 #[test]
+fn threads_zero_means_one_per_core_on_both_types() {
+    // the api and core contracts must resolve the sentinel identically
+    let auto = SolveRequest::new().with_threads(0).resolved_threads();
+    assert!(auto >= 1);
+    assert_eq!(
+        auto,
+        wmatch_graph::pool::resolve_threads(0),
+        "SolveRequest and the pool must share one resolution rule"
+    );
+    assert_eq!(SolveRequest::new().with_threads(3).resolved_threads(), 3);
+}
+
+#[test]
+fn pool_telemetry_reflects_the_requested_threads() {
+    let g = small_graph();
+    for (threads, want) in [(1usize, 1usize), (2, 2)] {
+        let res = solve(
+            "main-alg-offline",
+            &Instance::offline(g.clone()),
+            &SolveRequest::new().with_threads(threads),
+        )
+        .unwrap();
+        let workers: usize = res
+            .telemetry
+            .extra("workers_used")
+            .expect("workers_used extra")
+            .parse()
+            .unwrap();
+        assert_eq!(workers, want);
+        let busy = res.telemetry.extra("busy_ns").expect("busy_ns extra");
+        assert_eq!(busy.split(',').count(), want, "one busy slot per worker");
+    }
+}
+
+#[test]
 fn every_solver_rejects_nonsense_eps_instead_of_panicking() {
     // the legacy entry points panicked (or looped) long after accepting a
     // nonsense eps; through the facade the same request is a typed error

@@ -1,0 +1,169 @@
+//! Criterion benchmarks for the worker-pool layers across thread counts:
+//! the Algorithm 3 class sweep, the two-phase Algorithm 4 selection, and
+//! the MPC box's parallel machine rounds.
+//!
+//! The recorded cross-thread comparison with speedups lives in the
+//! `report` binary (`cargo run -p wmatch-bench --bin report -- scaling`),
+//! which writes `BENCH_parallel.json`; these benches track each layer's
+//! absolute throughput per thread count over time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use wmatch_bench::hotpath::{gnp_instance, half_greedy_matching};
+use wmatch_bench::scaling::path_instance;
+use wmatch_core::main_alg::{improve_matching_offline_pooled, MainAlgConfig};
+use wmatch_core::single_class::select_augmentations_pooled;
+use wmatch_graph::generators;
+use wmatch_graph::{Edge, Matching, Scratch, Vertex, WorkerPool};
+use wmatch_mpc::{mpc_bipartite_mcm_pooled, MpcConfig, MpcMcmConfig, MpcSimulator};
+
+const THREADS: [usize; 2] = [1, 4];
+
+fn bench_class_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_class_sweep");
+    group.sample_size(10);
+    for &n in &[10_000usize, 100_000] {
+        let g = gnp_instance(n, 7);
+        let m0 = half_greedy_matching(&g);
+        let _ = g.csr();
+        let cfg = MainAlgConfig::practical(0.25, 11)
+            .with_trials(1)
+            .with_max_pairs(24);
+        for &t in &THREADS {
+            let mut pool = WorkerPool::new(t);
+            group.bench_with_input(
+                BenchmarkId::new(format!("gnp/t{t}"), n),
+                &(&g, &m0),
+                |b, (g, m0)| {
+                    b.iter(|| {
+                        let mut m = (*m0).clone();
+                        let mut rng = StdRng::seed_from_u64(cfg.seed);
+                        let mut scratch = Scratch::new();
+                        improve_matching_offline_pooled(
+                            g,
+                            &mut m,
+                            &cfg,
+                            &mut rng,
+                            &mut scratch,
+                            &mut pool,
+                        );
+                        m
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_select(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_select");
+    group.sample_size(10);
+    for &n in &[10_000usize, 100_000] {
+        let k = n / 4;
+        let g = generators::weighted_barrier_paths(k, 9);
+        let middles = (0..k).map(|i| g.edge(3 * i + 1));
+        let m = Matching::from_edges(4 * k, middles).unwrap();
+        let walks: Vec<(Vec<Vertex>, Vec<Edge>)> = (0..k as u32)
+            .map(|i| {
+                let vs: Vec<Vertex> = (0..4).map(|j| 4 * i + j).collect();
+                let es: Vec<Edge> = (0..3).map(|j| g.edge((3 * i + j) as usize)).collect();
+                (vs, es)
+            })
+            .collect();
+        for &t in &THREADS {
+            let mut pool = WorkerPool::new(t);
+            let mut scratch = Scratch::new();
+            group.bench_with_input(
+                BenchmarkId::new(format!("barrier/t{t}"), n),
+                &(&walks, &m),
+                |b, (walks, m)| {
+                    b.iter(|| select_augmentations_pooled(walks, m, &mut scratch, &mut pool))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_mpc_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_mpc_round");
+    group.sample_size(10);
+    for &n in &[10_000usize, 100_000] {
+        let mut rng = StdRng::seed_from_u64(17);
+        let half = n / 2;
+        let p = (8.0 / n as f64).min(0.5);
+        let (g, side) =
+            generators::random_bipartite(half, half, p, generators::WeightModel::Unit, &mut rng);
+        let mcm = MpcMcmConfig::for_delta(0.2, 23).with_max_iterations(3);
+        let mpc_cfg = MpcConfig::new(8, 2 * g.edge_count().max(64));
+        for &t in &THREADS {
+            let mut pool = WorkerPool::new(t);
+            group.bench_with_input(
+                BenchmarkId::new(format!("gnp/t{t}"), n),
+                &(&g, &side),
+                |b, (g, side)| {
+                    b.iter(|| {
+                        let mut sim = MpcSimulator::new(mpc_cfg);
+                        mpc_bipartite_mcm_pooled(
+                            &mut sim,
+                            g.edges().to_vec(),
+                            side,
+                            &mcm,
+                            &mut pool,
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_path_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_class_sweep_path");
+    group.sample_size(10);
+    let n = 100_000;
+    let g = path_instance(n);
+    let m0 = wmatch_bench::hotpath::greedy_matching(&g);
+    let _ = g.csr();
+    let cfg = MainAlgConfig::practical(0.25, 11)
+        .with_trials(1)
+        .with_max_pairs(24);
+    for &t in &THREADS {
+        let mut pool = WorkerPool::new(t);
+        group.bench_with_input(
+            BenchmarkId::new(format!("path/t{t}"), n),
+            &(&g, &m0),
+            |b, (g, m0)| {
+                b.iter(|| {
+                    let mut m = (*m0).clone();
+                    let mut rng = StdRng::seed_from_u64(cfg.seed);
+                    let mut scratch = Scratch::new();
+                    improve_matching_offline_pooled(
+                        g,
+                        &mut m,
+                        &cfg,
+                        &mut rng,
+                        &mut scratch,
+                        &mut pool,
+                    );
+                    m
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_class_sweep,
+    bench_select,
+    bench_mpc_round,
+    bench_path_sweep
+);
+criterion_main!(benches);

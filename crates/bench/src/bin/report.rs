@@ -38,6 +38,9 @@ fn main() {
         // hotpath also writes BENCH_hotpath.json (the recorded perf
         // trajectory; see WMATCH_BENCH_DIR)
         ("hotpath", wmatch_bench::hotpath::run),
+        // scaling writes BENCH_parallel.json (worker-pool layers across
+        // thread counts; WMATCH_SCALING_GUARD=1 enables the CI guard)
+        ("scaling", wmatch_bench::scaling::run),
     ];
 
     println!("# wmatch experiment report\n");

@@ -9,6 +9,7 @@
 pub mod families;
 pub mod hotpath;
 pub mod oracle;
+pub mod scaling;
 pub mod table;
 
 pub mod experiments {

@@ -1,0 +1,452 @@
+//! Thread-scaling benchmarks: every parallel layer of the worker-pool
+//! engine measured at several thread counts, with the determinism
+//! contract asserted on the way.
+//!
+//! Three layers are timed (`report -- scaling` writes the results as
+//! `BENCH_parallel.json`):
+//!
+//! * `class_sweep` — one round of Algorithm 3 on the persistent pool
+//!   ([`wmatch_core::main_alg::improve_matching_offline_pooled`]): the
+//!   per-class Algorithm 4 solves fan out, the cross-class commit stays
+//!   sequential;
+//! * `select` — the two-phase Algorithm 4 selection
+//!   ([`wmatch_core::single_class::select_augmentations_pooled`]):
+//!   parallel candidate scoring, sequential canonical-order commit;
+//! * `mpc_round` — the MPC `Unw-Bip-Matching` box
+//!   ([`wmatch_mpc::mpc_bipartite_mcm_pooled`]): simulated machines run
+//!   their local computations concurrently, `exchange` is the barrier.
+//!
+//! Every measurement first checks that the layer's output is
+//! **bit-identical** to its 1-thread run — a scaling number for a
+//! nondeterministic result would be meaningless. The recorded
+//! `hardware_threads` field gives the cores the measuring machine
+//! actually had: speedups are bounded by it, so a 1-core CI box will
+//! (correctly) report ≈1× while the determinism assertions still bite.
+//!
+//! Setting `WMATCH_SCALING_GUARD=1` turns the run into a regression
+//! guard: it panics if the 4-thread (or the largest measured) class sweep
+//! is more than 10% *slower* than 1-thread — catching pool-overhead
+//! regressions without gating on hardware-dependent speedups.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use wmatch_core::main_alg::{improve_matching_offline_pooled, MainAlgConfig};
+use wmatch_core::single_class::{select_augmentations, select_augmentations_pooled};
+use wmatch_graph::generators::{self, WeightModel};
+use wmatch_graph::{Edge, Graph, Matching, Scratch, Vertex, WorkerPool};
+use wmatch_mpc::{mpc_bipartite_mcm_pooled, MpcConfig, MpcMcmConfig, MpcSimulator};
+
+use crate::hotpath::{gnp_instance, greedy_matching, half_greedy_matching};
+
+/// One measured row of `BENCH_parallel.json`.
+#[derive(Debug, Clone)]
+pub struct ScalingRow {
+    /// Parallel layer (`class_sweep`, `select`, `mpc_round`).
+    pub layer: &'static str,
+    /// Instance family (`gnp`, `path`, `barrier`).
+    pub family: &'static str,
+    /// Vertex count of the instance.
+    pub n: usize,
+    /// Worker threads of the pool (caller included).
+    pub threads: usize,
+    /// Median ns per call at this thread count.
+    pub median_ns: u128,
+    /// `median_ns(threads = 1) / median_ns` for the same layer/family/n.
+    pub speedup: f64,
+    /// Timed iterations.
+    pub iters: usize,
+}
+
+fn median_ns(iters: usize, mut f: impl FnMut()) -> u128 {
+    let mut samples: Vec<u128> = (0..iters.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    // lower median: with the quick mode's 2 iterations this takes the
+    // better sample, so one scheduler hiccup cannot trip the CI guard
+    samples[(samples.len() - 1) / 2]
+}
+
+/// The path family the sweeps share: alternating 9/10 weights so greedy
+/// leaves planted 3-augmentations behind.
+pub fn path_instance(n: usize) -> Graph {
+    let weights: Vec<u64> = (0..n.saturating_sub(1))
+        .map(|i| if i % 3 == 1 { 10 } else { 9 })
+        .collect();
+    generators::path_graph(&weights)
+}
+
+/// A class-sweep instance: graph plus an improvable starting matching.
+fn sweep_instance(family: &'static str, n: usize) -> (Graph, Matching) {
+    match family {
+        "gnp" => {
+            let g = gnp_instance(n, 7);
+            let m = half_greedy_matching(&g);
+            (g, m)
+        }
+        "path" => {
+            let g = path_instance(n);
+            let m = greedy_matching(&g);
+            (g, m)
+        }
+        "barrier" => {
+            let k = (n / 4).max(1);
+            let g = generators::weighted_barrier_paths(k, 9);
+            let middles = (0..k).map(|i| g.edge(3 * i + 1));
+            let m = Matching::from_edges(4 * k, middles).expect("middles are disjoint");
+            (g, m)
+        }
+        other => panic!("unknown family {other}"),
+    }
+}
+
+/// One timed call of the `class_sweep` layer: a full Algorithm 3 round
+/// (trials = 1) from the same matching and the same round randomness.
+fn run_class_sweep(
+    g: &Graph,
+    m0: &Matching,
+    cfg: &MainAlgConfig,
+    pool: &mut WorkerPool,
+) -> Matching {
+    let mut m = m0.clone();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut scratch = Scratch::new();
+    improve_matching_offline_pooled(g, &mut m, cfg, &mut rng, &mut scratch, pool);
+    m
+}
+
+/// A candidate walk as Algorithm 4 sees it: vertices plus edges.
+type Walk = (Vec<Vertex>, Vec<Edge>);
+
+/// The walk set of the `select` layer: every planted 3-augmentation of
+/// the barrier family as one candidate walk.
+fn select_instance(n: usize) -> (Graph, Matching, Vec<Walk>) {
+    let (g, m) = sweep_instance("barrier", n);
+    let k = (n / 4).max(1);
+    let walks = (0..k as u32)
+        .map(|i| {
+            let vs: Vec<Vertex> = (0..4).map(|j| 4 * i + j).collect();
+            let es: Vec<Edge> = (0..3).map(|j| g.edge((3 * i + j) as usize)).collect();
+            (vs, es)
+        })
+        .collect();
+    (g, m, walks)
+}
+
+/// The `mpc_round` layer instance: a random bipartite graph whose box run
+/// is dominated by the per-machine scatter + coreset extraction rounds.
+fn mpc_instance(n: usize) -> (Graph, Vec<bool>) {
+    let mut rng = StdRng::seed_from_u64(17);
+    let half = (n / 2).max(2);
+    let p = (8.0 / n as f64).min(0.5);
+    generators::random_bipartite(half, half, p, WeightModel::Unit, &mut rng)
+}
+
+struct LayerMeasurement {
+    layer: &'static str,
+    family: &'static str,
+    n: usize,
+    per_thread_ns: Vec<(usize, u128)>,
+    iters: usize,
+}
+
+/// Runs the whole suite: every layer × family × n × thread count, with
+/// the cross-thread determinism contract asserted before timing.
+pub fn run_suite(quick: bool) -> Vec<ScalingRow> {
+    let sizes: &[usize] = if quick { &[10_000] } else { &[10_000, 100_000] };
+    let threads: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4, 8] };
+    let iters = if quick { 2 } else { 3 };
+    let mut measurements = Vec::new();
+
+    for &n in sizes {
+        // class_sweep on all three families
+        for family in ["gnp", "path", "barrier"] {
+            let (g, m0) = sweep_instance(family, n);
+            let _ = g.csr(); // shared warm-up outside the timed region
+                             // trials = 1 isolates one sweep; the pair cap bounds each
+                             // class's layered-graph builds to a realistic per-round grain
+            let cfg = MainAlgConfig::practical(0.25, 11)
+                .with_trials(1)
+                .with_max_pairs(24);
+            let baseline = run_class_sweep(&g, &m0, &cfg, &mut WorkerPool::new(1));
+            let mut per_thread_ns = Vec::new();
+            for &t in threads {
+                let mut pool = WorkerPool::new(t);
+                let got = run_class_sweep(&g, &m0, &cfg, &mut pool);
+                assert_eq!(
+                    baseline.to_edges(),
+                    got.to_edges(),
+                    "class_sweep/{family}/n={n}: threads={t} diverged"
+                );
+                let ns = median_ns(iters, || {
+                    std::hint::black_box(run_class_sweep(&g, &m0, &cfg, &mut pool));
+                });
+                per_thread_ns.push((t, ns));
+            }
+            measurements.push(LayerMeasurement {
+                layer: "class_sweep",
+                family,
+                n,
+                per_thread_ns,
+                iters,
+            });
+        }
+
+        // select on the barrier walk set (the family with a large,
+        // regular candidate population)
+        {
+            let (_g, m, walks) = select_instance(n);
+            let baseline = select_augmentations(&walks, &m, &mut Scratch::new());
+            let mut per_thread_ns = Vec::new();
+            for &t in threads {
+                let mut pool = WorkerPool::new(t);
+                let mut scratch = Scratch::new();
+                let got = select_augmentations_pooled(&walks, &m, &mut scratch, &mut pool);
+                assert_eq!(baseline, got, "select/barrier/n={n}: threads={t} diverged");
+                let ns = median_ns(iters, || {
+                    std::hint::black_box(select_augmentations_pooled(
+                        &walks,
+                        &m,
+                        &mut scratch,
+                        &mut pool,
+                    ));
+                });
+                per_thread_ns.push((t, ns));
+            }
+            measurements.push(LayerMeasurement {
+                layer: "select",
+                family: "barrier",
+                n,
+                per_thread_ns,
+                iters,
+            });
+        }
+
+        // mpc_round on the gnp-derived bipartite instance
+        {
+            let (g, side) = mpc_instance(n);
+            let mcm = MpcMcmConfig::for_delta(0.2, 23).with_max_iterations(3);
+            let mpc_cfg = MpcConfig::new(8, 2 * g.edge_count().max(64));
+            let run_box = |pool: &mut WorkerPool| {
+                let mut sim = MpcSimulator::new(mpc_cfg);
+                mpc_bipartite_mcm_pooled(&mut sim, g.edges().to_vec(), &side, &mcm, pool)
+                    .expect("budgets are sized to fit")
+            };
+            let baseline = run_box(&mut WorkerPool::new(1));
+            let mut per_thread_ns = Vec::new();
+            for &t in threads {
+                let mut pool = WorkerPool::new(t);
+                let got = run_box(&mut pool);
+                assert_eq!(
+                    baseline.matching.to_edges(),
+                    got.matching.to_edges(),
+                    "mpc_round/gnp/n={n}: threads={t} diverged"
+                );
+                assert_eq!(baseline.rounds, got.rounds);
+                let ns = median_ns(iters, || {
+                    std::hint::black_box(run_box(&mut pool));
+                });
+                per_thread_ns.push((t, ns));
+            }
+            measurements.push(LayerMeasurement {
+                layer: "mpc_round",
+                family: "gnp",
+                n,
+                per_thread_ns,
+                iters,
+            });
+        }
+    }
+
+    measurements
+        .into_iter()
+        .flat_map(|meas| {
+            let base_ns = meas
+                .per_thread_ns
+                .iter()
+                .find(|(t, _)| *t == 1)
+                .map(|(_, ns)| *ns)
+                .unwrap_or(0);
+            meas.per_thread_ns
+                .iter()
+                .map(|&(threads, median_ns)| ScalingRow {
+                    layer: meas.layer,
+                    family: meas.family,
+                    n: meas.n,
+                    threads,
+                    median_ns,
+                    speedup: base_ns as f64 / median_ns.max(1) as f64,
+                    iters: meas.iters,
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// Serializes the rows as `BENCH_parallel.json` (hand-rolled JSON: the
+/// workspace builds offline, without serde). `hardware_threads` records
+/// the cores of the measuring machine — the ceiling on any honest
+/// speedup.
+pub fn to_json(rows: &[ScalingRow], quick: bool) -> String {
+    let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n  \"hardware_threads\": {hw},\n  \"unit\": \"ns_per_call_median\",\n  \"determinism\": \"asserted bit-identical across all measured thread counts\",\n  \"benches\": [\n",
+        if quick { "quick" } else { "full" }
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"layer\": \"{}\", \"family\": \"{}\", \"n\": {}, \"threads\": {}, \
+             \"median_ns\": {}, \"speedup\": {:.3}, \"iters\": {}}}{}\n",
+            r.layer,
+            r.family,
+            r.n,
+            r.threads,
+            r.median_ns,
+            r.speedup,
+            r.iters,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The CI regression guard: the largest measured thread count of the
+/// `class_sweep` layer must not be slower than 1-thread by more than
+/// `tolerance` — a pool-overhead regression check, not a speedup gate.
+/// Scoped to the gnp family (the one whose per-class work dominates the
+/// dispatch cost); the millisecond-scale path/barrier sweeps sit below
+/// the scheduler-noise floor on saturated or single-core machines.
+/// Returns the offending descriptions.
+pub fn guard_violations(rows: &[ScalingRow], tolerance: f64) -> Vec<String> {
+    let mut bad = Vec::new();
+    let groups: std::collections::BTreeSet<(&str, usize)> = rows
+        .iter()
+        .filter(|r| r.layer == "class_sweep" && r.family == "gnp")
+        .map(|r| (r.family, r.n))
+        .collect();
+    for (family, n) in groups {
+        let group: Vec<&ScalingRow> = rows
+            .iter()
+            .filter(|r| r.layer == "class_sweep" && r.family == family && r.n == n)
+            .collect();
+        let base = group.iter().find(|r| r.threads == 1).map(|r| r.median_ns);
+        let top = group.iter().max_by_key(|r| r.threads);
+        if let (Some(base_ns), Some(top_row)) = (base, top) {
+            if top_row.threads > 1 && top_row.median_ns as f64 > base_ns as f64 * (1.0 + tolerance)
+            {
+                bad.push(format!(
+                    "class_sweep/{family}/n={n}: {} threads took {} ns vs {} ns at 1 thread \
+                     (> {:.0}% regression)",
+                    top_row.threads,
+                    top_row.median_ns,
+                    base_ns,
+                    tolerance * 100.0
+                ));
+            }
+        }
+    }
+    bad
+}
+
+/// Runs the suite, writes `BENCH_parallel.json` next to the working
+/// directory (override with `WMATCH_BENCH_DIR`), renders the markdown
+/// section, and applies the regression guard when
+/// `WMATCH_SCALING_GUARD=1`.
+pub fn run(quick: bool) -> String {
+    let rows = run_suite(quick);
+    let dir = std::env::var("WMATCH_BENCH_DIR").unwrap_or_else(|_| ".".into());
+    let path = std::path::Path::new(&dir).join("BENCH_parallel.json");
+    std::fs::write(&path, to_json(&rows, quick)).expect("write BENCH_parallel.json");
+
+    let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut out = String::from("## Scaling — worker-pool layers across thread counts\n\n");
+    out.push_str(&format!(
+        "written: `{}` (hardware threads: {hw}; output asserted bit-identical across \
+         all thread counts)\n\n",
+        path.display()
+    ));
+    out.push_str("| layer | family | n | threads | median | speedup vs 1 thread |\n");
+    out.push_str("|---|---|---:|---:|---:|---:|\n");
+    for r in &rows {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {:.3} ms | {:.2}x |\n",
+            r.layer,
+            r.family,
+            r.n,
+            r.threads,
+            r.median_ns as f64 / 1e6,
+            r.speedup
+        ));
+    }
+
+    if std::env::var("WMATCH_SCALING_GUARD").as_deref() == Ok("1") {
+        let bad = guard_violations(&rows, 0.10);
+        assert!(
+            bad.is_empty(),
+            "scaling regression guard failed:\n{}",
+            bad.join("\n")
+        );
+        out.push_str(
+            "\nRegression guard: passed (multi-thread class sweep within 10% of 1-thread).\n",
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(threads: usize, median_ns: u128) -> ScalingRow {
+        ScalingRow {
+            layer: "class_sweep",
+            family: "gnp",
+            n: 100,
+            threads,
+            median_ns,
+            speedup: 1.0,
+            iters: 2,
+        }
+    }
+
+    #[test]
+    fn guard_accepts_flat_and_improving_runs() {
+        assert!(guard_violations(&[row(1, 1000), row(4, 1050)], 0.10).is_empty());
+        assert!(guard_violations(&[row(1, 1000), row(4, 400)], 0.10).is_empty());
+    }
+
+    #[test]
+    fn guard_flags_regressions() {
+        let bad = guard_violations(&[row(1, 1000), row(4, 1200)], 0.10);
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].contains("class_sweep/gnp"));
+    }
+
+    #[test]
+    fn json_shape_is_parseable() {
+        let j = to_json(&[row(1, 1000)], true);
+        assert!(j.contains("\"hardware_threads\""));
+        assert!(j.contains("\"layer\": \"class_sweep\""));
+        assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn tiny_suite_is_deterministic_and_labelled() {
+        // a miniature end-to-end pass over the suite's own determinism
+        // assertions (they panic on divergence)
+        let (g, m0) = sweep_instance("barrier", 64);
+        let cfg = MainAlgConfig::practical(0.25, 1).with_trials(1);
+        let a = run_class_sweep(&g, &m0, &cfg, &mut WorkerPool::new(1));
+        let b = run_class_sweep(&g, &m0, &cfg, &mut WorkerPool::new(4));
+        assert_eq!(a.to_edges(), b.to_edges());
+    }
+}

@@ -20,12 +20,12 @@ use rand::Rng;
 use rand::SeedableRng;
 
 use wmatch_graph::exact::hopcroft_karp::max_bipartite_cardinality_matching_from;
-use wmatch_graph::{Augmentation, Graph, Matching, Scratch};
-use wmatch_mpc::{mpc_bipartite_mcm, MpcConfig, MpcMcmConfig, MpcSimulator};
+use wmatch_graph::{Augmentation, Graph, Matching, Scratch, WorkerPool};
+use wmatch_mpc::{mpc_bipartite_mcm_pooled, MpcConfig, MpcMcmConfig, MpcSimulator};
 use wmatch_stream::{multipass_bipartite_mcm, EdgeStream, McmConfig};
 
 use crate::layered::{LayeredSpec, LayeredStream, Parametrization};
-use crate::single_class::{select_augmentations, single_class_augmentations, ClassOutcome};
+use crate::single_class::{select_augmentations_pooled, single_class_augmentations, ClassOutcome};
 use crate::tau::{enumerate_good_pairs, TauConfig};
 use crate::weight_classes::weight_grid;
 
@@ -58,10 +58,14 @@ pub struct MainAlgConfig {
     pub stall_rounds: usize,
     /// RNG seed.
     pub seed: u64,
-    /// Worker threads for the per-class sweep of Algorithm 3 line 3 ("for
-    /// each W in parallel"): 1 = sequential, 0 = one per available core.
-    /// The result is identical either way (classes are independent and the
-    /// cross-class sweep is ordered).
+    /// Worker threads for the parallel layers (the per-class sweep of
+    /// Algorithm 3 line 3, Algorithm 4 candidate scoring, the MPC
+    /// simulator's machine rounds): `1` = sequential, `0` = one per
+    /// available core (the same contract as `SolveRequest::threads` in
+    /// `wmatch-api`; resolved by `wmatch_graph::pool::resolve_threads`).
+    /// For a fixed seed the returned matching is **bit-identical for every
+    /// value** — the pool writes results into deterministic owner-indexed
+    /// slots and all commits happen in canonical order.
     pub threads: usize,
 }
 
@@ -221,13 +225,36 @@ pub fn improve_matching_offline(
 }
 
 /// Like [`improve_matching_offline`], reusing the caller's scratch arena
-/// across rounds (the driver loop owns one arena for its lifetime).
+/// across rounds.
+///
+/// This convenience wrapper builds a fresh [`WorkerPool`] from
+/// `cfg.threads` per call; a driver loop should instead own one pool for
+/// its whole solve and call [`improve_matching_offline_pooled`] so worker
+/// threads are spawned once, not once per round.
 pub fn improve_matching_offline_with(
     g: &Graph,
     m: &mut Matching,
     cfg: &MainAlgConfig,
     rng: &mut StdRng,
     scratch: &mut Scratch,
+) -> RoundStats {
+    let mut pool = WorkerPool::new(cfg.threads);
+    let stats = improve_matching_offline_pooled(g, m, cfg, rng, scratch, &mut pool);
+    scratch.absorb_high_water(pool.scratch_high_water());
+    stats
+}
+
+/// One round of Algorithm 3 on the caller's persistent [`WorkerPool`] —
+/// the hot path of the offline driver. `scratch` backs the sequential
+/// cross-class commit; the per-class sweep runs on the pool's per-worker
+/// arenas (fold [`WorkerPool::scratch_high_water`] into your telemetry).
+pub fn improve_matching_offline_pooled(
+    g: &Graph,
+    m: &mut Matching,
+    cfg: &MainAlgConfig,
+    rng: &mut StdRng,
+    scratch: &mut Scratch,
+    pool: &mut WorkerPool,
 ) -> RoundStats {
     let mut stats = RoundStats::default();
     if g.edge_count() == 0 {
@@ -238,9 +265,7 @@ pub fn improve_matching_offline_with(
     for _ in 0..cfg.trials.max(1) {
         let param = Parametrization::random(g.vertex_count(), rng);
         // Algorithm 3, line 3: all classes in parallel against the same M
-        let (mut outcomes, sweep_high_water) =
-            sweep_classes(g, m, &grid, &param, &tau_cfg, cfg.threads);
-        scratch.absorb_high_water(sweep_high_water);
+        let mut outcomes = sweep_classes(g, m, &grid, &param, &tau_cfg, pool);
         stats.pairs_tried += outcomes.iter().map(|(_, o)| o.pairs_tried).sum::<usize>();
         outcomes.retain(|(_, o)| o.gain > 0);
         // lines 5–8: greedy cross-class selection, decreasing W
@@ -253,26 +278,28 @@ pub fn improve_matching_offline_with(
         stats.gain += applied.0;
         stats.applied += applied.1;
     }
-    stats.scratch_high_water = scratch.high_water();
+    stats.scratch_high_water = scratch.high_water().max(pool.scratch_high_water());
     stats
 }
 
 /// Runs Algorithm 4 for every class weight against the same matching,
-/// optionally fanning classes out over worker threads (the classes are
-/// independent read-only computations; results are returned in grid
-/// order, so parallel and sequential execution are indistinguishable).
-/// Each worker owns one [`Scratch`] arena for its whole share of the
-/// sweep, so the parallel path performs no per-class allocation; the
-/// maximum arena footprint is returned alongside the outcomes.
+/// fanning the classes out over the caller's [`WorkerPool`] (the classes
+/// are independent read-only computations). Each worker writes its
+/// outcome into the deterministic slot of its class index — no result
+/// lock, no reordering pass — so results come back in grid order and
+/// parallel and sequential execution are indistinguishable. Each worker
+/// owns one [`Scratch`] arena for its whole share of the sweep, so the
+/// parallel path performs no per-class allocation.
 fn sweep_classes(
     g: &Graph,
     m: &Matching,
     grid: &[u64],
     param: &Parametrization,
     tau_cfg: &TauConfig,
-    threads: usize,
-) -> (Vec<(u64, ClassOutcome)>, usize) {
-    let solve_one = |w_class: u64, scratch: &mut Scratch| {
+    pool: &mut WorkerPool,
+) -> Vec<(u64, ClassOutcome)> {
+    pool.run_map(grid.len(), &|_worker, i, scratch: &mut Scratch| {
+        let w_class = grid[i];
         let mut solve = |lg: &Graph, side: &[bool], init: Matching| {
             max_bipartite_cardinality_matching_from(lg, side, init)
         };
@@ -280,41 +307,7 @@ fn sweep_classes(
             w_class,
             single_class_augmentations(g.edges(), m, w_class, param, tau_cfg, &mut solve, scratch),
         )
-    };
-    let workers = if threads == 0 {
-        std::thread::available_parallelism().map_or(1, |p| p.get())
-    } else {
-        threads
-    };
-    if workers <= 1 || grid.len() <= 1 {
-        let mut scratch = Scratch::new();
-        let outcomes = grid.iter().map(|&w| solve_one(w, &mut scratch)).collect();
-        return (outcomes, scratch.high_water());
-    }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: std::sync::Mutex<Vec<(usize, (u64, ClassOutcome))>> =
-        std::sync::Mutex::new(Vec::with_capacity(grid.len()));
-    let high_water = std::sync::atomic::AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers.min(grid.len()) {
-            scope.spawn(|| {
-                let mut scratch = Scratch::new();
-                loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= grid.len() {
-                        break;
-                    }
-                    let out = solve_one(grid[i], &mut scratch);
-                    results.lock().unwrap().push((i, out));
-                }
-                high_water.fetch_max(scratch.high_water(), std::sync::atomic::Ordering::Relaxed);
-            });
-        }
-    });
-    let mut collected = results.into_inner().unwrap();
-    collected.sort_by_key(|(i, _)| *i);
-    let outcomes = collected.into_iter().map(|(_, o)| o).collect();
-    (outcomes, high_water.into_inner())
+    })
 }
 
 /// Applies a stream of candidate augmentations greedily (skipping
@@ -408,6 +401,11 @@ pub struct OfflineOutcome {
     /// CSR views built for the input graph during the run (rebuilds are
     /// mutation-triggered; a read-only run builds at most one).
     pub csr_rebuilds: u64,
+    /// Worker threads the solve's pool ran with (caller included).
+    pub workers_used: usize,
+    /// Cumulative task-execution nanoseconds per worker slot (slot 0 is
+    /// the driver thread) — the pool-utilization telemetry of the facade.
+    pub busy_ns: Vec<u64>,
 }
 
 /// Like [`max_weight_matching_offline_from`], also returning the scratch
@@ -430,11 +428,14 @@ pub fn max_weight_matching_offline_stats(
     let csr_rebuilds_before = g.csr_rebuild_count();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut scratch = Scratch::new();
+    // the solve's one pool: workers spawn here and persist across rounds
+    let mut pool = WorkerPool::new(cfg.threads);
     let mut m = init;
     let mut trace = Vec::new();
     let mut stall = 0;
     for _round in 0..cfg.max_rounds {
-        let stats = improve_matching_offline_with(g, &mut m, cfg, &mut rng, &mut scratch);
+        let stats =
+            improve_matching_offline_pooled(g, &mut m, cfg, &mut rng, &mut scratch, &mut pool);
         trace.push(m.weight());
         if stats.gain == 0 {
             stall += 1;
@@ -448,8 +449,10 @@ pub fn max_weight_matching_offline_stats(
     OfflineOutcome {
         matching: m,
         trace,
-        scratch_high_water: scratch.high_water(),
+        scratch_high_water: scratch.high_water().max(pool.scratch_high_water()),
         csr_rebuilds: g.csr_rebuild_count() - csr_rebuilds_before,
+        workers_used: pool.workers(),
+        busy_ns: pool.busy_ns(),
     }
 }
 
@@ -488,6 +491,9 @@ pub fn max_weight_matching_streaming(
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut m = Matching::new(n);
     let mut scratch = Scratch::new();
+    // one pool per solve: the stream passes are inherently sequential, but
+    // walk scoring (Algorithm 4 lines 9-11) fans out per candidate
+    let mut pool = WorkerPool::new(cfg.threads);
     let tau_cfg = cfg.tau_config();
     let mut passes_sequential = 0usize;
     let mut passes_model = 0usize;
@@ -551,10 +557,11 @@ pub fn max_weight_matching_streaming(
                 passes_sequential += res.passes;
                 max_box_passes = max_box_passes.max(res.passes);
                 peak_memory = peak_memory.max(res.peak_memory_edges);
-                let augs = select_augmentations(
+                let augs = select_augmentations_pooled(
                     &skeleton.augmenting_walks(&res.matching),
                     &m,
                     &mut scratch,
+                    &mut pool,
                 );
                 let gain: i128 = augs.iter().map(|a| a.gain()).sum();
                 if gain > 0 && best.as_ref().is_none_or(|(g, _)| gain > *g) {
@@ -589,7 +596,7 @@ pub fn max_weight_matching_streaming(
         passes_sequential,
         passes_model,
         peak_memory_edges: peak_memory + n,
-        scratch_high_water: scratch.high_water(),
+        scratch_high_water: scratch.high_water().max(pool.scratch_high_water()),
     }
 }
 
@@ -607,6 +614,11 @@ pub struct MpcResult {
     pub peak_machine_words: usize,
     /// Largest scratch-arena footprint (dense vertex slots) of the run.
     pub scratch_high_water: usize,
+    /// Worker threads the solve's pool ran with (caller included).
+    pub workers_used: usize,
+    /// Cumulative task-execution nanoseconds per worker slot (slot 0 is
+    /// the driver thread).
+    pub busy_ns: Vec<u64>,
 }
 
 /// The MPC driver of Theorem 1.2.1 (the `wmatch-api` facade exposes it as
@@ -616,7 +628,11 @@ pub struct MpcResult {
 /// of each layered graph without communication; each (W, τ) box then runs
 /// the MPC `Unw-Bip-Matching` black box on its own machine group
 /// (simulated here as a fresh simulator per box; the model accounting
-/// takes the per-round maximum).
+/// takes the per-round maximum). The simulated machines of every box
+/// execute their local computations on the solve's worker pool
+/// (`cfg.threads`), with the simulator's `exchange` as the only barrier —
+/// so the box's round telemetry reflects genuinely concurrent machine
+/// rounds while the returned matching stays bit-identical to `threads = 1`.
 pub fn max_weight_matching_mpc(
     g: &Graph,
     cfg: &MainAlgConfig,
@@ -627,6 +643,8 @@ pub fn max_weight_matching_mpc(
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut m = Matching::new(n);
     let mut scratch = Scratch::new();
+    // one pool per solve, shared by every box's simulated machine rounds
+    let mut pool = WorkerPool::new(cfg.threads);
     let tau_cfg = cfg.tau_config();
     let grid = cfg.grid(g.max_weight());
     let mut rounds_model = 0usize;
@@ -654,17 +672,22 @@ pub fn max_weight_matching_mpc(
                     continue;
                 }
                 let mut sim = MpcSimulator::new(mpc_cfg);
-                let res = mpc_bipartite_mcm(
+                let res = mpc_bipartite_mcm_pooled(
                     &mut sim,
                     lg.graph.edges().to_vec(),
                     &lg.side,
                     &mcm.with_seed(rng.gen()),
+                    &mut pool,
                 )?;
                 rounds_sequential += res.rounds;
                 max_box_rounds = max_box_rounds.max(res.rounds);
                 peak_words = peak_words.max(res.peak_machine_words);
-                let augs =
-                    select_augmentations(&lg.augmenting_walks(&res.matching), &m, &mut scratch);
+                let augs = select_augmentations_pooled(
+                    &lg.augmenting_walks(&res.matching),
+                    &m,
+                    &mut scratch,
+                    &mut pool,
+                );
                 let gain: i128 = augs.iter().map(|a| a.gain()).sum();
                 if gain > 0 && best.as_ref().is_none_or(|(gg, _)| gain > *gg) {
                     best = Some((gain, augs));
@@ -697,7 +720,9 @@ pub fn max_weight_matching_mpc(
         rounds_model,
         rounds_sequential,
         peak_machine_words: peak_words,
-        scratch_high_water: scratch.high_water(),
+        scratch_high_water: scratch.high_water().max(pool.scratch_high_water()),
+        workers_used: pool.workers(),
+        busy_ns: pool.busy_ns(),
     })
 }
 

@@ -11,7 +11,7 @@
 
 use std::collections::BTreeSet;
 
-use wmatch_graph::{Augmentation, Edge, Graph, Matching, Scratch};
+use wmatch_graph::{Augmentation, Edge, Graph, Matching, Scratch, WorkerPool};
 
 use crate::decompose::decompose_walk;
 use crate::layered::{LayeredSpec, Parametrization};
@@ -128,22 +128,71 @@ pub fn select_augmentations(
     scratch.begin(m.vertex_count());
     let mut chosen: Vec<Augmentation> = Vec::new();
     for (vs, es) in walks {
-        let mut best: Option<Augmentation> = None;
-        for comp in decompose_walk(vs, es) {
-            if let Ok(aug) = Augmentation::from_component(m, &comp) {
-                if aug.gain() > 0 && best.as_ref().is_none_or(|b| aug.gain() > b.gain()) {
-                    best = Some(aug);
-                }
-            }
-        }
-        if let Some(aug) = best {
-            if !aug.conflicts_with_marks(&scratch.mark) {
-                aug.mark_touched(&mut scratch.mark);
-                chosen.push(aug);
-            }
+        if let Some(aug) = best_of_walk(vs, es, m) {
+            commit_candidate(aug, scratch, &mut chosen);
         }
     }
     chosen
+}
+
+/// Walks below this count run sequentially even on a multi-worker pool:
+/// the dispatch handshake costs more than the scoring itself.
+const PAR_SELECT_MIN_WALKS: usize = 16;
+
+/// The parallel two-phase variant of [`select_augmentations`], with output
+/// **bit-identical** to the sequential function for every thread count.
+///
+/// Phase 1 (parallel): each walk's decomposition and best-gain component
+/// is scored on the pool — the expensive part, a pure read-only function
+/// of the walk and `M`, independent of the conflict marks. Phase 2
+/// (sequential): candidates are committed in canonical walk order against
+/// the marks, exactly as the sequential loop interleaves them. Because the
+/// marks only ever influence *acceptance* (never the per-walk best), the
+/// snapshot-then-commit split preserves the sequential semantics exactly.
+pub fn select_augmentations_pooled(
+    walks: &[(Vec<wmatch_graph::Vertex>, Vec<Edge>)],
+    m: &Matching,
+    scratch: &mut Scratch,
+    pool: &mut WorkerPool,
+) -> Vec<Augmentation> {
+    if pool.workers() <= 1 || walks.len() < PAR_SELECT_MIN_WALKS {
+        return select_augmentations(walks, m, scratch);
+    }
+    // phase 1: parallel scoring, one result slot per walk
+    let best = pool.run_map(walks.len(), &|_worker, i, _s: &mut Scratch| {
+        let (vs, es) = &walks[i];
+        best_of_walk(vs, es, m)
+    });
+    // phase 2: sequential commit in canonical (walk) order
+    scratch.begin(m.vertex_count());
+    let mut chosen: Vec<Augmentation> = Vec::new();
+    for aug in best.into_iter().flatten() {
+        commit_candidate(aug, scratch, &mut chosen);
+    }
+    chosen
+}
+
+/// Lines 9–11 of Algorithm 4 for one walk: decompose and keep the
+/// best-gain component (read-only; safe to score in parallel).
+fn best_of_walk(vs: &[wmatch_graph::Vertex], es: &[Edge], m: &Matching) -> Option<Augmentation> {
+    let mut best: Option<Augmentation> = None;
+    for comp in decompose_walk(vs, es) {
+        if let Ok(aug) = Augmentation::from_component(m, &comp) {
+            if aug.gain() > 0 && best.as_ref().is_none_or(|b| aug.gain() > b.gain()) {
+                best = Some(aug);
+            }
+        }
+    }
+    best
+}
+
+/// Line 12 of Algorithm 4 for one candidate: greedy vertex-disjoint
+/// acceptance against the conflict marks (inherently sequential).
+fn commit_candidate(aug: Augmentation, scratch: &mut Scratch, chosen: &mut Vec<Augmentation>) {
+    if !aug.conflicts_with_marks(&scratch.mark) {
+        aug.mark_touched(&mut scratch.mark);
+        chosen.push(aug);
+    }
 }
 
 #[cfg(test)]
@@ -303,6 +352,36 @@ mod tests {
             aug.apply(&mut m2).unwrap();
         }
         assert_eq!(m2.len(), 2 * k);
+    }
+
+    #[test]
+    fn pooled_selection_is_bit_identical() {
+        // many overlapping 3-aug walks: enough that the pooled variant
+        // actually fans out, with real conflicts to exercise the commit
+        let k = 30;
+        let mut g = Graph::new(2 * k + 2);
+        let mut medges = Vec::new();
+        for i in 0..k as u32 {
+            g.add_edge(2 * i, 2 * i + 1, 9);
+            g.add_edge(2 * i + 1, 2 * i + 2, 10);
+            g.add_edge(2 * i + 2, 2 * i + 3, 9);
+            medges.push(g.edge((3 * i + 1) as usize));
+        }
+        let m = Matching::from_edges(2 * k + 2, medges.into_iter().step_by(2)).unwrap();
+        let walks: Vec<(Vec<u32>, Vec<Edge>)> = (0..k as u32)
+            .map(|i| {
+                let es: Vec<Edge> = (0..3).map(|j| g.edge((3 * i + j) as usize)).collect();
+                let vs: Vec<u32> = (0..4).map(|j| 2 * i + j).collect();
+                (vs, es)
+            })
+            .collect();
+        let seq = select_augmentations(&walks, &m, &mut Scratch::new());
+        assert!(!seq.is_empty());
+        for threads in [1usize, 2, 4, 0] {
+            let mut pool = WorkerPool::new(threads);
+            let pooled = select_augmentations_pooled(&walks, &m, &mut Scratch::new(), &mut pool);
+            assert_eq!(seq, pooled, "threads = {threads}");
+        }
     }
 
     #[test]

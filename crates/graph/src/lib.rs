@@ -20,7 +20,10 @@
 //! * [`csr`] / [`scratch`] — the flat hot-path substrate: cached CSR
 //!   adjacency views ([`CsrView`]) and epoch-stamped scratch arenas
 //!   ([`Scratch`]) that keep the per-round neighbourhood scans of
-//!   Algorithm 3/4 allocation-free.
+//!   Algorithm 3/4 allocation-free,
+//! * [`pool`] — the persistent deterministic worker pool ([`WorkerPool`])
+//!   behind every parallel layer: the Algorithm 3 class sweep, Algorithm 4
+//!   candidate scoring, and the MPC simulator's per-machine rounds.
 //!
 //! # Example
 //!
@@ -47,6 +50,7 @@ pub mod exact;
 pub mod generators;
 pub mod graph;
 pub mod matching;
+pub mod pool;
 pub mod scratch;
 
 pub use alternating::Augmentation;
@@ -55,6 +59,7 @@ pub use edge::{Edge, Vertex};
 pub use error::GraphError;
 pub use graph::Graph;
 pub use matching::Matching;
+pub use pool::WorkerPool;
 pub use scratch::Scratch;
 
 /// Total weight of a slice of edges as a wide integer (cannot overflow for

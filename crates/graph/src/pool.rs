@@ -1,0 +1,494 @@
+//! A persistent, deterministic worker pool for the parallel layers of the
+//! workspace.
+//!
+//! Every parallelizable inner loop of the paper's machinery — the
+//! Algorithm 3 class sweep ("for each W **in parallel**"), the Algorithm 4
+//! candidate scoring, the per-machine local computations of the MPC
+//! simulator — shares the same shape: a fixed number of independent,
+//! read-only (or slot-disjoint) items whose results must come back **in
+//! item order** so that parallel and sequential execution are
+//! indistinguishable. [`WorkerPool`] serves exactly that shape:
+//!
+//! * **spawn once per solve** — workers are OS threads created in
+//!   [`WorkerPool::new`] and parked on a condvar between jobs, so a driver
+//!   that dispatches hundreds of sweeps per solve pays thread-spawn cost
+//!   once, not per round;
+//! * **no lock on the result path** — [`WorkerPool::run_map`] hands each
+//!   worker item indices from an atomic counter and the worker writes its
+//!   result into the pre-sized slot of that index; there is no shared
+//!   `Mutex<Vec<_>>` to contend on and no sort-by-index fixup afterwards;
+//! * **one reusable [`Scratch`] arena per worker** — tasks receive the
+//!   arena of whichever worker runs them, so the hot loops stay
+//!   allocation-free across jobs exactly as they do sequentially;
+//! * **determinism by construction** — results are keyed by item index and
+//!   every task is a pure function of its item, so for any thread count
+//!   (including 1, which runs inline on the caller with zero
+//!   synchronization) the returned vector is bit-identical.
+//!
+//! The caller thread participates as worker slot 0, so a pool of
+//! `threads = t` spawns `t − 1` OS threads and `threads = 1` is the
+//! sequential fast path with no atomics at all.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::scratch::Scratch;
+
+/// A type-erased pool task: `(worker_slot, item_index, worker_scratch)`.
+type Task<'a> = dyn Fn(usize, usize, &mut Scratch) + Sync + 'a;
+
+/// One dispatched job: a borrowed task plus its own claim/completion
+/// counters. The counters live *inside* the job (behind an [`Arc`]) so a
+/// straggling worker that wakes after the job finished keeps decrementing
+/// a dead job's counter instead of stealing items from the next one.
+struct Job {
+    /// Erased pointer to the dispatcher's task closure.
+    ///
+    /// SAFETY contract: the dispatcher ([`WorkerPool::dispatch`]) blocks
+    /// until `done == items`, and `done` is only incremented after a task
+    /// invocation returns, so the pointee outlives every dereference.
+    task: *const Task<'static>,
+    items: usize,
+    next: AtomicUsize,
+    done: AtomicUsize,
+    panicked: AtomicBool,
+}
+
+// SAFETY: `task` points at a `Sync` closure (enforced by the public
+// signatures) that the dispatcher keeps alive for the job's lifetime; the
+// counters are atomics.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claims and runs items until the job is drained, crediting busy time
+    /// and arena footprint to `slot`.
+    fn work(&self, shared: &Shared, slot: usize, scratch: &mut Scratch) {
+        let t0 = Instant::now();
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.items {
+                break;
+            }
+            // SAFETY: see the contract on `Job::task` — the dispatcher
+            // cannot return (and thus drop the closure) before this item's
+            // `done` increment below.
+            let task = unsafe { &*self.task };
+            if catch_unwind(AssertUnwindSafe(|| task(slot, i, scratch))).is_err() {
+                self.panicked.store(true, Ordering::Release);
+            }
+            if self.done.fetch_add(1, Ordering::AcqRel) + 1 == self.items {
+                // last item: wake the dispatcher (lock ordering: the
+                // dispatcher re-checks `done` under the same mutex)
+                let _guard = shared.state.lock().unwrap();
+                shared.job_done.notify_all();
+            }
+        }
+        shared.busy_ns[slot].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        shared.high_water[slot].fetch_max(scratch.high_water(), Ordering::Relaxed);
+    }
+}
+
+struct State {
+    /// The job currently being executed, if any.
+    job: Option<Arc<Job>>,
+    /// Bumped once per dispatched job so a worker never re-enters a job it
+    /// already drained.
+    generation: u64,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    job_ready: Condvar,
+    job_done: Condvar,
+    /// Cumulative task-execution time per worker slot (slot 0 = caller).
+    busy_ns: Vec<AtomicU64>,
+    /// Scratch-arena high-water mark per worker slot.
+    high_water: Vec<AtomicUsize>,
+}
+
+fn worker_loop(shared: Arc<Shared>, slot: usize) {
+    let mut scratch = Scratch::new();
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.generation != seen {
+                    if let Some(job) = st.job.as_ref() {
+                        seen = st.generation;
+                        break Arc::clone(job);
+                    }
+                }
+                st = shared.job_ready.wait(st).unwrap();
+            }
+        };
+        job.work(&shared, slot, &mut scratch);
+    }
+}
+
+/// Resolves a `threads` configuration value to a concrete worker count:
+/// `0` means one worker per available core, anything else is taken
+/// verbatim (minimum 1). This is the single definition of the contract
+/// that `MainAlgConfig::threads` and `SolveRequest::threads` both document.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        threads
+    }
+}
+
+/// The persistent worker pool. See the [module docs](self) for the design.
+///
+/// # Example
+///
+/// ```
+/// use wmatch_graph::pool::WorkerPool;
+///
+/// let mut pool = WorkerPool::new(4);
+/// let squares = pool.run_map(8, &|_worker, i, _scratch| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+    caller_scratch: Scratch,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorkerPool {
+    /// Creates a pool of `threads` workers (`0` = one per available core;
+    /// see [`resolve_threads`]). The caller thread is worker 0, so
+    /// `threads − 1` OS threads are spawned; `threads = 1` spawns none and
+    /// every job runs inline.
+    pub fn new(threads: usize) -> Self {
+        let workers = resolve_threads(threads);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                job: None,
+                generation: 0,
+                shutdown: false,
+            }),
+            job_ready: Condvar::new(),
+            job_done: Condvar::new(),
+            busy_ns: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            high_water: (0..workers).map(|_| AtomicUsize::new(0)).collect(),
+        });
+        let handles = (1..workers)
+            .map(|slot| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("wmatch-pool-{slot}"))
+                    .spawn(move || worker_loop(shared, slot))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            workers,
+            caller_scratch: Scratch::new(),
+        }
+    }
+
+    /// Total workers, caller included (≥ 1).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Cumulative task-execution time per worker slot in nanoseconds
+    /// (slot 0 is the caller thread) — the `busy_ns` telemetry the facade
+    /// reports.
+    pub fn busy_ns(&self) -> Vec<u64> {
+        self.shared
+            .busy_ns
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Largest scratch-arena footprint across all workers (including the
+    /// caller's arena).
+    pub fn scratch_high_water(&self) -> usize {
+        self.shared
+            .high_water
+            .iter()
+            .map(|h| h.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0)
+            .max(self.caller_scratch.high_water())
+    }
+
+    /// The caller-thread arena (worker slot 0), for sequential phases that
+    /// want to reuse the pool's scratch between parallel jobs.
+    pub fn caller_scratch(&mut self) -> &mut Scratch {
+        &mut self.caller_scratch
+    }
+
+    /// Runs `f(worker, item, scratch)` for every `item ∈ 0..items` and
+    /// returns the results **in item order**. Each result is written into
+    /// its own pre-sized slot by the worker that claimed the item — no
+    /// lock, no reordering pass. Panics in `f` are propagated to the
+    /// caller after the job drains (that job's results are leaked).
+    pub fn run_map<T, F>(&mut self, items: usize, f: &F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, usize, &mut Scratch) -> T + Sync,
+    {
+        // sequential fast path: no spawned workers, or nothing to share
+        if self.handles.is_empty() || items <= 1 {
+            let t0 = Instant::now();
+            let out = (0..items)
+                .map(|i| f(0, i, &mut self.caller_scratch))
+                .collect();
+            self.shared.busy_ns[0].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            return out;
+        }
+
+        let mut slots: Vec<std::mem::MaybeUninit<T>> = Vec::with_capacity(items);
+        // SAFETY: `MaybeUninit` needs no initialization; every slot is
+        // written exactly once below before being read.
+        unsafe { slots.set_len(items) };
+        let slots_ptr = SendPtr(slots.as_mut_ptr());
+        let task = move |worker: usize, i: usize, scratch: &mut Scratch| {
+            let value = f(worker, i, scratch);
+            // SAFETY: item index `i` is claimed by exactly one worker
+            // (atomic fetch_add), so slot `i` is written exactly once and
+            // never read concurrently.
+            unsafe {
+                slots_ptr
+                    .get()
+                    .add(i)
+                    .write(std::mem::MaybeUninit::new(value))
+            };
+        };
+        let panicked = self.dispatch(items, &task);
+        if panicked {
+            // slots may be partially initialized; leak them rather than
+            // dropping uninitialized memory
+            std::mem::forget(slots);
+            panic!("a WorkerPool task panicked");
+        }
+        // SAFETY: all `items` slots were written; `MaybeUninit<T>` and `T`
+        // have identical layout.
+        unsafe {
+            let ptr = slots.as_mut_ptr() as *mut T;
+            let (len, cap) = (slots.len(), slots.capacity());
+            std::mem::forget(slots);
+            Vec::from_raw_parts(ptr, len, cap)
+        }
+    }
+
+    /// Like [`WorkerPool::run_map`], but each task additionally gets
+    /// **exclusive mutable access** to its own element of `items` — the
+    /// shape of the MPC simulator's per-machine local computations, where
+    /// machine `i` mutates its local storage and returns its outgoing
+    /// messages.
+    pub fn run_over<I, T, F>(&mut self, items: &mut [I], f: &F) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(usize, usize, &mut I, &mut Scratch) -> T + Sync,
+    {
+        let base = SendPtr(items.as_mut_ptr());
+        let n = items.len();
+        self.run_map(n, &move |worker, i, scratch| {
+            // SAFETY: each index is claimed by exactly one worker, so the
+            // mutable borrows of `items[i]` are disjoint.
+            let item = unsafe { &mut *base.get().add(i) };
+            f(worker, i, item, scratch)
+        })
+    }
+
+    /// Publishes a job, participates as worker 0, and blocks until every
+    /// item completed. Returns whether any task panicked.
+    fn dispatch<'a>(&mut self, items: usize, task: &Task<'a>) -> bool {
+        // SAFETY: erase the task's lifetime for storage in the job slot.
+        // The contract on `Job::task` holds because this function does not
+        // return before `done == items`.
+        let task: *const Task<'static> = unsafe { std::mem::transmute(task) };
+        let job = Arc::new(Job {
+            task,
+            items,
+            next: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+        });
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.generation += 1;
+            st.job = Some(Arc::clone(&job));
+            self.shared.job_ready.notify_all();
+        }
+        let shared = Arc::clone(&self.shared);
+        job.work(&shared, 0, &mut self.caller_scratch);
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            while job.done.load(Ordering::Acquire) < items {
+                st = self.shared.job_done.wait(st).unwrap();
+            }
+            st.job = None;
+        }
+        job.panicked.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            self.shared.job_ready.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A raw pointer that asserts cross-thread transferability. Every use site
+/// guarantees disjoint access by item index.
+struct SendPtr<T>(*mut T);
+
+impl<T> SendPtr<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+// SAFETY: the pool's claim counter hands each index to exactly one worker,
+// so all dereferences of the pointee are disjoint.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn sequential_pool_runs_inline() {
+        let mut pool = WorkerPool::new(1);
+        assert_eq!(pool.workers(), 1);
+        let out = pool.run_map(5, &|w, i, _s| (w, i * 2));
+        assert_eq!(out, vec![(0, 0), (0, 2), (0, 4), (0, 6), (0, 8)]);
+    }
+
+    #[test]
+    fn results_come_back_in_item_order() {
+        let mut pool = WorkerPool::new(4);
+        for round in 0..50 {
+            let out = pool.run_map(97, &|_w, i, _s| i * i + round);
+            let want: Vec<usize> = (0..97).map(|i| i * i + round).collect();
+            assert_eq!(out, want, "round {round}");
+        }
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let expected: Vec<u64> = (0..200u64).map(|i| i.wrapping_mul(0x9e3779b9)).collect();
+        for threads in [1usize, 2, 3, 8, 0] {
+            let mut pool = WorkerPool::new(threads);
+            let out = pool.run_map(200, &|_w, i, _s| (i as u64).wrapping_mul(0x9e3779b9));
+            assert_eq!(out, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn workers_share_scratch_arenas() {
+        let mut pool = WorkerPool::new(3);
+        let out = pool.run_map(40, &|_w, i, s: &mut Scratch| {
+            s.begin(64);
+            assert!(s.visited.insert(i as u32)); // arena was epoch-reset
+            s.visited.contains(i as u32)
+        });
+        assert!(out.iter().all(|&fresh| fresh));
+        assert!(pool.scratch_high_water() >= 64);
+    }
+
+    #[test]
+    fn run_over_gives_exclusive_item_access() {
+        let mut pool = WorkerPool::new(4);
+        let mut items: Vec<Vec<usize>> = (0..20).map(|i| vec![i]).collect();
+        let lens = pool.run_over(&mut items, &|_w, i, item: &mut Vec<usize>, _s| {
+            item.push(i * 10);
+            item.len()
+        });
+        assert!(lens.iter().all(|&l| l == 2));
+        for (i, item) in items.iter().enumerate() {
+            assert_eq!(item, &vec![i, i * 10]);
+        }
+    }
+
+    #[test]
+    fn busy_ns_accumulates_per_worker() {
+        let mut pool = WorkerPool::new(2);
+        pool.run_map(64, &|_w, _i, _s| {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        let busy = pool.busy_ns();
+        assert_eq!(busy.len(), 2);
+        assert!(busy.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn zero_items_is_a_noop() {
+        let mut pool = WorkerPool::new(4);
+        let out: Vec<usize> = pool.run_map(0, &|_w, i, _s| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn resolve_threads_contract() {
+        assert_eq!(resolve_threads(3), 3);
+        assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn pool_survives_a_task_panic() {
+        let mut pool = WorkerPool::new(2);
+        let hit = AtomicUsize::new(0);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_map(8, &|_w, i, _s| {
+                hit.fetch_add(1, Ordering::Relaxed);
+                if i == 3 {
+                    panic!("boom");
+                }
+                i
+            })
+        }));
+        assert!(r.is_err(), "panic must propagate to the dispatcher");
+        // the pool keeps working afterwards
+        let out = pool.run_map(4, &|_w, i, _s| i + 1);
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn many_small_jobs_reuse_the_same_threads() {
+        // regression shape for the old spawn-per-round sweep: hundreds of
+        // dispatches must be cheap and correct on one persistent pool
+        let mut pool = WorkerPool::new(4);
+        let mut total = 0usize;
+        for j in 0..300 {
+            total += pool.run_map(7, &|_w, i, _s| i + j).iter().sum::<usize>();
+        }
+        let want: usize = (0..300).map(|j| (0..7).map(|i| i + j).sum::<usize>()).sum();
+        assert_eq!(total, want);
+    }
+}

@@ -195,6 +195,10 @@ pub struct Scratch {
     pub visited: EpochSet,
     /// Conflict marks (e.g. vertices touched by accepted augmentations).
     pub mark: EpochSet,
+    /// Dense per-vertex counter (e.g. the coreset degree caps of the MPC
+    /// `Unw-Bip-Matching` box, one counter per worker in the parallel
+    /// machine rounds).
+    pub count: EpochMap<u32>,
     high_water: usize,
 }
 
@@ -210,8 +214,10 @@ impl Scratch {
     pub fn begin(&mut self, n: usize) {
         self.visited.ensure(n);
         self.mark.ensure(n);
+        self.count.ensure(n);
         self.visited.clear();
         self.mark.clear();
+        self.count.clear();
         self.high_water = self.high_water.max(n);
     }
 

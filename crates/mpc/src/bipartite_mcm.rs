@@ -25,8 +25,7 @@ use rand::Rng;
 use rand::SeedableRng;
 
 use wmatch_graph::exact::hopcroft_karp::max_bipartite_cardinality_matching_from;
-use wmatch_graph::scratch::EpochMap;
-use wmatch_graph::{Edge, Graph, Matching};
+use wmatch_graph::{Edge, Graph, Matching, WorkerPool};
 
 use crate::simulator::{MpcError, MpcSimulator};
 
@@ -138,6 +137,31 @@ pub fn mpc_bipartite_mcm(
     side: &[bool],
     cfg: &MpcMcmConfig,
 ) -> Result<MpcMcmResult, MpcError> {
+    // a 1-worker pool runs every machine step inline on the caller
+    let mut pool = WorkerPool::new(1);
+    mpc_bipartite_mcm_pooled(sim, edges, side, cfg, &mut pool)
+}
+
+/// Like [`mpc_bipartite_mcm`], executing the per-machine local
+/// computations of every simulated round — the re-scatter shuffles and the
+/// coreset extractions — concurrently on the caller's [`WorkerPool`], with
+/// the simulator's exchanges as the only barriers. The returned matching
+/// is **bit-identical** to [`mpc_bipartite_mcm`] for any worker count: the
+/// per-machine randomness is keyed by machine id (not worker), results
+/// land in machine-indexed slots, and the coordinator's Hopcroft–Karp step
+/// is sequential either way.
+///
+/// # Errors
+///
+/// Returns an [`MpcError`] if the instance does not fit the simulator's
+/// memory/communication budgets.
+pub fn mpc_bipartite_mcm_pooled(
+    sim: &mut MpcSimulator,
+    edges: Vec<Edge>,
+    side: &[bool],
+    cfg: &MpcMcmConfig,
+    pool: &mut WorkerPool,
+) -> Result<MpcMcmResult, MpcError> {
     let n = side.len();
     let gamma = sim.config().machines;
     let s = sim.config().memory_words;
@@ -149,19 +173,18 @@ pub fn mpc_bipartite_mcm(
 
     let mut matching = Matching::new(n);
     let mut fruitless = 0usize;
-    // coreset scratch, shared across machines and iterations: an
-    // epoch-reset degree counter and a reusable local-graph buffer
-    let mut deg: EpochMap<u32> = EpochMap::new();
-    deg.ensure(n);
+    // the coordinator's reusable local-graph buffer
     let mut h = Graph::new(n);
 
     for _iter in 0..cfg.max_iterations {
         // (1) broadcast the current matching
         sim.broadcast_words(coordinator, matching.len().max(1))?;
 
-        // (2) re-scatter so the next coreset sees a fresh random edge order
+        // (2) re-scatter so the next coreset sees a fresh random edge
+        // order; machine randomness is keyed by machine id, so the
+        // shuffle is identical for any worker count
         let shuffle_seed: u64 = rng.gen();
-        sim.exchange(|mach, local| {
+        sim.exchange_par(pool, |mach, local, _scratch| {
             let mut r = StdRng::seed_from_u64(shuffle_seed ^ (mach as u64).wrapping_mul(0x9e37));
             local
                 .drain(..)
@@ -169,10 +192,11 @@ pub fn mpc_bipartite_mcm(
                 .collect::<Vec<_>>()
         })?;
 
-        // (3) coreset extraction and gather to the coordinator
-        let deg = &mut deg;
-        let inboxes = sim.exchange_transient(|_mach, local| {
-            deg.clear();
+        // (3) coreset extraction and gather to the coordinator; each
+        // worker's scratch arena carries its own degree counters
+        let inboxes = sim.exchange_transient_par(pool, |_mach, local, scratch| {
+            scratch.begin(n);
+            let deg = &mut scratch.count;
             let mut out = Vec::new();
             for &e in local {
                 if out.len() >= quota {
@@ -329,6 +353,38 @@ mod tests {
             err,
             MpcError::MemoryExceeded { .. } | MpcError::CommunicationExceeded { .. }
         ));
+    }
+
+    #[test]
+    fn pooled_box_is_bit_identical_across_worker_counts() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let (g, side) = generators::random_bipartite(40, 40, 0.15, WeightModel::Unit, &mut rng);
+        let mut sim = MpcSimulator::new(MpcConfig {
+            machines: 6,
+            memory_words: 4000,
+        });
+        let cfg = MpcMcmConfig::for_delta(0.1, 77);
+        let want = mpc_bipartite_mcm(&mut sim, g.edges().to_vec(), &side, &cfg).unwrap();
+        for threads in [1usize, 2, 4, 0] {
+            let mut pool = WorkerPool::new(threads);
+            let mut sim = MpcSimulator::new(MpcConfig {
+                machines: 6,
+                memory_words: 4000,
+            });
+            let got =
+                mpc_bipartite_mcm_pooled(&mut sim, g.edges().to_vec(), &side, &cfg, &mut pool)
+                    .unwrap();
+            assert_eq!(
+                want.matching.to_edges(),
+                got.matching.to_edges(),
+                "threads {threads}"
+            );
+            assert_eq!(want.rounds, got.rounds, "threads {threads}");
+            assert_eq!(
+                want.peak_machine_words, got.peak_machine_words,
+                "threads {threads}"
+            );
+        }
     }
 
     #[test]

@@ -26,5 +26,5 @@
 pub mod bipartite_mcm;
 pub mod simulator;
 
-pub use bipartite_mcm::{mpc_bipartite_mcm, MpcMcmConfig, MpcMcmResult};
+pub use bipartite_mcm::{mpc_bipartite_mcm, mpc_bipartite_mcm_pooled, MpcMcmConfig, MpcMcmResult};
 pub use simulator::{MpcConfig, MpcError, MpcSimulator};

@@ -11,7 +11,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
 
-use wmatch_graph::Edge;
+use wmatch_graph::{Edge, Scratch, WorkerPool};
 
 /// Static parameters of the MPC deployment: Γ machines × S words.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -305,6 +305,122 @@ impl MpcSimulator {
         Ok(inboxes)
     }
 
+    /// The parallel form of [`MpcSimulator::exchange`]: every machine's
+    /// local computation runs concurrently on the caller's [`WorkerPool`],
+    /// and the exchange itself — message validation and delivery — is the
+    /// round's only barrier. `step(machine, local_edges, scratch)` must be
+    /// a pure function of the machine's state (plus its per-worker
+    /// scratch arena), so the result is **bit-identical** to running the
+    /// same steps sequentially in machine order, for any worker count.
+    ///
+    /// Budget violations are detected by replaying the collected outboxes
+    /// in machine order, so the reported error matches what the sequential
+    /// replay would observe; unlike [`MpcSimulator::exchange`], machines
+    /// *after* an overflowing sender still execute their (discarded) local
+    /// step — on error the simulator state is unspecified either way.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any machine sends or receives more than S
+    /// words, stores more than S words afterwards, or addresses a bad
+    /// machine.
+    pub fn exchange_par<F>(&mut self, pool: &mut WorkerPool, step: F) -> Result<(), MpcError>
+    where
+        F: Fn(usize, &mut Vec<Edge>, &mut Scratch) -> Vec<(usize, Edge)> + Sync,
+    {
+        let s = self.cfg.memory_words;
+        let gamma = self.cfg.machines;
+        // machine-local computation: each worker owns its machine's storage
+        let outboxes: Vec<Vec<(usize, Edge)>> = pool
+            .run_over(&mut self.storage, &|_worker, mach, local, scratch| {
+                step(mach, local, scratch)
+            });
+        // the barrier: deterministic delivery in machine order
+        let mut inboxes: Vec<Vec<Edge>> = vec![Vec::new(); gamma];
+        let mut received = vec![0usize; gamma];
+        for (i, out) in outboxes.into_iter().enumerate() {
+            if out.len() > s {
+                return Err(MpcError::CommunicationExceeded {
+                    machine: i,
+                    used: out.len(),
+                    limit: s,
+                });
+            }
+            for (dest, e) in out {
+                if dest >= gamma {
+                    return Err(MpcError::NoSuchMachine { machine: dest });
+                }
+                received[dest] += 1;
+                if received[dest] > s {
+                    return Err(MpcError::CommunicationExceeded {
+                        machine: dest,
+                        used: received[dest],
+                        limit: s,
+                    });
+                }
+                inboxes[dest].push(e);
+            }
+        }
+        for (i, inbox) in inboxes.into_iter().enumerate() {
+            self.storage[i].extend(inbox);
+        }
+        self.rounds += 1;
+        self.note_loads()
+    }
+
+    /// The parallel form of [`MpcSimulator::exchange_transient`]: machines
+    /// read their storage concurrently on the pool and the returned
+    /// inboxes are assembled in machine order (bit-identical to the
+    /// sequential method for any worker count).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on budget violations or bad destinations.
+    pub fn exchange_transient_par<F>(
+        &mut self,
+        pool: &mut WorkerPool,
+        step: F,
+    ) -> Result<Vec<Vec<Edge>>, MpcError>
+    where
+        F: Fn(usize, &[Edge], &mut Scratch) -> Vec<(usize, Edge)> + Sync,
+    {
+        let s = self.cfg.memory_words;
+        let gamma = self.cfg.machines;
+        let storage = &self.storage;
+        let outboxes: Vec<Vec<(usize, Edge)>> = pool.run_map(gamma, &|_worker, mach, scratch| {
+            step(mach, &storage[mach], scratch)
+        });
+        let mut inboxes: Vec<Vec<Edge>> = vec![Vec::new(); gamma];
+        for (i, out) in outboxes.into_iter().enumerate() {
+            if out.len() > s {
+                return Err(MpcError::CommunicationExceeded {
+                    machine: i,
+                    used: out.len(),
+                    limit: s,
+                });
+            }
+            for (dest, e) in out {
+                if dest >= gamma {
+                    return Err(MpcError::NoSuchMachine { machine: dest });
+                }
+                inboxes[dest].push(e);
+            }
+        }
+        self.rounds += 1;
+        for (i, (st, inbox)) in self.storage.iter().zip(&inboxes).enumerate() {
+            let used = st.len() + inbox.len();
+            self.peak_machine_words = self.peak_machine_words.max(used);
+            if used > s {
+                return Err(MpcError::MemoryExceeded {
+                    machine: i,
+                    used,
+                    limit: s,
+                });
+            }
+        }
+        Ok(inboxes)
+    }
+
     /// Accounts for broadcasting `words` words of control state from one
     /// machine to all machines using the standard two-step scheme (split
     /// into Γ parts, then all-to-all): costs 2 rounds; requires
@@ -471,6 +587,99 @@ mod tests {
             .exchange_transient(|_m, local| local.iter().map(|e| (5usize, *e)).collect::<Vec<_>>())
             .unwrap_err();
         assert_eq!(err, MpcError::NoSuchMachine { machine: 5 });
+    }
+
+    #[test]
+    fn parallel_exchange_matches_sequential() {
+        // the same deterministic per-machine step, sequential vs pooled at
+        // several worker counts: storage, rounds, and peaks must agree
+        let build = || {
+            let mut sim = MpcSimulator::new(MpcConfig {
+                machines: 5,
+                memory_words: 200,
+            });
+            sim.scatter_edges(unit_edges(60), 11).unwrap();
+            sim
+        };
+        let step_dest = |mach: usize, e: &Edge| ((mach + e.u as usize) % 5, *e);
+        let mut seq = build();
+        seq.exchange(|mach, local| {
+            local
+                .drain(..)
+                .map(|e| step_dest(mach, &e))
+                .collect::<Vec<_>>()
+        })
+        .unwrap();
+        for threads in [1usize, 2, 4] {
+            let mut pool = WorkerPool::new(threads);
+            let mut par = build();
+            par.exchange_par(&mut pool, |mach, local, _s| {
+                local
+                    .drain(..)
+                    .map(|e| step_dest(mach, &e))
+                    .collect::<Vec<_>>()
+            })
+            .unwrap();
+            for i in 0..5 {
+                assert_eq!(seq.machine(i), par.machine(i), "threads {threads}");
+            }
+            assert_eq!(seq.rounds(), par.rounds());
+            assert_eq!(seq.peak_machine_words(), par.peak_machine_words());
+        }
+    }
+
+    #[test]
+    fn parallel_transient_exchange_matches_sequential() {
+        let build = || {
+            let mut sim = MpcSimulator::new(MpcConfig {
+                machines: 4,
+                memory_words: 100,
+            });
+            sim.scatter_edges(unit_edges(30), 13).unwrap();
+            sim
+        };
+        let mut seq = build();
+        let want = seq
+            .exchange_transient(|mach, local| {
+                local
+                    .iter()
+                    .map(|e| ((mach + 1) % 4, *e))
+                    .collect::<Vec<_>>()
+            })
+            .unwrap();
+        let mut pool = WorkerPool::new(3);
+        let mut par = build();
+        let got = par
+            .exchange_transient_par(&mut pool, |mach, local, _s| {
+                local
+                    .iter()
+                    .map(|e| ((mach + 1) % 4, *e))
+                    .collect::<Vec<_>>()
+            })
+            .unwrap();
+        assert_eq!(want, got);
+        assert_eq!(seq.rounds(), par.rounds());
+    }
+
+    #[test]
+    fn parallel_exchange_detects_overflow_deterministically() {
+        for threads in [1usize, 4] {
+            let mut pool = WorkerPool::new(threads);
+            let mut sim = MpcSimulator::new(MpcConfig {
+                machines: 4,
+                memory_words: 20,
+            });
+            sim.scatter_edges(unit_edges(40), 3).unwrap();
+            let err = sim
+                .exchange_par(&mut pool, |_m, local, _s| {
+                    local.drain(..).map(|e| (0usize, e)).collect::<Vec<_>>()
+                })
+                .unwrap_err();
+            assert!(
+                matches!(err, MpcError::CommunicationExceeded { machine: 0, .. }),
+                "threads {threads}: {err:?}"
+            );
+        }
     }
 
     #[test]
