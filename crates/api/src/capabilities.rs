@@ -15,6 +15,9 @@ pub enum ModelKind {
     Adversarial,
     /// Edges are distributed over machines of bounded memory (MPC).
     Mpc,
+    /// Edges are inserted *and deleted* by an interleaved update stream;
+    /// the matching is maintained with bounded recourse.
+    Dynamic,
 }
 
 impl fmt::Display for ModelKind {
@@ -24,6 +27,7 @@ impl fmt::Display for ModelKind {
             ModelKind::RandomOrder => "random-order",
             ModelKind::Adversarial => "adversarial",
             ModelKind::Mpc => "MPC",
+            ModelKind::Dynamic => "dynamic",
         };
         f.write_str(s)
     }

@@ -1,6 +1,9 @@
 //! A problem instance: a weighted graph together with the computational
 //! model its edges are presented in.
 
+use std::sync::Arc;
+
+use wmatch_dynamic::UpdateOp;
 use wmatch_graph::Graph;
 use wmatch_stream::VecStream;
 
@@ -9,11 +12,17 @@ use crate::error::SolveError;
 
 /// How the instance's edges reach the solver.
 ///
-/// This is the paper's taxonomy (Section 2): the same weighted graph can
-/// be solved offline, over a single- or multi-pass edge stream, or
-/// distributed over MPC machines — the reduction to unweighted
-/// augmentations is the same in every model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// This is the paper's taxonomy (Section 2) plus the fully-dynamic
+/// arrival model: the same weighted graph can be solved offline, over a
+/// single- or multi-pass edge stream, distributed over MPC machines, or
+/// maintained under an interleaved insert/delete update stream — the
+/// reduction to unweighted augmentations is the same primitive in every
+/// model.
+///
+/// The enum is `Clone` but (since the dynamic variant carries its update
+/// sequence) no longer `Copy`; the sequence is shared behind an [`Arc`],
+/// so cloning an instance stays cheap.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ArrivalModel {
     /// The whole graph is available up front.
     Offline,
@@ -33,6 +42,13 @@ pub enum ArrivalModel {
         /// Per-machine memory/communication budget S, in words.
         memory_words: usize,
     },
+    /// Edges are inserted and deleted by an update stream applied on top
+    /// of the instance's (possibly empty) initial graph; the solver
+    /// maintains the matching across the whole sequence.
+    Dynamic {
+        /// The interleaved insert/delete operations, in order.
+        updates: Arc<[UpdateOp]>,
+    },
 }
 
 impl ArrivalModel {
@@ -43,6 +59,7 @@ impl ArrivalModel {
             ArrivalModel::RandomOrder { .. } => ModelKind::RandomOrder,
             ArrivalModel::Adversarial => ModelKind::Adversarial,
             ArrivalModel::Mpc { .. } => ModelKind::Mpc,
+            ArrivalModel::Dynamic { .. } => ModelKind::Dynamic,
         }
     }
 }
@@ -107,6 +124,32 @@ impl Instance {
         )
     }
 
+    /// A fully-dynamic instance: `updates` applied on top of `initial`
+    /// (which may be edgeless — pass `Graph::new(n)` to fix the vertex
+    /// range).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use wmatch_api::{Instance, ModelKind, UpdateOp};
+    /// use wmatch_graph::Graph;
+    ///
+    /// let inst = Instance::dynamic(
+    ///     Graph::new(3),
+    ///     vec![UpdateOp::insert(0, 1, 5), UpdateOp::delete(0, 1)],
+    /// );
+    /// assert_eq!(inst.model().kind(), ModelKind::Dynamic);
+    /// assert_eq!(inst.updates().unwrap().len(), 2);
+    /// ```
+    pub fn dynamic(initial: Graph, updates: impl Into<Arc<[UpdateOp]>>) -> Self {
+        Instance::new(
+            initial,
+            ArrivalModel::Dynamic {
+                updates: updates.into(),
+            },
+        )
+    }
+
     /// Declares a bipartition (`side[v]` = side of vertex `v`), checked
     /// against the graph's edges.
     ///
@@ -146,6 +189,15 @@ impl Instance {
         self.side.as_deref()
     }
 
+    /// The update sequence of a [`ArrivalModel::Dynamic`] instance
+    /// (`None` for every other model).
+    pub fn updates(&self) -> Option<&[UpdateOp]> {
+        match &self.model {
+            ArrivalModel::Dynamic { updates } => Some(updates),
+            _ => None,
+        }
+    }
+
     /// A valid bipartition: the declared one, or a 2-coloring detected by
     /// BFS. `None` when the graph is not bipartite.
     pub fn bipartition(&self) -> Option<Vec<bool>> {
@@ -164,7 +216,9 @@ impl Instance {
     /// instance's arrival order.
     ///
     /// Offline and MPC instances stream in insertion order (useful for
-    /// solvers that accept both offline and streamed input).
+    /// solvers that accept both offline and streamed input); dynamic
+    /// instances stream their *initial* graph — the update sequence is
+    /// not expressible as an insert-only stream.
     pub fn stream(&self) -> VecStream {
         let edges = self.graph.edges().to_vec();
         let s = match self.model {

@@ -7,7 +7,8 @@
 //! to unweighted augmentations regardless of the computational model.
 //! This crate makes that uniformity concrete at the API level. An
 //! [`Instance`] is a graph plus an [`ArrivalModel`] (offline,
-//! random-order stream, adversarial stream, or MPC); a [`SolveRequest`]
+//! random-order stream, adversarial stream, MPC, or a fully-dynamic
+//! insert/delete update stream); a [`SolveRequest`]
 //! carries the validated run parameters (ε, seed, budgets, threads); every
 //! algorithm is a [`Solver`] returning a [`SolveReport`] with the
 //! [`Matching`](wmatch_graph::Matching) plus uniform [`Telemetry`]
@@ -23,6 +24,8 @@
 //! | `main-alg-streaming` | Theorem 1.2.2 | adversarial, random-order | weight | no (1−ε) |
 //! | `main-alg-mpc` | Theorem 1.2.1 | MPC | weight | no (1−ε) |
 //! | `rand-arr-matching` | Theorem 1.1, Algorithm 2 | random-order | weight | no (½+c) |
+//! | `dynamic-wgtaug` | Fact 1.3 repair loop (update streams) | dynamic | weight | no (½) |
+//! | `dynamic-rebuild` | Fact 1.3 recompute-from-scratch baseline | dynamic | weight | no (½) |
 //! | `random-order-unweighted` | Theorem 3.4 | random-order | cardinality | no (0.506) |
 //! | `greedy` | folklore ½ baseline | offline, streams | weight | no |
 //! | `local-ratio` | \[PS17\], Section 3.2 | offline, streams | weight | no |
@@ -59,6 +62,13 @@
 //! let mpc = solve("main-alg-mpc", &Instance::mpc(g.clone(), 4, 4000), &req).unwrap();
 //! assert!(mpc.value > 0);
 //!
+//! // fully dynamic: maintain the matching under inserts and deletes
+//! use wmatch_api::UpdateOp;
+//! let ops = vec![UpdateOp::insert(0, 1, 4), UpdateOp::insert(1, 2, 6), UpdateOp::delete(1, 2)];
+//! let dy = solve("dynamic-wgtaug", &Instance::dynamic(wmatch_graph::Graph::new(3), ops), &req).unwrap();
+//! assert_eq!(dy.value, 4); // repaired back to {0,1} after the delete
+//! assert_eq!(dy.telemetry.extra("updates_applied"), Some("3"));
+//!
 //! // or enumerate everything that can run on an instance
 //! for s in registry_for(&Instance::offline(g.clone())) {
 //!     let report = s.solve(&Instance::offline(g.clone()), &req).unwrap();
@@ -82,5 +92,8 @@ pub use error::SolveError;
 pub use instance::{ArrivalModel, Instance};
 pub use registry::{registry, registry_for, solve, solver};
 pub use report::{objective_value, Certificate, SolveReport, Telemetry};
-pub use request::{Effort, SolveRequest, MAX_BUDGET, MAX_THREADS};
+pub use request::{Effort, SolveRequest, MAX_AUG_DEPTH, MAX_BUDGET, MAX_THREADS};
 pub use solvers::Solver;
+// the dynamic model's update vocabulary, re-exported so facade consumers
+// can build `Instance::dynamic` sequences without naming wmatch-dynamic
+pub use wmatch_dynamic::UpdateOp;

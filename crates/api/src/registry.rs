@@ -7,19 +7,22 @@ use crate::report::SolveReport;
 use crate::request::SolveRequest;
 use crate::solvers::baselines::{GreedySolver, LocalRatioSolver, RandomOrderUnweightedSolver};
 use crate::solvers::boxes::{MpcMcmSolver, StreamMcmSolver};
+use crate::solvers::dynamic::{DynamicRebuild, DynamicWgtAug};
 use crate::solvers::exact::{BlossomSolver, HopcroftKarpSolver, HungarianSolver};
 use crate::solvers::paper::{MpcMainAlg, OfflineMainAlg, RandArrSolver, StreamingMainAlg};
 use crate::solvers::Solver;
 
 /// Every registered solver, in presentation order: the paper's four
-/// drivers, the baselines, the exact oracles, and the unweighted
-/// black boxes.
+/// drivers, the dynamic engines, the baselines, the exact oracles, and
+/// the unweighted black boxes.
 pub fn registry() -> Vec<Box<dyn Solver>> {
     vec![
         Box::new(OfflineMainAlg),
         Box::new(StreamingMainAlg),
         Box::new(MpcMainAlg),
         Box::new(RandArrSolver),
+        Box::new(DynamicWgtAug),
+        Box::new(DynamicRebuild),
         Box::new(RandomOrderUnweightedSolver),
         Box::new(GreedySolver),
         Box::new(LocalRatioSolver),

@@ -16,6 +16,11 @@ pub const MAX_THREADS: usize = 1024;
 /// being budgets.
 pub const MAX_BUDGET: usize = 1_000_000;
 
+/// Upper bound on [`SolveRequest::aug_depth`]: the repair search of the
+/// dynamic solvers is exponential in the depth, so anything beyond this is
+/// a configuration mistake, not a request.
+pub const MAX_AUG_DEPTH: usize = 9;
+
 /// How much work an approximate solver should invest beyond its defaults.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Effort {
@@ -68,6 +73,19 @@ pub struct SolveRequest {
     /// holds for every value: with a fixed [`SolveRequest::seed`], the
     /// returned matching is bit-identical for any `threads`.
     pub threads: usize,
+    /// Maximum edges per repair augmentation for the dynamic solvers
+    /// (their bounded-depth search; must lie in `1..=`[`MAX_AUG_DEPTH`]).
+    /// With `aug_depth = 2ℓ − 1` the maintained matching certifies a
+    /// `(1 − 1/ℓ)` approximation after every update (Fact 1.3); the
+    /// default 3 backs the dynamic solvers' declared ½ floor. Ignored by
+    /// non-dynamic solvers.
+    pub aug_depth: usize,
+    /// Updates per batched rebuild epoch of `dynamic-wgtaug` (0 = pure
+    /// incremental repair, never rebuild; at most [`MAX_BUDGET`]). An
+    /// epoch runs Algorithm 3's weight-class sweep on the solve's worker
+    /// pool, warm-started from the maintained matching. Ignored by
+    /// non-dynamic solvers.
+    pub rebuild_threshold: usize,
     /// Effort level for approximate solvers.
     pub effort: Effort,
     /// When set, the report carries an approximation
@@ -88,6 +106,8 @@ impl Default for SolveRequest {
             round_budget: 40,
             pass_budget: 8,
             threads: 1,
+            aug_depth: 3,
+            rebuild_threshold: 0,
             effort: Effort::Standard,
             certify: false,
             warm_start: None,
@@ -147,6 +167,20 @@ impl SolveRequest {
     /// ```
     pub fn resolved_threads(&self) -> usize {
         wmatch_graph::pool::resolve_threads(self.threads)
+    }
+
+    /// Sets the dynamic solvers' repair-augmentation depth (validated in
+    /// `1..=`[`MAX_AUG_DEPTH`]; see [`SolveRequest::aug_depth`]).
+    pub fn with_aug_depth(mut self, aug_depth: usize) -> Self {
+        self.aug_depth = aug_depth;
+        self
+    }
+
+    /// Sets the dynamic rebuild threshold (0 = never rebuild; see
+    /// [`SolveRequest::rebuild_threshold`]).
+    pub fn with_rebuild_threshold(mut self, rebuild_threshold: usize) -> Self {
+        self.rebuild_threshold = rebuild_threshold;
+        self
     }
 
     /// Sets the effort level.
@@ -209,6 +243,25 @@ impl SolveRequest {
                 reason: format!(
                     "must be at most {MAX_THREADS} (0 = one per available core), got {}",
                     self.threads
+                ),
+            });
+        }
+        if self.aug_depth == 0 || self.aug_depth > MAX_AUG_DEPTH {
+            return Err(SolveError::InvalidConfig {
+                field: "aug_depth",
+                reason: format!(
+                    "must lie in 1..={MAX_AUG_DEPTH} (the repair search is exponential in it), \
+                     got {}",
+                    self.aug_depth
+                ),
+            });
+        }
+        if self.rebuild_threshold > MAX_BUDGET {
+            return Err(SolveError::InvalidConfig {
+                field: "rebuild_threshold",
+                reason: format!(
+                    "must be at most {MAX_BUDGET} (0 = never rebuild), got {}",
+                    self.rebuild_threshold
                 ),
             });
         }

@@ -94,10 +94,10 @@ impl Solver for MpcMcmSolver {
         preflight(self.name(), &self.capabilities(), instance, request)?;
         reject_warm_start(self.name(), request)?;
         let side = required_bipartition(self.name(), instance)?;
-        let ArrivalModel::Mpc {
+        let &ArrivalModel::Mpc {
             machines,
             memory_words,
-        } = *instance.model()
+        } = instance.model()
         else {
             unreachable!("preflight admits only the MPC model");
         };

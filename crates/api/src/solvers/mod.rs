@@ -13,6 +13,7 @@ use crate::request::SolveRequest;
 
 pub mod baselines;
 pub mod boxes;
+pub mod dynamic;
 pub mod exact;
 pub mod paper;
 
@@ -59,10 +60,10 @@ fn preflight(
             model: kind,
         });
     }
-    if let crate::instance::ArrivalModel::Mpc {
+    if let &crate::instance::ArrivalModel::Mpc {
         machines,
         memory_words,
-    } = *instance.model()
+    } = instance.model()
     {
         if machines == 0 {
             return Err(SolveError::InvalidConfig {

@@ -181,10 +181,10 @@ impl Solver for MpcMainAlg {
     ) -> Result<SolveReport, SolveError> {
         preflight(self.name(), &self.capabilities(), instance, request)?;
         reject_warm_start(self.name(), request)?;
-        let ArrivalModel::Mpc {
+        let &ArrivalModel::Mpc {
             machines,
             memory_words,
-        } = *instance.model()
+        } = instance.model()
         else {
             unreachable!("preflight admits only the MPC model");
         };

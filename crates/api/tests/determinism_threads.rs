@@ -8,7 +8,7 @@
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use wmatch_api::{solve, Instance, SolveReport, SolveRequest};
 use wmatch_graph::generators::{self, WeightModel};
@@ -154,6 +154,68 @@ fn mpc_mcm_facade_solver_identical_across_thread_counts() {
             .parse()
             .unwrap();
         assert_eq!(workers, wmatch_graph::pool::resolve_threads(threads));
+    }
+}
+
+#[test]
+fn dynamic_engine_identical_across_thread_counts() {
+    // the dynamic-wgtaug solver with rebuild epochs enabled (the only
+    // layer of the engine that touches the pool): maintained matching,
+    // value, and recourse counters must be bit-identical for any threads
+    use wmatch_api::UpdateOp;
+    let mut rng = StdRng::seed_from_u64(505);
+    let n = 24u32;
+    let mut live: Vec<(u32, u32)> = Vec::new();
+    let mut ops = Vec::new();
+    for _ in 0..120 {
+        if !live.is_empty() && live.len() > 40 {
+            let i = (ops.len() * 7) % live.len();
+            let (u, v) = live.swap_remove(i);
+            ops.push(UpdateOp::delete(u, v));
+        } else {
+            let u = rng.gen_range(0..n);
+            let mut v = rng.gen_range(0..n);
+            if v == u {
+                v = (v + 1) % n;
+            }
+            live.push((u, v));
+            ops.push(UpdateOp::insert(u, v, rng.gen_range(1..50u64)));
+        }
+    }
+    let inst = Instance::dynamic(Graph::new(n as usize), ops);
+    let run = |threads: usize| {
+        solve(
+            "dynamic-wgtaug",
+            &inst,
+            &SolveRequest::new()
+                .with_seed(9)
+                .with_threads(threads)
+                .with_rebuild_threshold(25),
+        )
+        .expect("dynamic solver")
+    };
+    let want = run(1);
+    assert_eq!(want.telemetry.rounds, 4, "rebuild epochs must have fired");
+    for threads in THREAD_COUNTS {
+        let got = run(threads);
+        assert_eq!(
+            want.matching.to_edges(),
+            got.matching.to_edges(),
+            "dynamic threads {threads}"
+        );
+        assert_eq!(want.value, got.value, "dynamic threads {threads}");
+        for key in [
+            "updates_applied",
+            "recourse_total",
+            "augmentations_applied",
+            "rebuilds",
+        ] {
+            assert_eq!(
+                want.telemetry.extra(key),
+                got.telemetry.extra(key),
+                "dynamic threads {threads}: {key}"
+            );
+        }
     }
 }
 

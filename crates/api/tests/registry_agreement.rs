@@ -9,7 +9,7 @@
 
 use wmatch_api::{
     objective_value, registry, registry_for, solver, ArrivalModel, Instance, ModelKind, SolveError,
-    SolveRequest,
+    SolveRequest, UpdateOp,
 };
 use wmatch_graph::generators::{self, WeightModel};
 use wmatch_graph::Graph;
@@ -60,6 +60,15 @@ fn instance_for(primary: ModelKind, g: &Graph) -> Instance {
         ModelKind::RandomOrder => Instance::random_order(g.clone(), 9),
         ModelKind::Adversarial => Instance::adversarial(g.clone()),
         ModelKind::Mpc => Instance::mpc(g.clone(), 4, 50_000),
+        // the dynamic engines replay the family as an insert stream (the
+        // delete paths have their own agreement suite)
+        ModelKind::Dynamic => Instance::dynamic(
+            Graph::new(g.vertex_count()),
+            g.edges()
+                .iter()
+                .map(|e| UpdateOp::insert(e.u, e.v, e.weight))
+                .collect::<Vec<_>>(),
+        ),
     }
 }
 
@@ -146,6 +155,11 @@ fn every_solver_agrees_with_the_blossom_oracle_on_every_family() {
                 ArrivalModel::Mpc { memory_words, .. } => assert!(
                     report.telemetry.peak_stored_edges <= *memory_words,
                     "{label}: machine memory above budget"
+                ),
+                ArrivalModel::Dynamic { updates } => assert_eq!(
+                    report.telemetry.extra("updates_applied"),
+                    Some(updates.len().to_string().as_str()),
+                    "{label}: update count"
                 ),
                 _ => assert!(report.telemetry.passes >= 1, "{label}: stream passes"),
             }

@@ -267,3 +267,61 @@ fn invalid_declared_bipartition_rejected() {
         "{err:?}"
     );
 }
+
+#[test]
+fn aug_depth_out_of_range_rejected() {
+    assert_invalid(SolveRequest::new().with_aug_depth(0), "aug_depth");
+    assert_invalid(
+        SolveRequest::new().with_aug_depth(wmatch_api::MAX_AUG_DEPTH + 1),
+        "aug_depth",
+    );
+    assert!(SolveRequest::new().with_aug_depth(1).validate().is_ok());
+    assert!(SolveRequest::new()
+        .with_aug_depth(wmatch_api::MAX_AUG_DEPTH)
+        .validate()
+        .is_ok());
+}
+
+#[test]
+fn rebuild_threshold_above_budget_rejected() {
+    assert_invalid(
+        SolveRequest::new().with_rebuild_threshold(MAX_BUDGET + 1),
+        "rebuild_threshold",
+    );
+    assert!(SolveRequest::new()
+        .with_rebuild_threshold(0)
+        .validate()
+        .is_ok());
+    assert!(SolveRequest::new()
+        .with_rebuild_threshold(MAX_BUDGET)
+        .validate()
+        .is_ok());
+}
+
+#[test]
+fn malformed_update_sequences_are_typed_errors() {
+    // the dynamic solvers forward engine rejections through the uniform
+    // error contract instead of panicking mid-replay
+    use wmatch_api::UpdateOp;
+    for (name, bad) in [
+        ("out-of-range endpoint", UpdateOp::insert(0, 99, 1)),
+        ("zero weight", UpdateOp::insert(0, 1, 0)),
+        ("self-loop", UpdateOp::insert(2, 2, 5)),
+        ("deleting a non-live edge", UpdateOp::delete(0, 1)),
+    ] {
+        for solver in ["dynamic-wgtaug", "dynamic-rebuild"] {
+            let inst = Instance::dynamic(Graph::new(4), vec![bad]);
+            let err = solve(solver, &inst, &SolveRequest::new()).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    SolveError::InvalidConfig {
+                        field: "updates",
+                        ..
+                    }
+                ),
+                "{solver} / {name}: {err:?}"
+            );
+        }
+    }
+}

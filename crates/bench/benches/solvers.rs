@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use wmatch_api::{registry, Instance, ModelKind, SolveRequest};
+use wmatch_api::{registry, Instance, ModelKind, SolveRequest, UpdateOp};
 use wmatch_graph::generators::{gnp, random_bipartite, WeightModel};
 use wmatch_graph::Graph;
 
@@ -32,6 +32,14 @@ fn instance_for(primary: ModelKind, g: &Graph) -> Instance {
         ModelKind::RandomOrder => Instance::random_order(g.clone(), 7),
         ModelKind::Adversarial => Instance::adversarial(g.clone()),
         ModelKind::Mpc => Instance::mpc(g.clone(), 4, 50 * g.vertex_count()),
+        // the dynamic engines replay the same edge set as an insert stream
+        ModelKind::Dynamic => Instance::dynamic(
+            Graph::new(g.vertex_count()),
+            g.edges()
+                .iter()
+                .map(|e| UpdateOp::insert(e.u, e.v, e.weight))
+                .collect::<Vec<_>>(),
+        ),
     }
 }
 

@@ -6,7 +6,7 @@
 //! cargo run --release -p wmatch-bench --bin report -- --quick # small sizes
 //! ```
 //!
-//! Each section regenerates one experiment from `EXPERIMENTS.md` (E1–E10) and
+//! Each section regenerates one experiment from `EXPERIMENTS.md` (E1–E11) and
 //! prints it as markdown.
 
 use std::time::Instant;
@@ -35,12 +35,16 @@ fn main() {
         ("e8", e8_memory::run),
         ("e9", e9_layered_structure::run),
         ("e10", e10_ablations::run),
+        ("e11", e11_dynamic::run),
         // hotpath also writes BENCH_hotpath.json (the recorded perf
         // trajectory; see WMATCH_BENCH_DIR)
         ("hotpath", wmatch_bench::hotpath::run),
         // scaling writes BENCH_parallel.json (worker-pool layers across
         // thread counts; WMATCH_SCALING_GUARD=1 enables the CI guard)
         ("scaling", wmatch_bench::scaling::run),
+        // dynamic writes BENCH_dynamic.json (update-stream engine vs the
+        // recompute-from-scratch baseline on the E11 workload families)
+        ("dynamic", wmatch_bench::dynamic::run),
     ];
 
     println!("# wmatch experiment report\n");

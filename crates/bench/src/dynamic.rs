@@ -1,0 +1,261 @@
+//! Dynamic update-stream benchmarks: the incremental engine against the
+//! recompute-from-scratch baseline on every dynamic workload family.
+//!
+//! `report -- dynamic` writes the results as `BENCH_dynamic.json`. Each
+//! row replays one family's update sequence through the facade and
+//! records the engine's own telemetry: `updates_per_sec` (replay
+//! throughput), total and per-op recourse (matching edges changed), and
+//! the final matching weight. The baseline replays a *prefix* of the
+//! same sequence — recomputing the whole matching after every update is
+//! exactly the cost the engine's locality avoids, and the honest way to
+//! show it is to record the baseline's own (smaller) op count alongside
+//! its throughput rather than extrapolate.
+//!
+//! Before timing, the suite asserts the engine's cross-thread
+//! determinism contract on each workload (threads 1 vs 4, with rebuild
+//! epochs enabled): a throughput number for a nondeterministic result
+//! would be meaningless.
+
+use std::time::Instant;
+
+use wmatch_api::{solve, Instance, SolveRequest};
+
+use crate::families::DynamicFamily;
+
+/// One measured row of `BENCH_dynamic.json`.
+#[derive(Debug, Clone)]
+pub struct DynamicRow {
+    /// Workload family (`sliding-window`, `heavy-churn`, `delete-matching`).
+    pub family: &'static str,
+    /// Solver configuration (`dynamic-wgtaug`, `dynamic-wgtaug+rebuild`,
+    /// `dynamic-rebuild`).
+    pub solver: String,
+    /// Vertex count.
+    pub n: usize,
+    /// Updates replayed by this row.
+    pub ops: usize,
+    /// Replay throughput in updates per second.
+    pub updates_per_sec: f64,
+    /// Total matching edges changed across the replay.
+    pub recourse_total: u64,
+    /// `recourse_total / ops`.
+    pub recourse_per_op: f64,
+    /// Final matching weight.
+    pub final_weight: i128,
+}
+
+/// Replays `inst` under `req` through the facade and extracts the row.
+fn measure(
+    family: &'static str,
+    solver: &'static str,
+    label: String,
+    inst: &Instance,
+    req: &SolveRequest,
+    n: usize,
+    ops: usize,
+) -> DynamicRow {
+    let report = solve(solver, inst, req).expect("dynamic replay");
+    row_from_report(family, label, &report, n, ops)
+}
+
+/// Extracts a row from an already-obtained report (so a replay done for
+/// a determinism assertion can double as a measurement).
+fn row_from_report(
+    family: &'static str,
+    label: String,
+    report: &wmatch_api::SolveReport,
+    n: usize,
+    ops: usize,
+) -> DynamicRow {
+    let ups: f64 = report
+        .telemetry
+        .extra("updates_per_sec")
+        .expect("dynamic telemetry")
+        .parse()
+        .unwrap_or(f64::INFINITY);
+    let recourse: u64 = report
+        .telemetry
+        .extra("recourse_total")
+        .expect("dynamic telemetry")
+        .parse()
+        .expect("numeric extra");
+    DynamicRow {
+        family,
+        solver: label,
+        n,
+        ops,
+        updates_per_sec: ups,
+        recourse_total: recourse,
+        recourse_per_op: recourse as f64 / ops.max(1) as f64,
+        final_weight: report.value,
+    }
+}
+
+/// Runs the whole suite: every dynamic family × {incremental engine,
+/// engine with rebuild epochs, recompute baseline (on a prefix)}.
+pub fn run_suite(quick: bool) -> Vec<DynamicRow> {
+    let (n, ops, baseline_ops) = if quick {
+        (64usize, 1_500usize, 400usize)
+    } else {
+        (256, 20_000, 3_000)
+    };
+    let mut rows = Vec::new();
+    for family in DynamicFamily::all() {
+        let w = family.build(n, ops, 11);
+        let full = Instance::dynamic(w.initial.clone(), w.ops.clone());
+        let prefix = Instance::dynamic(
+            w.initial.clone(),
+            w.ops[..baseline_ops.min(w.ops.len())].to_vec(),
+        );
+        let req = SolveRequest::new().with_seed(5);
+        let rebuild_req = req.clone().with_rebuild_threshold(ops / 8);
+
+        // determinism first: the maintained matching must be bit-identical
+        // across thread counts (rebuild epochs are the only parallel
+        // layer). The threads=1 run is exactly the rebuild configuration,
+        // so its report doubles as the "+rebuild" measured row below.
+        let a = solve("dynamic-wgtaug", &full, &rebuild_req).expect("threads=1 replay");
+        let b = solve(
+            "dynamic-wgtaug",
+            &full,
+            &rebuild_req.clone().with_threads(4),
+        )
+        .expect("threads=4 replay");
+        assert_eq!(
+            a.matching.to_edges(),
+            b.matching.to_edges(),
+            "{}: dynamic-wgtaug diverged across thread counts",
+            family.name()
+        );
+
+        rows.push(measure(
+            family.name(),
+            "dynamic-wgtaug",
+            "dynamic-wgtaug".into(),
+            &full,
+            &req,
+            n,
+            w.ops.len(),
+        ));
+        rows.push(row_from_report(
+            family.name(),
+            "dynamic-wgtaug+rebuild".into(),
+            &a,
+            n,
+            w.ops.len(),
+        ));
+        rows.push(measure(
+            family.name(),
+            "dynamic-rebuild",
+            "dynamic-rebuild".into(),
+            &prefix,
+            &req,
+            n,
+            baseline_ops.min(w.ops.len()),
+        ));
+    }
+    rows
+}
+
+/// Serializes the rows as `BENCH_dynamic.json` (hand-rolled JSON: the
+/// workspace builds offline, without serde).
+pub fn to_json(rows: &[DynamicRow], quick: bool) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n  \"unit\": \"updates_per_sec\",\n  \"determinism\": \"dynamic-wgtaug asserted bit-identical across threads 1 and 4 (rebuild epochs enabled)\",\n  \"note\": \"dynamic-rebuild recomputes from scratch per update and is measured on a prefix of the same sequence; compare updates_per_sec, not totals\",\n  \"benches\": [\n",
+        if quick { "quick" } else { "full" }
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"family\": \"{}\", \"solver\": \"{}\", \"n\": {}, \"ops\": {}, \
+             \"updates_per_sec\": {:.1}, \"recourse_total\": {}, \"recourse_per_op\": {:.3}, \
+             \"final_weight\": {}}}{}\n",
+            r.family,
+            r.solver,
+            r.n,
+            r.ops,
+            r.updates_per_sec,
+            r.recourse_total,
+            r.recourse_per_op,
+            r.final_weight,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Runs the suite, writes `BENCH_dynamic.json` next to the working
+/// directory (override with `WMATCH_BENCH_DIR`), and renders the
+/// markdown section.
+pub fn run(quick: bool) -> String {
+    let t0 = Instant::now();
+    let rows = run_suite(quick);
+    let dir = std::env::var("WMATCH_BENCH_DIR").unwrap_or_else(|_| ".".into());
+    let path = std::path::Path::new(&dir).join("BENCH_dynamic.json");
+    std::fs::write(&path, to_json(&rows, quick)).expect("write BENCH_dynamic.json");
+
+    let mut out = String::from("## Dynamic — update-stream engine vs recompute-from-scratch\n\n");
+    out.push_str(&format!(
+        "written: `{}` (dynamic-wgtaug asserted bit-identical across threads 1/4 before \
+         timing; the recompute baseline replays a prefix — compare updates/s)\n\n",
+        path.display()
+    ));
+    out.push_str("| family | solver | n | ops | updates/s | recourse/op | final weight |\n");
+    out.push_str("|---|---|---:|---:|---:|---:|---:|\n");
+    for r in &rows {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {:.0} | {:.3} | {} |\n",
+            r.family, r.solver, r.n, r.ops, r.updates_per_sec, r.recourse_per_op, r.final_weight
+        ));
+    }
+    out.push_str(&format!(
+        "\nShape: the incremental engine's recourse stays a small constant per update while \
+         its throughput sits well above the per-update recompute baseline (whose gap widens \
+         with n — it pays the whole live graph per update); rebuild epochs buy periodic \
+         class-sweep quality at a throughput cost. (suite ran in {:.1}s)\n",
+        t0.elapsed().as_secs_f64()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_parseable() {
+        let rows = vec![DynamicRow {
+            family: "sliding-window",
+            solver: "dynamic-wgtaug".into(),
+            n: 16,
+            ops: 10,
+            updates_per_sec: 123.4,
+            recourse_total: 7,
+            recourse_per_op: 0.7,
+            final_weight: 42,
+        }];
+        let j = to_json(&rows, true);
+        assert!(j.contains("\"updates_per_sec\": 123.4"));
+        assert!(j.contains("\"family\": \"sliding-window\""));
+        assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn tiny_suite_runs_end_to_end() {
+        // miniature pass over the measurement plumbing (not the sizes)
+        let w = DynamicFamily::SlidingWindow.build(16, 60, 3);
+        let inst = Instance::dynamic(w.initial, w.ops.clone());
+        let row = measure(
+            "sliding-window",
+            "dynamic-wgtaug",
+            "dynamic-wgtaug".into(),
+            &inst,
+            &SolveRequest::new(),
+            16,
+            w.ops.len(),
+        );
+        assert_eq!(row.ops, w.ops.len());
+        assert!(row.updates_per_sec > 0.0);
+    }
+}

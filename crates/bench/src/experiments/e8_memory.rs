@@ -161,6 +161,56 @@ pub fn run(quick: bool) -> String {
          of n, independent of m), a read-only solve builds the CSR view at most once, and \
          the per-worker busy times show how evenly the class sweep spreads over the pool.\n",
     );
+
+    // The dynamic engine's real counters on a churn workload: updates
+    // applied, recourse (matching edges changed), and replay throughput,
+    // straight from the facade's telemetry extras.
+    out.push_str("\n### Update-stream engine counters (dynamic-wgtaug, real counters)\n\n");
+    let mut t3 = Table::new(&[
+        "n",
+        "ops",
+        "updates applied",
+        "recourse total",
+        "recourse/op",
+        "augmentations",
+        "updates/s",
+    ]);
+    let dyn_sizes: &[(usize, usize)] = if quick {
+        &[(32, 400), (64, 800)]
+    } else {
+        &[(48, 1_000), (96, 2_000), (192, 4_000)]
+    };
+    for &(n, ops) in dyn_sizes {
+        let w = crate::families::DynamicFamily::HeavyChurn.build(n, ops, 8);
+        let inst = Instance::dynamic(w.initial, w.ops.clone());
+        let res = solve("dynamic-wgtaug", &inst, &SolveRequest::new()).expect("dynamic engine");
+        let applied = res.telemetry.extra("updates_applied").expect("telemetry");
+        let recourse: u64 = res
+            .telemetry
+            .extra("recourse_total")
+            .expect("telemetry")
+            .parse()
+            .expect("numeric extra");
+        let augs = res
+            .telemetry
+            .extra("augmentations_applied")
+            .expect("telemetry");
+        let ups = res.telemetry.extra("updates_per_sec").expect("telemetry");
+        t3.row(vec![
+            n.to_string(),
+            w.ops.len().to_string(),
+            applied.to_string(),
+            recourse.to_string(),
+            format!("{:.3}", recourse as f64 / w.ops.len() as f64),
+            augs.to_string(),
+            ups.to_string(),
+        ]);
+    }
+    out.push_str(&t3.to_markdown());
+    out.push_str(
+        "\nShape: per-update recourse stays a small constant as both n and the op count \
+         grow — the engine touches the ball around each update, never the whole matching.\n",
+    );
     out
 }
 

@@ -1,10 +1,12 @@
-//! The instance families used across experiments.
+//! The instance families used across experiments: the static graph
+//! families of E1–E10 and the dynamic update-stream workloads of E11.
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
+use wmatch_dynamic::UpdateOp;
 use wmatch_graph::generators::{self, WeightModel};
-use wmatch_graph::Graph;
+use wmatch_graph::{Edge, Graph, Vertex};
 
 /// A named instance family, sized by a scale parameter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +88,173 @@ impl Family {
     }
 }
 
+/// A generated dynamic workload: the initial graph plus the update
+/// sequence applied on top of it.
+#[derive(Debug, Clone)]
+pub struct DynamicWorkload {
+    /// Vertex count (shared by the initial graph and every update).
+    pub n: usize,
+    /// The initial graph the updates start from.
+    pub initial: Graph,
+    /// The interleaved insert/delete operations.
+    pub ops: Vec<UpdateOp>,
+}
+
+/// A named dynamic update-stream family, sized by a vertex count and an
+/// operation count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DynamicFamily {
+    /// Edges arrive one by one and expire after a fixed window: every
+    /// insertion past the window triggers the deletion of the oldest
+    /// live edge (the classic turnstile-window workload).
+    SlidingWindow,
+    /// A fixed random base graph under heavy churn: random live edges
+    /// are deleted and fresh random edges inserted, half-and-half.
+    HeavyChurn,
+    /// The adversarial sequence for a matching maintainer: repeatedly
+    /// compute a greedy matching of the live graph and delete exactly
+    /// its edges (the ones any good matching leans on), then hand the
+    /// pairs back with fresh weights so the next round's matching
+    /// differs.
+    DeleteMatching,
+}
+
+impl DynamicFamily {
+    /// All dynamic families.
+    pub fn all() -> [DynamicFamily; 3] {
+        [
+            DynamicFamily::SlidingWindow,
+            DynamicFamily::HeavyChurn,
+            DynamicFamily::DeleteMatching,
+        ]
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DynamicFamily::SlidingWindow => "sliding-window",
+            DynamicFamily::HeavyChurn => "heavy-churn",
+            DynamicFamily::DeleteMatching => "delete-matching",
+        }
+    }
+
+    /// Builds a workload on `n` vertices with (almost exactly) `ops`
+    /// operations. Deterministic in `(n, ops, seed)`.
+    pub fn build(&self, n: usize, ops: usize, seed: u64) -> DynamicWorkload {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xd1_5ea5e);
+        let n = n.max(4);
+        let random_pair = |rng: &mut StdRng| -> (Vertex, Vertex) {
+            let u = rng.gen_range(0..n as Vertex);
+            let mut v = rng.gen_range(0..n as Vertex);
+            if v == u {
+                v = (v + 1) % n as Vertex;
+            }
+            (u, v)
+        };
+        match self {
+            DynamicFamily::SlidingWindow => {
+                // window of ~2n edges: past it, each insert evicts the
+                // oldest live edge
+                let window = 2 * n;
+                let mut live: std::collections::VecDeque<(Vertex, Vertex)> =
+                    std::collections::VecDeque::new();
+                let mut out = Vec::with_capacity(ops);
+                while out.len() < ops {
+                    let (u, v) = random_pair(&mut rng);
+                    out.push(UpdateOp::insert(u, v, rng.gen_range(1..=100)));
+                    live.push_back((u, v));
+                    if live.len() > window && out.len() < ops {
+                        let (du, dv) = live.pop_front().expect("window is non-empty");
+                        out.push(UpdateOp::delete(du, dv));
+                    }
+                }
+                DynamicWorkload {
+                    n,
+                    initial: Graph::new(n),
+                    ops: out,
+                }
+            }
+            DynamicFamily::HeavyChurn => {
+                let initial = {
+                    let p = (5.0 / n as f64).min(0.5);
+                    generators::gnp(n, p, WeightModel::Uniform { lo: 1, hi: 100 }, &mut rng)
+                };
+                let mut live: Vec<(Vertex, Vertex)> =
+                    initial.edges().iter().map(|e| (e.u, e.v)).collect();
+                let mut out = Vec::with_capacity(ops);
+                while out.len() < ops {
+                    if !live.is_empty() && rng.gen_range(0..2) == 0 {
+                        let i = rng.gen_range(0..live.len());
+                        let (u, v) = live.swap_remove(i);
+                        out.push(UpdateOp::delete(u, v));
+                    } else {
+                        let (u, v) = random_pair(&mut rng);
+                        out.push(UpdateOp::insert(u, v, rng.gen_range(1..=100)));
+                        live.push((u, v));
+                    }
+                }
+                DynamicWorkload {
+                    n,
+                    initial,
+                    ops: out,
+                }
+            }
+            DynamicFamily::DeleteMatching => {
+                // simple base graph (each round reinserts the same pairs,
+                // so the live graph stays simple and the tracker exact)
+                let base = {
+                    let p = (5.0 / n as f64).min(0.5);
+                    generators::gnp(n, p, WeightModel::Uniform { lo: 1, hi: 100 }, &mut rng)
+                };
+                let mut live: Vec<Edge> = base.edges().to_vec();
+                live.sort_unstable_by_key(|e| e.key());
+                live.dedup_by_key(|e| e.key());
+                let initial = Graph::from_edges(n, live.iter().copied());
+                let mut out = Vec::with_capacity(ops + n);
+                while out.len() < ops {
+                    // the adversary's greedy matching over the live set —
+                    // exactly the edges any good matching leans on
+                    let mut by_weight = live.clone();
+                    by_weight.sort_unstable_by(|a, b| {
+                        b.weight.cmp(&a.weight).then(a.key().cmp(&b.key()))
+                    });
+                    let mut matched = wmatch_graph::Matching::new(n);
+                    let mut hit: Vec<Edge> = Vec::new();
+                    for e in by_weight {
+                        if matched.insert(e).is_ok() {
+                            hit.push(e);
+                        }
+                    }
+                    if hit.is_empty() {
+                        break; // edgeless live graph: the adversary is done
+                    }
+                    // delete exactly the matching, then hand the pairs
+                    // back with fresh weights — the next round's matching
+                    // genuinely differs, so the maintainer can never
+                    // settle
+                    for e in &hit {
+                        out.push(UpdateOp::delete(e.u, e.v));
+                    }
+                    for e in &hit {
+                        let w = rng.gen_range(1..=100);
+                        out.push(UpdateOp::insert(e.u, e.v, w));
+                        let slot = live
+                            .iter_mut()
+                            .find(|l| l.key() == e.key())
+                            .expect("hit edges come from the live set");
+                        slot.weight = w;
+                    }
+                }
+                DynamicWorkload {
+                    n,
+                    initial,
+                    ops: out,
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,5 +279,54 @@ mod tests {
     fn names_are_unique() {
         let names: std::collections::HashSet<_> = Family::all().iter().map(|f| f.name()).collect();
         assert_eq!(names.len(), 6);
+    }
+
+    /// Replays a workload against a pair-count tracker, asserting every
+    /// deletion targets a live pair.
+    fn assert_well_formed(w: &DynamicWorkload) {
+        let mut live: std::collections::HashMap<(u32, u32), usize> = Default::default();
+        for e in w.initial.edges() {
+            *live.entry(e.key()).or_default() += 1;
+        }
+        for op in &w.ops {
+            let (u, v) = op.endpoints();
+            assert!((u as usize) < w.n && (v as usize) < w.n && u != v, "{op}");
+            let key = if u <= v { (u, v) } else { (v, u) };
+            match op {
+                UpdateOp::Insert { weight, .. } => {
+                    assert!(*weight > 0, "{op}");
+                    *live.entry(key).or_default() += 1;
+                }
+                UpdateOp::Delete { .. } => {
+                    let c = live.get_mut(&key).unwrap_or_else(|| panic!("{op} dangles"));
+                    assert!(*c > 0, "{op} deletes a dead pair");
+                    *c -= 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_families_are_well_formed_and_deterministic() {
+        for f in DynamicFamily::all() {
+            let w = f.build(48, 400, 7);
+            assert!(w.ops.len() >= 400, "{}: only {} ops", f.name(), w.ops.len());
+            assert_well_formed(&w);
+            assert!(
+                w.ops.iter().any(|o| !o.is_insert()),
+                "{}: no deletes",
+                f.name()
+            );
+            let w2 = f.build(48, 400, 7);
+            assert_eq!(w.ops, w2.ops, "{}: not deterministic", f.name());
+            assert_eq!(w.initial, w2.initial, "{}", f.name());
+        }
+    }
+
+    #[test]
+    fn dynamic_family_names_are_unique() {
+        let names: std::collections::HashSet<_> =
+            DynamicFamily::all().iter().map(|f| f.name()).collect();
+        assert_eq!(names.len(), 3);
     }
 }

@@ -1,11 +1,12 @@
 //! Experiment harness for the wmatch workspace.
 //!
 //! Each module under [`experiments`] regenerates one experiment from
-//! `EXPERIMENTS.md` (E1–E10): it runs the relevant algorithms over the
+//! `EXPERIMENTS.md` (E1–E11): it runs the relevant algorithms over the
 //! declared workloads and returns structured rows that the `report` binary
 //! renders as markdown tables. The criterion benches under `benches/`
 //! measure the throughput of the same code paths.
 
+pub mod dynamic;
 pub mod families;
 pub mod hotpath;
 pub mod oracle;
@@ -15,6 +16,7 @@ pub mod table;
 pub mod experiments {
     //! One module per experiment id (see DESIGN.md §2).
     pub mod e10_ablations;
+    pub mod e11_dynamic;
     pub mod e1_random_order_unweighted;
     pub mod e2_random_arrival_weighted;
     pub mod e3_three_aug_paths;

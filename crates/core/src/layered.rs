@@ -35,6 +35,18 @@ use wmatch_stream::EdgeStream;
 use crate::tau::{bucket_down, bucket_up, TauPair};
 
 /// A random bipartition (L, R) of the vertex set (Section 4.3.1).
+///
+/// # Example
+///
+/// ```
+/// use wmatch_core::layered::Parametrization;
+/// use wmatch_graph::Edge;
+///
+/// let param = Parametrization::from_sides(vec![false, true, false]);
+/// assert!(param.is_left(1) && !param.is_left(0));
+/// assert!(param.crosses(&Edge::new(0, 1, 5)));
+/// assert!(!param.crosses(&Edge::new(0, 2, 5)));
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Parametrization {
     in_l: Vec<bool>,
@@ -76,6 +88,33 @@ impl Parametrization {
 
 /// The defining parameters of one layered graph, with the pure filter
 /// predicates shared by the offline builder and the streaming adapter.
+///
+/// # Example
+///
+/// The classic 3-augmentation: a path 0–1–2–3 with weights (9, 10, 9)
+/// and the middle edge matched. At `W = 16, q = 8` the pair
+/// `τᴬ = [0, 5, 0], τᴮ = [4, 4]` places the matched edge in the middle
+/// layer and both wings across the gaps — and the built graph's
+/// maximum matching translates back to the augmenting walk.
+///
+/// ```
+/// use wmatch_core::layered::{LayeredSpec, Parametrization};
+/// use wmatch_core::tau::TauPair;
+/// use wmatch_graph::generators::path_graph;
+/// use wmatch_graph::Matching;
+///
+/// let g = path_graph(&[9, 10, 9]);
+/// let m = Matching::from_edges(4, [g.edge(1)]).unwrap();
+/// let param = Parametrization::from_sides(vec![false, true, false, true]);
+/// let tau = TauPair { a: vec![0, 5, 0], b: vec![4, 4] };
+/// let spec = LayeredSpec::new(&tau, 16, 8, &param, &m);
+/// assert_eq!(spec.layers(), 3);
+/// assert_eq!(spec.x_layers(&g.edge(1)), vec![1]); // matched copy, middle layer
+/// assert_eq!(spec.y_gaps(&g.edge(0)), vec![0, 1]); // wing crosses both gaps
+///
+/// let lg = spec.build(g.edges().iter().copied().filter(|e| !m.contains(e)));
+/// assert!(lg.graph.edge_count() > 0);
+/// ```
 #[derive(Debug, Clone)]
 pub struct LayeredSpec<'a> {
     n: usize,

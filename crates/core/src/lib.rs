@@ -34,6 +34,9 @@
 //! m.validate(Some(&g)).unwrap();
 //! ```
 
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod config;
 pub mod decompose;
 pub mod greedy;

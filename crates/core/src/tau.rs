@@ -15,6 +15,20 @@
 use std::collections::BTreeSet;
 
 /// Up-bucket: the unit value `⌈w·q/W⌉` (matched-edge filter).
+///
+/// # Example
+///
+/// ```
+/// use wmatch_core::tau::{bucket_down, bucket_up};
+///
+/// // W = 16, q = 8 (granularity 2): the two filters of the layered
+/// // construction — an exact multiple buckets equally both ways, an
+/// // in-between weight splits
+/// assert_eq!(bucket_up(10, 16, 8), 5);
+/// assert_eq!(bucket_down(10, 16, 8), 5);
+/// assert_eq!(bucket_up(9, 16, 8), 5);
+/// assert_eq!(bucket_down(9, 16, 8), 4);
+/// ```
 pub fn bucket_up(w: u64, w_class: u64, q: u32) -> u32 {
     let num = w as u128 * q as u128;
     (num.div_ceil(w_class.max(1) as u128)) as u32
@@ -47,6 +61,20 @@ impl TauPair {
     }
 
     /// Checks the goodness conditions of Table 1 against `cfg`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use wmatch_core::tau::{TauConfig, TauPair};
+    ///
+    /// let cfg = TauConfig::practical(8, 3);
+    /// // the 3-augmentation pair: Σ τᴮ = 8 ≤ cap, Σ τᴮ > Σ τᴬ
+    /// let good = TauPair { a: vec![0, 5, 0], b: vec![4, 4] };
+    /// assert!(good.is_good(&cfg));
+    /// // gains that round away are rejected: Σ τᴮ = Σ τᴬ
+    /// let flat = TauPair { a: vec![0, 8, 0], b: vec![4, 4] };
+    /// assert!(!flat.is_good(&cfg));
+    /// ```
     pub fn is_good(&self, cfg: &TauConfig) -> bool {
         // (A) length cap and (B) |τᴮ| = |τᴬ| − 1
         if self.a.len() > cfg.max_layers || self.a.len() != self.b.len() + 1 {
@@ -153,6 +181,20 @@ impl Default for TauConfig {
 /// edge produces no layer-crossing edges, so such pairs can never yield an
 /// augmenting path. Enumeration is depth-first with sum-cap pruning and
 /// stops at `cfg.max_pairs`.
+///
+/// # Example
+///
+/// ```
+/// use std::collections::BTreeSet;
+/// use wmatch_core::tau::{enumerate_good_pairs, TauConfig};
+///
+/// // one matched bucket (5) and one unmatched bucket (4): the classic
+/// // 3-augmentation shape [0,5,0]/[4,4] is among the enumerated pairs
+/// let cfg = TauConfig::practical(8, 3);
+/// let pairs = enumerate_good_pairs(&cfg, &BTreeSet::from([5]), &BTreeSet::from([4]));
+/// assert!(pairs.iter().any(|p| p.a == [0, 5, 0] && p.b == [4, 4]));
+/// assert!(pairs.iter().all(|p| p.is_good(&cfg)));
+/// ```
 pub fn enumerate_good_pairs(
     cfg: &TauConfig,
     buckets_a: &BTreeSet<u32>,

@@ -1,0 +1,280 @@
+//! The mutable live-edge store behind the update-stream engine.
+//!
+//! [`Graph`] is append-only (its cached CSR view is
+//! invalidated on every mutation), which is the right trade-off for the
+//! static solvers but ruinous under an update stream. [`DynGraph`] is the
+//! dynamic counterpart: a slab of live edges plus per-vertex adjacency
+//! lists of edge ids, giving O(1) insertion, O(degree) deletion, and
+//! O(degree) incidence scans without any derived structure to rebuild.
+//! [`DynGraph::snapshot`] materializes the live edges as a [`Graph`] when
+//! a static algorithm (the rebuild epoch's class sweep, an oracle solve)
+//! needs one.
+
+use wmatch_graph::{Edge, Graph, Vertex};
+
+use crate::error::DynamicError;
+
+/// A dynamic undirected multigraph over a fixed vertex range `0..n`.
+///
+/// Edges live in a slab (`u32` ids, reused after deletion) and each
+/// vertex keeps the ids of its live incident edges in insertion order.
+/// Deleting `{u, v}` removes the most recently inserted live copy — a
+/// deterministic rule that keeps replay reproducible under parallel
+/// edges.
+///
+/// # Example
+///
+/// ```
+/// use wmatch_dynamic::DynGraph;
+///
+/// let mut g = DynGraph::new(3);
+/// g.insert(0, 1, 5).unwrap();
+/// g.insert(1, 2, 7).unwrap();
+/// assert_eq!(g.live_edges(), 2);
+/// assert_eq!(g.degree(1), 2);
+/// let e = g.delete(1, 2).unwrap();
+/// assert_eq!(e.weight, 7);
+/// assert_eq!(g.live_edges(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynGraph {
+    n: usize,
+    slab: Vec<Option<Edge>>,
+    free: Vec<u32>,
+    adj: Vec<Vec<u32>>,
+    live: usize,
+}
+
+impl DynGraph {
+    /// An edgeless dynamic graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        DynGraph {
+            n,
+            slab: Vec::new(),
+            free: Vec::new(),
+            adj: vec![Vec::new(); n],
+            live: 0,
+        }
+    }
+
+    /// A dynamic graph seeded with every edge of `g` (in insertion order).
+    ///
+    /// # Errors
+    ///
+    /// [`DynamicError::ZeroWeight`] if `g` contains a zero-weight edge
+    /// (the static [`Graph`] does not enforce positivity; the dynamic
+    /// model does).
+    pub fn from_graph(g: &Graph) -> Result<Self, DynamicError> {
+        let mut out = DynGraph::new(g.vertex_count());
+        for e in g.edges() {
+            out.insert(e.u, e.v, e.weight)?;
+        }
+        Ok(out)
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of live edges.
+    #[inline]
+    pub fn live_edges(&self) -> usize {
+        self.live
+    }
+
+    /// Degree of `v` (counting parallel edges).
+    #[inline]
+    pub fn degree(&self, v: Vertex) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Inserts a live edge and returns its slab id.
+    ///
+    /// # Errors
+    ///
+    /// [`DynamicError::VertexOutOfRange`], [`DynamicError::SelfLoop`] or
+    /// [`DynamicError::ZeroWeight`] for malformed insertions; the graph
+    /// is unchanged on error.
+    pub fn insert(&mut self, u: Vertex, v: Vertex, weight: u64) -> Result<u32, DynamicError> {
+        for x in [u, v] {
+            if (x as usize) >= self.n {
+                return Err(DynamicError::VertexOutOfRange {
+                    vertex: x,
+                    n: self.n,
+                });
+            }
+        }
+        if u == v {
+            return Err(DynamicError::SelfLoop { vertex: u });
+        }
+        if weight == 0 {
+            return Err(DynamicError::ZeroWeight { u, v });
+        }
+        let e = Edge::new(u, v, weight);
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.slab[id as usize] = Some(e);
+                id
+            }
+            None => {
+                let id = self.slab.len() as u32;
+                self.slab.push(Some(e));
+                id
+            }
+        };
+        self.adj[u as usize].push(id);
+        self.adj[v as usize].push(id);
+        self.live += 1;
+        Ok(id)
+    }
+
+    /// Deletes the most recently inserted live edge `{u, v}` and returns
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// [`DynamicError::EdgeNotFound`] if no live copy exists (the graph
+    /// is unchanged).
+    pub fn delete(&mut self, u: Vertex, v: Vertex) -> Result<Edge, DynamicError> {
+        for x in [u, v] {
+            if (x as usize) >= self.n {
+                return Err(DynamicError::VertexOutOfRange {
+                    vertex: x,
+                    n: self.n,
+                });
+            }
+        }
+        let pos = self.adj[u as usize]
+            .iter()
+            .rposition(|&id| {
+                self.slab[id as usize]
+                    .expect("adjacency holds live ids")
+                    .touches(v)
+            })
+            .ok_or(DynamicError::EdgeNotFound { u, v })?;
+        let id = self.adj[u as usize].remove(pos);
+        let vpos = self.adj[v as usize]
+            .iter()
+            .rposition(|&other| other == id)
+            .expect("live edge is in both adjacency lists");
+        self.adj[v as usize].remove(vpos);
+        let e = self.slab[id as usize].take().expect("id was live");
+        self.free.push(id);
+        self.live -= 1;
+        Ok(e)
+    }
+
+    /// Whether a live copy of `{u, v}` with exactly this weight exists.
+    pub fn has_live_copy(&self, u: Vertex, v: Vertex, weight: u64) -> bool {
+        self.adj[u as usize].iter().any(|&id| {
+            let e = self.slab[id as usize].expect("adjacency holds live ids");
+            e.touches(v) && e.weight == weight
+        })
+    }
+
+    /// Iterator over the live edges incident to `v`, in insertion order
+    /// (with multiplicity for parallel edges).
+    pub fn incident(&self, v: Vertex) -> impl Iterator<Item = Edge> + '_ {
+        self.adj[v as usize]
+            .iter()
+            .map(move |&id| self.slab[id as usize].expect("adjacency holds live ids"))
+    }
+
+    /// Iterator over all live edges in slab-id order (deterministic for a
+    /// given operation history).
+    pub fn live_iter(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.slab.iter().filter_map(|e| *e)
+    }
+
+    /// The maximum live edge weight (0 for an edgeless graph).
+    pub fn max_live_weight(&self) -> u64 {
+        self.live_iter().map(|e| e.weight).max().unwrap_or(0)
+    }
+
+    /// Materializes the live edges as a static [`Graph`] (slab-id order).
+    pub fn snapshot(&self) -> Graph {
+        Graph::from_edges(self.n, self.live_iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_delete_roundtrip() {
+        let mut g = DynGraph::new(4);
+        g.insert(0, 1, 3).unwrap();
+        g.insert(1, 2, 4).unwrap();
+        assert_eq!(g.live_edges(), 2);
+        assert_eq!(g.delete(2, 1).unwrap(), Edge::new(1, 2, 4));
+        assert_eq!(g.live_edges(), 1);
+        assert_eq!(g.degree(1), 1);
+        assert_eq!(
+            g.delete(1, 2),
+            Err(DynamicError::EdgeNotFound { u: 1, v: 2 })
+        );
+    }
+
+    #[test]
+    fn delete_takes_most_recent_parallel_copy() {
+        let mut g = DynGraph::new(2);
+        g.insert(0, 1, 1).unwrap();
+        g.insert(0, 1, 9).unwrap();
+        assert_eq!(g.delete(0, 1).unwrap().weight, 9, "LIFO on parallel edges");
+        assert!(g.has_live_copy(0, 1, 1));
+        assert!(!g.has_live_copy(0, 1, 9));
+    }
+
+    #[test]
+    fn slab_ids_are_reused() {
+        let mut g = DynGraph::new(3);
+        let a = g.insert(0, 1, 1).unwrap();
+        g.delete(0, 1).unwrap();
+        let b = g.insert(1, 2, 2).unwrap();
+        assert_eq!(a, b, "freed slab slot is recycled");
+        assert_eq!(g.live_edges(), 1);
+    }
+
+    #[test]
+    fn malformed_updates_are_typed_errors() {
+        let mut g = DynGraph::new(2);
+        assert!(matches!(
+            g.insert(0, 5, 1),
+            Err(DynamicError::VertexOutOfRange { .. })
+        ));
+        assert_eq!(g.insert(1, 1, 1), Err(DynamicError::SelfLoop { vertex: 1 }));
+        assert_eq!(
+            g.insert(0, 1, 0),
+            Err(DynamicError::ZeroWeight { u: 0, v: 1 })
+        );
+        assert_eq!(g.live_edges(), 0);
+    }
+
+    #[test]
+    fn snapshot_matches_live_set() {
+        let mut g = DynGraph::new(4);
+        g.insert(0, 1, 2).unwrap();
+        g.insert(2, 3, 5).unwrap();
+        g.insert(1, 2, 7).unwrap();
+        g.delete(2, 3).unwrap();
+        let s = g.snapshot();
+        assert_eq!(s.edge_count(), 2);
+        assert_eq!(s.vertex_count(), 4);
+        assert_eq!(g.max_live_weight(), 7);
+        let mut weights: Vec<u64> = s.edges().iter().map(|e| e.weight).collect();
+        weights.sort_unstable();
+        assert_eq!(weights, vec![2, 7]);
+    }
+
+    #[test]
+    fn incident_respects_insertion_order() {
+        let mut g = DynGraph::new(3);
+        g.insert(1, 0, 4).unwrap();
+        g.insert(1, 2, 6).unwrap();
+        let ws: Vec<u64> = g.incident(1).map(|e| e.weight).collect();
+        assert_eq!(ws, vec![4, 6]);
+    }
+}

@@ -1,0 +1,927 @@
+//! The update-stream engine: bounded-length augmentation repair with
+//! bounded recourse, plus batched rebuild epochs on the worker pool.
+//!
+//! # The invariant
+//!
+//! After every applied update, the maintained matching `M` admits **no
+//! positive augmentation with at most `max_len` edges** (with the
+//! matching-neighbourhood gain semantics of Definition 4.4, exactly as
+//! [`best_augmentation`](wmatch_graph::aug_search::best_augmentation)
+//! searches them). Fact 1.3 then certifies `w(M) ≥ (1 − 1/ℓ)·w(M*)` for
+//! `max_len = 2ℓ − 1` — the engine's approximation floor holds at every
+//! point of the update stream, not just at the end.
+//!
+//! # Locality
+//!
+//! The invariant is repaired locally. If it held before an update, any
+//! *newly* positive short component must touch the updated vertices:
+//! an inserted edge can only open components through itself, a deleted
+//! matched edge only components touching its freed endpoints, and each
+//! applied repair only components touching the vertices it changed. The
+//! engine therefore maintains a dirty set, searches the radius-`max_len`
+//! ball around it (extended by the mates of ball vertices, so
+//! neighbourhood gains are computed exactly), and applies the best
+//! augmentation found until none remains. The ball is relabelled into a
+//! compact sub-instance solved by the reusable
+//! [`AugSearcher`] on its
+//! epoch-stamped [`Scratch`] arenas — no hashing, no per-update
+//! allocation churn once warmed up.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use wmatch_core::greedy::greedy_by_weight;
+use wmatch_core::main_alg::{improve_matching_offline_pooled, MainAlgConfig};
+use wmatch_graph::aug_search::AugSearcher;
+use wmatch_graph::{Augmentation, Edge, Graph, Matching, Scratch, Vertex, WorkerPool};
+
+use crate::dyngraph::DynGraph;
+use crate::error::DynamicError;
+use crate::update::UpdateOp;
+
+/// Configuration of the update-stream engine.
+///
+/// Follows the workspace's config idiom: `Default` + chainable `with_*`
+/// setters, `#[non_exhaustive]` so fields can grow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub struct DynamicConfig {
+    /// Maximum edges per repair augmentation. With `max_len = 2ℓ − 1`
+    /// the engine certifies a `(1 − 1/ℓ)` approximation after every
+    /// update (Fact 1.3); the default 3 gives the ½ floor. Search cost is
+    /// exponential in this value — keep it small.
+    pub max_len: usize,
+    /// Run a batched rebuild epoch after this many updates (0 = never).
+    /// An epoch runs [`DynamicConfig::rebuild_rounds`] rounds of
+    /// Algorithm 3's weight-class sweep on the live snapshot (on the
+    /// engine's worker pool, warm-started from the maintained matching)
+    /// and then restores the bounded-augmentation invariant globally.
+    pub rebuild_threshold: usize,
+    /// Class-sweep rounds per rebuild epoch.
+    pub rebuild_rounds: usize,
+    /// Target slack ε of the rebuild epochs' class sweep (granularity and
+    /// weight-grid parameters derive from it via
+    /// [`MainAlgConfig::practical`]).
+    pub eps: f64,
+    /// RNG seed for the rebuild epochs' random bipartitions.
+    pub seed: u64,
+    /// Worker threads of the engine's pool (0 = one per available core —
+    /// the same sentinel as `SolveRequest::threads`, resolved by
+    /// [`wmatch_graph::pool::resolve_threads`]). Only rebuild epochs
+    /// parallelize; the per-update repair path is sequential. The
+    /// maintained matching is **bit-identical for every value**.
+    pub threads: usize,
+}
+
+impl Default for DynamicConfig {
+    /// `max_len = 3` (the ½ floor), no rebuild epochs, ε = 0.25, seed 0,
+    /// sequential.
+    fn default() -> Self {
+        DynamicConfig {
+            max_len: 3,
+            rebuild_threshold: 0,
+            rebuild_rounds: 2,
+            eps: 0.25,
+            seed: 0,
+            threads: 1,
+        }
+    }
+}
+
+impl DynamicConfig {
+    /// The default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the maximum augmentation length (edges per component).
+    pub fn with_max_len(mut self, max_len: usize) -> Self {
+        self.max_len = max_len;
+        self
+    }
+
+    /// Sets the rebuild threshold (updates per epoch; 0 = never).
+    pub fn with_rebuild_threshold(mut self, rebuild_threshold: usize) -> Self {
+        self.rebuild_threshold = rebuild_threshold;
+        self
+    }
+
+    /// Sets the class-sweep rounds per rebuild epoch.
+    pub fn with_rebuild_rounds(mut self, rebuild_rounds: usize) -> Self {
+        self.rebuild_rounds = rebuild_rounds;
+        self
+    }
+
+    /// Sets the rebuild epochs' target slack ε.
+    pub fn with_eps(mut self, eps: f64) -> Self {
+        self.eps = eps;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread count (0 = one per available core).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The approximation floor the invariant certifies via Fact 1.3:
+    /// `1 − 1/ℓ` where `max_len = 2ℓ − 1` (i.e. `ℓ = (max_len + 1) / 2`).
+    pub fn certified_floor(&self) -> f64 {
+        let l = self.max_len.div_ceil(2).max(1);
+        1.0 - 1.0 / l as f64
+    }
+}
+
+/// What one applied update did to the matching.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct UpdateStats {
+    /// Net matching-weight change.
+    pub gain: i128,
+    /// Matching edges changed (inserted + removed), the per-update
+    /// recourse.
+    pub recourse: u64,
+    /// Repair augmentations applied.
+    pub augmentations: u64,
+    /// Whether this update triggered a rebuild epoch.
+    pub rebuilt: bool,
+}
+
+/// Lifetime counters of an engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct DynamicCounters {
+    /// Updates applied since construction.
+    pub updates_applied: u64,
+    /// Total matching edges changed across all updates (recourse).
+    pub recourse_total: u64,
+    /// Repair augmentations applied (excluding rebuild-epoch internals,
+    /// whose churn is folded into `recourse_total` as a matching diff).
+    pub augmentations_applied: u64,
+    /// Rebuild epochs executed.
+    pub rebuilds: u64,
+}
+
+/// Outcome of one local fix-up convergence loop.
+#[derive(Debug, Default)]
+struct FixOutcome {
+    gain: i128,
+    recourse: u64,
+    augmentations: u64,
+}
+
+/// The fully-dynamic matching engine. See the [module docs](self) for the
+/// invariant and the repair strategy.
+///
+/// # Example
+///
+/// ```
+/// use wmatch_dynamic::{DynamicConfig, DynamicMatcher, UpdateOp};
+///
+/// // a 3-edge path: greedy would grab the middle edge; the repair
+/// // machinery finds the 3-augmentation to the two outer edges
+/// let mut eng = DynamicMatcher::new(4, DynamicConfig::default());
+/// for (u, v, w) in [(1, 2, 6), (0, 1, 4), (2, 3, 4)] {
+///     eng.apply(UpdateOp::insert(u, v, w)).unwrap();
+/// }
+/// assert_eq!(eng.matching().weight(), 8);
+/// assert_eq!(eng.counters().updates_applied, 3);
+/// ```
+#[derive(Debug)]
+pub struct DynamicMatcher {
+    g: DynGraph,
+    m: Matching,
+    cfg: DynamicConfig,
+    pool: WorkerPool,
+    searcher: AugSearcher,
+    scratch: Scratch,
+    rebuild_scratch: Scratch,
+    local_to_global: Vec<Vertex>,
+    dirty: Vec<Vertex>,
+    queue: Vec<(Vertex, u32)>,
+    counters: DynamicCounters,
+    updates_since_rebuild: usize,
+}
+
+impl DynamicMatcher {
+    /// An engine over an initially edgeless graph on `n` vertices.
+    pub fn new(n: usize, cfg: DynamicConfig) -> Self {
+        DynamicMatcher {
+            g: DynGraph::new(n),
+            m: Matching::new(n),
+            pool: WorkerPool::new(cfg.threads),
+            cfg,
+            searcher: AugSearcher::new(),
+            scratch: Scratch::new(),
+            rebuild_scratch: Scratch::new(),
+            local_to_global: Vec::new(),
+            dirty: Vec::new(),
+            queue: Vec::new(),
+            counters: DynamicCounters::default(),
+            updates_since_rebuild: 0,
+        }
+    }
+
+    /// An engine seeded with an initial graph: the edges are loaded
+    /// structurally and the matching is bootstrapped to the invariant
+    /// with [`static_bounded_matching`] (this initial construction does
+    /// not count towards the update/recourse counters).
+    ///
+    /// # Errors
+    ///
+    /// [`DynamicError::ZeroWeight`] if the initial graph carries a
+    /// zero-weight edge.
+    pub fn from_graph(initial: &Graph, cfg: DynamicConfig) -> Result<Self, DynamicError> {
+        let mut eng = DynamicMatcher::new(initial.vertex_count(), cfg);
+        eng.g = DynGraph::from_graph(initial)?;
+        eng.m = static_bounded_matching(initial, cfg.max_len, &mut eng.searcher);
+        Ok(eng)
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &DynamicConfig {
+        &self.cfg
+    }
+
+    /// The maintained matching.
+    pub fn matching(&self) -> &Matching {
+        &self.m
+    }
+
+    /// The live graph.
+    pub fn graph(&self) -> &DynGraph {
+        &self.g
+    }
+
+    /// Lifetime counters.
+    pub fn counters(&self) -> DynamicCounters {
+        self.counters
+    }
+
+    /// The largest dense scratch footprint the repair path has used —
+    /// the same `scratch_high_water` measure the static solvers report.
+    pub fn scratch_high_water(&self) -> usize {
+        self.scratch
+            .high_water()
+            .max(self.rebuild_scratch.high_water())
+            .max(self.pool.scratch_high_water())
+    }
+
+    /// Applies one update and repairs the matching.
+    ///
+    /// # Errors
+    ///
+    /// A [`DynamicError`] for malformed operations (bad endpoints, zero
+    /// weight, deleting a non-live edge); the engine is unchanged.
+    pub fn apply(&mut self, op: UpdateOp) -> Result<UpdateStats, DynamicError> {
+        let mut stats = UpdateStats::default();
+        match op {
+            UpdateOp::Insert { u, v, weight } => {
+                self.g.insert(u, v, weight)?;
+                // parallel upgrade: matchings are keyed by endpoint pair,
+                // so a heavier copy of an already-matched pair cannot be
+                // expressed as an augmentation — swap it in directly
+                if let Some(me) = self.m.matched_edge(u) {
+                    if me.other(u) == v && weight > me.weight {
+                        self.m.remove_pair(u, v).expect("edge was matched");
+                        self.m
+                            .insert(Edge::new(u, v, weight))
+                            .expect("endpoints just freed");
+                        stats.gain += weight as i128 - me.weight as i128;
+                        stats.recourse += 2;
+                    }
+                }
+                // a new positive component must run through the new edge
+                self.dirty.clear();
+                self.dirty.extend([u, v]);
+                let fix = self.fix_up_dirty();
+                stats.gain += fix.gain;
+                stats.recourse += fix.recourse;
+                stats.augmentations += fix.augmentations;
+            }
+            UpdateOp::Delete { u, v } => {
+                let deleted = self.g.delete(u, v)?;
+                let lost_matched_edge = match self.m.matched_edge(u) {
+                    // the matched copy is gone only if no live edge with
+                    // the same endpoints *and weight* remains (parallel
+                    // copies keep the matching valid)
+                    Some(me) => me.other(u) == v && !self.g.has_live_copy(u, v, me.weight),
+                    None => false,
+                };
+                if lost_matched_edge {
+                    let removed = self.m.remove_pair(u, v).expect("edge was matched");
+                    stats.gain -= removed.weight as i128;
+                    stats.recourse += 1;
+                    self.dirty.clear();
+                    self.dirty.extend([u, v]);
+                    let fix = self.fix_up_dirty();
+                    stats.gain += fix.gain;
+                    stats.recourse += fix.recourse;
+                    stats.augmentations += fix.augmentations;
+                }
+                // deleting an unmatched copy cannot create a positive
+                // augmentation: gains only shrink
+                let _ = deleted;
+            }
+        }
+        self.counters.updates_applied += 1;
+        self.counters.augmentations_applied += stats.augmentations;
+        self.updates_since_rebuild += 1;
+        if self.cfg.rebuild_threshold > 0
+            && self.updates_since_rebuild >= self.cfg.rebuild_threshold
+        {
+            let (rebuild_recourse, gain) = self.rebuild_epoch();
+            stats.recourse += rebuild_recourse;
+            stats.gain += gain;
+            stats.rebuilt = true;
+        }
+        self.counters.recourse_total += stats.recourse;
+        Ok(stats)
+    }
+
+    /// Applies a whole update sequence, stopping at the first malformed
+    /// operation.
+    ///
+    /// # Errors
+    ///
+    /// The first [`DynamicError`] encountered (updates before it remain
+    /// applied).
+    pub fn apply_all(&mut self, ops: &[UpdateOp]) -> Result<(), DynamicError> {
+        for &op in ops {
+            self.apply(op)?;
+        }
+        Ok(())
+    }
+
+    /// One batched rebuild epoch: class-sweep rounds on the pool,
+    /// warm-started from the maintained matching, then a global invariant
+    /// restore. Returns `(recourse, gain)` — recourse measured as the
+    /// symmetric difference against the pre-epoch matching.
+    fn rebuild_epoch(&mut self) -> (u64, i128) {
+        self.counters.rebuilds += 1;
+        self.updates_since_rebuild = 0;
+        let before_weight = self.m.weight();
+        let before: HashSet<((Vertex, Vertex), u64)> =
+            self.m.iter().map(|e| (e.key(), e.weight)).collect();
+        let snapshot = self.g.snapshot();
+        if snapshot.edge_count() > 0 {
+            // epoch randomness is keyed by the epoch counter, never by
+            // thread count: bit-identical for any pool size
+            let seed = self
+                .cfg
+                .seed
+                .wrapping_add(self.counters.rebuilds.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let main_cfg = MainAlgConfig::practical(self.cfg.eps, seed)
+                .with_trials(1)
+                .with_threads(self.cfg.threads);
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..self.cfg.rebuild_rounds.max(1) {
+                improve_matching_offline_pooled(
+                    &snapshot,
+                    &mut self.m,
+                    &main_cfg,
+                    &mut rng,
+                    &mut self.rebuild_scratch,
+                    &mut self.pool,
+                );
+            }
+        }
+        // parallel upgrade sweep: the class sweep may have committed a
+        // lighter copy of a pair that also has a heavier live copy
+        for u in 0..self.g.vertex_count() as Vertex {
+            if let Some(me) = self.m.matched_edge(u) {
+                let v = me.other(u);
+                if u < v {
+                    let best = self
+                        .g
+                        .incident(u)
+                        .filter(|e| e.touches(v))
+                        .map(|e| e.weight)
+                        .max()
+                        .unwrap_or(me.weight);
+                    if best > me.weight {
+                        self.m.remove_pair(u, v).expect("edge was matched");
+                        self.m
+                            .insert(Edge::new(u, v, best))
+                            .expect("endpoints just freed");
+                    }
+                }
+            }
+        }
+        // the class sweep improves but does not certify: restore the
+        // bounded-augmentation invariant over the whole graph
+        self.dirty.clear();
+        self.dirty.extend(0..self.g.vertex_count() as Vertex);
+        let fix = self.fix_up_dirty();
+        self.counters.augmentations_applied += fix.augmentations;
+        let after: HashSet<((Vertex, Vertex), u64)> =
+            self.m.iter().map(|e| (e.key(), e.weight)).collect();
+        let recourse = before.symmetric_difference(&after).count() as u64;
+        (recourse, self.m.weight() - before_weight)
+    }
+
+    /// Applies best local augmentations until none with positive gain
+    /// remains in the ball around the (accumulating) dirty set, restoring
+    /// the engine invariant. Clears the dirty set on return.
+    fn fix_up_dirty(&mut self) -> FixOutcome {
+        let mut out = FixOutcome::default();
+        while let Some(aug) = self.best_local_augmentation() {
+            let gain = aug.apply(&mut self.m).expect("local augmentation is valid");
+            debug_assert!(gain > 0, "only positive augmentations are applied");
+            out.gain += gain;
+            out.recourse += aug.size() as u64;
+            out.augmentations += 1;
+            // later repairs may only appear next to what this one touched,
+            // but earlier candidates stay live: accumulate, don't replace
+            self.dirty.extend(aug.touched_vertices());
+        }
+        self.dirty.clear();
+        out
+    }
+
+    /// The best positive augmentation (≤ `max_len` edges) in the
+    /// radius-`max_len` ball around the dirty set, or `None`.
+    ///
+    /// The ball (extended by the mates of ball vertices, so every
+    /// matching-neighbourhood gain is computed exactly) is relabelled
+    /// into a compact sub-instance and solved with the exhaustive
+    /// [`AugSearcher`]; the winner is mapped back to global vertex ids.
+    fn best_local_augmentation(&mut self) -> Option<Augmentation> {
+        let n = self.g.vertex_count();
+        self.scratch.begin(n);
+        self.local_to_global.clear();
+        self.queue.clear();
+        // canonical seed order makes the search independent of the order
+        // augmentations reported their touched vertices
+        self.dirty.sort_unstable();
+        self.dirty.dedup();
+        let ids = &mut self.scratch.count; // global vertex -> local id
+        for &d in &self.dirty {
+            if !ids.contains(d) {
+                ids.insert(d, self.local_to_global.len() as u32);
+                self.local_to_global.push(d);
+                self.queue.push((d, 0));
+            }
+        }
+        // BFS ball of radius max_len over the live adjacency
+        let mut head = 0;
+        while head < self.queue.len() {
+            let (v, depth) = self.queue[head];
+            head += 1;
+            if depth as usize >= self.cfg.max_len {
+                continue;
+            }
+            for e in self.g.incident(v) {
+                let w = e.other(v);
+                if !ids.contains(w) {
+                    ids.insert(w, self.local_to_global.len() as u32);
+                    self.local_to_global.push(w);
+                    self.queue.push((w, depth + 1));
+                }
+            }
+        }
+        // extend by mates so neighbourhood gains are exact at the border
+        let ball_len = self.local_to_global.len();
+        for i in 0..ball_len {
+            let v = self.local_to_global[i];
+            if let Some(me) = self.m.matched_edge(v) {
+                let w = me.other(v);
+                if !ids.contains(w) {
+                    ids.insert(w, self.local_to_global.len() as u32);
+                    self.local_to_global.push(w);
+                }
+            }
+        }
+        let sub_n = self.local_to_global.len();
+        if sub_n == 0 {
+            return None;
+        }
+        // relabelled sub-instance: every live edge with both endpoints in
+        // the extended set, added once from its smaller-local endpoint
+        let mut sub_g = Graph::new(sub_n);
+        for (li, &v) in self.local_to_global.iter().enumerate() {
+            for e in self.g.incident(v) {
+                if let Some(lw) = ids.get(e.other(v)) {
+                    if (lw as usize) > li {
+                        sub_g.add_edge(li as Vertex, lw, e.weight);
+                    }
+                }
+            }
+        }
+        let mut sub_m = Matching::new(sub_n);
+        for (li, &v) in self.local_to_global.iter().enumerate() {
+            if let Some(me) = self.m.matched_edge(v) {
+                let lw = ids.get(me.other(v)).expect("mates are in the sub-instance");
+                if (lw as usize) > li {
+                    sub_m
+                        .insert(Edge::new(li as Vertex, lw, me.weight))
+                        .expect("matched edges are vertex-disjoint");
+                }
+            }
+        }
+        let aug = self
+            .searcher
+            .best_augmentation(&sub_g, &sub_m, self.cfg.max_len)?;
+        let unmap = |e: &Edge| {
+            Edge::new(
+                self.local_to_global[e.u as usize],
+                self.local_to_global[e.v as usize],
+                e.weight,
+            )
+        };
+        let added = aug.added().iter().map(unmap).collect();
+        let removed = aug.removed().iter().map(unmap).collect();
+        Some(Augmentation::from_parts(added, removed).expect("relabelling preserves disjointness"))
+    }
+}
+
+/// The static counterpart of the engine's invariant: greedy-by-weight,
+/// then repeatedly apply the best augmentation of at most `max_len` edges
+/// until none with positive gain remains. The result certifies the same
+/// Fact 1.3 floor the engine maintains incrementally — this is what
+/// [`DynamicMatcher::from_graph`] bootstraps with and what the
+/// recompute-from-scratch baseline ([`RecomputeBaseline`]) recomputes
+/// after every update.
+///
+/// # Example
+///
+/// ```
+/// use wmatch_dynamic::static_bounded_matching;
+/// use wmatch_graph::aug_search::{best_augmentation, AugSearcher};
+/// use wmatch_graph::generators;
+///
+/// let g = generators::path_graph(&[4, 6, 4]);
+/// let m = static_bounded_matching(&g, 3, &mut AugSearcher::new());
+/// assert_eq!(m.weight(), 8); // outer pair beats the greedy middle edge
+/// assert!(best_augmentation(&g, &m, 3).is_none());
+/// ```
+pub fn static_bounded_matching(g: &Graph, max_len: usize, searcher: &mut AugSearcher) -> Matching {
+    let mut m = greedy_by_weight(g);
+    while let Some(aug) = searcher.best_augmentation(g, &m, max_len) {
+        aug.apply(&mut m).expect("searcher augmentations are valid");
+    }
+    m
+}
+
+/// The honest recompute-from-scratch baseline: the same structural
+/// updates and the same Fact 1.3 floor as [`DynamicMatcher`], but the
+/// matching is recomputed from scratch (via [`static_bounded_matching`])
+/// after every update instead of being repaired locally. Recourse is the
+/// symmetric difference between consecutive matchings — what a consumer
+/// of the matching would actually observe churn.
+#[derive(Debug)]
+pub struct RecomputeBaseline {
+    g: DynGraph,
+    m: Matching,
+    max_len: usize,
+    searcher: AugSearcher,
+    counters: DynamicCounters,
+}
+
+impl RecomputeBaseline {
+    /// A baseline over an initially edgeless graph on `n` vertices.
+    pub fn new(n: usize, max_len: usize) -> Self {
+        RecomputeBaseline {
+            g: DynGraph::new(n),
+            m: Matching::new(n),
+            max_len,
+            searcher: AugSearcher::new(),
+            counters: DynamicCounters::default(),
+        }
+    }
+
+    /// A baseline seeded with an initial graph (solved once, not counted
+    /// as recourse).
+    ///
+    /// # Errors
+    ///
+    /// [`DynamicError::ZeroWeight`] if the initial graph carries a
+    /// zero-weight edge.
+    pub fn from_graph(initial: &Graph, max_len: usize) -> Result<Self, DynamicError> {
+        let mut b = RecomputeBaseline::new(initial.vertex_count(), max_len);
+        b.g = DynGraph::from_graph(initial)?;
+        b.m = static_bounded_matching(initial, max_len, &mut b.searcher);
+        Ok(b)
+    }
+
+    /// The current matching.
+    pub fn matching(&self) -> &Matching {
+        &self.m
+    }
+
+    /// The live graph.
+    pub fn graph(&self) -> &DynGraph {
+        &self.g
+    }
+
+    /// Lifetime counters (`augmentations_applied` stays 0: the baseline
+    /// reports whole-matching churn, not individual repairs).
+    pub fn counters(&self) -> DynamicCounters {
+        self.counters
+    }
+
+    /// Applies one update: structural change, then a full recompute.
+    ///
+    /// # Errors
+    ///
+    /// A [`DynamicError`] for malformed operations (state unchanged).
+    pub fn apply(&mut self, op: UpdateOp) -> Result<UpdateStats, DynamicError> {
+        match op {
+            UpdateOp::Insert { u, v, weight } => {
+                self.g.insert(u, v, weight)?;
+            }
+            UpdateOp::Delete { u, v } => {
+                self.g.delete(u, v)?;
+            }
+        }
+        let fresh = static_bounded_matching(&self.g.snapshot(), self.max_len, &mut self.searcher);
+        let before: HashSet<((Vertex, Vertex), u64)> =
+            self.m.iter().map(|e| (e.key(), e.weight)).collect();
+        let after: HashSet<((Vertex, Vertex), u64)> =
+            fresh.iter().map(|e| (e.key(), e.weight)).collect();
+        let recourse = before.symmetric_difference(&after).count() as u64;
+        let gain = fresh.weight() - self.m.weight();
+        self.m = fresh;
+        self.counters.updates_applied += 1;
+        self.counters.recourse_total += recourse;
+        Ok(UpdateStats {
+            gain,
+            recourse,
+            augmentations: 0,
+            rebuilt: false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use wmatch_graph::aug_search::best_augmentation;
+    use wmatch_graph::exact::max_weight_matching;
+    use wmatch_graph::generators::{self, WeightModel};
+
+    /// The engine invariant, checked against the reference searcher on a
+    /// snapshot: no positive augmentation of ≤ max_len edges anywhere.
+    fn assert_invariant(eng: &DynamicMatcher) {
+        let snap = eng.graph().snapshot();
+        eng.matching()
+            .validate(Some(&snap))
+            .expect("valid matching");
+        assert!(
+            best_augmentation(&snap, eng.matching(), eng.config().max_len).is_none(),
+            "engine left a positive augmentation behind"
+        );
+    }
+
+    #[test]
+    fn insert_matches_free_pair() {
+        let mut eng = DynamicMatcher::new(4, DynamicConfig::default());
+        let s = eng.apply(UpdateOp::insert(0, 1, 5)).unwrap();
+        assert_eq!(s.gain, 5);
+        assert_eq!(s.recourse, 1);
+        assert_eq!(eng.matching().weight(), 5);
+        assert_invariant(&eng);
+    }
+
+    #[test]
+    fn insert_swaps_in_heavier_edge() {
+        let mut eng = DynamicMatcher::new(3, DynamicConfig::default());
+        eng.apply(UpdateOp::insert(0, 1, 2)).unwrap();
+        let s = eng.apply(UpdateOp::insert(1, 2, 7)).unwrap();
+        assert_eq!(s.gain, 5, "swap 2 out, 7 in");
+        assert_eq!(s.recourse, 2);
+        assert_eq!(eng.matching().weight(), 7);
+        assert_invariant(&eng);
+    }
+
+    #[test]
+    fn delete_matched_edge_repairs_locally() {
+        // path 0-1-2-3 weights 4,6,4: engine holds the outer pair (8);
+        // deleting {0,1} frees 0 and 1, repair re-matches {1,2}
+        let mut eng = DynamicMatcher::new(4, DynamicConfig::default());
+        eng.apply(UpdateOp::insert(0, 1, 4)).unwrap();
+        eng.apply(UpdateOp::insert(1, 2, 6)).unwrap();
+        eng.apply(UpdateOp::insert(2, 3, 4)).unwrap();
+        assert_eq!(eng.matching().weight(), 8);
+        let s = eng.apply(UpdateOp::delete(0, 1)).unwrap();
+        assert_eq!(eng.matching().weight(), 6);
+        assert!(s.recourse >= 2, "lost {{0,1}}, re-matched {{1,2}}");
+        assert_invariant(&eng);
+    }
+
+    #[test]
+    fn delete_unmatched_edge_is_free() {
+        let mut eng = DynamicMatcher::new(3, DynamicConfig::default());
+        eng.apply(UpdateOp::insert(0, 1, 9)).unwrap();
+        eng.apply(UpdateOp::insert(1, 2, 1)).unwrap();
+        let s = eng.apply(UpdateOp::delete(1, 2)).unwrap();
+        assert_eq!(s.recourse, 0);
+        assert_eq!(s.gain, 0);
+        assert_eq!(eng.matching().weight(), 9);
+        assert_invariant(&eng);
+    }
+
+    #[test]
+    fn parallel_copy_keeps_matching_valid() {
+        // two parallel copies of {0,1}@5: deleting one leaves the
+        // matching backed by the surviving copy
+        let mut eng = DynamicMatcher::new(2, DynamicConfig::default());
+        eng.apply(UpdateOp::insert(0, 1, 5)).unwrap();
+        eng.apply(UpdateOp::insert(0, 1, 5)).unwrap();
+        let s = eng.apply(UpdateOp::delete(0, 1)).unwrap();
+        assert_eq!(s.recourse, 0);
+        assert_eq!(eng.matching().weight(), 5);
+        assert_invariant(&eng);
+        // deleting the second copy finally unmatches
+        eng.apply(UpdateOp::delete(0, 1)).unwrap();
+        assert_eq!(eng.matching().weight(), 0);
+        assert_invariant(&eng);
+    }
+
+    #[test]
+    fn parallel_copies_of_different_weight() {
+        // matched light copy, delete the heavy parallel copy: matching
+        // must survive (the light copy still backs it)
+        let mut eng = DynamicMatcher::new(2, DynamicConfig::default());
+        eng.apply(UpdateOp::insert(0, 1, 3)).unwrap();
+        eng.apply(UpdateOp::insert(0, 1, 8)).unwrap();
+        assert_eq!(
+            eng.matching().weight(),
+            8,
+            "repair upgraded to the heavy copy"
+        );
+        // LIFO deletion removes the heavy copy; the matched heavy edge is
+        // gone, repair falls back to the light copy
+        eng.apply(UpdateOp::delete(0, 1)).unwrap();
+        assert_eq!(eng.matching().weight(), 3);
+        assert_invariant(&eng);
+    }
+
+    #[test]
+    fn malformed_ops_leave_engine_unchanged() {
+        let mut eng = DynamicMatcher::new(2, DynamicConfig::default());
+        eng.apply(UpdateOp::insert(0, 1, 5)).unwrap();
+        assert!(matches!(
+            eng.apply(UpdateOp::insert(0, 9, 1)),
+            Err(DynamicError::VertexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            eng.apply(UpdateOp::insert(0, 1, 0)),
+            Err(DynamicError::ZeroWeight { .. })
+        ));
+        assert!(matches!(
+            eng.apply(UpdateOp::delete(1, 0))
+                .and_then(|_| eng.apply(UpdateOp::delete(1, 0))),
+            Err(DynamicError::EdgeNotFound { .. })
+        ));
+        assert_eq!(eng.counters().updates_applied, 2, "errors are not counted");
+    }
+
+    #[test]
+    fn from_graph_bootstraps_invariant() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = generators::gnp(20, 0.3, WeightModel::Uniform { lo: 1, hi: 50 }, &mut rng);
+        let eng = DynamicMatcher::from_graph(&g, DynamicConfig::default()).unwrap();
+        assert_invariant(&eng);
+        let opt = max_weight_matching(&g).weight();
+        assert!(
+            eng.matching().weight() * 2 >= opt,
+            "Fact 1.3 floor at max_len 3: {} vs {opt}",
+            eng.matching().weight()
+        );
+    }
+
+    #[test]
+    fn random_churn_keeps_floor_and_invariant() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let cfg = DynamicConfig::default();
+        let mut eng = DynamicMatcher::new(14, cfg);
+        let mut live: Vec<(Vertex, Vertex)> = Vec::new();
+        for step in 0..240 {
+            let do_delete = !live.is_empty() && rng.gen_range(0..3) == 0;
+            if do_delete {
+                let i = rng.gen_range(0..live.len());
+                let (u, v) = live.swap_remove(i);
+                eng.apply(UpdateOp::delete(u, v)).unwrap();
+            } else {
+                let u = rng.gen_range(0..14u32);
+                let mut v = rng.gen_range(0..14u32);
+                if v == u {
+                    v = (v + 1) % 14;
+                }
+                let w = rng.gen_range(1..40u64);
+                eng.apply(UpdateOp::insert(u, v, w)).unwrap();
+                live.push((u, v));
+            }
+            if step % 40 == 0 {
+                assert_invariant(&eng);
+                let opt = max_weight_matching(&eng.graph().snapshot()).weight();
+                assert!(
+                    eng.matching().weight() * 2 >= opt,
+                    "step {step}: {} vs opt {opt}",
+                    eng.matching().weight()
+                );
+            }
+        }
+        assert_invariant(&eng);
+        assert_eq!(eng.counters().updates_applied, 240);
+        assert!(eng.counters().recourse_total > 0);
+        assert!(eng.scratch_high_water() > 0);
+    }
+
+    #[test]
+    fn rebuild_epochs_fire_and_preserve_invariant() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let cfg = DynamicConfig::default()
+            .with_rebuild_threshold(16)
+            .with_rebuild_rounds(1);
+        let mut eng = DynamicMatcher::new(12, cfg);
+        for _ in 0..48 {
+            let u = rng.gen_range(0..12u32);
+            let mut v = rng.gen_range(0..12u32);
+            if v == u {
+                v = (v + 1) % 12;
+            }
+            eng.apply(UpdateOp::insert(u, v, rng.gen_range(1..20u64)))
+                .unwrap();
+        }
+        assert_eq!(eng.counters().rebuilds, 3, "one epoch per 16 updates");
+        assert_invariant(&eng);
+    }
+
+    #[test]
+    fn rebuild_is_bit_identical_across_threads() {
+        for threads in [2usize, 4, 0] {
+            let mut rng = StdRng::seed_from_u64(23);
+            let cfg1 = DynamicConfig::default()
+                .with_rebuild_threshold(8)
+                .with_seed(5);
+            let cfgt = cfg1.with_threads(threads);
+            let mut a = DynamicMatcher::new(16, cfg1);
+            let mut b = DynamicMatcher::new(16, cfgt);
+            for _ in 0..40 {
+                let u = rng.gen_range(0..16u32);
+                let mut v = rng.gen_range(0..16u32);
+                if v == u {
+                    v = (v + 1) % 16;
+                }
+                let op = UpdateOp::insert(u, v, rng.gen_range(1..30u64));
+                let sa = a.apply(op).unwrap();
+                let sb = b.apply(op).unwrap();
+                assert_eq!(sa, sb, "threads = {threads}");
+            }
+            assert_eq!(
+                a.matching().to_edges(),
+                b.matching().to_edges(),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn recompute_baseline_agrees_on_quality() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let mut eng = DynamicMatcher::new(12, DynamicConfig::default());
+        let mut base = RecomputeBaseline::new(12, 3);
+        for _ in 0..80 {
+            let u = rng.gen_range(0..12u32);
+            let mut v = rng.gen_range(0..12u32);
+            if v == u {
+                v = (v + 1) % 12;
+            }
+            let op = UpdateOp::insert(u, v, rng.gen_range(1..25u64));
+            eng.apply(op).unwrap();
+            base.apply(op).unwrap();
+        }
+        // both hold the same certified floor; the incremental engine's
+        // total recourse must not exceed the recompute baseline's by the
+        // nature of local repair (checked loosely: both are bounded)
+        let opt = max_weight_matching(&eng.graph().snapshot()).weight();
+        assert!(eng.matching().weight() * 2 >= opt);
+        assert!(base.matching().weight() * 2 >= opt);
+        assert_eq!(base.counters().updates_applied, 80);
+    }
+
+    #[test]
+    fn certified_floor_derivation() {
+        assert_eq!(DynamicConfig::default().certified_floor(), 0.5);
+        assert_eq!(
+            DynamicConfig::default().with_max_len(5).certified_floor(),
+            1.0 - 1.0 / 3.0
+        );
+        assert_eq!(
+            DynamicConfig::default().with_max_len(1).certified_floor(),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Typed failure modes of the update-stream engine.
+
+use std::error::Error;
+use std::fmt;
+
+use wmatch_graph::Vertex;
+
+/// An update that the engine cannot apply. The engine's state is
+/// unchanged when one of these is returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DynamicError {
+    /// An endpoint is outside the engine's fixed vertex range `0..n`.
+    VertexOutOfRange {
+        /// The offending vertex.
+        vertex: Vertex,
+        /// The engine's vertex count.
+        n: usize,
+    },
+    /// Both endpoints are the same vertex (self-loops carry no meaning
+    /// for matchings).
+    SelfLoop {
+        /// The repeated endpoint.
+        vertex: Vertex,
+    },
+    /// An insertion with weight zero (the paper's model requires positive
+    /// integer weights).
+    ZeroWeight {
+        /// One endpoint.
+        u: Vertex,
+        /// The other endpoint.
+        v: Vertex,
+    },
+    /// A deletion of an edge with no live copy.
+    EdgeNotFound {
+        /// One endpoint.
+        u: Vertex,
+        /// The other endpoint.
+        v: Vertex,
+    },
+}
+
+impl fmt::Display for DynamicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DynamicError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex {vertex} out of range for {n} vertices")
+            }
+            DynamicError::SelfLoop { vertex } => {
+                write!(f, "self-loop update at vertex {vertex}")
+            }
+            DynamicError::ZeroWeight { u, v } => {
+                write!(
+                    f,
+                    "insertion {{{u},{v}}} with weight 0 (weights must be positive)"
+                )
+            }
+            DynamicError::EdgeNotFound { u, v } => {
+                write!(f, "no live edge {{{u},{v}}} to delete")
+            }
+        }
+    }
+}
+
+impl Error for DynamicError {}

@@ -1,0 +1,62 @@
+//! # `wmatch-dynamic` — the fully-dynamic arrival model
+//!
+//! An update-stream engine that maintains an approximate maximum-weight
+//! matching under interleaved edge insertions and deletions, built from
+//! the paper's central primitive: *short unweighted augmentations repair
+//! a weighted matching*.
+//!
+//! The engine ([`DynamicMatcher`]) keeps the invariant that the
+//! maintained matching admits **no positive augmentation of at most
+//! `max_len` edges** (with the paper's Definition 4.4 matching-
+//! neighbourhood gain semantics). By Fact 1.3, with `max_len = 2ℓ − 1`
+//! this certifies a `(1 − 1/ℓ)` approximation after *every* update —
+//! the default `max_len = 3` gives the ½ floor the facade declares.
+//!
+//! What makes the invariant cheap to maintain is locality: an insertion
+//! can only create new improving components *through the new edge*, and a
+//! deletion only ones *touching the freed endpoints*, so each update
+//! re-searches just the radius-`max_len` ball around the touched
+//! vertices. The ball is relabelled into a compact sub-instance and
+//! handed to the exhaustive [`AugSearcher`](wmatch_graph::aug_search::AugSearcher)
+//! from `wmatch-graph` — the same searcher (and the same epoch-stamped
+//! [`Scratch`](wmatch_graph::Scratch) arenas) the offline machinery runs
+//! on, so the dynamic and static notions of "no short augmentation" agree
+//! by construction.
+//!
+//! For batched update epochs, the engine periodically runs a *rebuild*:
+//! one or more rounds of Algorithm 3's weight-class sweep
+//! ([`wmatch_core::main_alg::improve_matching_offline_pooled`]) on the
+//! live snapshot, warm-started from the maintained matching and executed
+//! on a persistent [`WorkerPool`](wmatch_graph::WorkerPool) — with the
+//! same bit-identical-for-any-`threads` determinism contract as every
+//! other parallel layer in the workspace — followed by a global
+//! invariant restore.
+//!
+//! # Example
+//!
+//! ```
+//! use wmatch_dynamic::{DynamicConfig, DynamicMatcher, UpdateOp};
+//!
+//! let mut eng = DynamicMatcher::new(4, DynamicConfig::default());
+//! eng.apply(UpdateOp::insert(0, 1, 5)).unwrap();
+//! eng.apply(UpdateOp::insert(1, 2, 9)).unwrap();
+//! assert_eq!(eng.matching().weight(), 9); // the heavier edge wins
+//! eng.apply(UpdateOp::delete(1, 2)).unwrap();
+//! assert_eq!(eng.matching().weight(), 5); // repaired from {0,1}
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod dyngraph;
+pub mod engine;
+pub mod error;
+pub mod update;
+
+pub use dyngraph::DynGraph;
+pub use engine::{
+    static_bounded_matching, DynamicConfig, DynamicCounters, DynamicMatcher, RecomputeBaseline,
+    UpdateStats,
+};
+pub use error::DynamicError;
+pub use update::UpdateOp;

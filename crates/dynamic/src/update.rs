@@ -1,0 +1,83 @@
+//! The update-stream vocabulary: edge insertions and deletions.
+
+use std::fmt;
+
+use wmatch_graph::Vertex;
+
+/// One operation of a fully-dynamic update stream.
+///
+/// Updates are *structural*: an insertion adds one live copy of an edge
+/// (parallel edges are permitted, exactly as in the rest of the
+/// workspace), and a deletion removes the most recently inserted live
+/// copy with the given endpoints (weights are not part of the deletion
+/// key). The [`DynamicMatcher`](crate::DynamicMatcher) repairs the
+/// maintained matching after each operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UpdateOp {
+    /// Insert an edge `{u, v}` with the given positive weight.
+    Insert {
+        /// One endpoint.
+        u: Vertex,
+        /// The other endpoint.
+        v: Vertex,
+        /// Positive integer weight (the paper's weight model).
+        weight: u64,
+    },
+    /// Delete the most recently inserted live edge `{u, v}`.
+    Delete {
+        /// One endpoint.
+        u: Vertex,
+        /// The other endpoint.
+        v: Vertex,
+    },
+}
+
+impl UpdateOp {
+    /// An insertion.
+    pub fn insert(u: Vertex, v: Vertex, weight: u64) -> Self {
+        UpdateOp::Insert { u, v, weight }
+    }
+
+    /// A deletion.
+    pub fn delete(u: Vertex, v: Vertex) -> Self {
+        UpdateOp::Delete { u, v }
+    }
+
+    /// The endpoints this operation touches.
+    pub fn endpoints(&self) -> (Vertex, Vertex) {
+        match *self {
+            UpdateOp::Insert { u, v, .. } | UpdateOp::Delete { u, v } => (u, v),
+        }
+    }
+
+    /// Whether this operation is an insertion.
+    pub fn is_insert(&self) -> bool {
+        matches!(self, UpdateOp::Insert { .. })
+    }
+}
+
+impl fmt::Display for UpdateOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            UpdateOp::Insert { u, v, weight } => write!(f, "+{{{u},{v}}}@{weight}"),
+            UpdateOp::Delete { u, v } => write!(f, "-{{{u},{v}}}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_display() {
+        let ins = UpdateOp::insert(1, 2, 7);
+        let del = UpdateOp::delete(3, 4);
+        assert!(ins.is_insert());
+        assert!(!del.is_insert());
+        assert_eq!(ins.endpoints(), (1, 2));
+        assert_eq!(del.endpoints(), (3, 4));
+        assert_eq!(ins.to_string(), "+{1,2}@7");
+        assert_eq!(del.to_string(), "-{3,4}");
+    }
+}

@@ -41,6 +41,9 @@
 //! assert_eq!(m.mate(1), Some(2));
 //! ```
 
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod alternating;
 pub mod aug_search;
 pub mod csr;
