@@ -25,6 +25,7 @@
 //! | `main-alg-mpc` | Theorem 1.2.1 | MPC | weight | no (1−ε) |
 //! | `rand-arr-matching` | Theorem 1.1, Algorithm 2 | random-order | weight | no (½+c) |
 //! | `dynamic-wgtaug` | Fact 1.3 repair loop (update streams) | dynamic | weight | no (½) |
+//! | `dynamic-sharded` | Fact 1.3 sharded speculate-and-replay engine | dynamic | weight | no (½) |
 //! | `dynamic-rebuild` | Fact 1.3 recompute-from-scratch baseline | dynamic | weight | no (½) |
 //! | `random-order-unweighted` | Theorem 3.4 | random-order | cardinality | no (0.506) |
 //! | `greedy` | folklore ½ baseline | offline, streams | weight | no |

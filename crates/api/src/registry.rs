@@ -7,7 +7,7 @@ use crate::report::SolveReport;
 use crate::request::SolveRequest;
 use crate::solvers::baselines::{GreedySolver, LocalRatioSolver, RandomOrderUnweightedSolver};
 use crate::solvers::boxes::{MpcMcmSolver, StreamMcmSolver};
-use crate::solvers::dynamic::{DynamicRebuild, DynamicWgtAug};
+use crate::solvers::dynamic::{DynamicRebuild, DynamicSharded, DynamicWgtAug};
 use crate::solvers::exact::{BlossomSolver, HopcroftKarpSolver, HungarianSolver};
 use crate::solvers::paper::{MpcMainAlg, OfflineMainAlg, RandArrSolver, StreamingMainAlg};
 use crate::solvers::Solver;
@@ -22,6 +22,7 @@ pub fn registry() -> Vec<Box<dyn Solver>> {
         Box::new(MpcMainAlg),
         Box::new(RandArrSolver),
         Box::new(DynamicWgtAug),
+        Box::new(DynamicSharded),
         Box::new(DynamicRebuild),
         Box::new(RandomOrderUnweightedSolver),
         Box::new(GreedySolver),

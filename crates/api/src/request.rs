@@ -86,6 +86,13 @@ pub struct SolveRequest {
     /// pool, warm-started from the maintained matching. Ignored by
     /// non-dynamic solvers.
     pub rebuild_threshold: usize,
+    /// Vertex-partitioned shards for the `dynamic-sharded` solver: `1` =
+    /// a single shard (sequential speculation), `0` = one shard per
+    /// available core, at most [`MAX_THREADS`]. The sharded engine's
+    /// determinism contract mirrors `threads`: with a fixed seed the
+    /// committed matching is bit-identical to the single-shard engine for
+    /// every shard count. Ignored by non-sharded solvers.
+    pub shards: usize,
     /// Effort level for approximate solvers.
     pub effort: Effort,
     /// When set, the report carries an approximation
@@ -108,6 +115,7 @@ impl Default for SolveRequest {
             threads: 1,
             aug_depth: 3,
             rebuild_threshold: 0,
+            shards: 1,
             effort: Effort::Standard,
             certify: false,
             warm_start: None,
@@ -183,6 +191,14 @@ impl SolveRequest {
         self
     }
 
+    /// Sets the shard count for the sharded dynamic engine (0 = one per
+    /// available core, validated ≤ [`MAX_THREADS`]; see
+    /// [`SolveRequest::shards`]).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
     /// Sets the effort level.
     pub fn with_effort(mut self, effort: Effort) -> Self {
         self.effort = effort;
@@ -253,6 +269,15 @@ impl SolveRequest {
                     "must lie in 1..={MAX_AUG_DEPTH} (the repair search is exponential in it), \
                      got {}",
                     self.aug_depth
+                ),
+            });
+        }
+        if self.shards > MAX_THREADS {
+            return Err(SolveError::InvalidConfig {
+                field: "shards",
+                reason: format!(
+                    "must be at most {MAX_THREADS} (0 = one per available core), got {}",
+                    self.shards
                 ),
             });
         }

@@ -10,7 +10,9 @@
 
 use std::time::Instant;
 
-use wmatch_dynamic::{DynamicConfig, DynamicMatcher, RecomputeBaseline, UpdateOp};
+use wmatch_dynamic::{
+    BatchError, DynamicConfig, DynamicMatcher, RecomputeBaseline, ShardedMatcher, UpdateOp,
+};
 
 use crate::capabilities::{Capabilities, ModelKind, Objective};
 use crate::error::SolveError;
@@ -29,6 +31,25 @@ fn updates_of(instance: &Instance) -> &[UpdateOp] {
 
 /// Maps a malformed update onto the uniform error contract.
 fn update_error(e: wmatch_dynamic::DynamicError) -> SolveError {
+    SolveError::InvalidConfig {
+        field: "updates",
+        reason: e.to_string(),
+    }
+}
+
+/// Maps a malformed update onto the uniform error contract, recording how
+/// many stream ops had already been applied when it surfaced — partial
+/// progress a caller replaying a long stream needs to resume or debug.
+fn update_error_at(applied: usize, e: wmatch_dynamic::DynamicError) -> SolveError {
+    SolveError::InvalidConfig {
+        field: "updates",
+        reason: format!("{e} ({applied} updates applied)"),
+    }
+}
+
+/// Maps a batch failure (which already carries the applied-op count) onto
+/// the uniform error contract.
+fn batch_error(e: BatchError) -> SolveError {
     SolveError::InvalidConfig {
         field: "updates",
         reason: e.to_string(),
@@ -98,8 +119,8 @@ impl Solver for DynamicWgtAug {
             .map_err(update_error)?;
         let mut peak_live = engine.graph().live_edges();
         let replay_start = Instant::now();
-        for &op in updates {
-            engine.apply(op).map_err(update_error)?;
+        for (i, &op) in updates.iter().enumerate() {
+            engine.apply(op).map_err(|e| update_error_at(i, e))?;
             peak_live = peak_live.max(engine.graph().live_edges());
         }
         let replay = replay_start.elapsed();
@@ -173,8 +194,8 @@ impl Solver for DynamicRebuild {
             .map_err(update_error)?;
         let mut peak_live = baseline.graph().live_edges();
         let replay_start = Instant::now();
-        for &op in updates {
-            baseline.apply(op).map_err(update_error)?;
+        for (i, &op) in updates.iter().enumerate() {
+            baseline.apply(op).map_err(|e| update_error_at(i, e))?;
             peak_live = peak_live.max(baseline.graph().live_edges());
         }
         let replay = replay_start.elapsed();
@@ -194,6 +215,98 @@ impl Solver for DynamicRebuild {
         Ok(SolveReport::assemble(
             self.name(),
             baseline.matching().clone(),
+            Objective::Weight,
+            &final_graph,
+            request.certify,
+            telemetry,
+        ))
+    }
+}
+
+/// The production-scale sharded engine: vertex-partitioned shards
+/// speculate on batches of updates in parallel (each shard owning the
+/// pairs whose smaller endpoint falls in its range), and a deterministic
+/// commit phase replays clean plans — or falls back to sequential repair
+/// when a cross-shard write invalidates a shard's reads. The committed
+/// matching is bit-identical to `dynamic-wgtaug` for every shard count,
+/// thread count, and batch size, so the same Fact 1.3 floor holds after
+/// every batch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DynamicSharded;
+
+impl Solver for DynamicSharded {
+    fn name(&self) -> &'static str {
+        "dynamic-sharded"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            models: &[ModelKind::Dynamic],
+            objective: Objective::Weight,
+            bipartite_only: false,
+            exact: false,
+            // bit-identical to the sequential engine → same Fact 1.3 floor
+            approx_floor: 0.5,
+            theorem: "Fact 1.3 (sharded speculate-and-replay dynamic driver)",
+        }
+    }
+
+    fn solve(
+        &self,
+        instance: &Instance,
+        request: &SolveRequest,
+    ) -> Result<SolveReport, SolveError> {
+        preflight(self.name(), &self.capabilities(), instance, request)?;
+        reject_warm_start(self.name(), request)?;
+        let updates = updates_of(instance);
+        let t0 = Instant::now();
+        let mut engine =
+            ShardedMatcher::from_graph(instance.graph(), dynamic_cfg(request), request.shards)
+                .map_err(update_error)?;
+        let mut peak_live = engine.graph().live_edges();
+        let replay_start = Instant::now();
+        // batches bound speculation memory; peak_live is sampled per batch
+        // (within a batch the live count moves monotonically per shard, so
+        // per-op sampling would only refine ties)
+        let mut offset = 0usize;
+        for chunk in updates.chunks(4096) {
+            engine.apply_all(chunk).map_err(|mut e| {
+                e.applied += offset; // report stream-relative progress
+                batch_error(e)
+            })?;
+            offset += chunk.len();
+            peak_live = peak_live.max(engine.graph().live_edges());
+        }
+        let replay = replay_start.elapsed();
+        let wall = t0.elapsed();
+        let counters = engine.counters();
+        let final_graph = engine.graph().snapshot();
+        let telemetry = Telemetry {
+            rounds: counters.rebuilds as usize,
+            peak_stored_edges: peak_live + engine.matching().len(),
+            wall,
+            extras: vec![
+                ("updates_applied", counters.updates_applied.to_string()),
+                ("recourse_total", counters.recourse_total.to_string()),
+                ("updates_per_sec", updates_per_sec(updates.len(), replay)),
+                (
+                    "augmentations_applied",
+                    counters.augmentations_applied.to_string(),
+                ),
+                ("rebuilds", counters.rebuilds.to_string()),
+                ("shards", engine.shard_count().to_string()),
+                ("plans_replayed", engine.replayed().to_string()),
+                ("plan_fallbacks", engine.fallbacks().to_string()),
+                (
+                    "scratch_high_water",
+                    engine.scratch_high_water().to_string(),
+                ),
+            ],
+            ..Telemetry::new()
+        };
+        Ok(SolveReport::assemble(
+            self.name(),
+            engine.matching().clone(),
             Objective::Weight,
             &final_graph,
             request.certify,

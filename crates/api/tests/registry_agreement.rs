@@ -255,6 +255,51 @@ fn every_registry_solver_solves_something_through_registry_for() {
 }
 
 #[test]
+fn sharded_solver_matches_the_sequential_dynamic_engine() {
+    // one churn stream, every shard count: `dynamic-sharded` must report
+    // the exact matching and update telemetry of `dynamic-wgtaug`
+    let mut rng = StdRng::seed_from_u64(41);
+    let g = generators::gnp(24, 0.3, WeightModel::Uniform { lo: 1, hi: 64 }, &mut rng);
+    let mut ops: Vec<UpdateOp> = g
+        .edges()
+        .iter()
+        .map(|e| UpdateOp::insert(e.u, e.v, e.weight))
+        .collect();
+    // delete every third inserted edge, then re-insert it heavier
+    for (i, e) in g.edges().iter().enumerate() {
+        if i % 3 == 0 {
+            ops.push(UpdateOp::delete(e.u, e.v));
+            ops.push(UpdateOp::insert(e.u, e.v, e.weight + 100));
+        }
+    }
+    let inst = Instance::dynamic(Graph::new(g.vertex_count()), ops);
+    let base_req = SolveRequest::new().with_seed(9).with_rebuild_threshold(25);
+    let want = solver("dynamic-wgtaug")
+        .unwrap()
+        .solve(&inst, &base_req)
+        .unwrap();
+    for shards in [1usize, 2, 8, 0] {
+        let got = solver("dynamic-sharded")
+            .unwrap()
+            .solve(&inst, &base_req.clone().with_shards(shards))
+            .unwrap();
+        assert_eq!(
+            want.matching.to_edges(),
+            got.matching.to_edges(),
+            "shards = {shards}"
+        );
+        assert_eq!(want.value, got.value, "shards = {shards}");
+        for key in ["updates_applied", "recourse_total", "rebuilds"] {
+            assert_eq!(
+                want.telemetry.extra(key),
+                got.telemetry.extra(key),
+                "shards = {shards}, key = {key}"
+            );
+        }
+    }
+}
+
+#[test]
 fn mpc_budget_violations_surface_as_typed_errors() {
     let g = generators::path_graph(&[4, 6, 4, 2]);
     let tiny = Instance::mpc(g, 2, 1); // four edges cannot fit 2 x 1 words

@@ -299,6 +299,17 @@ fn rebuild_threshold_above_budget_rejected() {
 }
 
 #[test]
+fn shards_overflow_rejected() {
+    assert_invalid(SolveRequest::new().with_shards(MAX_THREADS + 1), "shards");
+    assert_invalid(SolveRequest::new().with_shards(usize::MAX), "shards");
+    assert!(SolveRequest::new().with_shards(0).validate().is_ok());
+    assert!(SolveRequest::new()
+        .with_shards(MAX_THREADS)
+        .validate()
+        .is_ok());
+}
+
+#[test]
 fn malformed_update_sequences_are_typed_errors() {
     // the dynamic solvers forward engine rejections through the uniform
     // error contract instead of panicking mid-replay
@@ -309,7 +320,7 @@ fn malformed_update_sequences_are_typed_errors() {
         ("self-loop", UpdateOp::insert(2, 2, 5)),
         ("deleting a non-live edge", UpdateOp::delete(0, 1)),
     ] {
-        for solver in ["dynamic-wgtaug", "dynamic-rebuild"] {
+        for solver in ["dynamic-wgtaug", "dynamic-rebuild", "dynamic-sharded"] {
             let inst = Instance::dynamic(Graph::new(4), vec![bad]);
             let err = solve(solver, &inst, &SolveRequest::new()).unwrap_err();
             assert!(
@@ -322,6 +333,32 @@ fn malformed_update_sequences_are_typed_errors() {
                 ),
                 "{solver} / {name}: {err:?}"
             );
+        }
+    }
+}
+
+#[test]
+fn update_errors_report_partial_progress() {
+    // a failing op mid-stream names how many updates were already applied
+    // — the count a caller needs to resume or debug a long replay
+    use wmatch_api::UpdateOp;
+    let ops = vec![
+        UpdateOp::insert(0, 1, 5),
+        UpdateOp::insert(1, 2, 7),
+        UpdateOp::delete(2, 3), // never inserted → EdgeNotFound after 2 ops
+        UpdateOp::insert(0, 3, 9),
+    ];
+    for solver in ["dynamic-wgtaug", "dynamic-rebuild", "dynamic-sharded"] {
+        let inst = Instance::dynamic(Graph::new(4), ops.clone());
+        match solve(solver, &inst, &SolveRequest::new().with_shards(2)) {
+            Err(SolveError::InvalidConfig {
+                field: "updates",
+                reason,
+            }) => assert!(
+                reason.contains("2 updates applied"),
+                "{solver}: reason must carry the applied count, got {reason:?}"
+            ),
+            other => panic!("{solver}: expected updates InvalidConfig, got {other:?}"),
         }
     }
 }

@@ -6,8 +6,9 @@
 //! cargo run --release -p wmatch-bench --bin report -- --quick # small sizes
 //! ```
 //!
-//! Each section regenerates one experiment from `EXPERIMENTS.md` (E1–E11) and
-//! prints it as markdown.
+//! Each section regenerates one experiment from `EXPERIMENTS.md` (E1–E12) and
+//! prints it as markdown. `serve` is accepted as an alias for `e12` (the
+//! marketplace serve benchmark, which writes `BENCH_serve.json`).
 
 use std::time::Instant;
 
@@ -19,7 +20,8 @@ fn main() {
     let selected: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
-        .map(|s| s.as_str())
+        // `serve` is the suite-style name of experiment e12
+        .map(|s| if s == "serve" { "e12" } else { s.as_str() })
         .collect();
     let run_all = selected.is_empty();
 
@@ -36,6 +38,7 @@ fn main() {
         ("e9", e9_layered_structure::run),
         ("e10", e10_ablations::run),
         ("e11", e11_dynamic::run),
+        ("e12", e12_serve::run),
         // hotpath also writes BENCH_hotpath.json (the recorded perf
         // trajectory; see WMATCH_BENCH_DIR)
         ("hotpath", wmatch_bench::hotpath::run),

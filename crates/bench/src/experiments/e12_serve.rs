@@ -1,0 +1,11 @@
+//! E12 (service scale): the sharded dynamic engine replaying the
+//! hotspot-skewed marketplace stream as a million-user matching service
+//! — determinism and the Fact 1.3 floor asserted before any timing, then
+//! throughput and batch-amortized ingest latency recorded to
+//! `BENCH_serve.json`. Thin alias for [`crate::serve::run`] so the
+//! experiment id and the suite name both reach the same code.
+
+/// Runs E12 and renders its section (see [`crate::serve`]).
+pub fn run(quick: bool) -> String {
+    crate::serve::run(quick)
+}

@@ -255,6 +255,45 @@ impl DynamicFamily {
     }
 }
 
+/// The E12 marketplace workload: a service-style update stream over `n`
+/// users where a hot minority of users dominates the traffic (power-law
+/// endpoint skew with exponent 3/2 — strong enough that the hot third
+/// carries ~half the inserts, gentle enough that the hottest single
+/// vertex keeps O(n^(1/3)) expected live degree, so repair balls stay
+/// local at n = 10⁶) and listings expire after a sliding window (~`n/2`
+/// live edges), so the live graph stays sparse while individual vertices
+/// see deep churn. Not part of [`DynamicFamily::all`] — it is the serve
+/// benchmark's dedicated workload, sized to millions of ops.
+/// Deterministic in `(n, ops, seed)`.
+pub fn marketplace(n: usize, ops: usize, seed: u64) -> DynamicWorkload {
+    let n = n.max(4);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x3a_4b5c6d);
+    let window = (n / 2).max(8);
+    let mut live: std::collections::VecDeque<(Vertex, Vertex)> =
+        std::collections::VecDeque::with_capacity(window + 1);
+    let mut out = Vec::with_capacity(ops);
+    while out.len() < ops {
+        // hot side: power-law skew concentrates traffic on low ids
+        let r: f64 = rng.gen();
+        let u = (r.powf(1.5) * n as f64) as Vertex;
+        let mut v = rng.gen_range(0..n as Vertex);
+        if v == u {
+            v = (v + 1) % n as Vertex;
+        }
+        out.push(UpdateOp::insert(u, v, rng.gen_range(1..=1_000)));
+        live.push_back((u, v));
+        if live.len() > window && out.len() < ops {
+            let (du, dv) = live.pop_front().expect("window is non-empty");
+            out.push(UpdateOp::delete(du, dv));
+        }
+    }
+    DynamicWorkload {
+        n,
+        initial: Graph::new(n),
+        ops: out,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -321,6 +360,27 @@ mod tests {
             assert_eq!(w.ops, w2.ops, "{}: not deterministic", f.name());
             assert_eq!(w.initial, w2.initial, "{}", f.name());
         }
+    }
+
+    #[test]
+    fn marketplace_is_well_formed_skewed_and_deterministic() {
+        let w = marketplace(64, 800, 9);
+        assert!(w.ops.len() >= 800);
+        assert_well_formed(&w);
+        assert!(w.ops.iter().any(|o| !o.is_insert()), "no expirations");
+        assert_eq!(w.ops, marketplace(64, 800, 9).ops, "not deterministic");
+        // the hot third of the id range must carry well over its uniform
+        // share (it gets (1/3)^(2/3) ≈ 48% of the hot-side draws)
+        let hot = w
+            .ops
+            .iter()
+            .filter(|o| o.is_insert() && o.endpoints().0 < 21)
+            .count();
+        let inserts = w.ops.iter().filter(|o| o.is_insert()).count();
+        assert!(
+            hot * 5 > inserts * 2,
+            "skew lost: {hot}/{inserts} inserts touch the hot third"
+        );
     }
 
     #[test]

@@ -11,12 +11,14 @@ pub mod families;
 pub mod hotpath;
 pub mod oracle;
 pub mod scaling;
+pub mod serve;
 pub mod table;
 
 pub mod experiments {
     //! One module per experiment id (see DESIGN.md §2).
     pub mod e10_ablations;
     pub mod e11_dynamic;
+    pub mod e12_serve;
     pub mod e1_random_order_unweighted;
     pub mod e2_random_arrival_weighted;
     pub mod e3_three_aug_paths;

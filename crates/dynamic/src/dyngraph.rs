@@ -3,24 +3,43 @@
 //! [`Graph`] is append-only (its cached CSR view is
 //! invalidated on every mutation), which is the right trade-off for the
 //! static solvers but ruinous under an update stream. [`DynGraph`] is the
-//! dynamic counterpart: a slab of live edges plus per-vertex adjacency
-//! lists of edge ids, giving O(1) insertion, O(degree) deletion, and
-//! O(degree) incidence scans without any derived structure to rebuild.
-//! [`DynGraph::snapshot`] materializes the live edges as a [`Graph`] when
-//! a static algorithm (the rebuild epoch's class sweep, an oracle solve)
-//! needs one.
+//! dynamic counterpart: a struct-of-arrays slab of live edges plus
+//! per-vertex adjacency lists of edge ids, giving O(1) insertion,
+//! O(degree) deletion, and O(degree) incidence scans without any derived
+//! structure to rebuild. [`DynGraph::snapshot_into`] materializes the
+//! live edges into a reusable [`Graph`] when a static algorithm (the
+//! rebuild epoch's class sweep, an oracle solve) needs one.
+//!
+//! # Memory layout
+//!
+//! The slab stores endpoints and weights in three parallel flat arrays
+//! (`u32`/`u32`/`u64` per slot — 16 bytes per live edge) rather than a
+//! `Vec<Option<Edge>>` (24 bytes with the discriminant), and dead slots
+//! are reclaimed two ways: a free list recycles ids one by one, and when
+//! more than half the slab is dead a *compaction* re-packs the arrays
+//! densely. Compaction preserves slab order and the per-vertex adjacency
+//! order (the deletion LIFO key), so it is invisible to replay
+//! determinism: any engine replaying the same operation history compacts
+//! at the same points with the same result.
 
 use wmatch_graph::{Edge, Graph, Vertex};
 
 use crate::error::DynamicError;
 
+/// Sentinel marking a dead slab slot (`u32::MAX` is never a valid
+/// endpoint: the vertex range is checked on insertion).
+const TOMBSTONE: Vertex = Vertex::MAX;
+
+/// Dead slots required before a deletion considers compacting.
+const COMPACT_MIN_DEAD: usize = 64;
+
 /// A dynamic undirected multigraph over a fixed vertex range `0..n`.
 ///
-/// Edges live in a slab (`u32` ids, reused after deletion) and each
-/// vertex keeps the ids of its live incident edges in insertion order.
-/// Deleting `{u, v}` removes the most recently inserted live copy — a
-/// deterministic rule that keeps replay reproducible under parallel
-/// edges.
+/// Edges live in a struct-of-arrays slab (`u32` ids, reused after
+/// deletion, compacted when mostly dead) and each vertex keeps the ids of
+/// its live incident edges in insertion order. Deleting `{u, v}` removes
+/// the most recently inserted live copy — a deterministic rule that keeps
+/// replay reproducible under parallel edges.
 ///
 /// # Example
 ///
@@ -39,10 +58,16 @@ use crate::error::DynamicError;
 #[derive(Debug, Clone)]
 pub struct DynGraph {
     n: usize,
-    slab: Vec<Option<Edge>>,
+    /// Slab endpoints as inserted (`eu[id] == TOMBSTONE` marks a dead
+    /// slot) and weights, in parallel arrays.
+    eu: Vec<Vertex>,
+    ev: Vec<Vertex>,
+    ew: Vec<u64>,
     free: Vec<u32>,
     adj: Vec<Vec<u32>>,
     live: usize,
+    /// Old-id → new-id table of the last compaction (persistent scratch).
+    remap: Vec<u32>,
 }
 
 impl DynGraph {
@@ -50,10 +75,13 @@ impl DynGraph {
     pub fn new(n: usize) -> Self {
         DynGraph {
             n,
-            slab: Vec::new(),
+            eu: Vec::new(),
+            ev: Vec::new(),
+            ew: Vec::new(),
             free: Vec::new(),
             adj: vec![Vec::new(); n],
             live: 0,
+            remap: Vec::new(),
         }
     }
 
@@ -84,10 +112,34 @@ impl DynGraph {
         self.live
     }
 
+    /// Number of slab slots (live + dead) — the actual array footprint,
+    /// bounded by compaction to at most ~2× the live count.
+    #[inline]
+    pub fn slab_slots(&self) -> usize {
+        self.eu.len()
+    }
+
     /// Degree of `v` (counting parallel edges).
     #[inline]
     pub fn degree(&self, v: Vertex) -> usize {
         self.adj[v as usize].len()
+    }
+
+    /// The live edge in slab slot `id` (must be live).
+    #[inline]
+    pub(crate) fn edge_at(&self, id: u32) -> Edge {
+        debug_assert_ne!(self.eu[id as usize], TOMBSTONE, "slot {id} is dead");
+        Edge::new(
+            self.eu[id as usize],
+            self.ev[id as usize],
+            self.ew[id as usize],
+        )
+    }
+
+    /// The live slab ids incident to `v`, in insertion order.
+    #[inline]
+    pub(crate) fn adj_ids(&self, v: Vertex) -> &[u32] {
+        &self.adj[v as usize]
     }
 
     /// Inserts a live edge and returns its slab id.
@@ -98,6 +150,37 @@ impl DynGraph {
     /// [`DynamicError::ZeroWeight`] for malformed insertions; the graph
     /// is unchanged on error.
     pub fn insert(&mut self, u: Vertex, v: Vertex, weight: u64) -> Result<u32, DynamicError> {
+        self.check_insert(u, v, weight)?;
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.eu[id as usize] = u;
+                self.ev[id as usize] = v;
+                self.ew[id as usize] = weight;
+                id
+            }
+            None => {
+                let id = self.eu.len() as u32;
+                self.eu.push(u);
+                self.ev.push(v);
+                self.ew.push(weight);
+                id
+            }
+        };
+        self.adj[u as usize].push(id);
+        self.adj[v as usize].push(id);
+        self.live += 1;
+        Ok(id)
+    }
+
+    /// Validates an insertion without mutating (shared with the sharded
+    /// engine's speculation path, which must reject exactly the ops the
+    /// real insertion would).
+    pub(crate) fn check_insert(
+        &self,
+        u: Vertex,
+        v: Vertex,
+        weight: u64,
+    ) -> Result<(), DynamicError> {
         for x in [u, v] {
             if (x as usize) >= self.n {
                 return Err(DynamicError::VertexOutOfRange {
@@ -112,22 +195,31 @@ impl DynGraph {
         if weight == 0 {
             return Err(DynamicError::ZeroWeight { u, v });
         }
-        let e = Edge::new(u, v, weight);
-        let id = match self.free.pop() {
-            Some(id) => {
-                self.slab[id as usize] = Some(e);
-                id
+        Ok(())
+    }
+
+    /// The slab id and edge that [`DynGraph::delete`] would remove for
+    /// `{u, v}` — the most recently inserted live copy — without
+    /// mutating.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors `delete` would return.
+    pub(crate) fn peek_delete(&self, u: Vertex, v: Vertex) -> Result<(u32, Edge), DynamicError> {
+        for x in [u, v] {
+            if (x as usize) >= self.n {
+                return Err(DynamicError::VertexOutOfRange {
+                    vertex: x,
+                    n: self.n,
+                });
             }
-            None => {
-                let id = self.slab.len() as u32;
-                self.slab.push(Some(e));
-                id
-            }
-        };
-        self.adj[u as usize].push(id);
-        self.adj[v as usize].push(id);
-        self.live += 1;
-        Ok(id)
+        }
+        let pos = self.adj[u as usize]
+            .iter()
+            .rposition(|&id| self.eu[id as usize] == v || self.ev[id as usize] == v)
+            .ok_or(DynamicError::EdgeNotFound { u, v })?;
+        let id = self.adj[u as usize][pos];
+        Ok((id, self.edge_at(id)))
     }
 
     /// Deletes the most recently inserted live edge `{u, v}` and returns
@@ -148,11 +240,7 @@ impl DynGraph {
         }
         let pos = self.adj[u as usize]
             .iter()
-            .rposition(|&id| {
-                self.slab[id as usize]
-                    .expect("adjacency holds live ids")
-                    .touches(v)
-            })
+            .rposition(|&id| self.eu[id as usize] == v || self.ev[id as usize] == v)
             .ok_or(DynamicError::EdgeNotFound { u, v })?;
         let id = self.adj[u as usize].remove(pos);
         let vpos = self.adj[v as usize]
@@ -160,32 +248,34 @@ impl DynGraph {
             .rposition(|&other| other == id)
             .expect("live edge is in both adjacency lists");
         self.adj[v as usize].remove(vpos);
-        let e = self.slab[id as usize].take().expect("id was live");
+        let e = self.edge_at(id);
+        self.eu[id as usize] = TOMBSTONE;
         self.free.push(id);
         self.live -= 1;
+        self.maybe_compact();
         Ok(e)
     }
 
     /// Whether a live copy of `{u, v}` with exactly this weight exists.
     pub fn has_live_copy(&self, u: Vertex, v: Vertex, weight: u64) -> bool {
         self.adj[u as usize].iter().any(|&id| {
-            let e = self.slab[id as usize].expect("adjacency holds live ids");
-            e.touches(v) && e.weight == weight
+            (self.eu[id as usize] == v || self.ev[id as usize] == v)
+                && self.ew[id as usize] == weight
         })
     }
 
     /// Iterator over the live edges incident to `v`, in insertion order
     /// (with multiplicity for parallel edges).
     pub fn incident(&self, v: Vertex) -> impl Iterator<Item = Edge> + '_ {
-        self.adj[v as usize]
-            .iter()
-            .map(move |&id| self.slab[id as usize].expect("adjacency holds live ids"))
+        self.adj[v as usize].iter().map(move |&id| self.edge_at(id))
     }
 
     /// Iterator over all live edges in slab-id order (deterministic for a
-    /// given operation history).
+    /// given operation history — compaction preserves the order).
     pub fn live_iter(&self) -> impl Iterator<Item = Edge> + '_ {
-        self.slab.iter().filter_map(|e| *e)
+        (0..self.eu.len() as u32)
+            .filter(move |&id| self.eu[id as usize] != TOMBSTONE)
+            .map(move |id| self.edge_at(id))
     }
 
     /// The maximum live edge weight (0 for an edgeless graph).
@@ -195,7 +285,55 @@ impl DynGraph {
 
     /// Materializes the live edges as a static [`Graph`] (slab-id order).
     pub fn snapshot(&self) -> Graph {
-        Graph::from_edges(self.n, self.live_iter())
+        let mut out = Graph::new(self.n);
+        self.snapshot_into(&mut out);
+        out
+    }
+
+    /// Materializes the live edges into a reusable [`Graph`] (slab-id
+    /// order, as [`DynGraph::snapshot`]), keeping `out`'s allocations —
+    /// the rebuild epoch's allocation-free snapshot path.
+    pub fn snapshot_into(&self, out: &mut Graph) {
+        out.reset(self.n);
+        for e in self.live_iter() {
+            out.add_edge(e.u, e.v, e.weight);
+        }
+    }
+
+    /// Compacts when at least [`COMPACT_MIN_DEAD`] slots are dead and the
+    /// dead outnumber the live — amortized O(1) per deletion.
+    fn maybe_compact(&mut self) {
+        if self.free.len() >= COMPACT_MIN_DEAD && self.free.len() * 2 > self.eu.len() {
+            self.compact();
+        }
+    }
+
+    /// Dense re-pack of the slab, preserving slab order; adjacency ids
+    /// are remapped in place, so per-vertex insertion order (the deletion
+    /// LIFO key) is untouched.
+    fn compact(&mut self) {
+        self.remap.clear();
+        self.remap.resize(self.eu.len(), u32::MAX);
+        let mut next = 0usize;
+        for id in 0..self.eu.len() {
+            if self.eu[id] != TOMBSTONE {
+                self.remap[id] = next as u32;
+                self.eu[next] = self.eu[id];
+                self.ev[next] = self.ev[id];
+                self.ew[next] = self.ew[id];
+                next += 1;
+            }
+        }
+        self.eu.truncate(next);
+        self.ev.truncate(next);
+        self.ew.truncate(next);
+        self.free.clear();
+        let DynGraph { adj, remap, .. } = self;
+        for list in adj.iter_mut() {
+            for id in list.iter_mut() {
+                *id = remap[*id as usize];
+            }
+        }
     }
 }
 
@@ -270,11 +408,87 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_into_reuses_buffer() {
+        let mut g = DynGraph::new(3);
+        g.insert(0, 1, 2).unwrap();
+        g.insert(1, 2, 3).unwrap();
+        let mut buf = Graph::new(0);
+        g.snapshot_into(&mut buf);
+        assert_eq!(buf, g.snapshot());
+        g.delete(0, 1).unwrap();
+        g.snapshot_into(&mut buf);
+        assert_eq!(buf, g.snapshot());
+    }
+
+    #[test]
     fn incident_respects_insertion_order() {
         let mut g = DynGraph::new(3);
         g.insert(1, 0, 4).unwrap();
         g.insert(1, 2, 6).unwrap();
         let ws: Vec<u64> = g.incident(1).map(|e| e.weight).collect();
         assert_eq!(ws, vec![4, 6]);
+    }
+
+    #[test]
+    fn peek_delete_previews_the_lifo_copy() {
+        let mut g = DynGraph::new(3);
+        g.insert(0, 1, 1).unwrap();
+        let heavy = g.insert(1, 0, 9).unwrap();
+        let (id, e) = g.peek_delete(0, 1).unwrap();
+        assert_eq!(id, heavy);
+        assert_eq!(e.weight, 9);
+        assert_eq!(g.delete(0, 1).unwrap(), e, "peek agrees with delete");
+        assert_eq!(
+            g.peek_delete(1, 2),
+            Err(DynamicError::EdgeNotFound { u: 1, v: 2 })
+        );
+    }
+
+    #[test]
+    fn compaction_repacks_and_preserves_adjacency_order() {
+        let mut g = DynGraph::new(8);
+        // grow the slab well past the compaction minimum, then delete
+        // most of it
+        let mut live = Vec::new();
+        for i in 0..200u32 {
+            let u = i % 8;
+            let v = (i + 1) % 8;
+            g.insert(u, v, (i + 1) as u64).unwrap();
+            live.push((u, v, (i + 1) as u64));
+        }
+        let before_slots = g.slab_slots();
+        assert_eq!(before_slots, 200);
+        // request 150 deletions by endpoint pair; each removes the newest
+        // live copy of that pair (weights are unique, so the reference
+        // list identifies the removed copy unambiguously)
+        for _ in 0..150 {
+            let (u, v, _) = live[0];
+            let e = g.delete(u, v).unwrap();
+            let pos = live
+                .iter()
+                .rposition(|&(a, b, w)| Edge::new(a, b, w).same_endpoints(&e) && w == e.weight)
+                .expect("deleted copy is in the reference list");
+            live.remove(pos);
+        }
+        assert!(
+            g.slab_slots() < before_slots,
+            "slab compacted: {} slots for {} live edges",
+            g.slab_slots(),
+            g.live_edges()
+        );
+        assert_eq!(g.live_edges(), 50);
+        // adjacency order still matches a graph freshly replayed from the
+        // (slab-ordered) snapshot — compaction preserved both orders
+        let replay = DynGraph::from_graph(&g.snapshot()).unwrap();
+        for v in 0..8u32 {
+            let a: Vec<Edge> = g.incident(v).collect();
+            let b: Vec<Edge> = replay.incident(v).collect();
+            assert_eq!(a, b, "adjacency of {v}");
+        }
+        // LIFO deletion still behaves after compaction
+        let before = g.live_edges();
+        let (u, v, _) = live[live.len() - 1];
+        g.delete(u, v).unwrap();
+        assert_eq!(g.live_edges(), before - 1);
     }
 }

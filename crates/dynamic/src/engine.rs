@@ -28,6 +28,8 @@
 //! allocation churn once warmed up.
 
 use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -35,10 +37,11 @@ use rand::SeedableRng;
 use wmatch_core::greedy::greedy_by_weight;
 use wmatch_core::main_alg::{improve_matching_offline_pooled, MainAlgConfig};
 use wmatch_graph::aug_search::AugSearcher;
-use wmatch_graph::{Augmentation, Edge, Graph, Matching, Scratch, Vertex, WorkerPool};
+use wmatch_graph::{Edge, Graph, Matching, Scratch, Vertex, WorkerPool};
 
 use crate::dyngraph::DynGraph;
 use crate::error::DynamicError;
+use crate::repair::{repair_delete, repair_insert, RepairKit};
 use crate::update::UpdateOp;
 
 /// Configuration of the update-stream engine.
@@ -146,8 +149,12 @@ impl DynamicConfig {
 pub struct UpdateStats {
     /// Net matching-weight change.
     pub gain: i128,
-    /// Matching edges changed (inserted + removed), the per-update
-    /// recourse.
+    /// Matching edges changed by this update — the *net* symmetric
+    /// difference between the matching before and after, counting an
+    /// edge by its endpoint pair and weight. An edge swapped out and
+    /// back in by intermediate repair steps counts zero: this is the
+    /// churn a consumer of the matching actually observes, and the same
+    /// measure [`RecomputeBaseline`] and the rebuild epochs report.
     pub recourse: u64,
     /// Repair augmentations applied.
     pub augmentations: u64,
@@ -170,12 +177,82 @@ pub struct DynamicCounters {
     pub rebuilds: u64,
 }
 
-/// Outcome of one local fix-up convergence loop.
-#[derive(Debug, Default)]
-struct FixOutcome {
-    gain: i128,
-    recourse: u64,
-    augmentations: u64,
+/// Aggregate outcome of a (possibly partial) update batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct BatchStats {
+    /// Updates applied.
+    pub applied: usize,
+    /// Net matching-weight change over the batch.
+    pub gain: i128,
+    /// Total net recourse over the batch (sum of per-update recourse).
+    pub recourse: u64,
+    /// Repair augmentations applied over the batch.
+    pub augmentations: u64,
+    /// Rebuild epochs triggered within the batch.
+    pub rebuilds: u64,
+}
+
+impl BatchStats {
+    /// Folds one applied update into the batch totals.
+    pub(crate) fn absorb(&mut self, s: UpdateStats) {
+        self.applied += 1;
+        self.gain += s.gain;
+        self.recourse += s.recourse;
+        self.augmentations += s.augmentations;
+        if s.rebuilt {
+            self.rebuilds += 1;
+        }
+    }
+}
+
+/// A batch stopped at a malformed operation. `applied` says how many of
+/// the batch's updates were applied (and remain applied) before the
+/// offending one — batch application is not transactional, and without
+/// this count a caller could not tell how far the engine got.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchError {
+    /// Updates applied before the failure (the failing op's batch index).
+    pub applied: usize,
+    /// Why the batch stopped.
+    pub source: DynamicError,
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "batch stopped at op {}: {} ({} updates applied)",
+            self.applied, self.source, self.applied
+        )
+    }
+}
+
+impl Error for BatchError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Persistent buffers of the rebuild epochs: the class-sweep scratch, the
+/// pre-epoch matching (for the symmetric-difference recourse), and the
+/// snapshot graph the sweep runs on — all reused across epochs so a
+/// rebuild allocates nothing at steady state.
+#[derive(Debug)]
+pub(crate) struct RebuildKit {
+    pub scratch: Scratch,
+    epoch_before: Matching,
+    snapshot: Graph,
+}
+
+impl RebuildKit {
+    pub fn new() -> Self {
+        RebuildKit {
+            scratch: Scratch::new(),
+            epoch_before: Matching::new(0),
+            snapshot: Graph::new(0),
+        }
+    }
 }
 
 /// The fully-dynamic matching engine. See the [module docs](self) for the
@@ -201,12 +278,8 @@ pub struct DynamicMatcher {
     m: Matching,
     cfg: DynamicConfig,
     pool: WorkerPool,
-    searcher: AugSearcher,
-    scratch: Scratch,
-    rebuild_scratch: Scratch,
-    local_to_global: Vec<Vertex>,
-    dirty: Vec<Vertex>,
-    queue: Vec<(Vertex, u32)>,
+    kit: RepairKit,
+    rebuild: RebuildKit,
     counters: DynamicCounters,
     updates_since_rebuild: usize,
 }
@@ -219,12 +292,8 @@ impl DynamicMatcher {
             m: Matching::new(n),
             pool: WorkerPool::new(cfg.threads),
             cfg,
-            searcher: AugSearcher::new(),
-            scratch: Scratch::new(),
-            rebuild_scratch: Scratch::new(),
-            local_to_global: Vec::new(),
-            dirty: Vec::new(),
-            queue: Vec::new(),
+            kit: RepairKit::new(false),
+            rebuild: RebuildKit::new(),
             counters: DynamicCounters::default(),
             updates_since_rebuild: 0,
         }
@@ -242,7 +311,7 @@ impl DynamicMatcher {
     pub fn from_graph(initial: &Graph, cfg: DynamicConfig) -> Result<Self, DynamicError> {
         let mut eng = DynamicMatcher::new(initial.vertex_count(), cfg);
         eng.g = DynGraph::from_graph(initial)?;
-        eng.m = static_bounded_matching(initial, cfg.max_len, &mut eng.searcher);
+        eng.m = static_bounded_matching(initial, cfg.max_len, &mut eng.kit.searcher);
         Ok(eng)
     }
 
@@ -269,9 +338,9 @@ impl DynamicMatcher {
     /// The largest dense scratch footprint the repair path has used —
     /// the same `scratch_high_water` measure the static solvers report.
     pub fn scratch_high_water(&self) -> usize {
-        self.scratch
-            .high_water()
-            .max(self.rebuild_scratch.high_water())
+        self.kit
+            .scratch_high_water()
+            .max(self.rebuild.scratch.high_water())
             .max(self.pool.scratch_high_water())
     }
 
@@ -283,62 +352,48 @@ impl DynamicMatcher {
     /// weight, deleting a non-live edge); the engine is unchanged.
     pub fn apply(&mut self, op: UpdateOp) -> Result<UpdateStats, DynamicError> {
         let mut stats = UpdateStats::default();
-        match op {
+        self.kit.begin_update();
+        let fix = match op {
             UpdateOp::Insert { u, v, weight } => {
                 self.g.insert(u, v, weight)?;
-                // parallel upgrade: matchings are keyed by endpoint pair,
-                // so a heavier copy of an already-matched pair cannot be
-                // expressed as an augmentation — swap it in directly
-                if let Some(me) = self.m.matched_edge(u) {
-                    if me.other(u) == v && weight > me.weight {
-                        self.m.remove_pair(u, v).expect("edge was matched");
-                        self.m
-                            .insert(Edge::new(u, v, weight))
-                            .expect("endpoints just freed");
-                        stats.gain += weight as i128 - me.weight as i128;
-                        stats.recourse += 2;
-                    }
-                }
-                // a new positive component must run through the new edge
-                self.dirty.clear();
-                self.dirty.extend([u, v]);
-                let fix = self.fix_up_dirty();
-                stats.gain += fix.gain;
-                stats.recourse += fix.recourse;
-                stats.augmentations += fix.augmentations;
+                repair_insert(
+                    &mut self.kit,
+                    &self.g,
+                    &mut self.m,
+                    u,
+                    v,
+                    weight,
+                    self.cfg.max_len,
+                )
             }
             UpdateOp::Delete { u, v } => {
-                let deleted = self.g.delete(u, v)?;
-                let lost_matched_edge = match self.m.matched_edge(u) {
-                    // the matched copy is gone only if no live edge with
-                    // the same endpoints *and weight* remains (parallel
-                    // copies keep the matching valid)
-                    Some(me) => me.other(u) == v && !self.g.has_live_copy(u, v, me.weight),
-                    None => false,
-                };
-                if lost_matched_edge {
-                    let removed = self.m.remove_pair(u, v).expect("edge was matched");
-                    stats.gain -= removed.weight as i128;
-                    stats.recourse += 1;
-                    self.dirty.clear();
-                    self.dirty.extend([u, v]);
-                    let fix = self.fix_up_dirty();
-                    stats.gain += fix.gain;
-                    stats.recourse += fix.recourse;
-                    stats.augmentations += fix.augmentations;
-                }
-                // deleting an unmatched copy cannot create a positive
-                // augmentation: gains only shrink
-                let _ = deleted;
+                self.g.delete(u, v)?;
+                repair_delete(&mut self.kit, &self.g, &mut self.m, u, v, self.cfg.max_len)
             }
-        }
+        };
+        stats.gain = fix.gain;
+        stats.augmentations = fix.augmentations;
+        // net recourse of this update's own repairs, before any epoch
+        // (which reports its churn as a whole-matching diff instead)
+        stats.recourse = self.kit.net_recourse();
         self.counters.updates_applied += 1;
         self.counters.augmentations_applied += stats.augmentations;
         self.updates_since_rebuild += 1;
         if self.cfg.rebuild_threshold > 0
             && self.updates_since_rebuild >= self.cfg.rebuild_threshold
         {
-            let (rebuild_recourse, gain) = self.rebuild_epoch();
+            self.counters.rebuilds += 1;
+            self.updates_since_rebuild = 0;
+            let (rebuild_recourse, gain, augs) = run_rebuild_epoch(
+                &self.g,
+                &mut self.m,
+                &self.cfg,
+                &mut self.pool,
+                &mut self.kit,
+                &mut self.rebuild,
+                self.counters.rebuilds,
+            );
+            self.counters.augmentations_applied += augs;
             stats.recourse += rebuild_recourse;
             stats.gain += gain;
             stats.rebuilt = true;
@@ -348,199 +403,115 @@ impl DynamicMatcher {
     }
 
     /// Applies a whole update sequence, stopping at the first malformed
-    /// operation.
+    /// operation. Returns the aggregate [`BatchStats`] of the batch.
     ///
     /// # Errors
     ///
-    /// The first [`DynamicError`] encountered (updates before it remain
-    /// applied).
-    pub fn apply_all(&mut self, ops: &[UpdateOp]) -> Result<(), DynamicError> {
-        for &op in ops {
-            self.apply(op)?;
+    /// A [`BatchError`] wrapping the first [`DynamicError`] encountered;
+    /// its `applied` count says how many updates were applied before the
+    /// malformed one (those remain applied — batches are not
+    /// transactional).
+    pub fn apply_all(&mut self, ops: &[UpdateOp]) -> Result<BatchStats, BatchError> {
+        let mut out = BatchStats::default();
+        for (i, &op) in ops.iter().enumerate() {
+            match self.apply(op) {
+                Ok(s) => out.absorb(s),
+                Err(source) => return Err(BatchError { applied: i, source }),
+            }
         }
-        Ok(())
+        Ok(out)
     }
+}
 
-    /// One batched rebuild epoch: class-sweep rounds on the pool,
-    /// warm-started from the maintained matching, then a global invariant
-    /// restore. Returns `(recourse, gain)` — recourse measured as the
-    /// symmetric difference against the pre-epoch matching.
-    fn rebuild_epoch(&mut self) -> (u64, i128) {
-        self.counters.rebuilds += 1;
-        self.updates_since_rebuild = 0;
-        let before_weight = self.m.weight();
-        let before: HashSet<((Vertex, Vertex), u64)> =
-            self.m.iter().map(|e| (e.key(), e.weight)).collect();
-        let snapshot = self.g.snapshot();
-        if snapshot.edge_count() > 0 {
-            // epoch randomness is keyed by the epoch counter, never by
-            // thread count: bit-identical for any pool size
-            let seed = self
-                .cfg
-                .seed
-                .wrapping_add(self.counters.rebuilds.wrapping_mul(0x9e37_79b9_7f4a_7c15));
-            let main_cfg = MainAlgConfig::practical(self.cfg.eps, seed)
-                .with_trials(1)
-                .with_threads(self.cfg.threads);
-            let mut rng = StdRng::seed_from_u64(seed);
-            for _ in 0..self.cfg.rebuild_rounds.max(1) {
-                improve_matching_offline_pooled(
-                    &snapshot,
-                    &mut self.m,
-                    &main_cfg,
-                    &mut rng,
-                    &mut self.rebuild_scratch,
-                    &mut self.pool,
-                );
-            }
+/// One batched rebuild epoch, shared by [`DynamicMatcher`] and the
+/// sharded engine: class-sweep rounds on the pool (warm-started from the
+/// maintained matching), a parallel-upgrade sweep, then a global
+/// invariant restore via the repair kit. Returns `(recourse, gain,
+/// augmentations)` — recourse measured as the symmetric difference
+/// against the pre-epoch matching, counting `(endpoints, weight)` pairs.
+///
+/// `epoch_index` keys the epoch randomness (the caller's rebuild
+/// counter): bit-identical for any pool size, shard count, or batch
+/// size. With `rebuild_rounds = 0` the class sweep is skipped entirely
+/// and the epoch only re-certifies the invariant — a restore-only epoch.
+pub(crate) fn run_rebuild_epoch(
+    g: &DynGraph,
+    m: &mut Matching,
+    cfg: &DynamicConfig,
+    pool: &mut WorkerPool,
+    kit: &mut RepairKit,
+    rk: &mut RebuildKit,
+    epoch_index: u64,
+) -> (u64, i128, u64) {
+    let n = g.vertex_count();
+    rk.epoch_before.copy_from(m);
+    g.snapshot_into(&mut rk.snapshot);
+    if cfg.rebuild_rounds > 0 && rk.snapshot.edge_count() > 0 {
+        // epoch randomness is keyed by the epoch counter, never by
+        // thread count: bit-identical for any pool size
+        let seed = cfg
+            .seed
+            .wrapping_add(epoch_index.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let main_cfg = MainAlgConfig::practical(cfg.eps, seed)
+            .with_trials(1)
+            .with_threads(cfg.threads);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..cfg.rebuild_rounds {
+            improve_matching_offline_pooled(
+                &rk.snapshot,
+                m,
+                &main_cfg,
+                &mut rng,
+                &mut rk.scratch,
+                pool,
+            );
         }
-        // parallel upgrade sweep: the class sweep may have committed a
-        // lighter copy of a pair that also has a heavier live copy
-        for u in 0..self.g.vertex_count() as Vertex {
-            if let Some(me) = self.m.matched_edge(u) {
-                let v = me.other(u);
-                if u < v {
-                    let best = self
-                        .g
-                        .incident(u)
-                        .filter(|e| e.touches(v))
-                        .map(|e| e.weight)
-                        .max()
-                        .unwrap_or(me.weight);
-                    if best > me.weight {
-                        self.m.remove_pair(u, v).expect("edge was matched");
-                        self.m
-                            .insert(Edge::new(u, v, best))
-                            .expect("endpoints just freed");
-                    }
-                }
-            }
-        }
-        // the class sweep improves but does not certify: restore the
-        // bounded-augmentation invariant over the whole graph
-        self.dirty.clear();
-        self.dirty.extend(0..self.g.vertex_count() as Vertex);
-        let fix = self.fix_up_dirty();
-        self.counters.augmentations_applied += fix.augmentations;
-        let after: HashSet<((Vertex, Vertex), u64)> =
-            self.m.iter().map(|e| (e.key(), e.weight)).collect();
-        let recourse = before.symmetric_difference(&after).count() as u64;
-        (recourse, self.m.weight() - before_weight)
     }
-
-    /// Applies best local augmentations until none with positive gain
-    /// remains in the ball around the (accumulating) dirty set, restoring
-    /// the engine invariant. Clears the dirty set on return.
-    fn fix_up_dirty(&mut self) -> FixOutcome {
-        let mut out = FixOutcome::default();
-        while let Some(aug) = self.best_local_augmentation() {
-            let gain = aug.apply(&mut self.m).expect("local augmentation is valid");
-            debug_assert!(gain > 0, "only positive augmentations are applied");
-            out.gain += gain;
-            out.recourse += aug.size() as u64;
-            out.augmentations += 1;
-            // later repairs may only appear next to what this one touched,
-            // but earlier candidates stay live: accumulate, don't replace
-            self.dirty.extend(aug.touched_vertices());
+    // parallel upgrade sweep: the class sweep may have committed a
+    // lighter copy of a pair that also has a heavier live copy
+    for u in 0..n as Vertex {
+        if let Some(me) = m.matched_edge(u) {
+            let v = me.other(u);
+            if u < v {
+                let best = g
+                    .incident(u)
+                    .filter(|e| e.touches(v))
+                    .map(|e| e.weight)
+                    .max()
+                    .unwrap_or(me.weight);
+                if best > me.weight {
+                    m.remove_pair(u, v).expect("edge was matched");
+                    m.insert(Edge::new(u, v, best))
+                        .expect("endpoints just freed");
+                }
+            }
         }
-        self.dirty.clear();
-        out
     }
-
-    /// The best positive augmentation (≤ `max_len` edges) in the
-    /// radius-`max_len` ball around the dirty set, or `None`.
-    ///
-    /// The ball (extended by the mates of ball vertices, so every
-    /// matching-neighbourhood gain is computed exactly) is relabelled
-    /// into a compact sub-instance and solved with the exhaustive
-    /// [`AugSearcher`]; the winner is mapped back to global vertex ids.
-    fn best_local_augmentation(&mut self) -> Option<Augmentation> {
-        let n = self.g.vertex_count();
-        self.scratch.begin(n);
-        self.local_to_global.clear();
-        self.queue.clear();
-        // canonical seed order makes the search independent of the order
-        // augmentations reported their touched vertices
-        self.dirty.sort_unstable();
-        self.dirty.dedup();
-        let ids = &mut self.scratch.count; // global vertex -> local id
-        for &d in &self.dirty {
-            if !ids.contains(d) {
-                ids.insert(d, self.local_to_global.len() as u32);
-                self.local_to_global.push(d);
-                self.queue.push((d, 0));
-            }
+    // the class sweep improves but does not certify: restore the
+    // bounded-augmentation invariant over the whole graph
+    kit.dirty.clear();
+    kit.dirty.extend(0..n as Vertex);
+    let fix = kit.fix_up(g, m, cfg.max_len);
+    // O(n) symmetric difference against the pre-epoch matching: each
+    // changed edge is counted once, at its `key().0` endpoint
+    let ident = |e: Edge| (e.key(), e.weight);
+    let mut recourse = 0u64;
+    for v in 0..n as Vertex {
+        let before = rk
+            .epoch_before
+            .matched_edge(v)
+            .filter(|e| e.key().0 == v)
+            .map(ident);
+        let after = m.matched_edge(v).filter(|e| e.key().0 == v).map(ident);
+        if before != after {
+            recourse += before.is_some() as u64 + after.is_some() as u64;
         }
-        // BFS ball of radius max_len over the live adjacency
-        let mut head = 0;
-        while head < self.queue.len() {
-            let (v, depth) = self.queue[head];
-            head += 1;
-            if depth as usize >= self.cfg.max_len {
-                continue;
-            }
-            for e in self.g.incident(v) {
-                let w = e.other(v);
-                if !ids.contains(w) {
-                    ids.insert(w, self.local_to_global.len() as u32);
-                    self.local_to_global.push(w);
-                    self.queue.push((w, depth + 1));
-                }
-            }
-        }
-        // extend by mates so neighbourhood gains are exact at the border
-        let ball_len = self.local_to_global.len();
-        for i in 0..ball_len {
-            let v = self.local_to_global[i];
-            if let Some(me) = self.m.matched_edge(v) {
-                let w = me.other(v);
-                if !ids.contains(w) {
-                    ids.insert(w, self.local_to_global.len() as u32);
-                    self.local_to_global.push(w);
-                }
-            }
-        }
-        let sub_n = self.local_to_global.len();
-        if sub_n == 0 {
-            return None;
-        }
-        // relabelled sub-instance: every live edge with both endpoints in
-        // the extended set, added once from its smaller-local endpoint
-        let mut sub_g = Graph::new(sub_n);
-        for (li, &v) in self.local_to_global.iter().enumerate() {
-            for e in self.g.incident(v) {
-                if let Some(lw) = ids.get(e.other(v)) {
-                    if (lw as usize) > li {
-                        sub_g.add_edge(li as Vertex, lw, e.weight);
-                    }
-                }
-            }
-        }
-        let mut sub_m = Matching::new(sub_n);
-        for (li, &v) in self.local_to_global.iter().enumerate() {
-            if let Some(me) = self.m.matched_edge(v) {
-                let lw = ids.get(me.other(v)).expect("mates are in the sub-instance");
-                if (lw as usize) > li {
-                    sub_m
-                        .insert(Edge::new(li as Vertex, lw, me.weight))
-                        .expect("matched edges are vertex-disjoint");
-                }
-            }
-        }
-        let aug = self
-            .searcher
-            .best_augmentation(&sub_g, &sub_m, self.cfg.max_len)?;
-        let unmap = |e: &Edge| {
-            Edge::new(
-                self.local_to_global[e.u as usize],
-                self.local_to_global[e.v as usize],
-                e.weight,
-            )
-        };
-        let added = aug.added().iter().map(unmap).collect();
-        let removed = aug.removed().iter().map(unmap).collect();
-        Some(Augmentation::from_parts(added, removed).expect("relabelling preserves disjointness"))
     }
+    (
+        recourse,
+        m.weight() - rk.epoch_before.weight(),
+        fix.augmentations,
+    )
 }
 
 /// The static counterpart of the engine's invariant: greedy-by-weight,
@@ -910,6 +881,81 @@ mod tests {
         assert!(eng.matching().weight() * 2 >= opt);
         assert!(base.matching().weight() * 2 >= opt);
         assert_eq!(base.counters().updates_applied, 80);
+    }
+
+    #[test]
+    fn recourse_equals_matching_diff_along_churn() {
+        // the unified recourse definition: per-update recourse is exactly
+        // the (key, weight) symmetric difference between the matchings
+        // before and after the update, recomputed here independently
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut eng = DynamicMatcher::new(14, DynamicConfig::default());
+        let mut live: Vec<(Vertex, Vertex)> = Vec::new();
+        let diff = |a: &Matching, b: &Matching| {
+            let sa: HashSet<((Vertex, Vertex), u64)> =
+                a.iter().map(|e| (e.key(), e.weight)).collect();
+            let sb: HashSet<((Vertex, Vertex), u64)> =
+                b.iter().map(|e| (e.key(), e.weight)).collect();
+            sa.symmetric_difference(&sb).count() as u64
+        };
+        let mut total = 0u64;
+        for step in 0..300 {
+            let op = if !live.is_empty() && rng.gen_range(0..3) == 0 {
+                let i = rng.gen_range(0..live.len());
+                let (u, v) = live.swap_remove(i);
+                UpdateOp::delete(u, v)
+            } else {
+                let u = rng.gen_range(0..14u32);
+                let mut v = rng.gen_range(0..14u32);
+                if v == u {
+                    v = (v + 1) % 14;
+                }
+                live.push((u, v));
+                UpdateOp::insert(u, v, rng.gen_range(1..40u64))
+            };
+            let before = eng.matching().clone();
+            let s = eng.apply(op).unwrap();
+            assert_eq!(
+                s.recourse,
+                diff(&before, eng.matching()),
+                "step {step}: reported recourse must equal the observable churn"
+            );
+            assert_eq!(
+                s.gain,
+                eng.matching().weight() - before.weight(),
+                "step {step}"
+            );
+            total += s.recourse;
+        }
+        assert_eq!(eng.counters().recourse_total, total);
+    }
+
+    #[test]
+    fn apply_all_reports_batch_stats_and_partial_progress() {
+        let mut eng = DynamicMatcher::new(6, DynamicConfig::default());
+        let stats = eng
+            .apply_all(&[
+                UpdateOp::insert(0, 1, 5),
+                UpdateOp::insert(2, 3, 4),
+                UpdateOp::delete(0, 1),
+            ])
+            .unwrap();
+        assert_eq!(stats.applied, 3);
+        assert_eq!(stats.gain, 4);
+        assert_eq!(stats.recourse, 3, "two matched, one unmatched");
+        // a malformed op stops the batch and reports how far it got
+        let err = eng
+            .apply_all(&[
+                UpdateOp::insert(0, 1, 2),
+                UpdateOp::insert(4, 5, 1),
+                UpdateOp::delete(1, 2), // never inserted
+                UpdateOp::insert(0, 2, 9),
+            ])
+            .unwrap_err();
+        assert_eq!(err.applied, 2, "the first two committed and stay applied");
+        assert!(matches!(err.source, DynamicError::EdgeNotFound { .. }));
+        assert_eq!(eng.counters().updates_applied, 5);
+        assert!(err.to_string().contains("2 updates applied"), "{err}");
     }
 
     #[test]

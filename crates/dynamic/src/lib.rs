@@ -51,12 +51,15 @@
 pub mod dyngraph;
 pub mod engine;
 pub mod error;
+mod repair;
+pub mod sharded;
 pub mod update;
 
 pub use dyngraph::DynGraph;
 pub use engine::{
-    static_bounded_matching, DynamicConfig, DynamicCounters, DynamicMatcher, RecomputeBaseline,
-    UpdateStats,
+    static_bounded_matching, BatchError, BatchStats, DynamicConfig, DynamicCounters,
+    DynamicMatcher, RecomputeBaseline, UpdateStats,
 };
 pub use error::DynamicError;
+pub use sharded::ShardedMatcher;
 pub use update::UpdateOp;

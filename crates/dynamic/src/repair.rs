@@ -1,0 +1,511 @@
+//! The shared repair kernel of the dynamic engines.
+//!
+//! [`DynamicMatcher`](crate::DynamicMatcher) repairs its matching against
+//! the real [`DynGraph`]/[`Matching`] pair; the sharded engine
+//! ([`ShardedMatcher`](crate::ShardedMatcher)) runs the *same* repair
+//! against a speculative overlay (frozen pre-batch state plus the shard's
+//! own pending changes). This module factors the repair into a
+//! [`RepairKit`] generic over two tiny traits — [`RepairGraph`] for
+//! incidence scans and [`RepairMatching`] for matched-state reads and
+//! writes — so both paths execute literally the same code and stay
+//! bit-identical by construction.
+//!
+//! Two cross-cutting concerns live here as well:
+//!
+//! * **Recourse accounting.** Every matching mutation the kit performs is
+//!   journalled as `(edge, inserted)`. [`RepairKit::net_recourse`] folds
+//!   the journal into the *net* number of matching edges changed — an
+//!   edge swapped out and back in within one update counts zero — which
+//!   is the one recourse definition the whole workspace reports (the same
+//!   symmetric-difference measure the rebuild epochs and the recompute
+//!   baseline use).
+//! * **Read tracing.** When constructed with `track_reads`, the kit
+//!   records every vertex whose adjacency or matched state a repair
+//!   depended on. The sharded engine replays a speculated plan only if no
+//!   earlier-committing update wrote to any vertex the plan read.
+
+use wmatch_graph::aug_search::AugSearcher;
+use wmatch_graph::scratch::EpochSet;
+use wmatch_graph::{Edge, Graph, Matching, Scratch, Vertex};
+
+use crate::dyngraph::DynGraph;
+
+/// Incidence reads the repair ball needs from a graph.
+///
+/// Implemented by the real [`DynGraph`] and by the sharded engine's
+/// speculative view (frozen base plus shard-local delta).
+pub(crate) trait RepairGraph {
+    /// Number of vertices.
+    fn vertex_count(&self) -> usize;
+    /// Calls `f` for every live edge incident to `v`, in insertion order
+    /// (with multiplicity for parallel edges) — the determinism contract
+    /// every traversal in the workspace is built on.
+    fn for_each_incident(&self, v: Vertex, f: &mut dyn FnMut(Edge));
+    /// Whether a live copy of `{u, v}` with exactly this weight exists.
+    fn has_live_copy(&self, u: Vertex, v: Vertex, weight: u64) -> bool;
+}
+
+impl RepairGraph for DynGraph {
+    fn vertex_count(&self) -> usize {
+        DynGraph::vertex_count(self)
+    }
+
+    fn for_each_incident(&self, v: Vertex, f: &mut dyn FnMut(Edge)) {
+        for e in self.incident(v) {
+            f(e);
+        }
+    }
+
+    fn has_live_copy(&self, u: Vertex, v: Vertex, weight: u64) -> bool {
+        DynGraph::has_live_copy(self, u, v, weight)
+    }
+}
+
+/// Matched-state reads and writes the repair performs on a matching.
+///
+/// Implemented by the real [`Matching`] and by the sharded engine's
+/// overlay view. Writes are infallible by contract: the repair only
+/// removes edges it just read as matched and only inserts into endpoints
+/// it just freed.
+pub(crate) trait RepairMatching {
+    /// The matched edge at `v`, if any.
+    fn matched_edge(&self, v: Vertex) -> Option<Edge>;
+    /// Inserts `e`; both endpoints must be free.
+    fn do_insert(&mut self, e: Edge);
+    /// Removes and returns the matched edge `{u, v}`; must be matched.
+    fn do_remove(&mut self, u: Vertex, v: Vertex) -> Edge;
+}
+
+impl RepairMatching for Matching {
+    fn matched_edge(&self, v: Vertex) -> Option<Edge> {
+        Matching::matched_edge(self, v)
+    }
+
+    fn do_insert(&mut self, e: Edge) {
+        self.insert(e).expect("repair inserts into freed endpoints");
+    }
+
+    fn do_remove(&mut self, u: Vertex, v: Vertex) -> Edge {
+        self.remove_pair(u, v)
+            .expect("repair removes matched edges")
+    }
+}
+
+/// Outcome of one repair convergence loop (recourse is *not* here — it
+/// comes from the journal via [`RepairKit::net_recourse`], so every
+/// caller reports the same net measure).
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct FixOutcome {
+    /// Net matching-weight change.
+    pub gain: i128,
+    /// Augmentations applied.
+    pub augmentations: u64,
+}
+
+/// All reusable state of one repair executor: the exhaustive searcher,
+/// the epoch-stamped ball scratch, the relabelled sub-instance buffers,
+/// the mutation journal, and (optionally) the read trace. Everything is
+/// persistent — at steady state a repair allocates nothing.
+#[derive(Debug)]
+pub(crate) struct RepairKit {
+    pub searcher: AugSearcher,
+    /// `scratch.count` doubles as the global→local id map of the ball.
+    pub scratch: Scratch,
+    local_to_global: Vec<Vertex>,
+    queue: Vec<(Vertex, u32)>,
+    pub dirty: Vec<Vertex>,
+    sub_g: Graph,
+    sub_m: Matching,
+    sub_added: Vec<Edge>,
+    sub_removed: Vec<Edge>,
+    added: Vec<Edge>,
+    removed: Vec<Edge>,
+    /// Matching mutations of the current update, in order: `(edge, true)`
+    /// for inserts, `(edge, false)` for removals.
+    pub journal: Vec<(Edge, bool)>,
+    track_reads: bool,
+    /// Vertices read since [`RepairKit::begin_read_window`], deduplicated.
+    pub read: Vec<Vertex>,
+    read_mark: EpochSet,
+}
+
+impl RepairKit {
+    /// A fresh kit. `track_reads` enables the read trace (the sharded
+    /// speculation path); the sequential engine leaves it off.
+    pub fn new(track_reads: bool) -> Self {
+        RepairKit {
+            searcher: AugSearcher::new(),
+            scratch: Scratch::new(),
+            local_to_global: Vec::new(),
+            queue: Vec::new(),
+            dirty: Vec::new(),
+            sub_g: Graph::new(0),
+            sub_m: Matching::new(0),
+            sub_added: Vec::new(),
+            sub_removed: Vec::new(),
+            added: Vec::new(),
+            removed: Vec::new(),
+            journal: Vec::new(),
+            track_reads,
+            read: Vec::new(),
+            read_mark: EpochSet::new(),
+        }
+    }
+
+    /// Starts a new update: clears the mutation journal. (The read trace
+    /// is *not* cleared — it accumulates per read window.)
+    pub fn begin_update(&mut self) {
+        self.journal.clear();
+    }
+
+    /// Starts a new read window over `n` vertices, clearing the read
+    /// trace. The sharded engine opens one window per batch, so a shard's
+    /// trace covers everything its speculation depended on so far.
+    pub fn begin_read_window(&mut self, n: usize) {
+        self.read.clear();
+        self.read_mark.ensure(n);
+        self.read_mark.clear();
+    }
+
+    /// Records that the repair read the state of `v` (no-op unless the
+    /// kit tracks reads).
+    #[inline]
+    pub fn note_read(&mut self, v: Vertex) {
+        if self.track_reads && self.read_mark.insert(v) {
+            self.read.push(v);
+        }
+    }
+
+    /// Whether `v` was read at any point of the current read window.
+    #[inline]
+    pub fn has_read(&self, v: Vertex) -> bool {
+        self.read_mark.contains(v)
+    }
+
+    /// Folds (and drains) the journal into the net number of matching
+    /// edges changed: entries are grouped by `(endpoints, weight)` and a
+    /// group counts only if its inserts and removals do not cancel.
+    pub fn net_recourse(&mut self) -> u64 {
+        self.journal
+            .sort_unstable_by_key(|&(e, ins)| (e.key(), e.weight, ins));
+        let mut recourse = 0u64;
+        let mut i = 0;
+        while i < self.journal.len() {
+            let (e, _) = self.journal[i];
+            let mut inserts = 0i64;
+            let mut removals = 0i64;
+            while i < self.journal.len() {
+                let (f, ins) = self.journal[i];
+                if f.key() != e.key() || f.weight != e.weight {
+                    break;
+                }
+                if ins {
+                    inserts += 1;
+                } else {
+                    removals += 1;
+                }
+                i += 1;
+            }
+            if inserts != removals {
+                recourse += 1;
+            }
+        }
+        self.journal.clear();
+        recourse
+    }
+
+    /// The largest dense scratch footprint this kit has used.
+    pub fn scratch_high_water(&self) -> usize {
+        self.scratch.high_water()
+    }
+
+    /// Applies best local augmentations until none with positive gain
+    /// remains in the ball around the (accumulating) dirty set, restoring
+    /// the bounded-augmentation invariant. Clears the dirty set on
+    /// return; every matching mutation is journalled.
+    pub fn fix_up<G, M>(&mut self, g: &G, m: &mut M, max_len: usize) -> FixOutcome
+    where
+        G: RepairGraph + ?Sized,
+        M: RepairMatching + ?Sized,
+    {
+        let mut out = FixOutcome::default();
+        while let Some(gain) = self.best_local_augmentation(g, m, max_len) {
+            debug_assert!(gain > 0, "only positive augmentations are applied");
+            for i in 0..self.removed.len() {
+                let e = self.removed[i];
+                let got = m.do_remove(e.u, e.v);
+                debug_assert_eq!(got.key(), e.key());
+                self.journal.push((got, false));
+            }
+            for i in 0..self.added.len() {
+                let e = self.added[i];
+                m.do_insert(e);
+                self.journal.push((e, true));
+            }
+            out.gain += gain;
+            out.augmentations += 1;
+            // later repairs may only appear next to what this one touched,
+            // but earlier candidates stay live: accumulate, don't replace
+            for i in 0..self.removed.len() {
+                let e = self.removed[i];
+                self.dirty.extend([e.u, e.v]);
+            }
+            for i in 0..self.added.len() {
+                let e = self.added[i];
+                self.dirty.extend([e.u, e.v]);
+            }
+        }
+        self.dirty.clear();
+        out
+    }
+
+    /// The best positive augmentation (≤ `max_len` edges) in the
+    /// radius-`max_len` ball around the dirty set: the ball (extended by
+    /// the mates of ball vertices, so neighbourhood gains are exact) is
+    /// relabelled into a compact sub-instance, solved with the exhaustive
+    /// searcher, and the winner is unmapped into `self.added` /
+    /// `self.removed`. Returns the gain, or `None` when the invariant
+    /// holds.
+    fn best_local_augmentation<G, M>(&mut self, g: &G, m: &M, max_len: usize) -> Option<i128>
+    where
+        G: RepairGraph + ?Sized,
+        M: RepairMatching + ?Sized,
+    {
+        let n = g.vertex_count();
+        self.scratch.begin(n);
+        let RepairKit {
+            searcher,
+            scratch,
+            local_to_global,
+            queue,
+            dirty,
+            sub_g,
+            sub_m,
+            sub_added,
+            sub_removed,
+            added,
+            removed,
+            track_reads,
+            read,
+            read_mark,
+            ..
+        } = self;
+        let ids = &mut scratch.count; // global vertex -> local id
+        local_to_global.clear();
+        queue.clear();
+        // canonical seed order makes the search independent of the order
+        // augmentations reported their touched vertices
+        dirty.sort_unstable();
+        dirty.dedup();
+        for &d in dirty.iter() {
+            if !ids.contains(d) {
+                ids.insert(d, local_to_global.len() as u32);
+                local_to_global.push(d);
+                queue.push((d, 0));
+            }
+        }
+        // BFS ball of radius max_len over the live adjacency
+        let mut head = 0;
+        while head < queue.len() {
+            let (v, depth) = queue[head];
+            head += 1;
+            if depth as usize >= max_len {
+                continue;
+            }
+            g.for_each_incident(v, &mut |e| {
+                let w = e.other(v);
+                if !ids.contains(w) {
+                    ids.insert(w, local_to_global.len() as u32);
+                    local_to_global.push(w);
+                    queue.push((w, depth + 1));
+                }
+            });
+        }
+        // extend by mates so neighbourhood gains are exact at the border
+        let ball_len = local_to_global.len();
+        for i in 0..ball_len {
+            let v = local_to_global[i];
+            if let Some(me) = m.matched_edge(v) {
+                let w = me.other(v);
+                if !ids.contains(w) {
+                    ids.insert(w, local_to_global.len() as u32);
+                    local_to_global.push(w);
+                }
+            }
+        }
+        let sub_n = local_to_global.len();
+        if sub_n == 0 {
+            return None;
+        }
+        // everything in the extended ball was read: its adjacency feeds
+        // the sub-instance and its matched state the warm matching
+        if *track_reads {
+            for &v in local_to_global.iter() {
+                if read_mark.insert(v) {
+                    read.push(v);
+                }
+            }
+        }
+        // relabelled sub-instance: every live edge with both endpoints in
+        // the extended set, added once from its smaller-local endpoint
+        sub_g.reset(sub_n);
+        for (li, &v) in local_to_global.iter().enumerate() {
+            g.for_each_incident(v, &mut |e| {
+                if let Some(lw) = ids.get(e.other(v)) {
+                    if (lw as usize) > li {
+                        sub_g.add_edge(li as Vertex, lw, e.weight);
+                    }
+                }
+            });
+        }
+        sub_m.reset(sub_n);
+        for (li, &v) in local_to_global.iter().enumerate() {
+            if let Some(me) = m.matched_edge(v) {
+                let lw = ids.get(me.other(v)).expect("mates are in the sub-instance");
+                if (lw as usize) > li {
+                    sub_m
+                        .insert(Edge::new(li as Vertex, lw, me.weight))
+                        .expect("matched edges are vertex-disjoint");
+                }
+            }
+        }
+        let gain =
+            searcher.best_augmentation_into(sub_g, sub_m, max_len, sub_added, sub_removed)?;
+        added.clear();
+        removed.clear();
+        for e in sub_added.iter() {
+            added.push(Edge::new(
+                local_to_global[e.u as usize],
+                local_to_global[e.v as usize],
+                e.weight,
+            ));
+        }
+        for e in sub_removed.iter() {
+            removed.push(Edge::new(
+                local_to_global[e.u as usize],
+                local_to_global[e.v as usize],
+                e.weight,
+            ));
+        }
+        Some(gain)
+    }
+}
+
+/// Repairs after an edge insertion (`g` already contains the new edge):
+/// parallel-upgrade swap if a heavier copy of an already-matched pair
+/// arrived, then bounded-augmentation fix-up seeded at the endpoints.
+pub(crate) fn repair_insert<G, M>(
+    kit: &mut RepairKit,
+    g: &G,
+    m: &mut M,
+    u: Vertex,
+    v: Vertex,
+    weight: u64,
+    max_len: usize,
+) -> FixOutcome
+where
+    G: RepairGraph + ?Sized,
+    M: RepairMatching + ?Sized,
+{
+    kit.note_read(u);
+    kit.note_read(v);
+    let mut out = FixOutcome::default();
+    // parallel upgrade: matchings are keyed by endpoint pair, so a
+    // heavier copy of an already-matched pair cannot be expressed as an
+    // augmentation — swap it in directly
+    if let Some(me) = m.matched_edge(u) {
+        if me.other(u) == v && weight > me.weight {
+            let old = m.do_remove(u, v);
+            kit.journal.push((old, false));
+            let new = Edge::new(u, v, weight);
+            m.do_insert(new);
+            kit.journal.push((new, true));
+            out.gain += weight as i128 - old.weight as i128;
+        }
+    }
+    // a new positive component must run through the new edge
+    kit.dirty.clear();
+    kit.dirty.extend([u, v]);
+    let fix = kit.fix_up(g, m, max_len);
+    out.gain += fix.gain;
+    out.augmentations += fix.augmentations;
+    out
+}
+
+/// Repairs after an edge deletion (`g` no longer contains the deleted
+/// copy): if the matched copy of `{u, v}` is gone — no live edge with the
+/// same endpoints *and weight* remains — the matching drops it and the
+/// fix-up re-matches around the freed endpoints. Deleting an unmatched
+/// copy cannot create a positive augmentation (gains only shrink), so it
+/// is free.
+pub(crate) fn repair_delete<G, M>(
+    kit: &mut RepairKit,
+    g: &G,
+    m: &mut M,
+    u: Vertex,
+    v: Vertex,
+    max_len: usize,
+) -> FixOutcome
+where
+    G: RepairGraph + ?Sized,
+    M: RepairMatching + ?Sized,
+{
+    kit.note_read(u);
+    kit.note_read(v);
+    let mut out = FixOutcome::default();
+    let lost_matched_edge = match m.matched_edge(u) {
+        Some(me) => me.other(u) == v && !g.has_live_copy(u, v, me.weight),
+        None => false,
+    };
+    if lost_matched_edge {
+        let removed = m.do_remove(u, v);
+        kit.journal.push((removed, false));
+        out.gain -= removed.weight as i128;
+        kit.dirty.clear();
+        kit.dirty.extend([u, v]);
+        let fix = kit.fix_up(g, m, max_len);
+        out.gain += fix.gain;
+        out.augmentations += fix.augmentations;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn net_recourse_cancels_swap_back() {
+        let mut kit = RepairKit::new(false);
+        kit.begin_update();
+        let e = Edge::new(0, 1, 5);
+        let f = Edge::new(1, 2, 7);
+        // remove e, insert f, remove f, insert e: net zero
+        kit.journal
+            .extend([(e, false), (f, true), (f, false), (e, true)]);
+        assert_eq!(kit.net_recourse(), 0);
+        assert!(kit.journal.is_empty(), "net_recourse drains the journal");
+        // remove e, insert a *different-weight* copy of the same pair:
+        // both count (weight change is observable churn)
+        kit.journal.extend([(e, false), (Edge::new(0, 1, 9), true)]);
+        assert_eq!(kit.net_recourse(), 2);
+    }
+
+    #[test]
+    fn read_trace_dedups_and_respects_window() {
+        let mut kit = RepairKit::new(true);
+        kit.begin_read_window(8);
+        kit.note_read(3);
+        kit.note_read(3);
+        kit.note_read(5);
+        assert_eq!(kit.read, vec![3, 5]);
+        kit.begin_read_window(8);
+        assert!(kit.read.is_empty());
+        kit.note_read(3);
+        assert_eq!(kit.read, vec![3]);
+        let mut off = RepairKit::new(false);
+        off.begin_read_window(8);
+        off.note_read(3);
+        assert!(off.read.is_empty(), "tracking disabled records nothing");
+    }
+}

@@ -1,0 +1,850 @@
+//! The sharded production-scale dynamic engine.
+//!
+//! [`ShardedMatcher`] scales the update-stream engine to millions of
+//! vertices by partitioning the vertex range into `k` contiguous shards
+//! and ingesting updates in batches: every shard *speculates* the repair
+//! of its own ops in parallel against the frozen pre-batch state (plus
+//! its own pending changes), and a sequential commit pass then replays
+//! the speculated plans in the original update order — falling back to
+//! an on-the-spot sequential repair for any plan whose reads were
+//! invalidated by an earlier-committing update.
+//!
+//! # Ownership and routing
+//!
+//! Vertex `v` belongs to shard `v·k/n` (contiguous ranges); the edge
+//! `{u, v}` — and therefore every insert or delete of that pair — is
+//! owned by the shard of `min(u, v)`. Both endpoints of a pair always
+//! route to the same shard, so a shard's speculation sees *every* op
+//! affecting the pairs it owns and its structural verdicts (which copy a
+//! delete removes, whether a delete finds a live copy) are exact, not
+//! speculative.
+//!
+//! # The determinism contract
+//!
+//! The committed state after a batch is **bit-identical to feeding the
+//! same ops one-by-one into a single [`DynamicMatcher`]** — for any
+//! shard count, any worker-thread count, and any batch size. The
+//! speculation is pure (frozen inputs, per-shard sequential), the commit
+//! order is the update order, and a plan is replayed only when a
+//! read-set check proves replaying it is indistinguishable from running
+//! the repair sequentially at commit time. Everything else falls back to
+//! the sequential path, which *is* the [`DynamicMatcher`] code — both
+//! run the same `RepairKit` kernel.
+//!
+//! [`DynamicMatcher`]: crate::DynamicMatcher
+
+use wmatch_graph::pool::resolve_threads;
+use wmatch_graph::scratch::{EpochMap, EpochSet};
+use wmatch_graph::{Edge, Graph, Matching, Scratch, Vertex, WorkerPool};
+
+use crate::dyngraph::DynGraph;
+use crate::engine::{
+    run_rebuild_epoch, static_bounded_matching, BatchError, BatchStats, DynamicConfig,
+    DynamicCounters, RebuildKit, UpdateStats,
+};
+use crate::error::DynamicError;
+use crate::repair::{repair_delete, repair_insert, RepairGraph, RepairKit, RepairMatching};
+use crate::update::UpdateOp;
+
+/// An edge a shard inserted during the current batch, with a liveness
+/// flag so a later same-batch delete can consume it.
+#[derive(Debug, Clone, Copy)]
+struct SpecEdge {
+    u: Vertex,
+    v: Vertex,
+    weight: u64,
+    live: bool,
+}
+
+/// A shard's speculative graph view: the frozen pre-batch [`DynGraph`]
+/// minus the slab slots this shard virtually deleted, plus the edges it
+/// virtually inserted — presented in exactly the adjacency order the
+/// real graph will have once the batch commits (batch inserts are newer
+/// than every pre-batch edge).
+struct SpecGraph<'a> {
+    base: &'a DynGraph,
+    inserted: &'a [SpecEdge],
+    dead: &'a EpochSet,
+}
+
+impl RepairGraph for SpecGraph<'_> {
+    fn vertex_count(&self) -> usize {
+        self.base.vertex_count()
+    }
+
+    fn for_each_incident(&self, v: Vertex, f: &mut dyn FnMut(Edge)) {
+        for &id in self.base.adj_ids(v) {
+            if !self.dead.contains(id) {
+                f(self.base.edge_at(id));
+            }
+        }
+        for se in self.inserted {
+            if se.live && (se.u == v || se.v == v) {
+                f(Edge::new(se.u, se.v, se.weight));
+            }
+        }
+    }
+
+    fn has_live_copy(&self, u: Vertex, v: Vertex, weight: u64) -> bool {
+        for &id in self.base.adj_ids(u) {
+            if !self.dead.contains(id) {
+                let e = self.base.edge_at(id);
+                if e.touches(v) && e.weight == weight {
+                    return true;
+                }
+            }
+        }
+        self.inserted.iter().any(|se| {
+            se.live && se.weight == weight && ((se.u == u && se.v == v) || (se.u == v && se.v == u))
+        })
+    }
+}
+
+/// A shard's speculative matching view: the frozen pre-batch [`Matching`]
+/// under an epoch-stamped per-vertex overlay (`Some(e)` = matched to `e`,
+/// `None` binding = unmatched, no binding = frozen state).
+struct SpecMatching<'a> {
+    base: &'a Matching,
+    overlay: &'a mut EpochMap<Option<Edge>>,
+}
+
+impl RepairMatching for SpecMatching<'_> {
+    fn matched_edge(&self, v: Vertex) -> Option<Edge> {
+        match self.overlay.get(v) {
+            Some(o) => o,
+            None => self.base.matched_edge(v),
+        }
+    }
+
+    fn do_insert(&mut self, e: Edge) {
+        debug_assert!(self.matched_edge(e.u).is_none());
+        debug_assert!(self.matched_edge(e.v).is_none());
+        self.overlay.insert(e.u, Some(e));
+        self.overlay.insert(e.v, Some(e));
+    }
+
+    fn do_remove(&mut self, u: Vertex, v: Vertex) -> Edge {
+        let e = self.matched_edge(u).expect("repair removes matched edges");
+        debug_assert_eq!(e.other(u), v);
+        self.overlay.insert(u, None);
+        self.overlay.insert(v, None);
+        e
+    }
+}
+
+/// One speculated op: either a typed rejection or the full repair
+/// outcome, with ranges into the shard's pooled journal/write arenas.
+#[derive(Debug, Clone)]
+struct Plan {
+    err: Option<DynamicError>,
+    gain: i128,
+    recourse: u64,
+    augmentations: u64,
+    /// `journal_arena` range: the matching mutations, in order.
+    journal: (u32, u32),
+    /// `writes_arena` range: vertices this op writes (op endpoints plus
+    /// every journal-edge endpoint).
+    writes: (u32, u32),
+}
+
+/// One vertex shard: a read-tracking repair kit plus the speculative
+/// overlays and pooled plan storage of the current batch.
+#[derive(Debug)]
+struct Shard {
+    kit: RepairKit,
+    overlay: EpochMap<Option<Edge>>,
+    /// Pre-batch slab ids this shard virtually deleted.
+    dead: EpochSet,
+    inserted: Vec<SpecEdge>,
+    /// (batch index, op) of every op routed here, in batch order.
+    ops: Vec<(usize, UpdateOp)>,
+    plans: Vec<Plan>,
+    journal_arena: Vec<(Edge, bool)>,
+    writes_arena: Vec<Vertex>,
+    /// False once a committed update invalidated this shard's
+    /// speculation for the rest of the batch.
+    clean: bool,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            kit: RepairKit::new(true),
+            overlay: EpochMap::new(),
+            dead: EpochSet::new(),
+            inserted: Vec::new(),
+            ops: Vec::new(),
+            plans: Vec::new(),
+            journal_arena: Vec::new(),
+            writes_arena: Vec::new(),
+            clean: true,
+        }
+    }
+
+    fn begin_batch(&mut self, n: usize, slab_slots: usize) {
+        self.overlay.ensure(n);
+        self.overlay.clear();
+        self.dead.ensure(slab_slots);
+        self.dead.clear();
+        self.inserted.clear();
+        self.ops.clear();
+        self.plans.clear();
+        self.journal_arena.clear();
+        self.writes_arena.clear();
+        self.clean = true;
+        self.kit.begin_read_window(n);
+    }
+
+    /// The structural half of a speculative insert/delete, mirroring
+    /// [`DynGraph::insert`]/[`DynGraph::delete`] exactly (same validation,
+    /// same LIFO copy choice) against the shard's virtual state.
+    fn spec_structural(&mut self, g: &DynGraph, op: UpdateOp) -> Result<(), DynamicError> {
+        match op {
+            UpdateOp::Insert { u, v, weight } => {
+                g.check_insert(u, v, weight)?;
+                self.inserted.push(SpecEdge {
+                    u,
+                    v,
+                    weight,
+                    live: true,
+                });
+                Ok(())
+            }
+            UpdateOp::Delete { u, v } => {
+                // LIFO: the shard's own batch inserts are newer than
+                // every pre-batch edge
+                if (u as usize) < g.vertex_count() && (v as usize) < g.vertex_count() {
+                    if let Some(pos) = self.inserted.iter().rposition(|se| {
+                        se.live && ((se.u == u && se.v == v) || (se.u == v && se.v == u))
+                    }) {
+                        self.inserted[pos].live = false;
+                        return Ok(());
+                    }
+                }
+                match g.peek_delete(u, v) {
+                    Ok((first_id, _)) => {
+                        // the newest *non-dead* pre-batch copy: walk the
+                        // adjacency backwards past virtually deleted ids
+                        let id = self
+                            .base_lifo_copy(g, u, v)
+                            .ok_or(DynamicError::EdgeNotFound { u, v })?;
+                        let _ = first_id;
+                        self.dead.insert(id);
+                        Ok(())
+                    }
+                    Err(e) => {
+                        // range errors propagate; EdgeNotFound must still
+                        // consider dead-skipping (peek found a copy we
+                        // virtually deleted → truly not found now)
+                        match e {
+                            DynamicError::EdgeNotFound { .. } => {
+                                Err(DynamicError::EdgeNotFound { u, v })
+                            }
+                            other => Err(other),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The newest pre-batch live copy of `{u, v}` not yet virtually
+    /// deleted, as a slab id.
+    fn base_lifo_copy(&self, g: &DynGraph, u: Vertex, v: Vertex) -> Option<u32> {
+        g.adj_ids(u)
+            .iter()
+            .rev()
+            .copied()
+            .find(|&id| !self.dead.contains(id) && g.edge_at(id).touches(v))
+    }
+
+    /// Speculates every op routed to this shard, in batch order, pushing
+    /// one [`Plan`] per op. Pure with respect to the frozen `(g, m)` —
+    /// this is the parallel phase.
+    fn speculate(&mut self, g: &DynGraph, m: &Matching, cfg: &DynamicConfig) {
+        for k in 0..self.ops.len() {
+            let (_, op) = self.ops[k];
+            self.kit.begin_update();
+            let structural = self.spec_structural(g, op);
+            let plan = match structural {
+                Err(e) => Plan {
+                    err: Some(e),
+                    gain: 0,
+                    recourse: 0,
+                    augmentations: 0,
+                    journal: (0, 0),
+                    writes: (0, 0),
+                },
+                Ok(()) => {
+                    let Shard {
+                        kit,
+                        overlay,
+                        dead,
+                        inserted,
+                        ..
+                    } = self;
+                    let view = SpecGraph {
+                        base: g,
+                        inserted,
+                        dead,
+                    };
+                    let mut sm = SpecMatching { base: m, overlay };
+                    let fix = match op {
+                        UpdateOp::Insert { u, v, weight } => {
+                            repair_insert(kit, &view, &mut sm, u, v, weight, cfg.max_len)
+                        }
+                        UpdateOp::Delete { u, v } => {
+                            repair_delete(kit, &view, &mut sm, u, v, cfg.max_len)
+                        }
+                    };
+                    let j0 = self.journal_arena.len() as u32;
+                    let w0 = self.writes_arena.len() as u32;
+                    let (u, v) = op.endpoints();
+                    self.writes_arena.extend([u, v]);
+                    for &(e, ins) in &self.kit.journal {
+                        self.journal_arena.push((e, ins));
+                        self.writes_arena.extend([e.u, e.v]);
+                    }
+                    Plan {
+                        err: None,
+                        gain: fix.gain,
+                        recourse: self.kit.net_recourse(),
+                        augmentations: fix.augmentations,
+                        journal: (j0, self.journal_arena.len() as u32),
+                        writes: (w0, self.writes_arena.len() as u32),
+                    }
+                }
+            };
+            self.plans.push(plan);
+        }
+    }
+}
+
+/// A `k`-shard batched dynamic matching engine, bit-identical to the
+/// sequential [`DynamicMatcher`](crate::DynamicMatcher) for any shard
+/// count, thread count, and batch size — see the [module docs](self).
+///
+/// # Example
+///
+/// ```
+/// use wmatch_dynamic::{DynamicConfig, ShardedMatcher, UpdateOp};
+///
+/// let mut eng = ShardedMatcher::new(6, DynamicConfig::default(), 2);
+/// let stats = eng
+///     .apply_all(&[
+///         UpdateOp::insert(0, 1, 4),
+///         UpdateOp::insert(4, 5, 7),
+///         UpdateOp::insert(1, 2, 6),
+///     ])
+///     .unwrap();
+/// assert_eq!(stats.applied, 3);
+/// assert_eq!(eng.matching().weight(), 13); // {4,5}@7 and the heavier {1,2}@6
+/// ```
+#[derive(Debug)]
+pub struct ShardedMatcher {
+    g: DynGraph,
+    m: Matching,
+    cfg: DynamicConfig,
+    shards: Vec<Shard>,
+    pool: WorkerPool,
+    /// The sequential-fallback and rebuild-epoch repair kit — running
+    /// literally the `DynamicMatcher` code path.
+    seq_kit: RepairKit,
+    rebuild: RebuildKit,
+    counters: DynamicCounters,
+    updates_since_rebuild: usize,
+    batch: usize,
+    /// `(shard, plan index)` per op of the current batch.
+    route: Vec<(u32, u32)>,
+    write_buf: Vec<Vertex>,
+    replayed: u64,
+    fallbacks: u64,
+}
+
+impl ShardedMatcher {
+    /// Default ops per ingest batch (tunable via
+    /// [`ShardedMatcher::with_batch_size`]).
+    pub const DEFAULT_BATCH: usize = 256;
+
+    /// An engine over an initially edgeless graph on `n` vertices with
+    /// `shards` vertex shards (0 = one per available core, like the
+    /// `threads` knob).
+    pub fn new(n: usize, cfg: DynamicConfig, shards: usize) -> Self {
+        let k = resolve_threads(shards);
+        ShardedMatcher {
+            g: DynGraph::new(n),
+            m: Matching::new(n),
+            pool: WorkerPool::new(cfg.threads),
+            cfg,
+            shards: (0..k).map(|_| Shard::new()).collect(),
+            seq_kit: RepairKit::new(false),
+            rebuild: RebuildKit::new(),
+            counters: DynamicCounters::default(),
+            updates_since_rebuild: 0,
+            batch: Self::DEFAULT_BATCH,
+            route: Vec::new(),
+            write_buf: Vec::new(),
+            replayed: 0,
+            fallbacks: 0,
+        }
+    }
+
+    /// An engine seeded with an initial graph, bootstrapped exactly like
+    /// [`DynamicMatcher::from_graph`](crate::DynamicMatcher::from_graph)
+    /// (not counted as updates or recourse).
+    ///
+    /// # Errors
+    ///
+    /// [`DynamicError::ZeroWeight`] if the initial graph carries a
+    /// zero-weight edge.
+    pub fn from_graph(
+        initial: &Graph,
+        cfg: DynamicConfig,
+        shards: usize,
+    ) -> Result<Self, DynamicError> {
+        let mut eng = ShardedMatcher::new(initial.vertex_count(), cfg, shards);
+        eng.g = DynGraph::from_graph(initial)?;
+        eng.m = static_bounded_matching(initial, cfg.max_len, &mut eng.seq_kit.searcher);
+        Ok(eng)
+    }
+
+    /// Sets the ingest batch size (clamped to ≥ 1). Batch size affects
+    /// throughput only — the committed state is identical for any value.
+    pub fn with_batch_size(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &DynamicConfig {
+        &self.cfg
+    }
+
+    /// The number of vertex shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The maintained matching.
+    pub fn matching(&self) -> &Matching {
+        &self.m
+    }
+
+    /// The live graph.
+    pub fn graph(&self) -> &DynGraph {
+        &self.g
+    }
+
+    /// Lifetime counters (identical to the sequential engine's on the
+    /// same update stream).
+    pub fn counters(&self) -> DynamicCounters {
+        self.counters
+    }
+
+    /// Updates committed by replaying their speculated plan.
+    pub fn replayed(&self) -> u64 {
+        self.replayed
+    }
+
+    /// Updates that fell back to the sequential repair at commit time.
+    pub fn fallbacks(&self) -> u64 {
+        self.fallbacks
+    }
+
+    /// The largest dense scratch footprint any repair path has used.
+    pub fn scratch_high_water(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.kit.scratch_high_water())
+            .max()
+            .unwrap_or(0)
+            .max(self.seq_kit.scratch_high_water())
+            .max(self.rebuild.scratch.high_water())
+            .max(self.pool.scratch_high_water())
+    }
+
+    /// The shard owning vertex `v` (contiguous ranges; out-of-range
+    /// vertices clamp to the last shard, where validation rejects them).
+    #[inline]
+    fn shard_of(&self, v: Vertex) -> usize {
+        let n = self.g.vertex_count();
+        if n == 0 {
+            return 0;
+        }
+        let v = (v as usize).min(n - 1);
+        v * self.shards.len() / n
+    }
+
+    /// Applies one batch: parallel speculation, then an in-order commit.
+    ///
+    /// # Errors
+    ///
+    /// A [`BatchError`] at the first malformed op; `applied` counts the
+    /// committed updates (which remain applied).
+    pub fn apply_batch(&mut self, ops: &[UpdateOp]) -> Result<BatchStats, BatchError> {
+        let n = self.g.vertex_count();
+        let slots = self.g.slab_slots();
+        for shard in &mut self.shards {
+            shard.begin_batch(n, slots);
+        }
+        self.route.clear();
+        for (i, &op) in ops.iter().enumerate() {
+            let (u, v) = op.endpoints();
+            let s = self.shard_of(u.min(v));
+            self.route.push((s as u32, self.shards[s].ops.len() as u32));
+            self.shards[s].ops.push((i, op));
+        }
+        // phase A: every shard speculates its ops against the frozen
+        // pre-batch state, in parallel — pure, so thread count is moot
+        {
+            let g = &self.g;
+            let m = &self.m;
+            let cfg = self.cfg;
+            let task = move |_worker: usize, _i: usize, shard: &mut Shard, _scr: &mut Scratch| {
+                shard.speculate(g, m, &cfg);
+            };
+            self.pool.run_over(&mut self.shards, &task);
+        }
+        // phase B: commit in batch order — replay clean plans, fall back
+        // to the sequential repair otherwise
+        let mut out = BatchStats::default();
+        for (i, &op) in ops.iter().enumerate() {
+            let (s_idx, p_idx) = self.route[i];
+            let s_idx = s_idx as usize;
+            let shard = &mut self.shards[s_idx];
+            let plan = &shard.plans[p_idx as usize];
+            let mut stats = UpdateStats::default();
+            if shard.clean && plan.err.is_none() {
+                // replay: provably identical to running the repair here
+                match op {
+                    UpdateOp::Insert { u, v, weight } => {
+                        self.g
+                            .insert(u, v, weight)
+                            .expect("speculated insert replays");
+                    }
+                    UpdateOp::Delete { u, v } => {
+                        self.g.delete(u, v).expect("speculated delete replays");
+                    }
+                }
+                for k in plan.journal.0..plan.journal.1 {
+                    let (e, ins) = shard.journal_arena[k as usize];
+                    if ins {
+                        self.m.insert(e).expect("replayed insert is valid");
+                    } else {
+                        self.m
+                            .remove_pair(e.u, e.v)
+                            .expect("replayed removal is valid");
+                    }
+                }
+                stats.gain = plan.gain;
+                stats.recourse = plan.recourse;
+                stats.augmentations = plan.augmentations;
+                self.write_buf.clear();
+                self.write_buf.extend_from_slice(
+                    &shard.writes_arena[plan.writes.0 as usize..plan.writes.1 as usize],
+                );
+                self.replayed += 1;
+            } else {
+                // sequential fallback — the DynamicMatcher code path
+                shard.clean = false;
+                self.seq_kit.begin_update();
+                let structural = match op {
+                    UpdateOp::Insert { u, v, weight } => self.g.insert(u, v, weight).map(|_| ()),
+                    UpdateOp::Delete { u, v } => self.g.delete(u, v).map(|_| ()),
+                };
+                if let Err(source) = structural {
+                    return Err(BatchError { applied: i, source });
+                }
+                let fix = match op {
+                    UpdateOp::Insert { u, v, weight } => repair_insert(
+                        &mut self.seq_kit,
+                        &self.g,
+                        &mut self.m,
+                        u,
+                        v,
+                        weight,
+                        self.cfg.max_len,
+                    ),
+                    UpdateOp::Delete { u, v } => repair_delete(
+                        &mut self.seq_kit,
+                        &self.g,
+                        &mut self.m,
+                        u,
+                        v,
+                        self.cfg.max_len,
+                    ),
+                };
+                let (u, v) = op.endpoints();
+                self.write_buf.clear();
+                self.write_buf.extend([u, v]);
+                for &(e, _) in &self.seq_kit.journal {
+                    self.write_buf.extend([e.u, e.v]);
+                }
+                stats.gain = fix.gain;
+                stats.augmentations = fix.augmentations;
+                stats.recourse = self.seq_kit.net_recourse();
+                self.fallbacks += 1;
+            }
+            // a committed write to any vertex another shard's speculation
+            // read invalidates that shard for the rest of the batch
+            for (j, other) in self.shards.iter_mut().enumerate() {
+                if j != s_idx && other.clean {
+                    for &w in &self.write_buf {
+                        if other.kit.has_read(w) {
+                            other.clean = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            self.counters.updates_applied += 1;
+            self.counters.augmentations_applied += stats.augmentations;
+            self.updates_since_rebuild += 1;
+            if self.cfg.rebuild_threshold > 0
+                && self.updates_since_rebuild >= self.cfg.rebuild_threshold
+            {
+                self.counters.rebuilds += 1;
+                self.updates_since_rebuild = 0;
+                let (r, gain, augs) = run_rebuild_epoch(
+                    &self.g,
+                    &mut self.m,
+                    &self.cfg,
+                    &mut self.pool,
+                    &mut self.seq_kit,
+                    &mut self.rebuild,
+                    self.counters.rebuilds,
+                );
+                self.counters.augmentations_applied += augs;
+                stats.recourse += r;
+                stats.gain += gain;
+                stats.rebuilt = true;
+                // the epoch rewrote the matching globally: every
+                // remaining speculation is stale
+                for shard in &mut self.shards {
+                    shard.clean = false;
+                }
+            }
+            self.counters.recourse_total += stats.recourse;
+            out.absorb(stats);
+        }
+        Ok(out)
+    }
+
+    /// Applies a whole update sequence, chunked into engine-sized
+    /// batches. Stats aggregate over all batches.
+    ///
+    /// # Errors
+    ///
+    /// A [`BatchError`] at the first malformed op; `applied` counts the
+    /// committed updates across the whole sequence.
+    pub fn apply_all(&mut self, ops: &[UpdateOp]) -> Result<BatchStats, BatchError> {
+        let mut out = BatchStats::default();
+        let mut offset = 0usize;
+        for chunk in ops.chunks(self.batch.max(1)) {
+            match self.apply_batch(chunk) {
+                Ok(s) => {
+                    out.applied += s.applied;
+                    out.gain += s.gain;
+                    out.recourse += s.recourse;
+                    out.augmentations += s.augmentations;
+                    out.rebuilds += s.rebuilds;
+                }
+                Err(e) => {
+                    return Err(BatchError {
+                        applied: offset + e.applied,
+                        source: e.source,
+                    })
+                }
+            }
+            offset += chunk.len();
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::DynamicMatcher;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn churn_ops(n: Vertex, count: usize, seed: u64) -> Vec<UpdateOp> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut live: Vec<(Vertex, Vertex)> = Vec::new();
+        let mut ops = Vec::new();
+        for _ in 0..count {
+            let do_delete = !live.is_empty() && rng.gen_range(0..3) == 0;
+            if do_delete {
+                let i = rng.gen_range(0..live.len());
+                let (u, v) = live.swap_remove(i);
+                ops.push(UpdateOp::delete(u, v));
+            } else {
+                let u = rng.gen_range(0..n);
+                let mut v = rng.gen_range(0..n);
+                if v == u {
+                    v = (v + 1) % n;
+                }
+                ops.push(UpdateOp::insert(u, v, rng.gen_range(1..40u64)));
+                live.push((u, v));
+            }
+        }
+        ops
+    }
+
+    fn assert_matches_sequential(
+        cfg: DynamicConfig,
+        ops: &[UpdateOp],
+        shards: usize,
+        batch: usize,
+    ) {
+        let mut seq = DynamicMatcher::new(24, cfg);
+        let mut sh = ShardedMatcher::new(24, cfg, shards).with_batch_size(batch);
+        let seq_stats = seq.apply_all(ops).unwrap();
+        let sh_stats = sh.apply_all(ops).unwrap();
+        assert_eq!(
+            seq.matching().to_edges(),
+            sh.matching().to_edges(),
+            "shards={shards} batch={batch}"
+        );
+        assert_eq!(
+            seq.counters(),
+            sh.counters(),
+            "shards={shards} batch={batch}"
+        );
+        assert_eq!(seq_stats, sh_stats, "shards={shards} batch={batch}");
+    }
+
+    #[test]
+    fn sharded_is_bit_identical_to_sequential() {
+        let ops = churn_ops(24, 300, 0xdead);
+        for &shards in &[1usize, 2, 3, 8] {
+            for &batch in &[1usize, 7, 64, 1000] {
+                assert_matches_sequential(DynamicConfig::default(), &ops, shards, batch);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_matches_sequential_with_rebuild_epochs() {
+        let ops = churn_ops(24, 200, 0xbeef);
+        let cfg = DynamicConfig::default()
+            .with_rebuild_threshold(32)
+            .with_seed(7);
+        for &shards in &[2usize, 4] {
+            assert_matches_sequential(cfg, &ops, shards, 50);
+        }
+    }
+
+    #[test]
+    fn sharded_matches_sequential_across_threads() {
+        let ops = churn_ops(24, 150, 0xfeed);
+        for &threads in &[1usize, 4, 0] {
+            let cfg = DynamicConfig::default().with_threads(threads);
+            assert_matches_sequential(cfg, &ops, 4, 32);
+        }
+    }
+
+    #[test]
+    fn boundary_heavy_churn_stays_identical() {
+        // every edge crosses the 2-shard boundary of a 24-vertex range:
+        // ownership stays with the low endpoint's shard, and commits on
+        // one side keep invalidating the other side's reads
+        let mut rng = StdRng::seed_from_u64(0x0b0b);
+        let mut ops = Vec::new();
+        let mut live = Vec::new();
+        for _ in 0..200 {
+            if !live.is_empty() && rng.gen_range(0..3) == 0 {
+                let i = rng.gen_range(0..live.len());
+                let (u, v): (Vertex, Vertex) = live.swap_remove(i);
+                ops.push(UpdateOp::delete(u, v));
+            } else {
+                let u = rng.gen_range(0..12u32);
+                let v = rng.gen_range(12..24u32);
+                ops.push(UpdateOp::insert(u, v, rng.gen_range(1..30u64)));
+                live.push((u, v));
+            }
+        }
+        assert_matches_sequential(DynamicConfig::default(), &ops, 2, 40);
+        assert_matches_sequential(DynamicConfig::default(), &ops, 8, 40);
+    }
+
+    #[test]
+    fn parallel_edge_churn_stays_identical() {
+        // hammer a handful of pairs with parallel copies and interleaved
+        // deletes: LIFO copy selection must agree between speculation and
+        // sequential replay
+        let mut rng = StdRng::seed_from_u64(0x9a9a);
+        let pairs = [(0u32, 13u32), (5, 18), (11, 12), (2, 3)];
+        let mut ops = Vec::new();
+        let mut counts = [0usize; 4];
+        for _ in 0..250 {
+            let p = rng.gen_range(0..pairs.len());
+            let (u, v) = pairs[p];
+            if counts[p] > 0 && rng.gen_range(0..2) == 0 {
+                ops.push(UpdateOp::delete(u, v));
+                counts[p] -= 1;
+            } else {
+                ops.push(UpdateOp::insert(u, v, rng.gen_range(1..50u64)));
+                counts[p] += 1;
+            }
+        }
+        assert_matches_sequential(DynamicConfig::default(), &ops, 2, 32);
+        assert_matches_sequential(DynamicConfig::default(), &ops, 8, 32);
+    }
+
+    #[test]
+    fn batch_error_reports_applied_count() {
+        let cfg = DynamicConfig::default();
+        let mut eng = ShardedMatcher::new(8, cfg, 2).with_batch_size(3);
+        let ops = [
+            UpdateOp::insert(0, 1, 5),
+            UpdateOp::insert(2, 3, 4),
+            UpdateOp::insert(4, 5, 3),
+            UpdateOp::insert(6, 7, 2),
+            UpdateOp::delete(0, 7), // never inserted
+            UpdateOp::insert(1, 2, 9),
+        ];
+        let err = eng.apply_all(&ops).unwrap_err();
+        assert_eq!(err.applied, 4, "four updates committed before the bad op");
+        assert!(matches!(err.source, DynamicError::EdgeNotFound { .. }));
+        assert_eq!(eng.counters().updates_applied, 4);
+        assert_eq!(eng.matching().weight(), 14);
+        let msg = err.to_string();
+        assert!(msg.contains("4 updates applied"), "{msg}");
+    }
+
+    #[test]
+    fn disjoint_shard_traffic_replays() {
+        // ops confined to distinct shard-local vertex ranges never
+        // conflict: everything should commit by replay
+        let mut eng = ShardedMatcher::new(24, DynamicConfig::default(), 4).with_batch_size(64);
+        let mut ops = Vec::new();
+        for s in 0..4u32 {
+            let base = s * 6;
+            ops.push(UpdateOp::insert(base, base + 1, 5));
+            ops.push(UpdateOp::insert(base + 2, base + 3, 7));
+            ops.push(UpdateOp::insert(base + 1, base + 2, 6));
+        }
+        let stats = eng.apply_all(&ops).unwrap();
+        assert_eq!(stats.applied, 12);
+        assert_eq!(eng.fallbacks(), 0, "no cross-shard conflicts to repair");
+        assert_eq!(eng.replayed(), 12);
+        let mut seq = DynamicMatcher::new(24, DynamicConfig::default());
+        seq.apply_all(&ops).unwrap();
+        assert_eq!(seq.matching().to_edges(), eng.matching().to_edges());
+    }
+
+    #[test]
+    fn from_graph_bootstraps_like_sequential() {
+        let mut g = Graph::new(8);
+        g.add_edge(0, 1, 4);
+        g.add_edge(1, 2, 6);
+        g.add_edge(2, 3, 4);
+        g.add_edge(5, 6, 9);
+        let sh = ShardedMatcher::from_graph(&g, DynamicConfig::default(), 3).unwrap();
+        let seq = DynamicMatcher::from_graph(&g, DynamicConfig::default()).unwrap();
+        assert_eq!(sh.matching().to_edges(), seq.matching().to_edges());
+        assert_eq!(sh.shard_count(), 3);
+    }
+}

@@ -15,7 +15,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use wmatch_dynamic::{DynamicConfig, DynamicMatcher, RecomputeBaseline, UpdateOp};
+use wmatch_dynamic::{DynamicConfig, DynamicMatcher, RecomputeBaseline, ShardedMatcher, UpdateOp};
 use wmatch_graph::aug_search::best_augmentation;
 use wmatch_graph::exact::max_weight_matching;
 use wmatch_graph::Vertex;
@@ -288,4 +288,95 @@ proptest! {
             prop_assert_eq!(want.1, got.1, "threads = {}", threads);
         }
     }
+
+    /// The sharded engine against the sequential reference: for every
+    /// random sequence, shard counts {1, 2, 8} × thread counts {1, 4, 0}
+    /// produce bit-identical matchings, counters, and batch stats — and
+    /// the committed matching holds the oracle floor.
+    #[test]
+    fn sharded_bit_identical_to_sequential_and_holds_floor(
+        (n, raw) in arb_update_plan(12, 60),
+        seed in 0u64..20,
+    ) {
+        let ops = interpret(n, &raw);
+        let cfg = DynamicConfig::default()
+            .with_rebuild_threshold(25)
+            .with_seed(seed);
+        let mut seq = DynamicMatcher::new(n, cfg);
+        let want_stats = seq.apply_all(&ops).expect("interpreted ops are well-formed");
+        for shards in [1usize, 2, 8] {
+            for threads in [1usize, 4, 0] {
+                let mut sh = ShardedMatcher::new(n, cfg.with_threads(threads), shards)
+                    .with_batch_size(16);
+                let got_stats = sh.apply_all(&ops).expect("same ops");
+                prop_assert_eq!(
+                    seq.matching().to_edges(),
+                    sh.matching().to_edges(),
+                    "shards = {}, threads = {}", shards, threads
+                );
+                prop_assert_eq!(
+                    seq.counters(),
+                    sh.counters(),
+                    "shards = {}, threads = {}", shards, threads
+                );
+                prop_assert_eq!(
+                    want_stats,
+                    got_stats,
+                    "shards = {}, threads = {}", shards, threads
+                );
+            }
+        }
+        let snap = seq.graph().snapshot();
+        let opt = max_weight_matching(&snap).weight();
+        prop_assert!(seq.matching().weight() * FLOOR_DEN >= FLOOR_NUM * opt);
+    }
+}
+
+/// Boundary-heavy churn at scale for the sharded engine: a longer
+/// deterministic stream where most edges cross shard boundaries, checked
+/// against the sequential engine with oracle-floor checkpoints.
+#[test]
+fn sharded_boundary_churn_matches_sequential_with_floor_checkpoints() {
+    const N: usize = 64;
+    const OPS: usize = 4_000;
+    let mut rng = StdRng::seed_from_u64(0x5AAD);
+    let mut live: Vec<(Vertex, Vertex)> = Vec::new();
+    let mut ops = Vec::with_capacity(OPS);
+    for _ in 0..OPS {
+        // bias endpoints toward the 8-shard boundaries of the range
+        if !live.is_empty() && rng.gen_range(0..3) == 0 {
+            let i = rng.gen_range(0..live.len());
+            let (u, v) = live.swap_remove(i);
+            ops.push(UpdateOp::delete(u, v));
+        } else {
+            let b = (rng.gen_range(1..8u32) * (N as u32 / 8)) % N as u32;
+            let u = (b + N as u32 - 1 - rng.gen_range(0..2u32)) % N as u32;
+            let mut v = (b + rng.gen_range(0..2u32)) % N as u32;
+            if v == u {
+                v = (v + 1) % N as u32;
+            }
+            ops.push(UpdateOp::insert(u, v, rng.gen_range(1..=1000)));
+            live.push((u, v));
+        }
+    }
+    let cfg = DynamicConfig::default()
+        .with_rebuild_threshold(1_000)
+        .with_seed(11);
+    let mut seq = DynamicMatcher::new(N, cfg);
+    let mut sh = ShardedMatcher::new(N, cfg, 8).with_batch_size(128);
+    for (step, chunk) in ops.chunks(500).enumerate() {
+        seq.apply_all(chunk).expect("well-formed");
+        sh.apply_all(chunk).expect("well-formed");
+        assert_eq!(
+            seq.matching().to_edges(),
+            sh.matching().to_edges(),
+            "chunk {step}"
+        );
+        assert_eq!(seq.counters(), sh.counters(), "chunk {step}");
+        assert_oracle_floor(&seq, &format!("boundary chunk {step}"));
+    }
+    assert!(
+        sh.replayed() > 0,
+        "some plans must commit by replay even under boundary pressure"
+    );
 }

@@ -89,6 +89,70 @@ impl AugSearcher {
         m: &Matching,
         max_len: usize,
     ) -> Option<Augmentation> {
+        self.search(g, m, max_len);
+        if self.best_gain > 0 {
+            let aug = Augmentation::from_component(m, &self.best_walk)
+                .expect("gated walks form valid alternating components");
+            debug_assert_eq!(aug.gain(), self.best_gain);
+            Some(aug)
+        } else {
+            None
+        }
+    }
+
+    /// Like [`AugSearcher::best_augmentation`], but decomposes the winning
+    /// component into caller-owned `added`/`removed` buffers instead of
+    /// materializing an [`Augmentation`] — the fully allocation-free
+    /// variant the dynamic repair path runs on. Returns the (strictly
+    /// positive) gain, or `None`; the buffers are cleared either way.
+    ///
+    /// The buffers hold exactly the sets
+    /// [`Augmentation::added`]/[`Augmentation::removed`] would: walk edges
+    /// outside the matching, and the matching neighbourhood of the
+    /// component (each matched edge once).
+    pub fn best_augmentation_into(
+        &mut self,
+        g: &Graph,
+        m: &Matching,
+        max_len: usize,
+        added: &mut Vec<Edge>,
+        removed: &mut Vec<Edge>,
+    ) -> Option<i128> {
+        added.clear();
+        removed.clear();
+        self.search(g, m, max_len);
+        if self.best_gain <= 0 {
+            return None;
+        }
+        // hash-free decomposition: `mark` dedups component vertices; a
+        // matched edge joins `removed` when its first endpoint is scanned
+        self.scratch.mark.clear();
+        for e in &self.best_walk {
+            if !m.contains(e) {
+                added.push(*e);
+            }
+            for x in [e.u, e.v] {
+                if self.scratch.mark.insert(x) {
+                    if let Some(me) = m.matched_edge(x) {
+                        if !self.scratch.mark.contains(me.other(x)) {
+                            removed.push(me);
+                        }
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(
+            added.iter().map(|e| e.weight as i128).sum::<i128>()
+                - removed.iter().map(|e| e.weight as i128).sum::<i128>(),
+            self.best_gain,
+            "decomposed parts must reproduce the walk's gain"
+        );
+        Some(self.best_gain)
+    }
+
+    /// Runs the exhaustive DFS, leaving the winner (if any) in
+    /// `best_walk`/`best_gain`.
+    fn search(&mut self, g: &Graph, m: &Matching, max_len: usize) {
         let n = g.vertex_count();
         self.scratch.begin(n);
         self.walk.clear();
@@ -106,14 +170,6 @@ impl AugSearcher {
             // every non-empty prefix
             let removed = m.incident_weight(start) as i128;
             self.dfs(g, g.csr(), m, start, start, None, max_len, 0, removed);
-        }
-        if self.best_gain > 0 {
-            let aug = Augmentation::from_component(m, &self.best_walk)
-                .expect("gated walks form valid alternating components");
-            debug_assert_eq!(aug.gain(), self.best_gain);
-            Some(aug)
-        } else {
-            None
         }
     }
 
@@ -355,6 +411,40 @@ mod tests {
         let opt = max_weight_matching(&g);
         assert_eq!(approximation_certificate(&g, &opt, 2), Some(0.5));
         assert_eq!(approximation_certificate(&g, &opt, 5), Some(0.8));
+    }
+
+    #[test]
+    fn into_variant_agrees_with_materialized_augmentation() {
+        let mut rng = StdRng::seed_from_u64(47);
+        let mut searcher = AugSearcher::new();
+        let mut added = Vec::new();
+        let mut removed = Vec::new();
+        for _ in 0..30 {
+            let g = generators::gnp(9, 0.4, WeightModel::Uniform { lo: 1, hi: 9 }, &mut rng);
+            let mut m = Matching::new(g.vertex_count());
+            for e in g.edges() {
+                let _ = m.insert(*e);
+            }
+            for max_len in [1usize, 3, 5] {
+                let gain =
+                    searcher.best_augmentation_into(&g, &m, max_len, &mut added, &mut removed);
+                match searcher.best_augmentation(&g, &m, max_len) {
+                    Some(aug) => {
+                        assert_eq!(gain, Some(aug.gain()));
+                        let mut a = added.clone();
+                        let mut r = removed.clone();
+                        let mut ea = aug.added().to_vec();
+                        let mut er = aug.removed().to_vec();
+                        for v in [&mut a, &mut r, &mut ea, &mut er] {
+                            v.sort_unstable_by_key(|e| (e.key(), e.weight));
+                        }
+                        assert_eq!(a, ea, "added sets agree");
+                        assert_eq!(r, er, "removed sets agree");
+                    }
+                    None => assert_eq!(gain, None),
+                }
+            }
+        }
     }
 
     #[test]

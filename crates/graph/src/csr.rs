@@ -83,7 +83,7 @@ pub fn bucket_stable(
 /// assert_eq!(csr.edge_ids(1), &[0, 1]);
 /// assert_eq!(csr.degree(0), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct CsrView {
     /// `offsets[v]..offsets[v + 1]` indexes `targets`/`edge_ids` for `v`.
     offsets: Vec<u32>,
@@ -93,7 +93,21 @@ pub struct CsrView {
     /// Edge index (into the graph's insertion-ordered edge list) per
     /// incidence.
     edge_ids: Vec<u32>,
+    /// Per-bucket write cursor of the last (re)build, kept so a recycled
+    /// view rebuilds without allocating.
+    cursor: Vec<u32>,
 }
+
+impl PartialEq for CsrView {
+    fn eq(&self, other: &Self) -> bool {
+        // the cursor is build-time scratch, not part of the view
+        self.offsets == other.offsets
+            && self.targets == other.targets
+            && self.edge_ids == other.edge_ids
+    }
+}
+
+impl Eq for CsrView {}
 
 impl CsrView {
     /// Builds the view from an edge list over `n` vertices with a counting
@@ -101,26 +115,51 @@ impl CsrView {
     /// per-vertex heap cells. Incidence `2i` is edge `i` seen from `u`,
     /// `2i + 1` from `v`, so per-bucket stability is insertion order.
     pub(crate) fn build(n: usize, edges: &[Edge]) -> Self {
-        let endpoint = |i: usize| {
-            let e = &edges[i / 2];
-            if i.is_multiple_of(2) {
-                e.u
-            } else {
-                e.v
-            }
+        let mut view = CsrView {
+            offsets: Vec::new(),
+            targets: Vec::new(),
+            edge_ids: Vec::new(),
+            cursor: Vec::new(),
         };
-        let (offsets, order) = bucket_stable(n, 2 * edges.len(), endpoint);
-        let mut targets = vec![0 as Vertex; order.len()];
-        let mut edge_ids = vec![0u32; order.len()];
-        for (slot, &i) in order.iter().enumerate() {
-            let e = &edges[i as usize / 2];
-            targets[slot] = e.other(endpoint(i as usize));
-            edge_ids[slot] = i / 2;
+        view.rebuild(n, edges);
+        view
+    }
+
+    /// Rebuilds the view in place, reusing the backing arrays — the
+    /// recycling path behind [`Graph::csr`](crate::Graph::csr): once the
+    /// buffers have grown to a graph's incidence count, invalidate +
+    /// rebuild cycles touch the allocator only to grow, never at steady
+    /// state. Produces exactly the arrays [`CsrView::build`] would.
+    pub(crate) fn rebuild(&mut self, n: usize, edges: &[Edge]) {
+        let len = 2 * edges.len();
+        assert!(
+            len <= u32::MAX as usize,
+            "item count exceeds the u32 index space"
+        );
+        self.offsets.clear();
+        self.offsets.resize(n + 1, 0);
+        for e in edges {
+            self.offsets[e.u as usize + 1] += 1;
+            self.offsets[e.v as usize + 1] += 1;
         }
-        CsrView {
-            offsets,
-            targets,
-            edge_ids,
+        for b in 0..n {
+            self.offsets[b + 1] += self.offsets[b];
+        }
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.offsets[..n]);
+        self.targets.clear();
+        self.targets.resize(len, 0);
+        self.edge_ids.clear();
+        self.edge_ids.resize(len, 0);
+        // scatter pass in incidence order (edge i from u, then from v):
+        // per-bucket stability is insertion order, as in `bucket_stable`
+        for (i, e) in edges.iter().enumerate() {
+            for (from, to) in [(e.u, e.v), (e.v, e.u)] {
+                let c = &mut self.cursor[from as usize];
+                self.targets[*c as usize] = to;
+                self.edge_ids[*c as usize] = i as u32;
+                *c += 1;
+            }
         }
     }
 

@@ -3,7 +3,7 @@
 use std::collections::HashSet;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 use crate::csr::CsrView;
 use crate::edge::{Edge, Vertex};
@@ -40,6 +40,12 @@ pub struct Graph {
     /// Flat adjacency, derived from `edges`: built on first query,
     /// dropped on mutation.
     csr: OnceLock<CsrView>,
+    /// The most recently invalidated CSR view, kept so the next build can
+    /// reuse its arrays instead of allocating (mutation-heavy reuse
+    /// cycles, e.g. the dynamic engine's repair sub-instances, stay
+    /// allocation-free at steady state). Behind a `Mutex` only because
+    /// [`Graph::csr`] recycles it from `&self`; the lock is uncontended.
+    csr_spare: Mutex<Option<CsrView>>,
     /// How many times the CSR view has been (re)built — real work the
     /// facade reports in its telemetry.
     csr_rebuilds: AtomicU64,
@@ -55,6 +61,7 @@ impl Clone for Graph {
             n: self.n,
             edges: self.edges.clone(),
             csr,
+            csr_spare: Mutex::new(None),
             csr_rebuilds: AtomicU64::new(self.csr_rebuilds.load(Ordering::Relaxed)),
         }
     }
@@ -76,6 +83,7 @@ impl Graph {
             n,
             edges: Vec::new(),
             csr: OnceLock::new(),
+            csr_spare: Mutex::new(None),
             csr_rebuilds: AtomicU64::new(0),
         }
     }
@@ -107,7 +115,7 @@ impl Graph {
         let e = Edge::new(u, v, weight);
         let idx = self.edges.len();
         self.edges.push(e);
-        self.csr.take();
+        self.invalidate_csr();
         idx
     }
 
@@ -116,7 +124,28 @@ impl Graph {
     /// the streaming and MPC local-graph builds).
     pub fn clear_edges(&mut self) {
         self.edges.clear();
-        self.csr.take();
+        self.invalidate_csr();
+    }
+
+    /// Repurposes this graph as an empty graph on `n` vertices, keeping
+    /// every backing allocation (edge list and recycled CSR arrays).
+    ///
+    /// This is the reuse primitive behind the dynamic engine's repair
+    /// sub-instances and rebuild snapshots: one persistent `Graph` is
+    /// reset and refilled per call, so the hot path never allocates once
+    /// the buffers have grown to their steady-state size.
+    pub fn reset(&mut self, n: usize) {
+        self.n = n;
+        self.edges.clear();
+        self.invalidate_csr();
+    }
+
+    /// Drops the cached CSR view into the spare slot for the next build
+    /// to recycle.
+    fn invalidate_csr(&mut self) {
+        if let Some(view) = self.csr.take() {
+            *self.csr_spare.get_mut().expect("csr spare lock poisoned") = Some(view);
+        }
     }
 
     /// The flat CSR adjacency view of this graph, built on first use and
@@ -129,7 +158,18 @@ impl Graph {
     pub fn csr(&self) -> &CsrView {
         self.csr.get_or_init(|| {
             self.csr_rebuilds.fetch_add(1, Ordering::Relaxed);
-            CsrView::build(self.n, &self.edges)
+            let spare = self
+                .csr_spare
+                .lock()
+                .expect("csr spare lock poisoned")
+                .take();
+            match spare {
+                Some(mut view) => {
+                    view.rebuild(self.n, &self.edges);
+                    view
+                }
+                None => CsrView::build(self.n, &self.edges),
+            }
         })
     }
 
@@ -363,6 +403,33 @@ mod tests {
         assert_eq!(g.edge_count(), 0);
         assert_eq!(g.degree(0), 0);
         assert_eq!(g.vertex_count(), 3);
+    }
+
+    #[test]
+    fn reset_reuses_buffers_and_recycled_csr_agrees() {
+        let mut g = triangle();
+        let fresh = {
+            let mut f = Graph::new(3);
+            f.add_edge(0, 1, 1);
+            f.add_edge(1, 2, 2);
+            f.add_edge(2, 0, 3);
+            f
+        };
+        assert_eq!(g.csr(), fresh.csr(), "first build");
+        // invalidate, then rebuild through the recycled spare view
+        g.add_edge(0, 1, 9);
+        let mut f2 = Graph::new(3);
+        for e in g.edges().to_vec() {
+            f2.add_edge(e.u, e.v, e.weight);
+        }
+        assert_eq!(g.csr(), f2.csr(), "recycled rebuild matches fresh build");
+        // reset repurposes the graph for a different vertex count
+        g.reset(2);
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.edge_count(), 0);
+        g.add_edge(0, 1, 7);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.neighbors(0).collect::<Vec<_>>(), vec![1]);
     }
 
     #[test]

@@ -166,6 +166,27 @@ impl Matching {
         }
     }
 
+    /// Empties the matching and re-sizes it to `n` vertices, keeping the
+    /// backing allocation — the reuse primitive behind the dynamic
+    /// engine's per-repair sub-matchings.
+    pub fn reset(&mut self, n: usize) {
+        self.mate_edge.clear();
+        self.mate_edge.resize(n, None);
+        self.len = 0;
+        self.weight = 0;
+    }
+
+    /// Overwrites this matching with a copy of `other`, reusing the
+    /// backing allocation (unlike `clone`, no fresh buffer is built —
+    /// the dynamic engine refreshes its pre-epoch snapshot this way at
+    /// steady state).
+    pub fn copy_from(&mut self, other: &Matching) {
+        self.mate_edge.clear();
+        self.mate_edge.extend_from_slice(&other.mate_edge);
+        self.len = other.len;
+        self.weight = other.weight;
+    }
+
     /// Iterator over matched edges (each edge reported once).
     pub fn iter(&self) -> impl Iterator<Item = Edge> + '_ {
         self.mate_edge.iter().enumerate().filter_map(|(v, me)| {
@@ -343,6 +364,24 @@ mod tests {
         // absent edge -> invalid
         let m3 = Matching::from_edges(3, [Edge::new(1, 2, 5)]).unwrap();
         assert!(m3.validate(Some(&g)).is_err());
+    }
+
+    #[test]
+    fn reset_and_copy_from_reuse_state() {
+        let mut m = Matching::new(4);
+        m.insert(Edge::new(0, 1, 5)).unwrap();
+        m.reset(2);
+        assert_eq!(m.vertex_count(), 2);
+        assert!(m.is_empty());
+        assert_eq!(m.weight(), 0);
+        m.insert(Edge::new(0, 1, 3)).unwrap();
+        m.validate(None).unwrap();
+
+        let mut src = Matching::new(3);
+        src.insert(Edge::new(1, 2, 9)).unwrap();
+        m.copy_from(&src);
+        assert_eq!(m, src);
+        m.validate(None).unwrap();
     }
 
     #[test]
