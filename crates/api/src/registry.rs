@@ -9,6 +9,7 @@ use crate::solvers::baselines::{GreedySolver, LocalRatioSolver, RandomOrderUnwei
 use crate::solvers::boxes::{MpcMcmSolver, StreamMcmSolver};
 use crate::solvers::dynamic::{DynamicRebuild, DynamicSharded, DynamicWgtAug};
 use crate::solvers::exact::{BlossomSolver, HopcroftKarpSolver, HungarianSolver};
+use crate::solvers::oracle::OracleLekm;
 use crate::solvers::paper::{MpcMainAlg, OfflineMainAlg, RandArrSolver, StreamingMainAlg};
 use crate::solvers::Solver;
 
@@ -29,6 +30,7 @@ pub fn registry() -> Vec<Box<dyn Solver>> {
         Box::new(LocalRatioSolver),
         Box::new(BlossomSolver),
         Box::new(HungarianSolver),
+        Box::new(OracleLekm),
         Box::new(HopcroftKarpSolver),
         Box::new(StreamMcmSolver),
         Box::new(MpcMcmSolver),

@@ -1,7 +1,7 @@
 //! The uniform result contract: every solver returns a [`SolveReport`]
 //! carrying the matching plus comparable telemetry.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use wmatch_graph::exact::{max_cardinality_matching, max_weight_matching};
 use wmatch_graph::{Graph, Matching};
@@ -50,6 +50,13 @@ impl Telemetry {
 
 /// An approximation certificate: the solver's objective value compared
 /// against the exact oracle for its objective.
+///
+/// On bipartite instances the optimum comes from the slack-array oracle
+/// (`wmatch-oracle`) and [`Certificate::duals`] carries the dual labels
+/// proving it — any consumer can re-check the claim with
+/// [`Certificate::verify`] without trusting the solver. On non-bipartite
+/// instances the blossom oracle supplies the optimum and `duals` is
+/// `None` (no compact certificate is extracted from blossom).
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub struct Certificate {
@@ -59,6 +66,79 @@ pub struct Certificate {
     pub optimum: i128,
     /// `value / optimum` (1.0 when the optimum is 0).
     pub ratio: f64,
+    /// Dual labels per vertex certifying `optimum` (bipartite instances
+    /// only): for [`Objective::Weight`], feasible Hungarian labels with
+    /// `Σ duals = optimum`; for [`Objective::Cardinality`], a König
+    /// vertex cover with `Σ duals = optimum`.
+    pub duals: Option<Vec<i128>>,
+}
+
+impl Certificate {
+    /// Independently re-checks this certificate against the graph and the
+    /// reported matching: the duals (when present) must be a feasible
+    /// dual solution summing to `optimum` — proving no matching can beat
+    /// `optimum` — and the matching's objective value must reproduce
+    /// `ratio`. This is the check the agreement suites run, and it
+    /// requires no access to any solver internals.
+    ///
+    /// # Errors
+    ///
+    /// The first violated condition, as a human-readable string.
+    pub fn verify(&self, g: &Graph, matching: &Matching) -> Result<(), String> {
+        if let Some(duals) = &self.duals {
+            if duals.len() != g.vertex_count() {
+                return Err(format!(
+                    "{} dual labels for {} vertices",
+                    duals.len(),
+                    g.vertex_count()
+                ));
+            }
+            if let Some(&y) = duals.iter().find(|&&y| y < 0) {
+                return Err(format!("negative dual label {y}"));
+            }
+            for e in g.edges() {
+                let sum = duals[e.u as usize] + duals[e.v as usize];
+                let demand = match self.objective {
+                    Objective::Weight => e.weight as i128,
+                    Objective::Cardinality => 1,
+                };
+                if sum < demand {
+                    return Err(format!(
+                        "edge {e} violates dual feasibility ({sum} < {demand})"
+                    ));
+                }
+            }
+            let total: i128 = duals.iter().sum();
+            if total != self.optimum {
+                return Err(format!(
+                    "dual objective {total} does not equal claimed optimum {}",
+                    self.optimum
+                ));
+            }
+        }
+        matching
+            .validate(Some(g))
+            .map_err(|e| format!("matching invalid: {e}"))?;
+        let value = objective_value(matching, self.objective);
+        if value > self.optimum {
+            return Err(format!(
+                "matching value {value} exceeds claimed optimum {}",
+                self.optimum
+            ));
+        }
+        let expect = if self.optimum == 0 {
+            1.0
+        } else {
+            value as f64 / self.optimum as f64
+        };
+        if (self.ratio - expect).abs() > 1e-12 {
+            return Err(format!(
+                "ratio {} does not reproduce value/optimum = {expect}",
+                self.ratio
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// The uniform output of every solver.
@@ -82,20 +162,44 @@ pub struct SolveReport {
 impl SolveReport {
     /// Assembles a report, computing the objective value and (when
     /// `certify` is set) the certificate against the exact oracle.
+    ///
+    /// On bipartite graphs the optimum comes from the `wmatch-oracle`
+    /// slack-array solver and the certificate carries its dual labels; on
+    /// non-bipartite graphs the dense blossom oracles are the fallback
+    /// (no duals). Either way the certification wall time is recorded in
+    /// the telemetry extras under `certify_ns`.
     pub(crate) fn assemble(
         solver: &'static str,
         matching: Matching,
         objective: Objective,
         graph: &Graph,
         certify: bool,
-        telemetry: Telemetry,
+        mut telemetry: Telemetry,
     ) -> Self {
         let value = objective_value(&matching, objective);
         let certificate = certify.then(|| {
-            let optimum = match objective {
-                Objective::Weight => max_weight_matching(graph).weight(),
-                Objective::Cardinality => max_cardinality_matching(graph).len() as i128,
+            let start = Instant::now();
+            let (optimum, duals) = match graph.bipartition() {
+                Some(side) => match objective {
+                    Objective::Weight => {
+                        let cert = wmatch_oracle::certify_max_weight(graph, &side)
+                            .expect("bipartition() output fits the oracle");
+                        (cert.optimum, Some(cert.labels))
+                    }
+                    Objective::Cardinality => {
+                        let cert = wmatch_oracle::certify_max_cardinality(graph, &side)
+                            .expect("bipartition() output fits the oracle");
+                        (cert.optimum, Some(cert.labels))
+                    }
+                },
+                None => match objective {
+                    Objective::Weight => (max_weight_matching(graph).weight(), None),
+                    Objective::Cardinality => (max_cardinality_matching(graph).len() as i128, None),
+                },
             };
+            telemetry
+                .extras
+                .push(("certify_ns", start.elapsed().as_nanos().to_string()));
             let ratio = if optimum == 0 {
                 1.0
             } else {
@@ -105,6 +209,7 @@ impl SolveReport {
                 objective,
                 optimum,
                 ratio,
+                duals,
             }
         });
         SolveReport {

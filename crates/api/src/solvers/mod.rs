@@ -15,6 +15,7 @@ pub mod baselines;
 pub mod boxes;
 pub mod dynamic;
 pub mod exact;
+pub mod oracle;
 pub mod paper;
 
 /// The unified solver contract.

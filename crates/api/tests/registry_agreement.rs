@@ -90,6 +90,7 @@ fn registry_exposes_at_least_eight_uniquely_named_solvers() {
         "local-ratio",
         "blossom",
         "hungarian",
+        "oracle-lekm",
     ] {
         assert!(
             names.contains(&required),
@@ -137,6 +138,19 @@ fn every_solver_agrees_with_the_blossom_oracle_on_every_family() {
                 cert.ratio <= 1.0 + 1e-9,
                 "{label}: ratio {} exceeds the optimum",
                 cert.ratio
+            );
+            // independent re-check of the certificate itself; bipartite
+            // families must come with the oracle's dual labels attached
+            cert.verify(&g, &report.matching)
+                .unwrap_or_else(|e| panic!("{label}: certificate fails verification: {e}"));
+            assert_eq!(
+                cert.duals.is_some(),
+                g.bipartition().is_some(),
+                "{label}: dual labels present iff the family is bipartite"
+            );
+            assert!(
+                report.telemetry.extra("certify_ns").is_some(),
+                "{label}: certification time missing from telemetry"
             );
 
             // (c) telemetry is internally consistent
@@ -194,7 +208,12 @@ fn exact_solvers_agree_with_each_other() {
         }
         let blossom = solver("blossom").unwrap().solve(&inst, &req).unwrap();
         let hungarian = solver("hungarian").unwrap().solve(&inst, &req).unwrap();
+        let oracle = solver("oracle-lekm").unwrap().solve(&inst, &req).unwrap();
         assert_eq!(blossom.value, hungarian.value, "{family}: oracle mismatch");
+        assert_eq!(
+            blossom.value, oracle.value,
+            "{family}: slack oracle mismatch"
+        );
     }
 }
 

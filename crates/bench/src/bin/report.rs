@@ -48,6 +48,10 @@ fn main() {
         // dynamic writes BENCH_dynamic.json (update-stream engine vs the
         // recompute-from-scratch baseline on the E11 workload families)
         ("dynamic", wmatch_bench::dynamic::run),
+        // oracle writes BENCH_oracle.json (slack-array Hungarian vs the
+        // dense oracles, cold vs warm; WMATCH_ORACLE_GUARD=1 enables the
+        // warm-not-slower-than-cold CI guard)
+        ("oracle", wmatch_bench::oracle::run),
     ];
 
     println!("# wmatch experiment report\n");

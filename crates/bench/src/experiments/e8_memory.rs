@@ -174,6 +174,7 @@ pub fn run(quick: bool) -> String {
         "recourse/op",
         "augmentations",
         "updates/s",
+        "certify ns",
     ]);
     let dyn_sizes: &[(usize, usize)] = if quick {
         &[(32, 400), (64, 800)]
@@ -183,7 +184,12 @@ pub fn run(quick: bool) -> String {
     for &(n, ops) in dyn_sizes {
         let w = crate::families::DynamicFamily::HeavyChurn.build(n, ops, 8);
         let inst = Instance::dynamic(w.initial, w.ops.clone());
-        let res = solve("dynamic-wgtaug", &inst, &SolveRequest::new()).expect("dynamic engine");
+        let res = solve(
+            "dynamic-wgtaug",
+            &inst,
+            &SolveRequest::new().with_certify(true),
+        )
+        .expect("dynamic engine");
         let applied = res.telemetry.extra("updates_applied").expect("telemetry");
         let recourse: u64 = res
             .telemetry
@@ -196,6 +202,7 @@ pub fn run(quick: bool) -> String {
             .extra("augmentations_applied")
             .expect("telemetry");
         let ups = res.telemetry.extra("updates_per_sec").expect("telemetry");
+        let certify_ns = res.telemetry.extra("certify_ns").expect("telemetry");
         t3.row(vec![
             n.to_string(),
             w.ops.len().to_string(),
@@ -204,6 +211,7 @@ pub fn run(quick: bool) -> String {
             format!("{:.3}", recourse as f64 / w.ops.len() as f64),
             augs.to_string(),
             ups.to_string(),
+            certify_ns.to_string(),
         ]);
     }
     out.push_str(&t3.to_markdown());

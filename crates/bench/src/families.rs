@@ -294,6 +294,45 @@ pub fn marketplace(n: usize, ops: usize, seed: u64) -> DynamicWorkload {
     }
 }
 
+/// The bipartite marketplace workload: the same hotspot-skewed
+/// sliding-window churn as [`marketplace`], restricted to listings-vs-
+/// buyers form — every edge crosses from the left half `0..n/2` (hot,
+/// power-law-skewed) to the right half `n/2..n` — so the live graph is
+/// bipartite at every prefix and the exact-certification suites
+/// (`report -- oracle`, the `IncrementalCertifier` checkpoints of
+/// `wmatch-dynamic`) can ride it. Returns the workload plus the side
+/// labels (`false` = left). Deterministic in `(n, ops, seed)`.
+pub fn marketplace_bipartite(n: usize, ops: usize, seed: u64) -> (DynamicWorkload, Vec<bool>) {
+    let n = n.max(4);
+    let half = (n / 2) as Vertex;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xb1_7a57e);
+    let window = (n / 2).max(8);
+    let mut live: std::collections::VecDeque<(Vertex, Vertex)> =
+        std::collections::VecDeque::with_capacity(window + 1);
+    let mut out = Vec::with_capacity(ops);
+    while out.len() < ops {
+        // hot left side: power-law skew concentrates listings on low ids
+        let r: f64 = rng.gen();
+        let u = (r.powf(1.5) * half as f64) as Vertex;
+        let v = half + rng.gen_range(0..half);
+        out.push(UpdateOp::insert(u, v, rng.gen_range(1..=1_000)));
+        live.push_back((u, v));
+        if live.len() > window && out.len() < ops {
+            let (du, dv) = live.pop_front().expect("window is non-empty");
+            out.push(UpdateOp::delete(du, dv));
+        }
+    }
+    let side = (0..n).map(|v| v >= n / 2).collect();
+    (
+        DynamicWorkload {
+            n,
+            initial: Graph::new(n),
+            ops: out,
+        },
+        side,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -381,6 +420,23 @@ mod tests {
             hot * 5 > inserts * 2,
             "skew lost: {hot}/{inserts} inserts touch the hot third"
         );
+    }
+
+    #[test]
+    fn marketplace_bipartite_stays_bipartite_and_deterministic() {
+        let (w, side) = marketplace_bipartite(64, 800, 9);
+        assert!(w.ops.len() >= 800);
+        assert_well_formed(&w);
+        assert!(w.ops.iter().any(|o| !o.is_insert()), "no expirations");
+        assert_eq!(side.len(), 64);
+        for op in &w.ops {
+            let (u, v) = op.endpoints();
+            assert!(
+                side[u as usize] != side[v as usize],
+                "{op} does not cross the bipartition"
+            );
+        }
+        assert_eq!(w.ops, marketplace_bipartite(64, 800, 9).0.ops);
     }
 
     #[test]

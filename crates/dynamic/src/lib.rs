@@ -48,6 +48,7 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod certifier;
 pub mod dyngraph;
 pub mod engine;
 pub mod error;
@@ -55,6 +56,7 @@ mod repair;
 pub mod sharded;
 pub mod update;
 
+pub use certifier::CheckpointCertificate;
 pub use dyngraph::DynGraph;
 pub use engine::{
     static_bounded_matching, BatchError, BatchStats, DynamicConfig, DynamicCounters,

@@ -19,6 +19,7 @@ use wmatch_dynamic::{DynamicConfig, DynamicMatcher, RecomputeBaseline, ShardedMa
 use wmatch_graph::aug_search::best_augmentation;
 use wmatch_graph::exact::max_weight_matching;
 use wmatch_graph::Vertex;
+use wmatch_oracle::{certify_max_weight, IncrementalCertifier};
 
 /// The floor the default configuration certifies (Fact 1.3 at
 /// `max_len = 3`, i.e. ℓ = 2).
@@ -75,7 +76,7 @@ fn churn_op(rng: &mut StdRng, n: usize, live: &mut Vec<(Vertex, Vertex)>) -> Upd
 fn hundred_thousand_op_churn_holds_floor_at_checkpoints() {
     const N: usize = 96;
     const OPS: usize = 100_000;
-    const CHECKPOINT: usize = 5_000;
+    const CHECKPOINT: usize = 1_000;
     let mut rng = StdRng::seed_from_u64(0xA11CE);
     let cfg = DynamicConfig::default()
         .with_rebuild_threshold(20_000)
@@ -98,6 +99,74 @@ fn hundred_thousand_op_churn_holds_floor_at_checkpoints() {
         counters.recourse_total < (3 * OPS) as u64,
         "recourse {} is not O(1) per update",
         counters.recourse_total
+    );
+}
+
+/// A deterministic bipartite churn step (left 0..n/2, right n/2..n) with
+/// the same density governor as [`churn_op`].
+fn bipartite_churn_op(rng: &mut StdRng, n: usize, live: &mut Vec<(Vertex, Vertex)>) -> UpdateOp {
+    let half = (n / 2) as Vertex;
+    let cap = 5 * n / 2;
+    let delete = !live.is_empty()
+        && (live.len() >= cap || (live.len() > cap / 2 && rng.gen_range(0..2) == 0));
+    if delete {
+        let i = rng.gen_range(0..live.len());
+        let (u, v) = live.swap_remove(i);
+        UpdateOp::delete(u, v)
+    } else {
+        let u = rng.gen_range(0..half);
+        let v = half + rng.gen_range(0..half);
+        live.push((u, v));
+        UpdateOp::insert(u, v, rng.gen_range(1..=1000))
+    }
+}
+
+/// The tightened-cadence bipartite counterpart of the churn acceptance
+/// check: every 1k ops the engine is re-certified through the
+/// [`IncrementalCertifier`] (warm dual repair from the previous
+/// checkpoint's optimum), the warm optimum is cross-checked against a
+/// cold solve of the same snapshot, and the maintained matching holds the
+/// ½ floor against the certified optimum.
+#[test]
+fn bipartite_churn_certifies_warm_at_every_thousand_ops() {
+    const N: usize = 96;
+    const OPS: usize = 20_000;
+    const CHECKPOINT: usize = 1_000;
+    let mut rng = StdRng::seed_from_u64(0xB1BA);
+    let cfg = DynamicConfig::default()
+        .with_rebuild_threshold(5_000)
+        .with_seed(13);
+    let mut eng = DynamicMatcher::new(N, cfg);
+    let side: Vec<bool> = (0..N).map(|v| v >= N / 2).collect();
+    let mut cert = IncrementalCertifier::new(side.clone());
+    let mut live = Vec::new();
+    for step in 1..=OPS {
+        let op = bipartite_churn_op(&mut rng, N, &mut live);
+        eng.apply(op).expect("generated ops are well-formed");
+        if step % CHECKPOINT == 0 {
+            let ck = eng
+                .certify_checkpoint(&mut cert)
+                .expect("churn stays bipartite");
+            let cold = certify_max_weight(&eng.graph().snapshot(), &side)
+                .expect("same snapshot, same bipartition");
+            assert_eq!(
+                ck.optimum, cold.optimum,
+                "step {step}: warm and cold optima disagree"
+            );
+            assert!(
+                ck.ratio >= 0.5 - 1e-9,
+                "step {step}: ratio {} below the ½ floor of {}",
+                ck.ratio,
+                ck.optimum
+            );
+        }
+    }
+    let stats = cert.stats();
+    assert_eq!(stats.checkpoints, (OPS / CHECKPOINT) as u64);
+    assert_eq!(
+        stats.warm_checkpoints,
+        (OPS / CHECKPOINT - 1) as u64,
+        "every checkpoint after the first must warm-start"
     );
 }
 

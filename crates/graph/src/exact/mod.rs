@@ -10,6 +10,14 @@
 //!
 //! Every solver is cross-validated against the others (and against
 //! `petgraph` for cardinality) in the test suites.
+//!
+//! These dense oracles cap certifiable sizes at toys; for bipartite
+//! instances at engine scale the `wmatch-oracle` crate provides the
+//! slack-array Hungarian (warm-startable, with dual-feasibility
+//! certificates) and the Gabow-style unit-weight route to cardinality
+//! certificates. The facade's certify path prefers it on bipartite
+//! inputs, and the agreement suites cross-validate it against every
+//! solver below.
 
 pub mod blossom;
 pub mod brute_force;

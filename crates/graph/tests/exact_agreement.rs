@@ -1,10 +1,11 @@
 //! Cross-validation of the exact solvers against each other.
 //!
-//! The four ground-truth oracles the workspace leans on — Hopcroft–Karp,
-//! Hungarian (successive shortest paths), the blossom algorithm, and
-//! exhaustive brute force — implement very different algorithms, so their
-//! agreement on the same instances is strong evidence for all of them.
-//! Everything here is deterministic: instances come from seeded generators.
+//! The ground-truth oracles the workspace leans on — Hopcroft–Karp,
+//! Hungarian (successive shortest paths), the blossom algorithm,
+//! exhaustive brute force, and the slack-array oracle of `wmatch-oracle` —
+//! implement very different algorithms, so their agreement on the same
+//! instances is strong evidence for all of them. Everything here is
+//! deterministic: instances come from seeded generators.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -38,8 +39,10 @@ fn bipartite_instances(
     })
 }
 
-/// Hungarian, the general weighted (Galil) solver, and brute force agree
-/// on maximum matching *weight* for weighted bipartite instances.
+/// Hungarian, the general weighted (Galil) solver, the slack-array
+/// oracle, and brute force agree on maximum matching *weight* for
+/// weighted bipartite instances — and the slack-array certificate passes
+/// its independent dual-feasibility check on every instance.
 #[test]
 fn weighted_solvers_agree_on_bipartite_instances() {
     let mut checked = 0;
@@ -47,6 +50,7 @@ fn weighted_solvers_agree_on_bipartite_instances() {
         let hungarian = max_weight_bipartite_matching(&g, &side);
         let general = max_weight_matching(&g);
         let brute = max_weight_matching_brute_force(&g);
+        let slack = wmatch_oracle::certify_max_weight(&g, &side).unwrap();
         assert_eq!(
             hungarian.weight(),
             brute.weight(),
@@ -57,23 +61,32 @@ fn weighted_solvers_agree_on_bipartite_instances() {
             brute.weight(),
             "general (Galil) vs brute force on {g}"
         );
+        assert_eq!(
+            slack.optimum,
+            brute.weight(),
+            "slack-array oracle vs brute force on {g}"
+        );
+        slack.verify(&g, &side).unwrap();
         hungarian.validate(Some(&g)).unwrap();
         general.validate(Some(&g)).unwrap();
         brute.validate(Some(&g)).unwrap();
+        slack.matching.validate(Some(&g)).unwrap();
         checked += 1;
     }
     assert_eq!(checked, 6 * 6 * 3 * 3, "instance family changed size");
 }
 
-/// Hopcroft–Karp, blossom, and brute force agree on maximum matching
-/// *cardinality* for unit-weight bipartite instances (where cardinality
-/// equals brute-force weight).
+/// Hopcroft–Karp, blossom, the Gabow-style unit-weight reduction, and
+/// brute force agree on maximum matching *cardinality* for unit-weight
+/// bipartite instances (where cardinality equals brute-force weight) —
+/// and the reduction's König cover certifies each optimum independently.
 #[test]
 fn cardinality_solvers_agree_on_bipartite_instances() {
     for (g, side) in bipartite_instances(WeightModel::Unit) {
         let hk = max_bipartite_cardinality_matching(&g, &side);
         let blossom = max_cardinality_matching(&g);
         let brute = max_weight_matching_brute_force(&g);
+        let gabow = wmatch_oracle::certify_max_cardinality(&g, &side).unwrap();
         assert_eq!(
             hk.len() as i128,
             brute.weight(),
@@ -84,6 +97,12 @@ fn cardinality_solvers_agree_on_bipartite_instances() {
             brute.weight(),
             "blossom vs brute force on {g}"
         );
+        assert_eq!(
+            gabow.optimum,
+            brute.weight(),
+            "gabow reduction vs brute force on {g}"
+        );
+        gabow.verify(&g).unwrap();
         hk.validate(Some(&g)).unwrap();
         blossom.validate(Some(&g)).unwrap();
     }

@@ -1,0 +1,355 @@
+//! The graph-facing adapter: certified maximum-weight matchings of
+//! bipartite [`wmatch_graph::Graph`]s in exact `i128` arithmetic.
+
+use wmatch_graph::{Graph, Matching, Vertex};
+
+use crate::error::OracleError;
+use crate::instance::BipartiteInstance;
+use crate::solver::{SlackOracle, SolveStats, WarmStart};
+
+/// A certified maximum-weight matching of a bipartite graph: the optimal
+/// matching plus the dual labels proving it optimal.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct Certified {
+    /// The optimal matching, in graph-vertex space.
+    pub matching: Matching,
+    /// Dual label per graph vertex (nonnegative, zero on unmatched
+    /// vertices; `Σ labels = optimum`).
+    pub labels: Vec<i128>,
+    /// The exact optimum `w(M*) = Σ labels`.
+    pub optimum: i128,
+    /// Work counters of the producing solve.
+    pub stats: SolveStats,
+}
+
+impl Certified {
+    /// Independently re-checks the certificate against `g`: nonnegative
+    /// labels, `y_u + y_v ≥ w` on every edge, a valid matching of tight
+    /// edges, zero labels on unmatched vertices, and
+    /// `w(M) = Σ labels = optimum`. `side` must be the bipartition the
+    /// certificate was produced under.
+    pub fn verify(&self, g: &Graph, side: &[bool]) -> Result<(), OracleError> {
+        let violation = |reason: String| OracleError::CertificateViolation { reason };
+        let n = g.vertex_count();
+        if self.labels.len() != n {
+            return Err(violation(format!(
+                "{} labels for {n} vertices",
+                self.labels.len()
+            )));
+        }
+        if side.len() != n {
+            return Err(OracleError::SideMismatch {
+                expected: n,
+                got: side.len(),
+            });
+        }
+        for (v, &y) in self.labels.iter().enumerate() {
+            if y < 0 {
+                return Err(violation(format!("negative label {y} at vertex {v}")));
+            }
+        }
+        for e in g.edges() {
+            if self.labels[e.u as usize] + self.labels[e.v as usize] < e.weight as i128 {
+                return Err(violation(format!("edge {e} violates dual feasibility")));
+            }
+        }
+        self.matching
+            .validate(Some(g))
+            .map_err(|e| violation(format!("matching invalid: {e}")))?;
+        for e in self.matching.iter() {
+            if side[e.u as usize] == side[e.v as usize] {
+                return Err(violation(format!("matched edge {e} does not cross sides")));
+            }
+            if self.labels[e.u as usize] + self.labels[e.v as usize] != e.weight as i128 {
+                return Err(violation(format!("matched edge {e} is not tight")));
+            }
+        }
+        let mut dual = 0i128;
+        for (v, &y) in self.labels.iter().enumerate() {
+            if !self.matching.is_matched(v as Vertex) && y != 0 {
+                return Err(violation(format!(
+                    "unmatched vertex {v} has nonzero label {y}"
+                )));
+            }
+            dual += y;
+        }
+        if self.matching.weight() != dual || dual != self.optimum {
+            return Err(violation(format!(
+                "complementary slackness fails: w(M) = {}, Σ labels = {dual}, optimum = {}",
+                self.matching.weight(),
+                self.optimum
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A reusable weighted certification oracle bound to one bipartition.
+///
+/// Holds the slack-array core plus the graph↔instance index maps, so
+/// repeated certifications of the same (evolving) graph allocate nothing
+/// beyond growth. [`WeightOracle::certify`] optionally warm-starts from a
+/// previous [`Certified`] via the dual-repair path.
+#[derive(Debug, Clone)]
+pub struct WeightOracle {
+    side: Vec<bool>,
+    lefts: Vec<Vertex>,
+    rights: Vec<Vertex>,
+    vpos: Vec<u32>,
+    core: SlackOracle<i128>,
+    // per-certify scratch
+    edges_buf: Vec<(u32, u32, i128, u32)>,
+    warm_ll: Vec<i128>,
+    warm_rl: Vec<i128>,
+    warm_pairs: Vec<(u32, u32)>,
+}
+
+impl WeightOracle {
+    /// Creates an oracle for graphs over `side.len()` vertices with the
+    /// given bipartition (`false` = left, matching the convention of
+    /// [`wmatch_graph::exact::max_bipartite_cardinality_matching`]).
+    pub fn new(side: Vec<bool>) -> Self {
+        let mut lefts = Vec::new();
+        let mut rights = Vec::new();
+        let mut vpos = vec![0u32; side.len()];
+        for (v, &s) in side.iter().enumerate() {
+            if s {
+                vpos[v] = rights.len() as u32;
+                rights.push(v as Vertex);
+            } else {
+                vpos[v] = lefts.len() as u32;
+                lefts.push(v as Vertex);
+            }
+        }
+        WeightOracle {
+            side,
+            lefts,
+            rights,
+            vpos,
+            core: SlackOracle::new(),
+            edges_buf: Vec::new(),
+            warm_ll: Vec::new(),
+            warm_rl: Vec::new(),
+            warm_pairs: Vec::new(),
+        }
+    }
+
+    /// The bipartition this oracle certifies under.
+    pub fn side(&self) -> &[bool] {
+        &self.side
+    }
+
+    /// Certifies the maximum-weight matching of `g`, optionally
+    /// warm-started from a previous certificate of an earlier version of
+    /// the graph (same vertex set; any edge churn). The returned
+    /// certificate has already passed the in-code complementary-slackness
+    /// check.
+    ///
+    /// # Errors
+    ///
+    /// [`OracleError::SideMismatch`] / [`OracleError::NotBipartite`] if
+    /// `g` does not fit the oracle's bipartition. A warm certificate of
+    /// mismatched size is ignored (cold solve) rather than an error.
+    pub fn certify(
+        &mut self,
+        g: &Graph,
+        warm: Option<&Certified>,
+    ) -> Result<Certified, OracleError> {
+        let n = g.vertex_count();
+        let inst = self.build_instance(g)?;
+
+        let start = match warm {
+            Some(prev) if prev.labels.len() == n => {
+                self.warm_ll.clear();
+                self.warm_ll
+                    .extend(self.lefts.iter().map(|&v| prev.labels[v as usize]));
+                self.warm_rl.clear();
+                self.warm_rl
+                    .extend(self.rights.iter().map(|&v| prev.labels[v as usize]));
+                self.warm_pairs.clear();
+                for e in prev.matching.iter() {
+                    let (l, r) = if self.side[e.u as usize] {
+                        (e.v, e.u)
+                    } else {
+                        (e.u, e.v)
+                    };
+                    self.warm_pairs
+                        .push((self.vpos[l as usize], self.vpos[r as usize]));
+                }
+                WarmStart::Duals {
+                    left_labels: &self.warm_ll,
+                    right_labels: &self.warm_rl,
+                    pairs: &self.warm_pairs,
+                }
+            }
+            _ => WarmStart::Cold,
+        };
+
+        let sol = self.core.solve(&inst, start);
+        Ok(self.extract(g, &sol))
+    }
+
+    /// Certifies the maximum-weight matching of `g`, seeding the solve
+    /// with an approximate matching as a primal hint (e.g. a facade
+    /// solver's `warm_start`). Unlike [`WeightOracle::certify`]'s dual
+    /// warm start, a hint carries no labels — the oracle adopts the given
+    /// pairs where they are tight under fresh duals.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`WeightOracle::certify`].
+    pub fn certify_hinted(&mut self, g: &Graph, hint: &Matching) -> Result<Certified, OracleError> {
+        let inst = self.build_instance(g)?;
+        self.warm_pairs.clear();
+        for e in hint.iter() {
+            let (l, r) = if self.side[e.u as usize] {
+                (e.v, e.u)
+            } else {
+                (e.u, e.v)
+            };
+            self.warm_pairs
+                .push((self.vpos[l as usize], self.vpos[r as usize]));
+        }
+        let sol = self.core.solve(&inst, WarmStart::Hint(&self.warm_pairs));
+        Ok(self.extract(g, &sol))
+    }
+
+    /// Validates `g` against the bipartition and lowers it into instance
+    /// space (tags = graph edge indices).
+    fn build_instance(&mut self, g: &Graph) -> Result<BipartiteInstance<i128>, OracleError> {
+        let n = g.vertex_count();
+        if self.side.len() != n {
+            return Err(OracleError::SideMismatch {
+                expected: n,
+                got: self.side.len(),
+            });
+        }
+        if !g
+            .respects_bipartition(&self.side)
+            .map_err(|_| OracleError::NotBipartite)?
+        {
+            return Err(OracleError::NotBipartite);
+        }
+
+        self.edges_buf.clear();
+        for (idx, e) in g.edges().iter().enumerate() {
+            let (l, r) = if self.side[e.u as usize] {
+                (e.v, e.u)
+            } else {
+                (e.u, e.v)
+            };
+            self.edges_buf.push((
+                self.vpos[l as usize],
+                self.vpos[r as usize],
+                e.weight as i128,
+                idx as u32,
+            ));
+        }
+        Ok(BipartiteInstance::with_tags(
+            self.lefts.len(),
+            self.rights.len(),
+            self.edges_buf.iter().copied(),
+        ))
+    }
+
+    /// Lifts an instance-space dual solution back into graph space.
+    fn extract(&self, g: &Graph, sol: &crate::solver::DualSolution<i128>) -> Certified {
+        let n = g.vertex_count();
+        let mut matching = Matching::new(n);
+        for &(_, _, tag) in &sol.pairs {
+            matching
+                .insert(*g.edges().get(tag as usize).expect("tag is an edge index"))
+                .expect("oracle pairs are vertex-disjoint");
+        }
+        let mut labels = vec![0i128; n];
+        for (i, &v) in self.lefts.iter().enumerate() {
+            labels[v as usize] = sol.left_labels[i];
+        }
+        for (j, &v) in self.rights.iter().enumerate() {
+            labels[v as usize] = sol.right_labels[j];
+        }
+        Certified {
+            matching,
+            labels,
+            optimum: sol.dual_objective,
+            stats: sol.stats,
+        }
+    }
+}
+
+/// One-shot certified maximum-weight matching of a bipartite graph
+/// (`side[v] = false` means left). See [`WeightOracle`] for the reusable /
+/// warm-startable form.
+///
+/// # Errors
+///
+/// [`OracleError::SideMismatch`] / [`OracleError::NotBipartite`] if `g`
+/// does not respect `side`.
+pub fn certify_max_weight(g: &Graph, side: &[bool]) -> Result<Certified, OracleError> {
+    WeightOracle::new(side.to_vec()).certify(g, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn side_lr(nl: usize, n: usize) -> Vec<bool> {
+        (0..n).map(|v| v >= nl).collect()
+    }
+
+    #[test]
+    fn certifies_a_small_instance() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 2, 5);
+        g.add_edge(0, 3, 9);
+        g.add_edge(1, 3, 8);
+        let cert = certify_max_weight(&g, &side_lr(2, 4)).unwrap();
+        assert_eq!(cert.optimum, 13);
+        cert.verify(&g, &side_lr(2, 4)).unwrap();
+    }
+
+    #[test]
+    fn rejects_non_bipartite_input() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1);
+        assert_eq!(
+            certify_max_weight(&g, &[false, false, true]).unwrap_err(),
+            OracleError::NotBipartite
+        );
+        assert!(matches!(
+            certify_max_weight(&g, &[false, true]).unwrap_err(),
+            OracleError::SideMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn warm_certify_matches_cold_after_churn() {
+        let mut g = Graph::new(6);
+        g.add_edge(0, 3, 5);
+        g.add_edge(1, 3, 7);
+        g.add_edge(1, 4, 2);
+        g.add_edge(2, 5, 9);
+        let side = side_lr(3, 6);
+        let mut oracle = WeightOracle::new(side.clone());
+        let first = oracle.certify(&g, None).unwrap();
+
+        g.add_edge(0, 4, 6);
+        g.add_edge(2, 4, 1);
+        let warm = oracle.certify(&g, Some(&first)).unwrap();
+        let cold = oracle.certify(&g, None).unwrap();
+        assert_eq!(warm.optimum, cold.optimum);
+        warm.verify(&g, &side).unwrap();
+    }
+
+    #[test]
+    fn verify_catches_label_tampering() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1, 4);
+        let side = vec![false, true];
+        let mut cert = certify_max_weight(&g, &side).unwrap();
+        cert.verify(&g, &side).unwrap();
+        cert.labels[0] += 1;
+        assert!(cert.verify(&g, &side).is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! Typed errors of the certification subsystem.
+
+use std::fmt;
+
+/// Why a certification request could not be served or verified.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OracleError {
+    /// The side array does not cover the graph's vertices.
+    SideMismatch {
+        /// Vertices in the graph.
+        expected: usize,
+        /// Length of the provided side array.
+        got: usize,
+    },
+    /// Some edge does not cross the given bipartition (or the graph has no
+    /// bipartition at all).
+    NotBipartite,
+    /// An independent certificate check failed; the reason names the first
+    /// violated condition.
+    CertificateViolation {
+        /// The first violated condition.
+        reason: String,
+    },
+}
+
+impl fmt::Display for OracleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleError::SideMismatch { expected, got } => {
+                write!(f, "side array covers {got} vertices, graph has {expected}")
+            }
+            OracleError::NotBipartite => {
+                write!(f, "graph is not bipartite under the given sides")
+            }
+            OracleError::CertificateViolation { reason } => {
+                write!(f, "certificate check failed: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}

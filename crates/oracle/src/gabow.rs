@@ -1,0 +1,208 @@
+//! Gabow's weighted route to maximum **cardinality** matching
+//! (arXiv 1703.03998): solve MCM as unit-weight MWM through the same
+//! slack-array core, and read the integral duals back as a König vertex
+//! cover certifying optimality.
+//!
+//! On a unit-weight instance the slack-array Hungarian keeps every label
+//! in `{0, 1}` (left labels start at 1 and only descend to 0, right
+//! labels start at 0 and a raise re-tightens a matched unit edge at 1),
+//! so the final duals are the indicator vector of a vertex cover with
+//! `|cover| = Σ labels = |M|` — König's theorem as a byproduct of
+//! complementary slackness. This is the verification path the MCM oracles
+//! (Hopcroft–Karp offline, the streaming/MPC `Unw-Bip-Matching` boxes)
+//! are cross-validated through: a matching and a cover of equal size
+//! certify each other.
+
+use wmatch_graph::{Graph, Matching, Vertex};
+
+use crate::error::OracleError;
+use crate::instance::BipartiteInstance;
+use crate::solver::{SlackOracle, SolveStats, WarmStart};
+
+/// A certified maximum-cardinality matching: the matching plus a vertex
+/// cover of the same size (König's certificate).
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct CardinalityCertified {
+    /// A maximum-cardinality matching.
+    pub matching: Matching,
+    /// Per-vertex cover indicators in `{0, 1}` (the unit-weight duals).
+    pub labels: Vec<i128>,
+    /// `|M*| = Σ labels`.
+    pub optimum: i128,
+    /// Work counters of the producing solve.
+    pub stats: SolveStats,
+}
+
+impl CardinalityCertified {
+    /// The König vertex cover (vertices with label 1).
+    pub fn cover(&self) -> Vec<Vertex> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|&(_, &y)| y > 0)
+            .map(|(v, _)| v as Vertex)
+            .collect()
+    }
+
+    /// Independently re-checks the certificate: the labels form a
+    /// (fractional, here integral) vertex cover — every edge has label
+    /// sum ≥ 1 — the matching is valid, and `|M| = Σ labels`, which by LP
+    /// duality proves `M` maximum.
+    pub fn verify(&self, g: &Graph) -> Result<(), OracleError> {
+        let violation = |reason: String| OracleError::CertificateViolation { reason };
+        if self.labels.len() != g.vertex_count() {
+            return Err(violation(format!(
+                "{} labels for {} vertices",
+                self.labels.len(),
+                g.vertex_count()
+            )));
+        }
+        if let Some(&y) = self.labels.iter().find(|&&y| y < 0) {
+            return Err(violation(format!("negative cover label {y}")));
+        }
+        for e in g.edges() {
+            if self.labels[e.u as usize] + self.labels[e.v as usize] < 1 {
+                return Err(violation(format!("edge {e} is not covered")));
+            }
+        }
+        self.matching
+            .validate(Some(g))
+            .map_err(|e| violation(format!("matching invalid: {e}")))?;
+        let cover_size: i128 = self.labels.iter().sum();
+        if self.matching.len() as i128 != cover_size || cover_size != self.optimum {
+            return Err(violation(format!(
+                "König equality fails: |M| = {}, Σ labels = {cover_size}, optimum = {}",
+                self.matching.len(),
+                self.optimum
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Certified maximum-cardinality matching of a bipartite graph
+/// (`side[v] = false` means left), via the unit-weight reduction through
+/// the slack-array core.
+///
+/// # Errors
+///
+/// [`OracleError::SideMismatch`] / [`OracleError::NotBipartite`] if `g`
+/// does not respect `side`.
+pub fn certify_max_cardinality(
+    g: &Graph,
+    side: &[bool],
+) -> Result<CardinalityCertified, OracleError> {
+    let n = g.vertex_count();
+    if side.len() != n {
+        return Err(OracleError::SideMismatch {
+            expected: n,
+            got: side.len(),
+        });
+    }
+    if !g
+        .respects_bipartition(side)
+        .map_err(|_| OracleError::NotBipartite)?
+    {
+        return Err(OracleError::NotBipartite);
+    }
+
+    let mut lefts: Vec<Vertex> = Vec::new();
+    let mut rights: Vec<Vertex> = Vec::new();
+    let mut vpos = vec![0u32; n];
+    for (v, &s) in side.iter().enumerate() {
+        if s {
+            vpos[v] = rights.len() as u32;
+            rights.push(v as Vertex);
+        } else {
+            vpos[v] = lefts.len() as u32;
+            lefts.push(v as Vertex);
+        }
+    }
+    let inst: BipartiteInstance<i128> = BipartiteInstance::with_tags(
+        lefts.len(),
+        rights.len(),
+        g.edges().iter().enumerate().map(|(idx, e)| {
+            let (l, r) = if side[e.u as usize] {
+                (e.v, e.u)
+            } else {
+                (e.u, e.v)
+            };
+            (vpos[l as usize], vpos[r as usize], 1i128, idx as u32)
+        }),
+    );
+    let sol = SlackOracle::new().solve(&inst, WarmStart::Cold);
+
+    let mut matching = Matching::new(n);
+    for &(_, _, tag) in &sol.pairs {
+        matching
+            .insert(g.edges()[tag as usize])
+            .expect("oracle pairs are vertex-disjoint");
+    }
+    let mut labels = vec![0i128; n];
+    for (i, &v) in lefts.iter().enumerate() {
+        labels[v as usize] = sol.left_labels[i];
+    }
+    for (j, &v) in rights.iter().enumerate() {
+        labels[v as usize] = sol.right_labels[j];
+    }
+    let cert = CardinalityCertified {
+        matching,
+        labels,
+        optimum: sol.dual_objective,
+        stats: sol.stats,
+    };
+    cert.verify(g)
+        .expect("unit-weight duals certify König equality");
+    Ok(cert)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmatch_graph::exact::max_bipartite_cardinality_matching;
+
+    fn side_lr(nl: usize, n: usize) -> Vec<bool> {
+        (0..n).map(|v| v >= nl).collect()
+    }
+
+    #[test]
+    fn hall_violator_bounds_cover() {
+        // three lefts all adjacent only to right 3: |M*| = 1, cover {3}
+        let mut g = Graph::new(4);
+        for u in 0..3u32 {
+            g.add_edge(u, 3, 1);
+        }
+        let cert = certify_max_cardinality(&g, &side_lr(3, 4)).unwrap();
+        assert_eq!(cert.optimum, 1);
+        assert_eq!(cert.cover(), vec![3]);
+    }
+
+    #[test]
+    fn agrees_with_hopcroft_karp() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use wmatch_graph::generators::{self, WeightModel};
+
+        let mut rng = StdRng::seed_from_u64(0x6761626f77);
+        for trial in 0..25 {
+            let nl = 2 + trial % 6;
+            let nr = 2 + trial % 5;
+            let (g, side) = generators::random_bipartite(nl, nr, 0.4, WeightModel::Unit, &mut rng);
+            let hk = max_bipartite_cardinality_matching(&g, &side);
+            let cert = certify_max_cardinality(&g, &side).unwrap();
+            assert_eq!(cert.matching.len(), hk.len(), "trial {trial}");
+            cert.verify(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn weights_are_ignored_by_the_reduction() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 2, 1_000);
+        g.add_edge(1, 2, 1);
+        g.add_edge(1, 3, 1);
+        let cert = certify_max_cardinality(&g, &side_lr(2, 4)).unwrap();
+        assert_eq!(cert.optimum, 2);
+    }
+}

@@ -1,0 +1,197 @@
+//! Incremental re-certification along an update stream.
+//!
+//! A dynamic engine ([`DynamicMatcher`] / `ShardedMatcher` in
+//! `wmatch-dynamic`) maintains an *approximate* matching under edge
+//! churn; the repo's quality claims are checked by comparing it against
+//! the exact optimum at checkpoints. Re-solving cold at every checkpoint
+//! costs a full Hungarian run each time; the [`IncrementalCertifier`]
+//! instead carries the previous optimum's dual solution across the
+//! churn and re-certifies through the dual-repair warm start
+//! ([`WarmStart::Duals`](crate::WarmStart)) — after `k` updates the
+//! number of fresh searches is typically proportional to `k`, not to the
+//! graph size.
+//!
+//! [`DynamicMatcher`]: https://docs.rs/wmatch-dynamic
+//!
+//! # Example
+//!
+//! ```
+//! use wmatch_graph::Graph;
+//! use wmatch_oracle::IncrementalCertifier;
+//!
+//! let mut g = Graph::new(4);
+//! g.add_edge(0, 2, 5);
+//! g.add_edge(1, 3, 7);
+//! let mut cert = IncrementalCertifier::for_graph(&g).unwrap();
+//! assert_eq!(cert.certify(&g).unwrap().optimum, 12);
+//!
+//! g.add_edge(0, 3, 20); // churn…
+//! let ck = cert.certify(&g).unwrap(); // …re-certified warm
+//! assert_eq!(ck.optimum, 20);
+//! assert_eq!(cert.stats().warm_checkpoints, 1);
+//! ```
+
+use wmatch_graph::Graph;
+
+use crate::certify::{Certified, WeightOracle};
+use crate::error::OracleError;
+
+/// Cumulative counters of an [`IncrementalCertifier`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct CertifierStats {
+    /// Checkpoints certified in total.
+    pub checkpoints: u64,
+    /// Checkpoints served warm from the previous optimum's duals.
+    pub warm_checkpoints: u64,
+    /// Alternating-tree searches across all checkpoints (the measure the
+    /// warm start shrinks).
+    pub phases: u64,
+    /// Dual adjustment steps across all checkpoints.
+    pub delta_steps: u64,
+}
+
+/// Maintains dual feasibility across an update stream and re-certifies
+/// checkpoints from the previous optimum instead of from scratch.
+#[derive(Debug, Clone)]
+pub struct IncrementalCertifier {
+    oracle: WeightOracle,
+    prev: Option<Certified>,
+    stats: CertifierStats,
+}
+
+impl IncrementalCertifier {
+    /// Creates a certifier for graphs over `side.len()` vertices with the
+    /// given bipartition (`false` = left).
+    pub fn new(side: Vec<bool>) -> Self {
+        IncrementalCertifier {
+            oracle: WeightOracle::new(side),
+            prev: None,
+            stats: CertifierStats::default(),
+        }
+    }
+
+    /// Creates a certifier using a 2-coloring computed from `g` itself.
+    ///
+    /// # Errors
+    ///
+    /// [`OracleError::NotBipartite`] if `g` has no bipartition. Note the
+    /// derived sides are fixed for the certifier's lifetime: later
+    /// updates must keep respecting them.
+    pub fn for_graph(g: &Graph) -> Result<Self, OracleError> {
+        let side = g.bipartition().ok_or(OracleError::NotBipartite)?;
+        Ok(Self::new(side))
+    }
+
+    /// The bipartition this certifier checks under.
+    pub fn side(&self) -> &[bool] {
+        self.oracle.side()
+    }
+
+    /// Certifies the current state of `g`, warm from the previous
+    /// checkpoint when one exists. The returned certificate has passed
+    /// the in-code complementary-slackness check.
+    ///
+    /// # Errors
+    ///
+    /// See [`WeightOracle::certify`].
+    pub fn certify(&mut self, g: &Graph) -> Result<&Certified, OracleError> {
+        let warm = self.prev.is_some();
+        let cert = self.oracle.certify(g, self.prev.as_ref())?;
+        self.stats.checkpoints += 1;
+        if warm {
+            self.stats.warm_checkpoints += 1;
+        }
+        self.stats.phases += cert.stats.phases as u64;
+        self.stats.delta_steps += cert.stats.delta_steps as u64;
+        self.prev = Some(cert);
+        Ok(self.prev.as_ref().expect("just stored"))
+    }
+
+    /// Certifies `g` cold, ignoring (and not updating) the carried state —
+    /// the baseline the warm path is benchmarked against.
+    ///
+    /// # Errors
+    ///
+    /// See [`WeightOracle::certify`].
+    pub fn certify_cold(&mut self, g: &Graph) -> Result<Certified, OracleError> {
+        self.oracle.certify(g, None)
+    }
+
+    /// The last certificate, if any checkpoint has run.
+    pub fn last(&self) -> Option<&Certified> {
+        self.prev.as_ref()
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> &CertifierStats {
+        &self.stats
+    }
+
+    /// Drops the carried optimum (the next checkpoint solves cold).
+    pub fn reset(&mut self) {
+        self.prev = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use wmatch_graph::generators::{self, WeightModel};
+
+    #[test]
+    fn warm_checkpoints_match_cold_optima_under_churn() {
+        let mut rng = StdRng::seed_from_u64(0x696e63);
+        let (mut g, side) = generators::random_bipartite(
+            18,
+            15,
+            0.2,
+            WeightModel::Uniform { lo: 1, hi: 50 },
+            &mut rng,
+        );
+        let mut cert = IncrementalCertifier::new(side.clone());
+
+        for round in 0..12 {
+            // churn: a few inserts and deletes per round
+            for _ in 0..4 {
+                let l = rng.gen_range(0..18u32);
+                let r = 18 + rng.gen_range(0..15u32);
+                g.add_edge(l, r, rng.gen_range(1..=50));
+            }
+            if g.edge_count() > 6 {
+                // rebuild without a random prefix of edges = deletions
+                let keep: Vec<_> = g
+                    .edges()
+                    .iter()
+                    .filter(|_| rng.gen_range(0..10) != 0)
+                    .copied()
+                    .collect();
+                let mut g2 = Graph::new(g.vertex_count());
+                for e in keep {
+                    g2.add_edge(e.u, e.v, e.weight);
+                }
+                g = g2;
+            }
+            let cold = cert.certify_cold(&g).unwrap();
+            let warm = cert.certify(&g).unwrap();
+            assert_eq!(warm.optimum, cold.optimum, "round {round}");
+            warm.verify(&g, &side).unwrap();
+        }
+        assert_eq!(cert.stats().checkpoints, 12);
+        assert_eq!(cert.stats().warm_checkpoints, 11);
+    }
+
+    #[test]
+    fn for_graph_rejects_odd_cycles() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1);
+        g.add_edge(1, 2, 1);
+        g.add_edge(2, 0, 1);
+        assert_eq!(
+            IncrementalCertifier::for_graph(&g).unwrap_err(),
+            OracleError::NotBipartite
+        );
+    }
+}

@@ -1,0 +1,202 @@
+//! The flat bipartite instance the slack-array core runs on.
+//!
+//! Lefts and rights are dense `0..nl` / `0..nr` index spaces; the edge
+//! list is held as two CSR views (left-major for the search, right-major
+//! for the warm-start dual repair). Edges with weight `≤ 0` are dropped at
+//! construction: with nonnegative labels they can never be tight, so they
+//! can never be matched, and dual feasibility `y_l + y_r ≥ w` holds on
+//! them vacuously.
+
+use crate::weight::OracleWeight;
+
+/// A bipartite maximum-weight-matching instance in CSR form.
+///
+/// Each stored edge carries an opaque `tag` (defaulting to its position in
+/// the input slice) that survives into
+/// [`DualSolution::pairs`](crate::solver::DualSolution) — the graph
+/// adapter uses it to map matched pairs back to real graph edge indices.
+///
+/// # Example
+///
+/// ```
+/// use wmatch_oracle::BipartiteInstance;
+///
+/// let inst: BipartiteInstance<i128> =
+///     BipartiteInstance::new(2, 2, &[(0, 0, 4), (0, 1, 7), (1, 1, 5)]);
+/// assert_eq!((inst.left_count(), inst.right_count()), (2, 2));
+/// assert_eq!(inst.edge_count(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BipartiteInstance<W> {
+    nl: usize,
+    nr: usize,
+    // left-major CSR: positions adj_off[l]..adj_off[l+1] are l's edges
+    pub(crate) adj_off: Vec<u32>,
+    pub(crate) adj_right: Vec<u32>,
+    pub(crate) adj_w: Vec<W>,
+    pub(crate) adj_tag: Vec<u32>,
+    // right-major CSR (no tags: only the repair pass walks it)
+    pub(crate) radj_off: Vec<u32>,
+    pub(crate) radj_left: Vec<u32>,
+    pub(crate) radj_w: Vec<W>,
+}
+
+impl<W: OracleWeight> BipartiteInstance<W> {
+    /// Builds an instance from `(left, right, weight)` triples; edge tags
+    /// are the positions in `edges`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn new(nl: usize, nr: usize, edges: &[(u32, u32, W)]) -> Self {
+        Self::with_tags(
+            nl,
+            nr,
+            edges
+                .iter()
+                .enumerate()
+                .map(|(i, &(l, r, w))| (l, r, w, i as u32)),
+        )
+    }
+
+    /// Builds an instance from `(left, right, weight, tag)` quadruples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or there are ≥ `u32::MAX`
+    /// kept edges.
+    pub fn with_tags(
+        nl: usize,
+        nr: usize,
+        edges: impl Iterator<Item = (u32, u32, W, u32)>,
+    ) -> Self {
+        let mut kept: Vec<(u32, u32, W, u32)> = Vec::new();
+        for (l, r, w, tag) in edges {
+            assert!(
+                (l as usize) < nl,
+                "left endpoint {l} out of range (nl={nl})"
+            );
+            assert!(
+                (r as usize) < nr,
+                "right endpoint {r} out of range (nr={nr})"
+            );
+            if W::ZERO < w {
+                kept.push((l, r, w, tag));
+            }
+        }
+        let m = kept.len();
+        assert!(m < u32::MAX as usize, "instance too large");
+
+        // counting sort by left (stable: input order preserved per left)
+        let mut adj_off = vec![0u32; nl + 1];
+        for &(l, _, _, _) in &kept {
+            adj_off[l as usize + 1] += 1;
+        }
+        for i in 0..nl {
+            adj_off[i + 1] += adj_off[i];
+        }
+        let mut cursor = adj_off.clone();
+        let mut adj_right = vec![0u32; m];
+        let mut adj_w = vec![W::ZERO; m];
+        let mut adj_tag = vec![0u32; m];
+        for &(l, r, w, tag) in &kept {
+            let c = &mut cursor[l as usize];
+            adj_right[*c as usize] = r;
+            adj_w[*c as usize] = w;
+            adj_tag[*c as usize] = tag;
+            *c += 1;
+        }
+
+        // counting sort by right
+        let mut radj_off = vec![0u32; nr + 1];
+        for &(_, r, _, _) in &kept {
+            radj_off[r as usize + 1] += 1;
+        }
+        for i in 0..nr {
+            radj_off[i + 1] += radj_off[i];
+        }
+        let mut rcursor = radj_off.clone();
+        let mut radj_left = vec![0u32; m];
+        let mut radj_w = vec![W::ZERO; m];
+        for &(l, r, w, _) in &kept {
+            let c = &mut rcursor[r as usize];
+            radj_left[*c as usize] = l;
+            radj_w[*c as usize] = w;
+            *c += 1;
+        }
+
+        BipartiteInstance {
+            nl,
+            nr,
+            adj_off,
+            adj_right,
+            adj_w,
+            adj_tag,
+            radj_off,
+            radj_left,
+            radj_w,
+        }
+    }
+
+    /// Number of left vertices.
+    #[inline]
+    pub fn left_count(&self) -> usize {
+        self.nl
+    }
+
+    /// Number of right vertices.
+    #[inline]
+    pub fn right_count(&self) -> usize {
+        self.nr
+    }
+
+    /// Number of stored (positive-weight) edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.adj_right.len()
+    }
+
+    /// The adjacency positions of left vertex `l`.
+    #[inline]
+    pub(crate) fn adj(&self, l: u32) -> std::ops::Range<usize> {
+        self.adj_off[l as usize] as usize..self.adj_off[l as usize + 1] as usize
+    }
+
+    /// The right-major adjacency positions of right vertex `r`.
+    #[inline]
+    pub(crate) fn radj(&self, r: u32) -> std::ops::Range<usize> {
+        self.radj_off[r as usize] as usize..self.radj_off[r as usize + 1] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_views_agree() {
+        let inst: BipartiteInstance<i128> =
+            BipartiteInstance::new(3, 2, &[(0, 1, 4), (2, 0, 7), (0, 0, 5), (1, 1, 0)]);
+        // the zero-weight edge is dropped
+        assert_eq!(inst.edge_count(), 3);
+        let l0: Vec<_> = inst
+            .adj(0)
+            .map(|p| (inst.adj_right[p], inst.adj_w[p]))
+            .collect();
+        assert_eq!(l0, vec![(1, 4), (0, 5)]);
+        let r1: Vec<_> = inst
+            .radj(1)
+            .map(|p| (inst.radj_left[p], inst.radj_w[p]))
+            .collect();
+        assert_eq!(r1, vec![(0, 4)]);
+        // tags are input positions
+        let tags: Vec<_> = inst.adj(2).map(|p| inst.adj_tag[p]).collect();
+        assert_eq!(tags, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_endpoint() {
+        let _ = BipartiteInstance::<i128>::new(1, 1, &[(0, 3, 1)]);
+    }
+}

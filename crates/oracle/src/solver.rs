@@ -1,0 +1,812 @@
+//! The slack-array Hungarian core (LEKM technique, arXiv 2502.20889).
+//!
+//! One label-driven alternating BFS per free left vertex over flat
+//! arrays:
+//!
+//! - `left_labels` / `right_labels` — the dual variables `y`, kept
+//!   feasible (`y_l + y_r ≥ w` on every stored edge) throughout;
+//! - `slacks` — per right vertex, the minimum `y_l + y_r − w` over tree
+//!   lefts `l`, i.e. how far the cheapest tree edge into that right is
+//!   from tight;
+//! - `right_parents` — for each reached right, the `(left, adjacency
+//!   position)` that achieved its slack: the alternating-tree parent link
+//!   an augmentation walks back through.
+//!
+//! A search from a free left grows the tree through tight edges only.
+//! When no tight edge is available it applies a dual adjustment
+//! `δ = min(min tree-left label, min slack)`: tree lefts give up `δ`,
+//! tree rights absorb it (matched tree edges stay tight), and every
+//! reached-but-unreached right's slack drops by `δ`. Two terminations:
+//!
+//! - an **unmatched right** becomes tight → augment along
+//!   `right_parents` (cardinality grows by one);
+//! - a **tree-left label hits zero** → the "exit path": the zero label
+//!   plays the paper's virtual zero-weight edge to an artificial partner,
+//!   so the matching shifts one step along the tree toward the root (the
+//!   root becomes matched, the zero-label left becomes free — and a free
+//!   vertex with label zero satisfies complementary slackness as is).
+//!
+//! Unbalanced and incomplete instances need no padding: the exit path is
+//! exactly what dense Hungarian implementations simulate with quadratic
+//! zero-weight filler edges.
+//!
+//! All per-search state reuses the O(1)-reset epoch scratch of
+//! [`wmatch_graph::scratch`], so a long-lived [`SlackOracle`] performs no
+//! per-search allocation at steady state.
+
+use wmatch_graph::scratch::{EpochMap, Scratch};
+
+use crate::error::OracleError;
+use crate::instance::BipartiteInstance;
+use crate::weight::OracleWeight;
+
+/// The null vertex / position sentinel of the flat arrays.
+const NONE: u32 = u32::MAX;
+
+/// Work counters of one [`SlackOracle::solve`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct SolveStats {
+    /// Alternating-tree searches run (one per free left that still had a
+    /// positive label after initialization — the warm-start speedup is
+    /// this number shrinking).
+    pub phases: usize,
+    /// Dual adjustment steps across all searches.
+    pub delta_steps: usize,
+    /// Edge relaxations (adjacency positions scanned from tree lefts).
+    pub relaxations: usize,
+    /// Matched pairs adopted from the warm start (hint pairs or previous
+    /// optimum pairs still tight, plus greedy tight seeds).
+    pub adopted: usize,
+    /// Previous-optimum pairs the dual repair had to drop (edge deleted,
+    /// reweighted, or no longer tight after the feasibility fix).
+    pub dropped: usize,
+}
+
+/// How to initialize the label/matching state of a solve.
+#[derive(Debug, Clone, Copy)]
+pub enum WarmStart<'a, W: OracleWeight> {
+    /// Cold start: `left_labels = max incident weight`,
+    /// `right_labels = 0`, plus a greedy tight pre-match.
+    Cold,
+    /// Cold labels, but adopt the given `(left, right)` pairs first when
+    /// they are tight under the cold labels (a plain matching hint, e.g.
+    /// an approximate engine's current matching).
+    Hint(&'a [(u32, u32)]),
+    /// Full dual warm start from a previous optimum: carry the right
+    /// labels, re-derive the left labels as the minimal feasible height
+    /// over them in O(E), re-adopt every still-tight previous pair, and
+    /// only search from the lefts that actually came loose. This is the
+    /// incremental re-certification path: after `k` small updates, the
+    /// number of searches is typically O(k), not O(nl).
+    Duals {
+        /// Previous left labels. Retained for completeness of the dual
+        /// pair; the solver re-derives minimal feasible left labels from
+        /// `right_labels` (still-tight pairs land at the same height).
+        left_labels: &'a [W],
+        /// Previous right labels.
+        right_labels: &'a [W],
+        /// Previous optimum pairs `(left, right)`.
+        pairs: &'a [(u32, u32)],
+    },
+}
+
+/// An optimal primal/dual pair for a [`BipartiteInstance`], with the
+/// complementary-slackness certificate already checked in-code by
+/// [`SlackOracle::solve`] (and re-checkable independently via [`verify`]).
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct DualSolution<W: OracleWeight> {
+    /// Final left labels (`0` on unmatched lefts).
+    pub left_labels: Vec<W>,
+    /// Final right labels (`0` on unmatched rights).
+    pub right_labels: Vec<W>,
+    /// Matched `(left, right, tag)` triples, in left order.
+    pub pairs: Vec<(u32, u32, u32)>,
+    /// Total matched weight.
+    pub value: W,
+    /// The dual objective `Σ labels` — equals `value`, which is what
+    /// certifies optimality.
+    pub dual_objective: W,
+    /// Work counters of the producing solve.
+    pub stats: SolveStats,
+}
+
+/// The reusable slack-array Hungarian solver.
+///
+/// One long-lived instance amortizes its flat arrays and epoch scratch
+/// across solves (the [`IncrementalCertifier`](crate::IncrementalCertifier)
+/// holds exactly one).
+///
+/// # Example
+///
+/// ```
+/// use wmatch_oracle::{BipartiteInstance, SlackOracle, WarmStart};
+///
+/// let inst = BipartiteInstance::new(2, 2, &[(0, 0, 4i128), (0, 1, 7), (1, 1, 5)]);
+/// let mut oracle = SlackOracle::new();
+/// let sol = oracle.solve(&inst, WarmStart::Cold);
+/// assert_eq!(sol.value, 9); // 0–0 (4) + 1–1 (5)
+/// assert_eq!(sol.value, sol.dual_objective);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SlackOracle<W: OracleWeight> {
+    left_labels: Vec<W>,
+    right_labels: Vec<W>,
+    slacks: EpochMap<W>,
+    right_parents: EpochMap<(u32, u32)>,
+    left_mate: Vec<u32>,
+    left_mate_pos: Vec<u32>,
+    right_mate: Vec<u32>,
+    scratch: Scratch,
+    queue: Vec<u32>,
+    tree_lefts: Vec<u32>,
+    tree_rights: Vec<u32>,
+    on_edge: Vec<u32>,
+    tight: Vec<u32>,
+    stats: SolveStats,
+}
+
+impl<W: OracleWeight> SlackOracle<W> {
+    /// Creates a solver with empty scratch.
+    pub fn new() -> Self {
+        SlackOracle {
+            left_labels: Vec::new(),
+            right_labels: Vec::new(),
+            slacks: EpochMap::new(),
+            right_parents: EpochMap::new(),
+            left_mate: Vec::new(),
+            left_mate_pos: Vec::new(),
+            right_mate: Vec::new(),
+            scratch: Scratch::new(),
+            queue: Vec::new(),
+            tree_lefts: Vec::new(),
+            tree_rights: Vec::new(),
+            on_edge: Vec::new(),
+            tight: Vec::new(),
+            stats: SolveStats::default(),
+        }
+    }
+
+    /// The largest vertex count the internal scratch has been sized for
+    /// (dense-array memory telemetry, same contract as
+    /// [`Scratch::high_water`]).
+    pub fn high_water(&self) -> usize {
+        self.scratch.high_water()
+    }
+
+    /// Solves `inst` to optimality and returns the certified primal/dual
+    /// pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the in-code complementary-slackness check fails — that is
+    /// an internal invariant violation, never a property of the input.
+    pub fn solve(
+        &mut self,
+        inst: &BipartiteInstance<W>,
+        warm: WarmStart<'_, W>,
+    ) -> DualSolution<W> {
+        self.prepare(inst);
+        match warm {
+            WarmStart::Cold => self.init_cold(inst),
+            WarmStart::Hint(pairs) => {
+                self.init_cold(inst);
+                self.adopt_pairs(inst, pairs);
+            }
+            WarmStart::Duals {
+                left_labels,
+                right_labels,
+                pairs,
+            } => self.init_duals(inst, left_labels, right_labels, pairs),
+        }
+        self.greedy_tight(inst);
+        for root in 0..inst.left_count() as u32 {
+            if self.left_mate[root as usize] == NONE
+                && self.left_labels[root as usize].is_positive()
+            {
+                self.stats.phases += 1;
+                self.search(inst, root);
+            }
+        }
+        let sol = self.extract(inst);
+        if let Err(e) = verify(inst, &sol) {
+            panic!("slack oracle produced an invalid certificate: {e}");
+        }
+        sol
+    }
+
+    // ---- initialization -------------------------------------------------
+
+    fn prepare(&mut self, inst: &BipartiteInstance<W>) {
+        let (nl, nr) = (inst.left_count(), inst.right_count());
+        self.left_labels.clear();
+        self.left_labels.resize(nl, W::ZERO);
+        self.right_labels.clear();
+        self.right_labels.resize(nr, W::ZERO);
+        self.left_mate.clear();
+        self.left_mate.resize(nl, NONE);
+        self.left_mate_pos.clear();
+        self.left_mate_pos.resize(nl, NONE);
+        self.right_mate.clear();
+        self.right_mate.resize(nr, NONE);
+        self.scratch.begin(nl.max(nr));
+        self.slacks.ensure(nr);
+        self.right_parents.ensure(nr);
+        self.stats = SolveStats::default();
+    }
+
+    fn init_cold(&mut self, inst: &BipartiteInstance<W>) {
+        for l in 0..inst.left_count() as u32 {
+            let mut best = W::ZERO;
+            for pos in inst.adj(l) {
+                best = best.max_w(inst.adj_w[pos]);
+            }
+            self.left_labels[l as usize] = best;
+        }
+    }
+
+    /// Adopts `(left, right)` pairs that are tight under the current
+    /// labels and vertex-disjoint with what is already matched.
+    fn adopt_pairs(&mut self, inst: &BipartiteInstance<W>, pairs: &[(u32, u32)]) {
+        for &(l, r) in pairs {
+            if l as usize >= inst.left_count()
+                || r as usize >= inst.right_count()
+                || self.left_mate[l as usize] != NONE
+                || self.right_mate[r as usize] != NONE
+            {
+                self.stats.dropped += 1;
+                continue;
+            }
+            let mut found = false;
+            for pos in inst.adj(l) {
+                if inst.adj_right[pos] == r && self.is_tight(l, pos, inst) {
+                    self.set_match(l, pos, inst);
+                    self.stats.adopted += 1;
+                    found = true;
+                    break;
+                }
+            }
+            if !found {
+                self.stats.dropped += 1;
+            }
+        }
+    }
+
+    /// The dual warm start: carry previous labels, repair feasibility for
+    /// the current edge set, re-adopt still-tight previous pairs, and
+    /// cascade right labels of freed rights down to zero.
+    fn init_duals(
+        &mut self,
+        inst: &BipartiteInstance<W>,
+        _prev_ll: &[W],
+        prev_rl: &[W],
+        pairs: &[(u32, u32)],
+    ) {
+        let (nl, nr) = (inst.left_count(), inst.right_count());
+        for r in 0..nr {
+            self.right_labels[r] = prev_rl.get(r).copied().unwrap_or(W::ZERO).clamp_zero();
+        }
+
+        // Left labels are *derived*, not carried: the minimal feasible
+        // height over the carried right labels, y_l = max(w − y_r) over
+        // the current adjacency. A still-tight previous pair demands
+        // exactly the old label through its own edge, so every tight pair
+        // survives at the same height — while a left whose supporting
+        // edge was deleted starts at its new (lower) residual maximum
+        // instead of the stale label, which is what keeps warm searches
+        // short: the exit path fires as soon as a label hits zero, and
+        // derived labels start as close to zero as feasibility allows.
+        // (With all-zero right labels this is exactly the cold init.)
+        for l in 0..nl as u32 {
+            let mut needed = W::ZERO;
+            for pos in inst.adj(l) {
+                let r = inst.adj_right[pos] as usize;
+                needed = needed.max_w(inst.adj_w[pos] - self.right_labels[r]);
+            }
+            self.left_labels[l as usize] = needed.clamp_zero();
+        }
+
+        self.adopt_pairs(inst, pairs);
+
+        // Zero-cascade: an unmatched right must end with label zero (the
+        // complementary-slackness side of the rights). Zeroing a label can
+        // break feasibility of its incident edges, which is repaired by
+        // raising the left labels — and a raised left that was matched is
+        // no longer tight, so its pair is dropped and its freed right
+        // joins the worklist. Each right is zeroed at most once, so this
+        // terminates in O(E).
+        let mut work: Vec<u32> = (0..nr as u32)
+            .filter(|&r| {
+                self.right_mate[r as usize] == NONE && self.right_labels[r as usize].is_positive()
+            })
+            .collect();
+        while let Some(r) = work.pop() {
+            if self.right_mate[r as usize] != NONE || !self.right_labels[r as usize].is_positive() {
+                continue;
+            }
+            self.right_labels[r as usize] = W::ZERO;
+            for rpos in inst.radj(r) {
+                let l = inst.radj_left[rpos];
+                let w = inst.radj_w[rpos];
+                if self.left_labels[l as usize] < w {
+                    self.left_labels[l as usize] = w;
+                    let r2 = self.left_mate[l as usize];
+                    if r2 != NONE {
+                        self.left_mate[l as usize] = NONE;
+                        self.left_mate_pos[l as usize] = NONE;
+                        self.right_mate[r2 as usize] = NONE;
+                        self.stats.dropped += 1;
+                        self.stats.adopted -= 1;
+                        if self.right_labels[r2 as usize].is_positive() {
+                            work.push(r2);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Seeds the matching with greedily chosen tight edges between free
+    /// vertices — under cold labels this is the classic "match each left
+    /// to a free max-weight neighbor" O(E) head start.
+    fn greedy_tight(&mut self, inst: &BipartiteInstance<W>) {
+        for l in 0..inst.left_count() as u32 {
+            if self.left_mate[l as usize] != NONE || !self.left_labels[l as usize].is_positive() {
+                continue;
+            }
+            for pos in inst.adj(l) {
+                let r = inst.adj_right[pos];
+                if self.right_mate[r as usize] == NONE && self.is_tight(l, pos, inst) {
+                    self.set_match(l, pos, inst);
+                    self.stats.adopted += 1;
+                    break;
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn is_tight(&self, l: u32, pos: usize, inst: &BipartiteInstance<W>) -> bool {
+        let r = inst.adj_right[pos] as usize;
+        let slack =
+            (self.left_labels[l as usize] + self.right_labels[r] - inst.adj_w[pos]).clamp_zero();
+        !slack.is_positive()
+    }
+
+    #[inline]
+    fn set_match(&mut self, l: u32, pos: usize, inst: &BipartiteInstance<W>) {
+        let r = inst.adj_right[pos];
+        self.left_mate[l as usize] = r;
+        self.left_mate_pos[l as usize] = pos as u32;
+        self.right_mate[r as usize] = l;
+    }
+
+    // ---- the label-driven search ---------------------------------------
+
+    /// One alternating-tree search from the free left `root`. On return
+    /// either the root is matched (augmentation) or some tree left's label
+    /// reached zero and the matching shifted one step toward the root
+    /// (exit path) — in both cases all invariants hold again.
+    fn search(&mut self, inst: &BipartiteInstance<W>, root: u32) {
+        // O(1) reset of all per-search state (`mark` = rights in tree)
+        self.scratch.mark.clear();
+        self.slacks.clear();
+        self.right_parents.clear();
+        self.queue.clear();
+        self.tree_lefts.clear();
+        self.tree_rights.clear();
+        self.on_edge.clear();
+        self.tight.clear();
+
+        self.queue.push(root);
+        self.tree_lefts.push(root);
+        let mut qi = 0usize;
+        let mut ti = 0usize;
+
+        loop {
+            // 1. relax every edge of newly added tree lefts
+            while qi < self.queue.len() {
+                let l = self.queue[qi];
+                qi += 1;
+                for pos in inst.adj(l) {
+                    let r = inst.adj_right[pos];
+                    if self.scratch.mark.contains(r) {
+                        continue;
+                    }
+                    self.stats.relaxations += 1;
+                    let s = (self.left_labels[l as usize] + self.right_labels[r as usize]
+                        - inst.adj_w[pos])
+                        .clamp_zero();
+                    match self.slacks.get(r) {
+                        None => {
+                            self.slacks.insert(r, s);
+                            self.right_parents.insert(r, (l, pos as u32));
+                            self.on_edge.push(r);
+                            if !s.is_positive() {
+                                self.tight.push(r);
+                            }
+                        }
+                        Some(cur) if s < cur => {
+                            self.slacks.insert(r, s);
+                            self.right_parents.insert(r, (l, pos as u32));
+                            if !s.is_positive() {
+                                self.tight.push(r);
+                            }
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+
+            // 2. advance through a tight edge, if any
+            if ti < self.tight.len() {
+                let r = self.tight[ti];
+                ti += 1;
+                if self.scratch.mark.contains(r) {
+                    continue;
+                }
+                if self.right_mate[r as usize] == NONE {
+                    self.augment(inst, r);
+                    return;
+                }
+                self.scratch.mark.insert(r);
+                self.tree_rights.push(r);
+                let l2 = self.right_mate[r as usize];
+                self.tree_lefts.push(l2);
+                self.queue.push(l2);
+                continue;
+            }
+
+            // 3. dual adjustment
+            self.stats.delta_steps += 1;
+            let mut zero_left = self.tree_lefts[0];
+            let mut delta = self.left_labels[zero_left as usize];
+            for &l in &self.tree_lefts[1..] {
+                if self.left_labels[l as usize] < delta {
+                    delta = self.left_labels[l as usize];
+                    zero_left = l;
+                }
+            }
+            let mut from_right = false;
+            let mut i = 0;
+            while i < self.on_edge.len() {
+                let r = self.on_edge[i];
+                if self.scratch.mark.contains(r) {
+                    self.on_edge.swap_remove(i);
+                    continue;
+                }
+                let s = self.slacks.get(r).expect("on-edge right has a slack");
+                if s < delta {
+                    delta = s;
+                    from_right = true;
+                }
+                i += 1;
+            }
+            if delta.is_positive() {
+                for &l in &self.tree_lefts {
+                    self.left_labels[l as usize] =
+                        (self.left_labels[l as usize] - delta).clamp_zero();
+                }
+                for &r in &self.tree_rights {
+                    self.right_labels[r as usize] = self.right_labels[r as usize] + delta;
+                }
+                for &r in &self.on_edge {
+                    let s = (self.slacks.get(r).expect("on-edge right has a slack") - delta)
+                        .clamp_zero();
+                    self.slacks.insert(r, s);
+                    if !s.is_positive() {
+                        self.tight.push(r);
+                    }
+                }
+            }
+            if !from_right {
+                // the minimum was a tree-left label: it is zero now, take
+                // the exit path
+                self.exit_path(inst, zero_left);
+                return;
+            }
+        }
+    }
+
+    /// Flips the alternating tree path ending in the (unmatched, tight)
+    /// right `r`: every right on the path re-matches to its tree parent,
+    /// the root gains a mate.
+    fn augment(&mut self, inst: &BipartiteInstance<W>, mut r: u32) {
+        loop {
+            let (l, pos) = self
+                .right_parents
+                .get(r)
+                .expect("tree right has a parent link");
+            let prev = self.left_mate[l as usize];
+            self.set_match(l, pos as usize, inst);
+            if prev == NONE {
+                return; // reached the free root
+            }
+            r = prev;
+        }
+    }
+
+    /// The virtual-zero-edge termination: `zero_left`'s label reached
+    /// zero, so it can afford to stay unmatched. Shift its mate (and the
+    /// whole tree path behind it) one step toward the root.
+    fn exit_path(&mut self, inst: &BipartiteInstance<W>, zero_left: u32) {
+        self.left_labels[zero_left as usize] = W::ZERO;
+        let r0 = self.left_mate[zero_left as usize];
+        if r0 == NONE {
+            return; // the root itself ran out of label: stays free at zero
+        }
+        self.left_mate[zero_left as usize] = NONE;
+        self.left_mate_pos[zero_left as usize] = NONE;
+        self.right_mate[r0 as usize] = NONE;
+        self.augment(inst, r0);
+    }
+
+    fn extract(&self, inst: &BipartiteInstance<W>) -> DualSolution<W> {
+        let mut pairs = Vec::new();
+        let mut value = W::ZERO;
+        for l in 0..inst.left_count() as u32 {
+            let pos = self.left_mate_pos[l as usize];
+            if pos != NONE {
+                let pos = pos as usize;
+                pairs.push((l, inst.adj_right[pos], inst.adj_tag[pos]));
+                value = value + inst.adj_w[pos];
+            }
+        }
+        let mut dual = W::ZERO;
+        for &y in &self.left_labels {
+            dual = dual + y;
+        }
+        for &y in &self.right_labels {
+            dual = dual + y;
+        }
+        DualSolution {
+            left_labels: self.left_labels.clone(),
+            right_labels: self.right_labels.clone(),
+            pairs,
+            value,
+            dual_objective: dual,
+            stats: self.stats,
+        }
+    }
+}
+
+/// Independently re-checks the dual-feasibility certificate of `sol`
+/// against `inst`: nonnegative labels, feasibility on every stored edge,
+/// a valid vertex-disjoint matching of tight edges, zero labels on
+/// unmatched vertices, and `value = Σ labels = dual_objective` — which by
+/// weak duality proves `sol.pairs` is a maximum-weight matching.
+///
+/// Float instances are checked within [`OracleWeight::tolerance`] of the
+/// dual objective's magnitude; integer instances are checked exactly.
+pub fn verify<W: OracleWeight>(
+    inst: &BipartiteInstance<W>,
+    sol: &DualSolution<W>,
+) -> Result<(), OracleError> {
+    let violation = |reason: String| OracleError::CertificateViolation { reason };
+    let (nl, nr) = (inst.left_count(), inst.right_count());
+    if sol.left_labels.len() != nl || sol.right_labels.len() != nr {
+        return Err(violation(format!(
+            "label arrays ({}, {}) do not cover the instance ({nl}, {nr})",
+            sol.left_labels.len(),
+            sol.right_labels.len()
+        )));
+    }
+    let tol = W::tolerance(sol.dual_objective);
+    let neg_tol = W::ZERO - tol;
+    for (v, &y) in sol
+        .left_labels
+        .iter()
+        .chain(sol.right_labels.iter())
+        .enumerate()
+    {
+        if y < neg_tol {
+            return Err(violation(format!("negative label {y:?} at flat index {v}")));
+        }
+    }
+    // feasibility on every stored edge
+    for l in 0..nl as u32 {
+        for pos in inst.adj(l) {
+            let r = inst.adj_right[pos] as usize;
+            let y = sol.left_labels[l as usize] + sol.right_labels[r];
+            if y < inst.adj_w[pos] - tol {
+                return Err(violation(format!(
+                    "edge ({l}, {r}) with weight {:?} violates feasibility: labels sum to {y:?}",
+                    inst.adj_w[pos]
+                )));
+            }
+        }
+    }
+    // the pairs form a matching of existing, tight edges
+    let mut lseen = vec![false; nl];
+    let mut rseen = vec![false; nr];
+    let mut value = W::ZERO;
+    for &(l, r, tag) in &sol.pairs {
+        if l as usize >= nl || r as usize >= nr {
+            return Err(violation(format!("pair ({l}, {r}) out of range")));
+        }
+        if std::mem::replace(&mut lseen[l as usize], true)
+            || std::mem::replace(&mut rseen[r as usize], true)
+        {
+            return Err(violation(format!("pair ({l}, {r}) overlaps another pair")));
+        }
+        let pos = inst
+            .adj(l)
+            .find(|&p| inst.adj_right[p] == r && inst.adj_tag[p] == tag)
+            .ok_or_else(|| violation(format!("pair ({l}, {r}) tag {tag} is not an edge")))?;
+        let w = inst.adj_w[pos];
+        let y = sol.left_labels[l as usize] + sol.right_labels[r as usize];
+        let slack = (y - w).clamp_zero();
+        if tol < slack {
+            return Err(violation(format!(
+                "matched edge ({l}, {r}) is not tight: weight {w:?}, labels {y:?}"
+            )));
+        }
+        value = value + w;
+    }
+    // complementary slackness on vertices: unmatched ⇒ zero label
+    for (l, &y) in sol.left_labels.iter().enumerate() {
+        if !lseen[l] && tol < y {
+            return Err(violation(format!(
+                "unmatched left {l} has positive label {y:?}"
+            )));
+        }
+    }
+    for (r, &y) in sol.right_labels.iter().enumerate() {
+        if !rseen[r] && tol < y {
+            return Err(violation(format!(
+                "unmatched right {r} has positive label {y:?}"
+            )));
+        }
+    }
+    // primal value = reported value = dual objective
+    let mut dual = W::ZERO;
+    for &y in sol.left_labels.iter().chain(sol.right_labels.iter()) {
+        dual = dual + y;
+    }
+    let close = |a: W, b: W| {
+        let d = if a < b { b - a } else { a - b };
+        // a NaN difference compares false and so fails verification,
+        // which is the right answer for a certificate checker
+        d <= tol
+    };
+    if !close(value, sol.value) {
+        return Err(violation(format!(
+            "reported value {:?} differs from recomputed matched weight {value:?}",
+            sol.value
+        )));
+    }
+    if !close(dual, sol.dual_objective) || !close(value, dual) {
+        return Err(violation(format!(
+            "complementary slackness fails: matched weight {value:?} vs dual objective {dual:?}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve_cold(nl: usize, nr: usize, edges: &[(u32, u32, i128)]) -> DualSolution<i128> {
+        let inst = BipartiteInstance::new(nl, nr, edges);
+        SlackOracle::new().solve(&inst, WarmStart::Cold)
+    }
+
+    #[test]
+    fn empty_instance() {
+        let sol = solve_cold(3, 2, &[]);
+        assert_eq!(sol.value, 0);
+        assert!(sol.pairs.is_empty());
+    }
+
+    #[test]
+    fn picks_the_heavier_assignment() {
+        // taking the light edge 0–0 frees right 1 for left 1: 4 + 5 > 7
+        let sol = solve_cold(2, 2, &[(0, 0, 4), (0, 1, 7), (1, 1, 5)]);
+        assert_eq!(sol.value, 9);
+        assert!(sol.stats.phases <= 2);
+    }
+
+    #[test]
+    fn prefers_dropping_a_vertex_when_profitable() {
+        // unbalanced: two lefts, one right; the heavier left wins, the
+        // other ends free with label 0
+        let sol = solve_cold(2, 1, &[(0, 0, 3), (1, 0, 8)]);
+        assert_eq!(sol.value, 8);
+        assert_eq!(sol.pairs, vec![(1, 0, 1)]);
+        assert_eq!(sol.left_labels[0], 0);
+    }
+
+    #[test]
+    fn parallel_edges_keep_the_best_copy() {
+        let sol = solve_cold(1, 1, &[(0, 0, 2), (0, 0, 9), (0, 0, 5)]);
+        assert_eq!(sol.value, 9);
+        assert_eq!(sol.pairs[0].2, 1); // tag of the heavy copy
+    }
+
+    #[test]
+    fn zero_and_negative_weights_never_match() {
+        let inst = BipartiteInstance::new(2, 2, &[(0, 0, 0i128), (1, 1, -5)]);
+        let sol = SlackOracle::new().solve(&inst, WarmStart::Cold);
+        assert_eq!(sol.value, 0);
+        assert!(sol.pairs.is_empty());
+    }
+
+    #[test]
+    fn exit_path_chain_shifts_toward_the_root() {
+        // path instance: l0–r0 heavy, l1 sees only r0, l2 sees only r1…
+        // forces rematching chains through the exit path machinery
+        let edges = [(0, 0, 10), (1, 0, 9), (1, 1, 2), (2, 1, 8)];
+        let sol = solve_cold(3, 2, &edges);
+        // optimum: 0–0 (10) + 2–1 (8); adopting 1–1 would cost 8−2
+        assert_eq!(sol.value, 18);
+    }
+
+    #[test]
+    fn float_instance_certifies_within_tolerance() {
+        let inst = BipartiteInstance::new(
+            2,
+            2,
+            &[(0, 0, 0.3f64), (0, 1, 0.7), (1, 1, 0.45), (1, 0, -0.2)],
+        );
+        let sol = SlackOracle::new().solve(&inst, WarmStart::Cold);
+        assert!((sol.value - 0.75).abs() < 1e-9);
+        verify(&inst, &sol).unwrap();
+    }
+
+    #[test]
+    fn hint_warm_start_reaches_the_same_value() {
+        let edges = [(0, 0, 4), (0, 1, 7), (1, 1, 5), (2, 0, 6)];
+        let inst = BipartiteInstance::new(3, 2, &edges);
+        let mut o = SlackOracle::new();
+        let cold = o.solve(&inst, WarmStart::Cold);
+        let hint: Vec<(u32, u32)> = cold.pairs.iter().map(|&(l, r, _)| (l, r)).collect();
+        let warm = o.solve(&inst, WarmStart::Hint(&hint));
+        assert_eq!(cold.value, warm.value);
+    }
+
+    #[test]
+    fn duals_warm_start_is_value_invariant_under_edits() {
+        let mut edges = vec![(0, 0, 4i128), (0, 1, 7), (1, 1, 5), (2, 0, 6)];
+        let inst = BipartiteInstance::new(3, 2, &edges);
+        let mut o = SlackOracle::new();
+        let prev = o.solve(&inst, WarmStart::Cold);
+
+        // delete one edge, reweight another, add a new one
+        edges.remove(1);
+        edges[1].2 = 11;
+        edges.push((2, 1, 3));
+        let inst2 = BipartiteInstance::new(3, 2, &edges);
+        let pairs: Vec<(u32, u32)> = prev.pairs.iter().map(|&(l, r, _)| (l, r)).collect();
+        let warm = o.solve(
+            &inst2,
+            WarmStart::Duals {
+                left_labels: &prev.left_labels,
+                right_labels: &prev.right_labels,
+                pairs: &pairs,
+            },
+        );
+        let cold = o.solve(&inst2, WarmStart::Cold);
+        assert_eq!(warm.value, cold.value);
+        verify(&inst2, &warm).unwrap();
+    }
+
+    #[test]
+    fn verify_rejects_tampered_certificates() {
+        let inst = BipartiteInstance::new(2, 2, &[(0, 0, 4i128), (1, 1, 5)]);
+        let sol = SlackOracle::new().solve(&inst, WarmStart::Cold);
+
+        let mut bad = sol.clone();
+        bad.left_labels[0] += 1; // breaks Σ labels = value
+        assert!(verify(&inst, &bad).is_err());
+
+        let mut bad = sol.clone();
+        bad.pairs.clear(); // value no longer matches matched weight
+        assert!(verify(&inst, &bad).is_err());
+
+        let mut bad = sol;
+        bad.left_labels[0] -= 1; // breaks feasibility/tightness
+        assert!(verify(&inst, &bad).is_err());
+    }
+}

@@ -1,0 +1,95 @@
+//! The weight abstraction of the slack-array core.
+//!
+//! The core is generic so the same search/repair machinery serves the
+//! graph path (exact `i128` arithmetic — labels of `u64`-weighted graphs
+//! never overflow) and external float instances (`f64`, with
+//! tolerance-aware verification).
+
+use std::fmt::Debug;
+use std::ops::{Add, Sub};
+
+/// Arithmetic the slack-array Hungarian core needs from a weight type.
+///
+/// Implementations must form an ordered additive group on the values the
+/// solver produces (labels are differences and sums of input weights, so
+/// `i128` against `u64` inputs is exact).
+pub trait OracleWeight:
+    Copy + PartialOrd + Debug + Default + Add<Output = Self> + Sub<Output = Self> + 'static
+{
+    /// The additive identity (also the label of every unmatched vertex in
+    /// a finished solve).
+    const ZERO: Self;
+
+    /// Verification tolerance at magnitude `scale`: exactly zero for
+    /// integer weights, a relative epsilon for floats.
+    fn tolerance(scale: Self) -> Self;
+
+    /// The larger of two weights (total order assumed on solver values).
+    #[inline]
+    fn max_w(self, other: Self) -> Self {
+        if self < other {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// Clamps at zero from below — a no-op for exact arithmetic, a guard
+    /// against rounding drift for floats (labels and slacks are
+    /// nonnegative by invariant).
+    #[inline]
+    fn clamp_zero(self) -> Self {
+        if self < Self::ZERO {
+            Self::ZERO
+        } else {
+            self
+        }
+    }
+
+    /// Strictly greater than zero. Incomparable values (float NaN) count
+    /// as not positive, which is the conservative answer everywhere the
+    /// solver branches on it (a NaN label or slack never passes for
+    /// tight-or-searchable).
+    #[inline]
+    fn is_positive(self) -> bool {
+        Self::ZERO < self
+    }
+}
+
+impl OracleWeight for i128 {
+    const ZERO: Self = 0;
+
+    #[inline]
+    fn tolerance(_scale: Self) -> Self {
+        0
+    }
+}
+
+impl OracleWeight for f64 {
+    const ZERO: Self = 0.0;
+
+    #[inline]
+    fn tolerance(scale: Self) -> Self {
+        1e-9 * (1.0 + scale.abs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_arithmetic_is_exact() {
+        assert_eq!(i128::tolerance(1 << 100), 0);
+        assert_eq!(5i128.max_w(3), 5);
+        assert_eq!((-7i128).clamp_zero(), 0);
+        assert_eq!(7i128.clamp_zero(), 7);
+    }
+
+    #[test]
+    fn float_tolerance_scales() {
+        assert!(f64::tolerance(0.0) > 0.0);
+        assert!(f64::tolerance(1e12) > f64::tolerance(1.0));
+        assert_eq!((-1e-30f64).clamp_zero(), 0.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! The warm-start invariance suite: along any churn stream, the
+//! warm-started optimum must be bit-equal in value to a cold solve of the
+//! same prefix — on insert-heavy, delete-heavy and parallel-edge streams
+//! alike — and every certificate must pass the independent check.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use wmatch_graph::exact::max_weight_matching_brute_force;
+use wmatch_graph::Graph;
+use wmatch_oracle::{certify_max_weight, IncrementalCertifier};
+
+/// One churn operation over a fixed bipartite vertex set.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert {
+        l: u32,
+        r: u32,
+        w: u64,
+    },
+    /// Delete the `k`-th live edge (mod the live count), if any.
+    Delete {
+        k: usize,
+    },
+}
+
+/// Replays `ops` over an `nl + nr` bipartite vertex set, certifying every
+/// prefix both warm (incrementally) and cold, and cross-checking tiny
+/// prefixes against brute force.
+fn check_stream(nl: usize, nr: usize, ops: &[Op]) {
+    let n = nl + nr;
+    let side: Vec<bool> = (0..n).map(|v| v >= nl).collect();
+    let mut live: Vec<(u32, u32, u64)> = Vec::new();
+    let mut cert = IncrementalCertifier::new(side.clone());
+
+    for (step, &op) in ops.iter().enumerate() {
+        match op {
+            Op::Insert { l, r, w } => live.push((l % nl as u32, nl as u32 + r % nr as u32, w)),
+            Op::Delete { k } => {
+                if !live.is_empty() {
+                    let k = k % live.len();
+                    live.swap_remove(k);
+                }
+            }
+        }
+        let mut g = Graph::new(n);
+        for &(u, v, w) in &live {
+            g.add_edge(u, v, w);
+        }
+        let warm = cert.certify(&g).expect("bipartite by construction").clone();
+        warm.verify(&g, &side).expect("warm certificate verifies");
+        let cold = certify_max_weight(&g, &side).expect("cold certify");
+        assert_eq!(
+            warm.optimum, cold.optimum,
+            "step {step}: warm optimum diverged from cold"
+        );
+        assert_eq!(warm.matching.weight(), warm.optimum);
+        if n <= 10 && g.edge_count() <= 12 {
+            let brute = max_weight_matching_brute_force(&g);
+            assert_eq!(warm.optimum, brute.weight(), "step {step}: brute disagrees");
+        }
+    }
+}
+
+#[test]
+fn delete_heavy_stream_stays_invariant() {
+    let mut rng = StdRng::seed_from_u64(0x64656c65); // b"dele"
+    let mut ops = Vec::new();
+    for i in 0..120 {
+        // two deletes for every insert once warmed up
+        if i % 3 == 0 || i < 20 {
+            ops.push(Op::Insert {
+                l: rng.gen_range(0..8),
+                r: rng.gen_range(0..7),
+                w: rng.gen_range(1..=40),
+            });
+        } else {
+            ops.push(Op::Delete {
+                k: rng.gen_range(0..1000),
+            });
+        }
+    }
+    check_stream(8, 7, &ops);
+}
+
+#[test]
+fn parallel_edge_stream_stays_invariant() {
+    // hammer the same few endpoint pairs with differing weights, then
+    // delete copies — the oracle must track the best surviving copy
+    let mut rng = StdRng::seed_from_u64(0x70617261); // b"para"
+    let mut ops = Vec::new();
+    for i in 0..90 {
+        if i % 4 != 3 {
+            ops.push(Op::Insert {
+                l: rng.gen_range(0..2),
+                r: rng.gen_range(0..2),
+                w: rng.gen_range(1..=30),
+            });
+        } else {
+            ops.push(Op::Delete {
+                k: rng.gen_range(0..1000),
+            });
+        }
+    }
+    check_stream(2, 2, &ops);
+}
+
+#[test]
+fn weight_class_boundary_oscillation() {
+    // repeated re-insertions oscillating across a geometric weight
+    // boundary (the adversarial pattern of the dynamic suites)
+    let mut ops = Vec::new();
+    for round in 0..40u64 {
+        let w = if round % 2 == 0 { 64 } else { 65 };
+        ops.push(Op::Insert { l: 0, r: 0, w });
+        ops.push(Op::Insert { l: 1, r: 1, w: 64 });
+        ops.push(Op::Delete { k: 0 });
+    }
+    check_stream(3, 3, &ops);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32).with_seed(0x6f72636c))] // b"orcl"
+    #[test]
+    fn random_churn_prefixes_are_invariant(
+        nl in 1usize..6,
+        nr in 1usize..6,
+        raw in proptest::collection::vec((0u32..6, 0u32..6, 0u64..=25, any::<bool>()), 1..60),
+    ) {
+        let ops: Vec<Op> = raw
+            .iter()
+            .map(|&(l, r, w, ins)| {
+                if ins || w == 0 {
+                    Op::Insert { l, r, w: w + 1 }
+                } else {
+                    Op::Delete { k: (l * 7 + r) as usize }
+                }
+            })
+            .collect();
+        check_stream(nl, nr, &ops);
+    }
+}
