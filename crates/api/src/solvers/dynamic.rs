@@ -140,6 +140,7 @@ impl Solver for DynamicWgtAug {
                     counters.augmentations_applied.to_string(),
                 ),
                 ("rebuilds", counters.rebuilds.to_string()),
+                ("steals", engine.steals().to_string()),
                 (
                     "scratch_high_water",
                     engine.scratch_high_water().to_string(),
@@ -223,14 +224,16 @@ impl Solver for DynamicRebuild {
     }
 }
 
-/// The production-scale sharded engine: vertex-partitioned shards
-/// speculate on batches of updates in parallel (each shard owning the
-/// pairs whose smaller endpoint falls in its range), and a deterministic
+/// The production-scale sharded engine: each batch's updates are grouped
+/// by ball overlap (within vertex shards, each shard owning the pairs
+/// whose smaller endpoint falls in its range), disjoint groups speculate
+/// their repairs in parallel on a work-stealing pool, and a deterministic
 /// commit phase replays clean plans — or falls back to sequential repair
-/// when a cross-shard write invalidates a shard's reads. The committed
-/// matching is bit-identical to `dynamic-wgtaug` for every shard count,
-/// thread count, and batch size, so the same Fact 1.3 floor holds after
-/// every batch.
+/// when a foreign write invalidates a group's reads. With a single
+/// worker the whole speculation layer is bypassed and updates commit
+/// inline. The committed matching is bit-identical to `dynamic-wgtaug`
+/// for every shard count, thread count, and batch size, so the same
+/// Fact 1.3 floor holds after every batch.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DynamicSharded;
 
@@ -297,6 +300,10 @@ impl Solver for DynamicSharded {
                 ("shards", engine.shard_count().to_string()),
                 ("plans_replayed", engine.replayed().to_string()),
                 ("plan_fallbacks", engine.fallbacks().to_string()),
+                ("plans_inline", engine.inline_commits().to_string()),
+                ("overlap_groups", engine.overlap_groups().to_string()),
+                ("balls_parallel", engine.balls_parallel().to_string()),
+                ("steals", engine.steals().to_string()),
                 (
                     "scratch_high_water",
                     engine.scratch_high_water().to_string(),

@@ -162,8 +162,9 @@ pub fn run_suite(quick: bool) -> Vec<DynamicRow> {
 pub fn to_json(rows: &[DynamicRow], quick: bool) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
-        "  \"mode\": \"{}\",\n  \"unit\": \"updates_per_sec\",\n  \"determinism\": \"dynamic-wgtaug asserted bit-identical across threads 1 and 4 (rebuild epochs enabled)\",\n  \"note\": \"dynamic-rebuild recomputes from scratch per update and is measured on a prefix of the same sequence; compare updates_per_sec, not totals\",\n  \"benches\": [\n",
-        if quick { "quick" } else { "full" }
+        "  \"mode\": \"{}\",\n  \"hardware_threads\": {},\n  \"unit\": \"updates_per_sec\",\n  \"determinism\": \"dynamic-wgtaug asserted bit-identical across threads 1 and 4 (rebuild epochs enabled)\",\n  \"note\": \"dynamic-rebuild recomputes from scratch per update and is measured on a prefix of the same sequence; compare updates_per_sec, not totals\",\n  \"benches\": [\n",
+        if quick { "quick" } else { "full" },
+        crate::serve::hardware_threads(),
     ));
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
@@ -238,6 +239,7 @@ mod tests {
         let j = to_json(&rows, true);
         assert!(j.contains("\"updates_per_sec\": 123.4"));
         assert!(j.contains("\"family\": \"sliding-window\""));
+        assert!(j.contains("\"hardware_threads\":"));
         assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
     }
 

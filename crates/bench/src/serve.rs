@@ -7,19 +7,34 @@
 //! updates per row in full mode — and writes `BENCH_serve.json` with
 //! replay throughput (`updates_per_sec`) and batch-amortized per-update
 //! ingest latency (`p50_us`/`p99_us`, one sample per committed batch).
+//! Each row is the **best of N replays** (N in the JSON header), so the
+//! committed numbers are repeatable peak throughput, not a draw from the
+//! scheduler-noise distribution.
+//!
+//! Rows come in three flavours: `sequential` (the reference engine),
+//! `sharded` at `threads = 1` (the inline commit path — this is the row
+//! the ≤10% overhead target and the `WMATCH_SERVE_GUARD` CI guard
+//! compare against sequential), and `sharded` at `threads = 2` (the
+//! speculative ball-repair path, priced on whatever cores the host has —
+//! `hardware_threads` in the header says how many that was).
 //!
 //! Two guards run **before** any timing, because a throughput number for
 //! a wrong result is meaningless:
 //!
 //! 1. **Determinism** — on a scaled-down stream (with rebuild epochs
-//!    enabled), every shard count × thread count × batch size must
-//!    commit a matching and counters bit-identical to the sequential
-//!    [`DynamicMatcher`].
+//!    enabled), the full acceptance grid of shard count × thread count ×
+//!    batch size must commit a matching and counters bit-identical to
+//!    the sequential [`DynamicMatcher`].
 //! 2. **Quality floor** — on an oracle-feasible sub-sample the committed
 //!    matching meets the Fact 1.3 ½ floor against an exact blossom solve
 //!    at every checkpoint; after each timed row the final million-vertex
 //!    matching is certified to admit no positive short augmentation (the
 //!    exact invariant Fact 1.3 turns into the floor).
+//!
+//! With `WMATCH_SERVE_GUARD=1` in the environment, the suite additionally
+//! fails if the `sharded@1 (threads=1)` row falls more than 15% behind
+//! sequential — the regression guard for the "parallel structure costs
+//! ~nothing at one thread" contract.
 
 use std::time::Instant;
 
@@ -36,13 +51,15 @@ pub struct ServeRow {
     pub engine: &'static str,
     /// Shard count (1 for the sequential engine).
     pub shards: usize,
+    /// Worker threads of the engine's pool.
+    pub threads: usize,
     /// Ingest batch size.
     pub batch: usize,
     /// Users (vertices).
     pub n: usize,
     /// Updates applied by this row.
     pub ops: usize,
-    /// Replay throughput in updates per second.
+    /// Replay throughput in updates per second (best of N replays).
     pub updates_per_sec: f64,
     /// Median batch-amortized per-update ingest latency (µs).
     pub p50_us: f64,
@@ -56,6 +73,14 @@ pub struct ServeRow {
     pub replayed: u64,
     /// Ops that fell back to sequential repair (sharded rows).
     pub fallbacks: u64,
+    /// Ops committed through the one-worker inline path.
+    pub inline: u64,
+    /// Ball-overlap groups formed across the replay's batches.
+    pub overlap_groups: u64,
+    /// Ops speculated in the parallel ball phase.
+    pub balls_parallel: u64,
+    /// Chunks stolen by the work-stealing pool.
+    pub steals: u64,
 }
 
 /// Percentile over per-batch latency samples (nearest-rank on the sorted
@@ -68,10 +93,19 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
     sorted[idx]
 }
 
+/// The host's available hardware parallelism (what `threads = 0`
+/// resolves to), recorded so committed runs are self-describing.
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
 /// Asserts the sharded engine's determinism contract on a scaled-down
-/// marketplace stream: every (shards, threads, batch) combination commits
-/// bit-identical state to the sequential engine, with rebuild epochs
-/// enabled so the parallel epoch layer is covered too.
+/// marketplace stream: the full acceptance grid — shards {1, 4, 8} ×
+/// threads {1, 2, 4, 0} × batch {64, 256, 512} — commits bit-identical
+/// state to the sequential engine, with rebuild epochs enabled so the
+/// parallel epoch layer is covered too.
 fn assert_determinism(n: usize, ops: usize) {
     let w = marketplace(n, ops, 0xE12);
     let cfg = DynamicConfig::default()
@@ -80,9 +114,9 @@ fn assert_determinism(n: usize, ops: usize) {
     let mut seq = DynamicMatcher::new(n, cfg);
     seq.apply_all(&w.ops)
         .expect("generated stream is well-formed");
-    for shards in [1usize, 2, 8] {
-        for threads in [1usize, 4] {
-            for batch in [64usize, 512] {
+    for shards in [1usize, 4, 8] {
+        for threads in [1usize, 2, 4, 0] {
+            for batch in [64usize, 256, 512] {
                 let mut sh = ShardedMatcher::new(n, cfg.with_threads(threads), shards)
                     .with_batch_size(batch);
                 sh.apply_all(&w.ops).expect("same stream");
@@ -103,10 +137,10 @@ fn assert_determinism(n: usize, ops: usize) {
 
 /// Asserts the Fact 1.3 ½ floor against the exact blossom oracle at
 /// checkpoints of an oracle-feasible marketplace sub-sample, replayed
-/// through the sharded engine itself.
+/// through the sharded engine itself (with the speculative path engaged).
 fn assert_oracle_floor_subsample(n: usize, ops: usize, checkpoint: usize) {
     let w = marketplace(n, ops, 0xF100);
-    let cfg = DynamicConfig::default().with_seed(5);
+    let cfg = DynamicConfig::default().with_seed(5).with_threads(2);
     let mut sh = ShardedMatcher::new(n, cfg, 4);
     for (i, chunk) in w.ops.chunks(checkpoint).enumerate() {
         sh.apply_all(chunk)
@@ -128,65 +162,82 @@ fn assert_oracle_floor_subsample(n: usize, ops: usize, checkpoint: usize) {
     }
 }
 
-/// Replays `ops` through one engine configuration, timing each committed
-/// batch, and certifies the final matching (no positive short
-/// augmentation on the full live graph).
-fn measure(
+/// One timed replay of `ops` through one engine configuration; returns
+/// the row plus the raw busy seconds (for best-of-N selection).
+fn replay_once(
     engine: &'static str,
     n: usize,
     ops: &[UpdateOp],
     shards: usize,
+    threads: usize,
     batch: usize,
-) -> ServeRow {
-    let cfg = DynamicConfig::default().with_seed(5);
+) -> (ServeRow, f64) {
+    let cfg = DynamicConfig::default().with_seed(5).with_threads(threads);
     let mut lat_us: Vec<f64> = Vec::with_capacity(ops.len() / batch + 1);
     // replay time = the sum of the timed batches (the final-snapshot
     // certificate below is verification, not service work)
     let mut busy = 0.0f64;
-    let (matching_weight, recourse, replayed, fallbacks) = if engine == "sequential" {
-        let mut eng = DynamicMatcher::new(n, cfg);
-        for chunk in ops.chunks(batch) {
-            let t = Instant::now();
-            eng.apply_all(chunk)
-                .expect("generated stream is well-formed");
-            let dt = t.elapsed().as_secs_f64();
-            busy += dt;
-            lat_us.push(dt * 1e6 / chunk.len() as f64);
-        }
-        // the Fact 1.3 certificate on the full final graph: the invariant
-        // the ½ floor follows from, checkable without the O(n³) oracle
-        let snap = eng.graph().snapshot();
-        assert!(
-            best_augmentation(&snap, eng.matching(), cfg.max_len).is_none(),
-            "{engine}: a positive short augmentation survived the replay"
-        );
-        (eng.matching().weight(), eng.counters().recourse_total, 0, 0)
-    } else {
-        let mut eng = ShardedMatcher::new(n, cfg, shards).with_batch_size(batch);
-        for chunk in ops.chunks(batch) {
-            let t = Instant::now();
-            eng.apply_batch(chunk)
-                .expect("generated stream is well-formed");
-            let dt = t.elapsed().as_secs_f64();
-            busy += dt;
-            lat_us.push(dt * 1e6 / chunk.len() as f64);
-        }
-        let snap = eng.graph().snapshot();
-        assert!(
-            best_augmentation(&snap, eng.matching(), cfg.max_len).is_none(),
-            "{engine}({shards}): a positive short augmentation survived the replay"
-        );
-        (
-            eng.matching().weight(),
-            eng.counters().recourse_total,
-            eng.replayed(),
-            eng.fallbacks(),
-        )
-    };
+    let (matching_weight, recourse, replayed, fallbacks, inline, groups, balls, steals) =
+        if engine == "sequential" {
+            let mut eng = DynamicMatcher::new(n, cfg);
+            for chunk in ops.chunks(batch) {
+                let t = Instant::now();
+                eng.apply_all(chunk)
+                    .expect("generated stream is well-formed");
+                let dt = t.elapsed().as_secs_f64();
+                busy += dt;
+                lat_us.push(dt * 1e6 / chunk.len() as f64);
+            }
+            // the Fact 1.3 certificate on the full final graph: the
+            // invariant the ½ floor follows from, checkable without the
+            // O(n³) oracle
+            let snap = eng.graph().snapshot();
+            assert!(
+                best_augmentation(&snap, eng.matching(), cfg.max_len).is_none(),
+                "{engine}: a positive short augmentation survived the replay"
+            );
+            let w = eng.matching().weight();
+            (
+                w,
+                eng.counters().recourse_total,
+                0,
+                0,
+                0,
+                0,
+                0,
+                eng.steals(),
+            )
+        } else {
+            let mut eng = ShardedMatcher::new(n, cfg, shards).with_batch_size(batch);
+            for chunk in ops.chunks(batch) {
+                let t = Instant::now();
+                eng.apply_batch(chunk)
+                    .expect("generated stream is well-formed");
+                let dt = t.elapsed().as_secs_f64();
+                busy += dt;
+                lat_us.push(dt * 1e6 / chunk.len() as f64);
+            }
+            let snap = eng.graph().snapshot();
+            assert!(
+                best_augmentation(&snap, eng.matching(), cfg.max_len).is_none(),
+                "{engine}({shards}): a positive short augmentation survived the replay"
+            );
+            (
+                eng.matching().weight(),
+                eng.counters().recourse_total,
+                eng.replayed(),
+                eng.fallbacks(),
+                eng.inline_commits(),
+                eng.overlap_groups(),
+                eng.balls_parallel(),
+                eng.steals(),
+            )
+        };
     lat_us.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-    ServeRow {
+    let row = ServeRow {
         engine,
         shards,
+        threads,
         batch,
         n,
         ops: ops.len(),
@@ -197,20 +248,57 @@ fn measure(
         final_weight: matching_weight,
         replayed,
         fallbacks,
+        inline,
+        overlap_groups: groups,
+        balls_parallel: balls,
+        steals,
+    };
+    (row, busy)
+}
+
+/// Measures one configuration `best_of` times and keeps the fastest
+/// replay (every replay commits the identical state — only timing
+/// varies, so best-of-N is selection, not cherry-picking).
+fn measure(
+    engine: &'static str,
+    n: usize,
+    ops: &[UpdateOp],
+    shards: usize,
+    threads: usize,
+    batch: usize,
+    best_of: usize,
+) -> ServeRow {
+    let mut best: Option<(ServeRow, f64)> = None;
+    for _ in 0..best_of.max(1) {
+        let (row, busy) = replay_once(engine, n, ops, shards, threads, batch);
+        if best.as_ref().is_none_or(|(_, b)| busy < *b) {
+            best = Some((row, busy));
+        }
+    }
+    best.expect("at least one replay ran").0
+}
+
+/// How many replays each row keeps the best of.
+fn best_of(quick: bool) -> usize {
+    if quick {
+        2
+    } else {
+        3
     }
 }
 
-/// Runs the whole serve suite: guards first, then the timed rows.
+/// Runs the whole serve suite: guards first, then the timed rows, then
+/// (under `WMATCH_SERVE_GUARD=1`) the sharded@1 overhead guard.
 pub fn run_suite(quick: bool) -> Vec<ServeRow> {
     // batch 256 is the measured sweet spot on the marketplace stream:
     // large enough to amortize the speculation phase, small enough that
-    // cross-shard conflicts stay rare and most plans commit by replay
+    // cross-group conflicts stay rare and most plans commit by replay
     let (n, ops, batch) = if quick {
         (10_000usize, 100_000usize, 256usize)
     } else {
         (1_000_000, 2_000_000, 256)
     };
-    // guard 1: determinism (scaled-down, epochs enabled)
+    // guard 1: determinism (scaled-down, epochs enabled, full grid)
     let (gn, gops) = if quick { (800, 6_000) } else { (2_000, 20_000) };
     assert_determinism(gn, gops);
     // guard 2: the ½ floor against the exact oracle on a feasible
@@ -223,25 +311,54 @@ pub fn run_suite(quick: bool) -> Vec<ServeRow> {
     assert_oracle_floor_subsample(fn_, fops, fcheck);
 
     let w = marketplace(n, ops, 0xCAFE);
-    let mut rows = vec![measure("sequential", n, &w.ops, 1, batch)];
+    let reps = best_of(quick);
+    let mut rows = vec![measure("sequential", n, &w.ops, 1, 1, batch, reps)];
+    // threads = 1: the inline path — the overhead-parity rows
     for shards in [1usize, 4, 8] {
-        rows.push(measure("sharded", n, &w.ops, shards, batch));
+        rows.push(measure("sharded", n, &w.ops, shards, 1, batch, reps));
+    }
+    // threads = 2: the speculative ball-repair path, priced on this host
+    for shards in [1usize, 8] {
+        rows.push(measure("sharded", n, &w.ops, shards, 2, batch, reps));
     }
     // the engines must agree at scale too (cheap: weights + recourse are
     // already collected per row)
     for r in &rows[1..] {
         assert_eq!(
             r.final_weight, rows[0].final_weight,
-            "sharded({}) final weight diverged from sequential",
-            r.shards
+            "sharded({}@{}) final weight diverged from sequential",
+            r.shards, r.threads
         );
         assert_eq!(
             r.recourse_total, rows[0].recourse_total,
-            "sharded({}) recourse diverged from sequential",
-            r.shards
+            "sharded({}@{}) recourse diverged from sequential",
+            r.shards, r.threads
         );
     }
+    if std::env::var("WMATCH_SERVE_GUARD").as_deref() == Ok("1") {
+        assert_serve_guard(&rows);
+    }
     rows
+}
+
+/// The CI overhead guard: `sharded@1 (threads=1)` must stay within 15%
+/// of sequential throughput — the "parallel structure costs ~nothing at
+/// one thread" contract, enforced.
+fn assert_serve_guard(rows: &[ServeRow]) {
+    let seq = rows
+        .iter()
+        .find(|r| r.engine == "sequential")
+        .expect("suite always measures sequential");
+    let sh1 = rows
+        .iter()
+        .find(|r| r.engine == "sharded" && r.shards == 1 && r.threads == 1)
+        .expect("suite always measures sharded@1 threads=1");
+    assert!(
+        sh1.updates_per_sec >= 0.85 * seq.updates_per_sec,
+        "serve guard: sharded@1 at {:.0} updates/s is more than 15% behind sequential at {:.0}",
+        sh1.updates_per_sec,
+        seq.updates_per_sec
+    );
 }
 
 /// Serializes the rows as `BENCH_serve.json` (hand-rolled JSON: the
@@ -249,17 +366,21 @@ pub fn run_suite(quick: bool) -> Vec<ServeRow> {
 pub fn to_json(rows: &[ServeRow], quick: bool) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
-        "  \"mode\": \"{}\",\n  \"workload\": \"marketplace (hotspot-skewed sliding-window churn)\",\n  \"unit\": \"updates_per_sec; p50_us/p99_us are batch-amortized per-update ingest latencies\",\n  \"determinism\": \"sharded engine asserted bit-identical to sequential for shards 1/2/8 x threads 1/4 x batch 64/512 (rebuild epochs enabled) before timing; final weight and recourse re-asserted at full scale\",\n  \"floor\": \"Fact 1.3 half floor asserted against the exact blossom oracle at checkpoints of a feasible sub-sample, replayed through the sharded engine\",\n  \"benches\": [\n",
-        if quick { "quick" } else { "full" }
+        "  \"mode\": \"{}\",\n  \"hardware_threads\": {},\n  \"policy\": \"each row is the best of {} full replays (identical committed state per replay; only timing varies)\",\n  \"workload\": \"marketplace (hotspot-skewed sliding-window churn)\",\n  \"unit\": \"updates_per_sec; p50_us/p99_us are batch-amortized per-update ingest latencies\",\n  \"determinism\": \"sharded engine asserted bit-identical to sequential for shards 1/4/8 x threads 1/2/4/0 x batch 64/256/512 (rebuild epochs enabled) before timing; final weight and recourse re-asserted at full scale\",\n  \"floor\": \"Fact 1.3 half floor asserted against the exact blossom oracle at checkpoints of a feasible sub-sample, replayed through the sharded engine\",\n  \"benches\": [\n",
+        if quick { "quick" } else { "full" },
+        hardware_threads(),
+        best_of(quick),
     ));
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"engine\": \"{}\", \"shards\": {}, \"batch\": {}, \"n\": {}, \"ops\": {}, \
-             \"updates_per_sec\": {:.1}, \"p50_us\": {:.3}, \"p99_us\": {:.3}, \
+            "    {{\"engine\": \"{}\", \"shards\": {}, \"threads\": {}, \"batch\": {}, \"n\": {}, \
+             \"ops\": {}, \"updates_per_sec\": {:.1}, \"p50_us\": {:.3}, \"p99_us\": {:.3}, \
              \"recourse_total\": {}, \"final_weight\": {}, \"replayed\": {}, \
-             \"fallbacks\": {}}}{}\n",
+             \"fallbacks\": {}, \"inline\": {}, \"overlap_groups\": {}, \
+             \"balls_parallel\": {}, \"steals\": {}}}{}\n",
             r.engine,
             r.shards,
+            r.threads,
             r.batch,
             r.n,
             r.ops,
@@ -270,6 +391,10 @@ pub fn to_json(rows: &[ServeRow], quick: bool) -> String {
             r.final_weight,
             r.replayed,
             r.fallbacks,
+            r.inline,
+            r.overlap_groups,
+            r.balls_parallel,
+            r.steals,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -291,16 +416,18 @@ pub fn run(quick: bool) -> String {
         String::from("## E12 — marketplace serve: the sharded engine at service scale\n\n");
     out.push_str(&format!(
         "written: `{}` (determinism and the Fact 1.3 ½ floor asserted before timing; \
-         latencies are batch-amortized per update)\n\n",
-        path.display()
+         latencies are batch-amortized per update; each row is the best of {} replays)\n\n",
+        path.display(),
+        best_of(quick),
     ));
-    out.push_str("| engine | shards | n | ops | updates/s | p50 µs | p99 µs | recourse | replayed | fallbacks |\n");
-    out.push_str("|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n");
+    out.push_str("| engine | shards | threads | n | ops | updates/s | p50 µs | p99 µs | recourse | replayed | fallbacks | inline | groups | steals |\n");
+    out.push_str("|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n");
     for r in &rows {
         out.push_str(&format!(
-            "| {} | {} | {} | {} | {:.0} | {:.2} | {:.2} | {} | {} | {} |\n",
+            "| {} | {} | {} | {} | {} | {:.0} | {:.2} | {:.2} | {} | {} | {} | {} | {} | {} |\n",
             r.engine,
             r.shards,
+            r.threads,
             r.n,
             r.ops,
             r.updates_per_sec,
@@ -308,14 +435,24 @@ pub fn run(quick: bool) -> String {
             r.p99_us,
             r.recourse_total,
             r.replayed,
-            r.fallbacks
+            r.fallbacks,
+            r.inline,
+            r.overlap_groups,
+            r.steals
         ));
     }
     out.push_str(&format!(
         "\nShape: all engines commit the identical matching (that is the contract, asserted \
-         above); the sharded rows trade per-batch speculation overhead for the ability to \
-         spread phase A across cores, and the hotspot skew shows up as fallbacks on the hot \
-         shard while cold shards replay. (suite ran in {:.1}s)\n",
+         above). The threads=1 sharded rows take the inline commit path — same code as \
+         sequential, so their throughput gap is pure facade overhead and the serve guard \
+         holds it within 15%. The threads=2 rows price the speculative ball-repair path \
+         ({} on this host): grouping, plan arenas, and in-order commit, \
+         with the hotspot skew showing up as fallbacks on hot groups while disjoint \
+         groups replay. (suite ran in {:.1}s)\n",
+        match hardware_threads() {
+            1 => "1 hardware thread".to_string(),
+            t => format!("{t} hardware threads"),
+        },
         t0.elapsed().as_secs_f64()
     ));
     out
@@ -330,6 +467,7 @@ mod tests {
         let rows = vec![ServeRow {
             engine: "sharded",
             shards: 4,
+            threads: 2,
             batch: 256,
             n: 1000,
             ops: 5000,
@@ -340,11 +478,20 @@ mod tests {
             final_weight: 999,
             replayed: 4800,
             fallbacks: 200,
+            inline: 0,
+            overlap_groups: 77,
+            balls_parallel: 5000,
+            steals: 3,
         }];
         let j = to_json(&rows, true);
         assert!(j.contains("\"updates_per_sec\": 123456.7"));
         assert!(j.contains("\"p99_us\": 9.500"));
         assert!(j.contains("\"engine\": \"sharded\""));
+        assert!(j.contains("\"threads\": 2"));
+        assert!(j.contains("\"hardware_threads\":"));
+        assert!(j.contains("best of 2 full replays"));
+        assert!(j.contains("\"overlap_groups\": 77"));
+        assert!(j.contains("\"steals\": 3"));
         assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
     }
 
@@ -362,10 +509,48 @@ mod tests {
         assert_determinism(64, 400);
         assert_oracle_floor_subsample(32, 300, 150);
         let w = marketplace(128, 1_000, 1);
-        let seq = measure("sequential", 128, &w.ops, 1, 64);
-        let sh = measure("sharded", 128, &w.ops, 4, 64);
+        let seq = measure("sequential", 128, &w.ops, 1, 1, 64, 1);
+        let sh = measure("sharded", 128, &w.ops, 4, 1, 64, 1);
         assert_eq!(seq.final_weight, sh.final_weight);
         assert_eq!(seq.recourse_total, sh.recourse_total);
         assert!(sh.updates_per_sec > 0.0 && sh.p99_us >= sh.p50_us);
+        assert_eq!(sh.inline, 1_000, "threads=1 commits everything inline");
+        // the speculative path reports its grouping telemetry
+        let sp = measure("sharded", 128, &w.ops, 4, 2, 64, 1);
+        assert_eq!(sp.final_weight, seq.final_weight);
+        assert_eq!(sp.inline, 0);
+        assert_eq!(sp.balls_parallel, 1_000);
+        assert_eq!(sp.replayed + sp.fallbacks, 1_000);
+        assert!(sp.overlap_groups > 0);
+    }
+
+    #[test]
+    fn serve_guard_trips_on_slow_sharded() {
+        let mk = |engine: &'static str, threads: usize, ups: f64| ServeRow {
+            engine,
+            shards: 1,
+            threads,
+            batch: 256,
+            n: 100,
+            ops: 100,
+            updates_per_sec: ups,
+            p50_us: 1.0,
+            p99_us: 2.0,
+            recourse_total: 0,
+            final_weight: 0,
+            replayed: 0,
+            fallbacks: 0,
+            inline: 0,
+            overlap_groups: 0,
+            balls_parallel: 0,
+            steals: 0,
+        };
+        // within 15%: fine
+        assert_serve_guard(&[mk("sequential", 1, 100_000.0), mk("sharded", 1, 90_000.0)]);
+        // beyond 15%: trips
+        let r = std::panic::catch_unwind(|| {
+            assert_serve_guard(&[mk("sequential", 1, 100_000.0), mk("sharded", 1, 70_000.0)]);
+        });
+        assert!(r.is_err(), "a 30% gap must trip the guard");
     }
 }

@@ -42,6 +42,7 @@ use wmatch_graph::{Edge, Graph, Matching, Scratch, Vertex, WorkerPool};
 use crate::dyngraph::DynGraph;
 use crate::error::DynamicError;
 use crate::repair::{repair_delete, repair_insert, RepairKit};
+use crate::spec::BatchSpec;
 use crate::update::UpdateOp;
 
 /// Configuration of the update-stream engine.
@@ -255,39 +256,33 @@ impl RebuildKit {
     }
 }
 
-/// The fully-dynamic matching engine. See the [module docs](self) for the
-/// invariant and the repair strategy.
-///
-/// # Example
-///
-/// ```
-/// use wmatch_dynamic::{DynamicConfig, DynamicMatcher, UpdateOp};
-///
-/// // a 3-edge path: greedy would grab the middle edge; the repair
-/// // machinery finds the 3-augmentation to the two outer edges
-/// let mut eng = DynamicMatcher::new(4, DynamicConfig::default());
-/// for (u, v, w) in [(1, 2, 6), (0, 1, 4), (2, 3, 4)] {
-///     eng.apply(UpdateOp::insert(u, v, w)).unwrap();
-/// }
-/// assert_eq!(eng.matching().weight(), 8);
-/// assert_eq!(eng.counters().updates_applied, 3);
-/// ```
+/// The shared state and sequential commit path of every dynamic engine:
+/// the live graph, the maintained matching, the sequential repair kit,
+/// the rebuild machinery, and the lifetime counters. [`DynamicMatcher`]
+/// is a thin wrapper over one of these; the sharded engine's commit
+/// fallback and inline path run the very same methods — which is what
+/// makes "bit-identical to sequential" hold by construction rather than
+/// by re-implementation.
 #[derive(Debug)]
-pub struct DynamicMatcher {
-    g: DynGraph,
-    m: Matching,
-    cfg: DynamicConfig,
-    pool: WorkerPool,
-    kit: RepairKit,
-    rebuild: RebuildKit,
-    counters: DynamicCounters,
-    updates_since_rebuild: usize,
+pub(crate) struct EngineCore {
+    pub g: DynGraph,
+    pub m: Matching,
+    pub cfg: DynamicConfig,
+    pub pool: WorkerPool,
+    /// The sequential repair kit (no read tracking).
+    pub kit: RepairKit,
+    pub rebuild: RebuildKit,
+    pub counters: DynamicCounters,
+    pub updates_since_rebuild: usize,
+    /// Vertices written by the most recent [`EngineCore::repair_one`]:
+    /// the op endpoints plus every journal-edge endpoint. The sharded
+    /// commit uses it to invalidate other groups' speculation.
+    pub write_buf: Vec<Vertex>,
 }
 
-impl DynamicMatcher {
-    /// An engine over an initially edgeless graph on `n` vertices.
+impl EngineCore {
     pub fn new(n: usize, cfg: DynamicConfig) -> Self {
-        DynamicMatcher {
+        EngineCore {
             g: DynGraph::new(n),
             m: Matching::new(n),
             pool: WorkerPool::new(cfg.threads),
@@ -296,61 +291,14 @@ impl DynamicMatcher {
             rebuild: RebuildKit::new(),
             counters: DynamicCounters::default(),
             updates_since_rebuild: 0,
+            write_buf: Vec::new(),
         }
     }
 
-    /// An engine seeded with an initial graph: the edges are loaded
-    /// structurally and the matching is bootstrapped to the invariant
-    /// with [`static_bounded_matching`] (this initial construction does
-    /// not count towards the update/recourse counters).
-    ///
-    /// # Errors
-    ///
-    /// [`DynamicError::ZeroWeight`] if the initial graph carries a
-    /// zero-weight edge.
-    pub fn from_graph(initial: &Graph, cfg: DynamicConfig) -> Result<Self, DynamicError> {
-        let mut eng = DynamicMatcher::new(initial.vertex_count(), cfg);
-        eng.g = DynGraph::from_graph(initial)?;
-        eng.m = static_bounded_matching(initial, cfg.max_len, &mut eng.kit.searcher);
-        Ok(eng)
-    }
-
-    /// The engine's configuration.
-    pub fn config(&self) -> &DynamicConfig {
-        &self.cfg
-    }
-
-    /// The maintained matching.
-    pub fn matching(&self) -> &Matching {
-        &self.m
-    }
-
-    /// The live graph.
-    pub fn graph(&self) -> &DynGraph {
-        &self.g
-    }
-
-    /// Lifetime counters.
-    pub fn counters(&self) -> DynamicCounters {
-        self.counters
-    }
-
-    /// The largest dense scratch footprint the repair path has used —
-    /// the same `scratch_high_water` measure the static solvers report.
-    pub fn scratch_high_water(&self) -> usize {
-        self.kit
-            .scratch_high_water()
-            .max(self.rebuild.scratch.high_water())
-            .max(self.pool.scratch_high_water())
-    }
-
-    /// Applies one update and repairs the matching.
-    ///
-    /// # Errors
-    ///
-    /// A [`DynamicError`] for malformed operations (bad endpoints, zero
-    /// weight, deleting a non-live edge); the engine is unchanged.
-    pub fn apply(&mut self, op: UpdateOp) -> Result<UpdateStats, DynamicError> {
+    /// Structural change + local repair + recourse accounting for one op.
+    /// Fills [`EngineCore::write_buf`] and leaves the lifetime counters
+    /// untouched (see [`EngineCore::finish`]).
+    pub fn repair_one(&mut self, op: UpdateOp) -> Result<UpdateStats, DynamicError> {
         let mut stats = UpdateStats::default();
         self.kit.begin_update();
         let fix = match op {
@@ -373,9 +321,24 @@ impl DynamicMatcher {
         };
         stats.gain = fix.gain;
         stats.augmentations = fix.augmentations;
+        // write set is read off the journal *before* net_recourse drains it
+        let (u, v) = op.endpoints();
+        self.write_buf.clear();
+        self.write_buf.extend([u, v]);
+        for &(e, _) in &self.kit.journal {
+            self.write_buf.extend([e.u, e.v]);
+        }
         // net recourse of this update's own repairs, before any epoch
         // (which reports its churn as a whole-matching diff instead)
         stats.recourse = self.kit.net_recourse();
+        Ok(stats)
+    }
+
+    /// Counts one applied update and runs the rebuild epoch if due,
+    /// folding the epoch's churn into `stats`. Shared verbatim by the
+    /// sequential apply, the sharded replay, and the sharded fallback, so
+    /// counters and rebuild timing agree bit-for-bit across all paths.
+    pub fn finish(&mut self, stats: &mut UpdateStats) {
         self.counters.updates_applied += 1;
         self.counters.augmentations_applied += stats.augmentations;
         self.updates_since_rebuild += 1;
@@ -399,7 +362,115 @@ impl DynamicMatcher {
             stats.rebuilt = true;
         }
         self.counters.recourse_total += stats.recourse;
+    }
+
+    /// One fully-sequential update: repair + counters + rebuild check.
+    pub fn apply_one(&mut self, op: UpdateOp) -> Result<UpdateStats, DynamicError> {
+        let mut stats = self.repair_one(op)?;
+        self.finish(&mut stats);
         Ok(stats)
+    }
+
+    pub fn scratch_high_water(&self) -> usize {
+        self.kit
+            .scratch_high_water()
+            .max(self.rebuild.scratch.high_water())
+            .max(self.pool.scratch_high_water())
+    }
+}
+
+/// The fully-dynamic matching engine. See the [module docs](self) for the
+/// invariant and the repair strategy.
+///
+/// # Example
+///
+/// ```
+/// use wmatch_dynamic::{DynamicConfig, DynamicMatcher, UpdateOp};
+///
+/// // a 3-edge path: greedy would grab the middle edge; the repair
+/// // machinery finds the 3-augmentation to the two outer edges
+/// let mut eng = DynamicMatcher::new(4, DynamicConfig::default());
+/// for (u, v, w) in [(1, 2, 6), (0, 1, 4), (2, 3, 4)] {
+///     eng.apply(UpdateOp::insert(u, v, w)).unwrap();
+/// }
+/// assert_eq!(eng.matching().weight(), 8);
+/// assert_eq!(eng.counters().updates_applied, 3);
+/// ```
+#[derive(Debug)]
+pub struct DynamicMatcher {
+    core: EngineCore,
+    /// Lazily-built batch speculation machinery for
+    /// [`DynamicMatcher::apply_batch`] (one global ball-overlap "shard").
+    spec: Option<Box<BatchSpec>>,
+}
+
+impl DynamicMatcher {
+    /// An engine over an initially edgeless graph on `n` vertices.
+    pub fn new(n: usize, cfg: DynamicConfig) -> Self {
+        DynamicMatcher {
+            core: EngineCore::new(n, cfg),
+            spec: None,
+        }
+    }
+
+    /// An engine seeded with an initial graph: the edges are loaded
+    /// structurally and the matching is bootstrapped to the invariant
+    /// with [`static_bounded_matching`] (this initial construction does
+    /// not count towards the update/recourse counters).
+    ///
+    /// # Errors
+    ///
+    /// [`DynamicError::ZeroWeight`] if the initial graph carries a
+    /// zero-weight edge.
+    pub fn from_graph(initial: &Graph, cfg: DynamicConfig) -> Result<Self, DynamicError> {
+        let mut eng = DynamicMatcher::new(initial.vertex_count(), cfg);
+        eng.core.g = DynGraph::from_graph(initial)?;
+        eng.core.m = static_bounded_matching(initial, cfg.max_len, &mut eng.core.kit.searcher);
+        Ok(eng)
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &DynamicConfig {
+        &self.core.cfg
+    }
+
+    /// The maintained matching.
+    pub fn matching(&self) -> &Matching {
+        &self.core.m
+    }
+
+    /// The live graph.
+    pub fn graph(&self) -> &DynGraph {
+        &self.core.g
+    }
+
+    /// Lifetime counters.
+    pub fn counters(&self) -> DynamicCounters {
+        self.core.counters
+    }
+
+    /// Chunks a worker's claims stole across all pool jobs so far (always
+    /// 0 at `threads = 1`) — scheduler telemetry, never semantics.
+    pub fn steals(&self) -> u64 {
+        self.core.pool.steals()
+    }
+
+    /// The largest dense scratch footprint the repair path has used —
+    /// the same `scratch_high_water` measure the static solvers report.
+    pub fn scratch_high_water(&self) -> usize {
+        self.core
+            .scratch_high_water()
+            .max(self.spec.as_ref().map_or(0, |s| s.scratch_high_water()))
+    }
+
+    /// Applies one update and repairs the matching.
+    ///
+    /// # Errors
+    ///
+    /// A [`DynamicError`] for malformed operations (bad endpoints, zero
+    /// weight, deleting a non-live edge); the engine is unchanged.
+    pub fn apply(&mut self, op: UpdateOp) -> Result<UpdateStats, DynamicError> {
+        self.core.apply_one(op)
     }
 
     /// Applies a whole update sequence, stopping at the first malformed
@@ -420,6 +491,27 @@ impl DynamicMatcher {
             }
         }
         Ok(out)
+    }
+
+    /// Applies one batch through the **parallel ball-repair path**: the
+    /// batch's ops are grouped by ball overlap (union-find on touched
+    /// endpoints), disjoint groups speculate their repairs concurrently on
+    /// the engine's pool, and a sequential commit replays the plans in
+    /// stream order — bit-identical to [`DynamicMatcher::apply_all`] for
+    /// any thread count and batch size. With one worker
+    /// (`threads = 1`, the default) this *is* `apply_all`: the grouping
+    /// and speculation layers cost nothing.
+    ///
+    /// # Errors
+    ///
+    /// A [`BatchError`] at the first malformed op, exactly as
+    /// [`DynamicMatcher::apply_all`].
+    pub fn apply_batch(&mut self, ops: &[UpdateOp]) -> Result<BatchStats, BatchError> {
+        let workers = self.core.pool.workers();
+        let spec = self
+            .spec
+            .get_or_insert_with(|| Box::new(BatchSpec::new(1, workers)));
+        spec.apply_batch(&mut self.core, ops, None)
     }
 }
 

@@ -54,6 +54,7 @@ pub mod engine;
 pub mod error;
 mod repair;
 pub mod sharded;
+mod spec;
 pub mod update;
 
 pub use certifier::CheckpointCertificate;

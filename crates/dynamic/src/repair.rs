@@ -159,8 +159,9 @@ impl RepairKit {
     }
 
     /// Starts a new read window over `n` vertices, clearing the read
-    /// trace. The sharded engine opens one window per batch, so a shard's
-    /// trace covers everything its speculation depended on so far.
+    /// trace (epoch-stamped, so the clear is O(1)). The speculation path
+    /// opens one window per overlap group, so a group's trace covers
+    /// everything its speculation depended on and nothing more.
     pub fn begin_read_window(&mut self, n: usize) {
         self.read.clear();
         self.read_mark.ensure(n);
@@ -174,12 +175,6 @@ impl RepairKit {
         if self.track_reads && self.read_mark.insert(v) {
             self.read.push(v);
         }
-    }
-
-    /// Whether `v` was read at any point of the current read window.
-    #[inline]
-    pub fn has_read(&self, v: Vertex) -> bool {
-        self.read_mark.contains(v)
     }
 
     /// Folds (and drains) the journal into the net number of matching

@@ -1,22 +1,31 @@
 //! The sharded production-scale dynamic engine.
 //!
 //! [`ShardedMatcher`] scales the update-stream engine to millions of
-//! vertices by partitioning the vertex range into `k` contiguous shards
-//! and ingesting updates in batches: every shard *speculates* the repair
-//! of its own ops in parallel against the frozen pre-batch state (plus
-//! its own pending changes), and a sequential commit pass then replays
-//! the speculated plans in the original update order — falling back to
-//! an on-the-spot sequential repair for any plan whose reads were
-//! invalidated by an earlier-committing update.
+//! vertices by ingesting updates in batches through the speculate-then-
+//! commit machinery of the private `spec` module: a batch's ops are routed to `k`
+//! contiguous vertex shards, grouped by **ball overlap** (union-find on
+//! touched endpoints within each shard), and disjoint groups *speculate*
+//! their repairs concurrently on the engine's worker pool against the
+//! frozen pre-batch state. A sequential commit pass then replays the
+//! speculated plans in the original update order — falling back to an
+//! on-the-spot sequential repair for any plan whose reads were
+//! invalidated by an earlier-committing update. While one batch
+//! speculates, the routing/grouping of the *next* batch is computed on
+//! the pool as well (pipelined ingest).
+//!
+//! With a single pool worker the whole apparatus is bypassed: updates
+//! commit straight through the sequential engine's code path, so the
+//! parallel structure costs ~nothing at `threads = 1`.
 //!
 //! # Ownership and routing
 //!
 //! Vertex `v` belongs to shard `v·k/n` (contiguous ranges); the edge
 //! `{u, v}` — and therefore every insert or delete of that pair — is
 //! owned by the shard of `min(u, v)`. Both endpoints of a pair always
-//! route to the same shard, so a shard's speculation sees *every* op
-//! affecting the pairs it owns and its structural verdicts (which copy a
-//! delete removes, whether a delete finds a live copy) are exact, not
+//! route to the same shard, and ops sharing an endpoint within a shard
+//! share a group, so a group's speculation sees *every* op affecting the
+//! pairs it owns and its structural verdicts (which copy a delete
+//! removes, whether a delete finds a live copy) are exact, not
 //! speculative.
 //!
 //! # The determinism contract
@@ -24,301 +33,26 @@
 //! The committed state after a batch is **bit-identical to feeding the
 //! same ops one-by-one into a single [`DynamicMatcher`]** — for any
 //! shard count, any worker-thread count, and any batch size. The
-//! speculation is pure (frozen inputs, per-shard sequential), the commit
+//! speculation is pure (frozen inputs, per-group sequential), the commit
 //! order is the update order, and a plan is replayed only when a
 //! read-set check proves replaying it is indistinguishable from running
 //! the repair sequentially at commit time. Everything else falls back to
 //! the sequential path, which *is* the [`DynamicMatcher`] code — both
-//! run the same `RepairKit` kernel.
+//! run the same `RepairKit` kernel on the same (crate-private)
+//! `EngineCore`.
 //!
 //! [`DynamicMatcher`]: crate::DynamicMatcher
 
 use wmatch_graph::pool::resolve_threads;
-use wmatch_graph::scratch::{EpochMap, EpochSet};
-use wmatch_graph::{Edge, Graph, Matching, Scratch, Vertex, WorkerPool};
+use wmatch_graph::{Graph, Matching};
 
 use crate::dyngraph::DynGraph;
 use crate::engine::{
-    run_rebuild_epoch, static_bounded_matching, BatchError, BatchStats, DynamicConfig,
-    DynamicCounters, RebuildKit, UpdateStats,
+    static_bounded_matching, BatchError, BatchStats, DynamicConfig, DynamicCounters, EngineCore,
 };
 use crate::error::DynamicError;
-use crate::repair::{repair_delete, repair_insert, RepairGraph, RepairKit, RepairMatching};
+use crate::spec::BatchSpec;
 use crate::update::UpdateOp;
-
-/// An edge a shard inserted during the current batch, with a liveness
-/// flag so a later same-batch delete can consume it.
-#[derive(Debug, Clone, Copy)]
-struct SpecEdge {
-    u: Vertex,
-    v: Vertex,
-    weight: u64,
-    live: bool,
-}
-
-/// A shard's speculative graph view: the frozen pre-batch [`DynGraph`]
-/// minus the slab slots this shard virtually deleted, plus the edges it
-/// virtually inserted — presented in exactly the adjacency order the
-/// real graph will have once the batch commits (batch inserts are newer
-/// than every pre-batch edge).
-struct SpecGraph<'a> {
-    base: &'a DynGraph,
-    inserted: &'a [SpecEdge],
-    dead: &'a EpochSet,
-}
-
-impl RepairGraph for SpecGraph<'_> {
-    fn vertex_count(&self) -> usize {
-        self.base.vertex_count()
-    }
-
-    fn for_each_incident(&self, v: Vertex, f: &mut dyn FnMut(Edge)) {
-        for &id in self.base.adj_ids(v) {
-            if !self.dead.contains(id) {
-                f(self.base.edge_at(id));
-            }
-        }
-        for se in self.inserted {
-            if se.live && (se.u == v || se.v == v) {
-                f(Edge::new(se.u, se.v, se.weight));
-            }
-        }
-    }
-
-    fn has_live_copy(&self, u: Vertex, v: Vertex, weight: u64) -> bool {
-        for &id in self.base.adj_ids(u) {
-            if !self.dead.contains(id) {
-                let e = self.base.edge_at(id);
-                if e.touches(v) && e.weight == weight {
-                    return true;
-                }
-            }
-        }
-        self.inserted.iter().any(|se| {
-            se.live && se.weight == weight && ((se.u == u && se.v == v) || (se.u == v && se.v == u))
-        })
-    }
-}
-
-/// A shard's speculative matching view: the frozen pre-batch [`Matching`]
-/// under an epoch-stamped per-vertex overlay (`Some(e)` = matched to `e`,
-/// `None` binding = unmatched, no binding = frozen state).
-struct SpecMatching<'a> {
-    base: &'a Matching,
-    overlay: &'a mut EpochMap<Option<Edge>>,
-}
-
-impl RepairMatching for SpecMatching<'_> {
-    fn matched_edge(&self, v: Vertex) -> Option<Edge> {
-        match self.overlay.get(v) {
-            Some(o) => o,
-            None => self.base.matched_edge(v),
-        }
-    }
-
-    fn do_insert(&mut self, e: Edge) {
-        debug_assert!(self.matched_edge(e.u).is_none());
-        debug_assert!(self.matched_edge(e.v).is_none());
-        self.overlay.insert(e.u, Some(e));
-        self.overlay.insert(e.v, Some(e));
-    }
-
-    fn do_remove(&mut self, u: Vertex, v: Vertex) -> Edge {
-        let e = self.matched_edge(u).expect("repair removes matched edges");
-        debug_assert_eq!(e.other(u), v);
-        self.overlay.insert(u, None);
-        self.overlay.insert(v, None);
-        e
-    }
-}
-
-/// One speculated op: either a typed rejection or the full repair
-/// outcome, with ranges into the shard's pooled journal/write arenas.
-#[derive(Debug, Clone)]
-struct Plan {
-    err: Option<DynamicError>,
-    gain: i128,
-    recourse: u64,
-    augmentations: u64,
-    /// `journal_arena` range: the matching mutations, in order.
-    journal: (u32, u32),
-    /// `writes_arena` range: vertices this op writes (op endpoints plus
-    /// every journal-edge endpoint).
-    writes: (u32, u32),
-}
-
-/// One vertex shard: a read-tracking repair kit plus the speculative
-/// overlays and pooled plan storage of the current batch.
-#[derive(Debug)]
-struct Shard {
-    kit: RepairKit,
-    overlay: EpochMap<Option<Edge>>,
-    /// Pre-batch slab ids this shard virtually deleted.
-    dead: EpochSet,
-    inserted: Vec<SpecEdge>,
-    /// (batch index, op) of every op routed here, in batch order.
-    ops: Vec<(usize, UpdateOp)>,
-    plans: Vec<Plan>,
-    journal_arena: Vec<(Edge, bool)>,
-    writes_arena: Vec<Vertex>,
-    /// False once a committed update invalidated this shard's
-    /// speculation for the rest of the batch.
-    clean: bool,
-}
-
-impl Shard {
-    fn new() -> Self {
-        Shard {
-            kit: RepairKit::new(true),
-            overlay: EpochMap::new(),
-            dead: EpochSet::new(),
-            inserted: Vec::new(),
-            ops: Vec::new(),
-            plans: Vec::new(),
-            journal_arena: Vec::new(),
-            writes_arena: Vec::new(),
-            clean: true,
-        }
-    }
-
-    fn begin_batch(&mut self, n: usize, slab_slots: usize) {
-        self.overlay.ensure(n);
-        self.overlay.clear();
-        self.dead.ensure(slab_slots);
-        self.dead.clear();
-        self.inserted.clear();
-        self.ops.clear();
-        self.plans.clear();
-        self.journal_arena.clear();
-        self.writes_arena.clear();
-        self.clean = true;
-        self.kit.begin_read_window(n);
-    }
-
-    /// The structural half of a speculative insert/delete, mirroring
-    /// [`DynGraph::insert`]/[`DynGraph::delete`] exactly (same validation,
-    /// same LIFO copy choice) against the shard's virtual state.
-    fn spec_structural(&mut self, g: &DynGraph, op: UpdateOp) -> Result<(), DynamicError> {
-        match op {
-            UpdateOp::Insert { u, v, weight } => {
-                g.check_insert(u, v, weight)?;
-                self.inserted.push(SpecEdge {
-                    u,
-                    v,
-                    weight,
-                    live: true,
-                });
-                Ok(())
-            }
-            UpdateOp::Delete { u, v } => {
-                // LIFO: the shard's own batch inserts are newer than
-                // every pre-batch edge
-                if (u as usize) < g.vertex_count() && (v as usize) < g.vertex_count() {
-                    if let Some(pos) = self.inserted.iter().rposition(|se| {
-                        se.live && ((se.u == u && se.v == v) || (se.u == v && se.v == u))
-                    }) {
-                        self.inserted[pos].live = false;
-                        return Ok(());
-                    }
-                }
-                match g.peek_delete(u, v) {
-                    Ok((first_id, _)) => {
-                        // the newest *non-dead* pre-batch copy: walk the
-                        // adjacency backwards past virtually deleted ids
-                        let id = self
-                            .base_lifo_copy(g, u, v)
-                            .ok_or(DynamicError::EdgeNotFound { u, v })?;
-                        let _ = first_id;
-                        self.dead.insert(id);
-                        Ok(())
-                    }
-                    Err(e) => {
-                        // range errors propagate; EdgeNotFound must still
-                        // consider dead-skipping (peek found a copy we
-                        // virtually deleted → truly not found now)
-                        match e {
-                            DynamicError::EdgeNotFound { .. } => {
-                                Err(DynamicError::EdgeNotFound { u, v })
-                            }
-                            other => Err(other),
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    /// The newest pre-batch live copy of `{u, v}` not yet virtually
-    /// deleted, as a slab id.
-    fn base_lifo_copy(&self, g: &DynGraph, u: Vertex, v: Vertex) -> Option<u32> {
-        g.adj_ids(u)
-            .iter()
-            .rev()
-            .copied()
-            .find(|&id| !self.dead.contains(id) && g.edge_at(id).touches(v))
-    }
-
-    /// Speculates every op routed to this shard, in batch order, pushing
-    /// one [`Plan`] per op. Pure with respect to the frozen `(g, m)` —
-    /// this is the parallel phase.
-    fn speculate(&mut self, g: &DynGraph, m: &Matching, cfg: &DynamicConfig) {
-        for k in 0..self.ops.len() {
-            let (_, op) = self.ops[k];
-            self.kit.begin_update();
-            let structural = self.spec_structural(g, op);
-            let plan = match structural {
-                Err(e) => Plan {
-                    err: Some(e),
-                    gain: 0,
-                    recourse: 0,
-                    augmentations: 0,
-                    journal: (0, 0),
-                    writes: (0, 0),
-                },
-                Ok(()) => {
-                    let Shard {
-                        kit,
-                        overlay,
-                        dead,
-                        inserted,
-                        ..
-                    } = self;
-                    let view = SpecGraph {
-                        base: g,
-                        inserted,
-                        dead,
-                    };
-                    let mut sm = SpecMatching { base: m, overlay };
-                    let fix = match op {
-                        UpdateOp::Insert { u, v, weight } => {
-                            repair_insert(kit, &view, &mut sm, u, v, weight, cfg.max_len)
-                        }
-                        UpdateOp::Delete { u, v } => {
-                            repair_delete(kit, &view, &mut sm, u, v, cfg.max_len)
-                        }
-                    };
-                    let j0 = self.journal_arena.len() as u32;
-                    let w0 = self.writes_arena.len() as u32;
-                    let (u, v) = op.endpoints();
-                    self.writes_arena.extend([u, v]);
-                    for &(e, ins) in &self.kit.journal {
-                        self.journal_arena.push((e, ins));
-                        self.writes_arena.extend([e.u, e.v]);
-                    }
-                    Plan {
-                        err: None,
-                        gain: fix.gain,
-                        recourse: self.kit.net_recourse(),
-                        augmentations: fix.augmentations,
-                        journal: (j0, self.journal_arena.len() as u32),
-                        writes: (w0, self.writes_arena.len() as u32),
-                    }
-                }
-            };
-            self.plans.push(plan);
-        }
-    }
-}
 
 /// A `k`-shard batched dynamic matching engine, bit-identical to the
 /// sequential [`DynamicMatcher`](crate::DynamicMatcher) for any shard
@@ -342,23 +76,9 @@ impl Shard {
 /// ```
 #[derive(Debug)]
 pub struct ShardedMatcher {
-    g: DynGraph,
-    m: Matching,
-    cfg: DynamicConfig,
-    shards: Vec<Shard>,
-    pool: WorkerPool,
-    /// The sequential-fallback and rebuild-epoch repair kit — running
-    /// literally the `DynamicMatcher` code path.
-    seq_kit: RepairKit,
-    rebuild: RebuildKit,
-    counters: DynamicCounters,
-    updates_since_rebuild: usize,
+    core: EngineCore,
+    spec: BatchSpec,
     batch: usize,
-    /// `(shard, plan index)` per op of the current batch.
-    route: Vec<(u32, u32)>,
-    write_buf: Vec<Vertex>,
-    replayed: u64,
-    fallbacks: u64,
 }
 
 impl ShardedMatcher {
@@ -371,21 +91,12 @@ impl ShardedMatcher {
     /// `threads` knob).
     pub fn new(n: usize, cfg: DynamicConfig, shards: usize) -> Self {
         let k = resolve_threads(shards);
+        let core = EngineCore::new(n, cfg);
+        let workers = core.pool.workers();
         ShardedMatcher {
-            g: DynGraph::new(n),
-            m: Matching::new(n),
-            pool: WorkerPool::new(cfg.threads),
-            cfg,
-            shards: (0..k).map(|_| Shard::new()).collect(),
-            seq_kit: RepairKit::new(false),
-            rebuild: RebuildKit::new(),
-            counters: DynamicCounters::default(),
-            updates_since_rebuild: 0,
+            core,
+            spec: BatchSpec::new(k, workers),
             batch: Self::DEFAULT_BATCH,
-            route: Vec::new(),
-            write_buf: Vec::new(),
-            replayed: 0,
-            fallbacks: 0,
         }
     }
 
@@ -403,8 +114,8 @@ impl ShardedMatcher {
         shards: usize,
     ) -> Result<Self, DynamicError> {
         let mut eng = ShardedMatcher::new(initial.vertex_count(), cfg, shards);
-        eng.g = DynGraph::from_graph(initial)?;
-        eng.m = static_bounded_matching(initial, cfg.max_len, &mut eng.seq_kit.searcher);
+        eng.core.g = DynGraph::from_graph(initial)?;
+        eng.core.m = static_bounded_matching(initial, cfg.max_len, &mut eng.core.kit.searcher);
         Ok(eng)
     }
 
@@ -417,221 +128,84 @@ impl ShardedMatcher {
 
     /// The engine's configuration.
     pub fn config(&self) -> &DynamicConfig {
-        &self.cfg
+        &self.core.cfg
     }
 
-    /// The number of vertex shards.
+    /// The number of vertex shards (the routing granularity of ball
+    /// grouping; semantics-free).
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.spec.k
     }
 
     /// The maintained matching.
     pub fn matching(&self) -> &Matching {
-        &self.m
+        &self.core.m
     }
 
     /// The live graph.
     pub fn graph(&self) -> &DynGraph {
-        &self.g
+        &self.core.g
     }
 
     /// Lifetime counters (identical to the sequential engine's on the
     /// same update stream).
     pub fn counters(&self) -> DynamicCounters {
-        self.counters
+        self.core.counters
     }
 
     /// Updates committed by replaying their speculated plan.
     pub fn replayed(&self) -> u64 {
-        self.replayed
+        self.spec.replayed
     }
 
     /// Updates that fell back to the sequential repair at commit time.
     pub fn fallbacks(&self) -> u64 {
-        self.fallbacks
+        self.spec.fallbacks
+    }
+
+    /// Updates committed through the one-worker inline path (no grouping
+    /// or speculation ran at all).
+    pub fn inline_commits(&self) -> u64 {
+        self.spec.inline_commits
+    }
+
+    /// Ball-overlap groups formed across all speculative batches.
+    pub fn overlap_groups(&self) -> u64 {
+        self.spec.overlap_groups
+    }
+
+    /// Ops whose repair was speculated in the parallel ball phase.
+    pub fn balls_parallel(&self) -> u64 {
+        self.spec.balls_parallel
+    }
+
+    /// Chunks stolen across all pool jobs so far (always 0 at
+    /// `threads = 1`) — scheduler telemetry, never semantics.
+    pub fn steals(&self) -> u64 {
+        self.core.pool.steals()
     }
 
     /// The largest dense scratch footprint any repair path has used.
     pub fn scratch_high_water(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.kit.scratch_high_water())
-            .max()
-            .unwrap_or(0)
-            .max(self.seq_kit.scratch_high_water())
-            .max(self.rebuild.scratch.high_water())
-            .max(self.pool.scratch_high_water())
+        self.core
+            .scratch_high_water()
+            .max(self.spec.scratch_high_water())
     }
 
-    /// The shard owning vertex `v` (contiguous ranges; out-of-range
-    /// vertices clamp to the last shard, where validation rejects them).
-    #[inline]
-    fn shard_of(&self, v: Vertex) -> usize {
-        let n = self.g.vertex_count();
-        if n == 0 {
-            return 0;
-        }
-        let v = (v as usize).min(n - 1);
-        v * self.shards.len() / n
-    }
-
-    /// Applies one batch: parallel speculation, then an in-order commit.
+    /// Applies one batch: ball-overlap grouping, parallel speculation,
+    /// then an in-order commit (inline at one worker).
     ///
     /// # Errors
     ///
     /// A [`BatchError`] at the first malformed op; `applied` counts the
     /// committed updates (which remain applied).
     pub fn apply_batch(&mut self, ops: &[UpdateOp]) -> Result<BatchStats, BatchError> {
-        let n = self.g.vertex_count();
-        let slots = self.g.slab_slots();
-        for shard in &mut self.shards {
-            shard.begin_batch(n, slots);
-        }
-        self.route.clear();
-        for (i, &op) in ops.iter().enumerate() {
-            let (u, v) = op.endpoints();
-            let s = self.shard_of(u.min(v));
-            self.route.push((s as u32, self.shards[s].ops.len() as u32));
-            self.shards[s].ops.push((i, op));
-        }
-        // phase A: every shard speculates its ops against the frozen
-        // pre-batch state, in parallel — pure, so thread count is moot
-        {
-            let g = &self.g;
-            let m = &self.m;
-            let cfg = self.cfg;
-            let task = move |_worker: usize, _i: usize, shard: &mut Shard, _scr: &mut Scratch| {
-                shard.speculate(g, m, &cfg);
-            };
-            self.pool.run_over(&mut self.shards, &task);
-        }
-        // phase B: commit in batch order — replay clean plans, fall back
-        // to the sequential repair otherwise
-        let mut out = BatchStats::default();
-        for (i, &op) in ops.iter().enumerate() {
-            let (s_idx, p_idx) = self.route[i];
-            let s_idx = s_idx as usize;
-            let shard = &mut self.shards[s_idx];
-            let plan = &shard.plans[p_idx as usize];
-            let mut stats = UpdateStats::default();
-            if shard.clean && plan.err.is_none() {
-                // replay: provably identical to running the repair here
-                match op {
-                    UpdateOp::Insert { u, v, weight } => {
-                        self.g
-                            .insert(u, v, weight)
-                            .expect("speculated insert replays");
-                    }
-                    UpdateOp::Delete { u, v } => {
-                        self.g.delete(u, v).expect("speculated delete replays");
-                    }
-                }
-                for k in plan.journal.0..plan.journal.1 {
-                    let (e, ins) = shard.journal_arena[k as usize];
-                    if ins {
-                        self.m.insert(e).expect("replayed insert is valid");
-                    } else {
-                        self.m
-                            .remove_pair(e.u, e.v)
-                            .expect("replayed removal is valid");
-                    }
-                }
-                stats.gain = plan.gain;
-                stats.recourse = plan.recourse;
-                stats.augmentations = plan.augmentations;
-                self.write_buf.clear();
-                self.write_buf.extend_from_slice(
-                    &shard.writes_arena[plan.writes.0 as usize..plan.writes.1 as usize],
-                );
-                self.replayed += 1;
-            } else {
-                // sequential fallback — the DynamicMatcher code path
-                shard.clean = false;
-                self.seq_kit.begin_update();
-                let structural = match op {
-                    UpdateOp::Insert { u, v, weight } => self.g.insert(u, v, weight).map(|_| ()),
-                    UpdateOp::Delete { u, v } => self.g.delete(u, v).map(|_| ()),
-                };
-                if let Err(source) = structural {
-                    return Err(BatchError { applied: i, source });
-                }
-                let fix = match op {
-                    UpdateOp::Insert { u, v, weight } => repair_insert(
-                        &mut self.seq_kit,
-                        &self.g,
-                        &mut self.m,
-                        u,
-                        v,
-                        weight,
-                        self.cfg.max_len,
-                    ),
-                    UpdateOp::Delete { u, v } => repair_delete(
-                        &mut self.seq_kit,
-                        &self.g,
-                        &mut self.m,
-                        u,
-                        v,
-                        self.cfg.max_len,
-                    ),
-                };
-                let (u, v) = op.endpoints();
-                self.write_buf.clear();
-                self.write_buf.extend([u, v]);
-                for &(e, _) in &self.seq_kit.journal {
-                    self.write_buf.extend([e.u, e.v]);
-                }
-                stats.gain = fix.gain;
-                stats.augmentations = fix.augmentations;
-                stats.recourse = self.seq_kit.net_recourse();
-                self.fallbacks += 1;
-            }
-            // a committed write to any vertex another shard's speculation
-            // read invalidates that shard for the rest of the batch
-            for (j, other) in self.shards.iter_mut().enumerate() {
-                if j != s_idx && other.clean {
-                    for &w in &self.write_buf {
-                        if other.kit.has_read(w) {
-                            other.clean = false;
-                            break;
-                        }
-                    }
-                }
-            }
-            self.counters.updates_applied += 1;
-            self.counters.augmentations_applied += stats.augmentations;
-            self.updates_since_rebuild += 1;
-            if self.cfg.rebuild_threshold > 0
-                && self.updates_since_rebuild >= self.cfg.rebuild_threshold
-            {
-                self.counters.rebuilds += 1;
-                self.updates_since_rebuild = 0;
-                let (r, gain, augs) = run_rebuild_epoch(
-                    &self.g,
-                    &mut self.m,
-                    &self.cfg,
-                    &mut self.pool,
-                    &mut self.seq_kit,
-                    &mut self.rebuild,
-                    self.counters.rebuilds,
-                );
-                self.counters.augmentations_applied += augs;
-                stats.recourse += r;
-                stats.gain += gain;
-                stats.rebuilt = true;
-                // the epoch rewrote the matching globally: every
-                // remaining speculation is stale
-                for shard in &mut self.shards {
-                    shard.clean = false;
-                }
-            }
-            self.counters.recourse_total += stats.recourse;
-            out.absorb(stats);
-        }
-        Ok(out)
+        self.spec.apply_batch(&mut self.core, ops, None)
     }
 
     /// Applies a whole update sequence, chunked into engine-sized
-    /// batches. Stats aggregate over all batches.
+    /// batches; each batch's speculation overlaps the grouping of the
+    /// next (pipelined ingest). Stats aggregate over all batches.
     ///
     /// # Errors
     ///
@@ -640,8 +214,10 @@ impl ShardedMatcher {
     pub fn apply_all(&mut self, ops: &[UpdateOp]) -> Result<BatchStats, BatchError> {
         let mut out = BatchStats::default();
         let mut offset = 0usize;
-        for chunk in ops.chunks(self.batch.max(1)) {
-            match self.apply_batch(chunk) {
+        let chunks: Vec<&[UpdateOp]> = ops.chunks(self.batch.max(1)).collect();
+        for (ci, chunk) in chunks.iter().enumerate() {
+            let next = chunks.get(ci + 1).copied();
+            match self.spec.apply_batch(&mut self.core, chunk, next) {
                 Ok(s) => {
                     out.applied += s.applied;
                     out.gain += s.gain;
@@ -668,6 +244,7 @@ mod tests {
     use crate::engine::DynamicMatcher;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    use wmatch_graph::Vertex;
 
     fn churn_ops(n: Vertex, count: usize, seed: u64) -> Vec<UpdateOp> {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -726,20 +303,39 @@ mod tests {
     }
 
     #[test]
+    fn acceptance_grid_is_bit_identical() {
+        // the ISSUE 8 grid: threads × shards × batch, all against the
+        // same sequential run (threads > cores exercises stealing and
+        // speculation; threads = 0 resolves to the core count)
+        let ops = churn_ops(24, 300, 0x6081);
+        for &threads in &[1usize, 2, 4, 0] {
+            let cfg = DynamicConfig::default().with_threads(threads);
+            for &shards in &[1usize, 4, 8] {
+                for &batch in &[64usize, 256, 512] {
+                    assert_matches_sequential(cfg, &ops, shards, batch);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn sharded_matches_sequential_with_rebuild_epochs() {
         let ops = churn_ops(24, 200, 0xbeef);
-        let cfg = DynamicConfig::default()
-            .with_rebuild_threshold(32)
-            .with_seed(7);
-        for &shards in &[2usize, 4] {
-            assert_matches_sequential(cfg, &ops, shards, 50);
+        for &threads in &[1usize, 2] {
+            let cfg = DynamicConfig::default()
+                .with_rebuild_threshold(32)
+                .with_seed(7)
+                .with_threads(threads);
+            for &shards in &[2usize, 4] {
+                assert_matches_sequential(cfg, &ops, shards, 50);
+            }
         }
     }
 
     #[test]
     fn sharded_matches_sequential_across_threads() {
         let ops = churn_ops(24, 150, 0xfeed);
-        for &threads in &[1usize, 4, 0] {
+        for &threads in &[1usize, 2, 4, 0] {
             let cfg = DynamicConfig::default().with_threads(threads);
             assert_matches_sequential(cfg, &ops, 4, 32);
         }
@@ -765,8 +361,11 @@ mod tests {
                 live.push((u, v));
             }
         }
-        assert_matches_sequential(DynamicConfig::default(), &ops, 2, 40);
-        assert_matches_sequential(DynamicConfig::default(), &ops, 8, 40);
+        for &threads in &[1usize, 2] {
+            let cfg = DynamicConfig::default().with_threads(threads);
+            assert_matches_sequential(cfg, &ops, 2, 40);
+            assert_matches_sequential(cfg, &ops, 8, 40);
+        }
     }
 
     #[test]
@@ -789,36 +388,46 @@ mod tests {
                 counts[p] += 1;
             }
         }
-        assert_matches_sequential(DynamicConfig::default(), &ops, 2, 32);
-        assert_matches_sequential(DynamicConfig::default(), &ops, 8, 32);
+        for &threads in &[1usize, 2] {
+            let cfg = DynamicConfig::default().with_threads(threads);
+            assert_matches_sequential(cfg, &ops, 2, 32);
+            assert_matches_sequential(cfg, &ops, 8, 32);
+        }
     }
 
     #[test]
     fn batch_error_reports_applied_count() {
-        let cfg = DynamicConfig::default();
-        let mut eng = ShardedMatcher::new(8, cfg, 2).with_batch_size(3);
-        let ops = [
-            UpdateOp::insert(0, 1, 5),
-            UpdateOp::insert(2, 3, 4),
-            UpdateOp::insert(4, 5, 3),
-            UpdateOp::insert(6, 7, 2),
-            UpdateOp::delete(0, 7), // never inserted
-            UpdateOp::insert(1, 2, 9),
-        ];
-        let err = eng.apply_all(&ops).unwrap_err();
-        assert_eq!(err.applied, 4, "four updates committed before the bad op");
-        assert!(matches!(err.source, DynamicError::EdgeNotFound { .. }));
-        assert_eq!(eng.counters().updates_applied, 4);
-        assert_eq!(eng.matching().weight(), 14);
-        let msg = err.to_string();
-        assert!(msg.contains("4 updates applied"), "{msg}");
+        for &threads in &[1usize, 2] {
+            // threads = 1 exercises the inline error path, threads = 2 the
+            // speculative one (the bad op's plan carries the error and the
+            // fallback surfaces it at commit time)
+            let cfg = DynamicConfig::default().with_threads(threads);
+            let mut eng = ShardedMatcher::new(8, cfg, 2).with_batch_size(3);
+            let ops = [
+                UpdateOp::insert(0, 1, 5),
+                UpdateOp::insert(2, 3, 4),
+                UpdateOp::insert(4, 5, 3),
+                UpdateOp::insert(6, 7, 2),
+                UpdateOp::delete(0, 7), // never inserted
+                UpdateOp::insert(1, 2, 9),
+            ];
+            let err = eng.apply_all(&ops).unwrap_err();
+            assert_eq!(err.applied, 4, "four updates committed before the bad op");
+            assert!(matches!(err.source, DynamicError::EdgeNotFound { .. }));
+            assert_eq!(eng.counters().updates_applied, 4);
+            assert_eq!(eng.matching().weight(), 14);
+            let msg = err.to_string();
+            assert!(msg.contains("4 updates applied"), "{msg}");
+        }
     }
 
     #[test]
     fn disjoint_shard_traffic_replays() {
         // ops confined to distinct shard-local vertex ranges never
-        // conflict: everything should commit by replay
-        let mut eng = ShardedMatcher::new(24, DynamicConfig::default(), 4).with_batch_size(64);
+        // conflict: with a parallel pool everything commits by replay,
+        // and the overlapping triple within each range forms one group
+        let cfg = DynamicConfig::default().with_threads(2);
+        let mut eng = ShardedMatcher::new(24, cfg, 4).with_batch_size(64);
         let mut ops = Vec::new();
         for s in 0..4u32 {
             let base = s * 6;
@@ -828,11 +437,74 @@ mod tests {
         }
         let stats = eng.apply_all(&ops).unwrap();
         assert_eq!(stats.applied, 12);
-        assert_eq!(eng.fallbacks(), 0, "no cross-shard conflicts to repair");
+        assert_eq!(eng.fallbacks(), 0, "no cross-group conflicts to repair");
         assert_eq!(eng.replayed(), 12);
+        assert_eq!(eng.inline_commits(), 0);
+        assert_eq!(eng.overlap_groups(), 4, "one overlap group per shard");
+        assert_eq!(eng.balls_parallel(), 12);
         let mut seq = DynamicMatcher::new(24, DynamicConfig::default());
         seq.apply_all(&ops).unwrap();
         assert_eq!(seq.matching().to_edges(), eng.matching().to_edges());
+    }
+
+    #[test]
+    fn one_worker_commits_inline() {
+        // the default threads = 1 pool bypasses grouping and speculation
+        // entirely: every update is an inline commit
+        let mut eng = ShardedMatcher::new(24, DynamicConfig::default(), 4).with_batch_size(64);
+        let ops = churn_ops(24, 100, 0x171e);
+        eng.apply_all(&ops).unwrap();
+        assert_eq!(eng.inline_commits(), 100);
+        assert_eq!(eng.replayed(), 0);
+        assert_eq!(eng.fallbacks(), 0);
+        assert_eq!(eng.overlap_groups(), 0);
+        assert_eq!(eng.balls_parallel(), 0);
+        assert_eq!(eng.steals(), 0);
+    }
+
+    #[test]
+    fn hub_batches_collapse_to_one_group_and_match_sequential() {
+        // adversarial: every op of a batch touches hub vertex 0, so ball
+        // grouping must collapse each batch to a single group (sequential
+        // within the group) and still match the sequential engine exactly
+        let mut rng = StdRng::seed_from_u64(0x4b0b);
+        let mut ops = Vec::new();
+        let mut live: Vec<Vertex> = Vec::new();
+        for _ in 0..120 {
+            if !live.is_empty() && rng.gen_range(0..3) == 0 {
+                let i = rng.gen_range(0..live.len());
+                let v = live.swap_remove(i);
+                ops.push(UpdateOp::delete(0, v));
+            } else {
+                let v = rng.gen_range(1..24u32);
+                ops.push(UpdateOp::insert(0, v, rng.gen_range(1..40u64)));
+                live.push(v);
+            }
+        }
+        let cfg = DynamicConfig::default().with_threads(2);
+        for &shards in &[1usize, 4] {
+            assert_matches_sequential(cfg, &ops, shards, 40);
+        }
+        // all hub ops route to vertex 0's shard: exactly one group per
+        // batch, every op speculated, none inline
+        let mut eng = ShardedMatcher::new(24, cfg, 4).with_batch_size(40);
+        eng.apply_all(&ops).unwrap();
+        assert_eq!(eng.overlap_groups(), 3, "120 ops / 40 per batch = 3 groups");
+        assert_eq!(eng.balls_parallel(), 120);
+        assert_eq!(eng.replayed() + eng.fallbacks(), 120);
+    }
+
+    #[test]
+    fn apply_batch_equals_apply_all_chunking() {
+        // one explicit batch vs the same ops auto-chunked: identical state
+        let ops = churn_ops(24, 90, 0xabcd);
+        let cfg = DynamicConfig::default().with_threads(2);
+        let mut a = ShardedMatcher::new(24, cfg, 4);
+        let mut b = ShardedMatcher::new(24, cfg, 4).with_batch_size(30);
+        a.apply_batch(&ops).unwrap();
+        b.apply_all(&ops).unwrap();
+        assert_eq!(a.matching().to_edges(), b.matching().to_edges());
+        assert_eq!(a.counters(), b.counters());
     }
 
     #[test]

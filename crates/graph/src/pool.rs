@@ -13,10 +13,14 @@
 //!   [`WorkerPool::new`] and parked on a condvar between jobs, so a driver
 //!   that dispatches hundreds of sweeps per solve pays thread-spawn cost
 //!   once, not per round;
-//! * **no lock on the result path** — [`WorkerPool::run_map`] hands each
-//!   worker item indices from an atomic counter and the worker writes its
-//!   result into the pre-sized slot of that index; there is no shared
-//!   `Mutex<Vec<_>>` to contend on and no sort-by-index fixup afterwards;
+//! * **no lock on the result path** — [`WorkerPool::run_map`] partitions
+//!   the items into per-worker owner ranges; workers claim size-adaptive
+//!   chunks from their own range and **steal** chunks from the fullest
+//!   foreign range once theirs drains (so one 10–50× heavier weight class
+//!   no longer straggles the whole sweep), and every worker writes each
+//!   result into the pre-sized slot of that item's index; there is no
+//!   shared `Mutex<Vec<_>>` to contend on and no sort-by-index fixup
+//!   afterwards;
 //! * **one reusable [`Scratch`] arena per worker** — tasks receive the
 //!   arena of whichever worker runs them, so the hot loops stay
 //!   allocation-free across jobs exactly as they do sequentially;
@@ -42,8 +46,17 @@ type Task<'a> = dyn Fn(usize, usize, &mut Scratch) + Sync + 'a;
 
 /// One dispatched job: a borrowed task plus its own claim/completion
 /// counters. The counters live *inside* the job (behind an [`Arc`]) so a
-/// straggling worker that wakes after the job finished keeps decrementing
-/// a dead job's counter instead of stealing items from the next one.
+/// straggling worker that wakes after the job finished keeps draining a
+/// dead job's (empty) ranges instead of stealing items from the next one.
+///
+/// Items are partitioned into one contiguous **owner range per worker**;
+/// each range has an atomic cursor from which workers claim size-adaptive
+/// chunks (large while the range is full, shrinking toward 1 as it drains,
+/// so skewed per-item costs still balance). A worker drains its own range
+/// first and then *steals* chunks from the fullest remaining range, which
+/// keeps every worker busy even when one owner range holds all the heavy
+/// items. Results stay keyed by item index, so stealing never affects
+/// output order or content.
 struct Job {
     /// Erased pointer to the dispatcher's task closure.
     ///
@@ -52,7 +65,11 @@ struct Job {
     /// invocation returns, so the pointee outlives every dereference.
     task: *const Task<'static>,
     items: usize,
-    next: AtomicUsize,
+    /// Owner-range bounds: worker `w` owns items `starts[w]..starts[w+1]`.
+    starts: Vec<usize>,
+    /// Claimed-item count within each owner range (may overshoot the range
+    /// length after racing claims; claimants clamp).
+    cursors: Vec<AtomicUsize>,
     done: AtomicUsize,
     panicked: AtomicBool,
 }
@@ -64,24 +81,92 @@ unsafe impl Send for Job {}
 unsafe impl Sync for Job {}
 
 impl Job {
-    /// Claims and runs items until the job is drained, crediting busy time
-    /// and arena footprint to `slot`.
+    /// Builds the per-worker owner ranges for `items` split across
+    /// `workers` (near-equal contiguous slices, earlier ranges one longer
+    /// when `items` does not divide evenly).
+    fn partition(items: usize, workers: usize) -> Vec<usize> {
+        let base = items / workers;
+        let extra = items % workers;
+        let mut starts = Vec::with_capacity(workers + 1);
+        let mut at = 0;
+        starts.push(0);
+        for w in 0..workers {
+            at += base + usize::from(w < extra);
+            starts.push(at);
+        }
+        starts
+    }
+
+    /// Size-adaptive chunk for a range with `remaining` unclaimed items:
+    /// grab a fraction so early claims amortize the atomic and late claims
+    /// shrink to single items for load balance. Steals take a bigger bite
+    /// (half the remainder) since the thief starts cold.
+    fn chunk_size(remaining: usize, stealing: bool) -> usize {
+        let c = if stealing {
+            remaining / 2
+        } else {
+            remaining / 4
+        };
+        c.clamp(1, 64)
+    }
+
+    /// Attempts to claim a chunk from `victim`'s range. Returns the claimed
+    /// item range, or `None` if the range is drained.
+    fn claim(&self, victim: usize, stealing: bool) -> Option<(usize, usize)> {
+        let (start, end) = (self.starts[victim], self.starts[victim + 1]);
+        let len = end - start;
+        let cur = &self.cursors[victim];
+        let seen = cur.load(Ordering::Relaxed);
+        if seen >= len {
+            return None;
+        }
+        let chunk = Self::chunk_size(len - seen, stealing);
+        let at = cur.fetch_add(chunk, Ordering::Relaxed);
+        if at >= len {
+            return None;
+        }
+        let take = chunk.min(len - at);
+        Some((start + at, start + at + take))
+    }
+
+    /// Claims and runs chunks until every range is drained, crediting busy
+    /// time, steal counts, and arena footprint to `slot`.
     fn work(&self, shared: &Shared, slot: usize, scratch: &mut Scratch) {
         let t0 = Instant::now();
+        let workers = self.cursors.len();
+        let own = slot.min(workers - 1);
         loop {
-            let i = self.next.fetch_add(1, Ordering::Relaxed);
-            if i >= self.items {
-                break;
+            // own range first; when drained, steal from the fullest range
+            let (victim, stealing) = if self.remaining(own) > 0 {
+                (own, false)
+            } else {
+                match (0..workers)
+                    .filter(|&w| w != own)
+                    .map(|w| (self.remaining(w), w))
+                    .max()
+                {
+                    Some((rem, w)) if rem > 0 => (w, true),
+                    _ => break,
+                }
+            };
+            let Some((lo, hi)) = self.claim(victim, stealing) else {
+                continue; // raced; re-scan
+            };
+            if stealing {
+                shared.steals.fetch_add(1, Ordering::Relaxed);
             }
-            // SAFETY: see the contract on `Job::task` — the dispatcher
-            // cannot return (and thus drop the closure) before this item's
-            // `done` increment below.
-            let task = unsafe { &*self.task };
-            if catch_unwind(AssertUnwindSafe(|| task(slot, i, scratch))).is_err() {
-                self.panicked.store(true, Ordering::Release);
+            for i in lo..hi {
+                // SAFETY: see the contract on `Job::task` — the dispatcher
+                // cannot return (and thus drop the closure) before this
+                // chunk's `done` increment below.
+                let task = unsafe { &*self.task };
+                if catch_unwind(AssertUnwindSafe(|| task(slot, i, scratch))).is_err() {
+                    self.panicked.store(true, Ordering::Release);
+                }
             }
-            if self.done.fetch_add(1, Ordering::AcqRel) + 1 == self.items {
-                // last item: wake the dispatcher (lock ordering: the
+            let take = hi - lo;
+            if self.done.fetch_add(take, Ordering::AcqRel) + take == self.items {
+                // last chunk: wake the dispatcher (lock ordering: the
                 // dispatcher re-checks `done` under the same mutex)
                 let _guard = shared.state.lock().unwrap();
                 shared.job_done.notify_all();
@@ -89,6 +174,13 @@ impl Job {
         }
         shared.busy_ns[slot].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         shared.high_water[slot].fetch_max(scratch.high_water(), Ordering::Relaxed);
+    }
+
+    /// Unclaimed items left in `w`'s range (racy snapshot — good enough for
+    /// victim selection; `claim` re-validates).
+    fn remaining(&self, w: usize) -> usize {
+        let len = self.starts[w + 1] - self.starts[w];
+        len.saturating_sub(self.cursors[w].load(Ordering::Relaxed))
     }
 }
 
@@ -109,6 +201,9 @@ struct Shared {
     busy_ns: Vec<AtomicU64>,
     /// Scratch-arena high-water mark per worker slot.
     high_water: Vec<AtomicUsize>,
+    /// Cumulative count of stolen chunks (claims from a foreign owner
+    /// range) across all jobs.
+    steals: AtomicU64,
 }
 
 fn worker_loop(shared: Arc<Shared>, slot: usize) {
@@ -189,6 +284,7 @@ impl WorkerPool {
             job_done: Condvar::new(),
             busy_ns: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             high_water: (0..workers).map(|_| AtomicUsize::new(0)).collect(),
+            steals: AtomicU64::new(0),
         });
         let handles = (1..workers)
             .map(|slot| {
@@ -221,6 +317,16 @@ impl WorkerPool {
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .collect()
+    }
+
+    /// Cumulative number of **stolen chunks** across all jobs: claims a
+    /// worker made from another worker's owner range after draining its
+    /// own. Zero under sequential execution and whenever every owner keeps
+    /// pace; growth is the signature of skewed per-item costs being
+    /// rebalanced. Stealing never affects results — only which worker's
+    /// scratch arena ran an item.
+    pub fn steals(&self) -> u64 {
+        self.shared.steals.load(Ordering::Relaxed)
     }
 
     /// Largest scratch-arena footprint across all workers (including the
@@ -326,7 +432,8 @@ impl WorkerPool {
         let job = Arc::new(Job {
             task,
             items,
-            next: AtomicUsize::new(0),
+            starts: Job::partition(items, self.workers),
+            cursors: (0..self.workers).map(|_| AtomicUsize::new(0)).collect(),
             done: AtomicUsize::new(0),
             panicked: AtomicBool::new(false),
         });
@@ -477,6 +584,85 @@ mod tests {
         // the pool keeps working afterwards
         let out = pool.run_map(4, &|_w, i, _s| i + 1);
         assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn partition_covers_all_items_contiguously() {
+        for items in [0usize, 1, 2, 7, 64, 97, 1000] {
+            for workers in [1usize, 2, 3, 8] {
+                let starts = Job::partition(items, workers);
+                assert_eq!(starts.len(), workers + 1);
+                assert_eq!(starts[0], 0);
+                assert_eq!(*starts.last().unwrap(), items);
+                for w in 0..workers {
+                    assert!(starts[w] <= starts[w + 1]);
+                    // near-equal split: ranges differ by at most one item
+                    let len = starts[w + 1] - starts[w];
+                    assert!(len == items / workers || len == items / workers + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_size_adapts_and_never_zero() {
+        assert_eq!(Job::chunk_size(1, false), 1);
+        assert_eq!(Job::chunk_size(1, true), 1);
+        assert_eq!(Job::chunk_size(3, false), 1);
+        assert_eq!(Job::chunk_size(100, false), 25);
+        assert_eq!(Job::chunk_size(100, true), 50);
+        assert_eq!(Job::chunk_size(100_000, false), 64); // capped for balance
+    }
+
+    #[test]
+    fn steals_counter_is_monotone_and_output_unaffected() {
+        let mut pool = WorkerPool::new(4);
+        let before = pool.steals();
+        // skew: all the work lives in the first owner range, so any worker
+        // that wakes in time must steal to contribute
+        let out = pool.run_map(256, &|_w, i, _s| {
+            if i < 64 {
+                std::hint::black_box((0..20_000u64).sum::<u64>());
+            }
+            i * 3
+        });
+        assert_eq!(out, (0..256).map(|i| i * 3).collect::<Vec<_>>());
+        // stealing is timing-dependent (may be zero on a busy box), but the
+        // counter never runs backwards and survives further jobs
+        assert!(pool.steals() >= before);
+        pool.run_map(32, &|_w, i, _s| i);
+        assert!(pool.steals() >= before);
+    }
+
+    #[test]
+    fn panic_mid_chunk_does_not_deadlock_or_poison() {
+        // items >> workers so claims are multi-item chunks; a panic on one
+        // item of a chunk must still complete the rest of the chunk and
+        // drain the job (no lost `done` increments = no parked dispatcher)
+        let mut pool = WorkerPool::new(3);
+        for round in 0..10 {
+            let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.run_map(200, &|_w, i, _s| {
+                    if i % 37 == round {
+                        panic!("mid-chunk boom");
+                    }
+                    i
+                })
+            }));
+            assert!(r.is_err(), "round {round}: panic must propagate");
+            let out = pool.run_map(5, &|_w, i, _s| i * i);
+            assert_eq!(out, vec![0, 1, 4, 9, 16], "round {round}: pool dead");
+        }
+    }
+
+    #[test]
+    fn scratch_high_water_tracked_under_stealing() {
+        let mut pool = WorkerPool::new(4);
+        pool.run_map(128, &|_w, i, s: &mut Scratch| {
+            s.begin(512);
+            s.visited.insert((i % 512) as u32);
+        });
+        assert!(pool.scratch_high_water() >= 512);
     }
 
     #[test]

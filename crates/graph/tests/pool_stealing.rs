@@ -1,0 +1,88 @@
+//! Work-stealing scheduler invariants for [`WorkerPool`].
+//!
+//! The pool claims size-adaptive chunks from per-worker owner ranges and
+//! steals from foreign ranges on drain. None of that scheduling freedom may
+//! leak into results: `run_map` output is keyed by item index and must be
+//! bit-identical for every thread count, every chunk interleaving, and
+//! every steal order. These tests pin that contract, plus the liveness
+//! property that a panicking item inside a multi-item chunk still drains
+//! the job (no lost `done` increments, no parked dispatcher).
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+
+use wmatch_graph::pool::WorkerPool;
+
+/// A cheap deterministic per-item value with a data-dependent cost skew, so
+/// chunks take wildly different times and stealing actually engages when
+/// the OS schedules more than one worker.
+fn loaded(i: usize, salt: u64) -> u64 {
+    let mut h = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ salt;
+    let spins = (h % 97) * 50;
+    for _ in 0..spins {
+        h = h.rotate_left(7) ^ 0xbf58_476d_1ce4_e5b9;
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40).with_seed(0x0073_7465_616c))] // b"steal"
+
+    /// Stealing order never changes `run_map` output: any thread count
+    /// produces exactly the sequential result, for skewed workloads of any
+    /// size (including sizes that don't divide evenly into owner ranges).
+    #[test]
+    fn stealing_never_changes_run_map_output(
+        items in 0usize..400,
+        salt in any::<u64>(),
+        threads in 1usize..6,
+    ) {
+        let expected: Vec<u64> = (0..items).map(|i| loaded(i, salt)).collect();
+        let mut pool = WorkerPool::new(threads);
+        // several rounds on the same pool: cursors/generations must reset
+        for round in 0..3 {
+            let out = pool.run_map(items, &|_w, i, _s| loaded(i, salt));
+            prop_assert_eq!(&out, &expected, "threads={} round={}", threads, round);
+        }
+    }
+}
+
+#[test]
+fn stolen_chunk_panics_propagate_without_deadlock() {
+    // every worker range contains panicking items, so whichever worker
+    // (owner or thief) runs them must both finish the chunk's remaining
+    // items and keep the completion count exact
+    let mut pool = WorkerPool::new(4);
+    let executed = AtomicUsize::new(0);
+    let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        pool.run_map(300, &|_w, i, _s| {
+            executed.fetch_add(1, Ordering::Relaxed);
+            if i % 29 == 0 {
+                panic!("chunk item {i} down");
+            }
+            i as u64
+        })
+    }));
+    assert!(r.is_err(), "panic must reach the dispatcher");
+    // the job fully drained: every item ran exactly once even though some
+    // panicked mid-chunk
+    assert_eq!(executed.load(Ordering::Relaxed), 300);
+    // and the pool is still alive for the next job
+    let out = pool.run_map(64, &|_w, i, _s| i + 1);
+    assert_eq!(out, (1..=64).collect::<Vec<_>>());
+}
+
+#[test]
+fn scratch_high_water_survives_stealing() {
+    let mut pool = WorkerPool::new(3);
+    pool.run_map(200, &|_w, i, s| {
+        s.begin(1024);
+        s.visited.insert((i % 1024) as u32);
+    });
+    assert!(
+        pool.scratch_high_water() >= 1024,
+        "high-water must reflect the arenas tasks actually used, owner or stolen"
+    );
+}
