@@ -41,11 +41,33 @@ pub enum SolveError {
         /// The name that failed to resolve.
         name: String,
     },
+    /// A solver hit a transient fault that has already been contained
+    /// (e.g. the dynamic engine's invariant sentinel quarantined and
+    /// healed a shard before rejecting the batch). Unlike every other
+    /// variant, retrying the same call is expected to succeed — see
+    /// [`SolveError::is_transient`].
+    Transient {
+        /// Human-readable description of the contained fault.
+        reason: String,
+    },
     /// A graph or matching operation failed in the substrate.
     Graph(GraphError),
     /// The MPC simulator rejected the run (memory or communication budget
     /// exceeded).
     Mpc(MpcError),
+}
+
+impl SolveError {
+    /// Whether retrying the failed call can succeed.
+    ///
+    /// Every variant except [`SolveError::Transient`] is deterministic:
+    /// the same request fails the same way forever, so the caller must
+    /// change something. `Transient` means the underlying engine already
+    /// recovered (quarantine + heal) and a bounded retry is the right
+    /// response.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SolveError::Transient { .. })
+    }
 }
 
 impl fmt::Display for SolveError {
@@ -65,6 +87,9 @@ impl fmt::Display for SolveError {
             }
             SolveError::UnknownSolver { name } => {
                 write!(f, "no registered solver is named {name:?}")
+            }
+            SolveError::Transient { reason } => {
+                write!(f, "transient fault (already contained; retry): {reason}")
             }
             SolveError::Graph(e) => write!(f, "graph error: {e}"),
             SolveError::Mpc(e) => write!(f, "MPC budget error: {e}"),

@@ -48,11 +48,21 @@ fn update_error_at(applied: usize, e: wmatch_dynamic::DynamicError) -> SolveErro
 }
 
 /// Maps a batch failure (which already carries the applied-op count) onto
-/// the uniform error contract.
+/// the uniform error contract, routing by retryability: a quarantined
+/// shard (the sentinel healed the state before rejecting) surfaces as
+/// [`SolveError::Transient`] so callers know a bounded retry is the
+/// right response, while malformed-op rejections stay deterministic
+/// configuration errors.
 fn batch_error(e: BatchError) -> SolveError {
-    SolveError::InvalidConfig {
-        field: "updates",
-        reason: e.to_string(),
+    if e.is_transient() {
+        SolveError::Transient {
+            reason: e.to_string(),
+        }
+    } else {
+        SolveError::InvalidConfig {
+            field: "updates",
+            reason: e.to_string(),
+        }
     }
 }
 
@@ -79,6 +89,37 @@ fn updates_per_sec(updates: usize, replay: std::time::Duration) -> String {
         format!("{:.1}", updates as f64 / secs)
     } else {
         "inf".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmatch_dynamic::{BatchStats, DynamicError};
+
+    #[test]
+    fn batch_error_routes_by_retryability() {
+        let transient = batch_error(BatchError {
+            applied: 3,
+            stats: BatchStats::default(),
+            source: DynamicError::Quarantined { shard: 1 },
+        });
+        assert!(transient.is_transient());
+        assert!(matches!(transient, SolveError::Transient { .. }));
+
+        let fatal = batch_error(BatchError {
+            applied: 3,
+            stats: BatchStats::default(),
+            source: DynamicError::EdgeNotFound { u: 0, v: 1 },
+        });
+        assert!(!fatal.is_transient());
+        assert!(matches!(
+            fatal,
+            SolveError::InvalidConfig {
+                field: "updates",
+                ..
+            }
+        ));
     }
 }
 

@@ -6,9 +6,11 @@
 //! cargo run --release -p wmatch-bench --bin report -- --quick # small sizes
 //! ```
 //!
-//! Each section regenerates one experiment from `EXPERIMENTS.md` (E1–E12) and
+//! Each section regenerates one experiment from `EXPERIMENTS.md` (E1–E13) and
 //! prints it as markdown. `serve` is accepted as an alias for `e12` (the
-//! marketplace serve benchmark, which writes `BENCH_serve.json`).
+//! marketplace serve benchmark, which writes `BENCH_serve.json`) and `chaos`
+//! for `e13` (the fault-injection/recovery suite, which writes
+//! `BENCH_chaos.json`).
 
 use std::time::Instant;
 
@@ -20,8 +22,12 @@ fn main() {
     let selected: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
-        // `serve` is the suite-style name of experiment e12
-        .map(|s| if s == "serve" { "e12" } else { s.as_str() })
+        // `serve` and `chaos` are the suite-style names of e12 and e13
+        .map(|s| match s.as_str() {
+            "serve" => "e12",
+            "chaos" => "e13",
+            other => other,
+        })
         .collect();
     let run_all = selected.is_empty();
 
@@ -39,6 +45,10 @@ fn main() {
         ("e10", e10_ablations::run),
         ("e11", e11_dynamic::run),
         ("e12", e12_serve::run),
+        // e13 also writes BENCH_chaos.json (fault grid, crash recovery,
+        // degraded throughput, worst-case ratios; WMATCH_CHAOS_GUARD=1
+        // enables the CI guard)
+        ("e13", e13_chaos::run),
         // hotpath also writes BENCH_hotpath.json (the recorded perf
         // trajectory; see WMATCH_BENCH_DIR)
         ("hotpath", wmatch_bench::hotpath::run),

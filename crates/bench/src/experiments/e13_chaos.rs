@@ -1,0 +1,11 @@
+//! E13 (robustness): the chaos suite — deterministic fault injection
+//! (poisoned ops, worker panics, bit-flipped matching entries), WAL +
+//! snapshot crash recovery, degraded-mode serve throughput, and the
+//! adversarial worst-case quality floor, recorded to `BENCH_chaos.json`.
+//! Thin alias for [`crate::chaos::run`] so the experiment id and the
+//! suite name both reach the same code.
+
+/// Runs E13 and renders its section (see [`crate::chaos`]).
+pub fn run(quick: bool) -> String {
+    crate::chaos::run(quick)
+}

@@ -255,6 +255,144 @@ impl DynamicFamily {
     }
 }
 
+/// The worst-case adversarial update-stream families of the chaos suite
+/// (E13, ROADMAP 4c): each one is built to hammer a specific weakness of
+/// the repair engine, so the robustness layer is measured where the
+/// engine hurts, not where it shines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdversarialFamily {
+    /// Weight-class boundary oscillation: a fixed pair set whose weights
+    /// hop back and forth across geometric weight-class boundaries
+    /// (powers of 1 + ε at the engine's default ε = 0.25) every round,
+    /// so rebuild epochs keep reclassifying the same edges and no
+    /// class assignment ever settles. Bipartite by construction (pair
+    /// `i` ↔ `n/2 + i`), so the exact bipartite certifier can ride it.
+    BoundaryOscillation,
+    /// Hub ball-overlap storm: every update is incident to one of a
+    /// handful of hub vertices, so each batch's repair balls all collide
+    /// and the speculation layer degenerates to one giant overlap group
+    /// — the worst case for parallel ball repair. Bipartite (hubs on the
+    /// left, spokes on the right).
+    HubStorm,
+    /// Delete-the-matching waves: repeatedly compute a greedy matching
+    /// of the live graph and delete exactly its edges (the ones any good
+    /// matching leans on), then reinsert the pairs with fresh weights —
+    /// [`DynamicFamily::DeleteMatching`] in wave form, the classic
+    /// recourse adversary. Not bipartite.
+    DeleteMatchingWaves,
+}
+
+impl AdversarialFamily {
+    /// All adversarial families.
+    pub fn all() -> [AdversarialFamily; 3] {
+        [
+            AdversarialFamily::BoundaryOscillation,
+            AdversarialFamily::HubStorm,
+            AdversarialFamily::DeleteMatchingWaves,
+        ]
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdversarialFamily::BoundaryOscillation => "boundary-oscillation",
+            AdversarialFamily::HubStorm => "hub-storm",
+            AdversarialFamily::DeleteMatchingWaves => "delete-matching-waves",
+        }
+    }
+
+    /// Side labels (`false` = left) when the family is bipartite by
+    /// construction, so the exact bipartite certifier can checkpoint it;
+    /// `None` for [`AdversarialFamily::DeleteMatchingWaves`].
+    pub fn bipartite_side(&self, n: usize) -> Option<Vec<bool>> {
+        match self {
+            AdversarialFamily::BoundaryOscillation | AdversarialFamily::HubStorm => {
+                Some((0..n.max(4)).map(|v| v >= n.max(4) / 2).collect())
+            }
+            AdversarialFamily::DeleteMatchingWaves => None,
+        }
+    }
+
+    /// Builds a workload on `n` vertices with (almost exactly) `ops`
+    /// operations. Deterministic in `(n, ops, seed)`.
+    pub fn build(&self, n: usize, ops: usize, seed: u64) -> DynamicWorkload {
+        let n = n.max(4);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xadd_e5a17);
+        match self {
+            AdversarialFamily::BoundaryOscillation => {
+                // boundary weights of the engine's default geometric
+                // classes ((1 + ε)^k at ε = 0.25): oscillating ±1 around
+                // one flips the edge's class every round
+                let mut boundaries = Vec::new();
+                let mut w = 4.0f64;
+                while w < 1000.0 {
+                    boundaries.push(w.ceil() as u64);
+                    w *= 1.25;
+                }
+                let half = (n / 2) as Vertex;
+                let pairs: Vec<(Vertex, Vertex)> = (0..half).map(|i| (i, half + i)).collect();
+                let mut out = Vec::with_capacity(ops + 2 * pairs.len());
+                // seed round: every pair starts just under its boundary
+                for (i, &(u, v)) in pairs.iter().enumerate() {
+                    let b = boundaries[i % boundaries.len()];
+                    out.push(UpdateOp::insert(u, v, b - 1));
+                }
+                let mut round = 0u64;
+                while out.len() < ops {
+                    round += 1;
+                    for (i, &(u, v)) in pairs.iter().enumerate() {
+                        if out.len() >= ops {
+                            break;
+                        }
+                        let b = boundaries[(i + round as usize) % boundaries.len()];
+                        // hop across the boundary: b−1 ↔ b+1 by round
+                        let w = if round.is_multiple_of(2) {
+                            b - 1
+                        } else {
+                            b + 1
+                        };
+                        out.push(UpdateOp::delete(u, v));
+                        out.push(UpdateOp::insert(u, v, w));
+                    }
+                }
+                DynamicWorkload {
+                    n,
+                    initial: Graph::new(n),
+                    ops: out,
+                }
+            }
+            AdversarialFamily::HubStorm => {
+                // every op touches one of a handful of left-side hubs;
+                // a sliding window keeps hub degrees deep but bounded
+                let hubs = 4.min(n / 2).max(1) as Vertex;
+                let half = (n / 2) as Vertex;
+                let window = (n / 2).max(8);
+                let mut live: std::collections::VecDeque<(Vertex, Vertex)> =
+                    std::collections::VecDeque::with_capacity(window + 1);
+                let mut out = Vec::with_capacity(ops);
+                while out.len() < ops {
+                    let u = rng.gen_range(0..hubs);
+                    let v = half + rng.gen_range(0..half);
+                    out.push(UpdateOp::insert(u, v, rng.gen_range(1..=1_000)));
+                    live.push_back((u, v));
+                    if live.len() > window && out.len() < ops {
+                        let (du, dv) = live.pop_front().expect("window is non-empty");
+                        out.push(UpdateOp::delete(du, dv));
+                    }
+                }
+                DynamicWorkload {
+                    n,
+                    initial: Graph::new(n),
+                    ops: out,
+                }
+            }
+            AdversarialFamily::DeleteMatchingWaves => {
+                DynamicFamily::DeleteMatching.build(n, ops, seed)
+            }
+        }
+    }
+}
+
 /// The E12 marketplace workload: a service-style update stream over `n`
 /// users where a hot minority of users dominates the traffic (power-law
 /// endpoint skew with exponent 3/2 — strong enough that the hot third
@@ -437,6 +575,39 @@ mod tests {
             );
         }
         assert_eq!(w.ops, marketplace_bipartite(64, 800, 9).0.ops);
+    }
+
+    #[test]
+    fn adversarial_families_are_well_formed_and_deterministic() {
+        for f in AdversarialFamily::all() {
+            let w = f.build(48, 400, 7);
+            assert!(w.ops.len() >= 400, "{}: only {} ops", f.name(), w.ops.len());
+            assert_well_formed(&w);
+            assert!(
+                w.ops.iter().any(|o| !o.is_insert()),
+                "{}: no deletes",
+                f.name()
+            );
+            assert_eq!(
+                w.ops,
+                f.build(48, 400, 7).ops,
+                "{}: not deterministic",
+                f.name()
+            );
+            if let Some(side) = f.bipartite_side(48) {
+                for op in &w.ops {
+                    let (u, v) = op.endpoints();
+                    assert!(
+                        side[u as usize] != side[v as usize],
+                        "{}: {op} does not cross the bipartition",
+                        f.name()
+                    );
+                }
+            }
+        }
+        let names: std::collections::HashSet<_> =
+            AdversarialFamily::all().iter().map(|f| f.name()).collect();
+        assert_eq!(names.len(), 3);
     }
 
     #[test]

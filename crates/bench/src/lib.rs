@@ -6,6 +6,7 @@
 //! renders as markdown tables. The criterion benches under `benches/`
 //! measure the throughput of the same code paths.
 
+pub mod chaos;
 pub mod dynamic;
 pub mod families;
 pub mod hotpath;
@@ -19,6 +20,7 @@ pub mod experiments {
     pub mod e10_ablations;
     pub mod e11_dynamic;
     pub mod e12_serve;
+    pub mod e13_chaos;
     pub mod e1_random_order_unweighted;
     pub mod e2_random_arrival_weighted;
     pub mod e3_three_aug_paths;

@@ -1,0 +1,447 @@
+//! The degraded-mode serve driver: typed transient/fatal fault handling,
+//! bounded retry with exponential backoff, and a tolerate-ε-staleness
+//! fallback that batches repairs under fault storms.
+//!
+//! [`ServeDriver`] wraps a [`ShardedMatcher`] with the policy a
+//! production ingest loop needs when the stream is hostile:
+//!
+//! * **Fatal** rejections (malformed ops — [`DynamicError`] variants
+//!   other than `Quarantined`) are deterministic: the op is counted as
+//!   skipped and the stream continues from the next op. Partial progress
+//!   ([`BatchStats`]) is always preserved, never discarded.
+//! * **Transient** rejections ([`DynamicError::Quarantined`] — the
+//!   sentinel healed corrupted state before rejecting) are retried with
+//!   bounded exponential backoff; the healed engine is expected to
+//!   accept the same ops on retry.
+//! * A **fault storm** (too many consecutive faulted batches, or retries
+//!   exhausted without progress) drops the driver into **degraded
+//!   mode**: ops ingest through the engine's deferred path (structural
+//!   changes only, repairs batched), which keeps accepting traffic at a
+//!   fraction of the per-op cost while the Fact 1.3 certificate is
+//!   temporarily suspended. Once enough clean batches pass, the driver
+//!   flushes the deferred repairs, lets the **quality watchdog**
+//!   (sentinel spot-check, healing on violation) re-pin the floor, and
+//!   returns to the certified path.
+//!
+//! The driver never fails: every op is either applied, deferred, or
+//! counted as skipped in [`DegradedStats`].
+//!
+//! [`DynamicError`]: crate::DynamicError
+//! [`DynamicError::Quarantined`]: crate::DynamicError::Quarantined
+
+use std::thread;
+use std::time::Duration;
+
+use crate::engine::BatchStats;
+use crate::sharded::ShardedMatcher;
+use crate::update::UpdateOp;
+
+/// Retry, storm, and staleness policy of a [`ServeDriver`].
+///
+/// Follows the workspace's config idiom: `Default` + chainable `with_*`
+/// setters, `#[non_exhaustive]` so fields can grow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct RetryPolicy {
+    /// Bounded retries of a transiently-rejected batch before the driver
+    /// gives up on the certified path and degrades.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Consecutive faulted batches that trip degraded mode.
+    pub storm_threshold: u32,
+    /// In degraded mode, flush deferred repairs once this many are
+    /// pending.
+    pub max_stale_ops: usize,
+    /// Consecutive clean degraded batches before returning to the
+    /// certified path.
+    pub recovery_streak: u32,
+}
+
+impl Default for RetryPolicy {
+    /// 3 retries, 1 ms base backoff (doubling, capped at 50 ms), storm
+    /// at 3 consecutive faulted batches, flush at 1024 stale ops,
+    /// recover after 4 clean batches.
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+            storm_threshold: 3,
+            max_stale_ops: 1024,
+            recovery_streak: 4,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The default policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the bounded retry count for transient rejections.
+    pub fn with_max_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Sets the first-retry backoff (doubles per attempt).
+    pub fn with_base_backoff(mut self, base_backoff: Duration) -> Self {
+        self.base_backoff = base_backoff;
+        self
+    }
+
+    /// Sets the backoff ceiling.
+    pub fn with_max_backoff(mut self, max_backoff: Duration) -> Self {
+        self.max_backoff = max_backoff;
+        self
+    }
+
+    /// Sets the consecutive-faulted-batch storm threshold.
+    pub fn with_storm_threshold(mut self, storm_threshold: u32) -> Self {
+        self.storm_threshold = storm_threshold;
+        self
+    }
+
+    /// Sets the degraded-mode flush cadence (pending deferred repairs).
+    pub fn with_max_stale_ops(mut self, max_stale_ops: usize) -> Self {
+        self.max_stale_ops = max_stale_ops;
+        self
+    }
+
+    /// Sets the clean-batch streak that exits degraded mode.
+    pub fn with_recovery_streak(mut self, recovery_streak: u32) -> Self {
+        self.recovery_streak = recovery_streak;
+        self
+    }
+
+    /// The backoff before retry number `attempt` (1-based): base × 2^(
+    /// attempt−1), capped.
+    fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.saturating_sub(1).min(16);
+        self.base_backoff
+            .saturating_mul(factor)
+            .min(self.max_backoff)
+    }
+}
+
+/// Lifetime telemetry of a [`ServeDriver`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct DegradedStats {
+    /// Batches served (certified or degraded).
+    pub batches: u64,
+    /// Batches served through the degraded (deferred-repair) path.
+    pub degraded_batches: u64,
+    /// Transient rejections retried.
+    pub retries: u64,
+    /// Transient (retryable) rejections observed.
+    pub transient_errors: u64,
+    /// Fatal (malformed-op) rejections observed.
+    pub fatal_errors: u64,
+    /// Ops skipped because they were malformed.
+    pub skipped_ops: u64,
+    /// Deferred-repair flushes performed.
+    pub flushes: u64,
+    /// Quality-watchdog sentinel checks after flushes.
+    pub watchdog_checks: u64,
+    /// Watchdog checks that found (and healed) a violation.
+    pub watchdog_trips: u64,
+    /// Times the driver entered degraded mode.
+    pub storms: u64,
+}
+
+/// The fault-tolerant serve loop over a [`ShardedMatcher`]. See the
+/// [module docs](self) for the policy.
+///
+/// # Example
+///
+/// ```
+/// use wmatch_dynamic::{DynamicConfig, RetryPolicy, ServeDriver, ShardedMatcher, UpdateOp};
+///
+/// let mut eng = ShardedMatcher::new(4, DynamicConfig::default(), 1);
+/// let mut driver = ServeDriver::new(RetryPolicy::default());
+/// // the malformed delete is skipped, everything else lands
+/// let stats = driver.serve(
+///     &mut eng,
+///     &[
+///         UpdateOp::insert(0, 1, 5),
+///         UpdateOp::delete(2, 3), // never inserted: fatal, skipped
+///         UpdateOp::insert(2, 3, 7),
+///     ],
+/// );
+/// assert_eq!(stats.applied, 2);
+/// assert_eq!(driver.stats().skipped_ops, 1);
+/// assert_eq!(eng.matching().weight(), 12);
+/// ```
+#[derive(Debug)]
+pub struct ServeDriver {
+    policy: RetryPolicy,
+    stats: DegradedStats,
+    fault_streak: u32,
+    clean_streak: u32,
+    degraded: bool,
+}
+
+impl ServeDriver {
+    /// A driver with the given policy, starting on the certified path.
+    pub fn new(policy: RetryPolicy) -> Self {
+        ServeDriver {
+            policy,
+            stats: DegradedStats::default(),
+            fault_streak: 0,
+            clean_streak: 0,
+            degraded: false,
+        }
+    }
+
+    /// Whether the driver is currently on the degraded (deferred-repair)
+    /// path.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// The driver's lifetime telemetry.
+    pub fn stats(&self) -> DegradedStats {
+        self.stats
+    }
+
+    /// Serves one batch, never failing: applies what it can, retries
+    /// transient rejections with backoff, skips malformed ops, and
+    /// degrades under a fault storm. Returns the aggregate stats of
+    /// everything that landed (including any deferred-repair flush).
+    pub fn serve(&mut self, eng: &mut ShardedMatcher, ops: &[UpdateOp]) -> BatchStats {
+        self.stats.batches += 1;
+        let mut out = BatchStats::default();
+        if self.degraded {
+            self.serve_degraded(eng, ops, &mut out);
+            return out;
+        }
+        let mut cursor = 0usize;
+        let mut attempts = 0u32;
+        let mut faulted = false;
+        while cursor < ops.len() {
+            match eng.apply_all(&ops[cursor..]) {
+                Ok(s) => {
+                    out.merge(&s);
+                    cursor = ops.len();
+                }
+                Err(e) => {
+                    faulted = true;
+                    out.merge(&e.stats);
+                    cursor += e.applied;
+                    if e.is_transient() {
+                        // the sentinel already healed the state; a
+                        // bounded retry of the same suffix is expected
+                        // to succeed
+                        self.stats.transient_errors += 1;
+                        attempts += 1;
+                        if attempts > self.policy.max_retries {
+                            // no progress after the retry budget: treat
+                            // it as a storm and drain through the
+                            // degraded path
+                            self.enter_degraded();
+                            self.serve_degraded(eng, &ops[cursor..], &mut out);
+                            cursor = ops.len();
+                        } else {
+                            self.stats.retries += 1;
+                            thread::sleep(self.policy.backoff(attempts));
+                        }
+                    } else {
+                        // malformed op: deterministic failure — skip it
+                        self.stats.fatal_errors += 1;
+                        self.stats.skipped_ops += 1;
+                        cursor += 1;
+                        attempts = 0;
+                    }
+                }
+            }
+        }
+        if faulted {
+            self.fault_streak += 1;
+            self.clean_streak = 0;
+            if !self.degraded && self.fault_streak >= self.policy.storm_threshold {
+                self.enter_degraded();
+            }
+        } else {
+            self.fault_streak = 0;
+        }
+        out
+    }
+
+    /// Flushes any pending deferred repairs and returns to the certified
+    /// path — call when the stream ends (or at a quiesce point). The
+    /// watchdog re-checks the invariant after the flush.
+    pub fn finish(&mut self, eng: &mut ShardedMatcher) -> BatchStats {
+        let mut out = BatchStats::default();
+        if eng.deferred_repairs() > 0 || self.degraded {
+            self.flush(eng, &mut out);
+        }
+        self.degraded = false;
+        self.fault_streak = 0;
+        self.clean_streak = 0;
+        out
+    }
+
+    fn enter_degraded(&mut self) {
+        if !self.degraded {
+            self.degraded = true;
+            self.stats.storms += 1;
+            self.clean_streak = 0;
+        }
+    }
+
+    /// Degraded ingest: deferred structural application, flush on the
+    /// staleness budget, and exit once enough clean batches pass.
+    fn serve_degraded(&mut self, eng: &mut ShardedMatcher, ops: &[UpdateOp], out: &mut BatchStats) {
+        self.stats.degraded_batches += 1;
+        let mut cursor = 0usize;
+        let mut faulted = false;
+        while cursor < ops.len() {
+            match eng.apply_deferred(&ops[cursor..]) {
+                Ok(s) => {
+                    out.merge(&s);
+                    cursor = ops.len();
+                }
+                Err(e) => {
+                    // the deferred path only rejects malformed ops: skip
+                    faulted = true;
+                    out.merge(&e.stats);
+                    cursor += e.applied + 1;
+                    self.stats.fatal_errors += 1;
+                    self.stats.skipped_ops += 1;
+                }
+            }
+        }
+        if eng.deferred_repairs() >= self.policy.max_stale_ops {
+            self.flush(eng, out);
+        }
+        if faulted {
+            self.clean_streak = 0;
+            self.fault_streak += 1;
+        } else {
+            self.clean_streak += 1;
+            self.fault_streak = 0;
+            if self.clean_streak >= self.policy.recovery_streak {
+                // the storm has passed: flush, re-certify, resume the
+                // certified path
+                self.flush(eng, out);
+                self.degraded = false;
+                self.clean_streak = 0;
+            }
+        }
+    }
+
+    /// One deferred-repair flush plus the quality watchdog: after the
+    /// sweep the Fact 1.3 floor must hold again, and a sentinel
+    /// violation is healed on the spot.
+    fn flush(&mut self, eng: &mut ShardedMatcher, out: &mut BatchStats) {
+        let s = eng.flush_repairs();
+        out.merge(&s);
+        self.stats.flushes += 1;
+        self.stats.watchdog_checks += 1;
+        if let Some(shard) = eng.sentinel_violation() {
+            self.stats.watchdog_trips += 1;
+            eng.quarantine_heal(shard);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::DynamicConfig;
+
+    fn fast_policy() -> RetryPolicy {
+        RetryPolicy::default()
+            .with_base_backoff(Duration::from_micros(10))
+            .with_max_backoff(Duration::from_micros(100))
+    }
+
+    #[test]
+    fn clean_stream_stays_certified() {
+        let mut eng = ShardedMatcher::new(8, DynamicConfig::default(), 2);
+        let mut d = ServeDriver::new(fast_policy());
+        let ops: Vec<UpdateOp> = (0..4)
+            .map(|i| UpdateOp::insert(2 * i, 2 * i + 1, 5))
+            .collect();
+        let s = d.serve(&mut eng, &ops);
+        assert_eq!(s.applied, 4);
+        assert!(!d.is_degraded());
+        assert_eq!(d.stats().skipped_ops, 0);
+        assert_eq!(eng.matching().weight(), 20);
+    }
+
+    #[test]
+    fn malformed_ops_are_skipped_with_partial_progress() {
+        let mut eng = ShardedMatcher::new(8, DynamicConfig::default(), 2);
+        let mut d = ServeDriver::new(fast_policy());
+        let ops = [
+            UpdateOp::insert(0, 1, 5),
+            UpdateOp::insert(0, 0, 3), // self-loop: fatal
+            UpdateOp::insert(2, 3, 4),
+            UpdateOp::delete(4, 5), // never inserted: fatal
+            UpdateOp::insert(4, 5, 2),
+        ];
+        let s = d.serve(&mut eng, &ops);
+        assert_eq!(s.applied, 3, "good ops all land");
+        assert_eq!(d.stats().skipped_ops, 2);
+        assert_eq!(d.stats().fatal_errors, 2);
+        assert_eq!(eng.matching().weight(), 11);
+    }
+
+    #[test]
+    fn storm_enters_degraded_and_recovers() {
+        let mut eng = ShardedMatcher::new(16, DynamicConfig::default(), 2);
+        let policy = fast_policy()
+            .with_storm_threshold(2)
+            .with_recovery_streak(2);
+        let mut d = ServeDriver::new(policy);
+        // two consecutive faulted batches trip the storm threshold
+        for round in 0..2u32 {
+            let bad = [
+                UpdateOp::insert(0, 1, 2 + round as u64),
+                UpdateOp::delete(9, 10), // never inserted
+            ];
+            d.serve(&mut eng, &bad);
+        }
+        assert!(d.is_degraded(), "storm threshold reached");
+        assert_eq!(d.stats().storms, 1);
+        // degraded batches keep ingesting (deferred), then clean traffic
+        // flushes and exits
+        let clean_a = [UpdateOp::insert(2, 3, 7)];
+        let clean_b = [UpdateOp::insert(4, 5, 9)];
+        d.serve(&mut eng, &clean_a);
+        assert!(eng.deferred_repairs() > 0, "degraded mode defers repairs");
+        d.serve(&mut eng, &clean_b);
+        assert!(!d.is_degraded(), "recovery streak exits degraded mode");
+        assert_eq!(eng.deferred_repairs(), 0, "exit flushes");
+        assert!(d.stats().flushes >= 1);
+        assert!(d.stats().watchdog_checks >= 1);
+        // everything that was deferred is now matched and certified
+        assert!(eng.matching().weight() >= 16);
+        assert!(eng.sentinel_violation().is_none());
+    }
+
+    #[test]
+    fn finish_flushes_pending_repairs() {
+        let mut eng = ShardedMatcher::new(8, DynamicConfig::default(), 2);
+        let mut d = ServeDriver::new(fast_policy().with_storm_threshold(1));
+        // one faulted batch with threshold 1 → degraded immediately
+        d.serve(
+            &mut eng,
+            &[UpdateOp::delete(0, 1), UpdateOp::insert(0, 1, 5)],
+        );
+        assert!(d.is_degraded());
+        d.serve(&mut eng, &[UpdateOp::insert(2, 3, 8)]);
+        assert!(eng.deferred_repairs() > 0);
+        d.finish(&mut eng);
+        assert!(!d.is_degraded());
+        assert_eq!(eng.deferred_repairs(), 0);
+        assert_eq!(eng.matching().weight(), 13);
+        assert!(eng.sentinel_violation().is_none());
+    }
+}

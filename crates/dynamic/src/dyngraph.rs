@@ -206,6 +206,22 @@ impl DynGraph {
     ///
     /// Exactly the errors `delete` would return.
     pub(crate) fn peek_delete(&self, u: Vertex, v: Vertex) -> Result<(u32, Edge), DynamicError> {
+        self.check_delete(u, v)?;
+        let pos = self.adj[u as usize]
+            .iter()
+            .rposition(|&id| self.eu[id as usize] == v || self.ev[id as usize] == v)
+            .ok_or(DynamicError::EdgeNotFound { u, v })?;
+        let id = self.adj[u as usize][pos];
+        Ok((id, self.edge_at(id)))
+    }
+
+    /// Validates a deletion's endpoints without scanning for the edge.
+    /// A self-loop delete must be rejected here: the adjacency scan in
+    /// `delete` matches *any* edge incident to `u` when `u == v`, so
+    /// without this check a malformed `delete(v, v)` would silently
+    /// remove an arbitrary incident edge and strand the matching on a
+    /// dead copy.
+    fn check_delete(&self, u: Vertex, v: Vertex) -> Result<(), DynamicError> {
         for x in [u, v] {
             if (x as usize) >= self.n {
                 return Err(DynamicError::VertexOutOfRange {
@@ -214,12 +230,10 @@ impl DynGraph {
                 });
             }
         }
-        let pos = self.adj[u as usize]
-            .iter()
-            .rposition(|&id| self.eu[id as usize] == v || self.ev[id as usize] == v)
-            .ok_or(DynamicError::EdgeNotFound { u, v })?;
-        let id = self.adj[u as usize][pos];
-        Ok((id, self.edge_at(id)))
+        if u == v {
+            return Err(DynamicError::SelfLoop { vertex: u });
+        }
+        Ok(())
     }
 
     /// Deletes the most recently inserted live edge `{u, v}` and returns
@@ -230,14 +244,7 @@ impl DynGraph {
     /// [`DynamicError::EdgeNotFound`] if no live copy exists (the graph
     /// is unchanged).
     pub fn delete(&mut self, u: Vertex, v: Vertex) -> Result<Edge, DynamicError> {
-        for x in [u, v] {
-            if (x as usize) >= self.n {
-                return Err(DynamicError::VertexOutOfRange {
-                    vertex: x,
-                    n: self.n,
-                });
-            }
-        }
+        self.check_delete(u, v)?;
         let pos = self.adj[u as usize]
             .iter()
             .rposition(|&id| self.eu[id as usize] == v || self.ev[id as usize] == v)

@@ -39,6 +39,7 @@ use wmatch_core::main_alg::{improve_matching_offline_pooled, MainAlgConfig};
 use wmatch_graph::aug_search::AugSearcher;
 use wmatch_graph::{Edge, Graph, Matching, Scratch, Vertex, WorkerPool};
 
+use crate::chaos::ChaosInjector;
 use crate::dyngraph::DynGraph;
 use crate::error::DynamicError;
 use crate::repair::{repair_delete, repair_insert, RepairKit};
@@ -195,6 +196,16 @@ pub struct BatchStats {
 }
 
 impl BatchStats {
+    /// Folds another batch's totals into these — what a serve driver
+    /// uses to aggregate partial progress across retried batches.
+    pub fn merge(&mut self, other: &BatchStats) {
+        self.applied += other.applied;
+        self.gain += other.gain;
+        self.recourse += other.recourse;
+        self.augmentations += other.augmentations;
+        self.rebuilds += other.rebuilds;
+    }
+
     /// Folds one applied update into the batch totals.
     pub(crate) fn absorb(&mut self, s: UpdateStats) {
         self.applied += 1;
@@ -215,8 +226,22 @@ impl BatchStats {
 pub struct BatchError {
     /// Updates applied before the failure (the failing op's batch index).
     pub applied: usize,
+    /// Aggregate stats of the applied prefix (`stats.applied` equals
+    /// [`BatchError::applied`]) — the partial progress a serve driver
+    /// surfaces instead of discarding the batch's accounting.
+    pub stats: BatchStats,
     /// Why the batch stopped.
     pub source: DynamicError,
+}
+
+impl BatchError {
+    /// Whether retrying the rejected suffix can succeed — delegates to
+    /// [`DynamicError::is_transient`]. Malformed ops fail forever (skip
+    /// them); a [`DynamicError::Quarantined`] rejection heals before
+    /// returning, so a bounded retry is the right response.
+    pub fn is_transient(&self) -> bool {
+        self.source.is_transient()
+    }
 }
 
 impl fmt::Display for BatchError {
@@ -278,6 +303,16 @@ pub(crate) struct EngineCore {
     /// the op endpoints plus every journal-edge endpoint. The sharded
     /// commit uses it to invalidate other groups' speculation.
     pub write_buf: Vec<Vertex>,
+    /// Deterministic fault injector, test/chaos-bench only (`None` in
+    /// production). Installed via `ShardedMatcher::install_chaos`.
+    pub chaos: Option<Box<ChaosInjector>>,
+    /// Vertices touched by deferred (lazy-mode) updates whose repairs
+    /// have not run yet — drained by [`EngineCore::flush_repairs`].
+    pub stale_dirty: Vec<Vertex>,
+    /// Deferred updates applied since the last flush. While non-zero the
+    /// bounded-augmentation invariant is deliberately stale, and the
+    /// sentinel's floor spot-check must be skipped.
+    pub stale_ops: usize,
 }
 
 impl EngineCore {
@@ -292,6 +327,9 @@ impl EngineCore {
             counters: DynamicCounters::default(),
             updates_since_rebuild: 0,
             write_buf: Vec::new(),
+            chaos: None,
+            stale_dirty: Vec::new(),
+            stale_ops: 0,
         }
     }
 
@@ -369,6 +407,86 @@ impl EngineCore {
         let mut stats = self.repair_one(op)?;
         self.finish(&mut stats);
         Ok(stats)
+    }
+
+    /// One **deferred** update: structural change and dead-match cleanup
+    /// only, no repair. The op endpoints join
+    /// [`EngineCore::stale_dirty`]; the bounded-augmentation invariant is
+    /// restored in one batched sweep by [`EngineCore::flush_repairs`].
+    /// This is the degraded serve mode's tolerate-ε-staleness path: under
+    /// a fault storm the per-op cost drops to the structural update while
+    /// the matching stays *valid* (never backed by a dead edge), just
+    /// temporarily uncertified.
+    pub fn apply_lazy_one(&mut self, op: UpdateOp) -> Result<UpdateStats, DynamicError> {
+        let mut stats = UpdateStats::default();
+        match op {
+            UpdateOp::Insert { u, v, weight } => {
+                self.g.insert(u, v, weight)?;
+            }
+            UpdateOp::Delete { u, v } => {
+                self.g.delete(u, v)?;
+                // the matched copy may be the one that just died: drop it
+                // now (deferring *this* would leave the matching invalid,
+                // not merely stale)
+                let lost = match self.m.matched_edge(u) {
+                    Some(me) => me.other(u) == v && !self.g.has_live_copy(u, v, me.weight),
+                    None => false,
+                };
+                if lost {
+                    let removed = self.m.remove_pair(u, v).expect("edge was matched");
+                    stats.gain -= removed.weight as i128;
+                    stats.recourse = 1;
+                }
+            }
+        }
+        let (u, v) = op.endpoints();
+        self.stale_dirty.extend([u, v]);
+        self.stale_ops += 1;
+        self.counters.updates_applied += 1;
+        self.counters.recourse_total += stats.recourse;
+        self.updates_since_rebuild += 1;
+        Ok(stats)
+    }
+
+    /// Repairs everything the deferred updates left stale: one fix-up
+    /// sweep over the accumulated dirty set, then a rebuild epoch if one
+    /// came due while deferring. Returns the aggregate churn of the
+    /// flush; a no-op (and allocation-free) when nothing is deferred.
+    pub fn flush_repairs(&mut self) -> UpdateStats {
+        let mut stats = UpdateStats::default();
+        if self.stale_ops == 0 {
+            return stats;
+        }
+        self.kit.begin_update();
+        self.kit.dirty.clear();
+        self.kit.dirty.append(&mut self.stale_dirty);
+        let fix = self.kit.fix_up(&self.g, &mut self.m, self.cfg.max_len);
+        stats.gain = fix.gain;
+        stats.augmentations = fix.augmentations;
+        stats.recourse = self.kit.net_recourse();
+        self.counters.augmentations_applied += stats.augmentations;
+        self.stale_ops = 0;
+        if self.cfg.rebuild_threshold > 0
+            && self.updates_since_rebuild >= self.cfg.rebuild_threshold
+        {
+            self.counters.rebuilds += 1;
+            self.updates_since_rebuild = 0;
+            let (rebuild_recourse, gain, augs) = run_rebuild_epoch(
+                &self.g,
+                &mut self.m,
+                &self.cfg,
+                &mut self.pool,
+                &mut self.kit,
+                &mut self.rebuild,
+                self.counters.rebuilds,
+            );
+            self.counters.augmentations_applied += augs;
+            stats.recourse += rebuild_recourse;
+            stats.gain += gain;
+            stats.rebuilt = true;
+        }
+        self.counters.recourse_total += stats.recourse;
+        stats
     }
 
     pub fn scratch_high_water(&self) -> usize {
@@ -487,7 +605,13 @@ impl DynamicMatcher {
         for (i, &op) in ops.iter().enumerate() {
             match self.apply(op) {
                 Ok(s) => out.absorb(s),
-                Err(source) => return Err(BatchError { applied: i, source }),
+                Err(source) => {
+                    return Err(BatchError {
+                        applied: i,
+                        stats: out,
+                        source,
+                    })
+                }
             }
         }
         Ok(out)

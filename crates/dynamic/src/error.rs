@@ -38,6 +38,32 @@ pub enum DynamicError {
         /// The other endpoint.
         v: Vertex,
     },
+    /// The invariant sentinel found corrupted engine state (a matching
+    /// entry with no backing live edge, or a violated bounded-augmentation
+    /// floor), quarantined the affected shard, and triggered recovery
+    /// **before** applying the rejected batch. This is the one
+    /// *transient* failure mode: the state has already been healed when
+    /// the error is returned, so retrying the same batch is expected to
+    /// succeed — see [`DynamicError::is_transient`].
+    Quarantined {
+        /// The vertex shard the sentinel quarantined.
+        shard: usize,
+    },
+}
+
+impl DynamicError {
+    /// Whether retrying the failed operation can succeed.
+    ///
+    /// Malformed-operation rejections ([`DynamicError::VertexOutOfRange`],
+    /// [`DynamicError::SelfLoop`], [`DynamicError::ZeroWeight`],
+    /// [`DynamicError::EdgeNotFound`]) are deterministic: the same op
+    /// fails the same way forever, so a serve driver should *skip* the op
+    /// and move on. [`DynamicError::Quarantined`] is transient: the
+    /// sentinel has already healed the state, so a bounded retry (with
+    /// backoff) of the same batch is the right response.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, DynamicError::Quarantined { .. })
+    }
 }
 
 impl fmt::Display for DynamicError {
@@ -57,6 +83,13 @@ impl fmt::Display for DynamicError {
             }
             DynamicError::EdgeNotFound { u, v } => {
                 write!(f, "no live edge {{{u},{v}}} to delete")
+            }
+            DynamicError::Quarantined { shard } => {
+                write!(
+                    f,
+                    "shard {shard} was quarantined and recovered by the invariant \
+                     sentinel; retry the batch"
+                )
             }
         }
     }

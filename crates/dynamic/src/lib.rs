@@ -49,6 +49,8 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod certifier;
+pub mod chaos;
+pub mod degraded;
 pub mod dyngraph;
 pub mod engine;
 pub mod error;
@@ -56,8 +58,11 @@ mod repair;
 pub mod sharded;
 mod spec;
 pub mod update;
+pub mod wal;
 
 pub use certifier::CheckpointCertificate;
+pub use chaos::{silence_injected_panics, ChaosConfig, ChaosCounters, ChaosInjector};
+pub use degraded::{DegradedStats, RetryPolicy, ServeDriver};
 pub use dyngraph::DynGraph;
 pub use engine::{
     static_bounded_matching, BatchError, BatchStats, DynamicConfig, DynamicCounters,
@@ -66,3 +71,4 @@ pub use engine::{
 pub use error::DynamicError;
 pub use sharded::ShardedMatcher;
 pub use update::UpdateOp;
+pub use wal::{RecoveryReport, WalConfig};

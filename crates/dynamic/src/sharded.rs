@@ -44,15 +44,18 @@
 //! [`DynamicMatcher`]: crate::DynamicMatcher
 
 use wmatch_graph::pool::resolve_threads;
-use wmatch_graph::{Graph, Matching};
+use wmatch_graph::{Edge, Graph, Matching, Vertex};
 
+use crate::chaos::{ChaosConfig, ChaosCounters, ChaosInjector};
 use crate::dyngraph::DynGraph;
 use crate::engine::{
-    static_bounded_matching, BatchError, BatchStats, DynamicConfig, DynamicCounters, EngineCore,
+    run_rebuild_epoch, static_bounded_matching, BatchError, BatchStats, DynamicConfig,
+    DynamicCounters, EngineCore,
 };
 use crate::error::DynamicError;
-use crate::spec::BatchSpec;
+use crate::spec::{shard_of, BatchSpec};
 use crate::update::UpdateOp;
+use crate::wal::{RecoveryReport, Wal, WalConfig, WalStats};
 
 /// A `k`-shard batched dynamic matching engine, bit-identical to the
 /// sequential [`DynamicMatcher`](crate::DynamicMatcher) for any shard
@@ -79,6 +82,9 @@ pub struct ShardedMatcher {
     core: EngineCore,
     spec: BatchSpec,
     batch: usize,
+    /// Crash-recovery journal + snapshots (None until
+    /// [`ShardedMatcher::enable_wal`]).
+    wal: Option<Box<Wal>>,
 }
 
 impl ShardedMatcher {
@@ -97,6 +103,7 @@ impl ShardedMatcher {
             core,
             spec: BatchSpec::new(k, workers),
             batch: Self::DEFAULT_BATCH,
+            wal: None,
         }
     }
 
@@ -193,14 +200,20 @@ impl ShardedMatcher {
     }
 
     /// Applies one batch: ball-overlap grouping, parallel speculation,
-    /// then an in-order commit (inline at one worker).
+    /// then an in-order commit (inline at one worker). When a WAL is
+    /// enabled the batch is journaled first; when a chaos injector is
+    /// installed the sentinel gate, op poisoning, and post-commit
+    /// corruption hooks run around it.
     ///
     /// # Errors
     ///
     /// A [`BatchError`] at the first malformed op; `applied` counts the
-    /// committed updates (which remain applied).
+    /// committed updates (which remain applied). A transient
+    /// [`DynamicError::Quarantined`] means the sentinel found (and
+    /// already healed) corrupted state *before* applying anything —
+    /// retry the batch.
     pub fn apply_batch(&mut self, ops: &[UpdateOp]) -> Result<BatchStats, BatchError> {
-        self.spec.apply_batch(&mut self.core, ops, None)
+        self.apply_chunk(ops, None)
     }
 
     /// Applies a whole update sequence, chunked into engine-sized
@@ -210,31 +223,349 @@ impl ShardedMatcher {
     /// # Errors
     ///
     /// A [`BatchError`] at the first malformed op; `applied` counts the
-    /// committed updates across the whole sequence.
+    /// committed updates across the whole sequence and `stats` carries
+    /// the applied prefix's aggregate.
     pub fn apply_all(&mut self, ops: &[UpdateOp]) -> Result<BatchStats, BatchError> {
         let mut out = BatchStats::default();
         let mut offset = 0usize;
         let chunks: Vec<&[UpdateOp]> = ops.chunks(self.batch.max(1)).collect();
+        // poisoning rewrites ops, which would always miss the pipelined
+        // grouping's verbatim-ops check — skip the pipeline under chaos
+        let pipelined = self.core.chaos.is_none();
         for (ci, chunk) in chunks.iter().enumerate() {
-            let next = chunks.get(ci + 1).copied();
-            match self.spec.apply_batch(&mut self.core, chunk, next) {
-                Ok(s) => {
-                    out.applied += s.applied;
-                    out.gain += s.gain;
-                    out.recourse += s.recourse;
-                    out.augmentations += s.augmentations;
-                    out.rebuilds += s.rebuilds;
-                }
+            let next = if pipelined {
+                chunks.get(ci + 1).copied()
+            } else {
+                None
+            };
+            match self.apply_chunk(chunk, next) {
+                Ok(s) => out.merge(&s),
                 Err(e) => {
+                    out.merge(&e.stats);
                     return Err(BatchError {
                         applied: offset + e.applied,
+                        stats: out,
                         source: e.source,
-                    })
+                    });
                 }
             }
             offset += chunk.len();
         }
         Ok(out)
+    }
+
+    /// One batch through the full serve path: sentinel gate → poison
+    /// hook → WAL journal → speculate/commit → snapshot → corruption
+    /// hook. The hooks are all no-ops without a chaos injector / WAL.
+    fn apply_chunk(
+        &mut self,
+        ops: &[UpdateOp],
+        next: Option<&[UpdateOp]>,
+    ) -> Result<BatchStats, BatchError> {
+        // sentinel gate: refuse to build on corrupted state — heal it
+        // and report a transient, retryable rejection
+        if self.core.chaos.as_ref().is_some_and(|c| c.sentinel_due()) {
+            if let Some(shard) = self.sentinel_violation() {
+                self.quarantine_heal(shard);
+                return Err(BatchError {
+                    applied: 0,
+                    stats: BatchStats::default(),
+                    source: DynamicError::Quarantined { shard },
+                });
+            }
+        }
+        // poison hook: the injector may replace ops by malformed ones
+        let poisoned: Option<Vec<UpdateOp>> = {
+            let EngineCore { g, chaos, .. } = &mut self.core;
+            chaos
+                .as_mut()
+                .filter(|c| c.config().poison_every > 0)
+                .map(|c| {
+                    let mut buf = ops.to_vec();
+                    for op in buf.iter_mut() {
+                        if let Some(bad) = c.poison_op(g, *op) {
+                            *op = bad;
+                        }
+                    }
+                    buf
+                })
+        };
+        let ops_run: &[UpdateOp] = poisoned.as_deref().unwrap_or(ops);
+        // log-before-apply: durable state is snapshot + tail
+        if let Some(w) = self.wal.as_mut() {
+            w.log(ops_run);
+        }
+        match self.spec.apply_batch(&mut self.core, ops_run, next) {
+            Ok(stats) => {
+                // snapshot first so snapshots always capture clean,
+                // committed state — never the injected corruption below
+                if let Some(w) = self.wal.as_mut() {
+                    w.maybe_snapshot(&self.core);
+                }
+                self.inject_bitflip();
+                Ok(stats)
+            }
+            Err(e) => {
+                // the rejected op and the never-run suffix must not be
+                // replayed by recovery
+                if let Some(w) = self.wal.as_mut() {
+                    w.truncate_unapplied(ops_run.len() - e.applied);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Applies updates in **deferred mode**: structural changes and
+    /// dead-match cleanup only, no repairs — the degraded serve path's
+    /// tolerate-ε-staleness ingest. The matching stays *valid* but its
+    /// Fact 1.3 certificate is suspended until
+    /// [`ShardedMatcher::flush_repairs`] runs. Deferred ops are
+    /// journaled like any other; crash recovery replays them eagerly.
+    ///
+    /// # Errors
+    ///
+    /// A [`BatchError`] at the first malformed op, exactly as
+    /// [`ShardedMatcher::apply_all`].
+    pub fn apply_deferred(&mut self, ops: &[UpdateOp]) -> Result<BatchStats, BatchError> {
+        if let Some(w) = self.wal.as_mut() {
+            w.log(ops);
+        }
+        let mut out = BatchStats::default();
+        for (i, &op) in ops.iter().enumerate() {
+            match self.core.apply_lazy_one(op) {
+                Ok(s) => out.absorb(s),
+                Err(source) => {
+                    if let Some(w) = self.wal.as_mut() {
+                        w.truncate_unapplied(ops.len() - i);
+                    }
+                    return Err(BatchError {
+                        applied: i,
+                        stats: out,
+                        source,
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Repairs everything deferred by [`ShardedMatcher::apply_deferred`]
+    /// in one batched sweep (plus a rebuild epoch if one came due while
+    /// deferring), restoring the Fact 1.3 certificate. Returns the
+    /// flush's aggregate churn; `applied` stays 0 — the deferred ops
+    /// were already counted when ingested.
+    pub fn flush_repairs(&mut self) -> BatchStats {
+        let s = self.core.flush_repairs();
+        if let Some(w) = self.wal.as_mut() {
+            w.maybe_snapshot(&self.core);
+        }
+        BatchStats {
+            gain: s.gain,
+            recourse: s.recourse,
+            augmentations: s.augmentations,
+            rebuilds: u64::from(s.rebuilt),
+            ..Default::default()
+        }
+    }
+
+    /// Deferred updates whose repairs are still pending (0 outside
+    /// degraded mode).
+    pub fn deferred_repairs(&self) -> usize {
+        self.core.stale_ops
+    }
+
+    /// Enables the write-ahead log, snapshotting the current state
+    /// immediately. Every subsequent batch is journaled before it is
+    /// applied, so [`ShardedMatcher::recover`] can always rebuild the
+    /// committed state.
+    pub fn enable_wal(&mut self, cfg: WalConfig) {
+        self.wal = Some(Box::new(Wal::new(cfg, &self.core)));
+    }
+
+    /// The WAL's observable state, or `None` if no WAL is enabled.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.wal.as_ref().map(|w| w.stats())
+    }
+
+    /// Rebuilds the engine's semantic state from the WAL: restores the
+    /// latest snapshot and replays the journal tail through the ordinary
+    /// batch path. By the engine's determinism contract the result is
+    /// **bit-identical to the uninterrupted run** (matching, recourse,
+    /// counters) — for any snapshot cadence, crash point, shard count,
+    /// and thread count. Returns `None` if no WAL is enabled.
+    ///
+    /// Scheduler telemetry ([`ShardedMatcher::replayed`],
+    /// [`ShardedMatcher::fallbacks`], …) is *not* part of the recovery
+    /// contract: it describes how work was scheduled, not what state was
+    /// committed.
+    pub fn recover(&mut self) -> Option<RecoveryReport> {
+        let mut wal = self.wal.take()?;
+        wal.restore(&mut self.core);
+        self.spec.reset_pipeline();
+        let tail = wal.take_tail();
+        for chunk in tail.chunks(self.batch.max(1)) {
+            self.spec
+                .apply_batch(&mut self.core, chunk, None)
+                .expect("journaled ops committed before the crash");
+        }
+        let report = RecoveryReport {
+            snapshot_updates: wal.snapshot_updates(),
+            replayed_ops: tail.len(),
+        };
+        wal.put_tail(tail);
+        self.wal = Some(wal);
+        Some(report)
+    }
+
+    /// Wipes the engine's live state (graph, matching, counters) as a
+    /// crash would — the WAL, being the durable half, survives. Chaos
+    /// and recovery tests pair this with [`ShardedMatcher::recover`].
+    pub fn simulate_crash(&mut self) {
+        let n = self.core.g.vertex_count();
+        self.core.g = DynGraph::new(n);
+        self.core.m.reset(n);
+        self.core.counters = DynamicCounters::default();
+        self.core.updates_since_rebuild = 0;
+        self.core.write_buf.clear();
+        self.core.stale_dirty.clear();
+        self.core.stale_ops = 0;
+        self.spec.reset_pipeline();
+    }
+
+    /// Installs a deterministic fault injector (test and chaos-bench
+    /// builds only): op poisoning, speculation-worker panics, matching
+    /// corruption, and the sentinel gate cadence are all driven by it.
+    pub fn install_chaos(&mut self, cfg: ChaosConfig) {
+        self.core.chaos = Some(Box::new(ChaosInjector::new(cfg)));
+    }
+
+    /// The installed injector's fault/recovery telemetry, or `None`.
+    pub fn chaos_counters(&self) -> Option<ChaosCounters> {
+        self.core.chaos.as_ref().map(|c| c.counters)
+    }
+
+    /// The invariant sentinel: spot-checks matching consistency (mate
+    /// symmetry and every matched entry backed by a live edge of the
+    /// same weight) and the bounded-augmentation floor's edge-dominance
+    /// consequence (no live edge outweighs the matched weight it
+    /// conflicts with — a violation is a positive 1-edge augmentation,
+    /// which Fact 1.3 forbids at any `max_len ≥ 1`). Returns the vertex
+    /// shard of the first violation. The dominance check is skipped
+    /// while deferred repairs are pending — staleness is deliberate
+    /// there, not corruption.
+    pub fn sentinel_violation(&self) -> Option<usize> {
+        let g = &self.core.g;
+        let m = &self.core.m;
+        let n = g.vertex_count();
+        let k = self.spec.k;
+        for v in 0..n as Vertex {
+            let Some(e) = m.matched_edge(v) else { continue };
+            if !e.touches(v) {
+                return Some(shard_of(v, k, n));
+            }
+            let mate = e.other(v);
+            let back = m.matched_edge(mate).map(|b| (b.key(), b.weight));
+            if back != Some((e.key(), e.weight)) {
+                return Some(shard_of(v.min(mate), k, n));
+            }
+            if e.key().0 == v && !g.has_live_copy(e.u, e.v, e.weight) {
+                return Some(shard_of(e.u.min(e.v), k, n));
+            }
+        }
+        if self.core.stale_ops == 0 {
+            for e in g.live_iter() {
+                let mu = m.matched_edge(e.u);
+                let mv = m.matched_edge(e.v);
+                let conflict = match (mu, mv) {
+                    (Some(a), Some(b)) if a.key() == b.key() => a.weight,
+                    _ => mu.map_or(0, |x| x.weight) + mv.map_or(0, |x| x.weight),
+                };
+                if e.weight > conflict {
+                    return Some(shard_of(e.u.min(e.v), k, n));
+                }
+            }
+        }
+        None
+    }
+
+    /// Quarantines a shard the sentinel flagged and heals the engine:
+    /// with a WAL, a full [`ShardedMatcher::recover`] (bit-identical to
+    /// the uninterrupted run); without one, dead matched entries are
+    /// dropped and a warm restore-only rebuild epoch re-certifies the
+    /// Fact 1.3 floor on the surviving state. Public so serve drivers
+    /// and watchdogs (e.g. [`ServeDriver`](crate::ServeDriver) after a
+    /// deferred-repair flush) can heal a flagged shard on the spot
+    /// instead of waiting for the next batch's sentinel gate.
+    pub fn quarantine_heal(&mut self, shard: usize) {
+        if self.wal.is_some() {
+            self.recover();
+        } else {
+            let EngineCore { g, m, .. } = &mut self.core;
+            let n = g.vertex_count();
+            for v in 0..n as Vertex {
+                if let Some(e) = m.matched_edge(v) {
+                    if e.key().0 == v && !g.has_live_copy(e.u, e.v, e.weight) {
+                        m.remove_pair(e.u, e.v).expect("edge was matched");
+                    }
+                }
+            }
+            // restore-only epoch: rebuild_rounds = 0 skips the class
+            // sweep (randomness unused), re-certifying the invariant
+            // globally; the epoch counter is not consumed
+            let cfg = self.core.cfg.with_rebuild_rounds(0);
+            let EngineCore {
+                g,
+                m,
+                pool,
+                kit,
+                rebuild,
+                counters,
+                ..
+            } = &mut self.core;
+            let (recourse, _gain, augs) =
+                run_rebuild_epoch(g, m, &cfg, pool, kit, rebuild, counters.rebuilds);
+            counters.recourse_total += recourse;
+            counters.augmentations_applied += augs;
+        }
+        if let Some(c) = self.core.chaos.as_mut() {
+            c.counters.sentinel_trips += 1;
+            c.counters.quarantines += 1;
+        }
+        let _ = shard;
+    }
+
+    /// The post-commit corruption hook: when the injector's bit-flip
+    /// cadence fires, one matched entry's stored weight is rewritten to
+    /// a value no live copy of the pair carries — exactly the damage the
+    /// sentinel's liveness check must catch before the next batch.
+    fn inject_bitflip(&mut self) {
+        let EngineCore { g, m, chaos, .. } = &mut self.core;
+        let Some(c) = chaos.as_mut() else { return };
+        if c.config().bitflip_every == 0 {
+            return;
+        }
+        let candidates = m.iter().count();
+        let Some(victim) = c.bitflip_victim(candidates) else {
+            return;
+        };
+        let e = m.iter().nth(victim).expect("victim index is in range");
+        let live_max = g
+            .incident(e.u)
+            .filter(|x| x.touches(e.v))
+            .map(|x| x.weight)
+            .max()
+            .unwrap_or(0);
+        m.remove_pair(e.u, e.v).expect("edge was matched");
+        m.insert(Edge::new(e.u, e.v, live_max + 1))
+            .expect("endpoints just freed");
+    }
+
+    /// Groups whose speculation worker panicked and were committed
+    /// entirely through the sequential fallback (panic-isolation
+    /// telemetry; 0 without injected faults).
+    pub fn groups_fallback(&self) -> u64 {
+        self.spec.groups_fallback
     }
 }
 

@@ -180,6 +180,11 @@ struct GroupResult {
     slot: u32,
     plan_start: u32,
     reads: (u32, u32),
+    /// The group's speculation worker panicked mid-repair: its arena
+    /// ranges are garbage (possibly out of bounds) and must never be
+    /// indexed — the commit runs every op of the group through the
+    /// sequential fallback instead.
+    panicked: bool,
 }
 
 /// Per-pool-worker speculation state: a read-tracking repair kit, the
@@ -287,6 +292,10 @@ impl SpecWorker {
 
     /// Speculates one overlap group's ops in stream order against the
     /// frozen `(g, m)`, pushing one [`Plan`] per op — the parallel phase.
+    /// With `chaos_panic` the worker panics partway through the group
+    /// (the chaos harness's worker-crash fault); the caller's
+    /// `catch_unwind` turns that into a panicked [`GroupResult`].
+    #[allow(clippy::too_many_arguments)]
     fn speculate_group(
         &mut self,
         g: &DynGraph,
@@ -295,6 +304,7 @@ impl SpecWorker {
         ops: &[UpdateOp],
         group_ops: &[u32],
         slot: u32,
+        chaos_panic: bool,
     ) -> GroupResult {
         let n = g.vertex_count();
         self.overlay.ensure(n.max(1));
@@ -304,7 +314,12 @@ impl SpecWorker {
         self.inserted.clear();
         self.kit.begin_read_window(n);
         let plan_start = self.plans.len() as u32;
-        for &opi in group_ops {
+        for (done, &opi) in group_ops.iter().enumerate() {
+            if chaos_panic && done == group_ops.len() / 2 {
+                // mid-ball-repair: earlier ops' plans are already in the
+                // arenas (and stay there as garbage), later ops never run
+                panic!("chaos: injected worker panic mid-ball-repair");
+            }
             let op = ops[opi as usize];
             self.kit.begin_update();
             let structural = self.spec_structural(g, op);
@@ -365,6 +380,7 @@ impl SpecWorker {
             slot,
             plan_start,
             reads: (r0, self.reads_arena.len() as u32),
+            panicked: false,
         }
     }
 }
@@ -552,6 +568,10 @@ pub(crate) struct BatchSpec {
     pub overlap_groups: u64,
     /// Ops whose repair was speculated in the parallel ball phase.
     pub balls_parallel: u64,
+    /// Groups whose speculation worker panicked and were committed
+    /// entirely through the sequential fallback — the panic-isolation
+    /// telemetry the chaos tests assert on.
+    pub groups_fallback: u64,
 }
 
 impl BatchSpec {
@@ -571,7 +591,15 @@ impl BatchSpec {
             inline_commits: 0,
             overlap_groups: 0,
             balls_parallel: 0,
+            groups_fallback: 0,
         }
+    }
+
+    /// Drops any pipelined next-batch grouping. Crash recovery replays
+    /// the journal through fresh batches, so a grouping speculated for a
+    /// batch that will never run must not be mistaken for them.
+    pub fn reset_pipeline(&mut self) {
+        self.next_ready = false;
     }
 
     /// The largest dense scratch footprint any speculation worker used.
@@ -597,9 +625,14 @@ impl BatchSpec {
         next_ops: Option<&[UpdateOp]>,
     ) -> Result<BatchStats, BatchError> {
         let mut out = BatchStats::default();
+        if let Some(c) = core.chaos.as_mut() {
+            c.begin_batch();
+        }
         if core.pool.workers() == 1 {
             // one worker: speculation cannot overlap anything — commit
             // straight through the sequential path, zero extra work
+            // (worker-panic injection targets the speculative path only;
+            // there is no worker here to crash)
             self.next_ready = false;
             for (i, &op) in ops.iter().enumerate() {
                 match core.apply_one(op) {
@@ -607,7 +640,13 @@ impl BatchSpec {
                         self.inline_commits += 1;
                         out.absorb(s);
                     }
-                    Err(source) => return Err(BatchError { applied: i, source }),
+                    Err(source) => {
+                        return Err(BatchError {
+                            applied: i,
+                            stats: out,
+                            source,
+                        })
+                    }
                 }
             }
             return Ok(out);
@@ -627,6 +666,7 @@ impl BatchSpec {
         self.balls_parallel += ops.len() as u64;
         // stage 2 — parallel speculation (+ pipelined grouping of the
         // next batch as one extra item)
+        let panic_victim = core.chaos.as_mut().and_then(|c| c.panic_group(groups_n));
         {
             for w in &mut self.workers {
                 w.begin_batch();
@@ -652,11 +692,34 @@ impl BatchSpec {
                 // SAFETY: a worker slot runs at most one task at a time,
                 // so `workers[slot]` is exclusively this call's
                 let w = unsafe { &mut *workers_ptr.get().add(slot) };
-                w.speculate_group(g, m, &cfg, ops, cur_g.group_ops(item), slot as u32)
+                // isolation boundary: a panicking speculation (injected
+                // or genuine) degrades this one group to the sequential
+                // fallback instead of unwinding through the pool. The
+                // worker's partial arena garbage is harmless: the next
+                // group on this slot resets all per-group state and
+                // appends past whatever the panic left behind.
+                let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    w.speculate_group(
+                        g,
+                        m,
+                        &cfg,
+                        ops,
+                        cur_g.group_ops(item),
+                        slot as u32,
+                        panic_victim == Some(item),
+                    )
+                }));
+                caught.unwrap_or(GroupResult {
+                    slot: slot as u32,
+                    plan_start: 0,
+                    reads: (0, 0),
+                    panicked: true,
+                })
             };
             self.results = core.pool.run_map(groups_n + extra, &task);
             self.results.truncate(groups_n);
             self.next_ready = next_ops.is_some();
+            self.groups_fallback += self.results.iter().filter(|r| r.panicked).count() as u64;
         }
         // stage 3 — commit in stream order
         self.group_ok.clear();
@@ -678,10 +741,17 @@ impl BatchSpec {
         for (i, &op) in ops.iter().enumerate() {
             let (gid, idx) = cur_g.route[i];
             let res = results[gid as usize];
-            let w = &workers[res.slot as usize];
-            let plan = &w.plans[(res.plan_start + idx) as usize];
             let mut stats = UpdateStats::default();
-            if group_ok[gid as usize] && plan.err.is_none() {
+            // a panicked group's plan ranges are garbage — the short-
+            // circuit keeps them from ever being indexed
+            let plan_live = group_ok[gid as usize]
+                && !res.panicked
+                && workers[res.slot as usize].plans[(res.plan_start + idx) as usize]
+                    .err
+                    .is_none();
+            if plan_live {
+                let w = &workers[res.slot as usize];
+                let plan = &w.plans[(res.plan_start + idx) as usize];
                 // replay: the read-set check below proved (for every
                 // earlier commit) that no foreign write touched anything
                 // this group's speculation read, so replaying is
@@ -717,7 +787,13 @@ impl BatchSpec {
                 group_ok[gid as usize] = false;
                 let seq = match core.repair_one(op) {
                     Ok(s) => s,
-                    Err(source) => return Err(BatchError { applied: i, source }),
+                    Err(source) => {
+                        return Err(BatchError {
+                            applied: i,
+                            stats: out,
+                            source,
+                        })
+                    }
                 };
                 stats = seq;
                 *fallbacks += 1;
