@@ -27,11 +27,15 @@
 //! | `dynamic-wgtaug` | Fact 1.3 repair loop (update streams) | dynamic | weight | no (½) |
 //! | `dynamic-sharded` | Fact 1.3 sharded speculate-and-replay engine | dynamic | weight | no (½) |
 //! | `dynamic-rebuild` | Fact 1.3 recompute-from-scratch baseline | dynamic | weight | no (½) |
+//! | `dynamic-randomwalk` | local dominance via seeded random-walk repair (cf. arXiv:2104.13098) | dynamic | weight | no (½) |
+//! | `dynamic-lazy` | Fact 1.3 under a per-update work budget, restored at flush | dynamic | weight | no (½) |
+//! | `dynamic-stale` | Fact 1.3 with ε-stale deferred repair, restored at flush | dynamic | weight | no (½) |
 //! | `random-order-unweighted` | Theorem 3.4 | random-order | cardinality | no (0.506) |
 //! | `greedy` | folklore ½ baseline | offline, streams | weight | no |
 //! | `local-ratio` | \[PS17\], Section 3.2 | offline, streams | weight | no |
 //! | `blossom` | exact oracle (Galil) | offline | weight | yes |
 //! | `hungarian` | exact oracle (bipartite) | offline | weight | yes |
+//! | `oracle-lekm` | exact oracle: slack-array Hungarian, certified duals, warm-startable | offline | weight | yes |
 //! | `hopcroft-karp` | offline `Unw-Bip-Matching` box | offline | cardinality | yes |
 //! | `stream-mcm` | streaming `Unw-Bip-Matching` box (\[AG13\] role) | streams | cardinality | no |
 //! | `mpc-mcm` | MPC coreset box (\[ABB+19\]/\[GGK+18\] role) | MPC | cardinality | no |
@@ -93,7 +97,7 @@ pub use error::SolveError;
 pub use instance::{ArrivalModel, Instance};
 pub use registry::{registry, registry_for, solve, solver};
 pub use report::{objective_value, Certificate, SolveReport, Telemetry};
-pub use request::{Effort, SolveRequest, MAX_AUG_DEPTH, MAX_BUDGET, MAX_THREADS};
+pub use request::{Effort, SolveRequest, MAX_AUG_DEPTH, MAX_BUDGET, MAX_THREADS, MAX_WALK_LEN};
 pub use solvers::Solver;
 // the dynamic model's update vocabulary, re-exported so facade consumers
 // can build `Instance::dynamic` sequences without naming wmatch-dynamic

@@ -7,7 +7,9 @@ use crate::report::SolveReport;
 use crate::request::SolveRequest;
 use crate::solvers::baselines::{GreedySolver, LocalRatioSolver, RandomOrderUnweightedSolver};
 use crate::solvers::boxes::{MpcMcmSolver, StreamMcmSolver};
-use crate::solvers::dynamic::{DynamicRebuild, DynamicSharded, DynamicWgtAug};
+use crate::solvers::dynamic::{
+    DynamicLazy, DynamicRandomWalk, DynamicRebuild, DynamicSharded, DynamicStale, DynamicWgtAug,
+};
 use crate::solvers::exact::{BlossomSolver, HopcroftKarpSolver, HungarianSolver};
 use crate::solvers::oracle::OracleLekm;
 use crate::solvers::paper::{MpcMainAlg, OfflineMainAlg, RandArrSolver, StreamingMainAlg};
@@ -25,6 +27,9 @@ pub fn registry() -> Vec<Box<dyn Solver>> {
         Box::new(DynamicWgtAug),
         Box::new(DynamicSharded),
         Box::new(DynamicRebuild),
+        Box::new(DynamicRandomWalk),
+        Box::new(DynamicLazy),
+        Box::new(DynamicStale),
         Box::new(RandomOrderUnweightedSolver),
         Box::new(GreedySolver),
         Box::new(LocalRatioSolver),

@@ -21,6 +21,12 @@ pub const MAX_BUDGET: usize = 1_000_000;
 /// a configuration mistake, not a request.
 pub const MAX_AUG_DEPTH: usize = 9;
 
+/// Upper bound on [`SolveRequest::walk_len`]: the random-walk repair
+/// engine's per-trial step cap. The walk's quality comes from its
+/// dominance settle, not from walk length, so anything beyond this only
+/// burns time.
+pub const MAX_WALK_LEN: usize = 64;
+
 /// How much work an approximate solver should invest beyond its defaults.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Effort {
@@ -93,6 +99,24 @@ pub struct SolveRequest {
     /// committed matching is bit-identical to the single-shard engine for
     /// every shard count. Ignored by non-sharded solvers.
     pub shards: usize,
+    /// Maximum steps per repair walk of the `dynamic-randomwalk` solver
+    /// (must lie in `1..=`[`MAX_WALK_LEN`]). Longer walks can discover
+    /// longer augmenting swaps but cost proportionally more per trial; the
+    /// solver's ½ floor does not depend on it (it comes from the local-
+    /// dominance settle after every update). Ignored by other solvers.
+    pub walk_len: usize,
+    /// Augmentations allowed per update for the `dynamic-lazy` solver
+    /// (must lie in `1..=`[`MAX_BUDGET`]). When a single update needs more
+    /// repair work than the budget allows, the leftover dirty region is
+    /// carried into subsequent updates and settled by the end-of-stream
+    /// flush. Ignored by other solvers.
+    pub work_budget: usize,
+    /// Deferred updates per batched repair of the `dynamic-stale` solver
+    /// (must lie in `1..=`[`MAX_BUDGET`]; 1 repairs after every op like
+    /// the eager engine). Between flushes the maintained matching is valid
+    /// but uncertified — the Fact 1.3 floor holds at flush boundaries.
+    /// Ignored by other solvers.
+    pub staleness_bound: usize,
     /// Effort level for approximate solvers.
     pub effort: Effort,
     /// When set, the report carries an approximation
@@ -116,6 +140,9 @@ impl Default for SolveRequest {
             aug_depth: 3,
             rebuild_threshold: 0,
             shards: 1,
+            walk_len: 8,
+            work_budget: 4,
+            staleness_bound: 64,
             effort: Effort::Standard,
             certify: false,
             warm_start: None,
@@ -196,6 +223,27 @@ impl SolveRequest {
     /// [`SolveRequest::shards`]).
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Sets the random-walk solver's steps-per-walk cap (validated in
+    /// `1..=`[`MAX_WALK_LEN`]; see [`SolveRequest::walk_len`]).
+    pub fn with_walk_len(mut self, walk_len: usize) -> Self {
+        self.walk_len = walk_len;
+        self
+    }
+
+    /// Sets the lazy solver's augmentations-per-update budget (validated
+    /// in `1..=`[`MAX_BUDGET`]; see [`SolveRequest::work_budget`]).
+    pub fn with_work_budget(mut self, work_budget: usize) -> Self {
+        self.work_budget = work_budget;
+        self
+    }
+
+    /// Sets the stale solver's deferred-updates-per-flush bound (validated
+    /// in `1..=`[`MAX_BUDGET`]; see [`SolveRequest::staleness_bound`]).
+    pub fn with_staleness_bound(mut self, staleness_bound: usize) -> Self {
+        self.staleness_bound = staleness_bound;
         self
     }
 
@@ -287,6 +335,27 @@ impl SolveRequest {
                 reason: format!(
                     "must be at most {MAX_BUDGET} (0 = never rebuild), got {}",
                     self.rebuild_threshold
+                ),
+            });
+        }
+        if self.walk_len == 0 || self.walk_len > MAX_WALK_LEN {
+            return Err(SolveError::InvalidConfig {
+                field: "walk_len",
+                reason: format!("must lie in 1..={MAX_WALK_LEN}, got {}", self.walk_len),
+            });
+        }
+        if self.work_budget == 0 || self.work_budget > MAX_BUDGET {
+            return Err(SolveError::InvalidConfig {
+                field: "work_budget",
+                reason: format!("must lie in 1..={MAX_BUDGET}, got {}", self.work_budget),
+            });
+        }
+        if self.staleness_bound == 0 || self.staleness_bound > MAX_BUDGET {
+            return Err(SolveError::InvalidConfig {
+                field: "staleness_bound",
+                reason: format!(
+                    "must lie in 1..={MAX_BUDGET} (1 = repair after every op), got {}",
+                    self.staleness_bound
                 ),
             });
         }

@@ -219,6 +219,76 @@ fn dynamic_engine_identical_across_thread_counts() {
     }
 }
 
+/// A mixed insert/delete stream on `n` vertices, deterministic in `seed`.
+fn churn_ops(n: u32, len: usize, seed: u64) -> Vec<wmatch_api::UpdateOp> {
+    use wmatch_api::UpdateOp;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut live: Vec<(u32, u32)> = Vec::new();
+    let mut ops = Vec::new();
+    for _ in 0..len {
+        if live.len() > n as usize * 2 {
+            let i = (ops.len() * 7) % live.len();
+            let (u, v) = live.swap_remove(i);
+            ops.push(UpdateOp::delete(u, v));
+        } else {
+            let u = rng.gen_range(0..n);
+            let mut v = rng.gen_range(0..n);
+            if v == u {
+                v = (v + 1) % n;
+            }
+            live.push((u, v));
+            ops.push(UpdateOp::insert(u, v, rng.gen_range(1..50u64)));
+        }
+    }
+    ops
+}
+
+#[test]
+fn competitor_solvers_identical_across_thread_counts() {
+    // the shootout competitors share the determinism contract: with a
+    // fixed seed the reported matching and the repair counters are
+    // bit-identical for any threads value (the lazy/stale engines' only
+    // parallel layer is the rebuild epoch; the walk engine has none)
+    let inst = Instance::dynamic(Graph::new(24), churn_ops(24, 120, 505));
+    for solver in ["dynamic-randomwalk", "dynamic-lazy", "dynamic-stale"] {
+        let run = |threads: usize| {
+            solve(
+                solver,
+                &inst,
+                &SolveRequest::new()
+                    .with_seed(9)
+                    .with_threads(threads)
+                    .with_rebuild_threshold(25)
+                    .with_work_budget(2)
+                    .with_staleness_bound(7),
+            )
+            .expect("competitor solver")
+        };
+        let want = run(1);
+        for threads in THREAD_COUNTS {
+            let got = run(threads);
+            assert_eq!(
+                want.matching.to_edges(),
+                got.matching.to_edges(),
+                "{solver} threads {threads}"
+            );
+            assert_eq!(want.value, got.value, "{solver} threads {threads}");
+            for key in [
+                "updates_applied",
+                "recourse_total",
+                "augmentations_applied",
+                "rebuilds",
+            ] {
+                assert_eq!(
+                    want.telemetry.extra(key),
+                    got.telemetry.extra(key),
+                    "{solver} threads {threads}: {key}"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn mpc_box_identical_across_thread_counts() {
     let mut rng = StdRng::seed_from_u64(303);
@@ -281,6 +351,97 @@ proptest! {
             prop_assert_eq!(want.value, got.value);
             prop_assert_eq!(&want.telemetry.trace, &got.telemetry.trace);
         }
+    }
+
+    /// The shootout competitors: arbitrary churn streams, arbitrary
+    /// seeds, every tested thread count — bit-identical matching, value,
+    /// and repair counters.
+    #[test]
+    fn competitor_solvers_deterministic_for_any_thread_count(
+        stream_seed in 0u64..1000,
+        solver_seed in 0u64..100,
+        len in 20usize..60,
+    ) {
+        let inst = Instance::dynamic(Graph::new(12), churn_ops(12, len, stream_seed));
+        for solver in ["dynamic-randomwalk", "dynamic-lazy", "dynamic-stale"] {
+            let run = |threads: usize| {
+                solve(
+                    solver,
+                    &inst,
+                    &SolveRequest::new()
+                        .with_seed(solver_seed)
+                        .with_threads(threads)
+                        .with_rebuild_threshold(15)
+                        .with_work_budget(1)
+                        .with_staleness_bound(5),
+                )
+                .expect("competitor solver")
+            };
+            let want = run(1);
+            for threads in THREAD_COUNTS {
+                let got = run(threads);
+                prop_assert_eq!(want.matching.to_edges(), got.matching.to_edges());
+                prop_assert_eq!(want.value, got.value);
+                prop_assert_eq!(
+                    want.telemetry.extra("recourse_total"),
+                    got.telemetry.extra("recourse_total")
+                );
+            }
+        }
+    }
+
+    /// The stale engine's batch-order contract: within one staleness
+    /// window, deferred ops touching pairwise-disjoint vertex sets
+    /// commute — permuting them yields a bit-identical post-flush
+    /// matching.
+    #[test]
+    fn stale_window_invariant_under_disjoint_permutations(
+        weights in proptest::collection::vec((1u64..50, 1u64..20, any::<bool>()), 2..8),
+        perm_seed in 0u64..1000,
+    ) {
+        use wmatch_api::UpdateOp;
+        // pair i lives on vertices (2i, 2i+1): pairwise disjoint by
+        // construction. The stream is a fixed-order insert prefix plus
+        // one window op per pair (delete, or a heavier parallel copy);
+        // only the window segment is permuted.
+        let n = 2 * weights.len();
+        let mut ops: Vec<UpdateOp> = Vec::new();
+        for (i, &(w, _, _)) in weights.iter().enumerate() {
+            ops.push(UpdateOp::insert(2 * i as u32, 2 * i as u32 + 1, w));
+        }
+        let mut window: Vec<UpdateOp> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &(w, delta, del))| {
+                let (u, v) = (2 * i as u32, 2 * i as u32 + 1);
+                if del {
+                    UpdateOp::delete(u, v)
+                } else {
+                    UpdateOp::insert(u, v, w + delta)
+                }
+            })
+            .collect();
+        let baseline: Vec<UpdateOp> = ops.iter().copied().chain(window.iter().copied()).collect();
+        // Fisher–Yates keyed by perm_seed
+        let mut rng = StdRng::seed_from_u64(perm_seed);
+        for i in (1..window.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            window.swap(i, j);
+        }
+        let permuted: Vec<UpdateOp> = ops.into_iter().chain(window).collect();
+        let bound = baseline.len(); // the whole stream is one window
+        let run = |stream: Vec<UpdateOp>| {
+            solve(
+                "dynamic-stale",
+                &Instance::dynamic(Graph::new(n), stream),
+                &SolveRequest::new().with_staleness_bound(bound),
+            )
+            .expect("stale solver")
+        };
+        let want = run(baseline);
+        let got = run(permuted);
+        prop_assert_eq!(want.matching.to_edges(), got.matching.to_edges());
+        prop_assert_eq!(want.value, got.value);
     }
 
     /// MPC box: random bipartite instances, every tested thread count —

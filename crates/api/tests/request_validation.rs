@@ -4,7 +4,9 @@
 //! algorithm (the legacy `MainAlgConfig::practical` path accepted any ε
 //! and only failed much later in `weight_grid`).
 
-use wmatch_api::{solve, Instance, SolveError, SolveRequest, MAX_BUDGET, MAX_THREADS};
+use wmatch_api::{
+    solve, Instance, SolveError, SolveRequest, MAX_BUDGET, MAX_THREADS, MAX_WALK_LEN,
+};
 use wmatch_graph::generators::{gnp, WeightModel};
 use wmatch_graph::{Graph, Matching};
 
@@ -310,6 +312,85 @@ fn shards_overflow_rejected() {
 }
 
 #[test]
+fn walk_len_out_of_range_rejected() {
+    assert_invalid(SolveRequest::new().with_walk_len(0), "walk_len");
+    assert_invalid(
+        SolveRequest::new().with_walk_len(MAX_WALK_LEN + 1),
+        "walk_len",
+    );
+    assert_invalid(SolveRequest::new().with_walk_len(usize::MAX), "walk_len");
+    assert!(SolveRequest::new().with_walk_len(1).validate().is_ok());
+    assert!(SolveRequest::new()
+        .with_walk_len(MAX_WALK_LEN)
+        .validate()
+        .is_ok());
+}
+
+#[test]
+fn work_budget_out_of_range_rejected() {
+    assert_invalid(SolveRequest::new().with_work_budget(0), "work_budget");
+    assert_invalid(
+        SolveRequest::new().with_work_budget(MAX_BUDGET + 1),
+        "work_budget",
+    );
+    assert!(SolveRequest::new().with_work_budget(1).validate().is_ok());
+    assert!(SolveRequest::new()
+        .with_work_budget(MAX_BUDGET)
+        .validate()
+        .is_ok());
+}
+
+#[test]
+fn staleness_bound_out_of_range_rejected() {
+    assert_invalid(
+        SolveRequest::new().with_staleness_bound(0),
+        "staleness_bound",
+    );
+    assert_invalid(
+        SolveRequest::new().with_staleness_bound(MAX_BUDGET + 1),
+        "staleness_bound",
+    );
+    assert!(SolveRequest::new()
+        .with_staleness_bound(1)
+        .validate()
+        .is_ok());
+    assert!(SolveRequest::new()
+        .with_staleness_bound(MAX_BUDGET)
+        .validate()
+        .is_ok());
+}
+
+#[test]
+fn competitor_solvers_reject_invalid_knobs_before_touching_the_stream() {
+    // the knob checks run in preflight, so even a stream that would fail
+    // later reports the configuration error first — typed, not a panic
+    use wmatch_api::UpdateOp;
+    let inst = Instance::dynamic(Graph::new(4), vec![UpdateOp::insert(0, 99, 1)]);
+    for (solver, req, field) in [
+        (
+            "dynamic-randomwalk",
+            SolveRequest::new().with_walk_len(0),
+            "walk_len",
+        ),
+        (
+            "dynamic-lazy",
+            SolveRequest::new().with_work_budget(0),
+            "work_budget",
+        ),
+        (
+            "dynamic-stale",
+            SolveRequest::new().with_staleness_bound(MAX_BUDGET + 1),
+            "staleness_bound",
+        ),
+    ] {
+        match solve(solver, &inst, &req) {
+            Err(SolveError::InvalidConfig { field: f, .. }) => assert_eq!(f, field, "{solver}"),
+            other => panic!("{solver}: expected {field} InvalidConfig, got {other:?}"),
+        }
+    }
+}
+
+#[test]
 fn malformed_update_sequences_are_typed_errors() {
     // the dynamic solvers forward engine rejections through the uniform
     // error contract instead of panicking mid-replay
@@ -320,7 +401,14 @@ fn malformed_update_sequences_are_typed_errors() {
         ("self-loop", UpdateOp::insert(2, 2, 5)),
         ("deleting a non-live edge", UpdateOp::delete(0, 1)),
     ] {
-        for solver in ["dynamic-wgtaug", "dynamic-rebuild", "dynamic-sharded"] {
+        for solver in [
+            "dynamic-wgtaug",
+            "dynamic-rebuild",
+            "dynamic-sharded",
+            "dynamic-randomwalk",
+            "dynamic-lazy",
+            "dynamic-stale",
+        ] {
             let inst = Instance::dynamic(Graph::new(4), vec![bad]);
             let err = solve(solver, &inst, &SolveRequest::new()).unwrap_err();
             assert!(
@@ -348,7 +436,14 @@ fn update_errors_report_partial_progress() {
         UpdateOp::delete(2, 3), // never inserted → EdgeNotFound after 2 ops
         UpdateOp::insert(0, 3, 9),
     ];
-    for solver in ["dynamic-wgtaug", "dynamic-rebuild", "dynamic-sharded"] {
+    for solver in [
+        "dynamic-wgtaug",
+        "dynamic-rebuild",
+        "dynamic-sharded",
+        "dynamic-randomwalk",
+        "dynamic-lazy",
+        "dynamic-stale",
+    ] {
         let inst = Instance::dynamic(Graph::new(4), ops.clone());
         match solve(solver, &inst, &SolveRequest::new().with_shards(2)) {
             Err(SolveError::InvalidConfig {

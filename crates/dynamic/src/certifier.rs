@@ -14,7 +14,10 @@ use wmatch_oracle::{IncrementalCertifier, OracleError};
 
 use crate::dyngraph::DynGraph;
 use crate::engine::{DynamicMatcher, RecomputeBaseline};
+use crate::lazy::LazyMatcher;
+use crate::randomwalk::RandomWalkMatcher;
 use crate::sharded::ShardedMatcher;
+use crate::stale::StaleMatcher;
 
 /// One checkpoint's verdict: the engine's maintained matching measured
 /// against the exact, certificate-checked optimum.
@@ -99,6 +102,61 @@ impl RecomputeBaseline {
     }
 }
 
+impl RandomWalkMatcher {
+    /// Re-certifies the engine's current graph through `cert`; see
+    /// [`DynamicMatcher::certify_checkpoint`]. The walk engine repairs
+    /// eagerly (local dominance after every update), so no flush is
+    /// needed first.
+    ///
+    /// # Errors
+    ///
+    /// [`OracleError`] if the live graph does not fit the certifier's
+    /// bipartition.
+    pub fn certify_checkpoint(
+        &self,
+        cert: &mut IncrementalCertifier,
+    ) -> Result<CheckpointCertificate, OracleError> {
+        checkpoint(self.graph(), self.matching(), cert)
+    }
+}
+
+impl LazyMatcher {
+    /// Settles the carried repair debt, then re-certifies through `cert`
+    /// — the flush is what makes the measured ratio comparable against
+    /// the engine's declared (post-flush) floor; see
+    /// [`DynamicMatcher::certify_checkpoint`].
+    ///
+    /// # Errors
+    ///
+    /// [`OracleError`] if the live graph does not fit the certifier's
+    /// bipartition.
+    pub fn certify_checkpoint(
+        &mut self,
+        cert: &mut IncrementalCertifier,
+    ) -> Result<CheckpointCertificate, OracleError> {
+        self.flush();
+        checkpoint(self.graph(), self.matching(), cert)
+    }
+}
+
+impl StaleMatcher {
+    /// Settles the deferred repairs, then re-certifies through `cert` —
+    /// the staleness contract only claims the floor at flush boundaries;
+    /// see [`DynamicMatcher::certify_checkpoint`].
+    ///
+    /// # Errors
+    ///
+    /// [`OracleError`] if the live graph does not fit the certifier's
+    /// bipartition.
+    pub fn certify_checkpoint(
+        &mut self,
+        cert: &mut IncrementalCertifier,
+    ) -> Result<CheckpointCertificate, OracleError> {
+        self.flush();
+        checkpoint(self.graph(), self.matching(), cert)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,5 +179,43 @@ mod tests {
         let ck = eng.certify_checkpoint(&mut cert).unwrap();
         assert_eq!(ck.optimum, 5);
         assert_eq!(cert.stats().warm_checkpoints, 1);
+    }
+
+    #[test]
+    fn deferred_engines_flush_before_certifying() {
+        // bipartite sides {0, 1} / {2, 3}
+        let side = vec![false, false, true, true];
+        let ops = [UpdateOp::insert(0, 2, 5), UpdateOp::insert(1, 3, 7)];
+
+        // the stale engine defers both repairs; the checkpoint must not
+        // measure the unrepaired (empty) matching against the optimum
+        let mut stale = crate::StaleMatcher::new(4, DynamicConfig::default(), 10);
+        let mut cert = IncrementalCertifier::new(side.clone());
+        for &op in &ops {
+            stale.apply(op).unwrap();
+        }
+        assert_eq!(stale.matching().weight(), 0, "both repairs deferred");
+        let ck = stale.certify_checkpoint(&mut cert).unwrap();
+        assert_eq!(ck.optimum, 12);
+        assert_eq!(ck.engine_weight, 12, "checkpoint flushed first");
+        assert!(ck.ratio >= 0.5 - 1e-9);
+
+        let mut lazy = crate::LazyMatcher::new(4, DynamicConfig::default(), 1);
+        let mut cert = IncrementalCertifier::new(side.clone());
+        for &op in &ops {
+            lazy.apply(op).unwrap();
+        }
+        let ck = lazy.certify_checkpoint(&mut cert).unwrap();
+        assert_eq!(ck.optimum, 12);
+        assert!(ck.ratio >= 0.5 - 1e-9);
+
+        let mut walk = crate::RandomWalkMatcher::new(4, crate::RandomWalkConfig::default());
+        let mut cert = IncrementalCertifier::new(side);
+        for &op in &ops {
+            walk.apply(op).unwrap();
+        }
+        let ck = walk.certify_checkpoint(&mut cert).unwrap();
+        assert_eq!(ck.optimum, 12);
+        assert!(ck.ratio >= 0.5 - 1e-9);
     }
 }

@@ -497,6 +497,94 @@ impl EngineCore {
     }
 }
 
+/// The uniform surface of every dynamic engine in the crate — the
+/// incremental repairer, the recompute baseline, the sharded engine, and
+/// the competitor solvers ([`RandomWalkMatcher`](crate::RandomWalkMatcher),
+/// [`LazyMatcher`](crate::LazyMatcher), [`StaleMatcher`](crate::StaleMatcher)).
+///
+/// The trait is what lets the cross-engine agreement suites and the
+/// shootout bench drive every engine through one loop: apply a stream,
+/// [`UpdateEngine::flush`] whatever repair debt the engine's contract
+/// allows it to defer, and compare the matchings, counters, and declared
+/// floors. Engines that repair eagerly (no debt) keep the default no-op
+/// `flush`.
+pub trait UpdateEngine {
+    /// Applies one update.
+    ///
+    /// # Errors
+    ///
+    /// A [`DynamicError`] for malformed operations; the engine must be
+    /// left unchanged (malformed ops are not counted).
+    fn apply(&mut self, op: UpdateOp) -> Result<UpdateStats, DynamicError>;
+
+    /// Settles any deferred repair work, restoring whatever invariant the
+    /// engine's declared floor rests on. Eager engines (no deferral) keep
+    /// this default no-op.
+    fn flush(&mut self) -> UpdateStats {
+        UpdateStats::default()
+    }
+
+    /// The maintained matching.
+    fn matching(&self) -> &Matching;
+
+    /// The live graph.
+    fn graph(&self) -> &DynGraph;
+
+    /// Lifetime counters.
+    fn counters(&self) -> DynamicCounters;
+
+    /// The approximation floor this engine certifies for its matching
+    /// once [`UpdateEngine::flush`] has run (for eager engines: after
+    /// every update).
+    fn declared_floor(&self) -> f64;
+}
+
+impl UpdateEngine for DynamicMatcher {
+    fn apply(&mut self, op: UpdateOp) -> Result<UpdateStats, DynamicError> {
+        DynamicMatcher::apply(self, op)
+    }
+
+    fn matching(&self) -> &Matching {
+        DynamicMatcher::matching(self)
+    }
+
+    fn graph(&self) -> &DynGraph {
+        DynamicMatcher::graph(self)
+    }
+
+    fn counters(&self) -> DynamicCounters {
+        DynamicMatcher::counters(self)
+    }
+
+    fn declared_floor(&self) -> f64 {
+        self.config().certified_floor()
+    }
+}
+
+impl UpdateEngine for RecomputeBaseline {
+    fn apply(&mut self, op: UpdateOp) -> Result<UpdateStats, DynamicError> {
+        RecomputeBaseline::apply(self, op)
+    }
+
+    fn matching(&self) -> &Matching {
+        RecomputeBaseline::matching(self)
+    }
+
+    fn graph(&self) -> &DynGraph {
+        RecomputeBaseline::graph(self)
+    }
+
+    fn counters(&self) -> DynamicCounters {
+        RecomputeBaseline::counters(self)
+    }
+
+    fn declared_floor(&self) -> f64 {
+        DynamicConfig::default()
+            .with_max_len(self.max_len())
+            .certified_floor()
+    }
+}
+
 /// The fully-dynamic matching engine. See the [module docs](self) for the
 /// invariant and the repair strategy.
 ///
@@ -809,10 +897,28 @@ impl RecomputeBaseline {
         &self.g
     }
 
+    /// The maximum edges per augmentation of the per-update recompute.
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
     /// Lifetime counters (`augmentations_applied` stays 0: the baseline
     /// reports whole-matching churn, not individual repairs).
     pub fn counters(&self) -> DynamicCounters {
         self.counters
+    }
+
+    /// Chunks stolen across worker pools — always 0: the baseline has no
+    /// parallel layer. Exposed so the facade's telemetry schema is uniform
+    /// across the dynamic engines.
+    pub fn steals(&self) -> u64 {
+        0
+    }
+
+    /// The largest dense scratch footprint the recompute searcher has
+    /// used.
+    pub fn scratch_high_water(&self) -> usize {
+        self.searcher.scratch_high_water()
     }
 
     /// Applies one update: structural change, then a full recompute.

@@ -54,9 +54,12 @@ pub mod degraded;
 pub mod dyngraph;
 pub mod engine;
 pub mod error;
+pub mod lazy;
+pub mod randomwalk;
 mod repair;
 pub mod sharded;
 mod spec;
+pub mod stale;
 pub mod update;
 pub mod wal;
 
@@ -66,9 +69,12 @@ pub use degraded::{DegradedStats, RetryPolicy, ServeDriver};
 pub use dyngraph::DynGraph;
 pub use engine::{
     static_bounded_matching, BatchError, BatchStats, DynamicConfig, DynamicCounters,
-    DynamicMatcher, RecomputeBaseline, UpdateStats,
+    DynamicMatcher, RecomputeBaseline, UpdateEngine, UpdateStats,
 };
 pub use error::DynamicError;
+pub use lazy::LazyMatcher;
+pub use randomwalk::{RandomWalkConfig, RandomWalkMatcher};
 pub use sharded::ShardedMatcher;
+pub use stale::StaleMatcher;
 pub use update::UpdateOp;
 pub use wal::{RecoveryReport, WalConfig};

@@ -223,8 +223,37 @@ impl RepairKit {
         G: RepairGraph + ?Sized,
         M: RepairMatching + ?Sized,
     {
+        self.fix_up_budgeted(g, m, max_len, usize::MAX).0
+    }
+
+    /// [`RepairKit::fix_up`] under a work budget: at most `budget`
+    /// augmentations are applied. Returns `true` in the second slot when
+    /// the budget ran out before the loop certified the invariant — in
+    /// that case the dirty set is **kept** (seeds plus everything touched
+    /// so far), so the caller can carry it into a later repair and finish
+    /// the convergence then. On a clean finish the dirty set is cleared,
+    /// exactly as `fix_up`.
+    pub fn fix_up_budgeted<G, M>(
+        &mut self,
+        g: &G,
+        m: &mut M,
+        max_len: usize,
+        budget: usize,
+    ) -> (FixOutcome, bool)
+    where
+        G: RepairGraph + ?Sized,
+        M: RepairMatching + ?Sized,
+    {
         let mut out = FixOutcome::default();
-        while let Some(gain) = self.best_local_augmentation(g, m, max_len) {
+        loop {
+            if out.augmentations as usize >= budget {
+                // out of budget with the invariant not yet certified: keep
+                // the dirty seeds for the caller to finish later
+                return (out, true);
+            }
+            let Some(gain) = self.best_local_augmentation(g, m, max_len) else {
+                break;
+            };
             debug_assert!(gain > 0, "only positive augmentations are applied");
             for i in 0..self.removed.len() {
                 let e = self.removed[i];
@@ -251,7 +280,7 @@ impl RepairKit {
             }
         }
         self.dirty.clear();
-        out
+        (out, false)
     }
 
     /// The best positive augmentation (≤ `max_len` edges) in the
@@ -484,6 +513,39 @@ mod tests {
         // both count (weight change is observable churn)
         kit.journal.extend([(e, false), (Edge::new(0, 1, 9), true)]);
         assert_eq!(kit.net_recourse(), 2);
+    }
+
+    #[test]
+    fn budgeted_fix_up_keeps_dirty_and_resumes() {
+        // path 0-1(4), 1-2(6), 2-3(4): converging from empty takes two
+        // augmentations (grab {1,2}, then the 3-edge swap to the outer
+        // pair). Budget 1 must stop after the first and keep the seeds.
+        let mut g = DynGraph::new(4);
+        g.insert(0, 1, 4).unwrap();
+        g.insert(1, 2, 6).unwrap();
+        g.insert(2, 3, 4).unwrap();
+        let mut m = Matching::new(4);
+        let mut kit = RepairKit::new(false);
+        kit.begin_update();
+        kit.dirty.extend([0u32, 1, 2, 3]);
+        let (out, exhausted) = kit.fix_up_budgeted(&g, &mut m, 3, 1);
+        assert!(exhausted, "one augmentation cannot certify this ball");
+        assert_eq!(out.augmentations, 1);
+        assert_eq!(m.weight(), 6, "the middle edge wins the first round");
+        assert!(!kit.dirty.is_empty(), "exhaustion preserves the seeds");
+        // resuming without a budget finishes the convergence
+        let (out, exhausted) = kit.fix_up_budgeted(&g, &mut m, 3, usize::MAX);
+        assert!(!exhausted);
+        assert_eq!(out.augmentations, 1);
+        assert_eq!(m.weight(), 8, "outer pair beats the middle edge");
+        assert!(kit.dirty.is_empty(), "clean finish clears the dirty set");
+        // a zero budget is exhausted before searching at all
+        kit.dirty.push(0);
+        let (out, exhausted) = kit.fix_up_budgeted(&g, &mut m, 3, 0);
+        assert!(exhausted);
+        assert_eq!(out.augmentations, 0);
+        assert_eq!(kit.dirty, vec![0]);
+        kit.dirty.clear();
     }
 
     #[test]

@@ -50,7 +50,7 @@ use crate::chaos::{ChaosConfig, ChaosCounters, ChaosInjector};
 use crate::dyngraph::DynGraph;
 use crate::engine::{
     run_rebuild_epoch, static_bounded_matching, BatchError, BatchStats, DynamicConfig,
-    DynamicCounters, EngineCore,
+    DynamicCounters, EngineCore, UpdateEngine, UpdateStats,
 };
 use crate::error::DynamicError;
 use crate::spec::{shard_of, BatchSpec};
@@ -566,6 +566,48 @@ impl ShardedMatcher {
     /// telemetry; 0 without injected faults).
     pub fn groups_fallback(&self) -> u64 {
         self.spec.groups_fallback
+    }
+}
+
+impl UpdateEngine for ShardedMatcher {
+    /// One-op batch through the batched ingest path (the inline bypass at
+    /// a single worker makes this exactly the sequential repair).
+    fn apply(&mut self, op: UpdateOp) -> Result<UpdateStats, DynamicError> {
+        match self.apply_all(&[op]) {
+            Ok(s) => Ok(UpdateStats {
+                gain: s.gain,
+                recourse: s.recourse,
+                augmentations: s.augmentations,
+                rebuilt: s.rebuilds > 0,
+            }),
+            Err(e) => Err(e.source),
+        }
+    }
+
+    fn flush(&mut self) -> UpdateStats {
+        let s = ShardedMatcher::flush_repairs(self);
+        UpdateStats {
+            gain: s.gain,
+            recourse: s.recourse,
+            augmentations: s.augmentations,
+            rebuilt: s.rebuilds > 0,
+        }
+    }
+
+    fn matching(&self) -> &Matching {
+        ShardedMatcher::matching(self)
+    }
+
+    fn graph(&self) -> &DynGraph {
+        ShardedMatcher::graph(self)
+    }
+
+    fn counters(&self) -> DynamicCounters {
+        ShardedMatcher::counters(self)
+    }
+
+    fn declared_floor(&self) -> f64 {
+        self.config().certified_floor()
     }
 }
 

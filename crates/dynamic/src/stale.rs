@@ -1,0 +1,278 @@
+//! The tolerate-ε-staleness engine: defer repairs, batch-restore.
+//!
+//! [`StaleMatcher`] promotes the degraded serve mode's deferred path
+//! (the engine core's `apply_lazy_one` + `flush_repairs`) into a
+//! first-class solver. Every update performs only
+//! the structural change (plus dead-matched-edge cleanup, so the matching
+//! is never backed by an edge that no longer exists) and accumulates its
+//! endpoints into a stale-dirty set; once `staleness_bound` updates have
+//! been deferred, one batched fix-up sweep restores the bounded-
+//! augmentation invariant over everything touched since the last flush.
+//!
+//! The trade: per-op cost drops to the structural update (no ball search
+//! at all on the fast path) at the price of the Fact 1.3 floor holding
+//! only at flush boundaries rather than after every op. Between flushes
+//! the matching is *valid but uncertified* — exactly the ε-staleness
+//! contract the serve driver uses under fault storms, here exposed with a
+//! settable bound.
+//!
+//! # Batch-order insensitivity
+//!
+//! Within one staleness window, deferred updates that touch **pairwise
+//! disjoint vertex sets** commute: the structural changes land in
+//! per-vertex adjacency lists other ops never read, and the flush sweep
+//! canonicalises its seed set (sorted, deduplicated) before searching.
+//! Permuting such a window therefore yields a bit-identical post-flush
+//! matching — a contract the proptest suite pins. Ops sharing a vertex
+//! do *not* commute (per-vertex adjacency order is insertion order).
+
+use wmatch_graph::{Graph, Matching};
+
+use crate::dyngraph::DynGraph;
+use crate::engine::{DynamicConfig, DynamicCounters, EngineCore, UpdateEngine, UpdateStats};
+use crate::error::DynamicError;
+use crate::update::UpdateOp;
+
+/// The tolerate-ε-staleness dynamic engine; see the [module docs](self).
+///
+/// # Example
+///
+/// ```
+/// use wmatch_dynamic::{DynamicConfig, StaleMatcher, UpdateOp};
+///
+/// let mut eng = StaleMatcher::new(4, DynamicConfig::default(), 2);
+/// eng.apply(UpdateOp::insert(0, 1, 5)).unwrap();
+/// assert_eq!(eng.matching().weight(), 0); // deferred: nothing matched yet
+/// eng.apply(UpdateOp::insert(2, 3, 7)).unwrap(); // second op hits the bound
+/// assert_eq!(eng.matching().weight(), 12); // flushed: both matched
+/// ```
+#[derive(Debug)]
+pub struct StaleMatcher {
+    core: EngineCore,
+    staleness_bound: usize,
+    flushes: u64,
+}
+
+impl StaleMatcher {
+    /// An engine over an initially edgeless graph on `n` vertices that
+    /// flushes after every `staleness_bound` deferred updates
+    /// (`staleness_bound ≥ 1`; a bound of 1 flushes after every op).
+    pub fn new(n: usize, cfg: DynamicConfig, staleness_bound: usize) -> Self {
+        StaleMatcher {
+            core: EngineCore::new(n, cfg),
+            staleness_bound: staleness_bound.max(1),
+            flushes: 0,
+        }
+    }
+
+    /// An engine seeded with an initial graph, bootstrapped to the
+    /// invariant (the initial solve is not counted as recourse).
+    ///
+    /// # Errors
+    ///
+    /// [`DynamicError::ZeroWeight`] if the initial graph carries a
+    /// zero-weight edge.
+    pub fn from_graph(
+        initial: &Graph,
+        cfg: DynamicConfig,
+        staleness_bound: usize,
+    ) -> Result<Self, DynamicError> {
+        let mut eng = StaleMatcher::new(initial.vertex_count(), cfg, staleness_bound);
+        eng.core.g = DynGraph::from_graph(initial)?;
+        eng.core.m = crate::engine::static_bounded_matching(
+            initial,
+            cfg.max_len,
+            &mut eng.core.kit.searcher,
+        );
+        Ok(eng)
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &DynamicConfig {
+        &self.core.cfg
+    }
+
+    /// The staleness bound (deferred updates per flush).
+    pub fn staleness_bound(&self) -> usize {
+        self.staleness_bound
+    }
+
+    /// The maintained matching (valid at all times; certified only at
+    /// flush boundaries).
+    pub fn matching(&self) -> &Matching {
+        &self.core.m
+    }
+
+    /// The live graph.
+    pub fn graph(&self) -> &DynGraph {
+        &self.core.g
+    }
+
+    /// Lifetime counters.
+    pub fn counters(&self) -> DynamicCounters {
+        self.core.counters
+    }
+
+    /// Updates deferred since the last flush (0 right after a flush —
+    /// the matching is certified exactly then).
+    pub fn stale_ops(&self) -> usize {
+        self.core.stale_ops
+    }
+
+    /// Batched repair sweeps executed (auto-triggered or explicit).
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Chunks stolen across the pool's jobs (rebuild epochs are the only
+    /// parallel layer; always 0 at `threads = 1`).
+    pub fn steals(&self) -> u64 {
+        self.core.pool.steals()
+    }
+
+    /// The largest dense scratch footprint used so far.
+    pub fn scratch_high_water(&self) -> usize {
+        self.core.scratch_high_water()
+    }
+
+    /// Applies one update: structural change and dead-match cleanup now,
+    /// repair deferred; one batched flush once the bound is reached.
+    ///
+    /// # Errors
+    ///
+    /// A [`DynamicError`] for malformed operations (the engine is
+    /// unchanged; errors do not count towards the staleness window).
+    pub fn apply(&mut self, op: UpdateOp) -> Result<UpdateStats, DynamicError> {
+        let mut stats = self.core.apply_lazy_one(op)?;
+        if self.core.stale_ops >= self.staleness_bound {
+            let fs = self.flush();
+            stats.gain += fs.gain;
+            stats.recourse += fs.recourse;
+            stats.augmentations += fs.augmentations;
+            stats.rebuilt |= fs.rebuilt;
+        }
+        Ok(stats)
+    }
+
+    /// Settles the deferred repairs now (one batched fix-up sweep plus a
+    /// rebuild epoch if one came due), re-certifying the bounded-
+    /// augmentation invariant. A no-op when nothing is deferred.
+    pub fn flush(&mut self) -> UpdateStats {
+        if self.core.stale_ops == 0 {
+            return UpdateStats::default();
+        }
+        self.flushes += 1;
+        self.core.flush_repairs()
+    }
+}
+
+impl UpdateEngine for StaleMatcher {
+    fn apply(&mut self, op: UpdateOp) -> Result<UpdateStats, DynamicError> {
+        StaleMatcher::apply(self, op)
+    }
+
+    fn flush(&mut self) -> UpdateStats {
+        StaleMatcher::flush(self)
+    }
+
+    fn matching(&self) -> &Matching {
+        StaleMatcher::matching(self)
+    }
+
+    fn graph(&self) -> &DynGraph {
+        StaleMatcher::graph(self)
+    }
+
+    fn counters(&self) -> DynamicCounters {
+        StaleMatcher::counters(self)
+    }
+
+    fn declared_floor(&self) -> f64 {
+        self.core.cfg.certified_floor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::DynamicMatcher;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use wmatch_graph::aug_search::best_augmentation;
+
+    #[test]
+    fn defers_until_the_bound_then_flushes() {
+        let mut eng = StaleMatcher::new(6, DynamicConfig::default(), 3);
+        eng.apply(UpdateOp::insert(0, 1, 5)).unwrap();
+        eng.apply(UpdateOp::insert(2, 3, 4)).unwrap();
+        assert_eq!(eng.matching().weight(), 0);
+        assert_eq!(eng.stale_ops(), 2);
+        let s = eng.apply(UpdateOp::insert(4, 5, 3)).unwrap();
+        assert_eq!(eng.matching().weight(), 12, "third op triggered the flush");
+        assert_eq!(eng.stale_ops(), 0);
+        assert_eq!(eng.flushes(), 1);
+        assert!(s.recourse >= 3);
+    }
+
+    #[test]
+    fn deleted_matched_edge_is_dropped_immediately() {
+        // validity is never deferred: deleting the matched copy must
+        // unmatch it on the spot, even mid-window
+        let mut eng = StaleMatcher::new(4, DynamicConfig::default(), 10);
+        eng.apply(UpdateOp::insert(0, 1, 5)).unwrap();
+        eng.flush();
+        assert_eq!(eng.matching().weight(), 5);
+        eng.apply(UpdateOp::delete(0, 1)).unwrap();
+        assert_eq!(eng.matching().weight(), 0);
+        eng.matching()
+            .validate(Some(&eng.graph().snapshot()))
+            .expect("matching stays valid mid-window");
+    }
+
+    #[test]
+    fn flushed_state_matches_eager_engine_invariant() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let cfg = DynamicConfig::default();
+        let mut eng = StaleMatcher::new(12, cfg, 7);
+        for _ in 0..140 {
+            let u = rng.gen_range(0..12u32);
+            let mut v = rng.gen_range(0..12u32);
+            if v == u {
+                v = (v + 1) % 12;
+            }
+            eng.apply(UpdateOp::insert(u, v, rng.gen_range(1..30u64)))
+                .unwrap();
+        }
+        eng.flush();
+        let snap = eng.graph().snapshot();
+        eng.matching().validate(Some(&snap)).expect("valid");
+        assert!(
+            best_augmentation(&snap, eng.matching(), cfg.max_len).is_none(),
+            "flush must restore the bounded-augmentation invariant"
+        );
+        assert_eq!(eng.counters().updates_applied, 140);
+    }
+
+    #[test]
+    fn bound_one_is_the_eager_engine_on_disjoint_streams() {
+        // with staleness_bound = 1 every op flushes immediately; on a
+        // stream the eager engine handles identically, weights agree
+        let mut stale = StaleMatcher::new(8, DynamicConfig::default(), 1);
+        let mut eager = DynamicMatcher::new(8, DynamicConfig::default());
+        let ops = [
+            UpdateOp::insert(0, 1, 5),
+            UpdateOp::insert(2, 3, 7),
+            UpdateOp::insert(1, 2, 9),
+            UpdateOp::delete(0, 1),
+        ];
+        for &op in &ops {
+            stale.apply(op).unwrap();
+            eager.apply(op).unwrap();
+        }
+        assert_eq!(
+            stale.matching().to_edges(),
+            eager.matching().to_edges(),
+            "bound 1 repairs after every op, like the eager engine"
+        );
+    }
+}

@@ -79,6 +79,12 @@ impl AugSearcher {
         AugSearcher::default()
     }
 
+    /// The largest dense scratch footprint this searcher has used —
+    /// telemetry for callers that report memory high-water marks.
+    pub fn scratch_high_water(&self) -> usize {
+        self.scratch.high_water()
+    }
+
     /// Finds the best augmentation with strictly positive gain, or `None`.
     ///
     /// Equivalent to the free function [`best_augmentation`], with the
